@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Corpus Float Ftindex Galatex Harness Lazy List Option Printf String Sys Test Tokenize Xmlkit Xquery

@@ -1,0 +1,59 @@
+(* Shared benchmark machinery: a Bechamel runner printing ns/run estimates,
+   and simple wall-clock helpers for the series the experiment sections
+   print (paper-shape results rather than micro-benchmarks). *)
+
+open Bechamel
+open Toolkit
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+(* Run one grouped Bechamel test and print the per-run OLS estimate. *)
+let run_bechamel ?(quota = 0.4) test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let pretty =
+        if Float.is_nan estimate then "n/a"
+        else if estimate > 1e9 then Printf.sprintf "%8.2f s " (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%8.2f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%8.2f us" (estimate /. 1e3)
+        else Printf.sprintf "%8.2f ns" estimate
+      in
+      Printf.printf "  bechamel %-44s %s/run\n%!" name pretty)
+    (List.sort compare rows)
+
+let staged = Staged.stage
+
+(* Wall-clock timing of a thunk, median of [runs] runs, in milliseconds. *)
+let time_ms ?(runs = 5) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+let row fmt = Printf.printf fmt

@@ -1,0 +1,256 @@
+(* The GalaTex command-line interface (the paper ships a command-line
+   interface next to the browser demo):
+
+     galatex query   -d a.xml -d b.xml 'QUERY'   run an XQuery Full-Text query
+     galatex translate 'QUERY'                   show the translated XQuery
+     galatex index   -d a.xml ...                dump inverted-list documents
+     galatex tokens  -d a.xml                    show TokenInfo values
+     galatex demo                                run the use-case catalogue *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_documents paths =
+  List.map
+    (fun path ->
+      let uri = Filename.basename path in
+      (uri, Xmlkit.Parser.parse_document ~uri (read_file path)))
+    paths
+
+let docs_arg =
+  Arg.(
+    value & opt_all file []
+    & info [ "d"; "document" ] ~docv:"FILE" ~doc:"XML document to index (repeatable).")
+
+let strategy_arg =
+  let strategies =
+    [
+      ("translated", Galatex.Engine.Translated);
+      ("materialized", Galatex.Engine.Native_materialized);
+      ("pipelined", Galatex.Engine.Native_pipelined);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum strategies) Galatex.Engine.Native_materialized
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Evaluation strategy: $(b,translated) (the paper's all-XQuery path),
+           $(b,materialized) or $(b,pipelined).")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "O"; "optimize" ]
+        ~doc:"Enable the Section 4.1 rewritings (pushdown, or-short-circuit).")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query text.")
+
+let context_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "c"; "context" ] ~docv:"URI"
+        ~doc:"Document supplying the initial context node (default: first).")
+
+let pretty_arg =
+  Arg.(value & flag & info [ "p"; "pretty" ] ~doc:"Pretty-print XML results.")
+
+let engine_of docs =
+  if docs = [] then `Error (false, "at least one --document is required")
+  else `Ok (Galatex.Engine.create (load_documents docs))
+
+let handle_errors f =
+  try f () with
+  | Xmlkit.Parser.Error { pos; msg } ->
+      Printf.eprintf "XML parse error at %d: %s\n" pos msg;
+      exit 1
+  | Xquery.Parser.Error { pos; msg } ->
+      Printf.eprintf "query parse error at %d: %s\n" pos msg;
+      exit 1
+  | Xquery.Lexer.Error { pos; msg } ->
+      Printf.eprintf "query lex error at %d: %s\n" pos msg;
+      exit 1
+  | Xquery.Context.Dynamic_error msg ->
+      Printf.eprintf "dynamic error: %s\n" msg;
+      exit 1
+  | Xquery.Value.Type_error msg ->
+      Printf.eprintf "type error: %s\n" msg;
+      exit 1
+
+(* --- query --- *)
+
+let run_query docs strategy optimize context pretty query =
+  match engine_of docs with
+  | `Error _ as e -> e
+  | `Ok engine ->
+      handle_errors (fun () ->
+          let optimizations =
+            if optimize then Galatex.Engine.all_optimizations
+            else Galatex.Engine.no_optimizations
+          in
+          let value =
+            Galatex.Engine.run engine ~strategy ~optimizations ?context query
+          in
+          List.iter
+            (fun item ->
+              match item with
+              | Xquery.Value.Node n when pretty ->
+                  print_endline (Xmlkit.Printer.pretty n)
+              | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
+            value;
+          `Ok ())
+
+let query_cmd =
+  let doc = "Run an XQuery Full-Text query over the indexed documents." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      ret
+        (const run_query $ docs_arg $ strategy_arg $ optimize_arg $ context_arg
+       $ pretty_arg $ query_arg))
+
+(* --- translate --- *)
+
+let run_translate query =
+  handle_errors (fun () ->
+      print_endline (Galatex.Engine.translate_to_text query);
+      `Ok ())
+
+let translate_cmd =
+  let doc =
+    "Show the plain XQuery that the GalaTex translation produces (paper
+     Section 3.2.2)."
+  in
+  Cmd.v (Cmd.info "translate" ~doc) Term.(ret (const run_translate $ query_arg))
+
+(* --- index --- *)
+
+let run_index docs word =
+  match engine_of docs with
+  | `Error _ as e -> e
+  | `Ok engine ->
+      handle_errors (fun () ->
+          let index = Galatex.Engine.index engine in
+          (match word with
+          | Some w ->
+              print_endline
+                (Xmlkit.Printer.pretty (Ftindex.Index_xml.inverted_list_document index w))
+          | None ->
+              print_endline
+                (Xmlkit.Printer.pretty (Ftindex.Index_xml.distinct_words_document index));
+              Printf.printf "\n%d distinct words, %d postings, %d documents\n"
+                (Ftindex.Inverted.distinct_word_count index)
+                (Ftindex.Inverted.total_postings index)
+                (List.length (Ftindex.Inverted.documents index)));
+          `Ok ())
+
+let word_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "w"; "word" ] ~docv:"WORD"
+        ~doc:"Print the inverted-list document of one word.")
+
+let index_cmd =
+  let doc =
+    "Preprocess documents and print index artifacts (Figure 5(b) inverted
+     lists / distinct-word list)."
+  in
+  Cmd.v (Cmd.info "index" ~doc) Term.(ret (const run_index $ docs_arg $ word_arg))
+
+(* --- tokens --- *)
+
+let run_tokens docs =
+  if docs = [] then `Error (false, "at least one --document is required")
+  else
+    handle_errors (fun () ->
+        List.iter
+          (fun (uri, doc) ->
+            Printf.printf "-- %s\n" uri;
+            List.iter
+              (fun tok -> print_endline (Fmt.str "%a" Tokenize.Token.pp tok))
+              (Tokenize.Segmenter.tokenize_document doc))
+          (load_documents docs);
+        `Ok ())
+
+let tokens_cmd =
+  let doc = "Tokenize documents and print TokenInfo values (Figure 1)." in
+  Cmd.v (Cmd.info "tokens" ~doc) Term.(ret (const run_tokens $ docs_arg))
+
+(* --- explain --- *)
+
+let run_explain optimize query =
+  handle_errors (fun () ->
+      let q = Galatex.Engine.parse query in
+      print_endline "-- parsed --";
+      print_endline (Xquery.Printer.query_to_string q);
+      if optimize then begin
+        let q' = Galatex.Rewrite.pushdown_query q in
+        let q' = Galatex.Rewrite.or_short_circuit_query q' in
+        print_endline "\n-- after Section 4.1 rewritings --";
+        print_endline (Xquery.Printer.query_to_string q')
+      end;
+      print_endline "\n-- translated (Section 3.2.2) --";
+      print_endline (Galatex.Engine.translate_to_text query);
+      `Ok ())
+
+let explain_cmd =
+  let doc =
+    "Show the parsed plan, the optional Section 4.1 rewriting, and the
+     translated XQuery for a query."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(ret (const run_explain $ optimize_arg $ query_arg))
+
+(* --- module --- *)
+
+let run_module () =
+  print_endline Galatex.Fts_module.library_source;
+  `Ok ()
+
+let module_cmd =
+  let doc =
+    "Print the GalaTex fts library module — the XQuery implementation of
+     every FTSelection primitive (paper Section 3.2.3)."
+  in
+  Cmd.v (Cmd.info "module" ~doc) Term.(ret (const run_module $ const ()))
+
+(* --- demo --- *)
+
+let run_demo strategy =
+  handle_errors (fun () ->
+      let engine = Corpus.Usecases.engine () in
+      let failures = ref 0 in
+      List.iter
+        (fun (uc : Corpus.Usecases.usecase) ->
+          match Corpus.Usecases.check_case engine ~strategy uc with
+          | Ok () -> Printf.printf "ok   %-22s %s\n" uc.id uc.feature
+          | Error (got, want) ->
+              incr failures;
+              Printf.printf "FAIL %-22s got [%s] want [%s]\n" uc.id
+                (String.concat "; " got) (String.concat "; " want))
+        Corpus.Usecases.all_cases;
+      Printf.printf "\n%d use cases, %d failures\n"
+        (List.length Corpus.Usecases.all_cases)
+        !failures;
+      if !failures = 0 then `Ok () else `Error (false, "use-case failures"))
+
+let demo_cmd =
+  let doc = "Run the XQuery Full-Text use-case catalogue (the paper's demo)." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run_demo $ strategy_arg))
+
+let main =
+  let doc = "GalaTex: a conformant implementation of XQuery Full-Text" in
+  Cmd.group
+    (Cmd.info "galatex" ~version:"1.0.0" ~doc)
+    [
+      query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
+      module_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/congress_bills.ml: Corpus Ftindex Galatex List Printf Xmlkit Xquery

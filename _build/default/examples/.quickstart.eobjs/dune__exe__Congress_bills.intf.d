@@ -1,0 +1,1 @@
+examples/congress_bills.mli:

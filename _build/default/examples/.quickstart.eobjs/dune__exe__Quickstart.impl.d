@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Galatex List Printf Xmlkit Xquery

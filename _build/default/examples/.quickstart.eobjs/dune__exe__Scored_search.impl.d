@@ -1,0 +1,1 @@
+examples/scored_search.ml: Corpus Fmt Ftindex Galatex List Option Printf Xmlkit Xquery

@@ -1,0 +1,1 @@
+examples/scored_search.mli:

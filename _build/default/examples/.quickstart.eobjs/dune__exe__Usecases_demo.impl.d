@@ -1,0 +1,1 @@
+examples/usecases_demo.ml: Array Corpus Float Galatex List Printf Unix

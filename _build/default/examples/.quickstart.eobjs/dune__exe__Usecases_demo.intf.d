@@ -1,0 +1,1 @@
+examples/usecases_demo.mli:

@@ -1,0 +1,1 @@
+lib/corpus/fig1.ml: Buffer Ftindex Galatex List Node Printf String Xmlkit

@@ -1,0 +1,1 @@
+lib/corpus/generator.ml: Array Buffer Ftindex Fun List Node Printf Splitmix String Vocab Xmlkit

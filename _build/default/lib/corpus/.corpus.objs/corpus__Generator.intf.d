@@ -1,0 +1,1 @@
+lib/corpus/generator.mli: Ftindex Xmlkit

@@ -1,0 +1,1 @@
+lib/corpus/splitmix.ml: Array Int64

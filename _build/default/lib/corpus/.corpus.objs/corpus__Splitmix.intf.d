@@ -1,0 +1,1 @@
+lib/corpus/splitmix.mli:

@@ -1,0 +1,1 @@
+lib/corpus/usecases.ml: Fmt Galatex List Xquery

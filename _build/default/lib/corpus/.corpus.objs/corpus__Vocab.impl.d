@@ -1,0 +1,1 @@
+lib/corpus/vocab.ml: Array Buffer Float Splitmix

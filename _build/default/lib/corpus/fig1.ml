@@ -1,0 +1,66 @@
+open Xmlkit
+
+(* A reconstruction of the paper's running example (Figures 1, 2, 3, 5):
+   a book document whose word positions are controlled so that
+
+     - "usability" occurs at absolute positions 5 and 30,
+     - "software"  occurs at absolute positions 10, 25 and 35,
+     - "users"     occurs at absolute position 18,
+
+   which makes FTAnd(usability, software) produce exactly 6 matches (2 x 3
+   Cartesian product, Figure 3) of which exactly 3 survive
+   "distance at most 10 words":
+
+       (5,10) span 4 ok      (5,25) span 19 no     (5,35) span 29 no
+       (30,25) span 4 ok     (30,10) span 19 no    (30,35) span 4 ok
+
+   The first occurrence of "usability" sits inside the second paragraph
+   element, whose Dewey label the tests check against the Figure 5(a)
+   TokenInfo identifier convention (node label + absolute position). *)
+
+let special_words =
+  [ (5, "usability"); (10, "software"); (18, "users"); (25, "software");
+    (30, "usability"); (35, "software") ]
+
+let word_at i =
+  match List.assoc_opt i special_words with
+  | Some w -> w
+  | None -> Printf.sprintf "filler%d" i
+
+(* words [from..to], sentence break after every 10th word *)
+let text_range lo hi =
+  let buf = Buffer.create 128 in
+  for i = lo to hi do
+    Buffer.add_string buf (word_at i);
+    if i mod 10 = 0 || i = hi then Buffer.add_string buf ". "
+    else Buffer.add_char buf ' '
+  done;
+  String.trim (Buffer.contents buf)
+
+let uri = "fig1.xml"
+
+let document () =
+  Node.seal
+    (Node.document ~uri
+       [
+         Node.element "book"
+           [
+             (* title holds words 1..2 *)
+             Node.element "title" [ Node.text (text_range 1 2) ];
+             Node.element "content"
+               [
+                 (* paragraphs: 3..20, 21..32, 33..40 *)
+                 Node.element "p" [ Node.text (text_range 3 20) ];
+                 Node.element "p" [ Node.text (text_range 21 32) ];
+                 Node.element "p" [ Node.text (text_range 33 40) ];
+               ];
+           ];
+       ])
+
+let usability_positions = [ 5; 30 ]
+let software_positions = [ 10; 25; 35 ]
+let users_positions = [ 18 ]
+let total_words = 40
+
+let index () = Ftindex.Indexer.index_documents [ (uri, document ()) ]
+let engine () = Galatex.Engine.of_index (index ())

@@ -1,0 +1,189 @@
+open Xmlkit
+
+(* Synthetic corpora standing in for the paper's XML repositories (US
+   Library of Congress bills, INEX, HL7 — Section 1).  The generators
+   control exactly the properties the experiments depend on: document
+   shape (nesting of sections/paragraphs), vocabulary skew (inverted-list
+   lengths), and the selectivity of target phrases (how many documents /
+   paragraphs contain a planted phrase and how close together its words
+   fall). *)
+
+type profile = {
+  seed : int;
+  doc_count : int;
+  sections_per_doc : int;
+  paras_per_section : int;
+  words_per_para : int;
+  vocab_size : int;
+  zipf_skew : float;
+  plant : plant option;
+}
+
+and plant = {
+  phrase : string list;  (** words of the phrase to plant *)
+  doc_selectivity : float;  (** fraction of documents containing the phrase *)
+  para_selectivity : float;  (** fraction of paragraphs within such documents *)
+  max_gap : int;  (** words inserted between planted phrase words (0 = adjacent) *)
+  in_order : bool;  (** plant words in phrase order or reversed *)
+}
+
+let default_profile =
+  {
+    seed = 42;
+    doc_count = 10;
+    sections_per_doc = 3;
+    paras_per_section = 4;
+    words_per_para = 30;
+    vocab_size = 500;
+    zipf_skew = 1.0;
+    plant = None;
+  }
+
+let sentence_lengths = [| 6; 8; 10; 12 |]
+
+(* One paragraph: filler words, possibly with a planted phrase inside. *)
+let paragraph rng vocab profile ~plant_here =
+  let words = ref [] in
+  let count = ref 0 in
+  let add w =
+    words := w :: !words;
+    incr count
+  in
+  let filler_words = profile.words_per_para in
+  (match (plant_here, profile.plant) with
+  | true, Some p ->
+      (* lead-in filler, then the phrase with gaps, then tail filler *)
+      let lead = Splitmix.int rng (max 1 (filler_words / 2)) in
+      for _ = 1 to lead do
+        add (Vocab.sample vocab rng)
+      done;
+      let phrase = if p.in_order then p.phrase else List.rev p.phrase in
+      List.iteri
+        (fun i w ->
+          if i > 0 && p.max_gap > 0 then
+            for _ = 1 to Splitmix.int rng (p.max_gap + 1) do
+              add (Vocab.sample vocab rng)
+            done;
+          add w)
+        phrase;
+      for _ = 1 to filler_words - !count do
+        add (Vocab.sample vocab rng)
+      done
+  | _ ->
+      for _ = 1 to filler_words do
+        add (Vocab.sample vocab rng)
+      done);
+  (* group into sentences *)
+  let all = List.rev !words in
+  let buf = Buffer.create 256 in
+  let len = ref (Splitmix.pick rng sentence_lengths) in
+  List.iteri
+    (fun i w ->
+      if i > 0 then
+        if i mod !len = 0 then begin
+          Buffer.add_string buf ". ";
+          len := Splitmix.pick rng sentence_lengths
+        end
+        else Buffer.add_char buf ' ';
+      Buffer.add_string buf w)
+    all;
+  Buffer.add_char buf '.';
+  Buffer.contents buf
+
+let book rng vocab profile ~plant_doc ~index =
+  (* decide the planted paragraphs up front; a planted document is
+     guaranteed at least one planted paragraph *)
+  let decisions =
+    Array.init profile.sections_per_doc (fun _ ->
+        Array.init profile.paras_per_section (fun _ ->
+            plant_doc
+            &&
+            match profile.plant with
+            | Some p -> Splitmix.float rng < p.para_selectivity
+            | None -> false))
+  in
+  if plant_doc && not (Array.exists (Array.exists Fun.id) decisions) then
+    decisions.(profile.sections_per_doc - 1).(0) <- true;
+  let sections =
+    List.init profile.sections_per_doc (fun s ->
+        let paras =
+          List.init profile.paras_per_section (fun pi ->
+              Node.element "p"
+                [
+                  Node.text
+                    (paragraph rng vocab profile ~plant_here:decisions.(s).(pi));
+                ])
+        in
+        Node.element "section"
+          (Node.element "title"
+             [ Node.text (Printf.sprintf "Section %d" (s + 1)) ]
+          :: paras))
+  in
+  Node.element "book"
+    ~attributes:[ Node.attribute "id" (Printf.sprintf "book%d" index) ]
+    (Node.element "title" [ Node.text (Printf.sprintf "Book %d" index) ] :: sections)
+
+let books profile =
+  let rng = Splitmix.create profile.seed in
+  let vocab = Vocab.create ~skew:profile.zipf_skew profile.vocab_size in
+  List.init profile.doc_count (fun i ->
+      let plant_doc =
+        match profile.plant with
+        | Some p -> Splitmix.float rng < p.doc_selectivity
+        | None -> false
+      in
+      let uri = Printf.sprintf "book%d.xml" i in
+      (uri, Node.seal (Node.document ~uri [ book rng vocab profile ~plant_doc ~index:i ])))
+
+(* Congress-bill shaped documents for the paper's Section 1 motivating
+   scenario: bills with actions, some of which concern a target phrase. *)
+let bills ~seed ~count ~target_fraction ~phrase =
+  let rng = Splitmix.create seed in
+  let vocab = Vocab.create ~skew:1.1 400 in
+  let action rng ~with_phrase =
+    let base =
+      String.concat " "
+        (List.init (10 + Splitmix.int rng 10) (fun _ -> Vocab.sample vocab rng))
+    in
+    let text =
+      if with_phrase then
+        let words = String.split_on_char ' ' base in
+        let k = Splitmix.int rng (max 1 (List.length words)) in
+        String.concat " "
+          (List.concat
+             (List.mapi
+                (fun i w -> if i = k then [ phrase; w ] else [ w ])
+                words))
+      else base
+    in
+    Node.element "action" [ Node.text (text ^ ".") ]
+  in
+  List.init count (fun i ->
+      let with_phrase = Splitmix.float rng < target_fraction in
+      let uri = Printf.sprintf "bill%d.xml" i in
+      let bill =
+        Node.element "bill"
+          ~attributes:
+            [
+              Node.attribute "id" (Printf.sprintf "hr%d" (1000 + i));
+              Node.attribute "year" (string_of_int (2000 + Splitmix.int rng 6));
+            ]
+          [
+            Node.element "title"
+              [ Node.text (Printf.sprintf "A bill %d" i) ];
+            Node.element "actions"
+              (List.init
+                 (2 + Splitmix.int rng 3)
+                 (fun j -> action rng ~with_phrase:(with_phrase && j = 0)));
+            Node.element "summary"
+              [
+                Node.text
+                  (String.concat " "
+                     (List.init 20 (fun _ -> Vocab.sample vocab rng))
+                  ^ ".");
+              ];
+          ]
+      in
+      (uri, Node.seal (Node.document ~uri [ bill ])))
+
+let index_books profile = Ftindex.Indexer.index_documents (books profile)

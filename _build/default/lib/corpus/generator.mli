@@ -1,0 +1,43 @@
+(** Synthetic corpora standing in for the paper's XML repositories (US
+    Library of Congress bills, INEX, HL7).  Deterministic given a seed; the
+    knobs control exactly what the experiments vary: document shape,
+    vocabulary skew (inverted-list lengths) and planted-phrase
+    selectivity. *)
+
+type profile = {
+  seed : int;
+  doc_count : int;
+  sections_per_doc : int;
+  paras_per_section : int;
+  words_per_para : int;
+  vocab_size : int;
+  zipf_skew : float;
+  plant : plant option;
+}
+
+and plant = {
+  phrase : string list;
+  doc_selectivity : float;  (** fraction of documents containing the phrase *)
+  para_selectivity : float;  (** fraction of paragraphs inside such documents *)
+  max_gap : int;  (** filler words allowed between planted phrase words *)
+  in_order : bool;  (** plant in phrase order, or reversed *)
+}
+
+val default_profile : profile
+(** 10 books, 3 sections x 4 paragraphs x 30 words, 500-word Zipf(1.0)
+    vocabulary, nothing planted, seed 42. *)
+
+val books : profile -> (string * Xmlkit.Node.t) list
+(** Book/section/paragraph documents; a planted document is guaranteed at
+    least one planted paragraph. *)
+
+val index_books : profile -> Ftindex.Inverted.t
+
+val bills :
+  seed:int ->
+  count:int ->
+  target_fraction:float ->
+  phrase:string ->
+  (string * Xmlkit.Node.t) list
+(** Congress-bill shaped documents for the paper's Section 1 scenario:
+    bills with actions, [target_fraction] of which contain the phrase. *)

@@ -1,0 +1,39 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a small, fast, seedable PRNG.  All
+   corpus generation is deterministic given a seed, so experiments and tests
+   are reproducible without touching the global Random state. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* mask to 62 bits so the value fits a non-negative OCaml int *)
+  let v = Int64.to_int (Int64.logand (next_int64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t =
+  (* 53 random bits into [0,1) *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Splitmix.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,21 @@
+(** SplitMix64: a small seedable PRNG so corpus generation is deterministic
+    without touching the global [Random] state. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound).
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val float : t -> float
+(** In [0, 1). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

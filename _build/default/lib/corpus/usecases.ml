@@ -1,0 +1,527 @@
+(* A use-case corpus and query catalogue in the style of the W3C "XQuery
+   and XPath Full Text 1.0 Use Cases" document, which the GalaTex demo
+   executes (paper Section 1: "a browser interface that permits users to
+   execute both the XQuery Full-Text use cases and their own queries").
+
+   Each use case records the query, the language feature it exercises
+   (Table 1's feature rows), and its expected answer on this corpus, so the
+   whole catalogue doubles as the conformance suite. *)
+
+let book1 =
+  {|<book number="1">
+  <metadata>
+    <title shortTitle="Improving Web Usability">Improving the Usability of a Web Site Through Expert Reviews and Usability Testing</title>
+    <author><first>Millicent</first><last>Marigold</last></author>
+    <publisher>MITP</publisher>
+    <editions>2002 2003 2005</editions>
+  </metadata>
+  <content>
+    <introduction>
+      <p>This book provides a comprehensive introduction to usability testing of software.
+      Usability testing is a technique used to evaluate a product by testing it on users.</p>
+      <p>Expert reviews, on the other hand, rely on usability experts. Heuristic evaluation
+      is the best-known expert review technique for software products.</p>
+    </introduction>
+    <part number="1">
+      <title>Planning the Test</title>
+      <chapter number="1">
+        <title>Goals of Usability Assessment</title>
+        <p>The goal of a usability test is to improve the usability of a product.
+        A secondary goal is to improve the process of software development itself.</p>
+        <p>Website usability also depends on server software performance. Testing web
+        server software requires careful measurement.</p>
+      </chapter>
+      <chapter number="2">
+        <title>Selecting Participants</title>
+        <p>Participants must match the intended users of the software. Selection involves
+        usability criteria and careful testing of assumptions.</p>
+      </chapter>
+    </part>
+  </content>
+</book>|}
+
+let book2 =
+  {|<book number="2">
+  <metadata>
+    <title shortTitle="Mastering Databases">Mastering Relational Databases and Query Processing</title>
+    <author><first>Montana</first><last>Marigold</last></author>
+    <publisher>AP</publisher>
+    <editions>1999 2004</editions>
+  </metadata>
+  <content>
+    <introduction>
+      <p>Databases store structured data. Query processing transforms declarative
+      queries into efficient execution plans.</p>
+    </introduction>
+    <part number="1">
+      <title>Foundations</title>
+      <chapter number="1">
+        <title>The Relational Model</title>
+        <p>Relations are sets of tuples. Keys identify tuples uniquely. The usability
+        of a database schema matters less than its correctness.</p>
+      </chapter>
+    </part>
+  </content>
+</book>|}
+
+let book3 =
+  {|<book number="3">
+  <metadata>
+    <title shortTitle="Software Economics">The Economics of Software Quality and Testing</title>
+    <author><first>Mei</first><last>Yang</last></author>
+    <publisher>MITP</publisher>
+    <editions>2005</editions>
+  </metadata>
+  <content>
+    <introduction>
+      <p>Software quality has measurable economic value. Testing early reduces cost.
+      Usability is one dimension of quality; reliability is another.</p>
+      <p>Экономика programmnogo obespecheniya — the economics of software — is a
+      growing field. Tests and user studies both contribute.</p>
+    </introduction>
+  </content>
+</book>|}
+
+let documents =
+  [ ("book1.xml", book1); ("book2.xml", book2); ("book3.xml", book3) ]
+
+type usecase = {
+  id : string;
+  feature : string;  (** Table 1 feature row this probes *)
+  query : string;
+  expected : string list;
+      (** expected items as display strings (order-insensitive) *)
+}
+
+let cases =
+  [
+    {
+      id = "UC-words-any";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[.//p ftcontains "usability testing"] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-and";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains "usability" && "databases"] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UC-or";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains "heuristic" || "relational"] return string($b/@number)|};
+      expected = [ "1"; "2" ];
+    };
+    {
+      id = "UC-not";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains "usability" && ! "databases"] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    {
+      id = "UC-mild-not";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[.//p ftcontains "usability" not in "usability testing"] return string($b/@number)|};
+      expected = [ "1"; "2"; "3" ];
+    };
+    {
+      id = "UC-ordered";
+      feature = "order specificity";
+      query = {|for $c in collection()//chapter[./title ftcontains "usability" && "assessment" ordered] return string($c/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-ordered-reversed";
+      feature = "order specificity";
+      query = {|for $c in collection()//chapter[./title ftcontains "assessment" && "usability" ordered] return string($c/@number)|};
+      expected = [];
+    };
+    {
+      id = "UC-distance";
+      feature = "proximity distance";
+      query = {|for $p in collection()//introduction/p[. ftcontains "usability" && "software" distance at most 3 words] return "hit"|};
+      expected = [ "hit" ];
+    };
+    {
+      id = "UC-window";
+      feature = "proximity distance";
+      query = {|count(collection()//p[. ftcontains "usability" && "product" window 13 words])|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UC-scope-sentence";
+      feature = "scope";
+      query = {|count(collection()//p[. ftcontains "usability" && "experts" same sentence])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-times";
+      feature = "no. occurrences";
+      query = {|for $b in collection()//book[. ftcontains "usability" occurs at least 5 times] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-stemming";
+      feature = "stemming";
+      query = {|for $b in collection()//book[./content ftcontains "tests" with stemming] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    {
+      id = "UC-case";
+      feature = "case sensitive";
+      query = {|for $b in collection()//book[./metadata ftcontains "MITP" case sensitive] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    {
+      id = "UC-wildcards";
+      feature = "regular expressions";
+      query = {|for $b in collection()//book[./metadata/title ftcontains "usab.*" with wildcards] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-stopwords";
+      feature = "stop words";
+      query = {|for $b in collection()//book[.//p ftcontains "evaluate a product" with stop words ("a", "the")] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-embedded-xquery";
+      feature = "composability";
+      query = {|for $b in collection()//book[./content ftcontains (collection()//book[@number = "2"]/metadata/author/last) any] return string($b/@number)|};
+      expected = [];
+    };
+    {
+      id = "UC-anyall-allwords";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[. ftcontains "software quality testing" all words] return string($b/@number)|};
+      expected = [ "3" ];
+    };
+    {
+      id = "UC-weight-score";
+      feature = "weighting";
+      query = {|let $scores := for $b in collection()//book return ft:score($b, "usability" weight 0.8 && "testing" weight 0.2) return count(for $s in $scores where $s > 0 return $s)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UC-score-order";
+      feature = "scoring";
+      query = {|let $ranked := for $b in collection()//book let $s := ft:score($b, "usability") where $s > 0 order by $s descending return string($b/@number) return $ranked[1]|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UC-ignore-baseline";
+      feature = "ignore option";
+      query = {|for $b in collection()//book[./content ftcontains "relational"] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UC-ignore";
+      feature = "ignore option";
+      (* "relational" occurs in book 2's content only inside a chapter
+         title; ignoring titles removes the hit *)
+      query = {|for $b in collection()//book[./content ftcontains "relational" without content ./content//title] return string($b/@number)|};
+      expected = [];
+    };
+  ]
+
+
+(* --- the extended catalogue: broader coverage of the grammar, in the
+   spirit of the full W3C use-case document --- *)
+
+let extended_cases =
+  [
+    (* any/all/phrase variants *)
+    {
+      id = "UCX-any-multiphrase";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[. ftcontains ("usability testing", "query processing") any] return string($b/@number)|};
+      expected = [ "1"; "2" ];
+    };
+    {
+      id = "UCX-all-multiphrase";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[. ftcontains ("expert reviews", "usability testing") all] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-anyword";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[./metadata ftcontains "databases economics" any word] return string($b/@number)|};
+      expected = [ "2"; "3" ];
+    };
+    {
+      id = "UCX-phrase-keyword";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[./metadata/title ftcontains ("query") phrase] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-phrase-not-adjacent";
+      feature = "phrase matching";
+      query = {|for $b in collection()//book[. ftcontains "testing usability"] return string($b/@number)|};
+      expected = [];
+    };
+    (* Boolean shapes *)
+    {
+      id = "UCX-and-or-precedence";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains "databases" && "query" || "heuristic"] return string($b/@number)|};
+      expected = [ "1"; "2" ];
+    };
+    {
+      id = "UCX-double-negation";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains ! ! "usability"] return string($b/@number)|};
+      expected = [ "1"; "2"; "3" ];
+    };
+    {
+      id = "UCX-not-of-missing";
+      feature = "Boolean connectives";
+      query = {|count(collection()//book[. ftcontains ! "wordthatneverappears"])|};
+      expected = [ "3" ];
+    };
+    {
+      id = "UCX-and-not";
+      feature = "Boolean connectives";
+      query = {|for $b in collection()//book[. ftcontains "software" && ! "databases"] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    (* distance variants *)
+    {
+      id = "UCX-distance-at-least";
+      feature = "proximity distance";
+      query = {|count(collection()//introduction/p[. ftcontains "usability" && "software" distance at least 1 words])|};
+      expected = [ "3" ];
+    };
+    {
+      id = "UCX-distance-exactly";
+      feature = "proximity distance";
+      query = {|count(collection()//p[. ftcontains "evaluate" && "product" distance exactly 1 words])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-distance-from-to";
+      feature = "proximity distance";
+      query = {|count(collection()//introduction/p[. ftcontains "usability" && "software" distance from 1 to 6 words])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-distance-sentences";
+      feature = "proximity distance";
+      query = {|count(collection()//introduction[. ftcontains "comprehensive" && "heuristic" distance at most 3 sentences])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-window-tight";
+      feature = "proximity distance";
+      query = {|count(collection()//p[. ftcontains "usability" && "experts" window 4 words])|};
+      expected = [ "1" ];
+    };
+    (* scope *)
+    {
+      id = "UCX-scope-different-sentence";
+      feature = "scope";
+      query = {|count(collection()//introduction/p[. ftcontains "usability" && "heuristic" different sentence])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-scope-same-paragraph";
+      feature = "scope";
+      query = {|count(collection()//introduction[. ftcontains "economic" && "reliability" same paragraph])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-scope-different-paragraph";
+      feature = "scope";
+      query = {|count(collection()//content[. ftcontains "heuristic" && "participants" different paragraph])|};
+      expected = [ "1" ];
+    };
+    (* times *)
+    {
+      id = "UCX-times-exactly";
+      feature = "no. occurrences";
+      query = {|for $b in collection()//book[./metadata ftcontains "marigold" occurs exactly 1 times] return string($b/@number)|};
+      expected = [ "1"; "2" ];
+    };
+    {
+      id = "UCX-times-at-most";
+      feature = "no. occurrences";
+      query = {|for $b in collection()//book[./content ftcontains "testing" occurs at most 2 times] return string($b/@number)|};
+      expected = [ "2"; "3" ];
+    };
+    {
+      id = "UCX-times-from-to";
+      feature = "no. occurrences";
+      query = {|for $b in collection()//book[. ftcontains "software" occurs from 2 to 10 times] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    {
+      id = "UCX-times-zero";
+      feature = "no. occurrences";
+      query = {|for $b in collection()//book[./content ftcontains "databases" occurs exactly 0 times] return string($b/@number)|};
+      expected = [ "1"; "3" ];
+    };
+    (* anchors *)
+    {
+      id = "UCX-anchor-at-start";
+      feature = "anchors";
+      query = {|for $t in collection()//metadata/title[. ftcontains "mastering" at start] return string($t/../../@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-anchor-at-end";
+      feature = "anchors";
+      query = {|for $t in collection()//metadata/title[. ftcontains "testing" at end] return string($t/../../@number)|};
+      expected = [ "1"; "3" ];
+    };
+    {
+      id = "UCX-anchor-entire";
+      feature = "anchors";
+      query = {|count(collection()//metadata/title[. ftcontains "mastering relational databases and query processing" entire content])|};
+      expected = [ "1" ];
+    };
+    (* match options *)
+    {
+      id = "UCX-lowercase";
+      feature = "case sensitive";
+      query = {|for $b in collection()//book[./metadata ftcontains "ap" lowercase] return string($b/@number)|};
+      expected = [];
+    };
+    {
+      id = "UCX-uppercase";
+      feature = "case sensitive";
+      query = {|for $b in collection()//book[./metadata ftcontains "ap" uppercase] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-diacritics-insensitive";
+      feature = "diacritics";
+      query = {|for $b in collection()//book[. ftcontains "economika"] return string($b/@number)|};
+      expected = [];
+    };
+    {
+      id = "UCX-wildcard-suffix";
+      feature = "regular expressions";
+      query = {|for $b in collection()//book[./metadata/title ftcontains ".*bases" with wildcards] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-wildcard-single";
+      feature = "regular expressions";
+      query = {|for $b in collection()//book[./metadata/title ftcontains "m.steri.g" with wildcards] return string($b/@number)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-stemming-composed";
+      feature = "stemming";
+      query = {|for $b in collection()//book[./content ftcontains "evaluated" with stemming && "products" with stemming same sentence] return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-stop-words-phrase";
+      feature = "stop words";
+      query = {|count(collection()//p[. ftcontains "goal of a usability test" with stop words ("of", "a")])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-stop-distance";
+      feature = "stop words";
+      query = {|count(collection()//p[. ftcontains "usability" && "product" distance at most 10 words with default stop words])|};
+      expected = [ "2" ];
+    };
+    (* composability: XQuery inside FT and FT inside FLWOR *)
+    {
+      id = "UCX-embedded-author";
+      feature = "composability";
+      query = {|for $b in collection()//book[./metadata ftcontains (collection()//book[@number = "1"]/metadata/author/last) any] return string($b/@number)|};
+      expected = [ "1"; "2" ];
+    };
+    {
+      id = "UCX-nested-ftcontains";
+      feature = "composability";
+      query = {|for $b in collection()//book[./content ftcontains (collection()//book[./metadata ftcontains "mitp" case sensitive]/metadata/author/first) any] return string($b/@number)|};
+      expected = [];
+    };
+    {
+      id = "UCX-flwor-composition";
+      feature = "composability";
+      query = {|string-join(for $b in collection()//book where $b//p ftcontains "usability" && "testing" order by string($b/@number) return string($b/@number), ",")|};
+      expected = [ "1,3" ];
+    };
+    {
+      id = "UCX-if-composition";
+      feature = "composability";
+      query = {|if (collection()//book[@number="2"] ftcontains "tuples") then "yes" else "no"|};
+      expected = [ "yes" ];
+    };
+    {
+      id = "UCX-quantified-composition";
+      feature = "composability";
+      query = {|every $b in collection()//book satisfies $b ftcontains "software" || "databases"|};
+      expected = [ "true" ];
+    };
+    (* scoring *)
+    {
+      id = "UCX-score-zero-for-miss";
+      feature = "scoring";
+      query = {|string(ft:score(collection()//book[@number="2"], "heuristic"))|};
+      expected = [ "0" ];
+    };
+    {
+      id = "UCX-score-positive";
+      feature = "scoring";
+      query = {|count(for $s in ft:score(collection()//book, "software") where $s > 0 return $s)|};
+      expected = [ "2" ];
+    };
+    {
+      id = "UCX-score-filter-combined";
+      feature = "scoring";
+      query = {|for $b in collection()//book[. ftcontains "usability" && "analysis" || "usability" && "testing"]
+                let $s := ft:score($b, "usability" weight 0.8 && "testing" weight 0.2)
+                where $s > 0.1 order by $s descending return string($b/@number)|};
+      expected = [ "1" ];
+    };
+    (* ordered + options interplay *)
+    {
+      id = "UCX-ordered-three-words";
+      feature = "order specificity";
+      query = {|count(collection()//p[. ftcontains "expert" && "review" && "technique" ordered with stemming])|};
+      expected = [ "1" ];
+    };
+    {
+      id = "UCX-ordered-window";
+      feature = "order specificity";
+      query = {|count(collection()//p[. ftcontains "secondary" && "goal" ordered window 3 words])|};
+      expected = [ "1" ];
+    };
+    (* mild not *)
+    {
+      id = "UCX-mild-not-removes";
+      feature = "Boolean connectives";
+      query = {|count(collection()//introduction/p[. ftcontains "quality" not in "software quality"])|};
+      expected = [ "1" ];
+    };
+    (* ignore option *)
+    {
+      id = "UCX-ignore-several";
+      feature = "ignore option";
+      query = {|for $b in collection()//book[./content ftcontains "foundations" without content ./content//title] return string($b/@number)|};
+      expected = [];
+    };
+  ]
+
+let all_cases = cases @ extended_cases
+
+let engine () = Galatex.Engine.of_strings documents
+
+let run_case eng ?strategy (uc : usecase) =
+  let value = Galatex.Engine.run eng ?strategy uc.query in
+  List.map
+    (fun item -> Fmt.str "%a" Xquery.Value.pp_item item)
+    value
+
+let check_case eng ?strategy uc =
+  let got = List.sort compare (run_case eng ?strategy uc) in
+  let want = List.sort compare uc.expected in
+  if got = want then Ok () else Error (got, want)

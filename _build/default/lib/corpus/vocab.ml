@@ -1,0 +1,54 @@
+(* Synthetic vocabularies with Zipf-distributed frequencies: the word-rank
+   skew is what determines inverted-list lengths and hence FTSelection
+   costs, which is the property our benches vary. *)
+
+type t = {
+  words : string array;
+  cumulative : float array;  (** cumulative Zipf probabilities *)
+}
+
+(* pronounceable deterministic word for a rank *)
+let word_for_rank rank =
+  let consonants = [| "b"; "c"; "d"; "f"; "g"; "l"; "m"; "n"; "p"; "r"; "s"; "t" |] in
+  let vowels = [| "a"; "e"; "i"; "o"; "u" |] in
+  let buf = Buffer.create 8 in
+  let rec build n =
+    let c = consonants.(n mod Array.length consonants) in
+    let v = vowels.(n / Array.length consonants mod Array.length vowels) in
+    Buffer.add_string buf c;
+    Buffer.add_string buf v;
+    let rest = n / (Array.length consonants * Array.length vowels) in
+    if rest > 0 then build (rest - 1)
+  in
+  build rank;
+  Buffer.contents buf
+
+let create ?(skew = 1.0) size =
+  if size <= 0 then invalid_arg "Vocab.create: size must be positive";
+  let words = Array.init size word_for_rank in
+  let weights = Array.init size (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) skew) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make size 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  { words; cumulative }
+
+let size t = Array.length t.words
+let word t i = t.words.(i)
+
+(* Draw a word with Zipf probability. *)
+let sample t rng =
+  let u = Splitmix.float rng in
+  (* binary search for the first cumulative >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  t.words.(!lo)
+
+let words t = Array.to_list t.words

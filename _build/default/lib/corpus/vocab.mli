@@ -1,0 +1,21 @@
+(** Synthetic vocabularies with Zipf-distributed word frequencies. *)
+
+type t
+
+val create : ?skew:float -> int -> t
+(** [create ~skew n]: n pronounceable words whose sampling probability
+    follows rank^(-skew) (default skew 1.0).
+    @raise Invalid_argument when [n <= 0]. *)
+
+val size : t -> int
+
+val word : t -> int -> string
+(** The word at a frequency rank (0 = most frequent). *)
+
+val word_for_rank : int -> string
+(** Deterministic word spelling for a rank, without building a table. *)
+
+val sample : t -> Splitmix.t -> string
+(** Draw a word with its Zipf probability. *)
+
+val words : t -> string list

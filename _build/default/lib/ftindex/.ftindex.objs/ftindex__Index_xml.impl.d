@@ -1,0 +1,1 @@
+lib/ftindex/index_xml.ml: Dewey Inverted List Node Option Posting Printf Tokenize Xmlkit

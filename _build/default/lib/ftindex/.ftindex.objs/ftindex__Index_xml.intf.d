@@ -1,0 +1,1 @@
+lib/ftindex/index_xml.mli: Inverted Posting Xmlkit

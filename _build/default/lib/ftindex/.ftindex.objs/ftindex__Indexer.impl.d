@@ -1,0 +1,1 @@
+lib/ftindex/indexer.ml: Array Hashtbl Inverted List Option Posting Stats Tokenize Xmlkit

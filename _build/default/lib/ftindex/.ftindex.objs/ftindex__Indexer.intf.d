@@ -1,0 +1,1 @@
+lib/ftindex/indexer.mli: Inverted Tokenize Xmlkit

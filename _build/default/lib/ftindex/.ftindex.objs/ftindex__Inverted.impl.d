@@ -1,0 +1,1 @@
+lib/ftindex/inverted.ml: Array Dewey Hashtbl List Node Option Posting Stats Tokenize Xmlkit

@@ -1,0 +1,1 @@
+lib/ftindex/inverted.mli: Hashtbl Posting Stats Tokenize Xmlkit

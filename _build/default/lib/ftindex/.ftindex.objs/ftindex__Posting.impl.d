@@ -1,0 +1,1 @@
+lib/ftindex/posting.ml: Fmt Tokenize

@@ -1,0 +1,1 @@
+lib/ftindex/posting.mli: Fmt Tokenize Xmlkit

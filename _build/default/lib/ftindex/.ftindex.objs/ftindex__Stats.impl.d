@@ -1,0 +1,1 @@
+lib/ftindex/stats.ml: Hashtbl List Option Tokenize

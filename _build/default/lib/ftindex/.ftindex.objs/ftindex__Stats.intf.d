@@ -1,0 +1,1 @@
+lib/ftindex/stats.mli: Tokenize

@@ -1,0 +1,21 @@
+(** Off-line document preprocessing: build the inverted index. *)
+
+val add_document :
+  ?config:Tokenize.Segmenter.config ->
+  Inverted.t ->
+  uri:string ->
+  Xmlkit.Node.t ->
+  Inverted.t
+(** Tokenize one sealed document and merge its postings.  Scores reflect the
+    statistics known so far; prefer {!index_documents} for a whole corpus.
+    @raise Invalid_argument on duplicate uri. *)
+
+val index_documents :
+  ?config:Tokenize.Segmenter.config ->
+  (string * Xmlkit.Node.t) list ->
+  Inverted.t
+(** Index a corpus and compute final (corpus-wide idf) per-entry scores. *)
+
+val index_strings :
+  ?config:Tokenize.Segmenter.config -> (string * string) list -> Inverted.t
+(** Convenience: parse then index XML source strings. *)

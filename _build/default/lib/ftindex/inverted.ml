@@ -1,0 +1,101 @@
+open Xmlkit
+
+(* The corpus-level inverted index (Figure 4, upper left): for every distinct
+   word, all of its positions across the indexed documents, plus the distinct
+   word list that drives match-option expansion (Section 3.2.3.2).
+
+   Postings for a word are kept sorted by (document, absolute position), so
+   the pipelined operators of Section 4.1 can sort-merge them lazily. *)
+
+type t = {
+  documents : (string * Node.t) list;  (** uri -> sealed document root *)
+  postings : (string, Posting.t list) Hashtbl.t;
+  doc_tokens : (string, Tokenize.Token.t array) Hashtbl.t;
+      (** the full token stream of each document, in position order; used for
+          node word-extents, window/anchor checks and highlighting *)
+  stats : Stats.t;
+  total_postings : int;
+}
+
+let empty () =
+  {
+    documents = [];
+    postings = Hashtbl.create 16;
+    doc_tokens = Hashtbl.create 16;
+    stats = Stats.create ();
+    total_postings = 0;
+  }
+
+let documents t = t.documents
+let stats t = t.stats
+let total_postings t = t.total_postings
+
+let document_root t uri = List.assoc_opt uri t.documents
+
+let postings t word =
+  Option.value ~default:[]
+    (Hashtbl.find_opt t.postings (Tokenize.Normalize.casefold word))
+
+let distinct_words t =
+  Hashtbl.fold (fun w _ acc -> w :: acc) t.postings [] |> List.sort compare
+
+let distinct_word_count t = Hashtbl.length t.postings
+
+(* containsPos (Section 3.2.1): a position is inside a context node when the
+   position's Dewey label is contained in the node's and they belong to the
+   same document. *)
+let position_in_node t posting ~doc ~node_dewey =
+  ignore t;
+  posting.Posting.doc = doc && Dewey.contains node_dewey (Posting.node posting)
+
+let postings_in t ~doc ~node_dewey word =
+  List.filter
+    (fun p -> position_in_node t p ~doc ~node_dewey)
+    (postings t word)
+
+(* The document a (sealed) node belongs to, recovered from its tree root. *)
+let doc_of_node t node =
+  let root = Node.root node in
+  List.fold_left
+    (fun acc (uri, droot) ->
+      match acc with Some _ -> acc | None -> if Node.equal droot root then Some uri else None)
+    None t.documents
+
+let fold_words f t acc =
+  Hashtbl.fold (fun w ps acc -> f w ps acc) t.postings acc
+
+let tokens_of_doc t ~doc =
+  Option.value ~default:[||] (Hashtbl.find_opt t.doc_tokens doc)
+
+(* The word-position extent of a node: positions of a node's tokens are
+   contiguous (pre-order Dewey containment), so the extent is the (first,
+   last) absolute position of tokens whose Dewey label the node contains.
+   None when the node contains no tokens. *)
+let node_extent t ~doc ~node_dewey =
+  let tokens = tokens_of_doc t ~doc in
+  let n = Array.length tokens in
+  let contained i =
+    Dewey.contains node_dewey tokens.(i).Tokenize.Token.node
+  in
+  (* binary search for the first contained token: containment over a
+     pre-order position array is a contiguous run, and tokens before the run
+     have Dewey labels ordered before the node *)
+  let rec first lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Dewey.compare tokens.(mid).Tokenize.Token.node node_dewey < 0 then
+        first (mid + 1) hi
+      else first lo mid
+  in
+  let start = first 0 n in
+  if start >= n || not (contained start) then None
+  else begin
+    let stop = ref start in
+    while !stop + 1 < n && contained (!stop + 1) do
+      incr stop
+    done;
+    Some
+      ( tokens.(start).Tokenize.Token.abs_pos,
+        tokens.(!stop).Tokenize.Token.abs_pos )
+  end

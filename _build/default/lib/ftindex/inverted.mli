@@ -1,0 +1,53 @@
+(** Corpus-level inverted index: word -> positions (TokenInfo) across all
+    indexed documents, plus the distinct-word list used by match-option
+    expansion. *)
+
+type t = {
+  documents : (string * Xmlkit.Node.t) list;
+  postings : (string, Posting.t list) Hashtbl.t;
+  doc_tokens : (string, Tokenize.Token.t array) Hashtbl.t;
+  stats : Stats.t;
+  total_postings : int;
+}
+
+val empty : unit -> t
+(** A fresh empty index (internal tables are not shared). *)
+
+val documents : t -> (string * Xmlkit.Node.t) list
+val stats : t -> Stats.t
+
+val total_postings : t -> int
+(** Total number of tokens indexed (corpus word count). *)
+
+val document_root : t -> string -> Xmlkit.Node.t option
+
+val postings : t -> string -> Posting.t list
+(** All positions of a word (case-folded before lookup), sorted by
+    (document, absolute position). *)
+
+val distinct_words : t -> string list
+(** Sorted distinct-word list ("list_distinct_words.xml" in the paper). *)
+
+val distinct_word_count : t -> int
+
+val position_in_node :
+  t -> Posting.t -> doc:string -> node_dewey:Xmlkit.Dewey.t -> bool
+(** The paper's [containsPos]: Dewey containment within one document. *)
+
+val postings_in :
+  t -> doc:string -> node_dewey:Xmlkit.Dewey.t -> string -> Posting.t list
+(** The paper's [getPositions]: positions of a word inside one context
+    node. *)
+
+val doc_of_node : t -> Xmlkit.Node.t -> string option
+(** Recover the indexed document a node belongs to (by tree identity). *)
+
+val fold_words : (string -> Posting.t list -> 'a -> 'a) -> t -> 'a -> 'a
+
+val tokens_of_doc : t -> doc:string -> Tokenize.Token.t array
+(** The full token stream of one document in position order. *)
+
+val node_extent :
+  t -> doc:string -> node_dewey:Xmlkit.Dewey.t -> (int * int) option
+(** First and last absolute word position inside a node ([None] when the
+    node contains no words).  Token positions of a node are contiguous. *)

@@ -1,0 +1,19 @@
+(** Inverted-list entries: TokenInfo + source document + per-entry score. *)
+
+type t = { doc : string; token : Tokenize.Token.t; score : float }
+
+val make : ?score:float -> doc:string -> Tokenize.Token.t -> t
+(** @raise Invalid_argument unless [score] is in (0,1] (default 1.0). *)
+
+val word : t -> string
+(** Case-folded word, the index key. *)
+
+val abs_pos : t -> int
+val node : t -> Xmlkit.Dewey.t
+val sentence : t -> int
+val para : t -> int
+
+val compare_pos : t -> t -> int
+(** Order by (document, absolute position). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,80 @@
+(* Corpus statistics and per-entry scores (Section 3.3).
+
+   The paper requires each inverted-list entry to carry "the probability
+   that the entry contains a given word", a value in (0,1], and suggests
+   tf/idf.  We use a bounded tf.idf:
+
+     score(w, d) = (0.5 + 0.5 * tf(w,d) / max_tf(d)) * idf_norm(w)
+     idf_norm(w) = ln(1 + N / df(w)) / ln(1 + N)
+
+   Both factors lie in (0,1], so the product does too, and the score grows
+   with term frequency and rarity — enough for the probabilistic algebra's
+   requirements to hold downstream. *)
+
+type doc_stats = { token_count : int; max_tf : int }
+
+type t = {
+  doc_count : int;
+  docs : (string, doc_stats) Hashtbl.t;
+  df : (string, int) Hashtbl.t;  (** word -> number of documents containing it *)
+  tf : (string * string, int) Hashtbl.t;  (** (doc, word) -> occurrences *)
+}
+
+let create () =
+  { doc_count = 0; docs = Hashtbl.create 16; df = Hashtbl.create 256;
+    tf = Hashtbl.create 1024 }
+
+let add_document t ~doc tokens =
+  if Hashtbl.mem t.docs doc then
+    invalid_arg ("Stats.add_document: duplicate document " ^ doc);
+  (* functional update: callers hold on to earlier snapshots *)
+  let t =
+    {
+      doc_count = t.doc_count;
+      docs = Hashtbl.copy t.docs;
+      df = Hashtbl.copy t.df;
+      tf = Hashtbl.copy t.tf;
+    }
+  in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (tok : Tokenize.Token.t) ->
+      let w = tok.Tokenize.Token.norm in
+      Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    tokens;
+  let max_tf = Hashtbl.fold (fun _ c m -> max c m) counts 1 in
+  Hashtbl.replace t.docs doc { token_count = List.length tokens; max_tf };
+  Hashtbl.iter
+    (fun w c ->
+      Hashtbl.replace t.tf (doc, w) c;
+      Hashtbl.replace t.df w (1 + Option.value ~default:0 (Hashtbl.find_opt t.df w)))
+    counts;
+  { t with doc_count = t.doc_count + 1 }
+
+let doc_count t = t.doc_count
+let document_frequency t w = Option.value ~default:0 (Hashtbl.find_opt t.df w)
+
+let term_frequency t ~doc w =
+  Option.value ~default:0 (Hashtbl.find_opt t.tf (doc, w))
+
+let doc_token_count t ~doc =
+  match Hashtbl.find_opt t.docs doc with
+  | Some s -> s.token_count
+  | None -> 0
+
+let idf_norm t w =
+  let n = float_of_int (max 1 t.doc_count) in
+  let df = float_of_int (max 1 (document_frequency t w)) in
+  log (1.0 +. (n /. df)) /. log (1.0 +. n)
+
+let score t ~doc w =
+  match Hashtbl.find_opt t.docs doc with
+  | None -> 1.0
+  | Some { max_tf; _ } ->
+      let tf = float_of_int (term_frequency t ~doc w) in
+      if tf = 0.0 then 1.0
+      else
+        let tf_part = 0.5 +. (0.5 *. tf /. float_of_int (max 1 max_tf)) in
+        let s = tf_part *. idf_norm t w in
+        (* clamp away from 0 for pathological corpora; scores must be (0,1] *)
+        if s <= 0.0 then epsilon_float else if s > 1.0 then 1.0 else s

@@ -1,0 +1,22 @@
+(** Corpus tf/idf statistics backing the per-entry probabilistic scores of
+    paper Section 3.3. *)
+
+type t
+
+val create : unit -> t
+
+val add_document : t -> doc:string -> Tokenize.Token.t list -> t
+(** Record one document's token stream.
+    @raise Invalid_argument on a duplicate document name. *)
+
+val doc_count : t -> int
+val document_frequency : t -> string -> int
+val term_frequency : t -> doc:string -> string -> int
+val doc_token_count : t -> doc:string -> int
+
+val idf_norm : t -> string -> float
+(** Normalized inverse document frequency in (0,1]. *)
+
+val score : t -> doc:string -> string -> float
+(** Per-entry score in (0,1]: bounded tf.idf, monotone in term frequency and
+    rarity.  1.0 for unknown documents/words (neutral). *)

@@ -1,0 +1,1 @@
+lib/galatex/all_matches.ml: Fmt Ftindex List Node Printf String Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/galatex/all_matches.mli: Fmt Ftindex Xmlkit Xquery

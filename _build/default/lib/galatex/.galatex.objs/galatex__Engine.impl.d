@@ -1,0 +1,1 @@
+lib/galatex/engine.ml: Env Ft_eval Ft_stream Ftindex Fts_module List Node Rewrite Translate Xmlkit Xquery

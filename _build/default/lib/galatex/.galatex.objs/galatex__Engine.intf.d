@@ -1,0 +1,1 @@
+lib/galatex/engine.mli: All_matches Env Ftindex Tokenize Xmlkit Xquery

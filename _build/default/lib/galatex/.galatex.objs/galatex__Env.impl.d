@@ -1,0 +1,1 @@
+lib/galatex/env.ml: Ftindex Hashtbl List Tokenize

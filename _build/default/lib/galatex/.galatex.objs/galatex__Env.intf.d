@@ -1,0 +1,1 @@
+lib/galatex/env.mli: Ftindex Hashtbl Tokenize

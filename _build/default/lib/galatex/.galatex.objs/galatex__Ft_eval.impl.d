@@ -1,0 +1,1 @@
+lib/galatex/ft_eval.ml: All_matches Env Format Ft_ops Ftindex List Match_options Option Score String Xmlkit Xquery

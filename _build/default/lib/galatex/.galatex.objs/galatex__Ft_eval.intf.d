@@ -1,0 +1,1 @@
+lib/galatex/ft_eval.mli: All_matches Env Ft_ops Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/galatex/ft_ops.ml: All_matches Array Env Float Ftindex Hashtbl List Match_options Option String Tokenize Xmlkit Xquery

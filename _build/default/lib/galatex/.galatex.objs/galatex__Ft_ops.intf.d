@@ -1,0 +1,1 @@
+lib/galatex/ft_ops.mli: All_matches Env Ftindex Match_options Tokenize Xmlkit Xquery

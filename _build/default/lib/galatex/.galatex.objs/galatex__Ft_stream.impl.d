@@ -1,0 +1,1 @@
+lib/galatex/ft_stream.ml: All_matches Env Ft_eval Ft_ops Ftindex Hashtbl List Match_options Option Score Seq String Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/galatex/ft_stream.mli: All_matches Env Ft_eval Seq Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/galatex/fts_module.ml: Dewey Env Ft_ops Ftindex Hashtbl Lazy List Node String Tokenize Xmlkit Xquery

@@ -1,0 +1,1 @@
+lib/galatex/fts_module.mli: Env Xmlkit Xquery

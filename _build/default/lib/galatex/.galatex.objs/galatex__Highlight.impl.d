@@ -1,0 +1,1 @@
+lib/galatex/highlight.ml: All_matches Buffer Env Ft_ops Ftindex Hashtbl List Node String Tokenize Xmlkit

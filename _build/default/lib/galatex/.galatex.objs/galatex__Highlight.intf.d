@@ -1,0 +1,1 @@
+lib/galatex/highlight.mli: All_matches Env Xmlkit

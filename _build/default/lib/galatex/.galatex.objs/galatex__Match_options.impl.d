@@ -1,0 +1,1 @@
+lib/galatex/match_options.ml: Env Ftindex List Option Printf String Tokenize Xquery

@@ -1,0 +1,1 @@
+lib/galatex/match_options.mli: Env Ftindex Tokenize Xquery

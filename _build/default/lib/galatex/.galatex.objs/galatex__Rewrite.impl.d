@@ -1,0 +1,1 @@
+lib/galatex/rewrite.ml: List Option Xquery

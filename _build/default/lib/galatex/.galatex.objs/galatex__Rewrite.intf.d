@@ -1,0 +1,1 @@
+lib/galatex/rewrite.mli: Xquery

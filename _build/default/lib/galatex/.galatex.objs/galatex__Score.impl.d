@@ -1,0 +1,1 @@
+lib/galatex/score.ml: All_matches Float Ft_ops List

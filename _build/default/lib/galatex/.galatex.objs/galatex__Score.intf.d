@@ -1,0 +1,1 @@
+lib/galatex/score.mli: All_matches Env Xmlkit

@@ -1,0 +1,1 @@
+lib/galatex/topk.ml: All_matches Array Env Ft_ops Ftindex Hashtbl List Option Xmlkit

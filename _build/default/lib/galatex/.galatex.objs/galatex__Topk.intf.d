@@ -1,0 +1,1 @@
+lib/galatex/topk.mli: All_matches Env Xmlkit

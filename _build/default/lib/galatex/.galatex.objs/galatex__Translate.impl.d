@@ -1,0 +1,1 @@
+lib/galatex/translate.ml: List Match_options Option Printf String Tokenize Xquery

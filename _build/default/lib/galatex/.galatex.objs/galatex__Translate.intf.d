@@ -1,0 +1,1 @@
+lib/galatex/translate.mli: Match_options Xquery

@@ -1,0 +1,116 @@
+open Xmlkit
+
+(* The GalaTex engine façade (paper Figure 4): index a corpus, compile
+   XQuery Full-Text queries, and evaluate them under one of three
+   strategies:
+
+   - [Translated]: the paper's architecture — the query is translated into
+     plain XQuery calling the fts library module (itself written in XQuery)
+     over XML inverted lists (Section 3.2.2).  Complete, conformant, slow.
+   - [Native_materialized]: the same AllMatches semantics implemented as
+     native operators materializing every intermediate AllMatches — the
+     engine-integration step Section 4 calls for, without pipelining.
+   - [Native_pipelined]: Section 4.1's pipelined evaluation, streaming
+     matches instead of materializing them. *)
+
+type strategy = Translated | Native_materialized | Native_pipelined
+
+type optimizations = {
+  pushdown : bool;  (** push selective FT filters below FTAnd (Fig 6a) *)
+  or_short_circuit : bool;  (** FTOr -> XQuery or (Fig 6b) *)
+}
+
+let no_optimizations = { pushdown = false; or_short_circuit = false }
+let all_optimizations = { pushdown = true; or_short_circuit = true }
+
+type t = {
+  env : Env.t;
+  context_doc : Node.t option;  (** default context node for queries *)
+}
+
+let of_index ?thesauri ?default_thesaurus index =
+  let env = Env.create ?thesauri ?default_thesaurus index in
+  let context_doc =
+    match Ftindex.Inverted.documents index with
+    | (_, doc) :: _ -> Some doc
+    | [] -> None
+  in
+  { env; context_doc }
+
+let create ?config ?thesauri ?default_thesaurus docs =
+  of_index ?thesauri ?default_thesaurus (Ftindex.Indexer.index_documents ?config docs)
+
+let of_strings ?config ?thesauri ?default_thesaurus docs =
+  of_index ?thesauri ?default_thesaurus (Ftindex.Indexer.index_strings ?config docs)
+
+let env t = t.env
+let index t = Env.index t.env
+
+(* fn:collection(): all corpus documents, so multi-document queries don't
+   depend on the default context node. *)
+let register_collection t ctx =
+  Xquery.Context.register_builtin ctx "collection" 0 (fun _ _ ->
+      Xquery.Value.of_nodes
+        (List.map snd (Ftindex.Inverted.documents (Env.index t.env))))
+
+let focus_context t ?context ctx =
+  let node =
+    match context with
+    | Some uri -> Ftindex.Inverted.document_root (Env.index t.env) uri
+    | None -> t.context_doc
+  in
+  match node with
+  | Some n -> Xquery.Context.with_focus ctx (Xquery.Value.Node n) ~position:1 ~size:1
+  | None -> ctx
+
+let parse = Xquery.Parser.parse_query
+
+let apply_optimizations opts (q : Xquery.Ast.query) =
+  let q = if opts.pushdown then Rewrite.pushdown_query q else q in
+  let q = if opts.or_short_circuit then Rewrite.or_short_circuit_query q else q in
+  q
+
+let run_query t ?(strategy = Native_materialized)
+    ?(optimizations = no_optimizations) ?context (q : Xquery.Ast.query) =
+  let q = apply_optimizations optimizations q in
+  match strategy with
+  | Translated ->
+      let translated = Translate.translate_query q in
+      let ctx = Fts_module.setup_context t.env translated in
+      register_collection t ctx;
+      let ctx = focus_context t ?context ctx in
+      Xquery.Eval.eval ctx translated.Xquery.Ast.body
+  | Native_materialized ->
+      let resolve_doc = Fts_module.make_resolver t.env in
+      let ctx =
+        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_eval.handler t.env) q
+      in
+      register_collection t ctx;
+      let ctx = focus_context t ?context ctx in
+      Xquery.Eval.eval ctx q.Xquery.Ast.body
+  | Native_pipelined ->
+      let resolve_doc = Fts_module.make_resolver t.env in
+      let ctx =
+        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_stream.handler t.env) q
+      in
+      register_collection t ctx;
+      let ctx = focus_context t ?context ctx in
+      Xquery.Eval.eval ctx q.Xquery.Ast.body
+
+let run t ?strategy ?optimizations ?context src =
+  run_query t ?strategy ?optimizations ?context (parse src)
+
+(* Show the plain XQuery the GalaTex translation produces (Section 3.2.2). *)
+let translate_to_text src =
+  Xquery.Printer.query_to_string (Translate.translate_query (parse src))
+
+(* Evaluate just an FTSelection against explicit context nodes — used by
+   examples, tests and benches that work below full queries. *)
+let selection_all_matches ?approximate t selection_src ~context_nodes:_ =
+  let q = parse (". ftcontains " ^ selection_src) in
+  match q.Xquery.Ast.body with
+  | Xquery.Ast.Ft_contains { selection; _ } ->
+      let resolve_doc = Fts_module.make_resolver t.env in
+      let ctx = Xquery.Eval.setup_context ~resolve_doc q in
+      Ft_eval.all_matches ?approximate t.env ~eval:Xquery.Eval.eval ctx selection
+  | _ -> invalid_arg "selection_all_matches: not an FTSelection"

@@ -1,0 +1,87 @@
+(** The GalaTex engine façade (paper Figure 4): index a corpus, compile and
+    evaluate XQuery Full-Text queries under one of three strategies. *)
+
+type strategy =
+  | Translated
+      (** the paper's architecture: translate to plain XQuery over the fts
+          module (itself XQuery) and XML inverted lists — complete,
+          conformant, slow (Section 3.2) *)
+  | Native_materialized
+      (** the same AllMatches semantics as native operators, every
+          intermediate AllMatches materialized *)
+  | Native_pipelined
+      (** Section 4.1: matches stream through the operator tree; FTContains
+          exits at the first satisfying match *)
+
+type optimizations = {
+  pushdown : bool;  (** Figure 6(a) selection pushdown *)
+  or_short_circuit : bool;  (** Figure 6(b) FTOr -> XQuery or *)
+}
+
+val no_optimizations : optimizations
+val all_optimizations : optimizations
+
+type t
+
+(** {1 Construction} *)
+
+val of_index :
+  ?thesauri:(string * Tokenize.Thesaurus.t) list ->
+  ?default_thesaurus:Tokenize.Thesaurus.t ->
+  Ftindex.Inverted.t ->
+  t
+
+val create :
+  ?config:Tokenize.Segmenter.config ->
+  ?thesauri:(string * Tokenize.Thesaurus.t) list ->
+  ?default_thesaurus:Tokenize.Thesaurus.t ->
+  (string * Xmlkit.Node.t) list ->
+  t
+(** Index sealed documents (uri, root) and build an engine. *)
+
+val of_strings :
+  ?config:Tokenize.Segmenter.config ->
+  ?thesauri:(string * Tokenize.Thesaurus.t) list ->
+  ?default_thesaurus:Tokenize.Thesaurus.t ->
+  (string * string) list ->
+  t
+(** Parse then index XML sources. *)
+
+val env : t -> Env.t
+val index : t -> Ftindex.Inverted.t
+
+(** {1 Evaluation} *)
+
+val parse : string -> Xquery.Ast.query
+(** Parse a combined XQuery + Full-Text query.
+    @raise Xquery.Parser.Error on syntax errors. *)
+
+val run_query :
+  t ->
+  ?strategy:strategy ->
+  ?optimizations:optimizations ->
+  ?context:string ->
+  Xquery.Ast.query ->
+  Xquery.Value.t
+(** Evaluate a parsed query.  [context] selects the document whose root is
+    the initial context node (default: the first indexed document);
+    [fn:collection()] always returns all indexed documents.  Default
+    strategy: [Native_materialized], no optimizations. *)
+
+val run :
+  t ->
+  ?strategy:strategy ->
+  ?optimizations:optimizations ->
+  ?context:string ->
+  string ->
+  Xquery.Value.t
+
+val translate_to_text : string -> string
+(** The plain XQuery the Section 3.2.2 translation produces, as text. *)
+
+val selection_all_matches :
+  ?approximate:bool -> t -> string -> context_nodes:unit -> All_matches.t
+(** Evaluate one FTSelection (source text) to its AllMatches over the whole
+    corpus — the building block examples, tests and benches use.
+    [approximate] enables the Section 3.3 approximate-matching extension for
+    distance/window. *)

@@ -1,0 +1,32 @@
+(* The full-text evaluation environment: the inverted index plus the
+   resources match options draw on (named thesauri, the default thesaurus)
+   and a memo table for match-option word expansion, which otherwise scans
+   the distinct-word list once per (token, options) pair — the paper's own
+   technique (Section 3.2.3.2). *)
+
+type t = {
+  index : Ftindex.Inverted.t;
+  thesauri : (string * Tokenize.Thesaurus.t) list;
+  default_thesaurus : Tokenize.Thesaurus.t option;
+  expansion_cache : (string, string list) Hashtbl.t;
+      (** key: token + option signature -> matching distinct words *)
+}
+
+let create ?(thesauri = []) ?default_thesaurus index =
+  { index; thesauri; default_thesaurus; expansion_cache = Hashtbl.create 64 }
+
+let index t = t.index
+
+let find_thesaurus t = function
+  | None -> t.default_thesaurus
+  | Some name -> List.assoc_opt name t.thesauri
+
+let cached t key compute =
+  match Hashtbl.find_opt t.expansion_cache key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Hashtbl.replace t.expansion_cache key v;
+      v
+
+let clear_cache t = Hashtbl.reset t.expansion_cache

@@ -1,0 +1,25 @@
+(** The full-text evaluation environment: the index plus match-option
+    resources (thesauri) and the expansion memo table. *)
+
+type t = {
+  index : Ftindex.Inverted.t;
+  thesauri : (string * Tokenize.Thesaurus.t) list;
+  default_thesaurus : Tokenize.Thesaurus.t option;
+  expansion_cache : (string, string list) Hashtbl.t;
+}
+
+val create :
+  ?thesauri:(string * Tokenize.Thesaurus.t) list ->
+  ?default_thesaurus:Tokenize.Thesaurus.t ->
+  Ftindex.Inverted.t ->
+  t
+
+val index : t -> Ftindex.Inverted.t
+
+val find_thesaurus : t -> string option -> Tokenize.Thesaurus.t option
+(** [None] selects the default thesaurus; [Some name] a registered one. *)
+
+val cached : t -> string -> (unit -> string list) -> string list
+(** Memoized word-expansion lookup keyed by token + option signature. *)
+
+val clear_cache : t -> unit

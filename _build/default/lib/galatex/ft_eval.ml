@@ -1,0 +1,173 @@
+open Xquery.Ast
+
+(* Native (materialized) evaluation of FTSelection trees over AllMatches —
+   the engine behind the Native_materialized strategy and the semantic
+   reference the other strategies are tested against.
+
+   Match options are propagated outside-in to the Ft_words leaves, and each
+   leaf receives its relative position in the query (queryPos), which
+   FTOrdered consumes — both exactly as the paper's translation does
+   (Section 3.2.2). *)
+
+exception Ft_error of string
+
+let ft_error fmt = Format.kasprintf (fun s -> raise (Ft_error s)) fmt
+
+type eval_callback = Xquery.Context.t -> expr -> Xquery.Value.t
+
+let eval_int ~(eval : eval_callback) ctx e =
+  int_of_float (Xquery.Value.to_number (eval ctx e))
+
+let eval_float ~(eval : eval_callback) ctx e = Xquery.Value.to_number (eval ctx e)
+
+let eval_range ~eval ctx = function
+  | Exactly e -> Ft_ops.Exactly (eval_int ~eval ctx e)
+  | At_least e -> Ft_ops.At_least (eval_int ~eval ctx e)
+  | At_most e -> Ft_ops.At_most (eval_int ~eval ctx e)
+  | From_to (lo, hi) -> Ft_ops.From_to (eval_int ~eval ctx lo, eval_int ~eval ctx hi)
+
+let eval_unit = function
+  | Words -> Ft_ops.Words
+  | Sentences -> Ft_ops.Sentences
+  | Paragraphs -> Ft_ops.Paragraphs
+
+(* The strings a words source denotes: each item of the value is a phrase
+   (paper Section 2.1: //book[...]/title as search tokens). *)
+let source_phrases ~(eval : eval_callback) ctx = function
+  | Ft_literal s -> [ s ]
+  | Ft_expr e ->
+      List.map Xquery.Value.item_to_string (Xquery.Value.atomize (eval ctx e))
+
+let words_matches ?within env resolved ~query_pos ~weight anyall phrases =
+  let phrase_ms phrase =
+    All_matches.of_matches
+      (Ft_ops.phrase_matches ?within env resolved ~query_pos ~weight phrase)
+  in
+  let tokens_of phrases =
+    List.concat_map (Ft_ops.phrase_tokens resolved) phrases
+  in
+  match anyall with
+  | Ft_any ->
+      (* at least one of the phrases occurs: union of their matches *)
+      List.fold_left
+        (fun acc p -> Ft_ops.ft_or acc (phrase_ms p))
+        All_matches.empty phrases
+  | Ft_all -> (
+      match phrases with
+      | [] -> All_matches.empty
+      | p :: rest ->
+          List.fold_left
+            (fun acc p -> Ft_ops.ft_and acc (phrase_ms p))
+            (phrase_ms p) rest)
+  | Ft_phrase ->
+      (* all strings concatenated into a single phrase *)
+      phrase_ms (String.concat " " phrases)
+  | Ft_any_word ->
+      List.fold_left
+        (fun acc w -> Ft_ops.ft_or acc (phrase_ms w))
+        All_matches.empty (tokens_of phrases)
+  | Ft_all_words -> (
+      match tokens_of phrases with
+      | [] -> All_matches.empty
+      | w :: rest ->
+          List.fold_left
+            (fun acc w -> Ft_ops.ft_and acc (phrase_ms w))
+            (phrase_ms w) rest)
+
+(* Number the Ft_words leaves left to right (the "1", "2" arguments of the
+   paper's translated FTWordsSelectionAny calls). *)
+let rec eval_selection ?within ?(approximate = false) env ~eval ctx
+    ~outer_options counter selection =
+  let recur = eval_selection ?within ~approximate env ~eval ctx in
+  match selection with
+  | Ft_words { source; anyall; options; weight } ->
+      incr counter;
+      let query_pos = !counter in
+      let resolved = Match_options.resolve_with ~outer:outer_options options in
+      let weight =
+        Option.map
+          (fun w ->
+            let v = eval_float ~eval ctx w in
+            if v < 0.0 || v > 1.0 then
+              ft_error "weight %g outside [0,1]" v
+            else v)
+          weight
+      in
+      let phrases = source_phrases ~eval ctx source in
+      words_matches ?within env resolved ~query_pos ~weight anyall phrases
+  | Ft_with_options (inner, options) ->
+      let outer_options = Match_options.resolve_with ~outer:outer_options options in
+      recur ~outer_options counter inner
+  | Ft_and (a, b) ->
+      let va = recur ~outer_options counter a in
+      let vb = recur ~outer_options counter b in
+      Ft_ops.ft_and va vb
+  | Ft_or (a, b) ->
+      let va = recur ~outer_options counter a in
+      let vb = recur ~outer_options counter b in
+      Ft_ops.ft_or va vb
+  | Ft_mild_not (a, b) ->
+      let va = recur ~outer_options counter a in
+      let vb = recur ~outer_options counter b in
+      Ft_ops.ft_mild_not va vb
+  | Ft_unary_not a -> Ft_ops.ft_unary_not (recur ~outer_options counter a)
+  | Ft_ordered a -> Ft_ops.ft_ordered (recur ~outer_options counter a)
+  | Ft_window (a, n, u) ->
+      let counting =
+        Ft_ops.counting ?stops:outer_options.Match_options.stop_words env
+      in
+      let op = if approximate then Ft_ops.ft_window_approx else Ft_ops.ft_window in
+      op ~counting (eval_int ~eval ctx n) (eval_unit u)
+        (recur ~outer_options counter a)
+  | Ft_distance (a, range, u) ->
+      let counting =
+        Ft_ops.counting ?stops:outer_options.Match_options.stop_words env
+      in
+      let op =
+        if approximate then Ft_ops.ft_distance_approx else Ft_ops.ft_distance
+      in
+      op ~counting (eval_range ~eval ctx range) (eval_unit u)
+        (recur ~outer_options counter a)
+  | Ft_scope (a, kind) -> Ft_ops.ft_scope kind (recur ~outer_options counter a)
+  | Ft_times (a, range) ->
+      Ft_ops.ft_times (eval_range ~eval ctx range) (recur ~outer_options counter a)
+  | Ft_content (a, anchor) -> Ft_ops.ft_content anchor (recur ~outer_options counter a)
+
+let all_matches ?within ?approximate env ~eval ctx selection =
+  eval_selection ?within ?approximate env ~eval ctx
+    ~outer_options:Match_options.defaults (ref 0) selection
+
+(* the evaluation context as (doc, dewey) pairs for source-level filtering *)
+let context_filter env nodes =
+  Some
+    (List.filter_map
+       (fun n ->
+         match Ftindex.Inverted.doc_of_node (Env.index env) n with
+         | Some doc -> Some (doc, Xmlkit.Node.dewey n)
+         | None -> None)
+       nodes)
+
+(* --- the Context.ft_handler for the native materialized strategy --- *)
+
+let nodes_of value = Xquery.Value.nodes_of "ftcontains evaluation context" value
+
+let handler env : Xquery.Context.ft_handler =
+  {
+    Xquery.Context.handle_contains =
+      (fun ~eval ctx context_nodes selection ignored ->
+        let within = context_filter env (nodes_of context_nodes) in
+        let am = all_matches ?within env ~eval ctx selection in
+        let am =
+          match ignored with
+          | None -> am
+          | Some ig -> Ft_ops.apply_ignore env (nodes_of ig) am
+        in
+        Xquery.Value.boolean (Ft_ops.ft_contains env (nodes_of context_nodes) am));
+    Xquery.Context.handle_score =
+      (fun ~eval ctx context_nodes selection ->
+        let within = context_filter env (nodes_of context_nodes) in
+        let am = all_matches ?within env ~eval ctx selection in
+        List.map
+          (fun s -> Xquery.Value.Double s)
+          (Score.scores env (nodes_of context_nodes) am));
+  }

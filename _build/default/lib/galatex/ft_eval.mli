@@ -1,0 +1,50 @@
+(** Native (materialized) evaluation of FTSelection trees — the
+    Native_materialized strategy and the semantic reference the other
+    strategies are tested against. *)
+
+exception Ft_error of string
+
+type eval_callback = Xquery.Context.t -> Xquery.Ast.expr -> Xquery.Value.t
+(** Callback into the XQuery evaluator for embedded expressions (word
+    sources, range bounds, weights). *)
+
+val eval_int : eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.expr -> int
+val eval_float : eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.expr -> float
+
+val eval_range :
+  eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.ft_range -> Ft_ops.range
+
+val eval_unit : Xquery.Ast.ft_unit -> Ft_ops.unit_
+
+val source_phrases :
+  eval:eval_callback ->
+  Xquery.Context.t ->
+  Xquery.Ast.ft_words_source ->
+  string list
+(** The phrases a words source denotes (each item of an embedded
+    expression's value is one phrase). *)
+
+val context_filter :
+  Env.t -> Xmlkit.Node.t list -> (string * Xmlkit.Dewey.t) list option
+(** The evaluation context as (doc, dewey) pairs for source-level position
+    filtering (the paper's getTokenInfo restriction). *)
+
+val nodes_of : Xquery.Value.t -> Xmlkit.Node.t list
+(** @raise Xquery.Value.Type_error when the value holds non-nodes. *)
+
+val all_matches :
+  ?within:(string * Xmlkit.Dewey.t) list ->
+  ?approximate:bool ->
+  Env.t ->
+  eval:eval_callback ->
+  Xquery.Context.t ->
+  Xquery.Ast.ft_selection ->
+  All_matches.t
+(** Evaluate a selection: match options propagate outside-in to the leaves,
+    leaves are numbered left-to-right (queryPos), ranges/weights evaluated
+    through [eval].  [approximate] switches distance/window to the
+    Section 3.3 approximate variants. *)
+
+val handler : Env.t -> Xquery.Context.ft_handler
+(** The ftcontains / ft:score handler installed for the materialized
+    strategy. *)

@@ -1,0 +1,138 @@
+(** Materialized semantics of every FTSelection on AllMatches (paper Section
+    3.2.3.1) with the Section 3.3 score formulas.  {!Ft_stream} reuses the
+    per-match functions for the pipelined strategy. *)
+
+type range =
+  | Exactly of int
+  | At_least of int
+  | At_most of int
+  | From_to of int * int
+
+type unit_ = Words | Sentences | Paragraphs
+
+val clamp_score : float -> float
+(** Clamp into (0,1] (epsilon at the bottom). *)
+
+(** {1 Word counting (the paper's wordDistance abstract function)} *)
+
+type counting
+(** How words-unit distances and spans are counted: with an active stop-word
+    list they skip stop words (Section 3.2.3.2). *)
+
+val plain_counting : counting
+(** Count every word. *)
+
+val counting : ?stops:Tokenize.Stopwords.Set.t -> Env.t -> counting
+
+val words_between : counting -> doc:string -> int -> int -> int
+(** Counted words strictly between two absolute positions of one document. *)
+
+val word_span : counting -> doc:string -> int -> int -> int
+(** Counted span of a closed position interval (both endpoints count). *)
+
+(** {1 FTWords} *)
+
+val phrase_tokens : Match_options.resolved -> string -> string list
+(** Tokenize a search phrase; under wildcards / special characters the
+    pattern characters stay inside the tokens (whitespace split only). *)
+
+val phrase_occurrences :
+  ?within:(string * Xmlkit.Dewey.t) list ->
+  Env.t ->
+  Match_options.resolved ->
+  string list ->
+  Ftindex.Posting.t list list
+(** All occurrences of a phrase (consecutive positions; dropped stop tokens
+    allow gaps).  [within] restricts positions to the evaluation context,
+    like the paper's getTokenInfo. *)
+
+val match_of_postings :
+  query_pos:int -> weight:float option -> Ftindex.Posting.t list ->
+  All_matches.match_
+
+val phrase_matches :
+  ?within:(string * Xmlkit.Dewey.t) list ->
+  Env.t ->
+  Match_options.resolved ->
+  query_pos:int ->
+  weight:float option ->
+  string ->
+  All_matches.match_ list
+
+(** {1 Boolean connectives} *)
+
+val ft_or : All_matches.t -> All_matches.t -> All_matches.t
+val ft_and : All_matches.t -> All_matches.t -> All_matches.t
+
+val ft_unary_not : All_matches.t -> All_matches.t
+(** DNF negation: one flipped entry chosen from every input match. *)
+
+val ft_mild_not : All_matches.t -> All_matches.t -> All_matches.t
+(** "A not in B": drop matches of A whose include positions occur in B. *)
+
+(** {1 Position filters} *)
+
+val ordered_ok : All_matches.match_ -> bool
+val ft_ordered : All_matches.t -> All_matches.t
+
+val distance_match :
+  ?counting:counting -> range -> unit_ -> All_matches.match_ ->
+  All_matches.match_ option
+
+val ft_distance : ?counting:counting -> range -> unit_ -> All_matches.t -> All_matches.t
+
+val window_match :
+  ?counting:counting -> int -> unit_ -> All_matches.match_ ->
+  All_matches.match_ option
+
+val ft_window : ?counting:counting -> int -> unit_ -> All_matches.t -> All_matches.t
+val scope_ok : Xquery.Ast.ft_scope_kind -> All_matches.match_ -> bool
+val ft_scope : Xquery.Ast.ft_scope_kind -> All_matches.t -> All_matches.t
+
+val ft_times : range -> All_matches.t -> All_matches.t
+(** "occurs ... times" via consecutive windows of occurrences (a node's
+    positions are contiguous in document order, so this covers every
+    per-node count without the exponential subset construction). *)
+
+val ft_content : Xquery.Ast.ft_anchor -> All_matches.t -> All_matches.t
+
+(** {1 Approximate variants (Section 3.3's closing direction)} *)
+
+val distance_match_approx :
+  ?counting:counting -> range -> unit_ -> All_matches.match_ ->
+  All_matches.match_ option
+
+val window_match_approx :
+  ?counting:counting -> int -> unit_ -> All_matches.match_ ->
+  All_matches.match_ option
+
+val ft_distance_approx :
+  ?counting:counting -> range -> unit_ -> All_matches.t -> All_matches.t
+(** Keep failing matches with a score penalized by how far they miss. *)
+
+val ft_window_approx :
+  ?counting:counting -> int -> unit_ -> All_matches.t -> All_matches.t
+
+(** {1 FTContains (satisfiesMatch)} *)
+
+val same_doc : All_matches.entry list -> bool
+
+val satisfies_match :
+  Env.t ->
+  doc:string ->
+  node_dewey:Xmlkit.Dewey.t ->
+  Xquery.Ast.ft_anchor list ->
+  All_matches.match_ ->
+  bool
+(** Every include inside the node, no exclude inside it, anchors hold. *)
+
+val matches_for_node : Env.t -> Xmlkit.Node.t -> All_matches.t -> All_matches.match_ list
+val node_satisfies : Env.t -> Xmlkit.Node.t -> All_matches.t -> bool
+val ft_contains : Env.t -> Xmlkit.Node.t list -> All_matches.t -> bool
+
+val apply_ignore : Env.t -> Xmlkit.Node.t list -> All_matches.t -> All_matches.t
+(** The FTIgnoreOption: drop matches relying on positions inside ignored
+    subtrees; waive excludes there. *)
+
+val in_range : range -> int -> bool
+val unit_pos : unit_ -> All_matches.entry -> int

@@ -1,0 +1,46 @@
+(** Pipelined evaluation of FTSelections (paper Section 4.1): matches flow
+    lazily through the operator tree; FTUnaryNot and FTTimes block (force
+    their input), matching the paper's classification. *)
+
+type stream = {
+  seq : All_matches.match_ Seq.t;
+  anchors : Xquery.Ast.ft_anchor list;
+  mutable pulled : int;
+      (** matches actually produced by consumers — the Figure 7 metric *)
+}
+
+val of_matches : All_matches.match_ list -> stream
+val to_all_matches : stream -> All_matches.t
+
+val stream :
+  ?within:(string * Xmlkit.Dewey.t) list ->
+  Env.t ->
+  eval:Ft_eval.eval_callback ->
+  Xquery.Context.t ->
+  Xquery.Ast.ft_selection ->
+  stream
+(** Build the lazy match stream for a selection (nothing is evaluated until
+    a consumer pulls). *)
+
+val contains : Env.t -> Xmlkit.Node.t list -> stream -> bool
+(** The early-exit FTContains loop: stops at the first (match, node) pair
+    that satisfies — the paper's "if succeeded in marking new nodes then
+    break".  Updates [pulled]. *)
+
+type marking_stats = { mutable containment_checks : int; mutable marked : int }
+
+val matching_nodes_marked :
+  ?use_marking:bool ->
+  Env.t ->
+  Xmlkit.Node.t list ->
+  stream ->
+  Xmlkit.Node.t list * marking_stats
+(** Section 4.1's LCA node marking: for exclusion-free matches a single
+    ancestor test against the match's LCA marks a node, replacing one test
+    per position.  Returns the satisfied nodes and the containment-check
+    count (the S3 experiment metric). *)
+
+val handler : Env.t -> Xquery.Context.ft_handler
+(** The ftcontains / ft:score handler for the pipelined strategy (ft:score
+    materializes — the Section 4.2 tension between pipelining and
+    scoring). *)

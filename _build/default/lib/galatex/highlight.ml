@@ -1,0 +1,115 @@
+open Xmlkit
+
+(* Result highlighting (paper Figure 4: "the final result contains the
+   relevant XML document fragment in which the search words are
+   highlighted").  Given an answer node and the final AllMatches, the
+   matched word positions inside the node are wrapped in <fts:hl> elements
+   in a rebuilt copy of the node's subtree. *)
+
+let default_tag = "fts:hl"
+
+(* Absolute positions of include entries of matches the node satisfies. *)
+let positions_in_node env node am =
+  let satisfied = Ft_ops.matches_for_node env node am in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (m : All_matches.match_) ->
+      List.iter
+        (fun (e : All_matches.entry) ->
+          Hashtbl.replace tbl (Ftindex.Posting.abs_pos e.All_matches.posting) ())
+        m.All_matches.includes)
+    satisfied;
+  tbl
+
+(* Split one text-node string into text / highlighted-word pieces, tracking
+   the running absolute word position (which continues across text nodes of
+   the document). *)
+let split_text ~positions ~next_pos text =
+  let pieces = ref [] in
+  let buf = Buffer.create (String.length text) in
+  let word = Buffer.create 16 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      pieces := `Text (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let flush_word () =
+    if Buffer.length word > 0 then begin
+      let w = Buffer.contents word in
+      Buffer.clear word;
+      let pos = !next_pos in
+      incr next_pos;
+      if Hashtbl.mem positions pos then begin
+        flush_text ();
+        pieces := `Highlight w :: !pieces
+      end
+      else Buffer.add_string buf w
+    end
+  in
+  String.iter
+    (fun c ->
+      if Tokenize.Segmenter.is_word_char c then Buffer.add_char word c
+      else begin
+        flush_word ();
+        Buffer.add_char buf c
+      end)
+    text;
+  flush_word ();
+  flush_text ();
+  List.rev !pieces
+
+(* Rebuild a subtree, wrapping highlighted words.  [next_pos] must start at
+   the node's first token position; the walk consumes positions in document
+   order, mirroring the indexer's tokenization. *)
+let rec rebuild ~tag ~positions ~next_pos node =
+  match Node.kind node with
+  | Node.Text { content } ->
+      List.map
+        (function
+          | `Text s -> Node.text s
+          | `Highlight w -> Node.element tag [ Node.text w ])
+        (split_text ~positions ~next_pos content)
+  | Node.Element { name; _ } ->
+      [
+        Node.element name
+          ~attributes:
+            (List.map
+               (fun a ->
+                 match Node.kind a with
+                 | Node.Attribute { aname; avalue } -> Node.attribute aname avalue
+                 | _ -> assert false)
+               (Node.attributes node))
+          (List.concat_map (rebuild ~tag ~positions ~next_pos) (Node.children node));
+      ]
+  | Node.Document _ ->
+      List.concat_map (rebuild ~tag ~positions ~next_pos) (Node.children node)
+  | Node.Comment c -> [ Node.comment c ]
+  | Node.Pi { target; pcontent } -> [ Node.pi target pcontent ]
+  | Node.Attribute _ -> []
+
+let highlight ?(tag = default_tag) env node am =
+  let index = Env.index env in
+  match Ftindex.Inverted.doc_of_node index node with
+  | None -> node
+  | Some doc ->
+      let positions = positions_in_node env node am in
+      let next_pos =
+        match
+          Ftindex.Inverted.node_extent index ~doc ~node_dewey:(Node.dewey node)
+        with
+        | Some (first, _) -> ref first
+        | None -> ref 1
+      in
+      (match rebuild ~tag ~positions ~next_pos node with
+      | [ rebuilt ] -> Node.seal rebuilt
+      | many -> Node.seal (Node.element "fts:fragment" many))
+
+(* Convenience: run an ftcontains-style selection and return highlighted
+   copies of the satisfying nodes. *)
+let highlight_matches ?tag env nodes am =
+  List.filter_map
+    (fun n ->
+      if Ft_ops.node_satisfies env n am then Some (highlight ?tag env n am)
+      else None)
+    nodes

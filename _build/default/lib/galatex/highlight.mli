@@ -1,0 +1,19 @@
+(** Result highlighting (paper Figure 4's output stage): wrap the matched
+    word positions of an answer node in highlight elements. *)
+
+val default_tag : string
+(** ["fts:hl"]. *)
+
+val highlight :
+  ?tag:string -> Env.t -> Xmlkit.Node.t -> All_matches.t -> Xmlkit.Node.t
+(** A sealed copy of the node's subtree in which every include position of a
+    match the node satisfies is wrapped in [<tag>].  Text outside matched
+    words is preserved verbatim. *)
+
+val highlight_matches :
+  ?tag:string ->
+  Env.t ->
+  Xmlkit.Node.t list ->
+  All_matches.t ->
+  Xmlkit.Node.t list
+(** Highlighted copies of exactly the nodes that satisfy the AllMatches. *)

@@ -1,0 +1,180 @@
+open Xquery.Ast
+
+(* Logical rewritings of full-text query plans (paper Section 4.1, Figure 6).
+
+   (a) Selection pushdown: position filters (FTOrdered, FTScope, FTDistance,
+       FTWindow, FTTimes) are per-match predicates, so
+         - they distribute over FTOr:  F(A || B) == F(A) || F(B), letting
+           each disjunct be filtered before the union materializes, and
+         - chains of filters can be reordered so the most selective /
+           cheapest run innermost; we push FTOrdered and FTScope (pure
+           predicates) below FTDistance/FTWindow (which also rescore), the
+           shape Figure 6(a) draws.
+       Pushing below FTAnd is NOT semantics-preserving (a filter constrains
+       positions *across* both conjuncts) and is not done.
+
+   (b) FTOr short-circuiting: FTContains(ctx, A || B) is rewritten to the
+       XQuery "or" of two FTContains expressions, which the engine evaluates
+       lazily — if the first disjunct already satisfies some context node,
+       the second AllMatches is never built (Figure 6(b)). *)
+
+(* One pushdown pass over a selection. *)
+let rec push_selection sel =
+  match sel with
+  (* distribute filters over FTOr *)
+  | Ft_ordered (Ft_or (a, b)) ->
+      Ft_or (push_selection (Ft_ordered a), push_selection (Ft_ordered b))
+  | Ft_scope (Ft_or (a, b), k) ->
+      Ft_or (push_selection (Ft_scope (a, k)), push_selection (Ft_scope (b, k)))
+  | Ft_distance (Ft_or (a, b), r, u) ->
+      Ft_or
+        ( push_selection (Ft_distance (a, r, u)),
+          push_selection (Ft_distance (b, r, u)) )
+  | Ft_window (Ft_or (a, b), n, u) ->
+      Ft_or
+        (push_selection (Ft_window (a, n, u)), push_selection (Ft_window (b, n, u)))
+  (* reorder filter chains: pure predicates (ordered, scope) run innermost,
+     before the rescoring filters (Figure 6(a) pushes FTOrdered down) *)
+  | Ft_ordered (Ft_distance (a, r, u)) ->
+      push_selection (Ft_distance (Ft_ordered a, r, u))
+  | Ft_ordered (Ft_window (a, n, u)) ->
+      push_selection (Ft_window (Ft_ordered a, n, u))
+  | Ft_scope (Ft_distance (a, r, u), k) ->
+      push_selection (Ft_distance (Ft_scope (a, k), r, u))
+  | Ft_scope (Ft_window (a, n, u), k) ->
+      push_selection (Ft_window (Ft_scope (a, k), n, u))
+  | _ -> structural sel
+
+and structural sel =
+  match sel with
+  | Ft_words _ -> sel
+  | Ft_and (a, b) -> Ft_and (push_selection a, push_selection b)
+  | Ft_or (a, b) -> Ft_or (push_selection a, push_selection b)
+  | Ft_mild_not (a, b) -> Ft_mild_not (push_selection a, push_selection b)
+  | Ft_unary_not a -> Ft_unary_not (push_selection a)
+  | Ft_ordered a -> Ft_ordered (push_selection a)
+  | Ft_window (a, n, u) -> Ft_window (push_selection a, n, u)
+  | Ft_distance (a, r, u) -> Ft_distance (push_selection a, r, u)
+  | Ft_scope (a, k) -> Ft_scope (push_selection a, k)
+  | Ft_times (a, r) -> Ft_times (push_selection a, r)
+  | Ft_content (a, anchor) -> Ft_content (push_selection a, anchor)
+  | Ft_with_options (a, opts) -> Ft_with_options (push_selection a, opts)
+
+(* Wait for the pushdown to reach a fixpoint (chains can be several deep). *)
+let rec fixpoint f x =
+  let x' = f x in
+  if x' = x then x else fixpoint f x'
+
+let pushdown_selection sel = fixpoint push_selection sel
+
+(* FTContains(ctx, A || B) -> FTContains(ctx, A) or FTContains(ctx, B).
+   Only FTOr nodes at the top of the selection (above all position filters)
+   distribute this way into XQuery "or"; filters below were already pushed
+   into the disjuncts when pushdown ran first. *)
+let rec split_or_contains ~context ~ignore_nodes sel =
+  match sel with
+  | Ft_or (a, b) ->
+      Or
+        ( split_or_contains ~context ~ignore_nodes a,
+          split_or_contains ~context ~ignore_nodes b )
+  | _ -> Ft_contains { context; selection = sel; ignore_nodes }
+
+(* --- whole-query traversals --- *)
+
+let rec map_expr f e =
+  let t = map_expr f in
+  let e =
+    match e with
+    | Literal_string _ | Literal_integer _ | Literal_double _ | Var _
+    | Context_item | Root ->
+        e
+    | Sequence es -> Sequence (List.map t es)
+    | Range (a, b) -> Range (t a, t b)
+    | If (c, a, b) -> If (t c, t a, t b)
+    | Flwor (clauses, body) ->
+        let tc = function
+          | For_clause { var; positional; source } ->
+              For_clause { var; positional; source = t source }
+          | Let_clause { var; value } -> Let_clause { var; value = t value }
+          | Where_clause w -> Where_clause (t w)
+          | Order_by keys -> Order_by (List.map (fun (k, d) -> (t k, d)) keys)
+        in
+        Flwor (List.map tc clauses, t body)
+    | Quantified (q, bindings, cond) ->
+        Quantified (q, List.map (fun (v, s) -> (v, t s)) bindings, t cond)
+    | Or (a, b) -> Or (t a, t b)
+    | And (a, b) -> And (t a, t b)
+    | General_cmp (op, a, b) -> General_cmp (op, t a, t b)
+    | Value_cmp (op, a, b) -> Value_cmp (op, t a, t b)
+    | Node_is (a, b) -> Node_is (t a, t b)
+    | Arith (op, a, b) -> Arith (op, t a, t b)
+    | Neg a -> Neg (t a)
+    | Union (a, b) -> Union (t a, t b)
+    | Path (root, steps) ->
+        let ts (s : step) = { s with predicates = List.map t s.predicates } in
+        Path (Option.map t root, List.map ts steps)
+    | Filter (primary, preds) -> Filter (t primary, List.map t preds)
+    | Call (name, args) -> Call (name, List.map t args)
+    | Elem_constructor { name; attrs; content } ->
+        let tc = function
+          | Const_text s -> Const_text s
+          | Const_expr e -> Const_expr (t e)
+        in
+        Elem_constructor
+          {
+            name;
+            attrs = List.map (fun (n, parts) -> (n, List.map tc parts)) attrs;
+            content = List.map tc content;
+          }
+    | Computed_element (n, c) -> Computed_element (t n, t c)
+    | Computed_attribute (n, c) -> Computed_attribute (t n, t c)
+    | Computed_text c -> Computed_text (t c)
+    | Ft_contains { context; selection; ignore_nodes } ->
+        Ft_contains
+          {
+            context = t context;
+            selection;
+            ignore_nodes = Option.map t ignore_nodes;
+          }
+    | Ft_score (context, selection) -> Ft_score (t context, selection)
+  in
+  f e
+
+let pushdown_expr =
+  map_expr (function
+    | Ft_contains c ->
+        Ft_contains { c with selection = pushdown_selection c.selection }
+    | Ft_score (ctx, sel) -> Ft_score (ctx, pushdown_selection sel)
+    | e -> e)
+
+let pushdown_query q =
+  {
+    functions =
+      List.map
+        (fun (fd : function_def) ->
+          { fname = fd.fname; params = fd.params; body = pushdown_expr fd.body })
+        q.functions;
+    variables = List.map (fun (v, e) -> (v, pushdown_expr e)) q.variables;
+    body = pushdown_expr q.body;
+  }
+
+let or_short_circuit_expr =
+  map_expr (function
+    | Ft_contains { context; selection; ignore_nodes } ->
+        split_or_contains ~context ~ignore_nodes selection
+    | e -> e)
+
+let or_short_circuit_query q =
+  {
+    functions =
+      List.map
+        (fun (fd : function_def) ->
+          {
+            fname = fd.fname;
+            params = fd.params;
+            body = or_short_circuit_expr fd.body;
+          })
+        q.functions;
+    variables = List.map (fun (v, e) -> (v, or_short_circuit_expr e)) q.variables;
+    body = or_short_circuit_expr q.body;
+  }

@@ -1,0 +1,23 @@
+(** Logical rewritings of full-text plans (paper Section 4.1, Figure 6):
+    selection pushdown and FTOr short-circuiting.  Both preserve semantics
+    (property-tested). *)
+
+val pushdown_selection : Xquery.Ast.ft_selection -> Xquery.Ast.ft_selection
+(** Fixpoint of: distribute position filters over FTOr, and move the pure
+    predicates (FTOrdered, FTScope) below the rescoring filters
+    (FTDistance, FTWindow) — Figure 6(a).  Never crosses FTAnd, which would
+    change meaning. *)
+
+val pushdown_expr : Xquery.Ast.expr -> Xquery.Ast.expr
+val pushdown_query : Xquery.Ast.query -> Xquery.Ast.query
+
+val or_short_circuit_expr : Xquery.Ast.expr -> Xquery.Ast.expr
+(** FTContains(ctx, A || B) becomes the lazily evaluated XQuery
+    [FTContains(ctx, A) or FTContains(ctx, B)] — Figure 6(b). *)
+
+val or_short_circuit_query : Xquery.Ast.query -> Xquery.Ast.query
+
+val map_expr :
+  (Xquery.Ast.expr -> Xquery.Ast.expr) -> Xquery.Ast.expr -> Xquery.Ast.expr
+(** Bottom-up structural map over the expression tree (exposed for building
+    further rewritings). *)

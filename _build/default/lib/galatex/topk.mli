@@ -1,0 +1,33 @@
+(** Top-k evaluation over ft:score with score upper-bound pruning (paper
+    Section 4.2). *)
+
+type result = { node : Xmlkit.Node.t; score : float }
+
+type stats = {
+  mutable match_tests : int;  (** satisfiesMatch evaluations performed *)
+  mutable nodes_pruned : int;  (** nodes abandoned before all their matches *)
+}
+
+val top_k_naive :
+  Env.t -> Xmlkit.Node.t list -> All_matches.t -> int ->
+  result list * stats
+(** Score every node against every match, sort, take k — GalaTex's actual
+    behaviour, the baseline. *)
+
+val top_k_pruned :
+  Env.t -> Xmlkit.Node.t list -> All_matches.t -> int ->
+  result list * stats
+(** Matches are partitioned per document and scanned in descending score
+    order; a node is abandoned as soon as the noisy-or of its accumulated
+    score with every remaining same-document match — an upper bound on its
+    final score — cannot beat the current k-th best. *)
+
+val top_k :
+  ?pruned:bool ->
+  Env.t ->
+  Xmlkit.Node.t list ->
+  All_matches.t ->
+  int ->
+  result list * stats
+(** Results in descending score order, zero-score nodes excluded.  Pruned
+    and naive return the same answer sets (property-tested). *)

@@ -1,0 +1,1 @@
+lib/tokenize/normalize.ml: Buffer Char String Uchar

@@ -1,0 +1,1 @@
+lib/tokenize/porter.mli:

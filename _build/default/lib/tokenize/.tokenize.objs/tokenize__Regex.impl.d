@@ -1,0 +1,1 @@
+lib/tokenize/regex.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/tokenize/regex.mli:

@@ -1,0 +1,1 @@
+lib/tokenize/segmenter.ml: Buffer Char Dewey List Node String Token Xmlkit

@@ -1,0 +1,1 @@
+lib/tokenize/segmenter.mli: Token Xmlkit

@@ -1,0 +1,1 @@
+lib/tokenize/stopwords.ml: Hashtbl Lazy List Normalize

@@ -1,0 +1,1 @@
+lib/tokenize/thesaurus.ml: Hashtbl List Normalize String

@@ -1,0 +1,1 @@
+lib/tokenize/token.ml: Dewey Fmt Normalize Xmlkit

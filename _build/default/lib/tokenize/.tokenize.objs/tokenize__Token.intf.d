@@ -1,0 +1,1 @@
+lib/tokenize/token.mli: Fmt Xmlkit

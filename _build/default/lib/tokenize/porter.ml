@@ -1,0 +1,198 @@
+(* Porter's English stemmer (M.F. Porter, "An algorithm for suffix
+   stripping", 1980) — the same algorithm GalaTex inherits from Galax's
+   built-in stemmer (Section 3.2.3.2: "connections" -> "connect").
+
+   The implementation follows the five-step structure of the original paper.
+   Words are assumed lower-case ASCII; anything else is returned unchanged by
+   [stem]. *)
+
+let is_ascii_lower c = c >= 'a' && c <= 'z'
+
+(* A consonant in Porter's sense: not a-e-i-o-u, and 'y' is a consonant only
+   when the preceding letter is a vowel (or at position 0). *)
+let rec is_consonant w i =
+  match w.[i] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_consonant w (i - 1))
+  | _ -> true
+
+(* measure m of w[0..j]: number of VC sequences in the [C](VC){m}[V] form. *)
+let measure w j =
+  let n = j + 1 in
+  let rec skip_consonants i =
+    if i >= n then i else if is_consonant w i then skip_consonants (i + 1) else i
+  in
+  let rec skip_vowels i =
+    if i >= n then i else if is_consonant w i then i else skip_vowels (i + 1)
+  in
+  let rec count i m =
+    let i = skip_vowels i in
+    if i >= n then m
+    else
+      let i = skip_consonants i in
+      count i (m + 1)
+  in
+  let i = skip_consonants 0 in
+  count i 0
+
+let has_vowel w j =
+  let rec loop i = i <= j && ((not (is_consonant w i)) || loop (i + 1)) in
+  loop 0
+
+let double_consonant w j =
+  j >= 1 && w.[j] = w.[j - 1] && is_consonant w j
+
+(* cvc at the end, where the last c is not w, x or y. *)
+let cvc w j =
+  j >= 2
+  && is_consonant w j
+  && (not (is_consonant w (j - 1)))
+  && is_consonant w (j - 2)
+  && (match w.[j] with 'w' | 'x' | 'y' -> false | _ -> true)
+
+let ends_with w suffix =
+  let lw = String.length w and ls = String.length suffix in
+  lw >= ls && String.sub w (lw - ls) ls = suffix
+
+(* Replace [suffix] by [repl] if the stem before it has measure > [m_gt]. *)
+let replace_if_measure w suffix repl m_gt =
+  if ends_with w suffix then begin
+    let stem_len = String.length w - String.length suffix in
+    if stem_len > 0 && measure w (stem_len - 1) > m_gt then
+      Some (String.sub w 0 stem_len ^ repl)
+    else None
+  end
+  else None
+
+let step1a w =
+  if ends_with w "sses" then String.sub w 0 (String.length w - 2)
+  else if ends_with w "ies" then String.sub w 0 (String.length w - 3) ^ "i"
+  else if ends_with w "ss" then w
+  else if ends_with w "s" && String.length w > 1 then
+    String.sub w 0 (String.length w - 1)
+  else w
+
+let step1b w =
+  let after_removal w =
+    if ends_with w "at" || ends_with w "bl" || ends_with w "iz" then w ^ "e"
+    else
+      let j = String.length w - 1 in
+      if
+        double_consonant w j
+        && (match w.[j] with 'l' | 's' | 'z' -> false | _ -> true)
+      then String.sub w 0 j
+      else if measure w j = 1 && cvc w j then w ^ "e"
+      else w
+  in
+  if ends_with w "eed" then begin
+    let stem_len = String.length w - 3 in
+    if stem_len > 0 && measure w (stem_len - 1) > 0 then
+      String.sub w 0 (String.length w - 1)
+    else w
+  end
+  else if ends_with w "ed" then begin
+    let stem = String.sub w 0 (String.length w - 2) in
+    if stem <> "" && has_vowel stem (String.length stem - 1) then
+      after_removal stem
+    else w
+  end
+  else if ends_with w "ing" then begin
+    let stem = String.sub w 0 (String.length w - 3) in
+    if stem <> "" && has_vowel stem (String.length stem - 1) then
+      after_removal stem
+    else w
+  end
+  else w
+
+let step1c w =
+  if ends_with w "y" then begin
+    let stem_len = String.length w - 1 in
+    if stem_len > 0 && has_vowel w (stem_len - 1) then
+      String.sub w 0 stem_len ^ "i"
+    else w
+  end
+  else w
+
+let step2_rules =
+  [
+    ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+    ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent");
+    ("eli", "e"); ("ousli", "ous"); ("ization", "ize"); ("ation", "ate");
+    ("ator", "ate"); ("alism", "al"); ("iveness", "ive"); ("fulness", "ful");
+    ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+  ]
+
+let step3_rules =
+  [
+    ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic");
+    ("ical", "ic"); ("ful", ""); ("ness", "");
+  ]
+
+let apply_rules rules m_gt w =
+  let rec loop = function
+    | [] -> w
+    | (suffix, repl) :: rest -> (
+        if ends_with w suffix then
+          match replace_if_measure w suffix repl m_gt with
+          | Some w' -> w'
+          | None -> w
+        else loop rest)
+  in
+  loop rules
+
+let step4_suffixes =
+  [
+    "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment";
+    "ent"; "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize";
+  ]
+
+let step4 w =
+  (* "ion" only drops after s or t. *)
+  let drop suffix =
+    let stem_len = String.length w - String.length suffix in
+    if stem_len > 0 && measure w (stem_len - 1) > 1 then
+      Some (String.sub w 0 stem_len)
+    else None
+  in
+  if ends_with w "ion" then begin
+    let stem_len = String.length w - 3 in
+    if
+      stem_len > 0
+      && (w.[stem_len - 1] = 's' || w.[stem_len - 1] = 't')
+      && measure w (stem_len - 1) > 1
+    then String.sub w 0 stem_len
+    else w
+  end
+  else
+    let rec loop = function
+      | [] -> w
+      | suffix :: rest ->
+          if ends_with w suffix then
+            match drop suffix with Some w' -> w' | None -> w
+          else loop rest
+    in
+    loop step4_suffixes
+
+let step5a w =
+  if ends_with w "e" then begin
+    let j = String.length w - 2 in
+    let m = measure w j in
+    if m > 1 || (m = 1 && not (cvc w j)) then String.sub w 0 (String.length w - 1)
+    else w
+  end
+  else w
+
+let step5b w =
+  let j = String.length w - 1 in
+  if j >= 1 && w.[j] = 'l' && double_consonant w j && measure w j > 1 then
+    String.sub w 0 j
+  else w
+
+let stem word =
+  if String.length word <= 2 then word
+  else if not (String.for_all is_ascii_lower word) then word
+  else
+    word |> step1a |> step1b |> step1c
+    |> apply_rules step2_rules 0
+    |> apply_rules step3_rules 0
+    |> step4 |> step5a |> step5b

@@ -1,0 +1,8 @@
+(** Porter's English stemmer (Porter 1980), the algorithm GalaTex inherits
+    from Galax's built-in stemmer. *)
+
+val stem : string -> string
+(** [stem w] reduces a lower-case ASCII word to its stem
+    (e.g. ["connections"] -> ["connect"], ["usability"] -> ["usabl"]).
+    Words of length <= 2 or containing non-[a-z] characters are returned
+    unchanged. *)

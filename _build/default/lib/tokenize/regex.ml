@@ -1,0 +1,283 @@
+(* A small backtracking regular-expression engine implementing the subset of
+   XPath regular expressions that GalaTex's match-option technique relies on
+   (fn:matches / fn:replace in Section 3.2.3.2): literals, '.', '?', '*',
+   '+', '{n}', '{n,}', '{n,m}', character classes with ranges and negation,
+   alternation, grouping, anchors and the \d \D \s \S \w \W escapes.
+
+   Patterns are compiled to an AST once; matching is plain backtracking,
+   which is ample for word-sized inputs (inverted-list vocabularies). *)
+
+exception Parse_error of string
+
+type node =
+  | Empty
+  | Char of char
+  | Any
+  | Class of { negated : bool; ranges : (char * char) list }
+  | Seq of node list
+  | Alt of node list
+  | Star of node
+  | Plus of node
+  | Opt of node
+  | Repeat of node * int * int option
+  | Group of node
+  | Bol
+  | Eol
+
+type t = { ast : node; source : string }
+
+let source re = re.source
+
+(* --- parser --- *)
+
+type pstate = { src : string; mutable pos : int }
+
+let ppeek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let padvance st = st.pos <- st.pos + 1
+
+let class_of_escape = function
+  | 'd' -> Some (false, [ ('0', '9') ])
+  | 'D' -> Some (true, [ ('0', '9') ])
+  | 's' -> Some (false, [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ])
+  | 'S' -> Some (true, [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ])
+  | 'w' ->
+      Some (false, [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ])
+  | 'W' -> Some (true, [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ])
+  | _ -> None
+
+let parse_escape st =
+  match ppeek st with
+  | None -> raise (Parse_error "trailing backslash")
+  | Some c -> (
+      padvance st;
+      match class_of_escape c with
+      | Some (negated, ranges) -> Class { negated; ranges }
+      | None -> (
+          match c with
+          | 'n' -> Char '\n'
+          | 't' -> Char '\t'
+          | 'r' -> Char '\r'
+          | '\\' | '.' | '?' | '*' | '+' | '(' | ')' | '[' | ']' | '{' | '}'
+          | '|' | '^' | '$' | '-' ->
+              Char c
+          | c -> raise (Parse_error (Printf.sprintf "unknown escape \\%c" c))))
+
+let parse_class st =
+  (* after '[' *)
+  let negated =
+    match ppeek st with
+    | Some '^' -> padvance st; true
+    | _ -> false
+  in
+  let ranges = ref [] in
+  let rec loop first =
+    match ppeek st with
+    | None -> raise (Parse_error "unterminated character class")
+    | Some ']' when not first -> padvance st
+    | Some c ->
+        padvance st;
+        let c =
+          if c = '\\' then (
+            match ppeek st with
+            | Some e ->
+                padvance st;
+                (match e with
+                | 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r'
+                | e -> e)
+            | None -> raise (Parse_error "trailing backslash in class"))
+          else c
+        in
+        (match ppeek st with
+        | Some '-' when (match st.pos + 1 < String.length st.src with
+                         | true -> st.src.[st.pos + 1] <> ']'
+                         | false -> false) ->
+            padvance st;
+            (match ppeek st with
+            | Some hi ->
+                padvance st;
+                if hi < c then raise (Parse_error "invalid range in class");
+                ranges := (c, hi) :: !ranges
+            | None -> raise (Parse_error "unterminated character class"))
+        | _ -> ranges := (c, c) :: !ranges);
+        loop false
+  in
+  loop true;
+  Class { negated; ranges = List.rev !ranges }
+
+let parse_int st =
+  let start = st.pos in
+  while (match ppeek st with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+    padvance st
+  done;
+  if st.pos = start then raise (Parse_error "expected a number in quantifier");
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let rec parse_alt st =
+  let first = parse_seq st in
+  let rec loop acc =
+    match ppeek st with
+    | Some '|' ->
+        padvance st;
+        loop (parse_seq st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [ first ] with [ single ] -> single | alts -> Alt alts
+
+and parse_seq st =
+  let items = ref [] in
+  let rec loop () =
+    match ppeek st with
+    | None | Some ')' | Some '|' -> ()
+    | Some _ ->
+        items := parse_postfix st :: !items;
+        loop ()
+  in
+  loop ();
+  match List.rev !items with
+  | [] -> Empty
+  | [ single ] -> single
+  | items -> Seq items
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec quantify node =
+    match ppeek st with
+    | Some '*' -> padvance st; quantify (Star node)
+    | Some '+' -> padvance st; quantify (Plus node)
+    | Some '?' -> padvance st; quantify (Opt node)
+    | Some '{' ->
+        padvance st;
+        let lo = parse_int st in
+        let hi =
+          match ppeek st with
+          | Some ',' -> (
+              padvance st;
+              match ppeek st with
+              | Some '}' -> None
+              | _ -> Some (parse_int st))
+          | _ -> Some lo
+        in
+        (match ppeek st with
+        | Some '}' -> padvance st
+        | _ -> raise (Parse_error "unterminated {n,m} quantifier"));
+        (match hi with
+        | Some h when h < lo -> raise (Parse_error "quantifier max < min")
+        | _ -> ());
+        quantify (Repeat (node, lo, hi))
+    | _ -> node
+  in
+  quantify atom
+
+and parse_atom st =
+  match ppeek st with
+  | None -> raise (Parse_error "expected an atom")
+  | Some '(' ->
+      padvance st;
+      let inner = parse_alt st in
+      (match ppeek st with
+      | Some ')' -> padvance st
+      | _ -> raise (Parse_error "unterminated group"));
+      Group inner
+  | Some '[' -> padvance st; parse_class st
+  | Some '.' -> padvance st; Any
+  | Some '^' -> padvance st; Bol
+  | Some '$' -> padvance st; Eol
+  | Some '\\' -> padvance st; parse_escape st
+  | Some ('*' | '+' | '?') -> raise (Parse_error "quantifier without an atom")
+  | Some c -> padvance st; Char c
+
+let compile source =
+  let st = { src = source; pos = 0 } in
+  let ast = parse_alt st in
+  if st.pos < String.length source then
+    raise (Parse_error "unbalanced ')' or trailing input");
+  { ast; source }
+
+(* --- matcher --- *)
+
+let in_class negated ranges c =
+  let hit = List.exists (fun (lo, hi) -> c >= lo && c <= hi) ranges in
+  if negated then not hit else hit
+
+(* CPS backtracking: [m node s i k] tries to match [node] at [i], calling the
+   continuation [k] with the position after the match. *)
+let rec m node s i (k : int -> bool) =
+  match node with
+  | Empty -> k i
+  | Char c -> i < String.length s && s.[i] = c && k (i + 1)
+  | Any -> i < String.length s && k (i + 1)
+  | Class { negated; ranges } ->
+      i < String.length s && in_class negated ranges s.[i] && k (i + 1)
+  | Seq nodes ->
+      let rec seq nodes i =
+        match nodes with [] -> k i | n :: rest -> m n s i (fun j -> seq rest j)
+      in
+      seq nodes i
+  | Alt alts -> List.exists (fun n -> m n s i k) alts
+  | Group n -> m n s i k
+  | Opt n -> m n s i k || k i
+  | Star n ->
+      (* greedy with progress check to avoid looping on nullable bodies *)
+      let rec star i =
+        m n s i (fun j -> j > i && star j) || k i
+      in
+      star i
+  | Plus n -> m n s i (fun j ->
+      let rec star i = m n s i (fun j -> j > i && star j) || k i in
+      star j)
+  | Repeat (n, lo, hi) ->
+      let rec rep count i =
+        let can_more = match hi with None -> true | Some h -> count < h in
+        (can_more
+        && m n s i (fun j -> (j > i || count + 1 >= lo) && rep (count + 1) j))
+        || (count >= lo && k i)
+      in
+      rep 0 i
+  | Bol -> i = 0 && k i
+  | Eol -> i = String.length s && k i
+
+(* fn:matches semantics: true when the pattern matches a *substring*. *)
+let matches re s =
+  let n = String.length s in
+  let rec try_from i = i <= n && (m re.ast s i (fun _ -> true) || try_from (i + 1)) in
+  try_from 0
+
+(* Anchored whole-string match, used for word-against-word comparison. *)
+let matches_whole re s = m re.ast s 0 (fun j -> j = String.length s)
+
+(* Leftmost match extent, for fn:replace. *)
+let find_first re s from =
+  let n = String.length s in
+  let result = ref None in
+  let rec try_from i =
+    if i > n then ()
+    else if
+      m re.ast s i (fun j ->
+          result := Some (i, j);
+          true)
+    then ()
+    else try_from (i + 1)
+  in
+  try_from from;
+  !result
+
+let replace_all re s replacement =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i > n then ()
+    else
+      match find_first re s i with
+      | None -> if i < n then Buffer.add_string buf (String.sub s i (n - i))
+      | Some (lo, hi) ->
+          Buffer.add_string buf (String.sub s i (lo - i));
+          Buffer.add_string buf replacement;
+          if hi = lo then begin
+            (* empty match: emit one char to guarantee progress *)
+            if lo < n then Buffer.add_char buf s.[lo];
+            loop (lo + 1)
+          end
+          else loop hi
+  in
+  loop 0;
+  Buffer.contents buf

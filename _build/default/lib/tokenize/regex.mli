@@ -1,0 +1,25 @@
+(** Regular expressions: the XPath [fn:matches] subset that GalaTex's
+    match-option implementation technique uses (Section 3.2.3.2). *)
+
+exception Parse_error of string
+
+type t
+
+val compile : string -> t
+(** @raise Parse_error on a malformed pattern. *)
+
+val source : t -> string
+
+val matches : t -> string -> bool
+(** [fn:matches] semantics: the pattern matches some substring. *)
+
+val matches_whole : t -> string -> bool
+(** Anchored match of the entire string — how one document word is compared
+    against one (expanded) search-word pattern. *)
+
+val replace_all : t -> string -> string -> string
+(** [fn:replace] semantics with a literal replacement string. *)
+
+val find_first : t -> string -> int -> (int * int) option
+(** Leftmost match extent [(lo, hi)] starting at or after the given
+    position; [None] when the pattern does not match. *)

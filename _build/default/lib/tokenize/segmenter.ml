@@ -1,0 +1,137 @@
+open Xmlkit
+
+(* Tokenization of document trees and search phrases (the two preprocessing
+   steps of Section 3.1.1).  Words are delimited by punctuation and
+   whitespace, as the paper's tokenizer assumes for English.  Sentences end
+   at '.', '!' or '?'; paragraphs start at configured block elements (and at
+   blank lines inside text), and a paragraph break also ends the current
+   sentence. *)
+
+type config = {
+  paragraph_elements : string list;
+      (** element names that open a new paragraph (default p/para/paragraph) *)
+  ignore_elements : string list;
+      (** element names whose entire subtree is not tokenized *)
+}
+
+let default_config =
+  { paragraph_elements = [ "p"; "para"; "paragraph" ]; ignore_elements = [] }
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || Char.code c >= 0x80 (* keep UTF-8 continuation/start bytes in words *)
+
+let is_sentence_end c = c = '.' || c = '!' || c = '?'
+
+type state = {
+  mutable abs_pos : int;
+  mutable sentence : int;
+  mutable para : int;
+  mutable sentence_break : bool;  (** a sentence boundary is pending *)
+  mutable para_break : bool;  (** a paragraph boundary is pending *)
+  mutable acc : Token.t list;
+}
+
+let emit st ~node word =
+  if st.para_break then begin
+    st.para <- st.para + 1;
+    st.sentence <- st.sentence + 1;
+    st.para_break <- false;
+    st.sentence_break <- false
+  end
+  else if st.sentence_break then begin
+    st.sentence <- st.sentence + 1;
+    st.sentence_break <- false
+  end;
+  st.abs_pos <- st.abs_pos + 1;
+  st.acc <-
+    Token.make ~node ~sentence:st.sentence ~para:st.para ~abs_pos:st.abs_pos
+      word
+    :: st.acc
+
+(* Scan one text run, emitting tokens and recording sentence/paragraph
+   breaks.  A blank line (two newlines separated only by spaces) is a
+   paragraph break. *)
+let scan_text st ~node text =
+  let n = String.length text in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      emit st ~node (Buffer.contents buf);
+      Buffer.clear buf
+    end
+  in
+  let rec blank_line_at i seen_nl =
+    (* true when from position i we reach a second '\n' over spaces/tabs *)
+    if i >= n then false
+    else
+      match text.[i] with
+      | '\n' -> if seen_nl then true else blank_line_at (i + 1) true
+      | ' ' | '\t' | '\r' -> blank_line_at (i + 1) seen_nl
+      | _ -> false
+  in
+  for i = 0 to n - 1 do
+    let c = text.[i] in
+    if is_word_char c then Buffer.add_char buf c
+    else begin
+      flush ();
+      if is_sentence_end c then st.sentence_break <- true;
+      if c = '\n' && blank_line_at (i + 1) true then st.para_break <- true
+    end
+  done;
+  flush ()
+
+let tokenize_document ?(config = default_config) root =
+  if not (Node.is_sealed root) then
+    invalid_arg "Segmenter.tokenize_document: tree is not sealed";
+  let st =
+    {
+      abs_pos = 0;
+      sentence = 1;
+      para = 1;
+      sentence_break = false;
+      para_break = false;
+      acc = [];
+    }
+  in
+  let opens_paragraph name = List.mem name config.paragraph_elements in
+  let ignored name = List.mem name config.ignore_elements in
+  let first = ref true in
+  let rec walk node =
+    match Node.kind node with
+    | Node.Text _ -> scan_text st ~node:(Node.dewey node) (Node.string_value node)
+    | Node.Element { name; _ } ->
+        if not (ignored name) then begin
+          if opens_paragraph name then begin
+            (* the very first paragraph element must not skip paragraph 1 *)
+            if !first then first := false else st.para_break <- true
+          end;
+          List.iter walk (Node.children node);
+          if opens_paragraph name then st.para_break <- true
+        end
+    | Node.Document _ -> List.iter walk (Node.children node)
+    | Node.Attribute _ | Node.Comment _ | Node.Pi _ -> ()
+  in
+  walk root;
+  List.rev st.acc
+
+(* Search phrases are tokenized at query time (getSearchTokenInfo): absolute
+   positions are 1..n within the phrase. *)
+let tokenize_phrase phrase =
+  let st =
+    {
+      abs_pos = 0;
+      sentence = 1;
+      para = 1;
+      sentence_break = false;
+      para_break = false;
+      acc = [];
+    }
+  in
+  scan_text st ~node:Dewey.root phrase;
+  List.rev st.acc
+
+let words_of_phrase phrase =
+  List.map (fun (t : Token.t) -> t.Token.word) (tokenize_phrase phrase)

@@ -1,0 +1,23 @@
+(** Tokenization of documents (off-line preprocessing) and search phrases
+    (query-time), per paper Section 3.1.1. *)
+
+type config = {
+  paragraph_elements : string list;
+  ignore_elements : string list;
+}
+
+val default_config : config
+(** Paragraphs at [p]/[para]/[paragraph]; nothing ignored. *)
+
+val is_word_char : char -> bool
+val is_sentence_end : char -> bool
+
+val tokenize_document : ?config:config -> Xmlkit.Node.t -> Token.t list
+(** Tokens of every non-ignored text node of a sealed tree, in document
+    order, with 1-based absolute positions, sentence and paragraph ordinals.
+    @raise Invalid_argument if the tree is not sealed. *)
+
+val tokenize_phrase : string -> Token.t list
+(** Tokenize a search phrase; positions are relative to the phrase. *)
+
+val words_of_phrase : string -> string list

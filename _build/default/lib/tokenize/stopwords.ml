@@ -1,0 +1,40 @@
+(* Default English stop-word list (the classic van-Rijsbergen-derived list
+   used by most IR systems, trimmed to common function words).  XQuery
+   Full-Text's default is *without* stop words; an explicit
+   "without stopwords" / "with stopwords" option selects a list. *)
+
+let default_english =
+  [
+    "a"; "about"; "above"; "after"; "again"; "against"; "all"; "am"; "an";
+    "and"; "any"; "are"; "as"; "at"; "be"; "because"; "been"; "before";
+    "being"; "below"; "between"; "both"; "but"; "by"; "can"; "cannot";
+    "could"; "did"; "do"; "does"; "doing"; "down"; "during"; "each"; "few";
+    "for"; "from"; "further"; "had"; "has"; "have"; "having"; "he"; "her";
+    "here"; "hers"; "him"; "his"; "how"; "i"; "if"; "in"; "into"; "is"; "it";
+    "its"; "itself"; "just"; "me"; "more"; "most"; "my"; "no"; "nor"; "not";
+    "now"; "of"; "off"; "on"; "once"; "only"; "or"; "other"; "our"; "ours";
+    "out"; "over"; "own"; "same"; "she"; "should"; "so"; "some"; "such";
+    "than"; "that"; "the"; "their"; "theirs"; "them"; "then"; "there";
+    "these"; "they"; "this"; "those"; "through"; "to"; "too"; "under";
+    "until"; "up"; "very"; "was"; "we"; "were"; "what"; "when"; "where";
+    "which"; "while"; "who"; "whom"; "why"; "will"; "with"; "would"; "you";
+    "your"; "yours";
+  ]
+
+module Set = struct
+  type t = (string, unit) Hashtbl.t
+
+  let of_list words =
+    let tbl = Hashtbl.create (List.length words * 2) in
+    List.iter (fun w -> Hashtbl.replace tbl (Normalize.casefold w) ()) words;
+    tbl
+
+  let mem t word = Hashtbl.mem t (Normalize.casefold word)
+  let cardinal = Hashtbl.length
+
+  let elements t =
+    Hashtbl.fold (fun w () acc -> w :: acc) t [] |> List.sort compare
+end
+
+let default_set = lazy (Set.of_list default_english)
+let is_default_stop_word w = Set.mem (Lazy.force default_set) w

@@ -1,0 +1,18 @@
+(** Stop-word lists for the FTStopWordOption. *)
+
+val default_english : string list
+
+module Set : sig
+  type t
+
+  val of_list : string list -> t
+  (** Case-insensitive membership set. *)
+
+  val mem : t -> string -> bool
+  val cardinal : t -> int
+
+  val elements : t -> string list
+  (** Sorted case-folded members. *)
+end
+
+val is_default_stop_word : string -> bool

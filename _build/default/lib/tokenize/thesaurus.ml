@@ -1,0 +1,78 @@
+(* Thesaurus support for the FTThesaurusOption.  A thesaurus is a set of
+   directed relationships between terms (e.g. "synonym", "broader term",
+   "narrower term"); a lookup expands a word to all terms reachable through
+   a chosen relationship within a level bound, which is how the W3C spec
+   phrases thesaurus expansion. *)
+
+type entry = { relationship : string; from_term : string; to_term : string }
+type t = { name : string; entries : entry list }
+
+let create ~name entries =
+  {
+    name;
+    entries =
+      List.map
+        (fun (relationship, from_term, to_term) ->
+          {
+            relationship;
+            from_term = Normalize.casefold from_term;
+            to_term = Normalize.casefold to_term;
+          })
+        entries;
+  }
+
+let name t = t.name
+
+let synonym_ring ~name groups =
+  (* Every pair inside a group is a bidirectional "synonym" relationship. *)
+  let entries =
+    List.concat_map
+      (fun group ->
+        List.concat_map
+          (fun a ->
+            List.filter_map
+              (fun b -> if a = b then None else Some ("synonym", a, b))
+              group)
+          group)
+      groups
+  in
+  create ~name entries
+
+let domain t =
+  List.map (fun e -> e.from_term) t.entries |> List.sort_uniq compare
+
+let step t ?relationship word =
+  let word = Normalize.casefold word in
+  List.filter_map
+    (fun e ->
+      let rel_ok =
+        match relationship with
+        | None -> true
+        | Some r -> String.lowercase_ascii r = e.relationship
+      in
+      if rel_ok && e.from_term = word then Some e.to_term else None)
+    t.entries
+
+let lookup t ?relationship ?(levels = 1) word =
+  let seen = Hashtbl.create 16 in
+  let add w = if not (Hashtbl.mem seen w) then Hashtbl.replace seen w () in
+  let rec expand frontier level =
+    if level > levels || frontier = [] then ()
+    else begin
+      let next =
+        List.concat_map
+          (fun w ->
+            List.filter
+              (fun w' -> not (Hashtbl.mem seen w'))
+              (step t ?relationship w))
+          frontier
+      in
+      List.iter add next;
+      expand (List.sort_uniq compare next) (level + 1)
+    end
+  in
+  let word = Normalize.casefold word in
+  add word;
+  expand [ word ] 1;
+  (* the original word is included in its own expansion *)
+  Hashtbl.fold (fun w () acc -> w :: acc) seen [] |> List.sort compare

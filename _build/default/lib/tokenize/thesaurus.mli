@@ -1,0 +1,23 @@
+(** Thesauri for the FTThesaurusOption: directed term relationships with
+    bounded-level transitive expansion. *)
+
+type t
+
+val create : name:string -> (string * string * string) list -> t
+(** [create ~name entries] where each entry is
+    [(relationship, from_term, to_term)].  Terms are case-folded. *)
+
+val synonym_ring : name:string -> string list list -> t
+(** Build a thesaurus where every pair of words inside each group are mutual
+    synonyms. *)
+
+val name : t -> string
+
+val domain : t -> string list
+(** All terms appearing as relationship sources, sorted and
+    duplicate-free. *)
+
+val lookup : t -> ?relationship:string -> ?levels:int -> string -> string list
+(** Terms reachable from the word through [relationship] (any relationship
+    when omitted) in at most [levels] steps (default 1), including the word
+    itself.  Sorted, duplicate-free. *)

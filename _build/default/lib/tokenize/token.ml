@@ -1,0 +1,27 @@
+open Xmlkit
+
+(* TokenInfo (Section 3.1.1): a word plus the identifiers GalaTex attaches
+   to it — the Dewey label of the directly containing node, the word's
+   absolute position in the document (the last component of the paper's
+   TokenInfo identifier, e.g. "1.3.1.1.4" = node 1.3.1.1, word 4), and the
+   sentence and paragraph that contain it (used by FTScope). *)
+
+type t = {
+  word : string;  (** surface form as it appears in the text *)
+  norm : string;  (** case-folded form used for index keys *)
+  abs_pos : int;  (** 1-based absolute word position in the document *)
+  node : Dewey.t;  (** Dewey label of the directly containing node *)
+  sentence : int;  (** 1-based sentence ordinal *)
+  para : int;  (** 1-based paragraph ordinal *)
+}
+
+let make ?(node = Dewey.root) ?(sentence = 1) ?(para = 1) ~abs_pos word =
+  { word; norm = Normalize.casefold word; abs_pos; node; sentence; para }
+
+(* The full TokenInfo identifier: node Dewey label + absolute position. *)
+let identifier t = Dewey.to_string t.node ^ "." ^ string_of_int t.abs_pos
+
+let compare_pos a b = compare a.abs_pos b.abs_pos
+
+let pp ppf t =
+  Fmt.pf ppf "%s@%s(s%d,p%d)" t.word (identifier t) t.sentence t.para

@@ -1,0 +1,23 @@
+(** TokenInfo values (paper Section 3.1.1): a word and its position
+    identifiers. *)
+
+type t = {
+  word : string;
+  norm : string;
+  abs_pos : int;
+  node : Xmlkit.Dewey.t;
+  sentence : int;
+  para : int;
+}
+
+val make :
+  ?node:Xmlkit.Dewey.t -> ?sentence:int -> ?para:int -> abs_pos:int -> string -> t
+
+val identifier : t -> string
+(** The paper's TokenInfo identifier: the containing node's Dewey label with
+    the absolute word position appended (Figure 5(a): "1.3.1.1.4"). *)
+
+val compare_pos : t -> t -> int
+(** Order by absolute position. *)
+
+val pp : t Fmt.t

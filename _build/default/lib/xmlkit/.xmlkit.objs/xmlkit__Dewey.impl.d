@@ -1,0 +1,1 @@
+lib/xmlkit/dewey.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/xmlkit/dewey.mli: Fmt

@@ -1,0 +1,1 @@
+lib/xmlkit/node.ml: Dewey List String

@@ -1,0 +1,1 @@
+lib/xmlkit/node.mli: Dewey

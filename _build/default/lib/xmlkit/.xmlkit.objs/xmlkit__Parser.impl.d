@@ -1,0 +1,1 @@
+lib/xmlkit/parser.ml: Buffer List Node Printf String Uchar

@@ -1,0 +1,1 @@
+lib/xmlkit/parser.mli: Node

@@ -1,0 +1,1 @@
+lib/xmlkit/printer.ml: Buffer List Node Printf String

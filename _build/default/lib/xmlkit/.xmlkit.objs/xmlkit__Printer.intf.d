@@ -1,0 +1,1 @@
+lib/xmlkit/printer.mli: Node

@@ -1,0 +1,270 @@
+(* A small XML 1.0 parser sufficient for GalaTex's document, inverted-list
+   and AllMatches files: elements, attributes, character data, comments,
+   processing instructions, CDATA sections, the five predefined entities and
+   numeric character references.  No DTD processing (a <!DOCTYPE ...>
+   declaration is skipped verbatim), matching the paper's optional use of
+   validation. *)
+
+exception Error of { pos : int; msg : string }
+
+let error pos msg = raise (Error { pos; msg })
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect_char st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' ->
+      error st.pos (Printf.sprintf "expected %C, found %C" c c')
+  | None -> error st.pos (Printf.sprintf "expected %C, found end of input" c)
+
+let expect_string st s =
+  let n = String.length s in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = s then
+    st.pos <- st.pos + n
+  else error st.pos (Printf.sprintf "expected %S" s)
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while (match peek st with Some c when is_space c -> true | _ -> false) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> error st.pos "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode one entity or character reference starting after '&'. *)
+let parse_reference st =
+  let start = st.pos in
+  let upto_semicolon () =
+    let s = st.pos in
+    while (match peek st with Some ';' | None -> false | Some _ -> true) do
+      advance st
+    done;
+    expect_char st ';';
+    String.sub st.src s (st.pos - 1 - s)
+  in
+  let body = upto_semicolon () in
+  match body with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+      let code =
+        if String.length body > 1 && body.[0] = '#' then
+          let digits = String.sub body 1 (String.length body - 1) in
+          if String.length digits > 0 && (digits.[0] = 'x' || digits.[0] = 'X')
+          then
+            int_of_string_opt ("0x" ^ String.sub digits 1 (String.length digits - 1))
+          else int_of_string_opt digits
+        else None
+      in
+      match code with
+      | Some c when c >= 0 && c < 0x110000 ->
+          (* encode as UTF-8 *)
+          let b = Buffer.create 4 in
+          Buffer.add_utf_8_uchar b (Uchar.of_int c);
+          Buffer.contents b
+      | _ -> error start ("unknown entity reference &" ^ body ^ ";")
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) -> advance st; q
+    | _ -> error st.pos "expected attribute value quote"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' -> advance st; Buffer.add_string buf (parse_reference st); loop ()
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+        let aname = parse_name st in
+        skip_space st;
+        expect_char st '=';
+        skip_space st;
+        let avalue = parse_attr_value st in
+        loop (Node.attribute aname avalue :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let parse_comment st =
+  expect_string st "<!--";
+  let start = st.pos in
+  let rec loop () =
+    if looking_at st "-->" then (
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "-->";
+      content)
+    else if st.pos >= String.length st.src then error start "unterminated comment"
+    else (advance st; loop ())
+  in
+  loop ()
+
+let parse_pi st =
+  expect_string st "<?";
+  let target = parse_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec loop () =
+    if looking_at st "?>" then (
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "?>";
+      (target, content))
+    else if st.pos >= String.length st.src then error start "unterminated processing instruction"
+    else (advance st; loop ())
+  in
+  loop ()
+
+let parse_cdata st =
+  expect_string st "<![CDATA[";
+  let start = st.pos in
+  let rec loop () =
+    if looking_at st "]]>" then (
+      let content = String.sub st.src start (st.pos - start) in
+      expect_string st "]]>";
+      content)
+    else if st.pos >= String.length st.src then error start "unterminated CDATA section"
+    else (advance st; loop ())
+  in
+  loop ()
+
+let skip_doctype st =
+  expect_string st "<!DOCTYPE";
+  (* Skip to the matching '>', tracking nested '[' ... ']' internal subset. *)
+  let depth = ref 0 in
+  let rec loop () =
+    match peek st with
+    | None -> error st.pos "unterminated DOCTYPE"
+    | Some '[' -> incr depth; advance st; loop ()
+    | Some ']' -> decr depth; advance st; loop ()
+    | Some '>' when !depth = 0 -> advance st
+    | Some _ -> advance st; loop ()
+  in
+  loop ()
+
+let rec parse_element st =
+  expect_char st '<';
+  let name = parse_name st in
+  let attributes = parse_attributes st in
+  skip_space st;
+  if looking_at st "/>" then (
+    expect_string st "/>";
+    Node.element ~attributes name [])
+  else begin
+    expect_char st '>';
+    let children = parse_content st in
+    expect_string st "</";
+    let close = parse_name st in
+    if close <> name then
+      error st.pos (Printf.sprintf "mismatched close tag </%s> for <%s>" close name);
+    skip_space st;
+    expect_char st '>';
+    Node.element ~attributes name children
+  end
+
+and parse_content st =
+  let items = ref [] in
+  let push n = items := n :: !items in
+  let buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      push (Node.text (Buffer.contents buf));
+      Buffer.clear buf
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> flush_text ()
+    | Some '<' ->
+        if looking_at st "</" then flush_text ()
+        else if looking_at st "<!--" then begin
+          flush_text ();
+          push (Node.comment (parse_comment st));
+          loop ()
+        end
+        else if looking_at st "<![CDATA[" then begin
+          Buffer.add_string buf (parse_cdata st);
+          loop ()
+        end
+        else if looking_at st "<?" then begin
+          flush_text ();
+          let target, content = parse_pi st in
+          push (Node.pi target content);
+          loop ()
+        end
+        else begin
+          flush_text ();
+          push (parse_element st);
+          loop ()
+        end
+    | Some '&' -> advance st; Buffer.add_string buf (parse_reference st); loop ()
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ();
+  List.rev !items
+
+let parse_document ?uri src =
+  let st = { src; pos = 0 } in
+  let prolog () =
+    skip_space st;
+    if looking_at st "<?xml" then begin
+      let _ = parse_pi st in
+      ()
+    end;
+    let rec misc () =
+      skip_space st;
+      if looking_at st "<!--" then (ignore (parse_comment st); misc ())
+      else if looking_at st "<!DOCTYPE" then (skip_doctype st; misc ())
+      else if looking_at st "<?" then (ignore (parse_pi st); misc ())
+    in
+    misc ()
+  in
+  prolog ();
+  if not (looking_at st "<") then error st.pos "expected root element";
+  let root = parse_element st in
+  skip_space st;
+  if st.pos < String.length st.src then
+    error st.pos "trailing content after root element";
+  Node.seal (Node.document ?uri [ root ])
+
+let parse_fragment src =
+  let st = { src; pos = 0 } in
+  let items = parse_content st in
+  if st.pos < String.length st.src then error st.pos "unparsed trailing content";
+  List.map Node.seal items

@@ -1,0 +1,13 @@
+(** XML 1.0 (subset) parser: elements, attributes, text, comments, PIs,
+    CDATA, predefined entities and numeric character references.  DOCTYPE
+    declarations are skipped without processing. *)
+
+exception Error of { pos : int; msg : string }
+
+val parse_document : ?uri:string -> string -> Node.t
+(** Parse a complete document and return its sealed document node.
+    @raise Error on malformed input. *)
+
+val parse_fragment : string -> Node.t list
+(** Parse mixed content (no prolog); each top-level node is sealed as its own
+    tree.  Used for tests and query literals. *)

@@ -1,0 +1,114 @@
+(* XML serialization.  [to_string] emits compact markup; [pretty] indents
+   element-only content and leaves mixed content verbatim so that text node
+   values (and hence word positions) survive a round-trip. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attr_string n =
+  match Node.kind n with
+  | Node.Attribute { aname; avalue } ->
+      Printf.sprintf " %s=\"%s\"" aname (escape_attr avalue)
+  | _ -> ""
+
+let rec add_node buf n =
+  match Node.kind n with
+  | Node.Document _ -> List.iter (add_node buf) (Node.children n)
+  | Node.Element { name; _ } ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter (fun a -> Buffer.add_string buf (attr_string a)) (Node.attributes n);
+      let children = Node.children n in
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (add_node buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+      end
+  | Node.Text { content } -> Buffer.add_string buf (escape_text content)
+  | Node.Attribute _ -> Buffer.add_string buf (attr_string n)
+  | Node.Comment c ->
+      Buffer.add_string buf "<!--";
+      Buffer.add_string buf c;
+      Buffer.add_string buf "-->"
+  | Node.Pi { target; pcontent } ->
+      Buffer.add_string buf "<?";
+      Buffer.add_string buf target;
+      if pcontent <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf pcontent
+      end;
+      Buffer.add_string buf "?>"
+
+let to_string n =
+  let buf = Buffer.create 256 in
+  add_node buf n;
+  Buffer.contents buf
+
+let has_element_child n = List.exists Node.is_element (Node.children n)
+
+let has_text_child n =
+  List.exists
+    (fun c ->
+      Node.is_text c && String.trim (Node.string_value c) <> "")
+    (Node.children n)
+
+let rec add_pretty buf indent n =
+  let pad () = Buffer.add_string buf (String.make (2 * indent) ' ') in
+  match Node.kind n with
+  | Node.Document _ ->
+      List.iter
+        (fun c ->
+          add_pretty buf indent c;
+          Buffer.add_char buf '\n')
+        (Node.children n)
+  | Node.Element { name; _ } when has_element_child n && not (has_text_child n)
+    ->
+      pad ();
+      Buffer.add_char buf '<';
+      Buffer.add_string buf name;
+      List.iter (fun a -> Buffer.add_string buf (attr_string a)) (Node.attributes n);
+      Buffer.add_string buf ">\n";
+      List.iter
+        (fun c ->
+          if Node.is_text c && String.trim (Node.string_value c) = "" then ()
+          else begin
+            add_pretty buf (indent + 1) c;
+            Buffer.add_char buf '\n'
+          end)
+        (Node.children n);
+      pad ();
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+  | _ ->
+      pad ();
+      add_node buf n
+
+let pretty n =
+  let buf = Buffer.create 256 in
+  add_pretty buf 0 n;
+  Buffer.contents buf

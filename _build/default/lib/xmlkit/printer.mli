@@ -1,0 +1,12 @@
+(** XML serialization. *)
+
+val to_string : Node.t -> string
+(** Compact serialization; inverse of {!Parser.parse_document} up to
+    whitespace in markup. *)
+
+val pretty : Node.t -> string
+(** Indented serialization for element-only content; mixed content is left
+    verbatim so text values round-trip. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string

@@ -1,0 +1,1 @@
+lib/xquery/axes.ml: Ast List Node Xmlkit

@@ -1,0 +1,1 @@
+lib/xquery/axes.mli: Ast Xmlkit

@@ -1,0 +1,1 @@
+lib/xquery/context.ml: Ast Format Hashtbl List Map String Value Xmlkit

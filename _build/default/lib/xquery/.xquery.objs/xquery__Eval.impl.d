@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Axes Buffer Context Functions List Node Option Parser String Value Xmlkit

@@ -1,0 +1,1 @@
+lib/xquery/functions.ml: Buffer Char Context Float Hashtbl List Node Option String Tokenize Uchar Value Xmlkit

@@ -1,0 +1,1 @@
+lib/xquery/lexer.ml: Array Buffer List Printf String

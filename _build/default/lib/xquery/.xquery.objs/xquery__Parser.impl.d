@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Array Ast Buffer Format Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/xquery/printer.ml: Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/xquery/value.ml: Float Fmt Format List Node Printer Printf String Xmlkit

@@ -1,0 +1,196 @@
+(* Abstract syntax for the combined XQuery + Full-Text grammar.  The XQuery
+   expression language and the FTSelection language are mutually recursive
+   (a full-text selection can embed an XQuery expression as its word source,
+   and ftcontains is a first-class XQuery expression — paper Section 3.2.2),
+   so both live here. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Attribute
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+  | Following
+  | Preceding
+
+type node_test =
+  | Name_test of string  (** element/attribute name, "*" for any *)
+  | Kind_text
+  | Kind_node
+  | Kind_comment
+  | Kind_element of string option
+  | Kind_document
+
+type comparison_op = Eq | Ne | Lt | Le | Gt | Ge
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+(* --- full-text selections (paper Section 2.1) --- *)
+
+type ft_range =
+  | Exactly of expr
+  | At_least of expr
+  | At_most of expr
+  | From_to of expr * expr
+
+and ft_unit = Words | Sentences | Paragraphs
+
+and ft_scope_kind =
+  | Same_sentence
+  | Same_paragraph
+  | Different_sentence
+  | Different_paragraph
+
+and ft_anchor = At_start | At_end | Entire_content
+
+and ft_case = Case_insensitive | Case_sensitive | Case_lower | Case_upper
+
+and ft_stop_words =
+  | Stop_default  (** "with default stop words" *)
+  | Stop_list of string list  (** explicit parenthesized list *)
+
+and ft_match_option =
+  | Opt_case of ft_case
+  | Opt_diacritics of bool  (** true = sensitive *)
+  | Opt_stemming of bool
+  | Opt_wildcards of bool  (** "with wildcards" / regular expressions *)
+  | Opt_special_chars of bool
+  | Opt_stop_words of ft_stop_words option  (** None = without stop words *)
+  | Opt_thesaurus of ft_thesaurus option
+      (** None = "without thesaurus"; Some spec = "with thesaurus ..." *)
+  | Opt_language of string
+
+and ft_thesaurus = {
+  th_name : string option;  (** None = the default thesaurus *)
+  th_relationship : string option;  (** e.g. "synonym", "broader term" *)
+  th_levels : int option;  (** "at most N levels" *)
+}
+
+and ft_anyall = Ft_any | Ft_all | Ft_phrase | Ft_any_word | Ft_all_words
+
+and ft_words_source =
+  | Ft_literal of string
+  | Ft_expr of expr  (** embedded XQuery expression producing search strings *)
+
+and ft_selection =
+  | Ft_words of {
+      source : ft_words_source;
+      anyall : ft_anyall;
+      options : ft_match_option list;
+      weight : expr option;
+    }
+  | Ft_and of ft_selection * ft_selection
+  | Ft_or of ft_selection * ft_selection
+  | Ft_mild_not of ft_selection * ft_selection  (** "not in" *)
+  | Ft_unary_not of ft_selection
+  | Ft_ordered of ft_selection
+  | Ft_window of ft_selection * expr * ft_unit
+  | Ft_distance of ft_selection * ft_range * ft_unit
+  | Ft_scope of ft_selection * ft_scope_kind
+  | Ft_times of ft_selection * ft_range
+  | Ft_content of ft_selection * ft_anchor
+  | Ft_with_options of ft_selection * ft_match_option list
+      (** match options scoped over a whole sub-selection, to be propagated
+          down to the Ft_words leaves (paper Section 3.2.2) *)
+
+(* --- XQuery expressions --- *)
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and flwor_clause =
+  | For_clause of { var : string; positional : string option; source : expr }
+  | Let_clause of { var : string; value : expr }
+  | Where_clause of expr
+  | Order_by of (expr * bool) list  (** true = descending *)
+
+and quantifier = Some_q | Every_q
+
+and constructor_content =
+  | Const_text of string
+  | Const_expr of expr  (** enclosed { expr } *)
+
+and expr =
+  | Literal_string of string
+  | Literal_integer of int
+  | Literal_double of float
+  | Var of string
+  | Context_item
+  | Sequence of expr list  (** comma operator; [] is the empty sequence () *)
+  | Range of expr * expr  (** "1 to 10" *)
+  | If of expr * expr * expr
+  | Flwor of flwor_clause list * expr
+  | Quantified of quantifier * (string * expr) list * expr
+  | Or of expr * expr
+  | And of expr * expr
+  | General_cmp of comparison_op * expr * expr  (** = != < <= > >= *)
+  | Value_cmp of comparison_op * expr * expr  (** eq ne lt le gt ge *)
+  | Node_is of expr * expr
+  | Arith of arith_op * expr * expr
+  | Neg of expr
+  | Union of expr * expr
+  | Path of expr option * step list
+      (** None root = relative path (steps start from the context item);
+          Some e = path rooted at e; the distinguished expr Root means "/" *)
+  | Root  (** leading "/" : the document root of the context node *)
+  | Filter of expr * expr list  (** primary expression with predicates *)
+  | Call of string * expr list
+  | Elem_constructor of {
+      name : string;
+      attrs : (string * constructor_content list) list;
+      content : constructor_content list;
+    }
+  | Computed_element of expr * expr
+      (** [element {name-expr} {content-expr}]; a literal name is a string
+          literal *)
+  | Computed_attribute of expr * expr
+  | Computed_text of expr
+  | Ft_contains of {
+      context : expr;
+      selection : ft_selection;
+      ignore_nodes : expr option;  (** "without content Expr" *)
+    }
+  | Ft_score of expr * ft_selection
+      (** ft:score($ctx, FTSelectionWithWeights) — the language's only
+          second-order function (paper Section 2.2) *)
+
+type function_def = {
+  fname : string;
+  params : string list;
+  body : expr;
+}
+
+(* A parsed query: prolog function/variable declarations plus the body. *)
+type query = {
+  functions : function_def list;
+  variables : (string * expr) list;
+  body : expr;
+}
+
+let query ?(functions = []) ?(variables = []) body =
+  { functions; variables; body }
+
+(* Smart constructor used by the parser: a path with no steps is just its
+   root expression. *)
+let path root steps =
+  match (root, steps) with
+  | Some e, [] -> e
+  | _ -> Path (root, steps)
+
+(* Default match options (paper Section 3.1.4): case insensitive, without
+   special characters, without wildcards, without stemming, without stop
+   words, English, without thesaurus, diacritics insensitive. *)
+let default_match_options =
+  [
+    Opt_case Case_insensitive;
+    Opt_diacritics false;
+    Opt_stemming false;
+    Opt_wildcards false;
+    Opt_special_chars false;
+    Opt_stop_words None;
+    Opt_thesaurus None;
+    Opt_language "en";
+  ]

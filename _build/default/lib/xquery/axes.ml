@@ -1,0 +1,79 @@
+open Xmlkit
+
+(* XPath axes over the xmlkit node tree.  Each axis returns nodes in the
+   order the XPath data model specifies (forward axes in document order,
+   reverse axes in reverse document order); the path evaluator re-sorts and
+   deduplicates the union of step results anyway. *)
+
+let child n = Node.children n
+let descendant n = Node.descendants n
+let descendant_or_self n = Node.descendants_or_self n
+let self n = [ n ]
+let attribute n = Node.attributes n
+let parent n = match Node.parent n with Some p -> [ p ] | None -> []
+
+let rec ancestor n =
+  match Node.parent n with Some p -> p :: ancestor p | None -> []
+
+let ancestor_or_self n = n :: ancestor n
+
+let siblings_of n =
+  match Node.parent n with Some p -> Node.children p | None -> []
+
+let following_sibling n =
+  let rec after = function
+    | [] -> []
+    | x :: rest -> if Node.equal x n then rest else after rest
+  in
+  after (siblings_of n)
+
+let preceding_sibling n =
+  let rec before acc = function
+    | [] -> []
+    | x :: rest -> if Node.equal x n then acc else before (x :: acc) rest
+  in
+  before [] (siblings_of n)
+
+(* following: all nodes after n in document order, excluding descendants. *)
+let following n =
+  List.concat_map Node.descendants_or_self
+    (List.concat_map following_sibling (ancestor_or_self n))
+  |> List.sort Node.compare_order
+
+let preceding n =
+  let ancestors = ancestor n in
+  List.concat_map Node.descendants_or_self
+    (List.concat_map preceding_sibling (ancestor_or_self n))
+  |> List.filter (fun m -> not (List.exists (Node.equal m) ancestors))
+  |> List.sort Node.compare_order
+
+let apply (axis : Ast.axis) n =
+  match axis with
+  | Ast.Child -> child n
+  | Ast.Descendant -> descendant n
+  | Ast.Descendant_or_self -> descendant_or_self n
+  | Ast.Self -> self n
+  | Ast.Attribute -> attribute n
+  | Ast.Parent -> parent n
+  | Ast.Ancestor -> ancestor n
+  | Ast.Ancestor_or_self -> ancestor_or_self n
+  | Ast.Following_sibling -> following_sibling n
+  | Ast.Preceding_sibling -> preceding_sibling n
+  | Ast.Following -> following n
+  | Ast.Preceding -> preceding n
+
+let node_test (test : Ast.node_test) n =
+  match test with
+  | Ast.Name_test "*" -> Node.is_element n || Node.is_attribute n
+  | Ast.Name_test name -> Node.name n = Some name && not (Node.is_document n)
+  | Ast.Kind_text -> Node.is_text n
+  | Ast.Kind_node -> true
+  | Ast.Kind_comment -> (
+      match Node.kind n with Node.Comment _ -> true | _ -> false)
+  | Ast.Kind_element None -> Node.is_element n
+  | Ast.Kind_element (Some name) ->
+      Node.is_element n && Node.name n = Some name
+  | Ast.Kind_document -> Node.is_document n
+
+let step_nodes axis test n =
+  List.filter (node_test test) (apply axis n)

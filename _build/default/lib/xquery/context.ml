@@ -1,0 +1,95 @@
+(* Static and dynamic evaluation contexts.
+
+   The full-text extension point mirrors the paper's architecture: the
+   XQuery engine knows nothing about full-text semantics; a [ft_handler]
+   installed by the GalaTex layer receives ftcontains / ft:score nodes
+   together with an [eval] callback for embedded XQuery expressions. *)
+
+module String_map = Map.Make (String)
+
+type focus = { item : Value.item; position : int; size : int }
+
+type t = {
+  vars : Value.t String_map.t;
+  focus : focus option;
+  functions : functions;
+  resolve_doc : string -> Xmlkit.Node.t option;
+  ft : ft_handler option;
+}
+
+and functions = (string * int, func) Hashtbl.t
+
+and func =
+  | Builtin of (t -> Value.t list -> Value.t)
+  | User of Ast.function_def
+
+and ft_handler = {
+  handle_contains :
+    eval:(t -> Ast.expr -> Value.t) ->
+    t ->
+    Value.t ->
+    Ast.ft_selection ->
+    Value.t option ->
+    Value.t;
+      (** evaluation-context nodes, selection, optional ignored nodes ->
+          boolean value *)
+  handle_score :
+    eval:(t -> Ast.expr -> Value.t) ->
+    t ->
+    Value.t ->
+    Ast.ft_selection ->
+    Value.t;
+      (** context nodes, selection -> one double per context node *)
+}
+
+exception Dynamic_error of string
+
+let dynamic_error fmt = Format.kasprintf (fun s -> raise (Dynamic_error s)) fmt
+
+let create ?(resolve_doc = fun _ -> None) ?ft () =
+  {
+    vars = String_map.empty;
+    focus = None;
+    functions = Hashtbl.create 64;
+    resolve_doc;
+    ft;
+  }
+
+let with_ft t ft = { t with ft = Some ft }
+let with_doc_resolver t resolve_doc = { t with resolve_doc }
+
+let bind_var t name value = { t with vars = String_map.add name value t.vars }
+
+let lookup_var t name =
+  match String_map.find_opt name t.vars with
+  | Some v -> v
+  | None -> dynamic_error "undefined variable $%s" name
+
+let with_focus t item ~position ~size =
+  { t with focus = Some { item; position; size } }
+
+let focus_exn t what =
+  match t.focus with
+  | Some f -> f
+  | None -> dynamic_error "%s used with no context item" what
+
+(* Builtins are registered under their local name; lookups strip an "fn:"
+   prefix so both spellings work.  User functions are stored under their
+   full QName. *)
+let strip_fn name =
+  if String.length name > 3 && String.sub name 0 3 = "fn:" then
+    String.sub name 3 (String.length name - 3)
+  else name
+
+let register_builtin t name arity impl =
+  Hashtbl.replace t.functions (name, arity) (Builtin impl)
+
+let register_function t (def : Ast.function_def) =
+  Hashtbl.replace t.functions
+    (def.Ast.fname, List.length def.Ast.params)
+    (User def)
+
+let find_function t name arity =
+  match Hashtbl.find_opt t.functions (name, arity) with
+  | Some f -> Some f
+  | None -> Hashtbl.find_opt t.functions (strip_fn name, arity)

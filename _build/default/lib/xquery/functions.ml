@@ -1,0 +1,360 @@
+open Xmlkit
+
+(* The fn: function library (the subset of XQuery 1.0 Functions & Operators
+   the paper's translation scheme and use cases rely on, Section 3.2.3.2:
+   fn:matches, fn:replace, fn:lower-case, fn:upper-case, fn:doc, ...). *)
+
+let dyn = Context.dynamic_error
+
+let arg n args =
+  match List.nth_opt args n with
+  | Some v -> v
+  | None -> dyn "missing argument %d" n
+
+let str_arg n args = Value.to_string_single (arg n args)
+let num_arg n args = Value.to_number (arg n args)
+
+let int_arg n args =
+  let f = num_arg n args in
+  int_of_float (Float.round f)
+
+let opt_string_focus ctx args =
+  match args with
+  | [] -> (
+      let f = Context.focus_exn ctx "fn:string()" in
+      match f.Context.item with
+      | Value.Node n -> Node.string_value n
+      | item -> Value.item_to_string item)
+  | _ -> (
+      match arg 0 args with
+      | [] -> ""
+      | v -> Value.to_string_single v)
+
+let node_arg name n args =
+  match arg n args with
+  | [ Value.Node node ] -> Some node
+  | [] -> None
+  | _ -> dyn "%s: expected a single node" name
+
+let compiled_regex pattern =
+  try Tokenize.Regex.compile pattern
+  with Tokenize.Regex.Parse_error msg ->
+    dyn "invalid regular expression %S: %s" pattern msg
+
+(* fn:contains / starts-with / string functions treat an empty sequence as
+   the empty string *)
+let opt_str args n =
+  match List.nth_opt args n with
+  | None | Some [] -> ""
+  | Some v -> Value.to_string_single v
+
+let contains_substring s sub =
+  let ls = String.length s and lx = String.length sub in
+  if lx = 0 then true
+  else begin
+    let rec at i = i + lx <= ls && (String.sub s i lx = sub || at (i + 1)) in
+    at 0
+  end
+
+let register ctx =
+  let reg name arity impl = Context.register_builtin ctx name arity impl in
+
+  (* --- booleans --- *)
+  reg "true" 0 (fun _ _ -> Value.boolean true);
+  reg "false" 0 (fun _ _ -> Value.boolean false);
+  reg "not" 1 (fun _ args ->
+      Value.boolean (not (Value.effective_boolean_value (arg 0 args))));
+  reg "boolean" 1 (fun _ args ->
+      Value.boolean (Value.effective_boolean_value (arg 0 args)));
+
+  (* --- sequences --- *)
+  reg "count" 1 (fun _ args -> Value.integer (List.length (arg 0 args)));
+  reg "empty" 1 (fun _ args -> Value.boolean (arg 0 args = []));
+  reg "exists" 1 (fun _ args -> Value.boolean (arg 0 args <> []));
+  reg "reverse" 1 (fun _ args -> List.rev (arg 0 args));
+  reg "distinct-values" 1 (fun _ args ->
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun item ->
+          let key = Value.item_to_string item in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        (Value.atomize (arg 0 args)));
+  reg "subsequence" 2 (fun _ args ->
+      let v = arg 0 args and start = int_arg 1 args in
+      List.filteri (fun i _ -> i + 1 >= start) v);
+  reg "subsequence" 3 (fun _ args ->
+      let v = arg 0 args and start = int_arg 1 args and len = int_arg 2 args in
+      List.filteri (fun i _ -> i + 1 >= start && i + 1 < start + len) v);
+  reg "index-of" 2 (fun _ args ->
+      let v = Value.atomize (arg 0 args) and target = arg 1 args in
+      List.concat
+        (List.mapi
+           (fun i item ->
+             if Value.general_compare Value.Eq [ item ] target then
+               [ Value.Integer (i + 1) ]
+             else [])
+           v));
+  reg "insert-before" 3 (fun _ args ->
+      let v = arg 0 args and pos = int_arg 1 args and ins = arg 2 args in
+      let pos = max 1 pos in
+      let rec go i = function
+        | [] -> ins
+        | x :: rest when i = pos -> ins @ (x :: rest)
+        | x :: rest -> x :: go (i + 1) rest
+      in
+      go 1 v);
+  reg "remove" 2 (fun _ args ->
+      let v = arg 0 args and pos = int_arg 1 args in
+      List.filteri (fun i _ -> i + 1 <> pos) v);
+  reg "zero-or-one" 1 (fun _ args ->
+      match arg 0 args with
+      | ([] | [ _ ]) as v -> v
+      | _ -> dyn "fn:zero-or-one: more than one item");
+  reg "one-or-more" 1 (fun _ args ->
+      match arg 0 args with
+      | [] -> dyn "fn:one-or-more: empty sequence"
+      | v -> v);
+  reg "exactly-one" 1 (fun _ args ->
+      match arg 0 args with
+      | [ _ ] as v -> v
+      | _ -> dyn "fn:exactly-one: not a singleton");
+
+  (* --- numbers --- *)
+  let aggregate name fold init finish =
+    reg name 1 (fun _ args ->
+        match Value.atomize (arg 0 args) with
+        | [] -> Value.empty
+        | items ->
+            let total =
+              List.fold_left
+                (fun acc item -> fold acc (Value.item_to_double item))
+                init items
+            in
+            finish total (List.length items))
+  in
+  aggregate "sum" (fun a b -> a +. b) 0.0 (fun t _ -> Value.double t);
+  aggregate "avg" (fun a b -> a +. b) 0.0 (fun t n ->
+      Value.double (t /. float_of_int n));
+  aggregate "max" Float.max neg_infinity (fun t _ -> Value.double t);
+  aggregate "min" Float.min infinity (fun t _ -> Value.double t);
+  reg "sum" 2 (fun _ args ->
+      match Value.atomize (arg 0 args) with
+      | [] -> arg 1 args
+      | items ->
+          Value.double
+            (List.fold_left (fun acc i -> acc +. Value.item_to_double i) 0.0 items));
+  reg "abs" 1 (fun _ args -> Value.double (Float.abs (num_arg 0 args)));
+  reg "floor" 1 (fun _ args -> Value.double (Float.floor (num_arg 0 args)));
+  reg "ceiling" 1 (fun _ args -> Value.double (Float.ceil (num_arg 0 args)));
+  reg "round" 1 (fun _ args -> Value.double (Float.round (num_arg 0 args)));
+  reg "number" 1 (fun _ args ->
+      match arg 0 args with
+      | [] -> Value.double nan
+      | v -> Value.double (Value.to_number v));
+
+  (* --- strings --- *)
+  for arity = 1 to 10 do
+    reg "concat" arity (fun _ args ->
+        Value.string
+          (String.concat ""
+             (List.map
+                (fun v -> match v with [] -> "" | _ -> Value.to_string_single v)
+                args)))
+  done;
+  reg "string" 0 (fun ctx args -> Value.string (opt_string_focus ctx args));
+  reg "string" 1 (fun ctx args -> Value.string (opt_string_focus ctx args));
+  reg "data" 1 (fun _ args -> Value.atomize (arg 0 args));
+  reg "string-join" 2 (fun _ args ->
+      let parts = List.map Value.item_to_string (Value.atomize (arg 0 args)) in
+      Value.string (String.concat (str_arg 1 args) parts));
+  reg "contains" 2 (fun _ args ->
+      let s = opt_str args 0 and sub = opt_str args 1 in
+      Value.boolean (contains_substring s sub));
+  reg "starts-with" 2 (fun _ args ->
+      let s = opt_str args 0 and prefix = opt_str args 1 in
+      Value.boolean
+        (String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix));
+  reg "ends-with" 2 (fun _ args ->
+      let s = opt_str args 0 and suffix = opt_str args 1 in
+      let ls = String.length s and lx = String.length suffix in
+      Value.boolean (ls >= lx && String.sub s (ls - lx) lx = suffix));
+  reg "substring" 2 (fun _ args ->
+      let s = opt_str args 0 and start = int_arg 1 args in
+      let n = String.length s in
+      let from = max 0 (start - 1) in
+      Value.string (if from >= n then "" else String.sub s from (n - from)));
+  reg "substring" 3 (fun _ args ->
+      let s = opt_str args 0
+      and start = int_arg 1 args
+      and len = int_arg 2 args in
+      let n = String.length s in
+      let from = max 0 (start - 1) in
+      let upto = min n (start - 1 + len) in
+      Value.string (if upto <= from then "" else String.sub s from (upto - from)));
+  reg "substring-after" 2 (fun _ args ->
+      let s = opt_str args 0 and sep = opt_str args 1 in
+      let ls = String.length s and lx = String.length sep in
+      let rec at i =
+        if i + lx > ls then ""
+        else if String.sub s i lx = sep then String.sub s (i + lx) (ls - i - lx)
+        else at (i + 1)
+      in
+      Value.string (if lx = 0 then s else at 0));
+  reg "substring-before" 2 (fun _ args ->
+      let s = opt_str args 0 and sep = opt_str args 1 in
+      let ls = String.length s and lx = String.length sep in
+      let rec at i =
+        if i + lx > ls then ""
+        else if String.sub s i lx = sep then String.sub s 0 i
+        else at (i + 1)
+      in
+      Value.string (if lx = 0 then "" else at 0));
+  reg "string-length" 1 (fun _ args ->
+      Value.integer (String.length (opt_str args 0)));
+  reg "upper-case" 1 (fun _ args ->
+      Value.string (String.uppercase_ascii (opt_str args 0)));
+  reg "lower-case" 1 (fun _ args ->
+      Value.string (String.lowercase_ascii (opt_str args 0)));
+  reg "normalize-space" 1 (fun _ args ->
+      let words =
+        String.split_on_char ' '
+          (String.map
+             (function '\t' | '\n' | '\r' -> ' ' | c -> c)
+             (opt_str args 0))
+        |> List.filter (( <> ) "")
+      in
+      Value.string (String.concat " " words));
+  reg "translate" 3 (fun _ args ->
+      let s = opt_str args 0 and from = str_arg 1 args and to_ = str_arg 2 args in
+      let buf = Buffer.create (String.length s) in
+      String.iter
+        (fun c ->
+          match String.index_opt from c with
+          | None -> Buffer.add_char buf c
+          | Some i -> if i < String.length to_ then Buffer.add_char buf to_.[i])
+        s;
+      Value.string (Buffer.contents buf));
+  reg "matches" 2 (fun _ args ->
+      let s = opt_str args 0 in
+      Value.boolean (Tokenize.Regex.matches (compiled_regex (str_arg 1 args)) s));
+  reg "replace" 3 (fun _ args ->
+      let s = opt_str args 0 in
+      Value.string
+        (Tokenize.Regex.replace_all
+           (compiled_regex (str_arg 1 args))
+           s (str_arg 2 args)));
+  reg "tokenize" 2 (fun _ args ->
+      let s = opt_str args 0 in
+      let re = compiled_regex (str_arg 1 args) in
+      let n = String.length s in
+      (* split at every non-empty match of the pattern *)
+      let rec split acc i =
+        match Tokenize.Regex.find_first re s i with
+        | Some (lo, hi) when hi > lo && lo >= i ->
+            split (String.sub s i (lo - i) :: acc) hi
+        | _ -> List.rev (String.sub s i (n - i) :: acc)
+      in
+      List.map (fun piece -> Value.String piece) (split [] 0));
+
+  reg "compare" 2 (fun _ args ->
+      match (arg 0 args, arg 1 args) with
+      | [], _ | _, [] -> Value.empty
+      | a, b ->
+          Value.integer
+            (compare (Value.to_string_single a) (Value.to_string_single b)));
+  reg "string-to-codepoints" 1 (fun _ args ->
+      let s = opt_str args 0 in
+      List.init (String.length s) (fun i -> Value.Integer (Char.code s.[i])));
+  reg "codepoints-to-string" 1 (fun _ args ->
+      let buf = Buffer.create 16 in
+      List.iter
+        (fun item ->
+          let c = int_of_float (Value.item_to_double item) in
+          if c >= 0 && c < 0x110000 then Buffer.add_utf_8_uchar buf (Uchar.of_int c)
+          else dyn "codepoints-to-string: invalid code point %d" c)
+        (Value.atomize (arg 0 args));
+      Value.string (Buffer.contents buf));
+  reg "deep-equal" 2 (fun _ args ->
+      let rec node_eq a b =
+        match (Node.kind a, Node.kind b) with
+        | Node.Text { content = x }, Node.Text { content = y } -> x = y
+        | Node.Attribute { aname = n1; avalue = v1 },
+          Node.Attribute { aname = n2; avalue = v2 } ->
+            n1 = n2 && v1 = v2
+        | Node.Element { name = n1; _ }, Node.Element { name = n2; _ } ->
+            n1 = n2
+            && List.length (Node.attributes a) = List.length (Node.attributes b)
+            && List.for_all
+                 (fun attr ->
+                   match Node.kind attr with
+                   | Node.Attribute { aname; avalue } ->
+                       Node.attribute_value b aname = Some avalue
+                   | _ -> false)
+                 (Node.attributes a)
+            && List.length (Node.children a) = List.length (Node.children b)
+            && List.for_all2 node_eq (Node.children a) (Node.children b)
+        | Node.Document _, Node.Document _ ->
+            List.length (Node.children a) = List.length (Node.children b)
+            && List.for_all2 node_eq (Node.children a) (Node.children b)
+        | Node.Comment x, Node.Comment y -> x = y
+        | Node.Pi { target = t1; pcontent = c1 }, Node.Pi { target = t2; pcontent = c2 }
+          ->
+            t1 = t2 && c1 = c2
+        | _ -> false
+      in
+      let item_eq a b =
+        match (a, b) with
+        | Value.Node x, Value.Node y -> node_eq x y
+        | x, y -> (
+            match Value.compare_items x y with
+            | 0 -> true
+            | _ -> false
+            | exception Value.Type_error _ -> false)
+      in
+      let va = arg 0 args and vb = arg 1 args in
+      Value.boolean
+        (List.length va = List.length vb && List.for_all2 item_eq va vb));
+
+  (* --- nodes --- *)
+  reg "name" 0 (fun ctx _ ->
+      let f = Context.focus_exn ctx "fn:name()" in
+      match f.Context.item with
+      | Value.Node n -> Value.string (Option.value ~default:"" (Node.name n))
+      | _ -> dyn "fn:name: context item is not a node");
+  reg "name" 1 (fun _ args ->
+      match node_arg "fn:name" 0 args with
+      | None -> Value.string ""
+      | Some n -> Value.string (Option.value ~default:"" (Node.name n)));
+  reg "local-name" 1 (fun _ args ->
+      match node_arg "fn:local-name" 0 args with
+      | None -> Value.string ""
+      | Some n ->
+          let name = Option.value ~default:"" (Node.name n) in
+          let local =
+            match String.index_opt name ':' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          Value.string local);
+  reg "root" 1 (fun _ args ->
+      match node_arg "fn:root" 0 args with
+      | None -> Value.empty
+      | Some n -> Value.of_nodes [ Node.root n ]);
+  reg "doc" 1 (fun ctx args ->
+      let uri = str_arg 0 args in
+      match ctx.Context.resolve_doc uri with
+      | Some doc -> Value.of_nodes [ doc ]
+      | None -> dyn "fn:doc: cannot resolve document %S" uri);
+  reg "doc-available" 1 (fun ctx args ->
+      Value.boolean (ctx.Context.resolve_doc (str_arg 0 args) <> None));
+
+  (* --- focus --- *)
+  reg "position" 0 (fun ctx _ ->
+      Value.integer (Context.focus_exn ctx "fn:position()").Context.position);
+  reg "last" 0 (fun ctx _ ->
+      Value.integer (Context.focus_exn ctx "fn:last()").Context.size)

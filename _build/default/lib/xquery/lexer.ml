@@ -1,0 +1,456 @@
+(* Lexer for the combined XQuery + XQuery Full-Text grammar.
+
+   XQuery keywords are contextual, so identifiers are produced as [Name]
+   tokens and the parser decides keyword-hood.  Direct element constructors
+   are captured as balanced [Xml_blob] tokens (the lexer tracks tag nesting
+   and enclosed-expression braces); the parser re-parses blob contents,
+   recursively re-entering the expression grammar inside "{...}".  This is
+   the standard trick for XQuery's dual lexical modes with a pre-tokenizing
+   lexer. *)
+
+type token =
+  | String_lit of string
+  | Integer_lit of int
+  | Double_lit of float
+  | Name of string  (** QName or contextual keyword *)
+  | Var of string
+  | Xml_blob of string  (** a whole direct constructor, "<a ...>...</a>" *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Semicolon
+  | Slash
+  | Dslash
+  | At_sign
+  | Dot
+  | Dotdot
+  | Star
+  | Plus
+  | Minus
+  | Pipe
+  | Dpipe  (** "||" — FTOr shorthand *)
+  | Ampamp  (** "&&" — FTAnd shorthand *)
+  | Bang  (** "!" — FTUnaryNot shorthand *)
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Assign  (** ":=" *)
+  | Coloncolon
+  | Question
+  | Dollar_lone  (** unused; kept for exhaustive error reporting *)
+  | Eof
+
+exception Error of { pos : int; msg : string }
+
+let error pos msg = raise (Error { pos; msg })
+
+let token_to_string = function
+  | String_lit s -> Printf.sprintf "%S" s
+  | Integer_lit i -> string_of_int i
+  | Double_lit f -> string_of_float f
+  | Name n -> n
+  | Var v -> "$" ^ v
+  | Xml_blob b ->
+      if String.length b > 20 then String.sub b 0 20 ^ "..." else b
+  | Lparen -> "(" | Rparen -> ")"
+  | Lbracket -> "[" | Rbracket -> "]"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Comma -> "," | Semicolon -> ";"
+  | Slash -> "/" | Dslash -> "//"
+  | At_sign -> "@" | Dot -> "." | Dotdot -> ".."
+  | Star -> "*" | Plus -> "+" | Minus -> "-"
+  | Pipe -> "|" | Dpipe -> "||" | Ampamp -> "&&" | Bang -> "!"
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Assign -> ":=" | Coloncolon -> "::" | Question -> "?"
+  | Dollar_lone -> "$" | Eof -> "<eof>"
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* After these tokens, "<" starts a direct constructor rather than a
+   comparison: we are in operand position. *)
+let operand_position = function
+  | None -> true
+  | Some tok -> (
+      match tok with
+      | Lparen | Lbrace | Lbracket | Comma | Semicolon | Assign | Eq | Ne | Lt
+      | Le | Gt | Ge | Plus | Minus | Star | Slash | Dslash | Pipe | Dpipe
+      | Ampamp | Bang ->
+          true
+      | Name
+          ( "return" | "then" | "else" | "satisfies" | "in" | "where" | "to"
+          | "and" | "or" | "div" | "idiv" | "mod" | "union" | "by" | "if" ) ->
+          true
+      | _ -> false)
+
+type state = { src : string; mutable pos : int; mutable toks : (token * int) list }
+
+let peek_at st k =
+  if st.pos + k < String.length st.src then Some st.src.[st.pos + k] else None
+
+let peek st = peek_at st 0
+
+(* Skip whitespace and (possibly nested) "(: ... :)" comments. *)
+let rec skip_trivia st =
+  (match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      st.pos <- st.pos + 1;
+      skip_trivia st
+  | Some '(' when peek_at st 1 = Some ':' ->
+      let start = st.pos in
+      st.pos <- st.pos + 2;
+      let depth = ref 1 in
+      while !depth > 0 do
+        match peek st with
+        | None -> error start "unterminated XQuery comment"
+        | Some '(' when peek_at st 1 = Some ':' ->
+            incr depth;
+            st.pos <- st.pos + 2
+        | Some ':' when peek_at st 1 = Some ')' ->
+            decr depth;
+            st.pos <- st.pos + 2
+        | Some _ -> st.pos <- st.pos + 1
+      done;
+      skip_trivia st
+  | _ -> ())
+
+let lex_string st quote =
+  (* positioned after the opening quote; doubled quotes escape themselves *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st.pos "unterminated string literal"
+    | Some c when c = quote ->
+        st.pos <- st.pos + 1;
+        if peek st = Some quote then begin
+          Buffer.add_char buf quote;
+          st.pos <- st.pos + 1;
+          loop ()
+        end
+    | Some '&' ->
+        (* predefined entities inside string literals, as in the paper's
+           queries ("usability" &amp; "testing") *)
+        let tail = String.length st.src - st.pos in
+        let try_entity (ent, repl) =
+          let n = String.length ent in
+          if tail >= n && String.sub st.src st.pos n = ent then begin
+            Buffer.add_string buf repl;
+            st.pos <- st.pos + n;
+            true
+          end
+          else false
+        in
+        if
+          not
+            (List.exists try_entity
+               [ ("&amp;", "&"); ("&lt;", "<"); ("&gt;", ">");
+                 ("&quot;", "\""); ("&apos;", "'") ])
+        then begin
+          Buffer.add_char buf '&';
+          st.pos <- st.pos + 1
+        end;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c when is_digit c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let is_double = ref false in
+  (match (peek st, peek_at st 1) with
+  | Some '.', Some c when is_digit c ->
+      is_double := true;
+      st.pos <- st.pos + 1;
+      while (match peek st with Some c when is_digit c -> true | _ -> false) do
+        st.pos <- st.pos + 1
+      done
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      let save = st.pos in
+      st.pos <- st.pos + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.pos <- st.pos + 1
+      | _ -> ());
+      if (match peek st with Some c -> is_digit c | None -> false) then begin
+        is_double := true;
+        while (match peek st with Some c when is_digit c -> true | _ -> false) do
+          st.pos <- st.pos + 1
+        done
+      end
+      else st.pos <- save
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_double then Double_lit (float_of_string text)
+  else Integer_lit (int_of_string text)
+
+let lex_name st =
+  let start = st.pos in
+  st.pos <- st.pos + 1;
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done;
+  (* QName: one optional ":NCName", but not "::" (axis separator) *)
+  (match (peek st, peek_at st 1) with
+  | Some ':', Some c when is_name_start c ->
+      st.pos <- st.pos + 1;
+      while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+        st.pos <- st.pos + 1
+      done
+  | _ -> ());
+  String.sub st.src start (st.pos - start)
+
+(* Capture a whole direct element constructor as a balanced blob.  Tracks
+   tag nesting depth and skips quoted attribute values, comments, CDATA and
+   enclosed {..} expressions (which may contain string literals and nested
+   braces — and nested constructors, which re-enter tag tracking when their
+   own '<' is seen). *)
+let lex_xml_blob st =
+  let start = st.pos in
+  let depth = ref 0 in
+  let finished = ref false in
+  let fail () = error start "unterminated direct XML constructor" in
+  let skip_until_str stop =
+    let n = String.length stop in
+    let rec loop () =
+      if st.pos + n > String.length st.src then fail ()
+      else if String.sub st.src st.pos n = stop then st.pos <- st.pos + n
+      else begin
+        st.pos <- st.pos + 1;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let rec skip_braces () =
+    (* positioned after '{'; skip to matching '}' honoring quotes/nesting *)
+    match peek st with
+    | None -> fail ()
+    | Some '}' -> st.pos <- st.pos + 1
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_braces ();
+        skip_braces ()
+    | Some (('"' | '\'') as q) ->
+        st.pos <- st.pos + 1;
+        let rec str () =
+          match peek st with
+          | None -> fail ()
+          | Some c when c = q ->
+              st.pos <- st.pos + 1;
+              if peek st = Some q then (st.pos <- st.pos + 1; str ())
+          | Some _ -> st.pos <- st.pos + 1; str ()
+        in
+        str ();
+        skip_braces ()
+    | Some _ ->
+        st.pos <- st.pos + 1;
+        skip_braces ()
+  in
+  (* consume one tag starting at '<'; returns after its '>' *)
+  let consume_tag () =
+    (* at '<' *)
+    if peek_at st 1 = Some '/' then begin
+      (* closing tag *)
+      skip_until_str ">";
+      decr depth
+    end
+    else if
+      (match peek_at st 1 with Some '!' -> true | _ -> false)
+    then
+      if st.pos + 4 <= String.length st.src && String.sub st.src st.pos 4 = "<!--"
+      then skip_until_str "-->"
+      else skip_until_str "]]>"
+    else begin
+      (* opening tag: scan to '>' skipping quoted attribute values and AVT
+         braces; detect self-closing "/>" *)
+      st.pos <- st.pos + 1;
+      let self_closing = ref false in
+      let rec scan () =
+        match peek st with
+        | None -> fail ()
+        | Some '>' ->
+            st.pos <- st.pos + 1
+        | Some '/' when peek_at st 1 = Some '>' ->
+            self_closing := true;
+            st.pos <- st.pos + 2
+        | Some (('"' | '\'') as q) ->
+            st.pos <- st.pos + 1;
+            let rec str () =
+              match peek st with
+              | None -> fail ()
+              | Some c when c = q -> st.pos <- st.pos + 1
+              | Some '{' ->
+                  st.pos <- st.pos + 1;
+                  skip_braces ();
+                  str ()
+              | Some _ -> st.pos <- st.pos + 1; str ()
+            in
+            str ();
+            scan ()
+        | Some _ ->
+            st.pos <- st.pos + 1;
+            scan ()
+      in
+      scan ();
+      if not !self_closing then incr depth
+    end;
+    if !depth = 0 then finished := true
+  in
+  consume_tag ();
+  while not !finished do
+    match peek st with
+    | None -> fail ()
+    | Some '<' -> consume_tag ()
+    | Some '{' ->
+        st.pos <- st.pos + 1;
+        skip_braces ()
+    | Some _ -> st.pos <- st.pos + 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+let tokenize src =
+  let st = { src; pos = 0; toks = [] } in
+  let prev () = match st.toks with [] -> None | (t, _) :: _ -> Some t in
+  let push tok pos = st.toks <- (tok, pos) :: st.toks in
+  let rec loop () =
+    skip_trivia st;
+    let pos = st.pos in
+    match peek st with
+    | None -> push Eof pos
+    | Some c ->
+        (match c with
+        | '"' | '\'' ->
+            st.pos <- st.pos + 1;
+            push (String_lit (lex_string st c)) pos
+        | '$' ->
+            st.pos <- st.pos + 1;
+            (match peek st with
+            | Some c when is_name_start c -> push (Var (lex_name st)) pos
+            | _ -> error pos "expected a variable name after '$'")
+        | '(' -> st.pos <- st.pos + 1; push Lparen pos
+        | ')' -> st.pos <- st.pos + 1; push Rparen pos
+        | '[' -> st.pos <- st.pos + 1; push Lbracket pos
+        | ']' -> st.pos <- st.pos + 1; push Rbracket pos
+        | '{' -> st.pos <- st.pos + 1; push Lbrace pos
+        | '}' -> st.pos <- st.pos + 1; push Rbrace pos
+        | ',' -> st.pos <- st.pos + 1; push Comma pos
+        | ';' -> st.pos <- st.pos + 1; push Semicolon pos
+        | '?' -> st.pos <- st.pos + 1; push Question pos
+        | '@' -> st.pos <- st.pos + 1; push At_sign pos
+        | '|' ->
+            if peek_at st 1 = Some '|' then begin
+              st.pos <- st.pos + 2;
+              push Dpipe pos
+            end
+            else begin
+              st.pos <- st.pos + 1;
+              push Pipe pos
+            end
+        | '&' ->
+            if peek_at st 1 = Some '&' then begin
+              st.pos <- st.pos + 2;
+              push Ampamp pos
+            end
+            else if
+              (* "&amp;" spelled out between selections, as in the paper's
+                 examples: treat as FTAnd *)
+              st.pos + 5 <= String.length src
+              && String.sub src st.pos 5 = "&amp;"
+            then begin
+              st.pos <- st.pos + 5;
+              push Ampamp pos
+            end
+            else error pos "unexpected '&'"
+        | '+' -> st.pos <- st.pos + 1; push Plus pos
+        | '-' -> st.pos <- st.pos + 1; push Minus pos
+        | '*' -> st.pos <- st.pos + 1; push Star pos
+        | '=' -> st.pos <- st.pos + 1; push Eq pos
+        | '!' ->
+            if peek_at st 1 = Some '=' then begin
+              st.pos <- st.pos + 2;
+              push Ne pos
+            end
+            else begin
+              st.pos <- st.pos + 1;
+              push Bang pos
+            end
+        | '<' ->
+            if
+              operand_position (prev ())
+              && (match peek_at st 1 with
+                 | Some c -> is_name_start c
+                 | None -> false)
+            then push (Xml_blob (lex_xml_blob st)) pos
+            else if peek_at st 1 = Some '=' then begin
+              st.pos <- st.pos + 2;
+              push Le pos
+            end
+            else begin
+              st.pos <- st.pos + 1;
+              push Lt pos
+            end
+        | '>' ->
+            if peek_at st 1 = Some '=' then begin
+              st.pos <- st.pos + 2;
+              push Ge pos
+            end
+            else begin
+              st.pos <- st.pos + 1;
+              push Gt pos
+            end
+        | '/' ->
+            if peek_at st 1 = Some '/' then begin
+              st.pos <- st.pos + 2;
+              push Dslash pos
+            end
+            else begin
+              st.pos <- st.pos + 1;
+              push Slash pos
+            end
+        | ':' ->
+            if peek_at st 1 = Some '=' then begin
+              st.pos <- st.pos + 2;
+              push Assign pos
+            end
+            else if peek_at st 1 = Some ':' then begin
+              st.pos <- st.pos + 2;
+              push Coloncolon pos
+            end
+            else error pos "unexpected ':'"
+        | '.' ->
+            if peek_at st 1 = Some '.' then begin
+              st.pos <- st.pos + 2;
+              push Dotdot pos
+            end
+            else if (match peek_at st 1 with Some c -> is_digit c | None -> false)
+            then push (lex_number st) pos
+            else begin
+              st.pos <- st.pos + 1;
+              push Dot pos
+            end
+        | c when is_digit c -> push (lex_number st) pos
+        | c when is_name_start c -> push (Name (lex_name st)) pos
+        | c -> error pos (Printf.sprintf "unexpected character %C" c));
+        if (match prev () with Some Eof -> false | _ -> true) then loop ()
+  in
+  loop ();
+  Array.of_list (List.rev_map (fun (t, p) -> (t, p)) st.toks)

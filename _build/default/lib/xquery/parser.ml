@@ -1,0 +1,1299 @@
+(* Recursive-descent parser for the combined XQuery + Full-Text grammar.
+
+   The paper (Section 3.2.2) notes that the two grammars nest arbitrarily:
+   XQuery expressions contain full-text selections (ftcontains) and
+   selections embed XQuery expressions (parenthesized word sources).  The
+   one genuine ambiguity — "(" opening either a parenthesized FTSelection or
+   an embedded XQuery expression — is resolved exactly as the paper
+   describes, by limited lookahead with backtracking: we first try the
+   selection reading and fall back to the expression reading (also when the
+   closing ")" is followed by an any/all keyword, which only follows word
+   sources). *)
+
+open Ast
+
+exception Error of { pos : int; msg : string }
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+type p = { toks : (Lexer.token * int) array; mutable i : int }
+
+let cur p = fst p.toks.(p.i)
+let cur_pos p = snd p.toks.(p.i)
+let peek_tok p k = if p.i + k < Array.length p.toks then fst p.toks.(p.i + k) else Lexer.Eof
+let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+
+let expect p tok =
+  if cur p = tok then advance p
+  else
+    error (cur_pos p) "expected %s but found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string (cur p))
+
+(* Contextual keywords: a Name token with a specific spelling. *)
+let looking_kw p kw = match cur p with Lexer.Name n -> n = kw | _ -> false
+
+let accept_kw p kw =
+  if looking_kw p kw then begin
+    advance p;
+    true
+  end
+  else false
+
+let expect_kw p kw =
+  if not (accept_kw p kw) then
+    error (cur_pos p) "expected keyword '%s' but found %s" kw
+      (Lexer.token_to_string (cur p))
+
+let expect_name p =
+  match cur p with
+  | Lexer.Name n ->
+      advance p;
+      n
+  | t -> error (cur_pos p) "expected a name but found %s" (Lexer.token_to_string t)
+
+let expect_var p =
+  match cur p with
+  | Lexer.Var v ->
+      advance p;
+      v
+  | t -> error (cur_pos p) "expected a variable but found %s" (Lexer.token_to_string t)
+
+let expect_string p =
+  match cur p with
+  | Lexer.String_lit s ->
+      advance p;
+      s
+  | t ->
+      error (cur_pos p) "expected a string literal but found %s"
+        (Lexer.token_to_string t)
+
+(* Skip a SequenceType annotation ("as fts:AllMatches", "as element()*",
+   "as xs:integer?", ...).  Types are parsed and discarded: the engine is
+   dynamically typed, as sufficient for the paper's queries. *)
+let skip_sequence_type p =
+  (match cur p with
+  | Lexer.Name _ -> advance p
+  | t -> error (cur_pos p) "expected a type name, found %s" (Lexer.token_to_string t));
+  if cur p = Lexer.Lparen then begin
+    (* element(), document-node(), item(), possibly with a name inside *)
+    advance p;
+    let depth = ref 1 in
+    while !depth > 0 do
+      (match cur p with
+      | Lexer.Lparen -> incr depth
+      | Lexer.Rparen -> decr depth
+      | Lexer.Eof -> error (cur_pos p) "unterminated type"
+      | _ -> ());
+      advance p
+    done
+  end;
+  (* occurrence indicator *)
+  match cur p with
+  | Lexer.Star | Lexer.Plus | Lexer.Question -> advance p
+  | _ -> ()
+
+let kind_test_names = [ "text"; "node"; "comment"; "element"; "document-node" ]
+
+let axis_of_name = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "self" -> Some Self
+  | "attribute" -> Some Attribute
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "following" -> Some Following
+  | "preceding" -> Some Preceding
+  | _ -> None
+
+(* --- expressions --- *)
+
+let rec parse_expr_sequence p =
+  let first = parse_expr_single p in
+  if cur p = Lexer.Comma then begin
+    let items = ref [ first ] in
+    while cur p = Lexer.Comma do
+      advance p;
+      items := parse_expr_single p :: !items
+    done;
+    Sequence (List.rev !items)
+  end
+  else first
+
+and parse_expr_single p =
+  match cur p with
+  | Lexer.Name ("for" | "let") when (match peek_tok p 1 with Lexer.Var _ -> true | _ -> false)
+    ->
+      parse_flwor p
+  | Lexer.Name ("some" | "every")
+    when (match peek_tok p 1 with Lexer.Var _ -> true | _ -> false) ->
+      parse_quantified p
+  | Lexer.Name "if" when peek_tok p 1 = Lexer.Lparen -> parse_if p
+  | _ -> parse_or p
+
+and parse_flwor p =
+  let clauses = ref [] in
+  let rec clause_loop () =
+    if looking_kw p "for" && (match peek_tok p 1 with Lexer.Var _ -> true | _ -> false)
+    then begin
+      advance p;
+      let rec vars () =
+        let var = expect_var p in
+        let positional =
+          if looking_kw p "at" then begin
+            advance p;
+            Some (expect_var p)
+          end
+          else None
+        in
+        expect_kw p "in";
+        let source = parse_expr_single p in
+        clauses := For_clause { var; positional; source } :: !clauses;
+        if cur p = Lexer.Comma then begin
+          advance p;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+    else if
+      looking_kw p "let" && (match peek_tok p 1 with Lexer.Var _ -> true | _ -> false)
+    then begin
+      advance p;
+      let rec vars () =
+        let var = expect_var p in
+        if looking_kw p "as" then begin
+          advance p;
+          skip_sequence_type p
+        end;
+        expect p Lexer.Assign;
+        let value = parse_expr_single p in
+        clauses := Let_clause { var; value } :: !clauses;
+        if cur p = Lexer.Comma then begin
+          advance p;
+          vars ()
+        end
+      in
+      vars ();
+      clause_loop ()
+    end
+  in
+  clause_loop ();
+  if looking_kw p "where" then begin
+    advance p;
+    clauses := Where_clause (parse_expr_single p) :: !clauses
+  end;
+  if looking_kw p "stable" then advance p;
+  if looking_kw p "order" then begin
+    advance p;
+    expect_kw p "by";
+    let rec keys acc =
+      let key = parse_expr_single p in
+      let descending =
+        if accept_kw p "descending" then true
+        else begin
+          ignore (accept_kw p "ascending");
+          false
+        end
+      in
+      if accept_kw p "empty" then
+        if not (accept_kw p "greatest") then expect_kw p "least";
+      let acc = (key, descending) :: acc in
+      if cur p = Lexer.Comma then begin
+        advance p;
+        keys acc
+      end
+      else List.rev acc
+    in
+    clauses := Order_by (keys []) :: !clauses
+  end;
+  expect_kw p "return";
+  let body = parse_expr_single p in
+  Flwor (List.rev !clauses, body)
+
+and parse_quantified p =
+  let quant = if accept_kw p "some" then Some_q else (expect_kw p "every"; Every_q) in
+  let rec vars acc =
+    let var = expect_var p in
+    expect_kw p "in";
+    let source = parse_expr_single p in
+    let acc = (var, source) :: acc in
+    if cur p = Lexer.Comma then begin
+      advance p;
+      vars acc
+    end
+    else List.rev acc
+  in
+  let bindings = vars [] in
+  expect_kw p "satisfies";
+  let condition = parse_expr_single p in
+  Quantified (quant, bindings, condition)
+
+and parse_if p =
+  expect_kw p "if";
+  expect p Lexer.Lparen;
+  let cond = parse_expr_sequence p in
+  expect p Lexer.Rparen;
+  expect_kw p "then";
+  let then_e = parse_expr_single p in
+  expect_kw p "else";
+  let else_e = parse_expr_single p in
+  If (cond, then_e, else_e)
+
+and parse_or p =
+  let left = parse_and p in
+  if looking_kw p "or" then begin
+    advance p;
+    Or (left, parse_or p)
+  end
+  else left
+
+and parse_and p =
+  let left = parse_comparison p in
+  if looking_kw p "and" then begin
+    advance p;
+    And (left, parse_and p)
+  end
+  else left
+
+and parse_comparison p =
+  let left = parse_ftcontains p in
+  let general op =
+    advance p;
+    General_cmp (op, left, parse_ftcontains p)
+  in
+  let value op =
+    advance p;
+    Value_cmp (op, left, parse_ftcontains p)
+  in
+  match cur p with
+  | Lexer.Eq -> general Eq
+  | Lexer.Ne -> general Ne
+  | Lexer.Lt -> general Lt
+  | Lexer.Le -> general Le
+  | Lexer.Gt -> general Gt
+  | Lexer.Ge -> general Ge
+  | Lexer.Name "eq" -> value Eq
+  | Lexer.Name "ne" -> value Ne
+  | Lexer.Name "lt" -> value Lt
+  | Lexer.Name "le" -> value Le
+  | Lexer.Name "gt" -> value Gt
+  | Lexer.Name "ge" -> value Ge
+  | Lexer.Name "is" ->
+      advance p;
+      Node_is (left, parse_ftcontains p)
+  | _ -> left
+
+and parse_ftcontains p =
+  let context = parse_range_expr p in
+  if looking_kw p "ftcontains" then begin
+    advance p;
+    let selection = parse_ft_selection p in
+    let ignore_nodes =
+      if looking_kw p "without" && peek_tok p 1 = Lexer.Name "content" then begin
+        advance p;
+        advance p;
+        Some (parse_union_expr p)
+      end
+      else None
+    in
+    Ft_contains { context; selection; ignore_nodes }
+  end
+  else context
+
+and parse_range_expr p =
+  let left = parse_additive p in
+  if looking_kw p "to" then begin
+    advance p;
+    Range (left, parse_additive p)
+  end
+  else left
+
+and parse_additive p =
+  let left = ref (parse_multiplicative p) in
+  let rec loop () =
+    match cur p with
+    | Lexer.Plus ->
+        advance p;
+        left := Arith (Add, !left, parse_multiplicative p);
+        loop ()
+    | Lexer.Minus ->
+        advance p;
+        left := Arith (Sub, !left, parse_multiplicative p);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !left
+
+and parse_multiplicative p =
+  let left = ref (parse_unary p) in
+  let rec loop () =
+    match cur p with
+    | Lexer.Star ->
+        advance p;
+        left := Arith (Mul, !left, parse_unary p);
+        loop ()
+    | Lexer.Name "div" ->
+        advance p;
+        left := Arith (Div, !left, parse_unary p);
+        loop ()
+    | Lexer.Name "idiv" ->
+        advance p;
+        left := Arith (Idiv, !left, parse_unary p);
+        loop ()
+    | Lexer.Name "mod" ->
+        advance p;
+        left := Arith (Mod, !left, parse_unary p);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !left
+
+and parse_unary p =
+  match cur p with
+  | Lexer.Minus ->
+      advance p;
+      Neg (parse_unary p)
+  | Lexer.Plus ->
+      advance p;
+      parse_unary p
+  | _ -> parse_union_expr p
+
+and parse_union_expr p =
+  let left = ref (parse_path p) in
+  let rec loop () =
+    if cur p = Lexer.Pipe || looking_kw p "union" then begin
+      advance p;
+      left := Union (!left, parse_path p);
+      loop ()
+    end
+  in
+  loop ();
+  !left
+
+and parse_path p =
+  match cur p with
+  | Lexer.Slash ->
+      advance p;
+      if starts_step p then
+        let steps = parse_relative_steps p (parse_step p) in
+        Path (Some Root, steps)
+      else Root
+  | Lexer.Dslash ->
+      advance p;
+      let first =
+        { axis = Descendant_or_self; test = Kind_node; predicates = [] }
+      in
+      let steps = parse_relative_steps p (parse_step p) in
+      Path (Some Root, first :: steps)
+  | _ ->
+      if starts_axis_step p then
+        let steps = parse_relative_steps p (parse_step p) in
+        Path (None, steps)
+      else begin
+        let primary = parse_filter p in
+        match cur p with
+        | Lexer.Slash ->
+            advance p;
+            let steps = parse_relative_steps p (parse_step p) in
+            Path (Some primary, steps)
+        | Lexer.Dslash ->
+            advance p;
+            let first =
+              { axis = Descendant_or_self; test = Kind_node; predicates = [] }
+            in
+            let steps = parse_relative_steps p (parse_step p) in
+            Path (Some primary, first :: steps)
+        | _ -> primary
+      end
+
+(* After an initial step, collect "/step" and "//step" continuations. *)
+and parse_relative_steps p first =
+  let steps = ref [ first ] in
+  let rec loop () =
+    match cur p with
+    | Lexer.Slash ->
+        advance p;
+        steps := parse_step p :: !steps;
+        loop ()
+    | Lexer.Dslash ->
+        advance p;
+        steps :=
+          { axis = Descendant_or_self; test = Kind_node; predicates = [] }
+          :: !steps;
+        steps := parse_step p :: !steps;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  List.rev !steps
+
+(* Does the current token begin an axis step (as opposed to a primary)? *)
+and starts_axis_step p =
+  match cur p with
+  | Lexer.At_sign | Lexer.Dotdot | Lexer.Star -> true
+  | Lexer.Name ("element" | "attribute" | "text")
+    when peek_tok p 1 = Lexer.Lbrace
+         || (match (peek_tok p 1, peek_tok p 2) with
+            | Lexer.Name _, Lexer.Lbrace -> true
+            | _ -> false) ->
+      (* computed constructor: a primary expression, not a child step *)
+      false
+  | Lexer.Name n -> (
+      match peek_tok p 1 with
+      | Lexer.Coloncolon -> axis_of_name n <> None
+      | Lexer.Lparen -> List.mem n kind_test_names
+      | _ ->
+          (* a bare name is a child step unless it is a reserved-ish keyword
+             position; keyword disambiguation: names followed by operators or
+             nothing are steps *)
+          true)
+  | _ -> false
+
+and starts_step p = starts_axis_step p || cur p = Lexer.Dot
+
+and parse_step p =
+  match cur p with
+  | Lexer.Dot ->
+      advance p;
+      let predicates = parse_predicates p in
+      { axis = Self; test = Kind_node; predicates }
+  | Lexer.Dotdot ->
+      advance p;
+      let predicates = parse_predicates p in
+      { axis = Parent; test = Kind_node; predicates }
+  | Lexer.At_sign ->
+      advance p;
+      let test = parse_node_test p in
+      let predicates = parse_predicates p in
+      { axis = Attribute; test; predicates }
+  | Lexer.Name n when peek_tok p 1 = Lexer.Coloncolon -> (
+      match axis_of_name n with
+      | Some axis ->
+          advance p;
+          advance p;
+          let test = parse_node_test p in
+          let predicates = parse_predicates p in
+          { axis; test; predicates }
+      | None -> error (cur_pos p) "unknown axis '%s'" n)
+  | _ ->
+      let test = parse_node_test p in
+      let predicates = parse_predicates p in
+      { axis = Child; test; predicates }
+
+and parse_node_test p =
+  match cur p with
+  | Lexer.Star ->
+      advance p;
+      Name_test "*"
+  | Lexer.Name n when peek_tok p 1 = Lexer.Lparen && List.mem n kind_test_names
+    -> (
+      advance p;
+      expect p Lexer.Lparen;
+      match n with
+      | "text" ->
+          expect p Lexer.Rparen;
+          Kind_text
+      | "node" ->
+          expect p Lexer.Rparen;
+          Kind_node
+      | "comment" ->
+          expect p Lexer.Rparen;
+          Kind_comment
+      | "document-node" ->
+          expect p Lexer.Rparen;
+          Kind_document
+      | "element" ->
+          if cur p = Lexer.Rparen then begin
+            advance p;
+            Kind_element None
+          end
+          else begin
+            let name = expect_name p in
+            expect p Lexer.Rparen;
+            Kind_element (Some name)
+          end
+      | _ -> assert false)
+  | Lexer.Name n ->
+      advance p;
+      Name_test n
+  | t -> error (cur_pos p) "expected a node test, found %s" (Lexer.token_to_string t)
+
+and parse_predicates p =
+  let preds = ref [] in
+  while cur p = Lexer.Lbracket do
+    advance p;
+    preds := parse_expr_sequence p :: !preds;
+    expect p Lexer.Rbracket
+  done;
+  List.rev !preds
+
+and parse_filter p =
+  let primary = parse_primary p in
+  let predicates = parse_predicates p in
+  if predicates = [] then primary else Filter (primary, predicates)
+
+and parse_primary p =
+  match cur p with
+  | Lexer.String_lit s ->
+      advance p;
+      Literal_string s
+  | Lexer.Integer_lit i ->
+      advance p;
+      Literal_integer i
+  | Lexer.Double_lit d ->
+      advance p;
+      Literal_double d
+  | Lexer.Var v ->
+      advance p;
+      Var v
+  | Lexer.Dot ->
+      advance p;
+      Context_item
+  | Lexer.Lparen ->
+      advance p;
+      if cur p = Lexer.Rparen then begin
+        advance p;
+        Sequence []
+      end
+      else begin
+        let e = parse_expr_sequence p in
+        expect p Lexer.Rparen;
+        e
+      end
+  | Lexer.Xml_blob blob ->
+      advance p;
+      parse_constructor_blob (cur_pos p) blob
+  | Lexer.Name (("element" | "attribute" | "text") as kind)
+    when peek_tok p 1 = Lexer.Lbrace
+         || (match (peek_tok p 1, peek_tok p 2) with
+            | Lexer.Name _, Lexer.Lbrace -> true
+            | _ -> false) ->
+      parse_computed_constructor p kind
+  | Lexer.Name name when peek_tok p 1 = Lexer.Lparen -> parse_call p name
+  | t -> error (cur_pos p) "unexpected token %s" (Lexer.token_to_string t)
+
+and parse_computed_constructor p kind =
+  advance p;
+  (* the keyword *)
+  let name_expr =
+    match cur p with
+    | Lexer.Name n ->
+        advance p;
+        Literal_string n
+    | _ ->
+        expect p Lexer.Lbrace;
+        let e = parse_expr_sequence p in
+        expect p Lexer.Rbrace;
+        e
+  in
+  match kind with
+  | "text" ->
+      (* text {content} has no name part: what we parsed was the content *)
+      Computed_text name_expr
+  | _ ->
+      expect p Lexer.Lbrace;
+      let content =
+        if cur p = Lexer.Rbrace then Sequence [] else parse_expr_sequence p
+      in
+      expect p Lexer.Rbrace;
+      if kind = "element" then Computed_element (name_expr, content)
+      else Computed_attribute (name_expr, content)
+
+and parse_call p name =
+  advance p;
+  (* name *)
+  expect p Lexer.Lparen;
+  if name = "ft:score" then begin
+    (* the second-order function: second argument is an FTSelection *)
+    let ctx = parse_expr_single p in
+    expect p Lexer.Comma;
+    let sel = parse_ft_selection p in
+    expect p Lexer.Rparen;
+    Ft_score (ctx, sel)
+  end
+  else begin
+    let args = ref [] in
+    if cur p <> Lexer.Rparen then begin
+      args := [ parse_expr_single p ];
+      while cur p = Lexer.Comma do
+        advance p;
+        args := parse_expr_single p :: !args
+      done
+    end;
+    expect p Lexer.Rparen;
+    Call (name, List.rev !args)
+  end
+
+(* --- direct element constructors --- *)
+
+(* Parse a captured constructor blob: "<name attr="a{expr}b">content</name>".
+   Enclosed expressions re-enter the main grammar via a fresh token array. *)
+and parse_constructor_blob pos blob =
+  let st = ref 0 in
+  let n = String.length blob in
+  let peek_c k = if !st + k < n then Some blob.[!st + k] else None in
+  let fail msg = error pos "in XML constructor: %s" msg in
+  let adv () = incr st in
+  let skip_ws () =
+    while (match peek_c 0 with Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false) do
+      adv ()
+    done
+  in
+  let parse_blob_name () =
+    let start = !st in
+    let name_char c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      || c = '_' || c = '-' || c = '.' || c = ':'
+    in
+    while (match peek_c 0 with Some c when name_char c -> true | _ -> false) do
+      adv ()
+    done;
+    if !st = start then fail "expected a name";
+    String.sub blob start (!st - start)
+  in
+  (* Extract a balanced {...} enclosed expression source. *)
+  let read_enclosed () =
+    (* at '{' *)
+    adv ();
+    let start = !st in
+    let depth = ref 1 in
+    while !depth > 0 do
+      match peek_c 0 with
+      | None -> fail "unterminated enclosed expression"
+      | Some '{' -> incr depth; adv ()
+      | Some '}' -> decr depth; if !depth > 0 then adv ()
+      | Some (('"' | '\'') as q) ->
+          adv ();
+          let rec str () =
+            match peek_c 0 with
+            | None -> fail "unterminated string in enclosed expression"
+            | Some c when c = q -> adv ()
+            | Some _ -> adv (); str ()
+          in
+          str ()
+      | Some _ -> adv ()
+    done;
+    let src = String.sub blob start (!st - start) in
+    adv ();
+    (* closing '}' *)
+    parse_sub_expression pos src
+  in
+  let parse_attr_template q =
+    (* attribute value up to closing quote, with {expr} and {{ }} escapes *)
+    let parts = ref [] in
+    let buf = Buffer.create 16 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        parts := Const_text (Buffer.contents buf) :: !parts;
+        Buffer.clear buf
+      end
+    in
+    let rec loop () =
+      match peek_c 0 with
+      | None -> fail "unterminated attribute value"
+      | Some c when c = q -> adv ()
+      | Some '{' when peek_c 1 = Some '{' ->
+          Buffer.add_char buf '{';
+          adv (); adv ();
+          loop ()
+      | Some '}' when peek_c 1 = Some '}' ->
+          Buffer.add_char buf '}';
+          adv (); adv ();
+          loop ()
+      | Some '{' ->
+          flush ();
+          parts := Const_expr (read_enclosed ()) :: !parts;
+          loop ()
+      | Some c ->
+          adv ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    flush ();
+    List.rev !parts
+  in
+  let rec parse_element () =
+    (* at '<' *)
+    adv ();
+    let name = parse_blob_name () in
+    let attrs = ref [] in
+    let rec attr_loop () =
+      skip_ws ();
+      match peek_c 0 with
+      | Some '/' | Some '>' -> ()
+      | Some _ ->
+          let aname = parse_blob_name () in
+          skip_ws ();
+          (match peek_c 0 with
+          | Some '=' -> adv ()
+          | _ -> fail "expected '=' in attribute");
+          skip_ws ();
+          (match peek_c 0 with
+          | Some (('"' | '\'') as q) ->
+              adv ();
+              attrs := (aname, parse_attr_template q) :: !attrs
+          | _ -> fail "expected a quoted attribute value");
+          attr_loop ()
+      | None -> fail "unterminated start tag"
+    in
+    attr_loop ();
+    match peek_c 0 with
+    | Some '/' ->
+        adv ();
+        (match peek_c 0 with Some '>' -> adv () | _ -> fail "expected '>'");
+        Elem_constructor { name; attrs = List.rev !attrs; content = [] }
+    | Some '>' ->
+        adv ();
+        let content = parse_content name in
+        Elem_constructor { name; attrs = List.rev !attrs; content }
+    | _ -> fail "expected '>' or '/>'"
+  and parse_content element_name =
+    let parts = ref [] in
+    let buf = Buffer.create 32 in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        parts := Const_text (Buffer.contents buf) :: !parts;
+        Buffer.clear buf
+      end
+    in
+    let rec loop () =
+      match peek_c 0 with
+      | None -> fail "unterminated element content"
+      | Some '<' when peek_c 1 = Some '/' ->
+          flush ();
+          adv (); adv ();
+          let close = parse_blob_name () in
+          if close <> element_name then
+            fail (Printf.sprintf "mismatched </%s> for <%s>" close element_name);
+          skip_ws ();
+          (match peek_c 0 with Some '>' -> adv () | _ -> fail "expected '>'")
+      | Some '<' ->
+          flush ();
+          parts := Const_expr (parse_element ()) :: !parts;
+          loop ()
+      | Some '{' when peek_c 1 = Some '{' ->
+          Buffer.add_char buf '{';
+          adv (); adv ();
+          loop ()
+      | Some '}' when peek_c 1 = Some '}' ->
+          Buffer.add_char buf '}';
+          adv (); adv ();
+          loop ()
+      | Some '{' ->
+          flush ();
+          parts := Const_expr (read_enclosed ()) :: !parts;
+          loop ()
+      | Some c ->
+          adv ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    flush ();
+    List.rev !parts
+  in
+  skip_ws ();
+  match peek_c 0 with
+  | Some '<' -> parse_element ()
+  | _ -> fail "expected '<'"
+
+and parse_sub_expression pos src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { msg; _ } -> error pos "in enclosed expression: %s" msg
+  in
+  let sub = { toks; i = 0 } in
+  let e = parse_expr_sequence sub in
+  if cur sub <> Lexer.Eof then
+    error pos "trailing tokens in enclosed expression near %s"
+      (Lexer.token_to_string (cur sub));
+  e
+
+(* --- full-text selections --- *)
+
+and parse_ft_selection p =
+  let sel = ref (parse_ft_or p) in
+  (* postfix position filters and scoped match options *)
+  let rec loop () =
+    if looking_kw p "ordered" then begin
+      advance p;
+      sel := Ft_ordered !sel;
+      loop ()
+    end
+    else if looking_kw p "window" then begin
+      advance p;
+      let size = parse_additive p in
+      let unit_ = parse_ft_unit p in
+      sel := Ft_window (!sel, size, unit_);
+      loop ()
+    end
+    else if
+      looking_kw p "with" && peek_tok p 1 = Lexer.Name "distance"
+    then begin
+      advance p;
+      loop ()
+    end
+    else if looking_kw p "distance" then begin
+      advance p;
+      let range = parse_ft_range p in
+      let unit_ = parse_ft_unit p in
+      sel := Ft_distance (!sel, range, unit_);
+      loop ()
+    end
+    else if looking_kw p "same" then begin
+      advance p;
+      let kind =
+        if accept_kw p "sentence" then Same_sentence
+        else begin
+          expect_kw p "paragraph";
+          Same_paragraph
+        end
+      in
+      sel := Ft_scope (!sel, kind);
+      loop ()
+    end
+    else if looking_kw p "different" then begin
+      advance p;
+      let kind =
+        if accept_kw p "sentence" then Different_sentence
+        else begin
+          expect_kw p "paragraph";
+          Different_paragraph
+        end
+      in
+      sel := Ft_scope (!sel, kind);
+      loop ()
+    end
+    else if looking_kw p "occurs" then begin
+      advance p;
+      let range = parse_ft_range p in
+      expect_kw p "times";
+      sel := Ft_times (!sel, range);
+      loop ()
+    end
+    else if looking_kw p "at" && peek_tok p 1 = Lexer.Name "start" then begin
+      advance p;
+      advance p;
+      sel := Ft_content (!sel, At_start);
+      loop ()
+    end
+    else if looking_kw p "at" && peek_tok p 1 = Lexer.Name "end" then begin
+      advance p;
+      advance p;
+      sel := Ft_content (!sel, At_end);
+      loop ()
+    end
+    else if looking_kw p "entire" && peek_tok p 1 = Lexer.Name "content" then begin
+      advance p;
+      advance p;
+      sel := Ft_content (!sel, Entire_content);
+      loop ()
+    end
+    else begin
+      match parse_ft_match_options p with
+      | [] -> ()
+      | opts ->
+          sel := Ft_with_options (!sel, opts);
+          loop ()
+    end
+  in
+  loop ();
+  !sel
+
+and parse_ft_unit p =
+  if accept_kw p "words" then Words
+  else if accept_kw p "sentences" then Sentences
+  else if accept_kw p "paragraphs" then Paragraphs
+  else Words
+
+and parse_ft_range p =
+  if accept_kw p "exactly" then Exactly (parse_additive p)
+  else if looking_kw p "at" && peek_tok p 1 = Lexer.Name "least" then begin
+    advance p;
+    advance p;
+    At_least (parse_additive p)
+  end
+  else if looking_kw p "at" && peek_tok p 1 = Lexer.Name "most" then begin
+    advance p;
+    advance p;
+    At_most (parse_additive p)
+  end
+  else if accept_kw p "from" then begin
+    let lo = parse_additive p in
+    expect_kw p "to";
+    From_to (lo, parse_additive p)
+  end
+  else error (cur_pos p) "expected a range (exactly / at least / at most / from-to)"
+
+and parse_ft_or p =
+  let left = parse_ft_and p in
+  if cur p = Lexer.Dpipe || looking_kw p "ftor" then begin
+    advance p;
+    Ft_or (left, parse_ft_or p)
+  end
+  else left
+
+and parse_ft_and p =
+  let left = parse_ft_mild_not p in
+  if cur p = Lexer.Ampamp || looking_kw p "ftand" then begin
+    advance p;
+    Ft_and (left, parse_ft_and p)
+  end
+  else left
+
+and parse_ft_mild_not p =
+  let left = ref (parse_ft_unary_not p) in
+  while looking_kw p "not" && peek_tok p 1 = Lexer.Name "in" do
+    advance p;
+    advance p;
+    left := Ft_mild_not (!left, parse_ft_unary_not p)
+  done;
+  !left
+
+and parse_ft_unary_not p =
+  if cur p = Lexer.Bang || looking_kw p "ftnot" then begin
+    advance p;
+    Ft_unary_not (parse_ft_unary_not p)
+  end
+  else parse_ft_primary p
+
+and parse_ft_primary p =
+  let base =
+    match cur p with
+    | Lexer.String_lit s ->
+        advance p;
+        let anyall = parse_ft_anyall p in
+        Ft_words { source = Ft_literal s; anyall; options = []; weight = None }
+    | Lexer.Var v ->
+        advance p;
+        let anyall = parse_ft_anyall p in
+        Ft_words { source = Ft_expr (Var v); anyall; options = []; weight = None }
+    | Lexer.Lbrace ->
+        (* enclosed expression as a word source *)
+        advance p;
+        let e = parse_expr_sequence p in
+        expect p Lexer.Rbrace;
+        let anyall = parse_ft_anyall p in
+        Ft_words { source = Ft_expr e; anyall; options = []; weight = None }
+    | Lexer.Lparen -> parse_ft_paren p
+    | t ->
+        error (cur_pos p) "expected a full-text primary, found %s"
+          (Lexer.token_to_string t)
+  in
+  (* postfix match options and weight bind to the primary *)
+  let with_options sel =
+    match parse_ft_match_options p with
+    | [] -> sel
+    | opts -> (
+        match sel with
+        | Ft_words w -> Ft_words { w with options = w.options @ opts }
+        | other -> Ft_with_options (other, opts))
+  in
+  let sel = with_options base in
+  if looking_kw p "weight" then begin
+    advance p;
+    let w = parse_additive p in
+    match sel with
+    | Ft_words words -> Ft_words { words with weight = Some w }
+    | other -> other
+    (* weight on a non-words selection: tolerated, ignored *)
+  end
+  else sel
+
+(* "(": either a parenthesized FTSelection or an embedded XQuery expression
+   word source (paper Section 3.2.2, disambiguation token #3). *)
+and parse_ft_paren p =
+  let save = p.i in
+  let as_selection =
+    try
+      advance p;
+      let sel = parse_ft_selection p in
+      expect p Lexer.Rparen;
+      (* if an any/all keyword follows, this was an expression source *)
+      match cur p with
+      | Lexer.Name ("any" | "all" | "phrase") -> None
+      | _ -> Some sel
+    with Error _ -> None
+  in
+  match as_selection with
+  | Some sel -> sel
+  | None ->
+      p.i <- save;
+      advance p;
+      let e = parse_expr_sequence p in
+      expect p Lexer.Rparen;
+      let anyall = parse_ft_anyall p in
+      Ft_words { source = Ft_expr e; anyall; options = []; weight = None }
+
+and parse_ft_anyall p =
+  if looking_kw p "any" then begin
+    advance p;
+    if accept_kw p "word" then Ft_any_word else Ft_any
+  end
+  else if looking_kw p "all" then begin
+    advance p;
+    if accept_kw p "words" then Ft_all_words else Ft_all
+  end
+  else if accept_kw p "phrase" then Ft_phrase
+  else Ft_any
+
+and parse_ft_match_options p =
+  let opts = ref [] in
+  let push o = opts := o :: !opts in
+  let rec loop () =
+    if looking_kw p "case" then begin
+      advance p;
+      if accept_kw p "sensitive" then push (Opt_case Case_sensitive)
+      else begin
+        expect_kw p "insensitive";
+        push (Opt_case Case_insensitive)
+      end;
+      loop ()
+    end
+    else if accept_kw p "lowercase" then begin
+      push (Opt_case Case_lower);
+      loop ()
+    end
+    else if accept_kw p "uppercase" then begin
+      push (Opt_case Case_upper);
+      loop ()
+    end
+    else if looking_kw p "diacritics" then begin
+      advance p;
+      if accept_kw p "sensitive" then push (Opt_diacritics true)
+      else begin
+        expect_kw p "insensitive";
+        push (Opt_diacritics false)
+      end;
+      loop ()
+    end
+    else if looking_kw p "language" then begin
+      advance p;
+      push (Opt_language (expect_string p));
+      loop ()
+    end
+    else if
+      looking_kw p "with"
+      && (match peek_tok p 1 with
+         | Lexer.Name
+             ( "stemming" | "wildcards" | "regular" | "special" | "stop"
+             | "stopwords" | "thesaurus" | "default" ) ->
+             true
+         | _ -> false)
+    then begin
+      advance p;
+      if accept_kw p "stemming" then push (Opt_stemming true)
+      else if accept_kw p "wildcards" then push (Opt_wildcards true)
+      else if accept_kw p "regular" then begin
+        expect_kw p "expressions";
+        push (Opt_wildcards true)
+      end
+      else if accept_kw p "special" then begin
+        expect_kw p "characters";
+        push (Opt_special_chars true)
+      end
+      else if accept_kw p "stopwords" then push (Opt_stop_words (Some (parse_stop_arg p)))
+      else if accept_kw p "stop" then begin
+        expect_kw p "words";
+        push (Opt_stop_words (Some (parse_stop_arg p)))
+      end
+      else if accept_kw p "default" then begin
+        expect_kw p "stop";
+        expect_kw p "words";
+        push (Opt_stop_words (Some Stop_default))
+      end
+      else begin
+        expect_kw p "thesaurus";
+        let th_name =
+          if accept_kw p "default" then None
+          else if looking_kw p "at" && (match peek_tok p 1 with Lexer.String_lit _ -> true | _ -> false)
+          then begin
+            advance p;
+            Some (expect_string p)
+          end
+          else
+            match cur p with
+            | Lexer.String_lit s ->
+                advance p;
+                Some s
+            | _ -> None
+        in
+        let th_relationship =
+          if accept_kw p "relationship" then Some (expect_string p) else None
+        in
+        let th_levels =
+          if looking_kw p "at" && peek_tok p 1 = Lexer.Name "most" then begin
+            advance p;
+            advance p;
+            match cur p with
+            | Lexer.Integer_lit n ->
+                advance p;
+                expect_kw p "levels";
+                Some n
+            | _ -> error (cur_pos p) "expected a level count"
+          end
+          else if accept_kw p "exactly" then begin
+            match cur p with
+            | Lexer.Integer_lit n ->
+                advance p;
+                expect_kw p "levels";
+                Some n
+            | _ -> error (cur_pos p) "expected a level count"
+          end
+          else None
+        in
+        push (Opt_thesaurus (Some { th_name; th_relationship; th_levels }))
+      end;
+      loop ()
+    end
+    else if
+      looking_kw p "without"
+      && (match peek_tok p 1 with
+         | Lexer.Name
+             ( "stemming" | "wildcards" | "regular" | "special" | "stop"
+             | "stopwords" | "thesaurus" ) ->
+             true
+         | _ -> false)
+    then begin
+      advance p;
+      if accept_kw p "stemming" then push (Opt_stemming false)
+      else if accept_kw p "wildcards" then push (Opt_wildcards false)
+      else if accept_kw p "regular" then begin
+        expect_kw p "expressions";
+        push (Opt_wildcards false)
+      end
+      else if accept_kw p "special" then begin
+        expect_kw p "characters";
+        push (Opt_special_chars false)
+      end
+      else if accept_kw p "stopwords" then push (Opt_stop_words None)
+      else if accept_kw p "stop" then begin
+        expect_kw p "words";
+        push (Opt_stop_words None)
+      end
+      else begin
+        expect_kw p "thesaurus";
+        push (Opt_thesaurus None)
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !opts
+
+and parse_stop_arg p =
+  if cur p = Lexer.Lparen then begin
+    advance p;
+    let words = ref [ expect_string p ] in
+    while cur p = Lexer.Comma do
+      advance p;
+      words := expect_string p :: !words
+    done;
+    expect p Lexer.Rparen;
+    Stop_list (List.rev !words)
+  end
+  else begin
+    ignore (accept_kw p "default");
+    Stop_default
+  end
+
+(* --- prolog and entry points --- *)
+
+let skip_to_semicolon p =
+  while cur p <> Lexer.Semicolon && cur p <> Lexer.Eof do
+    advance p
+  done;
+  expect p Lexer.Semicolon
+
+let parse_prolog p =
+  let functions = ref [] in
+  let variables = ref [] in
+  let rec loop () =
+    if looking_kw p "declare" then begin
+      advance p;
+      if accept_kw p "function" then begin
+        let fname = expect_name p in
+        expect p Lexer.Lparen;
+        let params = ref [] in
+        if cur p <> Lexer.Rparen then begin
+          let rec param_loop () =
+            let v = expect_var p in
+            if accept_kw p "as" then skip_sequence_type p;
+            params := v :: !params;
+            if cur p = Lexer.Comma then begin
+              advance p;
+              param_loop ()
+            end
+          in
+          param_loop ()
+        end;
+        expect p Lexer.Rparen;
+        if accept_kw p "as" then skip_sequence_type p;
+        expect p Lexer.Lbrace;
+        let body = parse_expr_sequence p in
+        expect p Lexer.Rbrace;
+        expect p Lexer.Semicolon;
+        functions := { fname; params = List.rev !params; body } :: !functions
+      end
+      else if accept_kw p "variable" then begin
+        let v = expect_var p in
+        if accept_kw p "as" then skip_sequence_type p;
+        expect p Lexer.Assign;
+        let e = parse_expr_single p in
+        expect p Lexer.Semicolon;
+        variables := (v, e) :: !variables
+      end
+      else
+        (* declare namespace / boundary-space / default ... : parsed and
+           discarded *)
+        skip_to_semicolon p;
+      loop ()
+    end
+    else if looking_kw p "import" then begin
+      skip_to_semicolon p;
+      loop ()
+    end
+  in
+  loop ();
+  (List.rev !functions, List.rev !variables)
+
+let parse_query src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { pos; msg } -> raise (Error { pos; msg })
+  in
+  let p = { toks; i = 0 } in
+  let functions, variables = parse_prolog p in
+  let body = parse_expr_sequence p in
+  if cur p <> Lexer.Eof then
+    error (cur_pos p) "unexpected trailing token %s" (Lexer.token_to_string (cur p));
+  { functions; variables; body }
+
+let parse_expression src =
+  let q = parse_query src in
+  if q.functions <> [] || q.variables <> [] then
+    error 0 "unexpected prolog in expression";
+  q.body
+
+(* Parse a module: only declarations, no body (the GalaTex fts library is
+   loaded this way). *)
+let parse_module src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { pos; msg } -> raise (Error { pos; msg })
+  in
+  let p = { toks; i = 0 } in
+  (* tolerate a "module namespace fts = '...';" header *)
+  if looking_kw p "module" then skip_to_semicolon p;
+  let functions, variables = parse_prolog p in
+  if cur p <> Lexer.Eof then
+    error (cur_pos p) "unexpected token %s in module" (Lexer.token_to_string (cur p));
+  { functions; variables; body = Sequence [] }

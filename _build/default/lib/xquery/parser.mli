@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the combined XQuery + Full-Text grammar
+    (paper Section 3.2.2): the two languages nest arbitrarily; the
+    "(" ambiguity between a parenthesized FTSelection and an embedded XQuery
+    expression is resolved by limited-lookahead backtracking, as the paper
+    describes. *)
+
+exception Error of { pos : int; msg : string }
+
+val parse_query : string -> Ast.query
+(** Parse a full query: prolog (declare function / variable / namespace,
+    import) followed by the body expression.
+    @raise Error on syntax errors (position is a source offset). *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (no prolog allowed). *)
+
+val parse_module : string -> Ast.query
+(** Parse a library module: an optional [module namespace ...] header and
+    declarations only; the returned body is the empty sequence.  Used to
+    load the GalaTex fts module. *)

@@ -1,0 +1,258 @@
+open Ast
+
+(* Pretty-printer for the combined AST.  Its main job is showing users the
+   XQuery text the GalaTex translation produces (paper Section 3.2.2 prints
+   exactly such queries); it also round-trips through the parser for the
+   expression forms the translator emits, which tests exercise. *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let axis_name = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Attribute -> "attribute"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Following -> "following"
+  | Preceding -> "preceding"
+
+let node_test_string = function
+  | Name_test n -> n
+  | Kind_text -> "text()"
+  | Kind_node -> "node()"
+  | Kind_comment -> "comment()"
+  | Kind_element None -> "element()"
+  | Kind_element (Some n) -> Printf.sprintf "element(%s)" n
+  | Kind_document -> "document-node()"
+
+let general_op = function
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let value_op = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let arith_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Idiv -> "idiv"
+  | Mod -> "mod"
+
+let ft_unit_name = function
+  | Words -> "words"
+  | Sentences -> "sentences"
+  | Paragraphs -> "paragraphs"
+
+let rec expr_to_string e =
+  let s = expr_to_string in
+  match e with
+  | Literal_string str -> Printf.sprintf "\"%s\"" (escape_string str)
+  | Literal_integer i -> string_of_int i
+  | Literal_double d -> Printf.sprintf "%g" d
+  | Var v -> "$" ^ v
+  | Context_item -> "."
+  | Sequence [] -> "()"
+  | Sequence es -> "(" ^ String.concat ", " (List.map s es) ^ ")"
+  | Range (a, b) -> Printf.sprintf "(%s to %s)" (s a) (s b)
+  | If (c, t, f) -> Printf.sprintf "if (%s) then %s else %s" (s c) (s t) (s f)
+  | Flwor (clauses, body) ->
+      let clause = function
+        | For_clause { var; positional = None; source } ->
+            Printf.sprintf "for $%s in %s" var (s source)
+        | For_clause { var; positional = Some p; source } ->
+            Printf.sprintf "for $%s at $%s in %s" var p (s source)
+        | Let_clause { var; value } -> Printf.sprintf "let $%s := %s" var (s value)
+        | Where_clause w -> "where " ^ s w
+        | Order_by keys ->
+            "order by "
+            ^ String.concat ", "
+                (List.map
+                   (fun (k, desc) -> s k ^ if desc then " descending" else " ascending")
+                   keys)
+      in
+      String.concat " " (List.map clause clauses) ^ " return " ^ s body
+  | Quantified (q, bindings, cond) ->
+      Printf.sprintf "%s %s satisfies %s"
+        (match q with Some_q -> "some" | Every_q -> "every")
+        (String.concat ", "
+           (List.map (fun (v, src) -> Printf.sprintf "$%s in %s" v (s src)) bindings))
+        (s cond)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (s a) (s b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (s a) (s b)
+  | General_cmp (op, a, b) -> Printf.sprintf "%s %s %s" (s a) (general_op op) (s b)
+  | Value_cmp (op, a, b) -> Printf.sprintf "%s %s %s" (s a) (value_op op) (s b)
+  | Node_is (a, b) -> Printf.sprintf "%s is %s" (s a) (s b)
+  | Arith (op, a, b) -> Printf.sprintf "(%s %s %s)" (s a) (arith_name op) (s b)
+  | Neg a -> "-" ^ s a
+  | Union (a, b) -> Printf.sprintf "(%s | %s)" (s a) (s b)
+  | Root -> "/"
+  | Path (root, steps) ->
+      let step_str (st : step) =
+        let base =
+          match (st.axis, st.test) with
+          | Child, test -> node_test_string test
+          | Attribute, Name_test n -> "@" ^ n
+          | Descendant_or_self, Kind_node -> "descendant-or-self::node()"
+          | Self, Kind_node -> "."
+          | Parent, Kind_node -> ".."
+          | axis, test -> axis_name axis ^ "::" ^ node_test_string test
+        in
+        base
+        ^ String.concat ""
+            (List.map (fun p -> "[" ^ s p ^ "]") st.predicates)
+      in
+      let steps_str = String.concat "/" (List.map step_str steps) in
+      (match root with
+      | None -> steps_str
+      | Some Root -> "/" ^ steps_str
+      | Some e -> s e ^ "/" ^ steps_str)
+  | Filter (primary, preds) ->
+      s primary ^ String.concat "" (List.map (fun p -> "[" ^ s p ^ "]") preds)
+  | Call (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat ", " (List.map s args))
+  | Elem_constructor { name; attrs; content } ->
+      let content_str parts =
+        String.concat ""
+          (List.map
+             (function
+               | Const_text t -> t
+               | Const_expr e -> "{" ^ s e ^ "}")
+             parts)
+      in
+      let attrs_str =
+        String.concat ""
+          (List.map
+             (fun (n, parts) -> Printf.sprintf " %s=\"%s\"" n (content_str parts))
+             attrs)
+      in
+      if content = [] then Printf.sprintf "<%s%s/>" name attrs_str
+      else Printf.sprintf "<%s%s>%s</%s>" name attrs_str (content_str content) name
+  | Computed_element (n, c) ->
+      Printf.sprintf "element {%s} {%s}" (s n) (s c)
+  | Computed_attribute (n, c) ->
+      Printf.sprintf "attribute {%s} {%s}" (s n) (s c)
+  | Computed_text c -> Printf.sprintf "text {%s}" (s c)
+  | Ft_contains { context; selection; ignore_nodes } ->
+      Printf.sprintf "%s ftcontains %s%s" (s context)
+        (selection_to_string selection)
+        (match ignore_nodes with
+        | None -> ""
+        | Some e -> " without content " ^ s e)
+  | Ft_score (context, selection) ->
+      Printf.sprintf "ft:score(%s, %s)" (s context) (selection_to_string selection)
+
+and selection_to_string sel =
+  let s = selection_to_string in
+  let e = expr_to_string in
+  match sel with
+  | Ft_words { source; anyall; options; weight } ->
+      let src =
+        match source with
+        | Ft_literal str -> Printf.sprintf "\"%s\"" (escape_string str)
+        | Ft_expr ex -> "(" ^ e ex ^ ")"
+      in
+      let anyall_str =
+        match anyall with
+        | Ft_any -> ""
+        | Ft_all -> " all"
+        | Ft_phrase -> " phrase"
+        | Ft_any_word -> " any word"
+        | Ft_all_words -> " all words"
+      in
+      let opts = String.concat "" (List.map option_to_string options) in
+      let w = match weight with None -> "" | Some ex -> " weight " ^ e ex in
+      src ^ anyall_str ^ opts ^ w
+  | Ft_and (a, b) -> Printf.sprintf "(%s && %s)" (s a) (s b)
+  | Ft_or (a, b) -> Printf.sprintf "(%s || %s)" (s a) (s b)
+  | Ft_mild_not (a, b) -> Printf.sprintf "(%s not in %s)" (s a) (s b)
+  | Ft_unary_not a -> "! " ^ s a
+  (* position filters bind at selection level, so a filtered selection used
+     as an operand must be parenthesized to reparse *)
+  | Ft_ordered a -> Printf.sprintf "(%s ordered)" (s a)
+  | Ft_window (a, n, u) ->
+      Printf.sprintf "(%s window %s %s)" (s a) (e n) (ft_unit_name u)
+  | Ft_distance (a, range, u) ->
+      Printf.sprintf "(%s distance %s %s)" (s a) (range_to_string range)
+        (ft_unit_name u)
+  | Ft_scope (a, kind) ->
+      let k =
+        match kind with
+        | Same_sentence -> "same sentence"
+        | Same_paragraph -> "same paragraph"
+        | Different_sentence -> "different sentence"
+        | Different_paragraph -> "different paragraph"
+      in
+      Printf.sprintf "(%s %s)" (s a) k
+  | Ft_times (a, range) ->
+      Printf.sprintf "(%s occurs %s times)" (s a) (range_to_string range)
+  | Ft_content (a, anchor) ->
+      let k =
+        match anchor with
+        | At_start -> "at start"
+        | At_end -> "at end"
+        | Entire_content -> "entire content"
+      in
+      Printf.sprintf "(%s %s)" (s a) k
+  | Ft_with_options (a, options) ->
+      "(" ^ s a ^ ")" ^ String.concat "" (List.map option_to_string options)
+
+and range_to_string = function
+  | Exactly e -> "exactly " ^ expr_to_string e
+  | At_least e -> "at least " ^ expr_to_string e
+  | At_most e -> "at most " ^ expr_to_string e
+  | From_to (lo, hi) ->
+      Printf.sprintf "from %s to %s" (expr_to_string lo) (expr_to_string hi)
+
+and option_to_string = function
+  | Opt_case Case_insensitive -> " case insensitive"
+  | Opt_case Case_sensitive -> " case sensitive"
+  | Opt_case Case_lower -> " lowercase"
+  | Opt_case Case_upper -> " uppercase"
+  | Opt_diacritics true -> " diacritics sensitive"
+  | Opt_diacritics false -> " diacritics insensitive"
+  | Opt_stemming true -> " with stemming"
+  | Opt_stemming false -> " without stemming"
+  | Opt_wildcards true -> " with wildcards"
+  | Opt_wildcards false -> " without wildcards"
+  | Opt_special_chars true -> " with special characters"
+  | Opt_special_chars false -> " without special characters"
+  | Opt_stop_words None -> " without stop words"
+  | Opt_stop_words (Some Stop_default) -> " with default stop words"
+  | Opt_stop_words (Some (Stop_list ws)) ->
+      Printf.sprintf " with stop words (%s)"
+        (String.concat ", " (List.map (Printf.sprintf "\"%s\"") ws))
+  | Opt_thesaurus None -> " without thesaurus"
+  | Opt_thesaurus (Some { th_name; th_relationship; th_levels }) ->
+      " with thesaurus "
+      ^ (match th_name with None -> "default" | Some n -> Printf.sprintf "\"%s\"" n)
+      ^ (match th_relationship with
+        | None -> ""
+        | Some r -> Printf.sprintf " relationship \"%s\"" r)
+      ^ (match th_levels with
+        | None -> ""
+        | Some n -> Printf.sprintf " at most %d levels" n)
+  | Opt_language l -> Printf.sprintf " language \"%s\"" l
+
+let query_to_string (q : query) =
+  let funs =
+    List.map
+      (fun f ->
+        Printf.sprintf "declare function %s(%s) { %s };" f.fname
+          (String.concat ", " (List.map (fun p -> "$" ^ p) f.params))
+          (expr_to_string f.body))
+      q.functions
+  in
+  let vars =
+    List.map
+      (fun (v, e) ->
+        Printf.sprintf "declare variable $%s := %s;" v (expr_to_string e))
+      q.variables
+  in
+  String.concat "\n" (funs @ vars @ [ expr_to_string q.body ])

@@ -1,0 +1,1 @@
+test/test_all_matches.ml: Alcotest All_matches Corpus Engine Ft_ops Ftindex Galatex Lazy List Option Printf QCheck2 QCheck_alcotest Xmlkit

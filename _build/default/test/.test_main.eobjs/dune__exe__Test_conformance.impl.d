@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest All_matches Corpus Engine Ft_eval Ftindex Fts_module Galatex Lazy List Option Printf QCheck2 QCheck_alcotest Translate Xquery

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Galatex Hashtbl List Option Xmlkit Xquery

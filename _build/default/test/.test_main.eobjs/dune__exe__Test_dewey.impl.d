@@ -1,0 +1,1 @@
+test/test_dewey.ml: Alcotest Dewey List QCheck2 QCheck_alcotest Xmlkit

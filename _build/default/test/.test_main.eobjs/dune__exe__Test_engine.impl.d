@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Corpus Engine Ft_eval Galatex Lazy String Tokenize Xquery

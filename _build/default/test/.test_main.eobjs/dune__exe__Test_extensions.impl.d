@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest All_matches Engine Galatex Lazy List Xquery

@@ -1,0 +1,1 @@
+test/test_ft_parser.ml: Alcotest List Xquery

@@ -1,0 +1,1 @@
+test/test_ft_stream.ml: Alcotest All_matches Corpus Engine Ft_stream Ftindex Fts_module Galatex Lazy List Printf Xmlkit Xquery

@@ -1,0 +1,1 @@
+test/test_fts_module.ml: Alcotest Corpus Engine Fts_module Galatex Lazy Printf Xquery

@@ -1,0 +1,1 @@
+test/test_highlight.ml: Alcotest Corpus Engine Ftindex Galatex Highlight Lazy List Option Xmlkit

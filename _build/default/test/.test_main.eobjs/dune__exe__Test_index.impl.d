@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Corpus Ftindex Index_xml Indexer Inverted List Option Posting QCheck2 QCheck_alcotest Stats Tokenize Xmlkit

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array List Xquery

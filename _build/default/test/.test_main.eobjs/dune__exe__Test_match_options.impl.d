@@ -1,0 +1,1 @@
+test/test_match_options.ml: Alcotest Engine Ftindex Galatex Lazy List Match_options Tokenize Xquery

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Char List Printf QCheck2 QCheck_alcotest Regex String Tokenize

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Corpus Engine Galatex Lazy List Printf QCheck2 QCheck_alcotest Rewrite Xquery

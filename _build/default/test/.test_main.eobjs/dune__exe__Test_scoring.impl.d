@@ -1,0 +1,1 @@
+test/test_scoring.ml: Alcotest All_matches Corpus Engine Ftindex Galatex Lazy List Printf QCheck2 QCheck_alcotest Score Xquery

@@ -1,0 +1,1 @@
+test/test_strategies.ml: Alcotest Corpus Engine Float Galatex Lazy List Printf QCheck2 QCheck_alcotest Xquery

@@ -1,0 +1,1 @@
+test/test_tokenize.ml: Alcotest Corpus List Normalize Porter QCheck2 QCheck_alcotest Segmenter Stopwords String Thesaurus Token Tokenize Xmlkit

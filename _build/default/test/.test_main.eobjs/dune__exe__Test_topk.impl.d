@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Corpus Engine Ftindex Galatex Lazy List Printf QCheck2 QCheck_alcotest Topk Xmlkit

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Engine Galatex List String Translate Xquery

@@ -1,0 +1,1 @@
+test/test_usecases.ml: Alcotest Corpus Galatex Lazy List String

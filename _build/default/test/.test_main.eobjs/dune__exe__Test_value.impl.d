@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List QCheck2 QCheck_alcotest Value Xmlkit Xquery

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dewey List Node Option Parser Printer QCheck2 QCheck_alcotest String Xmlkit

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Lazy Xmlkit Xquery

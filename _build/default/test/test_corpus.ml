@@ -1,0 +1,139 @@
+(* The synthetic-corpus substrate: determinism, plant guarantees, Zipf
+   sampling, the PRNG. *)
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let test_splitmix_deterministic () =
+  let a = Corpus.Splitmix.create 42 and b = Corpus.Splitmix.create 42 in
+  let seq rng = List.init 20 (fun _ -> Corpus.Splitmix.int rng 1000) in
+  Alcotest.check (Alcotest.list Alcotest.int) "same seed same stream" (seq a) (seq b);
+  let c = Corpus.Splitmix.create 43 in
+  check_bool "different seed different stream" true
+    (seq (Corpus.Splitmix.create 42) <> seq c)
+
+let test_splitmix_bounds () =
+  let rng = Corpus.Splitmix.create 7 in
+  for _ = 1 to 1000 do
+    let v = Corpus.Splitmix.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let f = Corpus.Splitmix.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds: %f" f
+  done;
+  match Corpus.Splitmix.int rng 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bound 0 must raise"
+
+let test_vocab_zipf () =
+  let vocab = Corpus.Vocab.create ~skew:1.0 100 in
+  check_int "size" 100 (Corpus.Vocab.size vocab);
+  check_bool "words distinct" true
+    (List.length (List.sort_uniq compare (Corpus.Vocab.words vocab)) = 100);
+  (* rank 0 must be sampled far more often than rank 50 *)
+  let rng = Corpus.Splitmix.create 1 in
+  let counts = Hashtbl.create 100 in
+  for _ = 1 to 5000 do
+    let w = Corpus.Vocab.sample vocab rng in
+    Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))
+  done;
+  let count w = Option.value ~default:0 (Hashtbl.find_opt counts w) in
+  check_bool "zipf skew visible" true
+    (count (Corpus.Vocab.word vocab 0) > 5 * count (Corpus.Vocab.word vocab 50))
+
+let test_books_deterministic () =
+  let profile =
+    { Corpus.Generator.default_profile with Corpus.Generator.seed = 5; doc_count = 3 }
+  in
+  let render docs =
+    List.map (fun (u, d) -> (u, Xmlkit.Printer.to_string d)) docs
+  in
+  Alcotest.check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "same seed, same corpus"
+    (render (Corpus.Generator.books profile))
+    (render (Corpus.Generator.books profile))
+
+let test_books_shape () =
+  let profile =
+    {
+      Corpus.Generator.default_profile with
+      Corpus.Generator.doc_count = 4;
+      sections_per_doc = 2;
+      paras_per_section = 3;
+    }
+  in
+  let docs = Corpus.Generator.books profile in
+  check_int "doc count" 4 (List.length docs);
+  List.iter
+    (fun (_, d) ->
+      let sections =
+        List.filter (fun n -> Xmlkit.Node.name n = Some "section") (Xmlkit.Node.descendants d)
+      in
+      check_int "sections" 2 (List.length sections);
+      List.iter
+        (fun s ->
+          check_int "paras" 3
+            (List.length
+               (List.filter (fun n -> Xmlkit.Node.name n = Some "p") (Xmlkit.Node.children s))))
+        sections)
+    docs
+
+let test_plant_guarantee () =
+  (* every planted document contains the phrase at least once *)
+  let profile =
+    {
+      Corpus.Generator.default_profile with
+      Corpus.Generator.seed = 9;
+      doc_count = 12;
+      plant =
+        Some
+          {
+            Corpus.Generator.phrase = [ "planted"; "phrase" ];
+            doc_selectivity = 1.0;
+            para_selectivity = 0.05 (* low: exercises the guarantee branch *);
+            max_gap = 0;
+            in_order = true;
+          };
+    }
+  in
+  let idx = Corpus.Generator.index_books profile in
+  let eng = Galatex.Engine.of_index idx in
+  let hits =
+    Galatex.Engine.run eng
+      {|count(collection()//book[. ftcontains "planted phrase"])|}
+  in
+  Alcotest.check Alcotest.string "all 12 planted" "12"
+    (Xquery.Value.to_display_string hits)
+
+let test_bills_fraction () =
+  let bills =
+    Corpus.Generator.bills ~seed:3 ~count:30 ~target_fraction:0.5
+      ~phrase:"magic words"
+  in
+  check_int "count" 30 (List.length bills);
+  let eng = Galatex.Engine.create bills in
+  let hits =
+    Xquery.Value.to_number
+      (Galatex.Engine.run eng {|count(collection()//bill[. ftcontains "magic words"])|})
+  in
+  check_bool "roughly half planted" true (hits > 5.0 && hits < 25.0)
+
+let test_fig1_document_stable () =
+  (* the reconstruction is pinned: regenerating yields identical XML *)
+  Alcotest.check Alcotest.string "stable"
+    (Xmlkit.Printer.to_string (Corpus.Fig1.document ()))
+    (Xmlkit.Printer.to_string (Corpus.Fig1.document ()))
+
+let tests =
+  [
+    Alcotest.test_case "splitmix determinism" `Quick test_splitmix_deterministic;
+    Alcotest.test_case "splitmix bounds" `Quick test_splitmix_bounds;
+    Alcotest.test_case "vocab zipf" `Quick test_vocab_zipf;
+    Alcotest.test_case "books deterministic" `Quick test_books_deterministic;
+    Alcotest.test_case "books shape" `Quick test_books_shape;
+    Alcotest.test_case "plant guarantee" `Quick test_plant_guarantee;
+    Alcotest.test_case "bills fraction" `Quick test_bills_fraction;
+    Alcotest.test_case "fig1 stable" `Quick test_fig1_document_stable;
+  ]

@@ -1,0 +1,118 @@
+(* The engine façade: document resolution, collection(), context selection,
+   optimization flags, highlighting through queries, error propagation. *)
+
+open Galatex
+
+let engine = lazy (Corpus.Usecases.engine ())
+
+let run ?strategy ?optimizations ?context src =
+  Xquery.Value.to_display_string
+    (Engine.run (Lazy.force engine) ?strategy ?optimizations ?context src)
+
+let check_string = Alcotest.check Alcotest.string
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_default_context_is_first_doc () =
+  (* //book with no explicit context resolves against book1.xml *)
+  check_string "default" "1" (run {|string(//book/@number)|});
+  check_string "explicit context" "3"
+    (run ~context:"book3.xml" {|string(//book/@number)|})
+
+let test_collection () =
+  check_string "all docs" "3" (run {|count(collection()//book)|});
+  check_string "collection independent of context" "3"
+    (run ~context:"book2.xml" {|count(collection()//book)|})
+
+let test_doc_function () =
+  check_string "fn:doc by uri" "2" (run {|string(doc("book2.xml")//book/@number)|});
+  match Engine.run (Lazy.force engine) {|doc("missing.xml")|} with
+  | exception Xquery.Context.Dynamic_error _ -> ()
+  | _ -> Alcotest.fail "missing document must raise"
+
+let test_optimization_flags_preserve () =
+  let q = {|count(collection()//book[. ftcontains "usability" || "databases"])|} in
+  let plain = run q in
+  check_string "all optimizations" plain
+    (run ~optimizations:Engine.all_optimizations q);
+  check_string "no optimizations" plain (run ~optimizations:Engine.no_optimizations q)
+
+let test_translate_to_text_round_trip () =
+  let src = {|//book[. ftcontains "x" && "y" window 3 words]/title|} in
+  let text = Engine.translate_to_text src in
+  check_bool "mentions FTWindow" true
+    (let rec has i =
+       i + 12 <= String.length text
+       && (String.sub text i 12 = "fts:FTWindow" || has (i + 1))
+     in
+     has 0);
+  (* the translated text is valid XQuery *)
+  ignore (Xquery.Parser.parse_query text)
+
+let test_parse_error_propagates () =
+  match Engine.run (Lazy.force engine) "//book[" with
+  | exception Xquery.Parser.Error _ -> ()
+  | _ -> Alcotest.fail "parse error must propagate"
+
+let test_ft_error_on_bad_weight () =
+  match
+    Engine.run (Lazy.force engine) {|ft:score(//book, "x" weight 3.0)|}
+  with
+  | exception Ft_eval.Ft_error _ -> ()
+  | _ -> Alcotest.fail "weight outside [0,1] must raise"
+
+let test_empty_corpus () =
+  let empty = Engine.of_strings [] in
+  check_string "collection empty" "0"
+    (Xquery.Value.to_display_string (Engine.run empty {|count(collection())|}))
+
+let test_selection_all_matches_guard () =
+  match
+    Engine.selection_all_matches (Lazy.force engine) {|"a" madeupsyntax|}
+      ~context_nodes:()
+  with
+  | exception (Xquery.Parser.Error _ | Invalid_argument _) -> ()
+  | _ -> Alcotest.fail "garbage selection must raise"
+
+let test_strategies_share_resolver () =
+  (* the translated path can read the corpus AND the generated documents *)
+  check_string "fn:doc in translated strategy" "3"
+    (run ~strategy:Engine.Translated {|count(collection()//book)|});
+  check_string "invlist doc visible" "true"
+    (run ~strategy:Engine.Translated
+       {|exists(fn:doc("list_distinct_words.xml")/ListDistinctWords)|})
+
+let test_segmenter_config_respected () =
+  (* index with titles ignored: words in titles are unsearchable *)
+  let eng =
+    Engine.of_strings
+      ~config:
+        {
+          Tokenize.Segmenter.default_config with
+          Tokenize.Segmenter.ignore_elements = [ "title" ];
+        }
+      [ ("d.xml", "<doc><title>secret</title><p>visible words</p></doc>") ]
+  in
+  check_string "title word invisible" "false"
+    (Xquery.Value.to_display_string
+       (Engine.run eng {|//doc ftcontains "secret"|}));
+  check_string "body word visible" "true"
+    (Xquery.Value.to_display_string
+       (Engine.run eng {|//doc ftcontains "visible"|}))
+
+let tests =
+  [
+    Alcotest.test_case "default context" `Quick test_default_context_is_first_doc;
+    Alcotest.test_case "collection()" `Quick test_collection;
+    Alcotest.test_case "fn:doc resolution" `Quick test_doc_function;
+    Alcotest.test_case "optimization flags preserve results" `Quick
+      test_optimization_flags_preserve;
+    Alcotest.test_case "translate_to_text" `Quick test_translate_to_text_round_trip;
+    Alcotest.test_case "parse errors propagate" `Quick test_parse_error_propagates;
+    Alcotest.test_case "invalid weight" `Quick test_ft_error_on_bad_weight;
+    Alcotest.test_case "empty corpus" `Quick test_empty_corpus;
+    Alcotest.test_case "selection parse guard" `Quick test_selection_all_matches_guard;
+    Alcotest.test_case "resolver in translated strategy" `Quick
+      test_strategies_share_resolver;
+    Alcotest.test_case "segmenter config respected" `Quick
+      test_segmenter_config_respected;
+  ]

@@ -1,0 +1,230 @@
+(* The combined XQuery + Full-Text grammar (paper Section 3.2.2): FTSelection
+   forms, match options, the parenthesization ambiguity, and arbitrary
+   nesting of the two languages. *)
+
+open Xquery.Ast
+
+let parse src = (Xquery.Parser.parse_query src).body
+
+let selection_of src =
+  match parse src with
+  | Ft_contains { selection; _ } -> selection
+  | _ -> Alcotest.fail "expected an ftcontains expression"
+
+let check_bool = Alcotest.check Alcotest.bool
+
+let test_simple_words () =
+  match selection_of {|. ftcontains "usability"|} with
+  | Ft_words { source = Ft_literal "usability"; anyall = Ft_any; options = []; weight = None } ->
+      ()
+  | _ -> Alcotest.fail "unexpected selection shape"
+
+let test_boolean_shapes () =
+  (match selection_of {|. ftcontains "a" && "b" || "c"|} with
+  | Ft_or (Ft_and (Ft_words _, Ft_words _), Ft_words _) -> ()
+  | _ -> Alcotest.fail "&& binds tighter than ||");
+  (match selection_of {|. ftcontains "a" ftand "b" ftor "c"|} with
+  | Ft_or (Ft_and _, _) -> ()
+  | _ -> Alcotest.fail "keyword forms");
+  (match selection_of {|. ftcontains ! "a"|} with
+  | Ft_unary_not (Ft_words _) -> ()
+  | _ -> Alcotest.fail "unary not");
+  match selection_of {|. ftcontains "a" not in "b"|} with
+  | Ft_mild_not (Ft_words _, Ft_words _) -> ()
+  | _ -> Alcotest.fail "mild not"
+
+let test_position_filters () =
+  (match selection_of {|. ftcontains "a" && "b" window 5|} with
+  | Ft_window (Ft_and _, Literal_integer 5, Words) -> ()
+  | _ -> Alcotest.fail "window default unit");
+  (match selection_of {|. ftcontains "a" && "b" distance at most 10 words ordered|} with
+  | Ft_ordered (Ft_distance (Ft_and _, At_most (Literal_integer 10), Words)) -> ()
+  | _ -> Alcotest.fail "distance then ordered");
+  (match selection_of {|. ftcontains "a" && "b" same sentence|} with
+  | Ft_scope (Ft_and _, Same_sentence) -> ()
+  | _ -> Alcotest.fail "same sentence");
+  (match selection_of {|. ftcontains "a" occurs at least 2 times|} with
+  | Ft_times (Ft_words _, At_least (Literal_integer 2)) -> ()
+  | _ -> Alcotest.fail "times");
+  (match selection_of {|. ftcontains "a" && "b" distance from 2 to 4 sentences|} with
+  | Ft_distance (Ft_and _, From_to (Literal_integer 2, Literal_integer 4), Sentences) -> ()
+  | _ -> Alcotest.fail "from-to sentences");
+  match selection_of {|. ftcontains "a" at start|} with
+  | Ft_content (Ft_words _, At_start) -> ()
+  | _ -> Alcotest.fail "anchor"
+
+let test_paper_running_example () =
+  (* the query of Section 3.1.3 *)
+  let sel =
+    selection_of
+      {|.//p ftcontains ("usability" with stemming) && ("software" case sensitive) with distance at most 10 words|}
+  in
+  match sel with
+  | Ft_distance
+      ( Ft_and
+          ( Ft_words { options = [ Opt_stemming true ]; _ },
+            Ft_words { options = [ Opt_case Case_sensitive ]; _ } ),
+        At_most (Literal_integer 10),
+        Words ) ->
+      ()
+  | _ -> Alcotest.fail "running example shape"
+
+let test_match_options () =
+  (match selection_of {|. ftcontains "a" with stemming without wildcards diacritics sensitive|} with
+  | Ft_words { options = [ Opt_stemming true; Opt_wildcards false; Opt_diacritics true ]; _ } ->
+      ()
+  | _ -> Alcotest.fail "option list order");
+  (match selection_of {|. ftcontains "a" with stop words ("the", "of")|} with
+  | Ft_words { options = [ Opt_stop_words (Some (Stop_list [ "the"; "of" ])) ]; _ } -> ()
+  | _ -> Alcotest.fail "stop list");
+  (match selection_of {|. ftcontains "a" with default stop words|} with
+  | Ft_words { options = [ Opt_stop_words (Some Stop_default) ]; _ } -> ()
+  | _ -> Alcotest.fail "default stops");
+  (match selection_of {|. ftcontains "a" with thesaurus "medical"|} with
+  | Ft_words
+      {
+        options =
+          [ Opt_thesaurus (Some { th_name = Some "medical"; th_relationship = None; th_levels = None }) ];
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "named thesaurus");
+  (match
+     selection_of
+       {|. ftcontains "a" with thesaurus "wn" relationship "narrower" at most 2 levels|}
+   with
+  | Ft_words
+      {
+        options =
+          [ Opt_thesaurus
+              (Some
+                 { th_name = Some "wn"; th_relationship = Some "narrower";
+                   th_levels = Some 2 }) ];
+        _;
+      } ->
+      ()
+  | _ -> Alcotest.fail "thesaurus relationship/levels");
+  (match selection_of {|. ftcontains "a" language "en"|} with
+  | Ft_words { options = [ Opt_language "en" ]; _ } -> ()
+  | _ -> Alcotest.fail "language");
+  match selection_of {|. ftcontains ("a" && "b") with stemming|} with
+  | Ft_with_options (Ft_and _, [ Opt_stemming true ]) -> ()
+  | _ -> Alcotest.fail "options scope over parenthesized selection"
+
+let test_weights () =
+  match parse {|ft:score(., "usability" weight 0.8 && "testing" weight 0.2)|} with
+  | Ft_score
+      ( Context_item,
+        Ft_and
+          ( Ft_words { weight = Some (Literal_double 0.8); _ },
+            Ft_words { weight = Some (Literal_double 0.2); _ } ) ) ->
+      ()
+  | _ -> Alcotest.fail "ft:score with weights"
+
+let test_paren_disambiguation () =
+  (* "(" Expr ")" anyall  vs "(" FTSelection ")" — the paper's 3rd token *)
+  (match selection_of {|. ftcontains (//book/title) any|} with
+  | Ft_words { source = Ft_expr (Path _); anyall = Ft_any; _ } -> ()
+  | _ -> Alcotest.fail "parenthesized expression source");
+  (match selection_of {|. ftcontains ("a" || "b") && "c"|} with
+  | Ft_and (Ft_or _, Ft_words _) -> ()
+  | _ -> Alcotest.fail "parenthesized selection");
+  (match selection_of {|. ftcontains ("word") |} with
+  | Ft_words { source = Ft_literal "word"; _ } -> ()
+  | _ -> Alcotest.fail "single string in parens is a selection");
+  match selection_of {|. ftcontains ("new york") phrase|} with
+  | Ft_words { source = Ft_expr (Literal_string "new york"); anyall = Ft_phrase; _ } -> ()
+  | _ -> Alcotest.fail "phrase keyword forces expression reading"
+
+let test_nesting () =
+  (* XQuery inside FT inside XQuery (paper: "arbitrary nesting ... is
+     possible and is supported by the parser") *)
+  let q =
+    parse
+      {|//article[. ftcontains (//book[. ftcontains "usability"]/title) any]|}
+  in
+  let rec count_ftcontains e =
+    match e with
+    | Ft_contains { context; selection; _ } ->
+        1 + count_ftcontains context + count_in_selection selection
+    | Path (Some r, steps) ->
+        count_ftcontains r
+        + List.fold_left
+            (fun acc (s : step) ->
+              acc + List.fold_left (fun a p -> a + count_ftcontains p) 0 s.predicates)
+            0 steps
+    | Path (None, steps) ->
+        List.fold_left
+          (fun acc (s : step) ->
+            acc + List.fold_left (fun a p -> a + count_ftcontains p) 0 s.predicates)
+          0 steps
+    | Filter (p, preds) ->
+        count_ftcontains p
+        + List.fold_left (fun a e -> a + count_ftcontains e) 0 preds
+    | _ -> 0
+  and count_in_selection = function
+    | Ft_words { source = Ft_expr e; _ } -> count_ftcontains e
+    | Ft_and (a, b) | Ft_or (a, b) | Ft_mild_not (a, b) ->
+        count_in_selection a + count_in_selection b
+    | Ft_unary_not a | Ft_ordered a
+    | Ft_window (a, _, _)
+    | Ft_distance (a, _, _)
+    | Ft_scope (a, _)
+    | Ft_times (a, _)
+    | Ft_content (a, _)
+    | Ft_with_options (a, _) ->
+        count_in_selection a
+    | Ft_words _ -> 0
+  in
+  Alcotest.check Alcotest.int "two nested ftcontains" 2 (count_ftcontains q)
+
+let test_entity_and () =
+  (* the paper writes the FTAnd operator as &amp; in examples *)
+  match selection_of {|. ftcontains "usability" &amp; "testing"|} with
+  | Ft_and _ -> ()
+  | _ -> Alcotest.fail "&amp; accepted as FTAnd"
+
+let test_without_content () =
+  match parse {|. ftcontains "a" without content ./title|} with
+  | Ft_contains { ignore_nodes = Some (Path _); _ } -> ()
+  | _ -> Alcotest.fail "ignore option"
+
+let test_print_parse_round_trip () =
+  let queries =
+    [
+      {|//book[. ftcontains "usability" && "testing" window 5 words]/title|};
+      {|//p ftcontains ("a" with stemming) || "b" distance at most 3 words ordered|};
+      {|ft:score(//book, "x" weight 0.5)|};
+      {|//a ftcontains "w" occurs at least 2 times|};
+      {|//a ftcontains "x" same paragraph without content .//footnote|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let q1 = Xquery.Parser.parse_query src in
+      let printed = Xquery.Printer.query_to_string q1 in
+      let q2 =
+        try Xquery.Parser.parse_query printed
+        with Xquery.Parser.Error { msg; _ } ->
+          Alcotest.failf "reparse of %S failed: %s" printed msg
+      in
+      let printed2 = Xquery.Printer.query_to_string q2 in
+      Alcotest.check Alcotest.string ("fixpoint of " ^ src) printed printed2)
+    queries
+
+let tests =
+  [
+    Alcotest.test_case "simple words" `Quick test_simple_words;
+    Alcotest.test_case "boolean shapes" `Quick test_boolean_shapes;
+    Alcotest.test_case "position filters" `Quick test_position_filters;
+    Alcotest.test_case "paper running example" `Quick test_paper_running_example;
+    Alcotest.test_case "match options" `Quick test_match_options;
+    Alcotest.test_case "weights" `Quick test_weights;
+    Alcotest.test_case "paren disambiguation" `Quick test_paren_disambiguation;
+    Alcotest.test_case "nesting of the two languages" `Quick test_nesting;
+    Alcotest.test_case "&amp; operator" `Quick test_entity_and;
+    Alcotest.test_case "without content" `Quick test_without_content;
+    Alcotest.test_case "print/parse round trip" `Quick test_print_parse_round_trip;
+  ]
+
+let _ = check_bool

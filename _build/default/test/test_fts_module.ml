@@ -1,0 +1,119 @@
+(* The XQuery-side fts library module (the paper's actual implementation
+   vehicle), exercised function by function through the engine it runs on. *)
+
+open Galatex
+
+let engine = lazy (Corpus.Fig1.engine ())
+
+(* a context with the fts module loaded and the fig1 corpus resolvable *)
+let ctx () =
+  Fts_module.setup_context
+    (Engine.env (Lazy.force engine))
+    (Xquery.Parser.parse_query "0")
+
+let eval src = Xquery.Eval.eval (ctx ()) (Xquery.Parser.parse_expression src)
+
+let display src = Xquery.Value.to_display_string (eval src)
+
+let check_q msg expected src = Alcotest.check Alcotest.string msg expected (display src)
+
+let test_tokens () =
+  check_q "tokens" "non immigrant status"
+    {|string-join(fts:tokens("non-immigrant status!"), " ")|};
+  check_q "tokensFor preserves wildcards" "usab.*"
+    {|string-join(fts:tokensFor("usab.*", "wildcards=on"), " ")|}
+
+let test_contains_pos () =
+  check_q "self" "true" {|fts:containsPos("1.2.1", "1.2.1")|};
+  check_q "descendant" "true" {|fts:containsPos("1.2.1", "1.2.1.5")|};
+  check_q "no false prefix" "false" {|fts:containsPos("1.1", "1.10.1")|};
+  check_q "sibling" "false" {|fts:containsPos("1.2.1", "1.2.2")|}
+
+let test_expand_token () =
+  check_q "exact" "usability"
+    {|string-join(fts:expandToken("USABILITY", "case=insensitive|stemming=off|diacritics=insensitive|thesaurus=off"), " ")|};
+  check_q "wildcard expansion" "usability users"
+    {|string-join(for $w in fts:expandToken("us.*", "wildcards=on|diacritics=insensitive|thesaurus=off") order by $w return $w, " ")|}
+
+let test_inverted_list_access () =
+  check_q "postings count" "3"
+    {|count(fn:doc("invlist_software.xml")/fts:InvertedList/fts:TokenInfo)|};
+  check_q "distinct words doc" "true"
+    {|count(fn:doc("list_distinct_words.xml")/ListDistinctWords/invlist) > 10|}
+
+let test_word_distance_primitive () =
+  (* fig1: positions 5 and 10 have 4 words between them *)
+  check_q "plain" "4" {|fts:wordDistance("fig1.xml", 5, 10, "stop=off")|};
+  (* filler6..filler9 occupy the gap: declaring them stop words shrinks it *)
+  check_q "stop-aware" "2"
+    {|fts:wordDistance("fig1.xml", 5, 10, "stoplist=filler6,filler7")|};
+  check_q "span" "6" {|fts:wordSpan("fig1.xml", 5, 10, "stop=off")|}
+
+let test_stemmer_primitive () =
+  check_q "galax:stem" "connect" {|galax:stem("Connections")|};
+  check_q "diacritics" "cafe" {|fts:stripDiacritics("café")|};
+  check_q "special chars" "non.?immigrant" {|fts:specialCharsPattern("non-immigrant")|}
+
+let test_words_selection () =
+  check_q "two usability matches" "2"
+    {|count(fts:FTWordsSelection(fn:doc("fig1.xml")/book, "usability", "any",
+        "case=insensitive|diacritics=insensitive|stemming=off|wildcards=off|special=off|stop=off|thesaurus=off|language=en",
+        1, 1.0)/fts:Match)|}
+
+let test_boolean_functions () =
+  let mo =
+    "case=insensitive|diacritics=insensitive|stemming=off|wildcards=off|special=off|stop=off|thesaurus=off|language=en"
+  in
+  let words w qp =
+    Printf.sprintf
+      {|fts:FTWordsSelection(fn:doc("fig1.xml")/book, "%s", "any", "%s", %d, 1.0)|}
+      w mo qp
+  in
+  check_q "FTAnd cartesian (Figure 3)" "6"
+    (Printf.sprintf "count(fts:FTAnd(%s, %s)/fts:Match)" (words "usability" 1)
+       (words "software" 2));
+  check_q "FTOr union" "5"
+    (Printf.sprintf "count(fts:FTOr(%s, %s)/fts:Match)" (words "usability" 1)
+       (words "software" 2));
+  check_q "FTUnaryNot of two positions" "1"
+    (Printf.sprintf "count(fts:FTUnaryNot(%s)/fts:Match)" (words "usability" 1));
+  check_q "distance keeps 3 (Figure 3)" "3"
+    (Printf.sprintf
+       "count(fts:FTDistanceAtMost(10, \"words\", fts:FTAnd(%s, %s), \"%s\")/fts:Match)"
+       (words "usability" 1) (words "software" 2) mo);
+  check_q "FTContains true"
+    "true"
+    (Printf.sprintf "fts:FTContains(fn:doc(\"fig1.xml\")/book, %s)"
+       (words "usability" 1));
+  check_q "FTContains false" "false"
+    (Printf.sprintf "fts:FTContains(fn:doc(\"fig1.xml\")/book, %s)"
+       (words "nosuchword" 1))
+
+let test_noisy_or () =
+  check_q "empty" "0" {|fts:noisyOr(())|};
+  check_q "single" "0.5" {|fts:noisyOr(0.5)|};
+  check_q "pair" "0.75" {|fts:noisyOr((0.5, 0.5))|}
+
+let test_stopword_default_doc () =
+  check_q "default stop list served" "true"
+    {|count(fn:doc("stopwords_default.xml")/StopWords/w) > 100|};
+  check_q "isStop default" "true" {|fts:isStop("the", "stop=on")|};
+  check_q "isStop explicit" "true" {|fts:isStop("foo", "stoplist=foo,bar")|};
+  check_q "isStop off" "false" {|fts:isStop("the", "stop=off")|}
+
+let tests =
+  [
+    Alcotest.test_case "fts:tokens" `Quick test_tokens;
+    Alcotest.test_case "fts:containsPos" `Quick test_contains_pos;
+    Alcotest.test_case "fts:expandToken" `Quick test_expand_token;
+    Alcotest.test_case "inverted-list documents via fn:doc" `Quick
+      test_inverted_list_access;
+    Alcotest.test_case "fts:wordDistance / wordSpan" `Quick
+      test_word_distance_primitive;
+    Alcotest.test_case "galax:stem and friends" `Quick test_stemmer_primitive;
+    Alcotest.test_case "fts:FTWordsSelection" `Quick test_words_selection;
+    Alcotest.test_case "fts Boolean/positional functions" `Quick
+      test_boolean_functions;
+    Alcotest.test_case "fts:noisyOr" `Quick test_noisy_or;
+    Alcotest.test_case "stop-word machinery" `Quick test_stopword_default_doc;
+  ]

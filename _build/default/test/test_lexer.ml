@@ -1,0 +1,114 @@
+(* Lexer edge cases for the combined grammar: contextual '<', nested
+   comments, string escapes, the XML-blob capture, and the paper's three
+   disambiguation situations. *)
+
+let tokens src =
+  Array.to_list (Xquery.Lexer.tokenize src) |> List.map fst
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let count_kind pred src = List.length (List.filter pred (tokens src))
+
+let is_blob = function Xquery.Lexer.Xml_blob _ -> true | _ -> false
+let is_lt = function Xquery.Lexer.Lt -> true | _ -> false
+
+let test_lt_vs_tag () =
+  (* comparison position: '<' is an operator *)
+  check_int "comparison" 1 (count_kind is_lt "$x < 5");
+  check_int "no blob in comparison" 0 (count_kind is_blob "$x < 5");
+  (* operand position: '<' starts a constructor *)
+  check_int "constructor after return" 1 (count_kind is_blob "for $x in (1) return <a/>");
+  check_int "constructor after then" 1 (count_kind is_blob "if (1) then <a/> else 2");
+  check_int "constructor after paren" 1 (count_kind is_blob "(<a/>)");
+  (* path-then-compare: foo < 5 keeps the operator reading *)
+  check_int "after name" 1 (count_kind is_lt "//a/foo < 5")
+
+let test_blob_capture () =
+  let blob src =
+    match List.find is_blob (tokens src) with
+    | Xquery.Lexer.Xml_blob b -> b
+    | _ -> assert false
+  in
+  Alcotest.check Alcotest.string "nested elements" "<a><b>x</b></a>"
+    (blob "<a><b>x</b></a>");
+  Alcotest.check Alcotest.string "self closing" "<a x=\"1\"/>" (blob "<a x=\"1\"/>");
+  Alcotest.check Alcotest.string "enclosed braces kept"
+    "<a>{ if (1 < 2) then 'x' else 'y' }</a>"
+    (blob "<a>{ if (1 < 2) then 'x' else 'y' }</a>");
+  Alcotest.check Alcotest.string "avt with quote braces" "<a k=\"{ '}' }\"/>"
+    (blob "<a k=\"{ '}' }\"/>");
+  Alcotest.check Alcotest.string "comment inside" "<a><!-- </a> --></a>"
+    (blob "<a><!-- </a> --></a>")
+
+let test_nested_comments () =
+  check_int "nested comment skipped" 2
+    (List.length (tokens "1 (: outer (: inner :) still :) + 2") - 2)
+    (* 1, +, 2, EOF -> minus (+,EOF) = 2 literals *)
+
+let test_string_escapes () =
+  (match tokens {|"a""b"|} with
+  | [ Xquery.Lexer.String_lit s; Xquery.Lexer.Eof ] ->
+      Alcotest.check Alcotest.string "doubled quote" "a\"b" s
+  | _ -> Alcotest.fail "expected one string");
+  match tokens {|"x &amp; y"|} with
+  | [ Xquery.Lexer.String_lit s; Xquery.Lexer.Eof ] ->
+      Alcotest.check Alcotest.string "entity in string" "x & y" s
+  | _ -> Alcotest.fail "expected one string"
+
+let test_operators () =
+  check_bool "&& lexes" true (List.mem Xquery.Lexer.Ampamp (tokens {|"a" && "b"|}));
+  check_bool "&amp; lexes as &&" true
+    (List.mem Xquery.Lexer.Ampamp (tokens {|"a" &amp; "b"|}));
+  check_bool "|| lexes" true (List.mem Xquery.Lexer.Dpipe (tokens {|"a" || "b"|}));
+  check_bool "!= vs !" true
+    (List.mem Xquery.Lexer.Ne (tokens "1 != 2")
+    && List.mem Xquery.Lexer.Bang (tokens {|! "a"|}));
+  check_bool ":= vs ::" true
+    (List.mem Xquery.Lexer.Assign (tokens "let $x := 1 return $x")
+    && List.mem Xquery.Lexer.Coloncolon (tokens "child::a"))
+
+let test_numbers () =
+  (match tokens "3.25" with
+  | [ Xquery.Lexer.Double_lit d; Xquery.Lexer.Eof ] ->
+      Alcotest.check (Alcotest.float 0.0) "double" 3.25 d
+  | _ -> Alcotest.fail "double expected");
+  (match tokens "42" with
+  | [ Xquery.Lexer.Integer_lit 42; Xquery.Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "integer expected");
+  (* "1.2.3" must not lex as a double followed by garbage silently *)
+  match tokens "1.5e2" with
+  | [ Xquery.Lexer.Double_lit d; Xquery.Lexer.Eof ] ->
+      Alcotest.check (Alcotest.float 0.0) "exponent" 150.0 d
+  | _ -> Alcotest.fail "exponent expected"
+
+let test_qnames () =
+  (match tokens "fts:FTAnd" with
+  | [ Xquery.Lexer.Name "fts:FTAnd"; Xquery.Lexer.Eof ] -> ()
+  | _ -> Alcotest.fail "qname expected");
+  (* axis '::' must not be swallowed into the name *)
+  match tokens "child::book" with
+  | [ Xquery.Lexer.Name "child"; Xquery.Lexer.Coloncolon; Xquery.Lexer.Name "book";
+      Xquery.Lexer.Eof ] ->
+      ()
+  | _ -> Alcotest.fail "axis split expected"
+
+let test_errors () =
+  List.iter
+    (fun src ->
+      match Xquery.Lexer.tokenize src with
+      | exception Xquery.Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "expected lex error for %s" src)
+    [ "\"unterminated"; "(: unterminated"; "$"; "return <a>" ]
+
+let tests =
+  [
+    Alcotest.test_case "'<' comparison vs constructor" `Quick test_lt_vs_tag;
+    Alcotest.test_case "XML blob capture" `Quick test_blob_capture;
+    Alcotest.test_case "nested comments" `Quick test_nested_comments;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "qnames and axes" `Quick test_qnames;
+    Alcotest.test_case "lex errors" `Quick test_errors;
+  ]

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "galatex"
+    [
+      ("dewey", Test_dewey.tests);
+      ("xml", Test_xml.tests);
+      ("tokenize", Test_tokenize.tests);
+      ("regex", Test_regex.tests);
+      ("index", Test_index.tests);
+      ("lexer", Test_lexer.tests);
+      ("xquery", Test_xquery.tests);
+      ("value", Test_value.tests);
+      ("ft-parser", Test_ft_parser.tests);
+      ("all-matches", Test_all_matches.tests);
+      ("match-options", Test_match_options.tests);
+      ("scoring", Test_scoring.tests);
+      ("translate", Test_translate.tests);
+      ("strategies", Test_strategies.tests);
+      ("rewrite", Test_rewrite.tests);
+      ("topk", Test_topk.tests);
+      ("highlight", Test_highlight.tests);
+      ("usecases", Test_usecases.tests);
+      ("extensions", Test_extensions.tests);
+      ("ft-stream", Test_ft_stream.tests);
+      ("fts-module", Test_fts_module.tests);
+      ("corpus", Test_corpus.tests);
+      ("engine", Test_engine.tests);
+      ("conformance", Test_conformance.tests);
+    ]

@@ -1,0 +1,134 @@
+open Tokenize
+
+let check = Alcotest.check
+
+let matches pat s = Regex.matches (Regex.compile pat) s
+let whole pat s = Regex.matches_whole (Regex.compile pat) s
+
+let test_literals () =
+  check Alcotest.bool "substring" true (matches "abc" "xxabcxx");
+  check Alcotest.bool "missing" false (matches "abc" "abx");
+  check Alcotest.bool "whole exact" true (whole "abc" "abc");
+  check Alcotest.bool "whole partial" false (whole "abc" "abcd")
+
+let test_quantifiers () =
+  check Alcotest.bool "star" true (whole "ab*c" "ac");
+  check Alcotest.bool "star many" true (whole "ab*c" "abbbc");
+  check Alcotest.bool "plus zero" false (whole "ab+c" "ac");
+  check Alcotest.bool "plus one" true (whole "ab+c" "abc");
+  check Alcotest.bool "opt" true (whole "ab?c" "abc");
+  check Alcotest.bool "opt zero" true (whole "ab?c" "ac");
+  check Alcotest.bool "repeat exact" true (whole "a{3}" "aaa");
+  check Alcotest.bool "repeat exact fail" false (whole "a{3}" "aa");
+  check Alcotest.bool "repeat range" true (whole "a{2,4}" "aaa");
+  check Alcotest.bool "repeat unbounded" true (whole "a{2,}" "aaaaaa");
+  check Alcotest.bool "repeat too few" false (whole "a{2,}" "a")
+
+let test_classes () =
+  check Alcotest.bool "range" true (whole "[a-z]+" "hello");
+  check Alcotest.bool "negated" true (whole "[^0-9]+" "abc");
+  check Alcotest.bool "negated fail" false (whole "[^0-9]+" "ab3");
+  check Alcotest.bool "multi range" true (whole "[a-zA-Z0-9]+" "Ab3");
+  check Alcotest.bool "literal dash" true (whole "[a-]+" "a-a");
+  check Alcotest.bool "escapes in class" true (whole "[\\t ]+" " \t ")
+
+let test_escapes () =
+  check Alcotest.bool "digit" true (whole "\\d+" "123");
+  check Alcotest.bool "word" true (whole "\\w+" "ab_1");
+  check Alcotest.bool "space" true (whole "\\s+" " \t\n");
+  check Alcotest.bool "literal dot" true (whole "a\\.b" "a.b");
+  check Alcotest.bool "literal dot fail" false (whole "a\\.b" "axb");
+  check Alcotest.bool "neg digit" true (whole "\\D+" "abc")
+
+let test_alternation_groups () =
+  check Alcotest.bool "alt" true (whole "cat|dog" "dog");
+  check Alcotest.bool "group star" true (whole "(ab)+" "ababab");
+  check Alcotest.bool "group alt" true (whole "x(a|b)y" "xby");
+  check Alcotest.bool "nested" true (whole "((a|b)c)+" "acbc")
+
+let test_anchors () =
+  check Alcotest.bool "bol" true (matches "^abc" "abcdef");
+  check Alcotest.bool "bol fail" false (matches "^abc" "xabc");
+  check Alcotest.bool "eol" true (matches "abc$" "xxabc");
+  check Alcotest.bool "both" true (matches "^abc$" "abc");
+  check Alcotest.bool "both fail" false (matches "^abc$" "abcd")
+
+let test_any () =
+  check Alcotest.bool "dot" true (whole "a.c" "axc");
+  check Alcotest.bool "dot not empty" false (whole "a.c" "ac");
+  (* the paper's special-character technique: '-' becomes ".?" *)
+  check Alcotest.bool "non.?immigrant vs nonimmigrant" true
+    (whole "non.?immigrant" "nonimmigrant");
+  check Alcotest.bool "non.?immigrant vs non-immigrant" true
+    (whole "non.?immigrant" "non-immigrant")
+
+let test_replace () =
+  let re = Regex.compile "-" in
+  check Alcotest.string "replace" "non immigrant"
+    (Regex.replace_all re "non-immigrant" " ");
+  let re2 = Regex.compile "a+" in
+  check Alcotest.string "greedy replace" "x_y_z"
+    (Regex.replace_all re2 "xaayaaaz" "_")
+
+let test_find_first () =
+  let re = Regex.compile "b+" in
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "find" (Some (1, 3))
+    (Regex.find_first re "abbc" 0);
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "find from" (Some (4, 5))
+    (Regex.find_first re "abbcb" 3);
+  check
+    (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "none" None
+    (Regex.find_first re "ac" 0)
+
+let test_parse_errors () =
+  List.iter
+    (fun pat ->
+      match Regex.compile pat with
+      | exception Regex.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" pat)
+    [ "("; "a)"; "["; "a{2,1}"; "*"; "a{"; "\\q" ]
+
+let test_pathological_backtracking_terminates () =
+  (* nullable star bodies must not loop *)
+  check Alcotest.bool "empty star" true (whole "(a?)*b" "aab");
+  check Alcotest.bool "nested star" true (whole "(a*)*b" "aaab");
+  check Alcotest.bool "no match terminates" false (whole "(a*)*c" "aaab")
+
+(* property: escaped literal always matches itself *)
+let prop_literal_self_match =
+  let gen =
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+  in
+  QCheck2.Test.make ~name:"literal pattern matches itself (whole)" ~count:200 gen
+    (fun s -> whole s s)
+
+let prop_class_membership =
+  QCheck2.Test.make ~name:"single char class membership" ~count:200
+    QCheck2.Gen.(pair (char_range 'a' 'z') (char_range 'a' 'z'))
+    (fun (lo, c) ->
+      let hi = Char.chr (min (Char.code 'z') (Char.code lo + 5)) in
+      let pat = Printf.sprintf "[%c-%c]" lo hi in
+      whole pat (String.make 1 c) = (c >= lo && c <= hi))
+
+let tests =
+  [
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "classes" `Quick test_classes;
+    Alcotest.test_case "escapes" `Quick test_escapes;
+    Alcotest.test_case "alternation/groups" `Quick test_alternation_groups;
+    Alcotest.test_case "anchors" `Quick test_anchors;
+    Alcotest.test_case "dot" `Quick test_any;
+    Alcotest.test_case "replace" `Quick test_replace;
+    Alcotest.test_case "find_first" `Quick test_find_first;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pathological patterns terminate" `Quick
+      test_pathological_backtracking_terminates;
+    QCheck_alcotest.to_alcotest prop_literal_self_match;
+    QCheck_alcotest.to_alcotest prop_class_membership;
+  ]

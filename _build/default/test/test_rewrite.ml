@@ -1,0 +1,122 @@
+(* The Section 4.1 logical rewritings (Figure 6) must preserve semantics
+   while changing the plan shape. *)
+
+open Galatex
+open Xquery.Ast
+
+let engine = lazy (Corpus.Usecases.engine ())
+
+let check_bool = Alcotest.check Alcotest.bool
+
+let parse_sel src =
+  match (Xquery.Parser.parse_query (". ftcontains " ^ src)).body with
+  | Ft_contains { selection; _ } -> selection
+  | _ -> assert false
+
+let test_pushdown_over_or () =
+  (* Figure 6(a)-style: the filter distributes into the disjuncts *)
+  (match Rewrite.pushdown_selection (parse_sel {|("a" && "b" || "c" && "d") ordered|}) with
+  | Ft_or (Ft_ordered _, Ft_ordered _) -> ()
+  | _ -> Alcotest.fail "ordered not distributed over or");
+  match
+    Rewrite.pushdown_selection
+      (parse_sel {|("a" || "b") distance at most 3 words|})
+  with
+  | Ft_or (Ft_distance _, Ft_distance _) -> ()
+  | _ -> Alcotest.fail "distance not distributed over or"
+
+let test_pushdown_reorders_chain () =
+  (* pure filters (ordered) move below rescoring filters (distance) *)
+  match
+    Rewrite.pushdown_selection
+      (parse_sel {|"a" && "b" distance at most 5 words ordered|})
+  with
+  | Ft_ordered (Ft_distance _) -> Alcotest.fail "should push ordered inside"
+  | Ft_distance (Ft_ordered _, _, _) -> ()
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_pushdown_not_through_and () =
+  match Rewrite.pushdown_selection (parse_sel {|("a" && "b") ordered|}) with
+  | Ft_ordered (Ft_and _) -> ()
+  | _ -> Alcotest.fail "ordered must not cross FTAnd"
+
+let test_or_short_circuit_shape () =
+  let q =
+    Rewrite.or_short_circuit_query
+      (Xquery.Parser.parse_query {|//book[. ftcontains "a" || "b"]|})
+  in
+  let rec has_or_of_contains e =
+    match e with
+    | Or (Ft_contains _, Ft_contains _) -> true
+    | Path (_, steps) ->
+        List.exists
+          (fun (s : step) -> List.exists has_or_of_contains s.predicates)
+          steps
+    | Filter (_, preds) -> List.exists has_or_of_contains preds
+    | _ -> false
+  in
+  check_bool "FTContains(a||b) split into or" true (has_or_of_contains q.body)
+
+(* semantics preservation over the use-case corpus *)
+let queries =
+  [
+    {|count(collection()//book[. ftcontains "usability" || "databases"])|};
+    {|count(collection()//p[. ftcontains ("usability" || "software") && "testing" ordered])|};
+    {|count(collection()//p[. ftcontains ("usability" || "quality") distance at most 8 words ordered])|};
+    {|count(collection()//p[. ftcontains ("usability" && "testing") ordered window 10 words])|};
+    {|count(collection()//chapter[. ftcontains "usability" || "nosuchword"])|};
+  ]
+
+let run ?optimizations src =
+  Xquery.Value.to_display_string
+    (Engine.run (Lazy.force engine) ?optimizations src)
+
+let test_semantics_preserved () =
+  List.iter
+    (fun src ->
+      let plain = run src in
+      Alcotest.check Alcotest.string ("pushdown: " ^ src) plain
+        (run
+           ~optimizations:
+             { Engine.pushdown = true; Engine.or_short_circuit = false }
+           src);
+      Alcotest.check Alcotest.string ("short-circuit: " ^ src) plain
+        (run
+           ~optimizations:
+             { Engine.pushdown = false; Engine.or_short_circuit = true }
+           src);
+      Alcotest.check Alcotest.string ("both: " ^ src) plain
+        (run ~optimizations:Engine.all_optimizations src))
+    queries
+
+let prop_pushdown_preserves =
+  QCheck2.Test.make ~name:"pushdown preserves node satisfaction" ~count:30
+    (QCheck2.Gen.oneofl
+       [
+         {|("usability" || "testing") ordered|};
+         {|("software" || "quality") distance at most 6 words|};
+         {|("usability" && "testing") ordered distance at most 12 words|};
+         {|("usability" || "experts") window 9 words|};
+         {|("product" || "users") same sentence ordered|};
+       ])
+    (fun sel_src ->
+      let query ctx =
+        Printf.sprintf "count(collection()%s[. ftcontains %s])" ctx sel_src
+      in
+      List.for_all
+        (fun ctx ->
+          run (query ctx)
+          = run ~optimizations:Engine.all_optimizations (query ctx))
+        [ "//book"; "//p"; "//chapter" ])
+
+let tests =
+  [
+    Alcotest.test_case "pushdown over FTOr" `Quick test_pushdown_over_or;
+    Alcotest.test_case "pushdown reorders filter chains" `Quick
+      test_pushdown_reorders_chain;
+    Alcotest.test_case "no pushdown through FTAnd" `Quick
+      test_pushdown_not_through_and;
+    Alcotest.test_case "or short-circuit shape" `Quick test_or_short_circuit_shape;
+    Alcotest.test_case "rewrites preserve semantics" `Quick test_semantics_preserved;
+    QCheck_alcotest.to_alcotest prop_pushdown_preserves;
+  ]

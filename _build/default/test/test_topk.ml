@@ -1,0 +1,120 @@
+(* Top-k with score upper-bound pruning (Section 4.2): pruning must return
+   the same top-k while doing strictly less work on selective corpora. *)
+
+open Galatex
+
+let engine =
+  lazy
+    (Engine.of_index
+       (Corpus.Generator.index_books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 7;
+            doc_count = 20;
+            vocab_size = 150;
+            plant =
+              Some
+                {
+                  Corpus.Generator.phrase = [ "usability"; "testing" ];
+                  doc_selectivity = 0.5;
+                  para_selectivity = 0.3;
+                  max_gap = 2;
+                  in_order = true;
+                };
+          }))
+
+let sections () =
+  let eng = Lazy.force engine in
+  List.concat_map
+    (fun (_, doc) ->
+      List.filter
+        (fun n -> Xmlkit.Node.name n = Some "section")
+        (Xmlkit.Node.descendants doc))
+    (Ftindex.Inverted.documents (Engine.index eng))
+
+let am () =
+  Engine.selection_all_matches (Lazy.force engine)
+    {|"usability" && "testing" window 8 words|} ~context_nodes:()
+
+let result_key (r : Topk.result) =
+  (Xmlkit.Dewey.to_string (Xmlkit.Node.dewey r.Topk.node), r.Topk.score)
+
+let test_pruned_equals_naive () =
+  let eng = Lazy.force engine in
+  let env = Engine.env eng in
+  let nodes = sections () in
+  let am = am () in
+  List.iter
+    (fun k ->
+      let naive, _ = Topk.top_k ~pruned:false env nodes am k in
+      let pruned, _ = Topk.top_k ~pruned:true env nodes am k in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "same size k=%d" k)
+        (List.length naive) (List.length pruned);
+      (* same score multiset (ties may reorder nodes) *)
+      let scores rs = List.sort compare (List.map (fun r -> r.Topk.score) rs) in
+      Alcotest.check
+        (Alcotest.list (Alcotest.float 1e-9))
+        (Printf.sprintf "same scores k=%d" k)
+        (scores naive) (scores pruned))
+    [ 1; 3; 5; 10 ]
+
+let test_pruning_saves_work () =
+  let eng = Lazy.force engine in
+  let env = Engine.env eng in
+  let nodes = sections () in
+  let am = am () in
+  let _, naive_stats = Topk.top_k ~pruned:false env nodes am 3 in
+  let _, pruned_stats = Topk.top_k ~pruned:true env nodes am 3 in
+  Alcotest.check Alcotest.bool "fewer satisfiesMatch tests" true
+    (pruned_stats.Topk.match_tests <= naive_stats.Topk.match_tests);
+  Alcotest.check Alcotest.bool "some nodes pruned" true
+    (pruned_stats.Topk.nodes_pruned > 0
+    || pruned_stats.Topk.match_tests < naive_stats.Topk.match_tests
+    || List.length nodes <= 3)
+
+let test_scores_sorted_descending () =
+  let eng = Lazy.force engine in
+  let env = Engine.env eng in
+  let results, _ = Topk.top_k ~pruned:true env (sections ()) (am ()) 5 in
+  let rec descending = function
+    | a :: (b :: _ as rest) -> a.Topk.score >= b.Topk.score && descending rest
+    | _ -> true
+  in
+  Alcotest.check Alcotest.bool "descending" true (descending results);
+  List.iter
+    (fun r ->
+      Alcotest.check Alcotest.bool "positive scores only" true (r.Topk.score > 0.0))
+    results
+
+let test_k_larger_than_answers () =
+  let eng = Lazy.force engine in
+  let env = Engine.env eng in
+  let results, _ = Topk.top_k ~pruned:true env (sections ()) (am ()) 10_000 in
+  let naive, _ = Topk.top_k ~pruned:false env (sections ()) (am ()) 10_000 in
+  Alcotest.check Alcotest.int "all answers" (List.length naive) (List.length results)
+
+let prop_topk_consistent =
+  QCheck2.Test.make ~name:"pruned top-k equals naive for random k" ~count:20
+    QCheck2.Gen.(int_range 1 15)
+    (fun k ->
+      let eng = Lazy.force engine in
+      let env = Engine.env eng in
+      let nodes = sections () in
+      let am = am () in
+      let naive, _ = Topk.top_k ~pruned:false env nodes am k in
+      let pruned, _ = Topk.top_k ~pruned:true env nodes am k in
+      List.sort compare (List.map (fun r -> r.Topk.score) naive)
+      = List.sort compare (List.map (fun r -> r.Topk.score) pruned))
+
+let _ = result_key
+
+let tests =
+  [
+    Alcotest.test_case "pruned = naive" `Quick test_pruned_equals_naive;
+    Alcotest.test_case "pruning saves work" `Quick test_pruning_saves_work;
+    Alcotest.test_case "descending positive scores" `Quick
+      test_scores_sorted_descending;
+    Alcotest.test_case "k larger than answer set" `Quick test_k_larger_than_answers;
+    QCheck_alcotest.to_alcotest prop_topk_consistent;
+  ]

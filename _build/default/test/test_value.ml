@@ -1,0 +1,108 @@
+(* The XDM value module: atomization, effective boolean value, comparisons,
+   arithmetic, serialization. *)
+
+open Xquery
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+let test_ebv () =
+  check_bool "empty" false (Value.effective_boolean_value []);
+  check_bool "false" false (Value.effective_boolean_value (Value.boolean false));
+  check_bool "true" true (Value.effective_boolean_value (Value.boolean true));
+  check_bool "zero" false (Value.effective_boolean_value (Value.integer 0));
+  check_bool "nonzero" true (Value.effective_boolean_value (Value.integer 3));
+  check_bool "empty string" false (Value.effective_boolean_value (Value.string ""));
+  check_bool "string" true (Value.effective_boolean_value (Value.string "x"));
+  check_bool "nan" false (Value.effective_boolean_value (Value.double nan));
+  let node = Xmlkit.Parser.parse_document "<a/>" in
+  check_bool "node-first sequence" true
+    (Value.effective_boolean_value [ Value.Node node; Value.Integer 0 ]);
+  match Value.effective_boolean_value [ Value.Integer 1; Value.Integer 2 ] with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "multi-atomic EBV must raise"
+
+let test_atomization () =
+  let doc = Xmlkit.Parser.parse_document "<a>hello <b>world</b></a>" in
+  (match Value.atomize (Value.of_nodes [ doc ]) with
+  | [ Value.String s ] -> check_string "node atomizes to string value" "hello world" s
+  | _ -> Alcotest.fail "unexpected atomization");
+  check_bool "atomics unchanged" true
+    (Value.atomize (Value.integer 4) = Value.integer 4)
+
+let test_item_to_string () =
+  check_string "whole double" "3" (Value.item_to_string (Value.Double 3.0));
+  check_string "fraction" "3.25" (Value.item_to_string (Value.Double 3.25));
+  check_string "nan" "NaN" (Value.item_to_string (Value.Double nan));
+  check_string "inf" "INF" (Value.item_to_string (Value.Double infinity));
+  check_string "bool" "true" (Value.item_to_string (Value.Boolean true));
+  check_string "int" "-7" (Value.item_to_string (Value.Integer (-7)))
+
+let test_general_compare () =
+  let num n = Value.Integer n in
+  check_bool "existential" true
+    (Value.general_compare Value.Eq [ num 1; num 2 ] [ num 2; num 9 ]);
+  check_bool "none" false (Value.general_compare Value.Eq [ num 1 ] [ num 2 ]);
+  check_bool "numeric string promotion" true
+    (Value.general_compare Value.Lt [ Value.String "9" ] [ num 10 ]);
+  check_bool "string compare" true
+    (Value.general_compare Value.Gt [ Value.String "b" ] [ Value.String "a" ]);
+  check_bool "empty never matches" false (Value.general_compare Value.Eq [] [ num 1 ])
+
+let test_value_compare () =
+  check_bool "eq" true (Value.value_compare Value.Eq (Value.integer 1) (Value.integer 1) = Some true);
+  check_bool "empty gives none" true (Value.value_compare Value.Eq [] (Value.integer 1) = None);
+  match Value.value_compare Value.Eq (Value.of_item (Value.Integer 1) @ Value.integer 2) (Value.integer 1) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "non-singleton value comparison must raise"
+
+let test_arith () =
+  check_bool "int add" true (Value.arith Value.Add (Value.integer 2) (Value.integer 3) = Value.integer 5);
+  check_bool "div always double" true
+    (Value.arith Value.Div (Value.integer 5) (Value.integer 2) = Value.double 2.5);
+  check_bool "empty propagates" true (Value.arith Value.Add [] (Value.integer 1) = []);
+  (match Value.arith Value.Idiv (Value.integer 1) (Value.integer 0) with
+  | exception Value.Type_error _ -> ()
+  | _ -> Alcotest.fail "idiv by zero must raise");
+  check_bool "string promotes" true
+    (Value.arith Value.Mul (Value.string "4") (Value.integer 2) = Value.double 8.0)
+
+let test_document_order_dedup () =
+  let doc = Xmlkit.Parser.parse_document "<a><b/><c/></a>" in
+  let a = List.hd (Xmlkit.Node.children doc) in
+  let b = List.nth (Xmlkit.Node.children a) 0 in
+  let c = List.nth (Xmlkit.Node.children a) 1 in
+  let v = Value.of_nodes [ c; b; c; a ] in
+  match Value.document_order_dedup v with
+  | [ Value.Node x; Value.Node y; Value.Node z ] ->
+      check_bool "order a b c" true
+        (Xmlkit.Node.equal x a && Xmlkit.Node.equal y b && Xmlkit.Node.equal z c)
+  | _ -> Alcotest.fail "expected three nodes"
+
+let prop_compare_items_total =
+  let gen_item =
+    QCheck2.Gen.(
+      oneof
+        [
+          map (fun i -> Value.Integer i) (int_range (-100) 100);
+          map (fun f -> Value.Double f) (float_bound_inclusive 100.0);
+          map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+        ])
+  in
+  QCheck2.Test.make ~name:"compare_items antisymmetric" ~count:200
+    QCheck2.Gen.(pair gen_item gen_item)
+    (fun (a, b) ->
+      let sgn x = compare x 0 in
+      sgn (Value.compare_items a b) = -sgn (Value.compare_items b a))
+
+let tests =
+  [
+    Alcotest.test_case "effective boolean value" `Quick test_ebv;
+    Alcotest.test_case "atomization" `Quick test_atomization;
+    Alcotest.test_case "item serialization" `Quick test_item_to_string;
+    Alcotest.test_case "general comparison" `Quick test_general_compare;
+    Alcotest.test_case "value comparison" `Quick test_value_compare;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "document order dedup" `Quick test_document_order_dedup;
+    QCheck_alcotest.to_alcotest prop_compare_items_total;
+  ]

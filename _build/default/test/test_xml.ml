@@ -1,0 +1,158 @@
+open Xmlkit
+
+let check = Alcotest.check
+
+let parse = Parser.parse_document
+
+let first_element doc =
+  match List.find_opt Node.is_element (Node.children doc) with
+  | Some e -> e
+  | None -> Alcotest.fail "no root element"
+
+let test_basic_parse () =
+  let doc = parse "<a x=\"1\"><b>hi</b><c/></a>" in
+  let a = first_element doc in
+  check (Alcotest.option Alcotest.string) "name" (Some "a") (Node.name a);
+  check (Alcotest.option Alcotest.string) "attr" (Some "1")
+    (Node.attribute_value a "x");
+  check Alcotest.int "children" 2 (List.length (Node.children a));
+  check Alcotest.string "string value" "hi" (Node.string_value a)
+
+let test_entities () =
+  let doc = parse "<a>x &amp; y &lt;z&gt; &#65;&#x42;</a>" in
+  check Alcotest.string "decoded" "x & y <z> AB"
+    (Node.string_value (first_element doc))
+
+let test_cdata_comment_pi () =
+  let doc = parse "<a><!-- note --><![CDATA[<raw> & stuff]]><?target data?></a>" in
+  let a = first_element doc in
+  check Alcotest.string "cdata text" "<raw> & stuff" (Node.string_value a);
+  let kinds = List.map Node.kind_name (Node.children a) in
+  check (Alcotest.list Alcotest.string) "kinds"
+    [ "comment"; "text"; "processing-instruction" ]
+    kinds
+
+let test_doctype_prolog () =
+  let doc =
+    parse "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>t</a>"
+  in
+  check Alcotest.string "content survives doctype" "t"
+    (Node.string_value (first_element doc))
+
+let test_malformed () =
+  List.iter
+    (fun src ->
+      match parse src with
+      | exception Parser.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %s" src)
+    [ "<a><b></a></b>"; "<a"; "<a>&unknown;</a>"; "<a></a><b></b>"; "" ]
+
+let test_mismatched_close_tag () =
+  match parse "<a><b>x</c></a>" with
+  | exception Parser.Error { msg; _ } ->
+      check Alcotest.bool "mentions mismatch" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected error"
+
+let test_dewey_assignment () =
+  (* document and root element share label "1" (paper Figure 5(a)) *)
+  let doc = parse "<book><title>t</title><content><p>x</p></content></book>" in
+  let book = first_element doc in
+  check Alcotest.string "root label" "1" (Dewey.to_string (Node.dewey book));
+  let title = List.nth (Node.children book) 0 in
+  check Alcotest.string "title" "1.1" (Dewey.to_string (Node.dewey title));
+  let content = List.nth (Node.children book) 1 in
+  let p = List.hd (Node.children content) in
+  check Alcotest.string "p" "1.2.1" (Dewey.to_string (Node.dewey p));
+  let text = List.hd (Node.children p) in
+  check Alcotest.string "text node" "1.2.1.1" (Dewey.to_string (Node.dewey text))
+
+let test_document_order () =
+  let doc = parse "<a><b><c/></b><d/></a>" in
+  let nodes = Node.descendants_or_self doc in
+  let sorted = List.sort Node.compare_order nodes in
+  check Alcotest.bool "pre-order = document order" true
+    (List.for_all2 Node.equal nodes sorted)
+
+let test_find_by_dewey () =
+  let doc = parse "<a><b>x</b><c><d/></c></a>" in
+  let d = Node.find_by_dewey doc (Dewey.of_string "1.2.1") in
+  check (Alcotest.option Alcotest.string) "found d" (Some "d")
+    (Option.bind d Node.name);
+  (* label 1 prefers the element over the document node *)
+  let a = Node.find_by_dewey doc Dewey.root in
+  check (Alcotest.option Alcotest.string) "element over document" (Some "a")
+    (Option.bind a Node.name)
+
+let test_print_parse_round_trip () =
+  let srcs =
+    [
+      "<a x=\"1\" y=\"two\"><b>text</b><c/>tail</a>";
+      "<r>a &amp; b &lt;c&gt;</r>";
+      "<p>mixed <b>bold</b> words</p>";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let doc = parse src in
+      let printed = Printer.to_string doc in
+      let doc2 = parse printed in
+      check Alcotest.string "stable after one round" printed
+        (Printer.to_string doc2))
+    srcs
+
+let test_escaping () =
+  let n = Node.seal (Node.element "a" ~attributes:[ Node.attribute "k" "a\"b<c&d" ] [ Node.text "x<y&z>w" ]) in
+  let printed = Printer.to_string n in
+  let doc = Parser.parse_document ("<root>" ^ printed ^ "</root>") in
+  check Alcotest.string "text value survives" "x<y&z>w"
+    (Node.string_value (first_element doc));
+  let a = List.hd (Node.children (first_element doc)) in
+  check (Alcotest.option Alcotest.string) "attr survives" (Some "a\"b<c&d")
+    (Node.attribute_value a "k")
+
+(* parse . print . parse = parse on generated trees *)
+let gen_tree =
+  let open QCheck2.Gen in
+  let name = oneofl [ "a"; "b"; "p"; "section" ] in
+  let text = oneofl [ "hello world"; "x & y"; "café"; "1 < 2" ] in
+  let rec tree depth =
+    if depth = 0 then map Xmlkit.Node.text text
+    else
+      frequency
+        [
+          (2, map Xmlkit.Node.text text);
+          ( 3,
+            map2
+              (fun n children -> Xmlkit.Node.element n children)
+              name
+              (list_size (int_range 0 3) (tree (depth - 1))) );
+        ]
+  in
+  map
+    (fun children -> Xmlkit.Node.seal (Xmlkit.Node.document [ Xmlkit.Node.element "root" children ]))
+    (list_size (int_range 0 4) (tree 2))
+
+let prop_print_parse =
+  QCheck2.Test.make ~name:"print/parse round trip on generated trees" ~count:100
+    gen_tree (fun doc ->
+      let printed = Printer.to_string doc in
+      let reparsed = Parser.parse_document printed in
+      Printer.to_string reparsed = printed
+      && Node.string_value reparsed = Node.string_value doc)
+
+let tests =
+  [
+    Alcotest.test_case "basic parse" `Quick test_basic_parse;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "cdata/comment/pi" `Quick test_cdata_comment_pi;
+    Alcotest.test_case "doctype prolog" `Quick test_doctype_prolog;
+    Alcotest.test_case "malformed inputs rejected" `Quick test_malformed;
+    Alcotest.test_case "mismatched close tag" `Quick test_mismatched_close_tag;
+    Alcotest.test_case "dewey assignment" `Quick test_dewey_assignment;
+    Alcotest.test_case "document order" `Quick test_document_order;
+    Alcotest.test_case "find_by_dewey" `Quick test_find_by_dewey;
+    Alcotest.test_case "print/parse round trip" `Quick test_print_parse_round_trip;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    QCheck_alcotest.to_alcotest prop_print_parse;
+  ]

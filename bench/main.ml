@@ -800,6 +800,60 @@ let a2_translated_decomposition () =
 "
     (100.0 *. t_generate /. Float.max 0.001 (t_translated -. t_native))
 
+(* ---------------------------------------------------------------- R1 *)
+
+let r1_governance () =
+  Harness.section
+    "R1 (robustness): resource-governed evaluation and strategy fallback";
+  let engine = Corpus.Usecases.engine () in
+  let queries =
+    List.map
+      (fun (uc : Corpus.Usecases.usecase) -> uc.Corpus.Usecases.query)
+      Corpus.Usecases.all_cases
+  in
+  (* governance bookkeeping for a representative query *)
+  let report =
+    Galatex.Engine.run_report engine
+      {|count(collection()//book[. ftcontains "usability" && "testing"])|}
+  in
+  Harness.row "  representative query: %d eval steps, peak materialization %d\n"
+    report.Galatex.Engine.steps report.Galatex.Engine.peak_matches;
+  (* a resource bomb terminates promptly with a structured error *)
+  let limits =
+    { Xquery.Limits.defaults with Xquery.Limits.max_matches = Some 10_000 }
+  in
+  let t_bomb =
+    Harness.time_ms ~runs:3 (fun () ->
+        match
+          Galatex.Engine.run engine ~limits
+            "count(for $a in 1 to 10000 for $b in 1 to 10000 return 1)"
+        with
+        | _ -> failwith "bomb should have been stopped"
+        | exception Xquery.Errors.Error { code = Xquery.Errors.GTLX0003; _ } ->
+            ())
+  in
+  Harness.row "  10^8-tuple FLWOR bomb stopped by GTLX0003 in: %8.2f ms\n" t_bomb;
+  (* fault-injection battery: every optimized run degrades gracefully *)
+  let before = Galatex.Engine.fallback_count engine in
+  let absorbed = ref 0 and structured = ref 0 in
+  List.iter
+    (fun q ->
+      match
+        Galatex.Engine.run_report engine
+          ~strategy:Galatex.Engine.Native_pipelined ~fault_at:25 ~fallback:true
+          q
+      with
+      | r -> if r.Galatex.Engine.fell_back then incr absorbed
+      | exception Xquery.Errors.Error _ -> incr structured)
+    queries;
+  Harness.row
+    "  injected faults over the %d-query battery: %d absorbed by fallback,
+    \   %d surfaced structured, %d raw exceptions\n"
+    (List.length queries) !absorbed !structured 0;
+  Harness.row "  engine fallback count: %d (was %d before the battery)\n"
+    (Galatex.Engine.fallback_count engine)
+    before
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -808,7 +862,7 @@ let experiments =
     ("F6a", fig6a); ("F6b", fig6b); ("F7", fig7); ("T1", table1);
     ("S1", s1_scoring); ("S2", s2_topk); ("S3", s3_marking);
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
-    ("A2", a2_translated_decomposition);
+    ("A2", a2_translated_decomposition); ("R1", r1_governance);
   ]
 
 let () =

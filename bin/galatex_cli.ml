@@ -61,31 +61,100 @@ let context_arg =
 let pretty_arg =
   Arg.(value & flag & info [ "p"; "pretty" ] ~doc:"Pretty-print XML results.")
 
+(* --- resource-limit flags (the governor, Limits.t) --- *)
+
+let max_steps_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Abort with a resource error after $(docv) evaluation steps.")
+
+let max_depth_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-depth" ] ~docv:"N"
+        ~doc:"Maximum user-function recursion depth (default 10000).")
+
+let max_matches_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-matches" ] ~docv:"N"
+        ~doc:
+          "Maximum materialized AllMatches / FLWOR tuple / sequence size
+           before a resource error.")
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock budget for the whole evaluation.")
+
+let no_fallback_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fallback" ]
+        ~doc:
+          "Disable graceful degradation: surface internal errors of
+           optimized strategies instead of retrying on the reference
+           materialized path.")
+
+let limits_of ~max_steps ~max_depth ~max_matches ~timeout : Xquery.Limits.t =
+  {
+    Xquery.Limits.max_steps;
+    max_depth =
+      (match max_depth with
+      | Some _ -> max_depth
+      | None -> Xquery.Limits.defaults.Xquery.Limits.max_depth);
+    max_matches;
+    timeout;
+  }
+
 let engine_of docs =
   if docs = [] then `Error (false, "at least one --document is required")
   else `Ok (Galatex.Engine.create (load_documents docs))
 
+(* One structured handler for every error class, with a distinct exit code
+   per class:
+
+     1  static (parse / lex: err:XPST codes)
+     2  dynamic (err:XPDY, err:FO.., err:FT.. codes)
+     3  type (err:XPTY, err:FOTY codes)
+     4  resource limit (gtlx:GTLX0001..GTLX0004)
+     5  internal (gtlx:GTLX0005)
+
+   cmdliner keeps 123..125 for its own purposes, so these never clash. *)
+let exit_code_of_class = function
+  | Xquery.Errors.Static -> 1
+  | Xquery.Errors.Dynamic -> 2
+  | Xquery.Errors.Type_error -> 3
+  | Xquery.Errors.Resource -> 4
+  | Xquery.Errors.Internal -> 5
+
 let handle_errors f =
   try f () with
-  | Xmlkit.Parser.Error { pos; msg } ->
-      Printf.eprintf "XML parse error at %d: %s\n" pos msg;
-      exit 1
-  | Xquery.Parser.Error { pos; msg } ->
-      Printf.eprintf "query parse error at %d: %s\n" pos msg;
-      exit 1
-  | Xquery.Lexer.Error { pos; msg } ->
-      Printf.eprintf "query lex error at %d: %s\n" pos msg;
-      exit 1
-  | Xquery.Context.Dynamic_error msg ->
-      Printf.eprintf "dynamic error: %s\n" msg;
-      exit 1
-  | Xquery.Value.Type_error msg ->
-      Printf.eprintf "type error: %s\n" msg;
-      exit 1
+  | Xquery.Errors.Error e ->
+      let cls = Xquery.Errors.class_of e.Xquery.Errors.code in
+      Printf.eprintf "%s error %s\n"
+        (Xquery.Errors.class_string cls)
+        (Xquery.Errors.to_string e);
+      exit (exit_code_of_class cls)
+  | exn -> (
+      (* anything raised outside the engine boundary (document loading,
+         printing): classify it the same way rather than crash *)
+      let e = Xquery.Errors.wrap_exn exn in
+      let cls = Xquery.Errors.class_of e.Xquery.Errors.code in
+      match cls with
+      | Xquery.Errors.Internal -> raise exn (* genuine bug: keep backtrace *)
+      | _ ->
+          Printf.eprintf "%s error %s\n"
+            (Xquery.Errors.class_string cls)
+            (Xquery.Errors.to_string e);
+          exit (exit_code_of_class cls))
 
 (* --- query --- *)
 
-let run_query docs strategy optimize context pretty query =
+let run_query docs strategy optimize context pretty max_steps max_depth
+    max_matches timeout no_fallback query =
   match engine_of docs with
   | `Error _ as e -> e
   | `Ok engine ->
@@ -94,16 +163,25 @@ let run_query docs strategy optimize context pretty query =
             if optimize then Galatex.Engine.all_optimizations
             else Galatex.Engine.no_optimizations
           in
-          let value =
-            Galatex.Engine.run engine ~strategy ~optimizations ?context query
+          let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
+          let report =
+            Galatex.Engine.run_report engine ~strategy ~optimizations ~limits
+              ~fallback:(not no_fallback) ?context query
           in
+          if report.Galatex.Engine.fell_back then
+            Printf.eprintf "note: %s strategy failed internally (%s); %s\n"
+              (Galatex.Engine.strategy_name strategy)
+              (match report.Galatex.Engine.fallback_error with
+              | Some e -> Xquery.Errors.to_string e
+              | None -> "unknown error")
+              "answered by the materialized fallback";
           List.iter
             (fun item ->
               match item with
               | Xquery.Value.Node n when pretty ->
                   print_endline (Xmlkit.Printer.pretty n)
               | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
-            value;
+            report.Galatex.Engine.value;
           `Ok ())
 
 let query_cmd =
@@ -113,7 +191,8 @@ let query_cmd =
     Term.(
       ret
         (const run_query $ docs_arg $ strategy_arg $ optimize_arg $ context_arg
-       $ pretty_arg $ query_arg))
+       $ pretty_arg $ max_steps_arg $ max_depth_arg $ max_matches_arg
+       $ timeout_arg $ no_fallback_arg $ query_arg))
 
 (* --- translate --- *)
 

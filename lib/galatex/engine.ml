@@ -11,9 +11,22 @@ open Xmlkit
      native operators materializing every intermediate AllMatches — the
      engine-integration step Section 4 calls for, without pipelining.
    - [Native_pipelined]: Section 4.1's pipelined evaluation, streaming
-     matches instead of materializing them. *)
+     matches instead of materializing them.
+
+   Every run is resource-governed: a Limits.governor accounts eval steps,
+   recursion depth, materialization and wall-clock time, and the engine
+   boundary guarantees that the only exceptions escaping [run] /
+   [run_query] / [run_report] are structured [Xquery.Errors.Error] values.
+   When an optimized strategy (pipelined, or any rewriting flags) dies on
+   an *internal* error, [run_report] can degrade gracefully to the
+   reference materialized path and record that it did. *)
 
 type strategy = Translated | Native_materialized | Native_pipelined
+
+let strategy_name = function
+  | Translated -> "translated"
+  | Native_materialized -> "materialized"
+  | Native_pipelined -> "pipelined"
 
 type optimizations = {
   pushdown : bool;  (** push selective FT filters below FTAnd (Fig 6a) *)
@@ -23,9 +36,33 @@ type optimizations = {
 let no_optimizations = { pushdown = false; or_short_circuit = false }
 let all_optimizations = { pushdown = true; or_short_circuit = true }
 
+type report = {
+  value : Xquery.Value.t;
+  strategy_used : strategy;
+  fell_back : bool;
+  fallback_error : Xquery.Errors.t option;
+  steps : int;
+  peak_matches : int;
+}
+
+(* Map the front ends' positional syntax exceptions to err:XPST0003 so the
+   boundary wrap (and the CLI's single handler) sees structured errors. *)
+let () =
+  Xquery.Errors.register_classifier (function
+    | Xquery.Parser.Error { pos; msg } ->
+        Some (Xquery.Errors.make ~position:pos Xquery.Errors.XPST0003 msg)
+    | Xquery.Lexer.Error { pos; msg } ->
+        Some (Xquery.Errors.make ~position:pos Xquery.Errors.XPST0003 msg)
+    | Xmlkit.Parser.Error { pos; msg } ->
+        Some
+          (Xquery.Errors.make ~position:pos Xquery.Errors.XPST0003
+             ("XML: " ^ msg))
+    | _ -> None)
+
 type t = {
   env : Env.t;
   context_doc : Node.t option;  (** default context node for queries *)
+  mutable fallbacks : int;  (** graceful degradations since construction *)
 }
 
 let of_index ?thesauri ?default_thesaurus index =
@@ -35,7 +72,7 @@ let of_index ?thesauri ?default_thesaurus index =
     | (_, doc) :: _ -> Some doc
     | [] -> None
   in
-  { env; context_doc }
+  { env; context_doc; fallbacks = 0 }
 
 let create ?config ?thesauri ?default_thesaurus docs =
   of_index ?thesauri ?default_thesaurus (Ftindex.Indexer.index_documents ?config docs)
@@ -45,6 +82,7 @@ let of_strings ?config ?thesauri ?default_thesaurus docs =
 
 let env t = t.env
 let index t = Env.index t.env
+let fallback_count t = t.fallbacks
 
 (* fn:collection(): all corpus documents, so multi-document queries don't
    depend on the default context node. *)
@@ -70,20 +108,21 @@ let apply_optimizations opts (q : Xquery.Ast.query) =
   let q = if opts.or_short_circuit then Rewrite.or_short_circuit_query q else q in
   q
 
-let run_query t ?(strategy = Native_materialized)
-    ?(optimizations = no_optimizations) ?context (q : Xquery.Ast.query) =
+(* One strategy attempt under a shared governor. *)
+let attempt t ~governor ~strategy ~optimizations ?context (q : Xquery.Ast.query) =
   let q = apply_optimizations optimizations q in
   match strategy with
   | Translated ->
       let translated = Translate.translate_query q in
-      let ctx = Fts_module.setup_context t.env translated in
+      let ctx = Fts_module.setup_context ~governor t.env translated in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
       Xquery.Eval.eval ctx translated.Xquery.Ast.body
   | Native_materialized ->
       let resolve_doc = Fts_module.make_resolver t.env in
       let ctx =
-        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_eval.handler t.env) q
+        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_eval.handler t.env)
+          ~governor q
       in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
@@ -91,14 +130,81 @@ let run_query t ?(strategy = Native_materialized)
   | Native_pipelined ->
       let resolve_doc = Fts_module.make_resolver t.env in
       let ctx =
-        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_stream.handler t.env) q
+        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_stream.handler t.env)
+          ~governor q
       in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
       Xquery.Eval.eval ctx q.Xquery.Ast.body
 
-let run t ?strategy ?optimizations ?context src =
-  run_query t ?strategy ?optimizations ?context (parse src)
+(* The boundary guarantee: everything an attempt raises leaves this
+   function as a structured Errors.Error. *)
+let structured f =
+  try Ok (f ()) with exn -> Error (Xquery.Errors.wrap_exn exn)
+
+let run_query_report t ?(strategy = Native_materialized)
+    ?(optimizations = no_optimizations) ?(limits = Xquery.Limits.defaults)
+    ?fault_at ?(fallback = true) ?context (q : Xquery.Ast.query) =
+  let governor = Xquery.Limits.governor ?fault_at limits in
+  let finish ~strategy_used ~fell_back ~fallback_error value =
+    {
+      value;
+      strategy_used;
+      fell_back;
+      fallback_error;
+      steps = Xquery.Limits.steps governor;
+      peak_matches = Xquery.Limits.peak_matches governor;
+    }
+  in
+  match structured (fun () -> attempt t ~governor ~strategy ~optimizations ?context q) with
+  | Ok value ->
+      finish ~strategy_used:strategy ~fell_back:false ~fallback_error:None value
+  | Error err ->
+      let optimized =
+        strategy <> Native_materialized || optimizations <> no_optimizations
+      in
+      let internal =
+        Xquery.Errors.class_of err.Xquery.Errors.code = Xquery.Errors.Internal
+      in
+      if not (fallback && optimized && internal) then
+        raise (Xquery.Errors.Error err)
+      else begin
+        (* graceful degradation: retry on the reference materialized path
+           with no rewritings, under the same (partly spent) governor *)
+        t.fallbacks <- t.fallbacks + 1;
+        Logs.warn (fun m ->
+            m "engine: %s strategy failed (%s); falling back to materialized"
+              (strategy_name strategy)
+              (Xquery.Errors.to_string err));
+        match
+          structured (fun () ->
+              attempt t ~governor ~strategy:Native_materialized
+                ~optimizations:no_optimizations ?context q)
+        with
+        | Ok value ->
+            finish ~strategy_used:Native_materialized ~fell_back:true
+              ~fallback_error:(Some err) value
+        | Error err' -> raise (Xquery.Errors.Error err')
+      end
+
+let run_report t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context
+    src =
+  match structured (fun () -> parse src) with
+  | Error err -> raise (Xquery.Errors.Error err)
+  | Ok q ->
+      run_query_report t ?strategy ?optimizations ?limits ?fault_at ?fallback
+        ?context q
+
+let run_query t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context q
+    =
+  (run_query_report t ?strategy ?optimizations ?limits ?fault_at ?fallback
+     ?context q)
+    .value
+
+let run t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context src =
+  (run_report t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context
+     src)
+    .value
 
 (* Show the plain XQuery the GalaTex translation produces (Section 3.2.2). *)
 let translate_to_text src =

@@ -1,5 +1,13 @@
 (** The GalaTex engine façade (paper Figure 4): index a corpus, compile and
-    evaluate XQuery Full-Text queries under one of three strategies. *)
+    evaluate XQuery Full-Text queries under one of three strategies, inside
+    a resource-governed boundary.
+
+    The boundary guarantee: the only exception {!run}, {!run_query},
+    {!run_report} and {!run_query_report} let escape is a structured
+    {!Xquery.Errors.Error} — parse errors surface as [XPST0003], dynamic /
+    type errors with their W3C codes, exhausted limits as
+    [GTLX0001..GTLX0004], and any internal failure (including injected
+    faults) as [GTLX0005] unless strategy fallback absorbs it. *)
 
 type strategy =
   | Translated
@@ -12,6 +20,8 @@ type strategy =
   | Native_pipelined
       (** Section 4.1: matches stream through the operator tree; FTContains
           exits at the first satisfying match *)
+
+val strategy_name : strategy -> string
 
 type optimizations = {
   pushdown : bool;  (** Figure 6(a) selection pushdown *)
@@ -50,31 +60,93 @@ val of_strings :
 val env : t -> Env.t
 val index : t -> Ftindex.Inverted.t
 
+val fallback_count : t -> int
+(** Graceful strategy degradations performed by this engine since
+    construction (benches report this). *)
+
 (** {1 Evaluation} *)
 
 val parse : string -> Xquery.Ast.query
 (** Parse a combined XQuery + Full-Text query.
-    @raise Xquery.Parser.Error on syntax errors. *)
+    @raise Xquery.Parser.Error on syntax errors (the [run] family wraps
+    this as a structured [XPST0003] error instead). *)
+
+type report = {
+  value : Xquery.Value.t;
+  strategy_used : strategy;  (** the strategy that produced [value] *)
+  fell_back : bool;  (** an optimized strategy failed internally and the
+                         reference materialized path answered instead *)
+  fallback_error : Xquery.Errors.t option;
+      (** the internal error that triggered the fallback *)
+  steps : int;  (** eval steps consumed by the whole run *)
+  peak_matches : int;  (** largest materialization the governor observed *)
+}
+
+val run_query_report :
+  t ->
+  ?strategy:strategy ->
+  ?optimizations:optimizations ->
+  ?limits:Xquery.Limits.t ->
+  ?fault_at:int ->
+  ?fallback:bool ->
+  ?context:string ->
+  Xquery.Ast.query ->
+  report
+(** Evaluate a parsed query under a fresh {!Xquery.Limits.governor}.
+
+    [context] selects the document whose root is the initial context node
+    (default: the first indexed document); [fn:collection()] always
+    returns all indexed documents.  Defaults: [Native_materialized], no
+    optimizations, {!Xquery.Limits.defaults}, fallback enabled.
+
+    [fault_at n] arms deterministic fault injection (a raw internal
+    failure at eval step [n]) — the boundary converts it to [GTLX0005] or
+    absorbs it via fallback; used by the robustness tests.
+
+    [fallback] (default [true]): when an optimized strategy (anything
+    other than plain [Native_materialized]) raises an {e internal} error,
+    re-run on the reference materialized path under the same governor and
+    record the degradation.  User errors (dynamic / type) and resource
+    limits never trigger fallback.
+
+    @raise Xquery.Errors.Error and nothing else. *)
+
+val run_report :
+  t ->
+  ?strategy:strategy ->
+  ?optimizations:optimizations ->
+  ?limits:Xquery.Limits.t ->
+  ?fault_at:int ->
+  ?fallback:bool ->
+  ?context:string ->
+  string ->
+  report
+(** Parse (wrapping syntax errors as [XPST0003]) then
+    {!run_query_report}. *)
 
 val run_query :
   t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
+  ?limits:Xquery.Limits.t ->
+  ?fault_at:int ->
+  ?fallback:bool ->
   ?context:string ->
   Xquery.Ast.query ->
   Xquery.Value.t
-(** Evaluate a parsed query.  [context] selects the document whose root is
-    the initial context node (default: the first indexed document);
-    [fn:collection()] always returns all indexed documents.  Default
-    strategy: [Native_materialized], no optimizations. *)
+(** [run_query_report] returning only the value. *)
 
 val run :
   t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
+  ?limits:Xquery.Limits.t ->
+  ?fault_at:int ->
+  ?fallback:bool ->
   ?context:string ->
   string ->
   Xquery.Value.t
+(** [run_report] returning only the value. *)
 
 val translate_to_text : string -> string
 (** The plain XQuery the Section 3.2.2 translation produces, as text. *)

@@ -9,16 +9,20 @@ open Xquery.Ast
    FTOrdered consumes — both exactly as the paper's translation does
    (Section 3.2.2). *)
 
-exception Ft_error of string
-
-let ft_error fmt = Format.kasprintf (fun s -> raise (Ft_error s)) fmt
-
 type eval_callback = Xquery.Context.t -> expr -> Xquery.Value.t
 
 let eval_int ~(eval : eval_callback) ctx e =
   int_of_float (Xquery.Value.to_number (eval ctx e))
 
 let eval_float ~(eval : eval_callback) ctx e = Xquery.Value.to_number (eval ctx e)
+
+(* A weight outside [0,1] is err:FTDY0016 — shared by both native
+   strategies so they diverge on neither the value nor the error. *)
+let eval_weight ~(eval : eval_callback) ctx e =
+  let v = eval_float ~eval ctx e in
+  if v < 0.0 || v > 1.0 then
+    Xquery.Errors.raise_error Xquery.Errors.FTDY0016 "weight %g outside [0,1]" v
+  else v
 
 let eval_range ~eval ctx = function
   | Exactly e -> Ft_ops.Exactly (eval_int ~eval ctx e)
@@ -79,20 +83,20 @@ let words_matches ?within env resolved ~query_pos ~weight anyall phrases =
 let rec eval_selection ?within ?(approximate = false) env ~eval ctx
     ~outer_options counter selection =
   let recur = eval_selection ?within ~approximate env ~eval ctx in
+  let g = ctx.Xquery.Context.governor in
+  (* every operator output is an AllMatches construction point: bound it *)
+  let governed am =
+    Xquery.Limits.check_matches g (All_matches.size am);
+    am
+  in
+  governed
+  @@
   match selection with
   | Ft_words { source; anyall; options; weight } ->
       incr counter;
       let query_pos = !counter in
       let resolved = Match_options.resolve_with ~outer:outer_options options in
-      let weight =
-        Option.map
-          (fun w ->
-            let v = eval_float ~eval ctx w in
-            if v < 0.0 || v > 1.0 then
-              ft_error "weight %g outside [0,1]" v
-            else v)
-          weight
-      in
+      let weight = Option.map (eval_weight ~eval ctx) weight in
       let phrases = source_phrases ~eval ctx source in
       words_matches ?within env resolved ~query_pos ~weight anyall phrases
   | Ft_with_options (inner, options) ->
@@ -101,6 +105,9 @@ let rec eval_selection ?within ?(approximate = false) env ~eval ctx
   | Ft_and (a, b) ->
       let va = recur ~outer_options counter a in
       let vb = recur ~outer_options counter b in
+      (* the FTAnd cross product is the materialization bomb Section 4
+         analyzes — refuse it before building it *)
+      Xquery.Limits.check_product g (All_matches.size va) (All_matches.size vb);
       Ft_ops.ft_and va vb
   | Ft_or (a, b) ->
       let va = recur ~outer_options counter a in
@@ -110,7 +117,20 @@ let rec eval_selection ?within ?(approximate = false) env ~eval ctx
       let va = recur ~outer_options counter a in
       let vb = recur ~outer_options counter b in
       Ft_ops.ft_mild_not va vb
-  | Ft_unary_not a -> Ft_ops.ft_unary_not (recur ~outer_options counter a)
+  | Ft_unary_not a ->
+      let va = recur ~outer_options counter a in
+      (* DNF negation yields one match per choice of entry from every
+         input match: the output size is the product of the entry counts *)
+      List.fold_left
+        (fun acc (m : All_matches.match_) ->
+          let choices =
+            List.length m.All_matches.includes + List.length m.All_matches.excludes
+          in
+          Xquery.Limits.check_product g acc (max 1 choices);
+          acc * max 1 choices)
+        1 va.All_matches.matches
+      |> ignore;
+      Ft_ops.ft_unary_not va
   | Ft_ordered a -> Ft_ops.ft_ordered (recur ~outer_options counter a)
   | Ft_window (a, n, u) ->
       let counting =

@@ -2,14 +2,17 @@
     Native_materialized strategy and the semantic reference the other
     strategies are tested against. *)
 
-exception Ft_error of string
-
 type eval_callback = Xquery.Context.t -> Xquery.Ast.expr -> Xquery.Value.t
 (** Callback into the XQuery evaluator for embedded expressions (word
     sources, range bounds, weights). *)
 
 val eval_int : eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.expr -> int
 val eval_float : eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.expr -> float
+
+val eval_weight :
+  eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.expr -> float
+(** Evaluate an FTWords weight.
+    @raise Xquery.Errors.Error ([FTDY0016]) outside [0, 1]. *)
 
 val eval_range :
   eval:eval_callback -> Xquery.Context.t -> Xquery.Ast.ft_range -> Ft_ops.range
@@ -30,7 +33,8 @@ val context_filter :
     filtering (the paper's getTokenInfo restriction). *)
 
 val nodes_of : Xquery.Value.t -> Xmlkit.Node.t list
-(** @raise Xquery.Value.Type_error when the value holds non-nodes. *)
+(** @raise Xquery.Errors.Error ([XPTY0004]) when the value holds
+    non-nodes. *)
 
 val all_matches :
   ?within:(string * Xmlkit.Dewey.t) list ->

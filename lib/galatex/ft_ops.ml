@@ -282,7 +282,9 @@ let words_between c ~doc lo hi =
         end
       done;
       !count
-  | _ -> hi - lo - 1
+  (* clamp so two entries at the same position (FTAnd duplicating a word)
+     are 0 apart, like the stop-word-counting branch above *)
+  | _ -> max 0 (hi - lo - 1)
 
 (* counted window span of [lo, hi]: the two endpoints plus the counted
    words between them *)
@@ -537,14 +539,18 @@ let ft_times range a =
           Hashtbl.replace by_doc doc (m :: prev))
     a.matches;
   let windows ms =
+    (* [by_doc] accumulates by prepending, so [List.rev] restores input
+       order; the sort must then be stable so ties on the first position
+       (FTAnd can duplicate a word) enumerate the same windows as the
+       fts-module implementation, whose order-by keeps input order too *)
     let arr =
       Array.of_list
-        (List.sort
+        (List.stable_sort
            (fun m1 m2 ->
              compare
                (Ftindex.Posting.abs_pos (List.hd m1.includes).posting)
                (Ftindex.Posting.abs_pos (List.hd m2.includes).posting))
-           ms)
+           (List.rev ms))
     in
     let n = Array.length arr in
     let result = ref [] in

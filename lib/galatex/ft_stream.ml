@@ -174,9 +174,7 @@ let rec eval_stream ?within env ~eval ctx ~outer_options counter selection =
       incr counter;
       let query_pos = !counter in
       let resolved = Match_options.resolve_with ~outer:outer_options options in
-      let weight =
-        Option.map (fun w -> Ft_eval.eval_float ~eval ctx w) weight
-      in
+      let weight = Option.map (Ft_eval.eval_weight ~eval ctx) weight in
       {
         seq =
           words_stream ?within env resolved ~query_pos ~weight anyall
@@ -220,8 +218,24 @@ let rec eval_stream ?within env ~eval ctx ~outer_options counter selection =
   | Ft_content (a, anchor) -> ft_content anchor (recur ~outer_options counter a)
 
 let stream ?within env ~eval ctx selection =
-  eval_stream ?within env ~eval ctx ~outer_options:Match_options.defaults
-    (ref 0) selection
+  let s =
+    eval_stream ?within env ~eval ctx ~outer_options:Match_options.defaults
+      (ref 0) selection
+  in
+  (* pipelining never materializes whole AllMatches, so the governed
+     quantity is the number of matches pulled through the pipeline *)
+  let g = ctx.Xquery.Context.governor in
+  let pulled = ref 0 in
+  {
+    s with
+    seq =
+      Seq.map
+        (fun m ->
+          incr pulled;
+          Xquery.Limits.check_matches g !pulled;
+          m)
+        s.seq;
+  }
 
 (* --- consumers --- *)
 

@@ -492,7 +492,12 @@ declare function fts:FTTimesImpl($lo as xs:integer, $hi as xs:integer,
      let $ms := for $m in $a/fts:Match
                 where exists($m/fts:StringInclude)
                   and fn:string($m/fts:StringInclude[1]/fts:TokenInfo/@doc) = $doc
-                order by number($m/fts:StringInclude[1]/fts:TokenInfo/@absPos) ascending
+                (: the native implementation keeps includes position-sorted,
+                   so its occurrence key is the *minimum* position; order by
+                   the same key or window enumeration diverges when FTAnd
+                   duplicates a word :)
+                order by min(for $si in $m/fts:StringInclude
+                             return number($si/fts:TokenInfo/@absPos)) ascending
                 return $m
      let $n := count($ms)
      return
@@ -844,8 +849,8 @@ let parsed_library = lazy (Xquery.Parser.parse_module library_source)
 
 (* Set up a context that can run translated (full-text free) queries: fn:
    builtins, the fts primitives, the fts XQuery module, and the resolver. *)
-let setup_context env (q : Xquery.Ast.query) =
+let setup_context ?governor env (q : Xquery.Ast.query) =
   let resolve_doc = make_resolver env in
-  let ctx = Xquery.Eval.setup_context ~resolve_doc q in
+  let ctx = Xquery.Eval.setup_context ~resolve_doc ?governor q in
   register_primitives ctx env;
   Xquery.Eval.load_module ctx (Lazy.force parsed_library)

@@ -20,6 +20,7 @@ val make_resolver : Env.t -> string -> Xmlkit.Node.t option
     (cached) ["list_distinct_words.xml"], ["invlist_<word>.xml"],
     ["stopwords_default.xml"], ["thesaurus_<name>.xml"]. *)
 
-val setup_context : Env.t -> Xquery.Ast.query -> Xquery.Context.t
+val setup_context :
+  ?governor:Xquery.Limits.governor -> Env.t -> Xquery.Ast.query -> Xquery.Context.t
 (** A context ready to run translated queries: fn: builtins, primitives, the
     fts module, the resolver, and the query's own prolog. *)

@@ -15,6 +15,8 @@ type t = {
   functions : functions;
   resolve_doc : string -> Xmlkit.Node.t option;
   ft : ft_handler option;
+  governor : Limits.governor;
+      (** shared (mutable) across every context derived from one run *)
 }
 
 and functions = (string * int, func) Hashtbl.t
@@ -42,17 +44,20 @@ and ft_handler = {
       (** context nodes, selection -> one double per context node *)
 }
 
-exception Dynamic_error of string
+(* Dynamic errors are structured (Errors.Error) so callers dispatch on
+   codes; [dynamic_error] keeps the old formatting interface for sites
+   whose best classification is a generic dynamic error. *)
+let dynamic_error fmt = Errors.raise_error Errors.FORG0006 fmt
 
-let dynamic_error fmt = Format.kasprintf (fun s -> raise (Dynamic_error s)) fmt
-
-let create ?(resolve_doc = fun _ -> None) ?ft () =
+let create ?(resolve_doc = fun _ -> None) ?ft ?governor () =
   {
     vars = String_map.empty;
     focus = None;
     functions = Hashtbl.create 64;
     resolve_doc;
     ft;
+    governor =
+      (match governor with Some g -> g | None -> Limits.ungoverned ());
   }
 
 let with_ft t ft = { t with ft = Some ft }
@@ -63,7 +68,7 @@ let bind_var t name value = { t with vars = String_map.add name value t.vars }
 let lookup_var t name =
   match String_map.find_opt name t.vars with
   | Some v -> v
-  | None -> dynamic_error "undefined variable $%s" name
+  | None -> Errors.raise_error Errors.XPST0008 "undefined variable $%s" name
 
 let with_focus t item ~position ~size =
   { t with focus = Some { item; position; size } }
@@ -71,7 +76,8 @@ let with_focus t item ~position ~size =
 let focus_exn t what =
   match t.focus with
   | Some f -> f
-  | None -> dynamic_error "%s used with no context item" what
+  | None ->
+      Errors.raise_error Errors.XPDY0002 "%s used with no context item" what
 
 (* Builtins are registered under their local name; lookups strip an "fn:"
    prefix so both spellings work.  User functions are stored under their

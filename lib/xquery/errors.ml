@@ -1,0 +1,126 @@
+(* Structured evaluation errors (W3C XQuery error codes plus the GTLX
+   extension family for resource governance).
+
+   Every error the engine surfaces carries a code, a human-readable
+   message, and an optional source position.  The code, not the message,
+   is the stable API: tests and callers dispatch on it.  Codes starting
+   GTLX are GalaTex extensions — GTLX0001..GTLX0004 are resource-limit
+   errors raised by the governor (Limits), GTLX0005 wraps internal
+   failures (including injected faults) that escaped to the engine
+   boundary. *)
+
+type code =
+  (* static errors *)
+  | XPST0003  (** syntax error *)
+  | XPST0008  (** undefined variable *)
+  | XPST0017  (** unknown function name / arity *)
+  (* dynamic errors *)
+  | XPDY0002  (** context item absent *)
+  (* type errors *)
+  | XPTY0004  (** type mismatch *)
+  | FOTY0012  (** value has no typed value *)
+  (* functions-and-operators errors *)
+  | FOAR0001  (** division by zero *)
+  | FOCA0002  (** invalid lexical value *)
+  | FOCH0001  (** invalid code point *)
+  | FODC0002  (** cannot retrieve resource (fn:doc) *)
+  | FORG0003  (** fn:zero-or-one got more than one item *)
+  | FORG0004  (** fn:one-or-more got an empty sequence *)
+  | FORG0005  (** fn:exactly-one got zero or many items *)
+  | FORG0006  (** invalid argument (effective boolean value, ...) *)
+  | FORX0002  (** invalid regular expression *)
+  (* full-text errors *)
+  | FTDY0016  (** weight outside [0, 1] *)
+  | FTDY0017  (** mild-not operand contains StringExclude *)
+  | FTST0018  (** unknown thesaurus *)
+  (* GalaTex resource / internal extension codes *)
+  | GTLX0001  (** step (fuel) budget exceeded *)
+  | GTLX0002  (** recursion depth limit exceeded *)
+  | GTLX0003  (** materialization limit exceeded *)
+  | GTLX0004  (** wall-clock deadline exceeded *)
+  | GTLX0005  (** internal error surfaced at the engine boundary *)
+
+type error_class = Static | Type_error | Dynamic | Resource | Internal
+
+let class_of = function
+  | XPST0003 | XPST0008 | XPST0017 -> Static
+  | XPTY0004 | FOTY0012 -> Type_error
+  | XPDY0002 | FOAR0001 | FOCA0002 | FOCH0001 | FODC0002 | FORG0003
+  | FORG0004 | FORG0005 | FORG0006 | FORX0002 | FTDY0016 | FTDY0017
+  | FTST0018 ->
+      Dynamic
+  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 -> Resource
+  | GTLX0005 -> Internal
+
+let code_string = function
+  | XPST0003 -> "err:XPST0003"
+  | XPST0008 -> "err:XPST0008"
+  | XPST0017 -> "err:XPST0017"
+  | XPDY0002 -> "err:XPDY0002"
+  | XPTY0004 -> "err:XPTY0004"
+  | FOTY0012 -> "err:FOTY0012"
+  | FOAR0001 -> "err:FOAR0001"
+  | FOCA0002 -> "err:FOCA0002"
+  | FOCH0001 -> "err:FOCH0001"
+  | FODC0002 -> "err:FODC0002"
+  | FORG0003 -> "err:FORG0003"
+  | FORG0004 -> "err:FORG0004"
+  | FORG0005 -> "err:FORG0005"
+  | FORG0006 -> "err:FORG0006"
+  | FORX0002 -> "err:FORX0002"
+  | FTDY0016 -> "err:FTDY0016"
+  | FTDY0017 -> "err:FTDY0017"
+  | FTST0018 -> "err:FTST0018"
+  | GTLX0001 -> "gtlx:GTLX0001"
+  | GTLX0002 -> "gtlx:GTLX0002"
+  | GTLX0003 -> "gtlx:GTLX0003"
+  | GTLX0004 -> "gtlx:GTLX0004"
+  | GTLX0005 -> "gtlx:GTLX0005"
+
+let class_string = function
+  | Static -> "static"
+  | Type_error -> "type"
+  | Dynamic -> "dynamic"
+  | Resource -> "resource"
+  | Internal -> "internal"
+
+type t = { code : code; message : string; position : int option }
+
+exception Error of t
+
+let make ?position code message = { code; message; position }
+
+let raise_error ?position code fmt =
+  Format.kasprintf (fun message -> raise (Error (make ?position code message))) fmt
+
+let to_string e =
+  let pos =
+    match e.position with
+    | Some p -> Printf.sprintf " at %d" p
+    | None -> ""
+  in
+  Printf.sprintf "[%s]%s %s" (code_string e.code) pos e.message
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* Recognize the positional errors of the front end (query lexer/parser,
+   XML parser) without creating a dependency cycle: those modules raise
+   their own exceptions; the engine boundary maps them to XPST0003. *)
+let classify_front_end : (exn -> t option) list ref = ref []
+
+let register_classifier f = classify_front_end := f :: !classify_front_end
+
+let of_exn = function
+  | Error e -> Some e
+  | Stack_overflow ->
+      Some (make GTLX0002 "evaluation stack exhausted (stack overflow)")
+  | Out_of_memory -> Some (make GTLX0003 "out of memory during evaluation")
+  | exn -> List.find_map (fun f -> f exn) !classify_front_end
+
+(* Total: anything unrecognized is an internal error.  This is the
+   engine-boundary guarantee — no raw OCaml exception escapes as itself. *)
+let wrap_exn exn =
+  match of_exn exn with
+  | Some e -> e
+  | None ->
+      make GTLX0005 (Printf.sprintf "internal error: %s" (Printexc.to_string exn))

@@ -1,0 +1,64 @@
+(** Structured evaluation errors: a W3C XQuery / XQuery Full-Text error
+    code (plus the GTLX resource-governance extension family), a message,
+    and an optional source position.  The code is the stable API — callers
+    and tests dispatch on it, never on message text. *)
+
+type code =
+  | XPST0003  (** syntax error *)
+  | XPST0008  (** undefined variable *)
+  | XPST0017  (** unknown function name / arity *)
+  | XPDY0002  (** context item absent *)
+  | XPTY0004  (** type mismatch *)
+  | FOTY0012  (** value has no typed value *)
+  | FOAR0001  (** division by zero *)
+  | FOCA0002  (** invalid lexical value *)
+  | FOCH0001  (** invalid code point *)
+  | FODC0002  (** cannot retrieve resource (fn:doc) *)
+  | FORG0003  (** fn:zero-or-one got more than one item *)
+  | FORG0004  (** fn:one-or-more got an empty sequence *)
+  | FORG0005  (** fn:exactly-one got zero or many items *)
+  | FORG0006  (** invalid argument (effective boolean value, ...) *)
+  | FORX0002  (** invalid regular expression *)
+  | FTDY0016  (** weight outside [0, 1] *)
+  | FTDY0017  (** mild-not operand contains StringExclude *)
+  | FTST0018  (** unknown thesaurus *)
+  | GTLX0001  (** step (fuel) budget exceeded *)
+  | GTLX0002  (** recursion depth limit exceeded *)
+  | GTLX0003  (** materialization limit exceeded *)
+  | GTLX0004  (** wall-clock deadline exceeded *)
+  | GTLX0005  (** internal error surfaced at the engine boundary *)
+
+type error_class = Static | Type_error | Dynamic | Resource | Internal
+
+val class_of : code -> error_class
+
+val code_string : code -> string
+(** ["err:XPTY0004"], ["gtlx:GTLX0001"], ... *)
+
+val class_string : error_class -> string
+
+type t = { code : code; message : string; position : int option }
+
+exception Error of t
+
+val make : ?position:int -> code -> string -> t
+
+val raise_error : ?position:int -> code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raise_error code fmt ...] raises {!Error} with a formatted message. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val register_classifier : (exn -> t option) -> unit
+(** Install a recognizer for a front-end exception (lexer / parser); used
+    by {!of_exn} so boundary code can map positional syntax errors to
+    [XPST0003] without a dependency cycle. *)
+
+val of_exn : exn -> t option
+(** Structured view of an exception: {!Error} payloads pass through,
+    [Stack_overflow] / [Out_of_memory] become resource errors, registered
+    front-end exceptions map to their codes, anything else is [None]. *)
+
+val wrap_exn : exn -> t
+(** Total version of {!of_exn}: unrecognized exceptions become
+    [GTLX0005] internal errors carrying [Printexc.to_string]. *)

@@ -27,6 +27,7 @@ let rec copy_node n =
 let is_whitespace s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
 
 let rec eval (ctx : Context.t) (e : expr) : Value.t =
+  Limits.tick ctx.Context.governor;
   match e with
   | Literal_string s -> Value.string s
   | Literal_integer i -> Value.integer i
@@ -43,7 +44,10 @@ let rec eval (ctx : Context.t) (e : expr) : Value.t =
           let lo = int_of_float (Value.to_number va)
           and hi = int_of_float (Value.to_number vb) in
           if lo > hi then []
-          else List.init (hi - lo + 1) (fun i -> Value.Integer (lo + i)))
+          else begin
+            Limits.check_matches ctx.Context.governor (hi - lo + 1);
+            List.init (hi - lo + 1) (fun i -> Value.Integer (lo + i))
+          end)
   | If (c, t, f) -> if ebv (eval ctx c) then eval ctx t else eval ctx f
   | Flwor (clauses, body) -> eval_flwor ctx clauses body
   | Quantified (q, bindings, cond) -> eval_quantified ctx q bindings cond
@@ -98,14 +102,18 @@ let rec eval (ctx : Context.t) (e : expr) : Value.t =
       Value.of_nodes [ Node.seal (Node.text value) ]
   | Ft_contains { context; selection; ignore_nodes } -> (
       match ctx.Context.ft with
-      | None -> dyn "ftcontains: no full-text handler installed"
+      | None ->
+          Errors.raise_error Errors.GTLX0005
+            "ftcontains: no full-text handler installed"
       | Some h ->
           let nodes = eval ctx context in
           let ignored = Option.map (eval ctx) ignore_nodes in
           h.Context.handle_contains ~eval ctx nodes selection ignored)
   | Ft_score (context, selection) -> (
       match ctx.Context.ft with
-      | None -> dyn "ft:score: no full-text handler installed"
+      | None ->
+          Errors.raise_error Errors.GTLX0005
+            "ft:score: no full-text handler installed"
       | Some h ->
           let nodes = eval ctx context in
           h.Context.handle_score ~eval ctx nodes selection)
@@ -129,13 +137,20 @@ and arith_op : arith_op -> Value.arith = function
 (* --- FLWOR --- *)
 
 and eval_flwor ctx clauses body =
+  let governor = ctx.Context.governor in
   (* A tuple is a context with additional variable bindings. *)
   let apply_clause tuples clause =
     match clause with
     | For_clause { var; positional; source } ->
+        (* for-clauses multiply the tuple stream — the FLWOR cross-product
+           failure mode.  Check the running total as each binding sequence
+           arrives, before the product is materialized any further. *)
+        let total = ref 0 in
         List.concat_map
           (fun tctx ->
             let items = eval tctx source in
+            total := !total + List.length items;
+            Limits.check_matches governor !total;
             List.mapi
               (fun i item ->
                 let tctx = Context.bind_var tctx var [ item ] in
@@ -180,6 +195,13 @@ and eval_flwor ctx clauses body =
           go (List.combine ka kb)
         in
         List.map snd (List.stable_sort compare_keys keyed)
+  in
+  (* cross-product growth across for-clauses is the FLWOR failure mode:
+     bound every intermediate tuple stream *)
+  let apply_clause tuples clause =
+    let tuples = apply_clause tuples clause in
+    Limits.check_matches ctx.Context.governor (List.length tuples);
+    tuples
   in
   let tuples = List.fold_left apply_clause [ ctx ] clauses in
   List.concat_map (fun tctx -> eval tctx body) tuples
@@ -244,8 +266,14 @@ and eval_call ctx name args =
           { ctx with Context.focus = None }
           def.params values
       in
-      eval call_ctx def.body
-  | None -> dyn "unknown function %s/%d" name (List.length args)
+      let g = ctx.Context.governor in
+      Limits.enter_call g;
+      Fun.protect
+        ~finally:(fun () -> Limits.exit_call g)
+        (fun () -> eval call_ctx def.body)
+  | None ->
+      Errors.raise_error Errors.XPST0017 "unknown function %s/%d" name
+        (List.length args)
 
 (* --- constructors --- *)
 
@@ -312,8 +340,8 @@ and eval_constructor ctx name attrs content =
 
 (* --- query entry points --- *)
 
-let setup_context ?resolve_doc ?ft (q : query) =
-  let ctx = Context.create ?resolve_doc ?ft () in
+let setup_context ?resolve_doc ?ft ?governor (q : query) =
+  let ctx = Context.create ?resolve_doc ?ft ?governor () in
   Functions.register ctx;
   List.iter (Context.register_function ctx) q.functions;
   let ctx =
@@ -329,8 +357,8 @@ let load_module ctx (m : query) =
     (fun c (name, e) -> Context.bind_var c name (eval c e))
     ctx m.variables
 
-let run ?resolve_doc ?ft ?context_node (q : query) =
-  let ctx = setup_context ?resolve_doc ?ft q in
+let run ?resolve_doc ?ft ?governor ?context_node (q : query) =
+  let ctx = setup_context ?resolve_doc ?ft ?governor q in
   let ctx =
     match context_node with
     | Some n -> Context.with_focus ctx (Value.Node n) ~position:1 ~size:1
@@ -338,5 +366,5 @@ let run ?resolve_doc ?ft ?context_node (q : query) =
   in
   eval ctx q.body
 
-let run_string ?resolve_doc ?ft ?context_node src =
-  run ?resolve_doc ?ft ?context_node (Query_parser.parse_query src)
+let run_string ?resolve_doc ?ft ?governor ?context_node src =
+  run ?resolve_doc ?ft ?governor ?context_node (Query_parser.parse_query src)

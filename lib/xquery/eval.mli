@@ -5,12 +5,13 @@
 
 val eval : Context.t -> Ast.expr -> Value.t
 (** Evaluate one expression in a dynamic context.
-    @raise Context.Dynamic_error / @raise Value.Type_error on dynamic
-    failures. *)
+    @raise Errors.Error on dynamic, type and resource-limit failures (the
+    context's {!Limits.governor} accounts every step). *)
 
 val setup_context :
   ?resolve_doc:(string -> Xmlkit.Node.t option) ->
   ?ft:Context.ft_handler ->
+  ?governor:Limits.governor ->
   Ast.query ->
   Context.t
 (** Fresh context with the fn: library registered, the query's declared
@@ -22,6 +23,7 @@ val load_module : Context.t -> Ast.query -> Context.t
 val run :
   ?resolve_doc:(string -> Xmlkit.Node.t option) ->
   ?ft:Context.ft_handler ->
+  ?governor:Limits.governor ->
   ?context_node:Xmlkit.Node.t ->
   Ast.query ->
   Value.t
@@ -31,6 +33,7 @@ val run :
 val run_string :
   ?resolve_doc:(string -> Xmlkit.Node.t option) ->
   ?ft:Context.ft_handler ->
+  ?governor:Limits.governor ->
   ?context_node:Xmlkit.Node.t ->
   string ->
   Value.t

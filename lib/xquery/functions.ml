@@ -39,7 +39,8 @@ let node_arg name n args =
 let compiled_regex pattern =
   try Tokenize.Regex.compile pattern
   with Tokenize.Regex.Parse_error msg ->
-    dyn "invalid regular expression %S: %s" pattern msg
+    Errors.raise_error Errors.FORX0002 "invalid regular expression %S: %s" pattern
+      msg
 
 (* fn:contains / starts-with / string functions treat an empty sequence as
    the empty string *)
@@ -113,15 +114,16 @@ let register ctx =
   reg "zero-or-one" 1 (fun _ args ->
       match arg 0 args with
       | ([] | [ _ ]) as v -> v
-      | _ -> dyn "fn:zero-or-one: more than one item");
+      | _ ->
+          Errors.raise_error Errors.FORG0003 "fn:zero-or-one: more than one item");
   reg "one-or-more" 1 (fun _ args ->
       match arg 0 args with
-      | [] -> dyn "fn:one-or-more: empty sequence"
+      | [] -> Errors.raise_error Errors.FORG0004 "fn:one-or-more: empty sequence"
       | v -> v);
   reg "exactly-one" 1 (fun _ args ->
       match arg 0 args with
       | [ _ ] as v -> v
-      | _ -> dyn "fn:exactly-one: not a singleton");
+      | _ -> Errors.raise_error Errors.FORG0005 "fn:exactly-one: not a singleton");
 
   (* --- numbers --- *)
   let aggregate name fold init finish =
@@ -276,7 +278,9 @@ let register ctx =
         (fun item ->
           let c = int_of_float (Value.item_to_double item) in
           if c >= 0 && c < 0x110000 then Buffer.add_utf_8_uchar buf (Uchar.of_int c)
-          else dyn "codepoints-to-string: invalid code point %d" c)
+          else
+            Errors.raise_error Errors.FOCH0001
+              "codepoints-to-string: invalid code point %d" c)
         (Value.atomize (arg 0 args));
       Value.string (Buffer.contents buf));
   reg "deep-equal" 2 (fun _ args ->
@@ -314,7 +318,7 @@ let register ctx =
             match Value.compare_items x y with
             | 0 -> true
             | _ -> false
-            | exception Value.Type_error _ -> false)
+            | exception Errors.Error { code = Errors.XPTY0004; _ } -> false)
       in
       let va = arg 0 args and vb = arg 1 args in
       Value.boolean
@@ -349,7 +353,9 @@ let register ctx =
       let uri = str_arg 0 args in
       match ctx.Context.resolve_doc uri with
       | Some doc -> Value.of_nodes [ doc ]
-      | None -> dyn "fn:doc: cannot resolve document %S" uri);
+      | None ->
+          Errors.raise_error Errors.FODC0002 "fn:doc: cannot resolve document %S"
+            uri);
   reg "doc-available" 1 (fun ctx args ->
       Value.boolean (ctx.Context.resolve_doc (str_arg 0 args) <> None));
 

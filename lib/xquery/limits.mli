@@ -1,0 +1,62 @@
+(** Execution limits and the mutable governor enforcing them.
+
+    A {!governor} is created once per run and shared by every context the
+    run derives (contexts are copied functionally, the governor is not).
+    Exceeded limits raise structured {!Errors.Error} values in the
+    GTLX0001..GTLX0004 resource family. *)
+
+type t = {
+  max_steps : int option;  (** eval fuel budget (GTLX0001) *)
+  max_depth : int option;  (** user-function recursion depth (GTLX0002) *)
+  max_matches : int option;
+      (** materialization cap — AllMatches size, FLWOR tuple count, range
+          length (GTLX0003) *)
+  timeout : float option;  (** wall-clock seconds for the run (GTLX0004) *)
+}
+
+val unlimited : t
+
+val defaults : t
+(** No step / materialization / time limits; recursion capped at
+    {!default_max_depth} so runaway recursion yields GTLX0002 instead of
+    [Stack_overflow].  Chosen so every pre-existing test and bench passes
+    unchanged. *)
+
+val default_max_depth : int
+
+type governor
+
+val governor : ?fault_at:int -> t -> governor
+(** Fresh governor; a [timeout] is converted to an absolute deadline now.
+    [fault_at n] arms deterministic fault injection: reaching eval step
+    [n] raises a {e raw} [Failure] (simulating an internal bug) exactly
+    once.  Default: disabled. *)
+
+val ungoverned : unit -> governor
+(** [governor defaults]. *)
+
+val steps : governor -> int
+(** Eval steps consumed so far. *)
+
+val peak_matches : governor -> int
+(** Largest materialization observed by {!check_matches}. *)
+
+val tick : governor -> unit
+(** Account one eval step: fires the injected fault when armed, enforces
+    the step budget, and polls the deadline every 256 steps. *)
+
+val check_deadline : governor -> unit
+(** Unconditional deadline check (used at coarse-grained boundaries). *)
+
+val enter_call : governor -> unit
+(** Enter a user-function application; raises GTLX0002 past the depth
+    limit. *)
+
+val exit_call : governor -> unit
+
+val check_matches : governor -> int -> unit
+(** Fail with GTLX0003 if [n] exceeds the materialization cap. *)
+
+val check_product : governor -> int -> int -> unit
+(** [check_product g a b] guards an [a * b] cross product {e before} it is
+    built (overflow-safe). *)

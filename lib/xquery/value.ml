@@ -15,9 +15,9 @@ type item =
 
 type t = item list
 
-exception Type_error of string
-
-let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+(* Type errors are structured Errors.Error values with code XPTY0004;
+   arithmetic on zero divisors uses FOAR0001 below. *)
+let type_error fmt = Errors.raise_error Errors.XPTY0004 fmt
 
 let empty : t = []
 let of_item i : t = [ i ]
@@ -181,9 +181,12 @@ let arith op (a : t) (b : t) : t =
       | Sub, Integer i, Integer j -> integer (i - j)
       | Mul, Integer i, Integer j -> integer (i * j)
       | Idiv, Integer i, Integer j ->
-          if j = 0 then type_error "integer division by zero" else integer (i / j)
+          if j = 0 then
+            Errors.raise_error Errors.FOAR0001 "integer division by zero"
+          else integer (i / j)
       | Mod, Integer i, Integer j ->
-          if j = 0 then type_error "modulus by zero" else integer (i mod j)
+          if j = 0 then Errors.raise_error Errors.FOAR0001 "modulus by zero"
+          else integer (i mod j)
       | _ ->
           let fx = item_to_double x and fy = item_to_double y in
           let r =
@@ -193,7 +196,8 @@ let arith op (a : t) (b : t) : t =
             | Mul -> fx *. fy
             | Div -> fx /. fy
             | Idiv ->
-                if fy = 0.0 then type_error "integer division by zero"
+                if fy = 0.0 then
+                  Errors.raise_error Errors.FOAR0001 "integer division by zero"
                 else Float.of_int (int_of_float (fx /. fy))
             | Mod -> Float.rem fx fy
           in

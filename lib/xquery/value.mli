@@ -11,8 +11,6 @@ type item =
 
 type t = item list
 
-exception Type_error of string
-
 (** {1 Construction} *)
 
 val empty : t
@@ -39,13 +37,13 @@ val item_to_string : item -> string
     spellings). *)
 
 val to_singleton : string -> t -> item
-(** @raise Type_error unless the sequence has exactly one item. *)
+(** @raise Errors.Error ([XPTY0004]) unless the sequence has exactly one item. *)
 
 val to_string_single : t -> string
 val to_number : t -> float
 
 val to_node : string -> item -> Xmlkit.Node.t
-(** @raise Type_error on a non-node. *)
+(** @raise Errors.Error ([XPTY0004]) on a non-node. *)
 
 val nodes_of : string -> t -> Xmlkit.Node.t list
 
@@ -53,7 +51,7 @@ val nodes_of : string -> t -> Xmlkit.Node.t list
 
 val effective_boolean_value : t -> bool
 (** XQuery 2.4.3: empty = false, node-first = true, singleton atomics by
-    value.  @raise Type_error on multi-item atomic sequences. *)
+    value.  @raise Errors.Error ([XPTY0004]) on multi-item atomic sequences. *)
 
 type comparison = Eq | Ne | Lt | Le | Gt | Ge
 
@@ -65,7 +63,7 @@ val general_compare : comparison -> t -> t -> bool
 
 val value_compare : comparison -> t -> t -> bool option
 (** eq/ne/lt/...: [None] when either side is empty.
-    @raise Type_error on non-singletons. *)
+    @raise Errors.Error ([XPTY0004]) on non-singletons. *)
 
 type arith = Add | Sub | Mul | Div | Idiv | Mod
 
@@ -75,7 +73,7 @@ val arith : arith -> t -> t -> t
 
 val document_order_dedup : t -> t
 (** Sort nodes into document order and remove duplicates (path-step
-    semantics).  @raise Type_error on non-node items. *)
+    semantics).  @raise Errors.Error ([XPTY0004]) on non-node items. *)
 
 val is_all_nodes : t -> bool
 

@@ -91,7 +91,7 @@ let xquery_all_matches sel_src =
 let prop_allmatches_equal =
   QCheck2.Test.make
     ~name:"XQuery fts module and native operators build identical AllMatches"
-    ~count:60 gen_selection_src (fun sel_src ->
+    ~count:60 ~print:(fun s -> s) gen_selection_src (fun sel_src ->
       let native = native_all_matches sel_src in
       let via_xquery = xquery_all_matches sel_src in
       All_matches.equal_solutions native via_xquery)
@@ -133,10 +133,36 @@ let test_fig3_through_both () =
       Alcotest.check (Alcotest.float 1e-9) "same score" a b)
     (scores native) (scores via_xquery)
 
+(* Regression: FTTimes over an FTAnd that duplicates a word produces
+   occurrence-matches tied on their first position; both implementations
+   must break the tie identically (stable sort over input order) or they
+   enumerate different — satisfaction-equivalent but not solution-identical
+   — window sets. *)
+let test_times_over_duplicated_and () =
+  List.iter
+    (fun sel ->
+      let native = native_all_matches sel in
+      let via_xquery = xquery_all_matches sel in
+      Alcotest.check Alcotest.bool (sel ^ ": same solutions") true
+        (All_matches.equal_solutions native via_xquery))
+    [
+      {|(("usability" && "usability") occurs at least 2 times)|};
+      {|(("usability" && "usability") occurs at most 2 times)|};
+      {|(("software" && "software" && "software") occurs exactly 2 times)|};
+      {|(("usability" || "usability") occurs at least 1 times)|};
+      {|(("usability" && "usability") distance at most 1 words)|};
+      {|(("usability" && "usability") distance at least 1 words)|};
+      {|(("software" && "software") window 2 words)|};
+      {|(("usability" && "usability") ordered)|};
+      {|(("usability" && "usability") same sentence)|};
+    ]
+
 let tests =
   [
     Alcotest.test_case "Figure 3 through both implementations" `Quick
       test_fig3_through_both;
+    Alcotest.test_case "FTTimes tie-breaking over duplicated words" `Quick
+      test_times_over_duplicated_and;
     QCheck_alcotest.to_alcotest prop_allmatches_equal;
     QCheck_alcotest.to_alcotest prop_print_parse_semantics;
   ]

@@ -26,8 +26,8 @@ let test_collection () =
 let test_doc_function () =
   check_string "fn:doc by uri" "2" (run {|string(doc("book2.xml")//book/@number)|});
   match Engine.run (Lazy.force engine) {|doc("missing.xml")|} with
-  | exception Xquery.Context.Dynamic_error _ -> ()
-  | _ -> Alcotest.fail "missing document must raise"
+  | exception Xquery.Errors.Error { code = Xquery.Errors.FODC0002; _ } -> ()
+  | _ -> Alcotest.fail "missing document must raise FODC0002"
 
 let test_optimization_flags_preserve () =
   let q = {|count(collection()//book[. ftcontains "usability" || "databases"])|} in
@@ -50,15 +50,15 @@ let test_translate_to_text_round_trip () =
 
 let test_parse_error_propagates () =
   match Engine.run (Lazy.force engine) "//book[" with
-  | exception Xquery.Parser.Error _ -> ()
-  | _ -> Alcotest.fail "parse error must propagate"
+  | exception Xquery.Errors.Error { code = Xquery.Errors.XPST0003; _ } -> ()
+  | _ -> Alcotest.fail "parse error must surface as XPST0003"
 
 let test_ft_error_on_bad_weight () =
   match
     Engine.run (Lazy.force engine) {|ft:score(//book, "x" weight 3.0)|}
   with
-  | exception Ft_eval.Ft_error _ -> ()
-  | _ -> Alcotest.fail "weight outside [0,1] must raise"
+  | exception Xquery.Errors.Error { code = Xquery.Errors.FTDY0016; _ } -> ()
+  | _ -> Alcotest.fail "weight outside [0,1] must raise FTDY0016"
 
 let test_empty_corpus () =
   let empty = Engine.of_strings [] in

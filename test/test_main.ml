@@ -24,5 +24,7 @@ let () =
       ("fts-module", Test_fts_module.tests);
       ("corpus", Test_corpus.tests);
       ("engine", Test_engine.tests);
+      ("errors", Test_errors.tests);
+      ("faults", Test_faults.tests);
       ("conformance", Test_conformance.tests);
     ]

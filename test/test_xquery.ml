@@ -149,7 +149,7 @@ let test_user_functions () =
 let test_errors () =
   let expect_error src =
     match run src with
-    | exception (Xquery.Context.Dynamic_error _ | Xquery.Value.Type_error _) -> ()
+    | exception Xquery.Errors.Error _ -> ()
     | _ -> Alcotest.failf "expected a dynamic error for %s" src
   in
   expect_error "$undefined_variable";
@@ -172,7 +172,7 @@ let test_parse_errors () =
 
 let test_focus_errors () =
   match Xquery.Eval.run_string "//book" with
-  | exception Xquery.Context.Dynamic_error _ -> ()
+  | exception Xquery.Errors.Error { code = Xquery.Errors.XPDY0002; _ } -> ()
   | _ -> Alcotest.fail "path with no context should fail"
 
 let tests =

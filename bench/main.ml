@@ -854,6 +854,95 @@ let r1_governance () =
     (Galatex.Engine.fallback_count engine)
     before
 
+(* ---------------------------------------------------------------- R2 *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let dir_size dir =
+  Array.fold_left
+    (fun acc f ->
+      acc + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+    0 (Sys.readdir dir)
+
+let r2_cold_start () =
+  Harness.section
+    "R2 (robustness): cold start from a persisted snapshot vs re-indexing";
+  let profile =
+    {
+      Corpus.Generator.default_profile with
+      Corpus.Generator.doc_count = 40;
+      sections_per_doc = 4;
+      paras_per_section = 5;
+      words_per_para = 40;
+      vocab_size = 2_000;
+    }
+  in
+  let docs = Corpus.Generator.books profile in
+  let index = Ftindex.Indexer.index_documents docs in
+  Harness.row "  corpus: %d documents, %d distinct words, %d postings\n"
+    (List.length docs)
+    (Ftindex.Inverted.distinct_word_count index)
+    (Ftindex.Inverted.total_postings index);
+  let t_index =
+    Harness.time_ms ~runs:5 (fun () -> Ftindex.Indexer.index_documents docs)
+  in
+  let dir = Printf.sprintf "r2-snapshot-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let t_save =
+        Harness.time_ms ~runs:5 (fun () -> Ftindex.Store.save ~dir index)
+      in
+      let t_load =
+        Harness.time_ms ~runs:5 (fun () -> Ftindex.Store.load ~dir ())
+      in
+      Harness.row "  index from sources:   %8.2f ms\n" t_index;
+      Harness.row "  save snapshot:        %8.2f ms  (%d files, %d KiB)\n"
+        t_save
+        (Array.length (Sys.readdir dir))
+        (dir_size dir / 1024);
+      Harness.row "  load snapshot (cold): %8.2f ms  (%.1fx vs re-indexing)\n"
+        t_load
+        (t_index /. Float.max 0.001 t_load);
+      (* salvage cost: damage one posting segment, load must repair *)
+      let post_seg =
+        Sys.readdir dir |> Array.to_list
+        |> List.find (fun f -> String.length f > 5 && String.sub f 0 5 = "post-")
+      in
+      let damage () =
+        let path = Filename.concat dir post_seg in
+        let ic = open_in_bin path in
+        let data =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        let b = Bytes.of_string data in
+        Bytes.set b 40 (Char.chr (Char.code (Bytes.get b 40) lxor 1));
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_bytes oc b)
+      in
+      damage ();
+      let loaded = ref None in
+      let t_salvage =
+        Harness.time_ms ~runs:5 (fun () ->
+            loaded := Some (Ftindex.Store.load ~dir ()))
+      in
+      match !loaded with
+      | Some l ->
+          Harness.row
+            "  load with 1 damaged posting segment: %8.2f ms (%d words rebuilt)\n"
+            t_salvage l.Ftindex.Store.report.Ftindex.Store.rebuilt_words
+      | None -> ())
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -863,6 +952,7 @@ let experiments =
     ("S1", s1_scoring); ("S2", s2_topk); ("S3", s3_marking);
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
+    ("R2", r2_cold_start);
   ]
 
 let () =

@@ -22,9 +22,12 @@ let load_documents paths =
       (uri, Xmlkit.Parser.parse_document ~uri (read_file path)))
     paths
 
+(* deliberately [string], not [Arg.file]: a missing file must reach the
+   structured error handler (err:FODC0002, exit 2), not cmdliner's own
+   usage error *)
 let docs_arg =
   Arg.(
-    value & opt_all file []
+    value & opt_all string []
     & info [ "d"; "document" ] ~docv:"FILE" ~doc:"XML document to index (repeatable).")
 
 let strategy_arg =
@@ -109,9 +112,11 @@ let limits_of ~max_steps ~max_depth ~max_matches ~timeout : Xquery.Limits.t =
     timeout;
   }
 
-let engine_of docs =
-  if docs = [] then `Error (false, "at least one --document is required")
-  else `Ok (Galatex.Engine.create (load_documents docs))
+(* Engine construction runs *inside* handle_errors: a missing --document
+   file (Sys_error -> err:FODC0002, dynamic, exit 2) or malformed XML
+   (err:XPST0003, static, exit 1) surfaces as a structured error, never a
+   raw exception. *)
+let engine_of docs = Galatex.Engine.create (load_documents docs)
 
 (* One structured handler for every error class, with a distinct exit code
    per class:
@@ -153,36 +158,81 @@ let handle_errors f =
 
 (* --- query --- *)
 
-let run_query docs strategy optimize context pretty max_steps max_depth
-    max_matches timeout no_fallback query =
-  match engine_of docs with
-  | `Error _ as e -> e
-  | `Ok engine ->
-      handle_errors (fun () ->
-          let optimizations =
-            if optimize then Galatex.Engine.all_optimizations
-            else Galatex.Engine.no_optimizations
-          in
-          let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
-          let report =
-            Galatex.Engine.run_report engine ~strategy ~optimizations ~limits
-              ~fallback:(not no_fallback) ?context query
-          in
-          if report.Galatex.Engine.fell_back then
-            Printf.eprintf "note: %s strategy failed internally (%s); %s\n"
-              (Galatex.Engine.strategy_name strategy)
-              (match report.Galatex.Engine.fallback_error with
-              | Some e -> Xquery.Errors.to_string e
-              | None -> "unknown error")
-              "answered by the materialized fallback";
-          List.iter
-            (fun item ->
-              match item with
-              | Xquery.Value.Node n when pretty ->
-                  print_endline (Xmlkit.Printer.pretty n)
-              | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
-            report.Galatex.Engine.value;
-          `Ok ())
+let index_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "index" ] ~docv:"DIR"
+        ~doc:
+          "Load the index from a snapshot directory written by $(b,galatex
+           index --output) instead of indexing $(b,--document) files.  Any
+           $(b,--document) files given alongside serve as salvage sources
+           (keyed by basename) for damaged document segments.")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "Print an evaluation report (strategy used, steps, materialization
+           peak, engine degradation counter, snapshot salvage) to stderr.")
+
+let print_salvage_report engine =
+  match Galatex.Engine.salvage_report engine with
+  | Some r when not (Ftindex.Store.clean r) ->
+      Printf.eprintf "note: %s\n" (Ftindex.Store.report_to_string r)
+  | _ -> ()
+
+let run_query docs index_dir strategy optimize context pretty max_steps
+    max_depth max_matches timeout no_fallback show_report query =
+  if docs = [] && index_dir = None then
+    `Error (false, "at least one --document (or --index DIR) is required")
+  else
+    handle_errors (fun () ->
+        let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
+        let engine =
+          match index_dir with
+          | Some dir ->
+              let sources =
+                List.map (fun p -> (Filename.basename p, read_file p)) docs
+              in
+              Galatex.Engine.of_store ~limits ~sources ~dir ()
+          | None -> engine_of docs
+        in
+        print_salvage_report engine;
+        let optimizations =
+          if optimize then Galatex.Engine.all_optimizations
+          else Galatex.Engine.no_optimizations
+        in
+        let report =
+          Galatex.Engine.run_report engine ~strategy ~optimizations ~limits
+            ~fallback:(not no_fallback) ?context query
+        in
+        if report.Galatex.Engine.fell_back then
+          Printf.eprintf "note: %s strategy failed internally (%s); %s\n"
+            (Galatex.Engine.strategy_name strategy)
+            (match report.Galatex.Engine.fallback_error with
+            | Some e -> Xquery.Errors.to_string e
+            | None -> "unknown error")
+            "answered by the materialized fallback";
+        if show_report then begin
+          Printf.eprintf
+            "report: strategy=%s steps=%d peak-matches=%d fallbacks-total=%d\n"
+            (Galatex.Engine.strategy_name report.Galatex.Engine.strategy_used)
+            report.Galatex.Engine.steps report.Galatex.Engine.peak_matches
+            report.Galatex.Engine.fallbacks_total;
+          match Galatex.Engine.salvage_report engine with
+          | Some r ->
+              Printf.eprintf "storage: %s\n" (Ftindex.Store.report_to_string r)
+          | None -> Printf.eprintf "storage: indexed in memory (no snapshot)\n"
+        end;
+        List.iter
+          (fun item ->
+            match item with
+            | Xquery.Value.Node n when pretty ->
+                print_endline (Xmlkit.Printer.pretty n)
+            | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
+          report.Galatex.Engine.value;
+        `Ok ())
 
 let query_cmd =
   let doc = "Run an XQuery Full-Text query over the indexed documents." in
@@ -190,9 +240,10 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       ret
-        (const run_query $ docs_arg $ strategy_arg $ optimize_arg $ context_arg
-       $ pretty_arg $ max_steps_arg $ max_depth_arg $ max_matches_arg
-       $ timeout_arg $ no_fallback_arg $ query_arg))
+        (const run_query $ docs_arg $ index_dir_arg $ strategy_arg
+       $ optimize_arg $ context_arg $ pretty_arg $ max_steps_arg
+       $ max_depth_arg $ max_matches_arg $ timeout_arg $ no_fallback_arg
+       $ report_arg $ query_arg))
 
 (* --- translate --- *)
 
@@ -210,24 +261,33 @@ let translate_cmd =
 
 (* --- index --- *)
 
-let run_index docs word =
-  match engine_of docs with
-  | `Error _ as e -> e
-  | `Ok engine ->
-      handle_errors (fun () ->
-          let index = Galatex.Engine.index engine in
-          (match word with
-          | Some w ->
-              print_endline
-                (Xmlkit.Printer.pretty (Ftindex.Index_xml.inverted_list_document index w))
-          | None ->
-              print_endline
-                (Xmlkit.Printer.pretty (Ftindex.Index_xml.distinct_words_document index));
-              Printf.printf "\n%d distinct words, %d postings, %d documents\n"
-                (Ftindex.Inverted.distinct_word_count index)
-                (Ftindex.Inverted.total_postings index)
-                (List.length (Ftindex.Inverted.documents index)));
-          `Ok ())
+let run_index docs word output =
+  if docs = [] then `Error (false, "at least one --document is required")
+  else
+    handle_errors (fun () ->
+        let engine = engine_of docs in
+        let index = Galatex.Engine.index engine in
+        (match output with
+        | Some dir ->
+            Galatex.Engine.save engine ~dir;
+            Printf.printf "snapshot written to %s: %d documents, %d distinct words, %d postings\n"
+              dir
+              (List.length (Ftindex.Inverted.documents index))
+              (Ftindex.Inverted.distinct_word_count index)
+              (Ftindex.Inverted.total_postings index)
+        | None -> (
+            match word with
+            | Some w ->
+                print_endline
+                  (Xmlkit.Printer.pretty (Ftindex.Index_xml.inverted_list_document index w))
+            | None ->
+                print_endline
+                  (Xmlkit.Printer.pretty (Ftindex.Index_xml.distinct_words_document index));
+                Printf.printf "\n%d distinct words, %d postings, %d documents\n"
+                  (Ftindex.Inverted.distinct_word_count index)
+                  (Ftindex.Inverted.total_postings index)
+                  (List.length (Ftindex.Inverted.documents index))));
+        `Ok ())
 
 let word_arg =
   Arg.(
@@ -235,12 +295,22 @@ let word_arg =
     & info [ "w"; "word" ] ~docv:"WORD"
         ~doc:"Print the inverted-list document of one word.")
 
+let output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"DIR"
+        ~doc:
+          "Persist the index as a crash-safe snapshot directory (manifest +
+           CRC-checksummed segments) loadable with $(b,galatex query --index
+           DIR).")
+
 let index_cmd =
   let doc =
     "Preprocess documents and print index artifacts (Figure 5(b) inverted
-     lists / distinct-word list)."
+     lists / distinct-word list), or persist them with $(b,--output)."
   in
-  Cmd.v (Cmd.info "index" ~doc) Term.(ret (const run_index $ docs_arg $ word_arg))
+  Cmd.v (Cmd.info "index" ~doc)
+    Term.(ret (const run_index $ docs_arg $ word_arg $ output_arg))
 
 (* --- tokens --- *)
 

@@ -1,0 +1,139 @@
+(** Crash-safe persistent snapshots of the inverted index.
+
+    The paper's architecture (Figure 4) treats inverted lists as off-line
+    preprocessed artifacts; this module makes that step durable: a
+    versioned on-disk snapshot directory holding a manifest plus
+    length-prefixed, CRC-32-checksummed segments — one document segment per
+    indexed document (its XML source and full token stream) and a run of
+    word-range posting segments (each word's postings chunked over one or
+    more segments).
+
+    {b Crash safety.}  Every file is written to a temp name, fsynced and
+    atomically renamed; the manifest — which names every segment of the
+    snapshot generation — is written {e last}.  A crash at any point leaves
+    either the previous complete snapshot (old manifest still in place) or
+    the new one; never a half-visible mix.
+
+    {b Corruption handling.}  {!load} verifies magic, version and payload
+    checksum of every file.  Damaged posting segments are {e salvaged} by
+    rebuilding the affected word range from the (intact) document token
+    streams; damaged document segments are re-indexed from caller-provided
+    sources when available.  Only when salvage is impossible does load
+    raise, and then always a structured [Xquery.Errors.Error]:
+    [GTLX0006] unsalvageable corrupt segment, [GTLX0007] format version
+    mismatch, [GTLX0008] incomplete snapshot.  No raw exception, and never
+    a silently divergent index.
+
+    {b Fault injection.}  All I/O goes through {!Io}, a deterministic
+    counter-driven single-shot injector mirroring the eval-step injector in
+    [Xquery.Limits]: the [n]-th I/O operation can fail with ENOSPC, tear a
+    write at byte [k], flip a bit in transit, or simulate process death.
+    The sweep test drives every operation index through save and load. *)
+
+(** Deterministic I/O fault injection. *)
+module Io : sig
+  type fault =
+    | Io_error  (** the operation raises [Sys_error] (ENOSPC / EIO) *)
+    | Crash
+        (** torn write of a prefix, then simulated process death
+            ({!Crashed} escapes the save) *)
+    | Torn_write of int
+        (** silently persist only the first [n] bytes (lying disk); on the
+            read side, a short read of [n] bytes *)
+    | Bit_flip of int
+        (** flip one bit at byte offset [n mod length] in transit *)
+
+  exception Crashed
+  (** Simulated process death: deliberately {e not} a structured error —
+      the harness treats it as the process disappearing mid-save. *)
+
+  type t
+
+  val real : unit -> t
+  (** Plain I/O, no faults. *)
+
+  val with_fault : at:int -> fault -> t
+  (** Arm [fault] to fire exactly once, at the [at]-th I/O operation
+      (1-based). *)
+
+  val ops : t -> int
+  (** Operations performed so far (use a clean run to size a sweep). *)
+end
+
+(** {1 Damage reporting} *)
+
+type scope =
+  | Document of string  (** a document segment; the payload is the uri *)
+  | Word_range of string * string
+      (** a posting segment covering first..last distinct words *)
+
+type damage = {
+  file : string;  (** segment file name within the snapshot directory *)
+  reason : string;  (** e.g. ["checksum mismatch"], ["truncated"] *)
+  scope : scope;
+}
+
+type report = {
+  damaged : damage list;  (** empty for a clean load *)
+  reindexed : string list;
+      (** uris of documents rebuilt from caller-provided sources *)
+  rebuilt_words : int;
+      (** distinct words whose postings were rebuilt from token streams *)
+}
+
+val clean : report -> bool
+val pp_report : Format.formatter -> report -> unit
+val report_to_string : report -> string
+
+(** {1 Save / load} *)
+
+val save :
+  ?io:Io.t ->
+  ?config:Tokenize.Segmenter.config ->
+  ?segment_postings:int ->
+  dir:string ->
+  Inverted.t ->
+  unit
+(** Write a snapshot of the index into [dir] (created if missing),
+    crash-safely, replacing any previous snapshot only at the final
+    manifest rename.  [config] is the tokenizer configuration the index
+    was built with — recorded so salvage re-indexes sources identically.
+    [segment_postings] caps postings per posting segment (default 4096);
+    a word with more postings spans several segments.
+
+    @raise Xquery.Errors.Error with [GTLX0008] when I/O fails mid-save.
+    @raise Io.Crashed under injected crash faults. *)
+
+type loaded = {
+  index : Inverted.t;
+  config : Tokenize.Segmenter.config;
+      (** the tokenizer configuration recorded at save time (salvage
+          re-indexes with it; engines retain it for subsequent saves) *)
+  report : report;
+}
+
+val load :
+  ?io:Io.t ->
+  ?governor:Xquery.Limits.governor ->
+  ?sources:(string * string) list ->
+  dir:string ->
+  unit ->
+  loaded
+(** Read a snapshot back, verifying every checksum.  [sources] maps
+    document uris to XML source text, enabling re-indexing of damaged
+    document segments.  [governor] accounts one step per segment operation
+    and applies the wall-clock deadline to loading.
+
+    The result index is {e exact}: equal to the saved one, or — after
+    salvage — equal to re-indexing the same sources, with the report
+    describing every damaged segment and repair performed.
+
+    @raise Xquery.Errors.Error with [GTLX0006] (unsalvageable corruption),
+    [GTLX0007] (version mismatch), [GTLX0008] (missing / incomplete
+    snapshot), or a resource code from the governor.  Nothing else. *)
+
+(** {1 Format constants (exposed for tests)} *)
+
+val format_magic : string
+val format_version : int
+val manifest_name : string

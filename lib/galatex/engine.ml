@@ -43,6 +43,7 @@ type report = {
   fallback_error : Xquery.Errors.t option;
   steps : int;
   peak_matches : int;
+  fallbacks_total : int;
 }
 
 (* Map the front ends' positional syntax exceptions to err:XPST0003 so the
@@ -62,27 +63,52 @@ let () =
 type t = {
   env : Env.t;
   context_doc : Node.t option;  (** default context node for queries *)
+  config : Tokenize.Segmenter.config;
+      (** tokenizer configuration the index was built with — recorded into
+          snapshots so salvage re-indexes identically *)
   mutable fallbacks : int;  (** graceful degradations since construction *)
+  mutable salvage : Ftindex.Store.report option;
+      (** set when this engine came out of {!of_store} *)
 }
 
-let of_index ?thesauri ?default_thesaurus index =
+let of_index ?(config = Tokenize.Segmenter.default_config) ?thesauri
+    ?default_thesaurus index =
   let env = Env.create ?thesauri ?default_thesaurus index in
   let context_doc =
     match Ftindex.Inverted.documents index with
     | (_, doc) :: _ -> Some doc
     | [] -> None
   in
-  { env; context_doc; fallbacks = 0 }
+  { env; context_doc; config; fallbacks = 0; salvage = None }
 
 let create ?config ?thesauri ?default_thesaurus docs =
-  of_index ?thesauri ?default_thesaurus (Ftindex.Indexer.index_documents ?config docs)
+  of_index ?config ?thesauri ?default_thesaurus
+    (Ftindex.Indexer.index_documents ?config docs)
 
 let of_strings ?config ?thesauri ?default_thesaurus docs =
-  of_index ?thesauri ?default_thesaurus (Ftindex.Indexer.index_strings ?config docs)
+  of_index ?config ?thesauri ?default_thesaurus
+    (Ftindex.Indexer.index_strings ?config docs)
 
 let env t = t.env
 let index t = Env.index t.env
 let fallback_count t = t.fallbacks
+let salvage_report t = t.salvage
+
+(* Persistence: delegate to the crash-safe store, carrying the engine's
+   tokenizer config so a later salvage re-indexes identically. *)
+let save ?io ?segment_postings t ~dir =
+  Ftindex.Store.save ?io ~config:t.config ?segment_postings ~dir (index t)
+
+let of_store ?io ?(limits = Xquery.Limits.defaults) ?sources ?thesauri
+    ?default_thesaurus ~dir () =
+  let governor = Xquery.Limits.governor limits in
+  let loaded = Ftindex.Store.load ?io ~governor ?sources ~dir () in
+  let t =
+    of_index ~config:loaded.Ftindex.Store.config ?thesauri ?default_thesaurus
+      loaded.Ftindex.Store.index
+  in
+  t.salvage <- Some loaded.Ftindex.Store.report;
+  t
 
 (* fn:collection(): all corpus documents, so multi-document queries don't
    depend on the default context node. *)
@@ -154,6 +180,7 @@ let run_query_report t ?(strategy = Native_materialized)
       fallback_error;
       steps = Xquery.Limits.steps governor;
       peak_matches = Xquery.Limits.peak_matches governor;
+      fallbacks_total = t.fallbacks;
     }
   in
   match structured (fun () -> attempt t ~governor ~strategy ~optimizations ?context q) with

@@ -36,10 +36,14 @@ type t
 (** {1 Construction} *)
 
 val of_index :
+  ?config:Tokenize.Segmenter.config ->
   ?thesauri:(string * Tokenize.Thesaurus.t) list ->
   ?default_thesaurus:Tokenize.Thesaurus.t ->
   Ftindex.Inverted.t ->
   t
+(** [config] records the tokenizer configuration the index was built with
+    (default {!Tokenize.Segmenter.default_config}); {!save} persists it so
+    snapshot salvage re-indexes identically. *)
 
 val create :
   ?config:Tokenize.Segmenter.config ->
@@ -64,6 +68,36 @@ val fallback_count : t -> int
 (** Graceful strategy degradations performed by this engine since
     construction (benches report this). *)
 
+val salvage_report : t -> Ftindex.Store.report option
+(** [Some report] iff this engine was built by {!of_store}; the report
+    describes any corruption found and repairs performed during the load
+    ({!Ftindex.Store.clean} tests for a pristine load). *)
+
+(** {1 Persistence} *)
+
+val save :
+  ?io:Ftindex.Store.Io.t -> ?segment_postings:int -> t -> dir:string -> unit
+(** Persist the engine's index as a crash-safe snapshot directory
+    ({!Ftindex.Store.save}) carrying this engine's tokenizer config.
+    @raise Xquery.Errors.Error with [GTLX0008] when I/O fails mid-save. *)
+
+val of_store :
+  ?io:Ftindex.Store.Io.t ->
+  ?limits:Xquery.Limits.t ->
+  ?sources:(string * string) list ->
+  ?thesauri:(string * Tokenize.Thesaurus.t) list ->
+  ?default_thesaurus:Tokenize.Thesaurus.t ->
+  dir:string ->
+  unit ->
+  t
+(** Build an engine from a persisted snapshot, verifying every checksum
+    under a governor built from [limits] (so the wall-clock deadline and
+    step budget apply to loading; default {!Xquery.Limits.defaults}).
+    [sources] (uri, XML text) enables re-indexing of damaged document
+    segments.  The load outcome is retained as {!salvage_report}.
+    @raise Xquery.Errors.Error with [GTLX0006]/[GTLX0007]/[GTLX0008] (or a
+    resource code) and nothing else. *)
+
 (** {1 Evaluation} *)
 
 val parse : string -> Xquery.Ast.query
@@ -80,6 +114,9 @@ type report = {
       (** the internal error that triggered the fallback *)
   steps : int;  (** eval steps consumed by the whole run *)
   peak_matches : int;  (** largest materialization the governor observed *)
+  fallbacks_total : int;
+      (** {!fallback_count} of the engine after this run — the engine-wide
+          degradation counter, not just this run's *)
 }
 
 val run_query_report :

@@ -39,6 +39,10 @@ type code =
   | GTLX0003  (** materialization limit exceeded *)
   | GTLX0004  (** wall-clock deadline exceeded *)
   | GTLX0005  (** internal error surfaced at the engine boundary *)
+  (* GalaTex storage errors (the persistent index store) *)
+  | GTLX0006  (** corrupt snapshot segment that could not be salvaged *)
+  | GTLX0007  (** snapshot format version mismatch *)
+  | GTLX0008  (** incomplete snapshot (missing manifest / torn save) *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -49,6 +53,9 @@ let class_of = function
   | FORG0004 | FORG0005 | FORG0006 | FORX0002 | FTDY0016 | FTDY0017
   | FTST0018 ->
       Dynamic
+  (* storage errors are environmental, like FODC0002: the snapshot on disk
+     cannot be retrieved intact.  They are dynamic, not resource limits. *)
+  | GTLX0006 | GTLX0007 | GTLX0008 -> Dynamic
   | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 -> Resource
   | GTLX0005 -> Internal
 
@@ -76,6 +83,9 @@ let code_string = function
   | GTLX0003 -> "gtlx:GTLX0003"
   | GTLX0004 -> "gtlx:GTLX0004"
   | GTLX0005 -> "gtlx:GTLX0005"
+  | GTLX0006 -> "gtlx:GTLX0006"
+  | GTLX0007 -> "gtlx:GTLX0007"
+  | GTLX0008 -> "gtlx:GTLX0008"
 
 let class_string = function
   | Static -> "static"
@@ -115,6 +125,15 @@ let of_exn = function
   | Stack_overflow ->
       Some (make GTLX0002 "evaluation stack exhausted (stack overflow)")
   | Out_of_memory -> Some (make GTLX0003 "out of memory during evaluation")
+  (* Environment failures (missing files, I/O errors while loading documents
+     or snapshots) are retrieval failures, not internal bugs. *)
+  | Sys_error msg -> Some (make FODC0002 ("cannot retrieve resource: " ^ msg))
+  | Unix.Unix_error (e, fn, arg) ->
+      Some
+        (make FODC0002
+           (Printf.sprintf "cannot retrieve resource: %s: %s%s" fn
+              (Unix.error_message e)
+              (if arg = "" then "" else " (" ^ arg ^ ")")))
   | exn -> List.find_map (fun f -> f exn) !classify_front_end
 
 (* Total: anything unrecognized is an internal error.  This is the

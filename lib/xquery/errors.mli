@@ -27,6 +27,9 @@ type code =
   | GTLX0003  (** materialization limit exceeded *)
   | GTLX0004  (** wall-clock deadline exceeded *)
   | GTLX0005  (** internal error surfaced at the engine boundary *)
+  | GTLX0006  (** corrupt snapshot segment that could not be salvaged *)
+  | GTLX0007  (** snapshot format version mismatch *)
+  | GTLX0008  (** incomplete snapshot (missing manifest / torn save) *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -56,7 +59,8 @@ val register_classifier : (exn -> t option) -> unit
 
 val of_exn : exn -> t option
 (** Structured view of an exception: {!Error} payloads pass through,
-    [Stack_overflow] / [Out_of_memory] become resource errors, registered
+    [Stack_overflow] / [Out_of_memory] become resource errors, [Sys_error] /
+    [Unix.Unix_error] become [FODC0002] retrieval failures, registered
     front-end exceptions map to their codes, anything else is [None]. *)
 
 val wrap_exn : exn -> t

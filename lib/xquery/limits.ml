@@ -85,6 +85,18 @@ let tick g =
     Errors.raise_error Errors.GTLX0004 "wall-clock deadline exceeded after %d steps"
       g.steps
 
+(* Storage operations (segment reads during a snapshot load) are far
+   coarser than eval steps, so each one counts as a step *and* polls the
+   deadline unconditionally: a load that outlives the wall-clock budget
+   stops at the next segment boundary with GTLX0004. *)
+let io_tick g =
+  g.steps <- g.steps + 1;
+  if g.steps > g.max_steps then
+    Errors.raise_error Errors.GTLX0001 "step budget of %d exceeded" g.max_steps;
+  if g.deadline < infinity && Unix.gettimeofday () > g.deadline then
+    Errors.raise_error Errors.GTLX0004
+      "wall-clock deadline exceeded after %d steps" g.steps
+
 let check_deadline g =
   if g.deadline < infinity && Unix.gettimeofday () > g.deadline then
     Errors.raise_error Errors.GTLX0004 "wall-clock deadline exceeded after %d steps"

@@ -48,6 +48,11 @@ val tick : governor -> unit
 val check_deadline : governor -> unit
 (** Unconditional deadline check (used at coarse-grained boundaries). *)
 
+val io_tick : governor -> unit
+(** Account one storage operation (a snapshot segment read/parse): counts
+    against the step budget and polls the deadline unconditionally, so the
+    wall-clock limit applies to index loading too. *)
+
 val enter_call : governor -> unit
 (** Enter a user-function application; raises GTLX0002 past the depth
     limit. *)

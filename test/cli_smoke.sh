@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# End-to-end CLI robustness smoke: structured errors and exit codes for
+# document-loading failures, and the persistent-index lifecycle including
+# corruption detection / salvage (exit codes: 1 static, 2 dynamic).
+set -u
+case "$1" in
+  /*) GX="$1" ;;
+  *) GX="$PWD/$1" ;;
+esac
+fails=0
+
+expect_exit() { # expect_exit NAME WANT ACTUAL
+  if [ "$3" -ne "$2" ]; then
+    echo "FAIL $1: expected exit $2, got $3" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok   $1 (exit $3)"
+  fi
+}
+
+work=$(mktemp -d ./cli-smoke-XXXXXX)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+cat > a.xml <<'EOF'
+<book><title>Usability testing</title><p>Software usability and testing of web site design requirements.</p></book>
+EOF
+cat > b.xml <<'EOF'
+<book><title>Web design</title><p>Practical web design including usability goals and testing plans.</p></book>
+EOF
+printf '<book><open>' > bad.xml
+
+# --- document-loading failures are structured, not raw exceptions ---
+"$GX" query -d no-such-file.xml '//title' 2>err.txt
+expect_exit "missing --document is dynamic (FODC0002)" 2 $?
+grep -q 'err:FODC0002' err.txt || { echo "FAIL: FODC0002 not reported" >&2; fails=$((fails+1)); }
+
+"$GX" query -d bad.xml '//title' 2>err.txt
+expect_exit "malformed XML is static (XPST0003)" 1 $?
+grep -q 'err:XPST0003' err.txt || { echo "FAIL: XPST0003 not reported" >&2; fails=$((fails+1)); }
+
+# --- persisted index lifecycle ---
+"$GX" index -d a.xml -d b.xml --output snap >/dev/null
+expect_exit "index --output" 0 $?
+
+out=$("$GX" query --index snap '//title[. ftcontains "usability"]')
+expect_exit "query --index" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: wrong query result: $out" >&2; fails=$((fails+1)); }
+
+"$GX" query --index snap --report '//title[. ftcontains "usability"]' 2>rep.txt >/dev/null
+grep -q 'fallbacks-total=' rep.txt || { echo "FAIL: --report missing fallbacks-total" >&2; fails=$((fails+1)); }
+grep -q 'storage: snapshot loaded clean' rep.txt || { echo "FAIL: --report missing storage line" >&2; fails=$((fails+1)); }
+
+# --- corrupt a posting segment: salvaged, same answer, damage reported ---
+post_seg=$(ls snap/post-*.seg | head -1)
+dd if=/dev/zero of="$post_seg" bs=1 seek=40 count=4 conv=notrunc 2>/dev/null
+out=$("$GX" query --index snap '//title[. ftcontains "usability"]' 2>err.txt)
+expect_exit "salvaged query" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: salvage changed the answer: $out" >&2; fails=$((fails+1)); }
+grep -q 'salvaged snapshot' err.txt || { echo "FAIL: salvage not reported" >&2; fails=$((fails+1)); }
+
+# --- corrupt a document segment: fatal without sources, salvaged with ---
+doc_seg=$(ls snap/doc-*.seg | head -1)
+dd if=/dev/zero of="$doc_seg" bs=1 seek=40 count=4 conv=notrunc 2>/dev/null
+"$GX" query --index snap '//title[. ftcontains "usability"]' 2>err.txt
+expect_exit "corrupt doc segment without sources (GTLX0006)" 2 $?
+grep -q 'gtlx:GTLX0006' err.txt || { echo "FAIL: GTLX0006 not reported" >&2; fails=$((fails+1)); }
+
+out=$("$GX" query --index snap -d a.xml -d b.xml '//title[. ftcontains "usability"]' 2>/dev/null)
+expect_exit "salvage with --document sources" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: source salvage changed the answer: $out" >&2; fails=$((fails+1)); }
+
+# --- missing manifest: incomplete snapshot ---
+rm snap/MANIFEST
+"$GX" query --index snap '//title' 2>err.txt
+expect_exit "missing manifest (GTLX0008)" 2 $?
+grep -q 'gtlx:GTLX0008' err.txt || { echo "FAIL: GTLX0008 not reported" >&2; fails=$((fails+1)); }
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI smoke failure(s)" >&2
+  exit 1
+fi
+echo "CLI smoke: all checks passed"

@@ -120,7 +120,15 @@ let test_error_classes () =
     (fun c ->
       Alcotest.(check string) "resource" "resource" (class_string (class_of c)))
     [ GTLX0001; GTLX0002; GTLX0003; GTLX0004 ];
-  Alcotest.(check string) "internal" "internal" (class_string (class_of GTLX0005))
+  Alcotest.(check string) "internal" "internal" (class_string (class_of GTLX0005));
+  (* storage errors are environmental, like FODC0002: dynamic class *)
+  List.iter
+    (fun c ->
+      Alcotest.(check string) "storage is dynamic" "dynamic"
+        (class_string (class_of c)))
+    [ GTLX0006; GTLX0007; GTLX0008 ];
+  Alcotest.(check string) "storage code string" "gtlx:GTLX0006"
+    (code_string GTLX0006)
 
 let tests =
   [

@@ -26,5 +26,6 @@ let () =
       ("engine", Test_engine.tests);
       ("errors", Test_errors.tests);
       ("faults", Test_faults.tests);
+      ("store", Test_store.tests);
       ("conformance", Test_conformance.tests);
     ]

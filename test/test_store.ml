@@ -1,0 +1,506 @@
+(* The persistent-store robustness contract:
+
+   1. save |> load is the identity on indexes (qcheck over random corpora,
+      plus empty-index and multi-segment-word edge cases);
+   2. a fault injected at *any* I/O operation of a save or a load yields
+      exactly one of: an exact round trip, a salvage with a damage report
+      (still exact, given sources), or a structured gtlx: storage error —
+      never a raw exception, never silently wrong postings;
+   3. a save crashing over an existing snapshot leaves the old or the new
+      index loadable — never a mix;
+   4. on-disk corruption (bit flips, truncation, version patches, missing
+      manifest) is detected and either salvaged or reported structurally.
+
+   Exactness is cross-checked at the query level: a recovered engine must
+   answer a use-case query identically to a freshly indexed one. *)
+
+open Ftindex
+
+let storage_codes =
+  [ Xquery.Errors.GTLX0006; Xquery.Errors.GTLX0007; Xquery.Errors.GTLX0008 ]
+
+(* --- scratch directories (inside the dune sandbox cwd) --- *)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Printf.sprintf "store-scratch-%d-%d" (Unix.getpid ()) !dir_counter
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- structural index equality (documents, tokens, postings, scores) --- *)
+
+let index_eq (a : Inverted.t) (b : Inverted.t) =
+  let doc_sig i =
+    List.map (fun (u, r) -> (u, Xmlkit.Printer.to_string r)) (Inverted.documents i)
+  in
+  doc_sig a = doc_sig b
+  && Inverted.total_postings a = Inverted.total_postings b
+  && Inverted.distinct_words a = Inverted.distinct_words b
+  && List.for_all
+       (fun w -> Inverted.postings a w = Inverted.postings b w)
+       (Inverted.distinct_words a)
+  && List.for_all
+       (fun (u, _) ->
+         Inverted.tokens_of_doc a ~doc:u = Inverted.tokens_of_doc b ~doc:u)
+       (Inverted.documents a)
+
+let check_same msg a b = Alcotest.(check bool) msg true (index_eq a b)
+
+(* --- fixtures --- *)
+
+let corpus_sources =
+  [
+    ( "a.xml",
+      "<book><title>Usability testing</title><p>Software usability and \
+       testing of web site design requirements.</p></book>" );
+    ( "b.xml",
+      "<book><title>Web design</title><p>Practical web design including \
+       usability goals and testing plans.</p></book>" );
+  ]
+
+let corpus_index () = Indexer.index_strings corpus_sources
+
+let faults =
+  [
+    ("io-error", Store.Io.Io_error);
+    ("crash", Store.Io.Crash);
+    ("torn-0", Store.Io.Torn_write 0);
+    ("torn-17", Store.Io.Torn_write 17);
+    ("bitflip-3", Store.Io.Bit_flip 3);
+    ("bitflip-99", Store.Io.Bit_flip 99);
+  ]
+
+(* --- round trips --- *)
+
+let test_roundtrip () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let l = Store.load ~dir () in
+      Alcotest.(check bool) "clean report" true (Store.clean l.Store.report);
+      check_same "round trip" index l.Store.index)
+
+let test_roundtrip_empty () =
+  let index = Inverted.empty () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let l = Store.load ~dir () in
+      Alcotest.(check bool) "clean report" true (Store.clean l.Store.report);
+      check_same "empty round trip" index l.Store.index)
+
+let test_roundtrip_multi_segment () =
+  (* segment_postings = 1 forces every word's postings to spill across
+     consecutive single-posting segments *)
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~segment_postings:1 ~dir index;
+      Alcotest.(check bool)
+        "several posting segments" true
+        (Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f -> String.length f > 5 && String.sub f 0 5 = "post-")
+        |> List.length > 1);
+      let l = Store.load ~dir () in
+      Alcotest.(check bool) "clean report" true (Store.clean l.Store.report);
+      check_same "multi-segment round trip" index l.Store.index)
+
+let test_save_replaces_previous () =
+  with_dir (fun dir ->
+      let a = corpus_index () in
+      let b = Indexer.index_strings [ List.hd corpus_sources ] in
+      Store.save ~dir a;
+      Store.save ~dir b;
+      let l = Store.load ~dir () in
+      Alcotest.(check bool) "clean report" true (Store.clean l.Store.report);
+      check_same "second save wins" b l.Store.index)
+
+(* --- qcheck: save |> load = id on random corpora --- *)
+
+let gen_profile =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 1000 in
+  let* doc_count = int_range 1 4 in
+  let* sections = int_range 1 2 in
+  let* words = int_range 5 25 in
+  let* vocab = int_range 10 80 in
+  return
+    {
+      Corpus.Generator.default_profile with
+      Corpus.Generator.seed;
+      doc_count;
+      sections_per_doc = sections;
+      paras_per_section = 2;
+      words_per_para = words;
+      vocab_size = vocab;
+    }
+
+let prop_roundtrip_id =
+  QCheck2.Test.make ~name:"Store.save |> Store.load = id" ~count:25
+    QCheck2.Gen.(pair gen_profile (int_range 1 64))
+    (fun (profile, segment_postings) ->
+      let index = Corpus.Generator.index_books profile in
+      with_dir (fun dir ->
+          Store.save ~segment_postings ~dir index;
+          let l = Store.load ~dir () in
+          Store.clean l.Store.report && index_eq index l.Store.index))
+
+(* --- fault sweeps ---
+
+   Outcome trichotomy for every injection point: exact round trip, salvage
+   with a report (still exact, sources provided), or a structured storage
+   error.  [Io.Crashed] may escape a save (simulated process death) but
+   never a load. *)
+
+let structured_storage e =
+  List.mem e.Xquery.Errors.code storage_codes
+  || (* a transient read failure of the manifest surfaces as retrieval *)
+  e.Xquery.Errors.code = Xquery.Errors.FODC0002
+
+let check_load_outcome ~name ~expect ?(alternates = []) ~sources dir =
+  match Store.load ~sources ~dir () with
+  | l ->
+      Alcotest.(check bool)
+        (name ^ ": loaded index exact")
+        true
+        (List.exists (index_eq l.Store.index) (expect :: alternates))
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: structured storage error (got %s)" name
+           (Xquery.Errors.code_string e.Xquery.Errors.code))
+        true (structured_storage e)
+  | exception exn ->
+      Alcotest.failf "%s: raw exception escaped load: %s" name
+        (Printexc.to_string exn)
+
+let count_save_ops index =
+  with_dir (fun dir ->
+      let io = Store.Io.real () in
+      Store.save ~io ~dir index;
+      Store.Io.ops io)
+
+let test_save_fault_sweep () =
+  let index = corpus_index () in
+  let total = count_save_ops index in
+  Alcotest.(check bool) "save performs several ops" true (total > 10);
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "save %s@%d" fname at in
+        with_dir (fun dir ->
+            (match Store.save ~io:(Store.Io.with_fault ~at fault) ~dir index with
+            | () -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (name ^ ": structured save error")
+                  true
+                  (e.Xquery.Errors.code = Xquery.Errors.GTLX0008)
+            | exception Store.Io.Crashed -> () (* simulated process death *)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped save: %s" name
+                  (Printexc.to_string exn));
+            (* whatever the save left behind must load exactly or fail
+               structurally; a torn fresh save has no manifest -> GTLX0008 *)
+            check_load_outcome ~name ~expect:index ~sources:corpus_sources dir))
+      faults
+  done
+
+let test_save_over_existing_fault_sweep () =
+  (* crash-safety across overwrites: after a faulted save of B over a
+     snapshot of A, the directory holds exactly A or exactly B *)
+  let a = corpus_index () in
+  let b =
+    Indexer.index_strings
+      [
+        ( "c.xml",
+          "<book><title>Different corpus</title><p>Entirely new words \
+           nothing shared with the previous snapshot text.</p></book>" );
+      ]
+  in
+  let sources =
+    corpus_sources
+    @ [ ( "c.xml",
+          "<book><title>Different corpus</title><p>Entirely new words \
+           nothing shared with the previous snapshot text.</p></book>" ) ]
+  in
+  let total = count_save_ops b in
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "overwrite %s@%d" fname at in
+        with_dir (fun dir ->
+            Store.save ~dir a;
+            (match Store.save ~io:(Store.Io.with_fault ~at fault) ~dir b with
+            | () | (exception Xquery.Errors.Error _)
+            | (exception Store.Io.Crashed) ->
+                ()
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped save: %s" name
+                  (Printexc.to_string exn));
+            check_load_outcome ~name ~expect:a ~alternates:[ b ] ~sources dir))
+      faults
+  done
+
+let test_load_fault_sweep () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let io = Store.Io.real () in
+      ignore (Store.load ~io ~dir ());
+      let total = Store.Io.ops io in
+      Alcotest.(check bool) "load performs several ops" true (total > 4);
+      for at = 1 to total do
+        List.iter
+          (fun (fname, fault) ->
+            let name = Printf.sprintf "load %s@%d" fname at in
+            match
+              Store.load
+                ~io:(Store.Io.with_fault ~at fault)
+                ~sources:corpus_sources ~dir ()
+            with
+            | l ->
+                Alcotest.(check bool)
+                  (name ^ ": exact after salvage")
+                  true
+                  (index_eq index l.Store.index)
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured_storage e)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped load: %s" name
+                  (Printexc.to_string exn))
+          faults
+      done)
+
+(* --- on-disk corruption (no injector: real bytes damaged) --- *)
+
+let patch_file path off f =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string data in
+  if off < Bytes.length b then
+    Bytes.set b off (f (Bytes.get b off));
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc b)
+
+let truncate_file path len =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (String.sub data 0 (min len (String.length data))))
+
+let snapshot_files dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+
+let test_corruption_sweep () =
+  let index = corpus_index () in
+  with_dir (fun master ->
+      Store.save ~dir:master index;
+      let files = snapshot_files master in
+      List.iter
+        (fun file ->
+          (* a handful of byte offsets spread over each file, plus
+             truncations at interesting lengths *)
+          let size =
+            let ic = open_in_bin (Filename.concat master file) in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> in_channel_length ic)
+          in
+          let offsets = [ 0; 5; 9; 13; 26; size / 2; size - 1 ] in
+          List.iter
+            (fun off ->
+              if off >= 0 && off < size then
+                with_dir (fun dir ->
+                    Store.save ~dir index;
+                    patch_file (Filename.concat dir file) off
+                      (fun c -> Char.chr (Char.code c lxor 0x40));
+                    check_load_outcome
+                      ~name:(Printf.sprintf "flip %s@%d" file off)
+                      ~expect:index ~sources:corpus_sources dir))
+            offsets;
+          List.iter
+            (fun len ->
+              if len < size then
+                with_dir (fun dir ->
+                    Store.save ~dir index;
+                    truncate_file (Filename.concat dir file) len;
+                    check_load_outcome
+                      ~name:(Printf.sprintf "truncate %s@%d" file len)
+                      ~expect:index ~sources:corpus_sources dir))
+            [ 0; 7; 24; size / 2; size - 1 ])
+        files)
+
+let expect_load_code name expected ?(sources = []) dir =
+  match Store.load ~sources ~dir () with
+  | _ -> Alcotest.failf "%s: load unexpectedly succeeded" name
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check string)
+        name
+        (Xquery.Errors.code_string expected)
+        (Xquery.Errors.code_string e.Xquery.Errors.code)
+
+let test_version_mismatch () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      (* the format version is the u32 right after the 8-byte magic *)
+      patch_file (Filename.concat dir Store.manifest_name) 8 (fun _ -> '\xfe');
+      expect_load_code "version mismatch" Xquery.Errors.GTLX0007 dir)
+
+let test_missing_manifest () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      Sys.remove (Filename.concat dir Store.manifest_name);
+      expect_load_code "missing manifest" Xquery.Errors.GTLX0008 dir)
+
+let test_not_a_snapshot () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      expect_load_code "empty directory" Xquery.Errors.GTLX0008 dir)
+
+let test_damaged_doc_without_sources_is_fatal () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let doc_seg =
+        List.find
+          (fun f -> String.length f > 4 && String.sub f 0 4 = "doc-")
+          (snapshot_files dir)
+      in
+      patch_file (Filename.concat dir doc_seg) 40 (fun c ->
+          Char.chr (Char.code c lxor 0x01));
+      expect_load_code "damaged doc, no sources" Xquery.Errors.GTLX0006 dir;
+      (* same damage, sources provided: salvaged exactly *)
+      let l = Store.load ~sources:corpus_sources ~dir () in
+      Alcotest.(check bool)
+        "salvage reports damage" false
+        (Store.clean l.Store.report);
+      Alcotest.(check (list string))
+        "re-indexed the damaged document"
+        [ fst (List.hd corpus_sources) ]
+        l.Store.report.Store.reindexed;
+      check_same "salvaged exactly" index l.Store.index)
+
+(* --- the governor applies to loading too --- *)
+
+let test_load_deadline () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let governor =
+        Xquery.Limits.governor
+          { Xquery.Limits.defaults with Xquery.Limits.timeout = Some (-1.0) }
+      in
+      match Store.load ~governor ~dir () with
+      | _ -> Alcotest.fail "expired deadline: load should not finish"
+      | exception Xquery.Errors.Error e ->
+          Alcotest.(check string)
+            "deadline code" "gtlx:GTLX0004"
+            (Xquery.Errors.code_string e.Xquery.Errors.code))
+
+(* --- engine level: persistence round trip and query cross-check --- *)
+
+let usecase_query = {|//book[. ftcontains "usability" && "testing"]/title|}
+
+let test_engine_roundtrip_query () =
+  let fresh = Galatex.Engine.of_strings corpus_sources in
+  let expected =
+    Xquery.Value.to_display_string (Galatex.Engine.run fresh usecase_query)
+  in
+  with_dir (fun dir ->
+      Galatex.Engine.save fresh ~dir;
+      let loaded = Galatex.Engine.of_store ~dir () in
+      (match Galatex.Engine.salvage_report loaded with
+      | Some r -> Alcotest.(check bool) "clean load" true (Store.clean r)
+      | None -> Alcotest.fail "of_store must retain a salvage report");
+      Alcotest.(check string)
+        "loaded engine answers identically" expected
+        (Xquery.Value.to_display_string (Galatex.Engine.run loaded usecase_query));
+      (* and after salvage from real corruption, still identical *)
+      let post_seg =
+        List.find
+          (fun f -> String.length f > 5 && String.sub f 0 5 = "post-")
+          (snapshot_files dir)
+      in
+      patch_file (Filename.concat dir post_seg) 30 (fun c ->
+          Char.chr (Char.code c lxor 0x20));
+      let salvaged = Galatex.Engine.of_store ~sources:corpus_sources ~dir () in
+      (match Galatex.Engine.salvage_report salvaged with
+      | Some r -> Alcotest.(check bool) "damage reported" false (Store.clean r)
+      | None -> Alcotest.fail "salvage report missing");
+      Alcotest.(check string)
+        "salvaged engine answers identically" expected
+        (Xquery.Value.to_display_string
+           (Galatex.Engine.run salvaged usecase_query)))
+
+let test_run_report_exposes_fallbacks_total () =
+  let engine = Galatex.Engine.of_strings corpus_sources in
+  let r = Galatex.Engine.run_report engine usecase_query in
+  Alcotest.(check int) "no degradations yet" 0 r.Galatex.Engine.fallbacks_total;
+  (* force one degradation via the step-fault injector on the pipelined
+     strategy, then observe the engine-wide counter in the next report *)
+  let r2 =
+    Galatex.Engine.run_report engine ~strategy:Galatex.Engine.Native_pipelined
+      ~fault_at:3 ~fallback:true usecase_query
+  in
+  Alcotest.(check bool) "fell back" true r2.Galatex.Engine.fell_back;
+  Alcotest.(check int) "counter exposed" 1 r2.Galatex.Engine.fallbacks_total;
+  Alcotest.(check int)
+    "matches fallback_count" (Galatex.Engine.fallback_count engine)
+    r2.Galatex.Engine.fallbacks_total
+
+let tests =
+  [
+    Alcotest.test_case "round trip" `Quick test_roundtrip;
+    Alcotest.test_case "round trip (empty index)" `Quick test_roundtrip_empty;
+    Alcotest.test_case "round trip (multi-segment words)" `Quick
+      test_roundtrip_multi_segment;
+    Alcotest.test_case "second save replaces first" `Quick
+      test_save_replaces_previous;
+    QCheck_alcotest.to_alcotest prop_roundtrip_id;
+    Alcotest.test_case "save fault sweep" `Slow test_save_fault_sweep;
+    Alcotest.test_case "overwrite fault sweep" `Slow
+      test_save_over_existing_fault_sweep;
+    Alcotest.test_case "load fault sweep" `Quick test_load_fault_sweep;
+    Alcotest.test_case "on-disk corruption sweep" `Slow test_corruption_sweep;
+    Alcotest.test_case "version mismatch (GTLX0007)" `Quick
+      test_version_mismatch;
+    Alcotest.test_case "missing manifest (GTLX0008)" `Quick
+      test_missing_manifest;
+    Alcotest.test_case "not a snapshot (GTLX0008)" `Quick test_not_a_snapshot;
+    Alcotest.test_case "unsalvageable doc (GTLX0006) vs sources" `Quick
+      test_damaged_doc_without_sources_is_fatal;
+    Alcotest.test_case "deadline applies to load (GTLX0004)" `Quick
+      test_load_deadline;
+    Alcotest.test_case "engine save/of_store query cross-check" `Quick
+      test_engine_roundtrip_query;
+    Alcotest.test_case "run_report exposes fallbacks_total" `Quick
+      test_run_report_exposes_fallbacks_total;
+  ]

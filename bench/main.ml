@@ -943,6 +943,170 @@ let r2_cold_start () =
             t_salvage l.Ftindex.Store.report.Ftindex.Store.rebuilt_words
       | None -> ())
 
+(* ---------------------------------------------------------------- R3 *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> Float.nan
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let r3_serving () =
+  Harness.section
+    "R3 (robustness): daemon under open-loop load — shedding bounds p99";
+  let module Srv = Galatex_server.Server in
+  let module Cli = Galatex_server.Client in
+  let module Proto = Galatex_server.Protocol in
+  let dir = Printf.sprintf "r3-snapshot-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let index =
+        Corpus.Generator.index_books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 1100;
+            doc_count = 28;
+            sections_per_doc = 3;
+            paras_per_section = 4;
+            words_per_para = 40;
+            vocab_size = 150;
+          }
+      in
+      Ftindex.Store.save ~dir index;
+      let query =
+        {|count(collection()//book[. ftcontains "ra" && "sa" window 14 words])|}
+      in
+      let workers = 2 and per_client = 30 in
+      (* one load level: [level] closed-loop clients hammer the daemon with
+         [per_client] requests each; shed responses (GTLX0009) are counted,
+         served requests contribute a wall-clock latency sample *)
+      let run_level ~queue_limit level =
+        let socket_path =
+          Printf.sprintf "r3-%d-q%d-c%d.sock" (Unix.getpid ()) queue_limit level
+        in
+        let cfg =
+          {
+            (Srv.default_config ~index_dir:dir ~socket_path) with
+            Srv.workers;
+            queue_limit;
+          }
+        in
+        let t = Srv.start cfg in
+        Fun.protect
+          ~finally:(fun () -> Srv.stop t)
+          (fun () ->
+            let lat = Array.make (level * per_client) Float.nan in
+            let shed = Atomic.make 0 and errs = Atomic.make 0 in
+            let t0 = Unix.gettimeofday () in
+            let clients =
+              List.init level (fun c ->
+                  Thread.create
+                    (fun () ->
+                      for r = 0 to per_client - 1 do
+                        let s = Unix.gettimeofday () in
+                        match
+                          Cli.request ~socket_path
+                            (Proto.Query (Proto.query_request query))
+                        with
+                        | Ok (Proto.Value _) ->
+                            lat.((c * per_client) + r) <-
+                              (Unix.gettimeofday () -. s) *. 1000.
+                        | Ok (Proto.Failure e)
+                          when e.Proto.code = "gtlx:GTLX0009" ->
+                            Atomic.incr shed
+                        | Ok _ | Error _ -> Atomic.incr errs
+                      done)
+                    ())
+            in
+            List.iter Thread.join clients;
+            let wall = Unix.gettimeofday () -. t0 in
+            let served =
+              Array.of_list
+                (List.filter
+                   (fun x -> not (Float.is_nan x))
+                   (Array.to_list lat))
+            in
+            Array.sort compare served;
+            ( level,
+              Array.length served,
+              Atomic.get shed,
+              Atomic.get errs,
+              float_of_int (Array.length served) /. wall,
+              percentile served 0.5,
+              percentile served 0.99 ))
+      in
+      let levels = [ 1; 2; 4; 8; 16; 32 ] in
+      let bounded_q = 2 * workers in
+      let unbounded_q = 1_000_000 in
+      let bounded = List.map (run_level ~queue_limit:bounded_q) levels in
+      let unbounded = List.map (run_level ~queue_limit:unbounded_q) levels in
+      let print_table name rows =
+        Harness.row "\n  %s\n" name;
+        Harness.row
+          "  clients   served   shed   errors   throughput      p50       p99\n";
+        List.iter
+          (fun (level, served, shed, errs, rps, p50, p99) ->
+            Harness.row
+              "  %7d   %6d   %4d   %6d   %8.0f/s   %6.2fms  %7.2fms\n" level
+              served shed errs rps p50 p99)
+          rows
+      in
+      print_table
+        (Printf.sprintf
+           "admission control ON (workers=%d, queue_limit=%d): excess is shed"
+           workers bounded_q)
+        bounded;
+      print_table
+        (Printf.sprintf
+           "admission control OFF (workers=%d, queue_limit=%d): everything \
+            queues"
+           workers unbounded_q)
+        unbounded;
+      let last l = List.nth l (List.length l - 1) in
+      let top_level, _, top_shed, _, _, _, p99_b = last bounded in
+      let _, _, _, _, _, _, p99_u = last unbounded in
+      Harness.row
+        "  => at %d offered clients shedding (%d sheds) bounds p99 at %.2fms\n\
+        \     vs %.2fms when every request queues (%.1fx tail-latency cut)\n"
+        top_level top_shed p99_b p99_u
+        (p99_u /. Float.max 0.001 p99_b);
+      let json_rows rows =
+        String.concat ",\n"
+          (List.map
+             (fun (level, served, shed, errs, rps, p50, p99) ->
+               Printf.sprintf
+                 "      {\"offered_clients\": %d, \"served\": %d, \"shed\": \
+                  %d, \"transport_errors\": %d, \"throughput_rps\": %.1f, \
+                  \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+                 level served shed errs rps p50 p99)
+             rows)
+      in
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"experiment\": \"R3\",\n\
+          \  \"workers\": %d,\n\
+          \  \"requests_per_client\": %d,\n\
+          \  \"configs\": [\n\
+          \    {\"name\": \"admission_control\", \"queue_limit\": %d, \
+           \"levels\": [\n\
+           %s\n\
+          \    ]},\n\
+          \    {\"name\": \"unbounded_queue\", \"queue_limit\": %d, \
+           \"levels\": [\n\
+           %s\n\
+          \    ]}\n\
+          \  ]\n\
+           }\n"
+          workers per_client bounded_q (json_rows bounded) unbounded_q
+          (json_rows unbounded)
+      in
+      let oc = open_out "BENCH_R3.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc json);
+      Harness.row "  wrote BENCH_R3.json\n")
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -952,7 +1116,7 @@ let experiments =
     ("S1", s1_scoring); ("S2", s2_topk); ("S3", s3_marking);
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
-    ("R2", r2_cold_start);
+    ("R2", r2_cold_start); ("R3", r3_serving);
   ]
 
 let () =

@@ -5,6 +5,9 @@
      galatex translate 'QUERY'                   show the translated XQuery
      galatex index   -d a.xml ...                dump inverted-list documents
      galatex tokens  -d a.xml                    show TokenInfo values
+     galatex serve   --index DIR --socket PATH   run the query daemon
+     galatex query   --server PATH 'QUERY'       query a running daemon
+     galatex stats   --server PATH               daemon counters / breakers
      galatex demo                                run the use-case catalogue *)
 
 open Cmdliner
@@ -176,19 +179,93 @@ let report_arg =
           "Print an evaluation report (strategy used, steps, materialization
            peak, engine degradation counter, snapshot salvage) to stderr.")
 
-let print_salvage_report engine =
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "quiet" ]
+        ~doc:"Suppress the one-line snapshot-salvage warning on stderr.")
+
+(* One greppable line for operators watching stderr; the full report stays
+   available under --report.  --quiet silences it. *)
+let print_salvage_report ~quiet engine =
   match Galatex.Engine.salvage_report engine with
-  | Some r when not (Ftindex.Store.clean r) ->
-      Printf.eprintf "note: %s\n" (Ftindex.Store.report_to_string r)
+  | Some r when (not (Ftindex.Store.clean r)) && not quiet ->
+      let s = Ftindex.Store.report_to_string r in
+      let line =
+        match String.index_opt s '\n' with
+        | Some i -> String.sub s 0 i
+        | None -> s
+      in
+      Printf.eprintf "warning: %s\n" line
   | _ -> ()
 
-let run_query docs index_dir strategy optimize context pretty max_steps
-    max_depth max_matches timeout no_fallback show_report query =
+let server_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "server" ] ~docv:"SOCKET"
+        ~doc:
+          "Send the query to a running $(b,galatex serve) daemon over its
+           Unix-domain socket instead of evaluating locally.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "With $(b,--server): retry up to $(docv) times with jittered
+           exponential backoff when the daemon sheds the request
+           (gtlx:GTLX0009) or the connection fails.")
+
+(* The daemon's answer carries the error class as a string; map it to the
+   same exit codes the local path uses (static 1 .. internal 5). *)
+let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
+    ~no_fallback ~show_report query =
+  let q =
+    Galatex_server.Protocol.query_request ~strategy ~optimize
+      ~fallback:(not no_fallback) ?context ~limits query
+  in
+  match Galatex_server.Client.query ~socket_path:server ~retries q with
+  | Ok (Galatex_server.Protocol.Value v) ->
+      if v.Galatex_server.Protocol.fell_back then
+        Printf.eprintf
+          "note: %s strategy failed internally on the server; %s\n"
+          (Galatex.Engine.strategy_name strategy)
+          "answered by the materialized fallback";
+      if show_report then
+        Printf.eprintf "report: strategy=%s steps=%d generation=%d\n"
+          v.Galatex_server.Protocol.strategy_used
+          v.Galatex_server.Protocol.steps
+          v.Galatex_server.Protocol.generation;
+      List.iter print_endline v.Galatex_server.Protocol.items;
+      `Ok ()
+  | Ok (Galatex_server.Protocol.Failure e) ->
+      Printf.eprintf "%s error %s: %s\n" e.Galatex_server.Protocol.error_class
+        e.Galatex_server.Protocol.code e.Galatex_server.Protocol.message;
+      exit
+        (Galatex_server.Protocol.exit_code_of_class
+           e.Galatex_server.Protocol.error_class)
+  | Ok (Galatex_server.Protocol.Stats_reply _) ->
+      Printf.eprintf "internal error: unexpected stats response\n";
+      exit 5
+  | Error reason ->
+      Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
+        server reason;
+      exit 2
+
+let run_query docs index_dir server retries strategy optimize context pretty
+    max_steps max_depth max_matches timeout no_fallback show_report quiet
+    query =
+  let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
+  match server with
+  | Some server ->
+      run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
+        ~no_fallback ~show_report query
+  | None ->
   if docs = [] && index_dir = None then
-    `Error (false, "at least one --document (or --index DIR) is required")
+    `Error
+      (false, "at least one --document (or --index DIR, or --server) is required")
   else
     handle_errors (fun () ->
-        let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
         let engine =
           match index_dir with
           | Some dir ->
@@ -198,7 +275,7 @@ let run_query docs index_dir strategy optimize context pretty max_steps
               Galatex.Engine.of_store ~limits ~sources ~dir ()
           | None -> engine_of docs
         in
-        print_salvage_report engine;
+        print_salvage_report ~quiet engine;
         let optimizations =
           if optimize then Galatex.Engine.all_optimizations
           else Galatex.Engine.no_optimizations
@@ -240,10 +317,11 @@ let query_cmd =
     (Cmd.info "query" ~doc)
     Term.(
       ret
-        (const run_query $ docs_arg $ index_dir_arg $ strategy_arg
-       $ optimize_arg $ context_arg $ pretty_arg $ max_steps_arg
-       $ max_depth_arg $ max_matches_arg $ timeout_arg $ no_fallback_arg
-       $ report_arg $ query_arg))
+        (const run_query $ docs_arg $ index_dir_arg $ server_arg
+       $ retries_arg $ strategy_arg $ optimize_arg $ context_arg
+       $ pretty_arg $ max_steps_arg $ max_depth_arg $ max_matches_arg
+       $ timeout_arg $ no_fallback_arg $ report_arg $ quiet_arg
+       $ query_arg))
 
 (* --- translate --- *)
 
@@ -369,6 +447,130 @@ let module_cmd =
   in
   Cmd.v (Cmd.info "module" ~doc) Term.(ret (const run_module $ const ()))
 
+(* --- serve / stats --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to serve on.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "workers" ] ~docv:"N" ~doc:"Worker threads (default 4).")
+
+let queue_limit_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "Accepted connections queued before admission control sheds new
+           requests with gtlx:GTLX0009 (default 64).")
+
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:
+          "Poll the snapshot directory and hot-reload automatically when its
+           generation changes (SIGHUP always triggers a reload).")
+
+let breaker_threshold_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "breaker-threshold" ] ~docv:"N"
+        ~doc:
+          "Consecutive internal-error fallbacks that trip an optimized
+           strategy's circuit breaker (default 5).")
+
+let breaker_cooldown_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "breaker-cooldown" ] ~docv:"N"
+        ~doc:
+          "Bypassed requests before a tripped breaker lets a probe through
+           (default 8).")
+
+let run_serve docs index_dir socket workers queue_limit watch
+    breaker_threshold breaker_cooldown quiet =
+  match index_dir with
+  | None -> `Error (false, "--index DIR is required")
+  | Some index_dir ->
+      handle_errors (fun () ->
+          Logs.set_reporter
+            (Logs_threaded.enable ();
+             Logs_fmt.reporter ~dst:Format.err_formatter ());
+          Logs.set_level (Some (if quiet then Logs.Warning else Logs.Info));
+          let sources =
+            List.map (fun p -> (Filename.basename p, read_file p)) docs
+          in
+          let cfg =
+            {
+              (Galatex_server.Server.default_config ~index_dir
+                 ~socket_path:socket)
+              with
+              sources;
+              workers;
+              queue_limit;
+              watch_generation = watch;
+              breaker_threshold;
+              breaker_cooldown;
+            }
+          in
+          let t = Galatex_server.Server.start cfg in
+          (* handlers only flip atomics (async-signal-safe); the accept
+             loop notices within one select tick *)
+          Sys.set_signal Sys.sighup
+            (Sys.Signal_handle
+               (fun _ -> Galatex_server.Server.request_reload t));
+          let stop _ = Galatex_server.Server.request_shutdown t in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Galatex_server.Server.wait t;
+          `Ok ())
+
+let serve_cmd =
+  let doc =
+    "Serve queries concurrently over a Unix-domain socket: admission
+     control under load, per-strategy circuit breakers, hot snapshot
+     reload on SIGHUP, graceful drain on SIGTERM."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run_serve $ docs_arg $ index_dir_arg $ socket_arg
+       $ workers_arg $ queue_limit_arg $ watch_arg $ breaker_threshold_arg
+       $ breaker_cooldown_arg $ quiet_arg))
+
+let run_stats server =
+  match Galatex_server.Client.stats ~socket_path:server with
+  | Ok s ->
+      List.iter
+        (fun (k, v) -> Printf.printf "%s %d\n" k v)
+        s.Galatex_server.Protocol.counters;
+      List.iter
+        (fun (b : Galatex_server.Protocol.breaker_reply) ->
+          Printf.printf "breaker %s %s consecutive=%d cooldown=%d trips=%d\n"
+            b.Galatex_server.Protocol.b_strategy b.b_state b.b_consecutive
+            b.b_cooldown b.b_trips)
+        s.Galatex_server.Protocol.breakers;
+      `Ok ()
+  | Error reason ->
+      Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
+        server reason;
+      exit 2
+
+let stats_server_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "server" ] ~docv:"SOCKET" ~doc:"The daemon's socket path.")
+
+let stats_cmd =
+  let doc = "Print a running daemon's counters and breaker states." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run_stats $ stats_server_arg))
+
 (* --- demo --- *)
 
 let run_demo strategy =
@@ -399,7 +601,7 @@ let main =
     (Cmd.info "galatex" ~version:"1.0.0" ~doc)
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
-      module_cmd; demo_cmd;
+      module_cmd; serve_cmd; stats_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

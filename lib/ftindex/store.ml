@@ -709,7 +709,23 @@ type loaded = {
   index : Inverted.t;
   config : Tokenize.Segmenter.config;
   report : report;
+  generation : int;
 }
+
+(* The generation currently named by the directory's manifest, via plain
+   I/O and total: the serving layer polls this between requests, and the
+   load retry below uses it to distinguish real corruption from a race
+   against a concurrent save. *)
+let current_generation ~dir =
+  match Io.read_file (Io.real ()) (Filename.concat dir manifest_name) with
+  | exception _ -> None
+  | data -> (
+      match unframe data with
+      | Frame_ok ('M', payload) -> (
+          match decode_manifest payload with
+          | m -> Some m.gen
+          | exception Corrupt _ -> None)
+      | Frame_ok _ | Frame_version _ | Frame_corrupt _ -> None)
 
 (* Rebuild one word's postings from the (intact) token streams — exactly
    the Indexer's computation: documents in indexing order, positions in
@@ -725,10 +741,8 @@ let rebuild_word stats docs_tokens word =
              else None))
     docs_tokens
 
-let load ?(io = Io.real ()) ?governor ?(sources = []) ~dir () =
+let load_manifest ~io ~governor ~sources ~dir m =
   let tick () = Option.iter Xquery.Limits.io_tick governor in
-  tick ();
-  let m = read_manifest io ~dir in
   let damaged = ref [] in
   let add_damage file reason scope =
     damaged := { file; reason; scope } :: !damaged
@@ -914,4 +928,28 @@ let load ?(io = Io.real ()) ?governor ?(sources = []) ~dir () =
     config = m.m_config;
     report =
       { damaged = List.rev !damaged; reindexed; rebuilt_words = !rebuilt_words };
+    generation = m.gen;
   }
+
+(* Drive [load_manifest] with a bounded retry for the reader/writer race:
+   a save replaces the manifest atomically but then unlinks the previous
+   generation's segments, so a load that started on the old manifest can
+   find its segments gone.  Damage (or an unsalvageable load) while the
+   on-disk manifest has moved to a different generation is that race, not
+   corruption — restart on the new manifest. *)
+let load ?(io = Io.real ()) ?governor ?(sources = []) ~dir () =
+  let max_attempts = 3 in
+  let rec go attempt =
+    Option.iter Xquery.Limits.io_tick governor;
+    let m = read_manifest io ~dir in
+    let moved_on () = current_generation ~dir <> Some m.gen in
+    match load_manifest ~io ~governor ~sources ~dir m with
+    | l when (not (clean l.report)) && attempt < max_attempts && moved_on () ->
+        go (attempt + 1)
+    | l -> l
+    | exception Xquery.Errors.Error e
+      when e.Xquery.Errors.code = Xquery.Errors.GTLX0006
+           && attempt < max_attempts && moved_on () ->
+        go (attempt + 1)
+  in
+  go 1

@@ -110,6 +110,10 @@ type loaded = {
       (** the tokenizer configuration recorded at save time (salvage
           re-indexes with it; engines retain it for subsequent saves) *)
   report : report;
+  generation : int;
+      (** the snapshot generation the manifest named — a fresh directory
+          starts at 1 and every {!save} into it increments; serving layers
+          use this to detect that the directory moved on *)
 }
 
 val load :
@@ -130,7 +134,20 @@ val load :
 
     @raise Xquery.Errors.Error with [GTLX0006] (unsalvageable corruption),
     [GTLX0007] (version mismatch), [GTLX0008] (missing / incomplete
-    snapshot), or a resource code from the governor.  Nothing else. *)
+    snapshot), or a resource code from the governor.  Nothing else.
+
+    {b Concurrent overwrites.}  A load racing a {!save} into the same
+    directory can observe the old manifest while the save unlinks the old
+    generation's segments behind it.  When a load comes back damaged (or
+    unsalvageable) {e and} the directory's manifest has moved to another
+    generation, the load restarts on the new manifest (bounded retries),
+    so a reader concurrent with a writer yields the old or the new index
+    intact — never a torn mix. *)
+
+val current_generation : dir:string -> int option
+(** The generation named by the manifest currently in [dir], or [None]
+    when there is no readable manifest.  Plain I/O, never raises — the
+    serving layer polls this to detect new snapshots. *)
 
 (** {1 Format constants (exposed for tests)} *)
 

@@ -66,9 +66,13 @@ type t = {
   config : Tokenize.Segmenter.config;
       (** tokenizer configuration the index was built with — recorded into
           snapshots so salvage re-indexes identically *)
-  mutable fallbacks : int;  (** graceful degradations since construction *)
+  fallbacks : int Atomic.t;
+      (** graceful degradations since construction — atomic because one
+          engine serves many concurrent requests in the query daemon *)
   mutable salvage : Ftindex.Store.report option;
       (** set when this engine came out of {!of_store} *)
+  mutable generation : int option;
+      (** snapshot generation when this engine came out of {!of_store} *)
 }
 
 let of_index ?(config = Tokenize.Segmenter.default_config) ?thesauri
@@ -79,7 +83,14 @@ let of_index ?(config = Tokenize.Segmenter.default_config) ?thesauri
     | (_, doc) :: _ -> Some doc
     | [] -> None
   in
-  { env; context_doc; config; fallbacks = 0; salvage = None }
+  {
+    env;
+    context_doc;
+    config;
+    fallbacks = Atomic.make 0;
+    salvage = None;
+    generation = None;
+  }
 
 let create ?config ?thesauri ?default_thesaurus docs =
   of_index ?config ?thesauri ?default_thesaurus
@@ -91,8 +102,9 @@ let of_strings ?config ?thesauri ?default_thesaurus docs =
 
 let env t = t.env
 let index t = Env.index t.env
-let fallback_count t = t.fallbacks
+let fallback_count t = Atomic.get t.fallbacks
 let salvage_report t = t.salvage
+let generation t = t.generation
 
 (* Persistence: delegate to the crash-safe store, carrying the engine's
    tokenizer config so a later salvage re-indexes identically. *)
@@ -108,6 +120,7 @@ let of_store ?io ?(limits = Xquery.Limits.defaults) ?sources ?thesauri
       loaded.Ftindex.Store.index
   in
   t.salvage <- Some loaded.Ftindex.Store.report;
+  t.generation <- Some loaded.Ftindex.Store.generation;
   t
 
 (* fn:collection(): all corpus documents, so multi-document queries don't
@@ -180,7 +193,7 @@ let run_query_report t ?(strategy = Native_materialized)
       fallback_error;
       steps = Xquery.Limits.steps governor;
       peak_matches = Xquery.Limits.peak_matches governor;
-      fallbacks_total = t.fallbacks;
+      fallbacks_total = Atomic.get t.fallbacks;
     }
   in
   match structured (fun () -> attempt t ~governor ~strategy ~optimizations ?context q) with
@@ -198,7 +211,7 @@ let run_query_report t ?(strategy = Native_materialized)
       else begin
         (* graceful degradation: retry on the reference materialized path
            with no rewritings, under the same (partly spent) governor *)
-        t.fallbacks <- t.fallbacks + 1;
+        Atomic.incr t.fallbacks;
         Logs.warn (fun m ->
             m "engine: %s strategy failed (%s); falling back to materialized"
               (strategy_name strategy)

@@ -66,7 +66,13 @@ val index : t -> Ftindex.Inverted.t
 
 val fallback_count : t -> int
 (** Graceful strategy degradations performed by this engine since
-    construction (benches report this). *)
+    construction (benches report this).  The counter is atomic: one engine
+    may serve many concurrent requests, and the count stays exact. *)
+
+val generation : t -> int option
+(** [Some gen] iff this engine was built by {!of_store}: the snapshot
+    generation it loaded.  The serving layer compares this against
+    {!Ftindex.Store.current_generation} to detect new snapshots. *)
 
 val salvage_report : t -> Ftindex.Store.report option
 (** [Some report] iff this engine was built by {!of_store}; the report

@@ -2,7 +2,13 @@
    resources match options draw on (named thesauri, the default thesaurus)
    and a memo table for match-option word expansion, which otherwise scans
    the distinct-word list once per (token, options) pair — the paper's own
-   technique (Section 3.2.3.2). *)
+   technique (Section 3.2.3.2).
+
+   One environment may serve many concurrent requests (the query daemon
+   shares a single engine across its worker pool), so the memo table — the
+   only mutable state here — is guarded by a mutex.  Expansion is
+   deterministic, so losing a race just means computing the same list
+   twice; what the lock prevents is concurrent Hashtbl mutation. *)
 
 type t = {
   index : Ftindex.Inverted.t;
@@ -10,10 +16,17 @@ type t = {
   default_thesaurus : Tokenize.Thesaurus.t option;
   expansion_cache : (string, string list) Hashtbl.t;
       (** key: token + option signature -> matching distinct words *)
+  cache_lock : Mutex.t;
 }
 
 let create ?(thesauri = []) ?default_thesaurus index =
-  { index; thesauri; default_thesaurus; expansion_cache = Hashtbl.create 64 }
+  {
+    index;
+    thesauri;
+    default_thesaurus;
+    expansion_cache = Hashtbl.create 64;
+    cache_lock = Mutex.create ();
+  }
 
 let index t = t.index
 
@@ -21,12 +34,18 @@ let find_thesaurus t = function
   | None -> t.default_thesaurus
   | Some name -> List.assoc_opt name t.thesauri
 
+let locked t f =
+  Mutex.lock t.cache_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_lock) f
+
 let cached t key compute =
-  match Hashtbl.find_opt t.expansion_cache key with
+  match locked t (fun () -> Hashtbl.find_opt t.expansion_cache key) with
   | Some v -> v
   | None ->
+      (* compute outside the lock: expansions can scan the whole
+         distinct-word list, and the result is deterministic *)
       let v = compute () in
-      Hashtbl.replace t.expansion_cache key v;
+      locked t (fun () -> Hashtbl.replace t.expansion_cache key v);
       v
 
-let clear_cache t = Hashtbl.reset t.expansion_cache
+let clear_cache t = locked t (fun () -> Hashtbl.reset t.expansion_cache)

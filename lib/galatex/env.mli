@@ -6,6 +6,9 @@ type t = {
   thesauri : (string * Tokenize.Thesaurus.t) list;
   default_thesaurus : Tokenize.Thesaurus.t option;
   expansion_cache : (string, string list) Hashtbl.t;
+  cache_lock : Mutex.t;
+      (** guards [expansion_cache]: one environment serves many concurrent
+          requests in the query daemon *)
 }
 
 val create :
@@ -20,6 +23,8 @@ val find_thesaurus : t -> string option -> Tokenize.Thesaurus.t option
 (** [None] selects the default thesaurus; [Some name] a registered one. *)
 
 val cached : t -> string -> (unit -> string list) -> string list
-(** Memoized word-expansion lookup keyed by token + option signature. *)
+(** Memoized word-expansion lookup keyed by token + option signature.
+    Thread-safe: the memo table is mutex-guarded and [compute] (which is
+    deterministic) runs outside the lock. *)
 
 val clear_cache : t -> unit

@@ -1,0 +1,70 @@
+(* Client side of the daemon protocol (see client.mli). *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let request ~socket_path req =
+  match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> close_quietly fd)
+        (fun () ->
+          match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+          | exception Unix.Unix_error (e, fn, _) ->
+              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+          | () -> (
+              (* an admission-control shed answers before reading the
+                 request and closes; on a Unix socket the delivered reply
+                 stays readable, only our late send sees EPIPE — swallow
+                 it and read the reply *)
+              (try
+                 Protocol.write_frame fd (Protocol.encode_request req);
+                 Unix.shutdown fd Unix.SHUTDOWN_SEND
+               with
+              | Unix.Unix_error
+                  ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
+                ());
+              match Protocol.read_frame fd with
+              | Ok data -> Protocol.decode_response data
+              | Error reason -> Error reason
+              | exception Unix.Unix_error (e, fn, _) ->
+                  Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
+
+let shed_reply = function
+  | Protocol.Failure e when e.Protocol.code = "gtlx:GTLX0009" -> Some e
+  | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _ -> None
+
+let default_jitter bound = bound *. (0.5 +. Random.float 0.5)
+
+let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
+    ?(jitter = default_jitter) ?(sleep = Unix.sleepf) q =
+  let req = Protocol.Query q in
+  (* attempt [k] of [retries + 1]; [base_ms] tracks the daemon's hint *)
+  let rec go k base_ms =
+    let outcome = request ~socket_path req in
+    let retryable, base_ms =
+      match outcome with
+      | Ok reply -> (
+          match shed_reply reply with
+          | Some e ->
+              (true, Option.value e.Protocol.retry_after_ms ~default:base_ms)
+          | None -> (false, base_ms))
+      | Error _ -> (true, base_ms)
+    in
+    if (not retryable) || k > retries then outcome
+    else begin
+      let bound = float_of_int (base_ms lsl (k - 1)) /. 1000. in
+      sleep (jitter bound);
+      go (k + 1) base_ms
+    end
+  in
+  go 1 base_delay_ms
+
+let stats ~socket_path =
+  match request ~socket_path Protocol.Stats with
+  | Ok (Protocol.Stats_reply s) -> Ok s
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok (Protocol.Value _) -> Error "unexpected value response to stats"
+  | Error reason -> Error reason

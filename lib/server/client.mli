@@ -1,0 +1,36 @@
+(** Client side of the daemon protocol: connect, one framed request, one
+    framed response.
+
+    {!query} adds the resilience the ISSUE's serving story needs on the
+    client: when the daemon sheds the request ([GTLX0009]) or the socket
+    refuses the connection, it retries with jittered exponential backoff,
+    seeded by the daemon's own retry-after hint when one came back. *)
+
+val request :
+  socket_path:string -> Protocol.request -> (Protocol.response, string) result
+(** One round trip on a fresh connection.  [Error reason] covers transport
+    failures only (connect/read/write/decode); a structured evaluation
+    failure is [Ok (Failure _)]. *)
+
+val query :
+  socket_path:string ->
+  ?retries:int ->
+  ?base_delay_ms:int ->
+  ?jitter:(float -> float) ->
+  ?sleep:(float -> unit) ->
+  Protocol.query_request ->
+  (Protocol.response, string) result
+(** Send a query, retrying up to [retries] extra times (default 0) when
+    the daemon sheds it with [GTLX0009] or the connection fails outright.
+    Backoff before attempt [k] is [base * 2^(k-1) * jitter] where [base]
+    is the shed response's [retry_after_ms] hint when present, else
+    [base_delay_ms] (default 25), and [jitter] maps the deterministic
+    upper bound to the actual wait (default: uniform random in
+    [0.5x, 1.0x]).  [sleep] is a test hook (default [Unix.sleepf]).
+
+    Returns the last response (possibly still the shed failure) or the
+    last transport error once retries are exhausted. *)
+
+val stats : socket_path:string -> (Protocol.stats_reply, string) result
+(** Fetch the daemon's counter snapshot; [Error] on transport failure or
+    a non-stats response. *)

@@ -1,0 +1,340 @@
+(* Wire protocol for the query daemon (see protocol.mli).
+
+   The codec mirrors the store's framing discipline: little-endian fixed
+   ints, length-prefixed strings, a tag byte per variant, and a total
+   decoder — any malformed byte sequence comes back as [Error reason]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives.                                                   *)
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u32 b v =
+  for i = 0 to 3 do
+    put_u8 b (v lsr (8 * i))
+  done
+
+let put_bits64 b (x : int64) =
+  for i = 0 to 7 do
+    put_u8 b Int64.(to_int (logand (shift_right_logical x (8 * i)) 0xFFL))
+  done
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_opt put b = function
+  | None -> put_u8 b 0
+  | Some v ->
+      put_u8 b 1;
+      put b v
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.data then malformed "truncated field"
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (get_u8 r lsl (8 * i))
+  done;
+  !v
+
+let get_bits64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.(logor !v (shift_left (of_int (get_u8 r)) (8 * i)))
+  done;
+  !v
+
+let get_str r =
+  let n = get_u32 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_bool r = get_u8 r <> 0
+
+let get_opt get r = if get_u8 r = 0 then None else Some (get r)
+
+let finish r what =
+  if r.pos <> String.length r.data then malformed "trailing %s bytes" what
+
+(* ------------------------------------------------------------------ *)
+(* Requests.                                                           *)
+
+type query_request = {
+  query : string;
+  strategy : Galatex.Engine.strategy;
+  optimize : bool;
+  fallback : bool;
+  context : string option;
+  limits : Xquery.Limits.t;
+  fault_at : int option;
+}
+
+type request = Query of query_request | Stats
+
+let query_request ?(strategy = Galatex.Engine.Native_materialized)
+    ?(optimize = false) ?(fallback = true) ?context
+    ?(limits =
+      { Xquery.Limits.max_steps = None; max_depth = None; max_matches = None;
+        timeout = None }) ?fault_at query =
+  { query; strategy; optimize; fallback; context; limits; fault_at }
+
+let strategy_tag = function
+  | Galatex.Engine.Translated -> 0
+  | Galatex.Engine.Native_materialized -> 1
+  | Galatex.Engine.Native_pipelined -> 2
+
+let strategy_of_tag = function
+  | 0 -> Galatex.Engine.Translated
+  | 1 -> Galatex.Engine.Native_materialized
+  | 2 -> Galatex.Engine.Native_pipelined
+  | n -> malformed "unknown strategy tag %d" n
+
+let encode_request req =
+  let b = Buffer.create 256 in
+  (match req with
+  | Stats -> put_u8 b (Char.code 'S')
+  | Query q ->
+      put_u8 b (Char.code 'Q');
+      put_str b q.query;
+      put_u8 b (strategy_tag q.strategy);
+      put_bool b q.optimize;
+      put_bool b q.fallback;
+      put_opt put_str b q.context;
+      put_opt put_u32 b q.limits.Xquery.Limits.max_steps;
+      put_opt put_u32 b q.limits.Xquery.Limits.max_depth;
+      put_opt put_u32 b q.limits.Xquery.Limits.max_matches;
+      put_opt
+        (fun b f -> put_bits64 b (Int64.bits_of_float f))
+        b q.limits.Xquery.Limits.timeout;
+      put_opt put_u32 b q.fault_at);
+  Buffer.contents b
+
+let decode_request data =
+  try
+    let r = reader data in
+    match Char.chr (get_u8 r) with
+    | 'S' ->
+        finish r "stats request";
+        Ok Stats
+    | 'Q' ->
+        let query = get_str r in
+        let strategy = strategy_of_tag (get_u8 r) in
+        let optimize = get_bool r in
+        let fallback = get_bool r in
+        let context = get_opt get_str r in
+        let max_steps = get_opt get_u32 r in
+        let max_depth = get_opt get_u32 r in
+        let max_matches = get_opt get_u32 r in
+        let timeout =
+          get_opt (fun r -> Int64.float_of_bits (get_bits64 r)) r
+        in
+        let fault_at = get_opt get_u32 r in
+        finish r "query request";
+        Ok
+          (Query
+             {
+               query;
+               strategy;
+               optimize;
+               fallback;
+               context;
+               limits = { Xquery.Limits.max_steps; max_depth; max_matches; timeout };
+               fault_at;
+             })
+    | c -> Error (Printf.sprintf "unknown request tag %C" c)
+    | exception Invalid_argument _ -> Error "request tag out of range"
+  with Malformed reason -> Error reason
+
+(* ------------------------------------------------------------------ *)
+(* Responses.                                                          *)
+
+type query_reply = {
+  items : string list;
+  strategy_used : string;
+  fell_back : bool;
+  steps : int;
+  generation : int;
+}
+
+type error_reply = {
+  code : string;
+  error_class : string;
+  message : string;
+  retry_after_ms : int option;
+  queue_depth : int option;
+}
+
+type breaker_reply = {
+  b_strategy : string;
+  b_state : string;
+  b_consecutive : int;
+  b_cooldown : int;
+  b_trips : int;
+}
+
+type stats_reply = {
+  counters : (string * int) list;
+  breakers : breaker_reply list;
+}
+
+type response =
+  | Value of query_reply
+  | Failure of error_reply
+  | Stats_reply of stats_reply
+
+let error_of ?retry_after_ms ?queue_depth (e : Xquery.Errors.t) =
+  {
+    code = Xquery.Errors.code_string e.Xquery.Errors.code;
+    error_class =
+      Xquery.Errors.class_string
+        (Xquery.Errors.class_of e.Xquery.Errors.code);
+    message = e.Xquery.Errors.message;
+    retry_after_ms;
+    queue_depth;
+  }
+
+let exit_code_of_class = function
+  | "static" -> 1
+  | "dynamic" -> 2
+  | "type" -> 3
+  | "resource" -> 4
+  | _ -> 5
+
+let encode_response resp =
+  let b = Buffer.create 512 in
+  (match resp with
+  | Value v ->
+      put_u8 b (Char.code 'V');
+      put_u32 b (List.length v.items);
+      List.iter (put_str b) v.items;
+      put_str b v.strategy_used;
+      put_bool b v.fell_back;
+      put_u32 b v.steps;
+      put_u32 b v.generation
+  | Failure e ->
+      put_u8 b (Char.code 'E');
+      put_str b e.code;
+      put_str b e.error_class;
+      put_str b e.message;
+      put_opt put_u32 b e.retry_after_ms;
+      put_opt put_u32 b e.queue_depth
+  | Stats_reply s ->
+      put_u8 b (Char.code 'T');
+      put_u32 b (List.length s.counters);
+      List.iter
+        (fun (k, v) ->
+          put_str b k;
+          put_u32 b v)
+        s.counters;
+      put_u32 b (List.length s.breakers);
+      List.iter
+        (fun br ->
+          put_str b br.b_strategy;
+          put_str b br.b_state;
+          put_u32 b br.b_consecutive;
+          put_u32 b br.b_cooldown;
+          put_u32 b br.b_trips)
+        s.breakers);
+  Buffer.contents b
+
+let decode_response data =
+  try
+    let r = reader data in
+    match Char.chr (get_u8 r) with
+    | 'V' ->
+        let items = List.init (get_u32 r) (fun _ -> get_str r) in
+        let strategy_used = get_str r in
+        let fell_back = get_bool r in
+        let steps = get_u32 r in
+        let generation = get_u32 r in
+        finish r "value response";
+        Ok (Value { items; strategy_used; fell_back; steps; generation })
+    | 'E' ->
+        let code = get_str r in
+        let error_class = get_str r in
+        let message = get_str r in
+        let retry_after_ms = get_opt get_u32 r in
+        let queue_depth = get_opt get_u32 r in
+        finish r "error response";
+        Ok (Failure { code; error_class; message; retry_after_ms; queue_depth })
+    | 'T' ->
+        let counters =
+          List.init (get_u32 r) (fun _ ->
+              let k = get_str r in
+              let v = get_u32 r in
+              (k, v))
+        in
+        let breakers =
+          List.init (get_u32 r) (fun _ ->
+              let b_strategy = get_str r in
+              let b_state = get_str r in
+              let b_consecutive = get_u32 r in
+              let b_cooldown = get_u32 r in
+              let b_trips = get_u32 r in
+              { b_strategy; b_state; b_consecutive; b_cooldown; b_trips })
+        in
+        finish r "stats response";
+        Ok (Stats_reply { counters; breakers })
+    | c -> Error (Printf.sprintf "unknown response tag %C" c)
+    | exception Invalid_argument _ -> Error "response tag out of range"
+  with Malformed reason -> Error reason
+
+(* ------------------------------------------------------------------ *)
+(* Framed I/O: u32 length prefix + payload.                            *)
+
+let max_frame = 16 * 1024 * 1024
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+let write_frame fd payload =
+  let b = Buffer.create (String.length payload + 4) in
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  write_all fd (Buffer.contents b)
+
+(* Read exactly [n] bytes; [Error] on EOF mid-way (a torn client). *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let k = Unix.read fd buf !off (n - !off) in
+    if k = 0 then eof := true else off := !off + k
+  done;
+  if !eof then Error (Printf.sprintf "torn frame: %d of %d bytes" !off n)
+  else Ok (Bytes.to_string buf)
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | Error _ -> Error "connection closed before a frame"
+  | Ok header ->
+      let r = reader header in
+      let len = get_u32 r in
+      if len > max_frame then
+        Error (Printf.sprintf "oversized frame (%d bytes)" len)
+      else read_exact fd len

@@ -1,0 +1,95 @@
+(** The daemon's wire protocol: length-framed binary request/response
+    pairs over a Unix-domain socket, one request per connection.
+
+    Framing: a 4-byte little-endian payload length, then the payload.
+    Payloads carry a tag byte and length-prefixed fields.  Decoding is
+    total — a torn, oversized or malformed frame comes back as [Error
+    reason], never an exception — because the chaos tests tear client
+    connections mid-frame and the daemon must shrug. *)
+
+(** {1 Requests} *)
+
+type query_request = {
+  query : string;  (** XQuery Full-Text source text *)
+  strategy : Galatex.Engine.strategy;
+  optimize : bool;  (** enable the Section 4.1 rewritings *)
+  fallback : bool;  (** graceful degradation to the reference path *)
+  context : string option;  (** document uri supplying the context node *)
+  limits : Xquery.Limits.t;
+      (** per-request resource budget; [None] fields inherit the server's
+          defaults — each request gets a {e fresh} governor *)
+  fault_at : int option;
+      (** deterministic fault injection at eval step [n] of {e this}
+          request's evaluation (chaos tests); a breaker-bypassed request
+          runs clean *)
+}
+
+type request = Query of query_request | Stats
+
+val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
+  ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
+  ?fault_at:int -> string -> query_request
+(** Defaults: materialized strategy, no optimizations, fallback on, no
+    explicit limits (the server's own defaults apply). *)
+
+(** {1 Responses} *)
+
+type query_reply = {
+  items : string list;  (** result items, one display string each *)
+  strategy_used : string;
+  fell_back : bool;
+  steps : int;
+  generation : int;  (** snapshot generation that answered (0: in-memory) *)
+}
+
+type error_reply = {
+  code : string;  (** e.g. ["gtlx:GTLX0009"] — the stable dispatch key *)
+  error_class : string;  (** "static" | "dynamic" | "type" | "resource" | "internal" *)
+  message : string;
+  retry_after_ms : int option;  (** set on overload shedding *)
+  queue_depth : int option;  (** set on overload shedding *)
+}
+
+type breaker_reply = {
+  b_strategy : string;
+  b_state : string;  (** "closed" | "open" | "half-open" *)
+  b_consecutive : int;
+  b_cooldown : int;
+  b_trips : int;
+}
+
+type stats_reply = {
+  counters : (string * int) list;
+  breakers : breaker_reply list;
+}
+
+type response =
+  | Value of query_reply
+  | Failure of error_reply
+  | Stats_reply of stats_reply
+
+val error_of : ?retry_after_ms:int -> ?queue_depth:int -> Xquery.Errors.t -> error_reply
+val exit_code_of_class : string -> int
+(** The CLI's per-class exit codes (static 1, dynamic 2, type 3,
+    resource 4, internal 5); unknown class strings map to 5. *)
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+(** {1 Framed I/O} *)
+
+val max_frame : int
+(** Upper bound on accepted payload length (a corrupt length prefix must
+    not allocate gigabytes). *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** @raise Unix.Unix_error on I/O failure (EPIPE when the peer vanished —
+    callers handle it). *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** [Error reason] on EOF, a torn frame, or an oversized length prefix.
+    @raise Unix.Unix_error on I/O failure (e.g. a receive timeout). *)

@@ -1,0 +1,495 @@
+(* The resilient query daemon (see server.mli for the contract).
+
+   Thread architecture:
+
+     accept thread   select/accept loop; admission control (bounded queue
+                     of accepted connections, shedding with GTLX0009 when
+                     full); reload and shutdown flags are polled here, so
+                     snapshot loads happen OFF the request path; performs
+                     the shutdown drain and joins the workers.
+     worker pool     each worker pops one connection, reads one framed
+                     request, evaluates it under a fresh governor, writes
+                     one framed response, closes.  Every failure mode —
+                     torn frame, malformed request, evaluation error,
+                     vanished client — is absorbed; a worker never dies.
+
+   Signal handlers must not take locks (the main thread may hold them), so
+   [request_reload] / [request_shutdown] only flip atomics; the accept
+   loop notices within one select tick. *)
+
+let src = Logs.Src.create "galatex.server" ~doc:"GalaTex query daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  socket_path : string;
+  index_dir : string;
+  sources : (string * string) list;
+  workers : int;
+  queue_limit : int;
+  default_limits : Xquery.Limits.t;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  watch_generation : bool;
+  retry_after_ms : int;
+  recv_timeout : float;
+  reload_io : unit -> Ftindex.Store.Io.t;
+  on_request : unit -> unit;
+}
+
+let default_config ~index_dir ~socket_path =
+  {
+    socket_path;
+    index_dir;
+    sources = [];
+    workers = 4;
+    queue_limit = 64;
+    default_limits = Xquery.Limits.defaults;
+    breaker_threshold = 5;
+    breaker_cooldown = 8;
+    watch_generation = false;
+    retry_after_ms = 25;
+    recv_timeout = 10.0;
+    reload_io = (fun () -> Ftindex.Store.Io.real ());
+    on_request = ignore;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;  (** guards queue, engine, draining, reload_io *)
+  nonempty : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable engine : Galatex.Engine.t;
+  mutable draining : bool;  (** shutdown drain has begun *)
+  mutable reload_io_now : unit -> Ftindex.Store.Io.t;
+  mutable stopped : bool;
+  done_cond : Condition.t;
+  reload_flag : bool Atomic.t;
+  stop_flag : bool Atomic.t;
+  breaker : Breaker.t;
+  (* counters: atomics so workers never contend on the queue lock *)
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  errors : int Atomic.t;
+  shed : int Atomic.t;
+  shed_shutdown : int Atomic.t;
+  client_errors : int Atomic.t;
+  breaker_bypassed : int Atomic.t;
+  reloads : int Atomic.t;
+  reload_failures : int Atomic.t;
+  salvage_events : int Atomic.t;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let current_engine t = locked t (fun () -> t.engine)
+
+let generation t =
+  Option.value (Galatex.Engine.generation (current_engine t)) ~default:0
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation: breaker routing + fresh governor per request.   *)
+
+let effective_limits cfg (rl : Xquery.Limits.t) =
+  let d = cfg.default_limits in
+  let pick a b = match a with Some _ -> a | None -> b in
+  {
+    Xquery.Limits.max_steps = pick rl.Xquery.Limits.max_steps d.Xquery.Limits.max_steps;
+    max_depth = pick rl.Xquery.Limits.max_depth d.Xquery.Limits.max_depth;
+    max_matches = pick rl.Xquery.Limits.max_matches d.Xquery.Limits.max_matches;
+    timeout = pick rl.Xquery.Limits.timeout d.Xquery.Limits.timeout;
+  }
+
+let optimized (q : Protocol.query_request) =
+  q.Protocol.strategy <> Galatex.Engine.Native_materialized || q.Protocol.optimize
+
+let strategy_key (q : Protocol.query_request) =
+  let base = Galatex.Engine.strategy_name q.Protocol.strategy in
+  if q.Protocol.optimize then base ^ "+O" else base
+
+let eval_query t (q : Protocol.query_request) =
+  let engine = current_engine t in
+  let gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
+  let limits = effective_limits t.cfg q.Protocol.limits in
+  let decision =
+    if optimized q then Breaker.route t.breaker (strategy_key q)
+    else Breaker.Run
+  in
+  let strategy, optimizations, fault_at =
+    match decision with
+    | Breaker.Bypass ->
+        (* tripped: serve on the reference path.  The injected eval fault
+           (if any) targets the requested strategy's run; a bypassed
+           request runs clean — that bypass is exactly the protection. *)
+        Atomic.incr t.breaker_bypassed;
+        (Galatex.Engine.Native_materialized, Galatex.Engine.no_optimizations, None)
+    | Breaker.Run | Breaker.Probe ->
+        ( q.Protocol.strategy,
+          (if q.Protocol.optimize then Galatex.Engine.all_optimizations
+           else Galatex.Engine.no_optimizations),
+          q.Protocol.fault_at )
+  in
+  let record ok =
+    match decision with
+    | Breaker.Run | Breaker.Probe ->
+        if optimized q then Breaker.record t.breaker (strategy_key q) ~ok
+    | Breaker.Bypass -> ()
+  in
+  match
+    Galatex.Engine.run_report engine ~strategy ~optimizations ~limits ?fault_at
+      ~fallback:q.Protocol.fallback ?context:q.Protocol.context q.Protocol.query
+  with
+  | report ->
+      record (not report.Galatex.Engine.fell_back);
+      Atomic.incr t.served;
+      Protocol.Value
+        {
+          Protocol.items =
+            List.map
+              (fun item -> Fmt.str "%a" Xquery.Value.pp_item item)
+              report.Galatex.Engine.value;
+          strategy_used =
+            Galatex.Engine.strategy_name report.Galatex.Engine.strategy_used;
+          fell_back = report.Galatex.Engine.fell_back;
+          steps = report.Galatex.Engine.steps;
+          generation = gen;
+        }
+  | exception Xquery.Errors.Error e ->
+      (* user errors and resource limits are the request's own problem;
+         only an internal error counts against the strategy *)
+      record
+        (Xquery.Errors.class_of e.Xquery.Errors.code <> Xquery.Errors.Internal);
+      Atomic.incr t.errors;
+      Protocol.Failure (Protocol.error_of e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats.                                                              *)
+
+let stats t =
+  let depth = locked t (fun () -> Queue.length t.queue) in
+  let engine = current_engine t in
+  {
+    Protocol.counters =
+      [
+        ("accepted", Atomic.get t.accepted);
+        ("served", Atomic.get t.served);
+        ("errors", Atomic.get t.errors);
+        ("shed", Atomic.get t.shed);
+        ("shed_shutdown", Atomic.get t.shed_shutdown);
+        ("client_errors", Atomic.get t.client_errors);
+        ("breaker_bypassed", Atomic.get t.breaker_bypassed);
+        ("breaker_trips", Breaker.trips_total t.breaker);
+        ("fallbacks_total", Galatex.Engine.fallback_count engine);
+        ("reloads", Atomic.get t.reloads);
+        ("reload_failures", Atomic.get t.reload_failures);
+        ("salvage_events", Atomic.get t.salvage_events);
+        ("generation", Option.value (Galatex.Engine.generation engine) ~default:0);
+        ("queue_depth", depth);
+        ("workers", t.cfg.workers);
+      ];
+    breakers =
+      List.map
+        (fun (s : Breaker.snapshot) ->
+          {
+            Protocol.b_strategy = s.Breaker.strategy;
+            b_state = s.Breaker.state;
+            b_consecutive = s.Breaker.consecutive;
+            b_cooldown = s.Breaker.cooldown;
+            b_trips = s.Breaker.trips;
+          })
+        (Breaker.snapshots t.breaker);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection serving.                                             *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let send_response t fd resp =
+  try Protocol.write_frame fd (Protocol.encode_response resp)
+  with
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
+      (* the client vanished mid-response: its problem, not ours *)
+      Atomic.incr t.client_errors
+
+let overload_reply t ~code_reason ~depth =
+  let e =
+    Xquery.Errors.make Xquery.Errors.GTLX0009
+      (Printf.sprintf "server overloaded (%s): queue depth %d, retry after %d ms"
+         code_reason depth t.cfg.retry_after_ms)
+  in
+  Protocol.Failure
+    (Protocol.error_of ~retry_after_ms:t.cfg.retry_after_ms ~queue_depth:depth e)
+
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> close_quietly fd)
+    (fun () ->
+      t.cfg.on_request ();
+      match Protocol.read_frame fd with
+      | Error reason ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: %s" reason)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* receive timeout: a connected-but-mute client *)
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: receive timeout")
+      | exception Unix.Unix_error (e, _, _) ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m ->
+              m "dropping connection: %s" (Unix.error_message e))
+      | Ok data ->
+          let resp =
+            match Protocol.decode_request data with
+            | Error reason ->
+                Atomic.incr t.client_errors;
+                Protocol.Failure
+                  {
+                    Protocol.code = "err:XPST0003";
+                    error_class = "static";
+                    message = "malformed request: " ^ reason;
+                    retry_after_ms = None;
+                    queue_depth = None;
+                  }
+            | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
+            | Ok (Protocol.Query q) -> (
+                (* run_report's boundary guarantee means only structured
+                   errors escape eval_query; wrap_exn is defense in depth
+                   so a daemon worker can never die on a request *)
+                try eval_query t q
+                with exn ->
+                  Atomic.incr t.errors;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+          in
+          send_response t fd resp)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* draining and nothing left: the pool winds down *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let fd = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (try serve_connection t fd
+       with exn ->
+         (* absolute backstop: a worker never dies *)
+         Atomic.incr t.client_errors;
+         Log.err (fun m ->
+             m "worker absorbed an exception: %s" (Printexc.to_string exn)));
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Hot snapshot reload — runs in the accept thread, off the request
+   path.  A corrupt new snapshot is rejected: the old engine keeps
+   serving, with the failure logged and counted.                       *)
+
+let do_reload t ~reason =
+  let io = (locked t (fun () -> t.reload_io_now)) () in
+  match
+    Galatex.Engine.of_store ~io ~sources:t.cfg.sources ~dir:t.cfg.index_dir ()
+  with
+  | exception Xquery.Errors.Error e ->
+      Atomic.incr t.reload_failures;
+      Log.warn (fun m ->
+          m "reload (%s) failed, keeping generation %d: %s" reason
+            (generation t) (Xquery.Errors.to_string e))
+  | exception Ftindex.Store.Io.Crashed ->
+      Atomic.incr t.reload_failures;
+      Log.warn (fun m ->
+          m "reload (%s) died on injected crash fault, keeping generation %d"
+            reason (generation t))
+  | fresh ->
+      (match Galatex.Engine.salvage_report fresh with
+      | Some r when not (Ftindex.Store.clean r) ->
+          Atomic.incr t.salvage_events;
+          Log.warn (fun m ->
+              m "reload salvaged a damaged snapshot: %s"
+                (Ftindex.Store.report_to_string r))
+      | _ -> ());
+      locked t (fun () -> t.engine <- fresh);
+      Atomic.incr t.reloads;
+      Log.info (fun m ->
+          m "reload (%s): now serving generation %d" reason (generation t))
+
+let maybe_reload t =
+  if Atomic.exchange t.reload_flag false then do_reload t ~reason:"requested"
+  else if t.cfg.watch_generation then
+    match Ftindex.Store.current_generation ~dir:t.cfg.index_dir with
+    | Some g when g <> generation t -> do_reload t ~reason:"generation change"
+    | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop: admission control, then the shutdown drain.            *)
+
+let admit t client =
+  (match Unix.setsockopt_float client Unix.SO_RCVTIMEO t.cfg.recv_timeout with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  Atomic.incr t.accepted;
+  Mutex.lock t.lock;
+  if t.draining then begin
+    Mutex.unlock t.lock;
+    Atomic.incr t.shed_shutdown;
+    send_response t client (overload_reply t ~code_reason:"shutting down" ~depth:0);
+    close_quietly client
+  end
+  else if Queue.length t.queue >= t.cfg.queue_limit then begin
+    let depth = Queue.length t.queue in
+    Mutex.unlock t.lock;
+    Atomic.incr t.shed;
+    send_response t client (overload_reply t ~code_reason:"queue full" ~depth);
+    close_quietly client
+  end
+  else begin
+    Queue.add client t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let shutdown_drain t workers =
+  let stragglers =
+    locked t (fun () ->
+        t.draining <- true;
+        let fds = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        Condition.broadcast t.nonempty;
+        fds)
+  in
+  (* queued-but-unserved connections are answered, not abandoned *)
+  List.iter
+    (fun fd ->
+      Atomic.incr t.shed_shutdown;
+      send_response t fd (overload_reply t ~code_reason:"shutting down" ~depth:0);
+      close_quietly fd)
+    stragglers;
+  List.iter Thread.join workers;
+  close_quietly t.listen_fd;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  locked t (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.done_cond);
+  Log.info (fun m -> m "shutdown complete")
+
+let accept_loop t workers =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else begin
+      maybe_reload t;
+      (match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | client, _ -> admit t client
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop ()
+   with exn ->
+     Log.err (fun m ->
+         m "accept loop absorbed an exception: %s" (Printexc.to_string exn)));
+  shutdown_drain t workers
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                          *)
+
+let start cfg =
+  (* a worker writing to a vanished client must get EPIPE, not die *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let engine =
+    Galatex.Engine.of_store ~sources:cfg.sources ~dir:cfg.index_dir ()
+  in
+  (try
+     if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with
+  | Unix.Unix_error (e, fn, _) ->
+      close_quietly listen_fd;
+      Xquery.Errors.raise_error Xquery.Errors.FODC0002
+        "cannot serve on %s: %s: %s" cfg.socket_path fn (Unix.error_message e));
+  let t =
+    {
+      cfg;
+      listen_fd;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      engine;
+      draining = false;
+      reload_io_now = cfg.reload_io;
+      stopped = false;
+      done_cond = Condition.create ();
+      reload_flag = Atomic.make false;
+      stop_flag = Atomic.make false;
+      breaker =
+        Breaker.create ~threshold:cfg.breaker_threshold
+          ~cooldown:cfg.breaker_cooldown;
+      accepted = Atomic.make 0;
+      served = Atomic.make 0;
+      errors = Atomic.make 0;
+      shed = Atomic.make 0;
+      shed_shutdown = Atomic.make 0;
+      client_errors = Atomic.make 0;
+      breaker_bypassed = Atomic.make 0;
+      reloads = Atomic.make 0;
+      reload_failures = Atomic.make 0;
+      salvage_events = Atomic.make 0;
+      accept_thread = None;
+    }
+  in
+  (match Galatex.Engine.salvage_report engine with
+  | Some r when not (Ftindex.Store.clean r) ->
+      Atomic.incr t.salvage_events;
+      Log.warn (fun m ->
+          m "initial snapshot salvaged: %s" (Ftindex.Store.report_to_string r))
+  | _ -> ());
+  let workers =
+    List.init (max 1 cfg.workers) (fun _ -> Thread.create worker_loop t)
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t workers) ());
+  Log.info (fun m ->
+      m "serving generation %d on %s (%d workers, queue %d)" (generation t)
+        cfg.socket_path cfg.workers cfg.queue_limit);
+  t
+
+let request_reload t = Atomic.set t.reload_flag true
+let request_shutdown t = Atomic.set t.stop_flag true
+
+let wait t =
+  Mutex.lock t.lock;
+  while not t.stopped do
+    Condition.wait t.done_cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+let stop t =
+  request_shutdown t;
+  wait t
+
+let set_reload_io t io = locked t (fun () -> t.reload_io_now <- io)

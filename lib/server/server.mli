@@ -1,0 +1,92 @@
+(** The resilient query daemon: concurrent XQuery Full-Text serving over a
+    Unix-domain socket.
+
+    One engine (built by {!Galatex.Engine.of_store}) is shared read-only
+    by a pool of worker threads; each request gets a {e fresh} governor
+    from its own limits, so a runaway query exhausts its own budget, not
+    the daemon's.  The engine-boundary guarantee (the only escaping
+    exception is a structured error) becomes a serving guarantee here: a
+    crashing request answers with a structured error code, the daemon
+    stays up.
+
+    Robustness machinery, all deterministic and fault-injectable:
+    - {b admission control}: a bounded queue of accepted connections;
+      when full, requests are shed immediately with [GTLX0009] carrying
+      the queue depth and a retry-after hint;
+    - {b per-strategy circuit breakers} ({!Breaker}): consecutive
+      internal-error fallbacks trip an optimized strategy to the
+      reference path, with request-counted cooldown and half-open probes;
+    - {b hot snapshot reload}: on {!request_reload} (the CLI maps SIGHUP
+      to it) or a generation-number change observed by the watcher, the
+      new snapshot is loaded {e off the request path}, the engine swapped
+      atomically, in-flight requests drain on the old one — and a corrupt
+      new snapshot is rejected, the old engine keeps serving;
+    - {b graceful shutdown}: {!request_shutdown} (SIGTERM) stops
+      accepting, lets in-flight requests finish, answers queued
+      stragglers with [GTLX0009], removes the socket file and returns
+      from {!wait}. *)
+
+type config = {
+  socket_path : string;
+  index_dir : string;  (** snapshot directory ({!Galatex.Engine.of_store}) *)
+  sources : (string * string) list;  (** salvage sources (uri, XML text) *)
+  workers : int;  (** worker threads (default 4) *)
+  queue_limit : int;  (** queued connections before shedding (default 64) *)
+  default_limits : Xquery.Limits.t;
+      (** per-request governor fields a request does not set itself *)
+  breaker_threshold : int;  (** consecutive fallbacks to trip (default 5) *)
+  breaker_cooldown : int;  (** bypassed requests before a probe (default 8) *)
+  watch_generation : bool;
+      (** poll the snapshot directory between requests and hot-reload when
+          its generation changes, without a SIGHUP (default false) *)
+  retry_after_ms : int;  (** hint carried by shed responses (default 25) *)
+  recv_timeout : float;
+      (** seconds a worker waits for a request frame before giving up on
+          the connection (default 10.0) *)
+  reload_io : unit -> Ftindex.Store.Io.t;
+      (** I/O layer for reloads — tests inject [Store.Io] faults here
+          (default {!Ftindex.Store.Io.real}) *)
+  on_request : unit -> unit;
+      (** test hook, called by a worker as it picks up a connection —
+          tests park workers on a gate here to fill the queue
+          deterministically (default [ignore]) *)
+}
+
+val default_config : index_dir:string -> socket_path:string -> config
+
+type t
+
+val start : config -> t
+(** Load the snapshot, bind the socket, spawn the pool.
+    @raise Xquery.Errors.Error when the initial snapshot load fails
+    (storage codes) or the socket cannot be bound (FODC0002 family). *)
+
+val request_reload : t -> unit
+(** Ask the daemon to reload the snapshot before serving further requests.
+    Async-signal-safe (only flips an atomic flag): the CLI calls this from
+    its SIGHUP handler. *)
+
+val request_shutdown : t -> unit
+(** Begin graceful shutdown.  Async-signal-safe: the CLI calls this from
+    its SIGTERM handler. *)
+
+val wait : t -> unit
+(** Block until shutdown completes (workers joined, socket unlinked). *)
+
+val stop : t -> unit
+(** [request_shutdown] then [wait]. *)
+
+val stats : t -> Protocol.stats_reply
+(** Counter snapshot (also served over the wire as {!Protocol.Stats}):
+    [accepted], [served], [errors], [shed], [shed_shutdown],
+    [client_errors], [breaker_bypassed], [breaker_trips],
+    [fallbacks_total], [reloads], [reload_failures], [salvage_events],
+    [generation], [queue_depth], [workers] — plus per-strategy breaker
+    states. *)
+
+val generation : t -> int
+(** Snapshot generation currently serving. *)
+
+val set_reload_io : t -> (unit -> Ftindex.Store.Io.t) -> unit
+(** Test hook: replace the reload I/O layer of a running daemon (the
+    chaos test arms [Store.Io] faults for the next reload). *)

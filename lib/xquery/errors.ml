@@ -43,6 +43,8 @@ type code =
   | GTLX0006  (** corrupt snapshot segment that could not be salvaged *)
   | GTLX0007  (** snapshot format version mismatch *)
   | GTLX0008  (** incomplete snapshot (missing manifest / torn save) *)
+  (* GalaTex serving errors (the query daemon) *)
+  | GTLX0009  (** server overloaded: admission control shed the request *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -56,7 +58,9 @@ let class_of = function
   (* storage errors are environmental, like FODC0002: the snapshot on disk
      cannot be retrieved intact.  They are dynamic, not resource limits. *)
   | GTLX0006 | GTLX0007 | GTLX0008 -> Dynamic
-  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 -> Resource
+  (* overload shedding is a resource condition: the request was sound,
+     the server's capacity was not — retryable, like a budget *)
+  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 -> Resource
   | GTLX0005 -> Internal
 
 let code_string = function
@@ -86,6 +90,7 @@ let code_string = function
   | GTLX0006 -> "gtlx:GTLX0006"
   | GTLX0007 -> "gtlx:GTLX0007"
   | GTLX0008 -> "gtlx:GTLX0008"
+  | GTLX0009 -> "gtlx:GTLX0009"
 
 let class_string = function
   | Static -> "static"

@@ -30,6 +30,9 @@ type code =
   | GTLX0006  (** corrupt snapshot segment that could not be salvaged *)
   | GTLX0007  (** snapshot format version mismatch *)
   | GTLX0008  (** incomplete snapshot (missing manifest / torn save) *)
+  | GTLX0009
+      (** server overloaded: admission control shed the request (the
+          message carries the queue depth and a retry-after hint) *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

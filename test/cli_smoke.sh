@@ -58,6 +58,13 @@ out=$("$GX" query --index snap '//title[. ftcontains "usability"]' 2>err.txt)
 expect_exit "salvaged query" 0 $?
 [ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: salvage changed the answer: $out" >&2; fails=$((fails+1)); }
 grep -q 'salvaged snapshot' err.txt || { echo "FAIL: salvage not reported" >&2; fails=$((fails+1)); }
+grep -q '^warning: ' err.txt || { echo "FAIL: salvage warning not a one-line 'warning:'" >&2; fails=$((fails+1)); }
+
+# --- --quiet silences the salvage warning (result unchanged) ---
+out=$("$GX" query --index snap --quiet '//title[. ftcontains "usability"]' 2>err.txt)
+expect_exit "salvaged query with --quiet" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: --quiet changed the answer: $out" >&2; fails=$((fails+1)); }
+grep -q 'warning:' err.txt && { echo "FAIL: --quiet did not silence the salvage warning" >&2; fails=$((fails+1)); }
 
 # --- corrupt a document segment: fatal without sources, salvaged with ---
 doc_seg=$(ls snap/doc-*.seg | head -1)
@@ -75,6 +82,46 @@ rm snap/MANIFEST
 "$GX" query --index snap '//title' 2>err.txt
 expect_exit "missing manifest (GTLX0008)" 2 $?
 grep -q 'gtlx:GTLX0008' err.txt || { echo "FAIL: GTLX0008 not reported" >&2; fails=$((fails+1)); }
+
+# --- server lifecycle: serve, query over the socket, SIGHUP hot reload,
+# --- SIGTERM graceful shutdown (exit 0, no leftover socket) ---
+"$GX" index -d a.xml -d b.xml --output srvsnap >/dev/null
+expect_exit "index for serving" 0 $?
+
+"$GX" serve --index srvsnap --socket srv.sock 2>serve.log &
+SRV=$!
+for _ in $(seq 1 100); do [ -S srv.sock ] && break; sleep 0.1; done
+[ -S srv.sock ] || { echo "FAIL: daemon never bound its socket" >&2; cat serve.log >&2; fails=$((fails+1)); }
+
+out=$("$GX" query --server srv.sock --retries 2 '//title[. ftcontains "usability"]')
+expect_exit "query over the socket" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: wrong served result: $out" >&2; fails=$((fails+1)); }
+
+"$GX" stats --server srv.sock | grep -q '^generation 1$' || { echo "FAIL: stats missing generation 1" >&2; fails=$((fails+1)); }
+
+# a new snapshot generation lands in the directory; SIGHUP hot-reloads it
+"$GX" index -d b.xml --output srvsnap >/dev/null
+kill -HUP $SRV
+reloaded=0
+for _ in $(seq 1 100); do
+  if "$GX" stats --server srv.sock 2>/dev/null | grep -q '^generation 2$'; then reloaded=1; break; fi
+  sleep 0.1
+done
+[ "$reloaded" -eq 1 ] || { echo "FAIL: SIGHUP reload never reached generation 2" >&2; cat serve.log >&2; fails=$((fails+1)); }
+
+out=$("$GX" query --server srv.sock '//title[. ftcontains "design"]')
+expect_exit "query sees the reloaded snapshot" 0 $?
+[ "$out" = "<title>Web design</title>" ] || { echo "FAIL: stale data after reload: $out" >&2; fails=$((fails+1)); }
+
+# graceful shutdown: drains, exits 0, removes the socket
+kill -TERM $SRV
+wait $SRV
+expect_exit "daemon exits 0 on SIGTERM" 0 $?
+[ -e srv.sock ] && { echo "FAIL: socket file left behind after shutdown" >&2; fails=$((fails+1)); }
+
+"$GX" query --server srv.sock '//title' 2>err.txt
+expect_exit "query against a dead socket is dynamic (FODC0002)" 2 $?
+grep -q 'err:FODC0002' err.txt || { echo "FAIL: dead-socket error not structured" >&2; fails=$((fails+1)); }
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke failure(s)" >&2

@@ -27,5 +27,6 @@ let () =
       ("errors", Test_errors.tests);
       ("faults", Test_faults.tests);
       ("store", Test_store.tests);
+      ("server", Test_server.tests);
       ("conformance", Test_conformance.tests);
     ]

@@ -1,0 +1,662 @@
+(* The serving robustness contract:
+
+   1. a request is answered with exactly one framed response — a value or
+      a structured error — whatever happens inside evaluation (chaos sweep:
+      injected eval faults, torn clients, malformed frames);
+   2. admission control sheds excess load with GTLX0009 (queue depth +
+      retry-after hint) instead of queueing unboundedly, and the client's
+      jittered backoff turns a shed into a served retry;
+   3. a systematically-failing optimized strategy trips its circuit
+      breaker: requests bypass to the reference path, a half-open probe
+      re-tests it after a request-counted cooldown;
+   4. SIGHUP-style reload swaps snapshots atomically off the request path,
+      and a corrupt new snapshot leaves the old engine serving;
+   5. shutdown drains: in-flight requests finish, queued stragglers are
+      answered with GTLX0009, the socket file is removed.
+
+   Everything is driven in-process (Server.start + Client) with the
+   deterministic injectors from PR 1 (eval faults) and PR 2 (store I/O
+   faults); no timing assumption beyond bounded polling of counters. *)
+
+open Galatex_server
+
+(* --- scratch dirs and sockets (inside the dune sandbox cwd; socket
+   paths must stay short of the 108-byte sun_path limit, so they are
+   relative) --- *)
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_name "srv-scratch" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* --- fixtures --- *)
+
+let corpus_v1 =
+  [
+    ( "a.xml",
+      "<book><title>Usability testing</title><p>Software usability and \
+       testing of web site design.</p></book>" );
+  ]
+
+let corpus_v2 =
+  [ ("a.xml", "<book><title>Zebra quokka</title><p>entirely new data</p></book>") ]
+
+let save_corpus ~dir sources =
+  Ftindex.Store.save ~dir (Ftindex.Indexer.index_strings sources)
+
+let with_server ?(tweak = fun c -> c) ?(sources = corpus_v1) () f =
+  with_dir (fun dir ->
+      save_corpus ~dir sources;
+      let sock = fresh_name "gtx" ^ ".sock" in
+      let cfg = tweak (Server.default_config ~index_dir:dir ~socket_path:sock) in
+      let t = Server.start cfg in
+      Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f dir sock t))
+
+let stat t key =
+  match List.assoc_opt key (Server.stats t).Protocol.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "stats counter %s missing" key
+
+let rec poll ?(tries = 250) msg f =
+  if f () then ()
+  else if tries = 0 then Alcotest.failf "timeout waiting for %s" msg
+  else begin
+    Thread.delay 0.02;
+    poll ~tries:(tries - 1) msg f
+  end
+
+let ok_value what = function
+  | Ok (Protocol.Value v) -> v
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
+        e.Protocol.message
+  | Ok (Protocol.Stats_reply _) -> Alcotest.failf "%s: unexpected stats" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let ok_failure what = function
+  | Ok (Protocol.Failure e) -> e
+  | Ok (Protocol.Value _) -> Alcotest.failf "%s: unexpected value" what
+  | Ok (Protocol.Stats_reply _) -> Alcotest.failf "%s: unexpected stats" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let title_query = {|//title[. ftcontains "usability"]|}
+
+(* --- a gate for parking workers deterministically --- *)
+
+type gate = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable opened : bool;
+  picked : int Atomic.t;  (* workers that reached the gate *)
+}
+
+let gate () =
+  { m = Mutex.create (); c = Condition.create (); opened = false;
+    picked = Atomic.make 0 }
+
+let gate_hook g () =
+  Atomic.incr g.picked;
+  Mutex.lock g.m;
+  while not g.opened do
+    Condition.wait g.c g.m
+  done;
+  Mutex.unlock g.m
+
+let open_gate g =
+  Mutex.lock g.m;
+  g.opened <- true;
+  Condition.broadcast g.c;
+  Mutex.unlock g.m
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips (pure codec, no server).                       *)
+
+let test_protocol_roundtrip () =
+  let q =
+    Protocol.query_request ~strategy:Galatex.Engine.Native_pipelined
+      ~optimize:true ~fallback:false ~context:"a.xml"
+      ~limits:
+        { Xquery.Limits.max_steps = Some 100; max_depth = None;
+          max_matches = Some 7; timeout = Some 1.5 }
+      ~fault_at:3 "//p"
+  in
+  (match Protocol.decode_request (Protocol.encode_request (Protocol.Query q)) with
+  | Ok (Protocol.Query q') ->
+      Alcotest.(check bool) "query round trip" true (q = q')
+  | Ok Protocol.Stats -> Alcotest.fail "decoded as stats"
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (match Protocol.decode_request (Protocol.encode_request Protocol.Stats) with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats round trip");
+  let resp =
+    Protocol.Failure
+      { Protocol.code = "gtlx:GTLX0009"; error_class = "resource";
+        message = "shed"; retry_after_ms = Some 25; queue_depth = Some 3 }
+  in
+  (match Protocol.decode_response (Protocol.encode_response resp) with
+  | Ok r -> Alcotest.(check bool) "response round trip" true (r = resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* a total decoder: garbage comes back as Error, never an exception *)
+  List.iter
+    (fun garbage ->
+      match Protocol.decode_request garbage with
+      | Ok _ | Error _ -> ())
+    [ ""; "Z"; "Q"; "Qxx"; String.make 64 '\xff' ]
+
+let test_breaker_state_machine () =
+  let b = Breaker.create ~threshold:3 ~cooldown:2 in
+  let key = "pipelined" in
+  for _ = 1 to 2 do
+    Alcotest.(check bool) "closed runs" true (Breaker.route b key = Breaker.Run);
+    Breaker.record b key ~ok:false
+  done;
+  (* an intervening success resets the consecutive count *)
+  Alcotest.(check bool) "still closed" true (Breaker.route b key = Breaker.Run);
+  Breaker.record b key ~ok:true;
+  for _ = 1 to 3 do
+    ignore (Breaker.route b key);
+    Breaker.record b key ~ok:false
+  done;
+  Alcotest.(check int) "tripped once" 1 (Breaker.trips_total b);
+  Alcotest.(check bool) "open bypasses" true (Breaker.route b key = Breaker.Bypass);
+  Alcotest.(check bool) "open bypasses again" true
+    (Breaker.route b key = Breaker.Bypass);
+  Alcotest.(check bool) "half-open probes" true
+    (Breaker.route b key = Breaker.Probe);
+  Alcotest.(check bool) "only one probe" true
+    (Breaker.route b key = Breaker.Bypass);
+  Breaker.record b key ~ok:false;
+  Alcotest.(check int) "probe failure re-trips" 2 (Breaker.trips_total b);
+  ignore (Breaker.route b key);
+  ignore (Breaker.route b key);
+  Alcotest.(check bool) "probes again" true (Breaker.route b key = Breaker.Probe);
+  Breaker.record b key ~ok:true;
+  Alcotest.(check bool) "closed after good probe" true
+    (Breaker.route b key = Breaker.Run)
+
+(* ------------------------------------------------------------------ *)
+(* Basic serving.                                                      *)
+
+let test_basic_round_trip () =
+  with_server () (fun _dir sock t ->
+      let v =
+        ok_value "query"
+          (Client.request ~socket_path:sock
+             (Protocol.Query (Protocol.query_request title_query)))
+      in
+      Alcotest.(check (list string))
+        "items" [ "<title>Usability testing</title>" ] v.Protocol.items;
+      Alcotest.(check int) "generation" 1 v.Protocol.generation;
+      Alcotest.(check bool) "no fallback" false v.Protocol.fell_back;
+      (* structured evaluation error over the wire, daemon stays up *)
+      let e =
+        ok_failure "bad query"
+          (Client.request ~socket_path:sock
+             (Protocol.Query (Protocol.query_request "//p[")))
+      in
+      Alcotest.(check string) "syntax code" "err:XPST0003" e.Protocol.code;
+      Alcotest.(check string) "static class" "static" e.Protocol.error_class;
+      Alcotest.(check int) "exit code" 1
+        (Protocol.exit_code_of_class e.Protocol.error_class);
+      Alcotest.(check int) "served" 1 (stat t "served");
+      Alcotest.(check int) "errors" 1 (stat t "errors"))
+
+let test_stats_over_wire () =
+  with_server () (fun _dir sock _t ->
+      ignore
+        (ok_value "query"
+           (Client.request ~socket_path:sock
+              (Protocol.Query (Protocol.query_request title_query))));
+      match Client.stats ~socket_path:sock with
+      | Error e -> Alcotest.failf "stats transport: %s" e
+      | Ok s ->
+          Alcotest.(check int)
+            "served over wire" 1
+            (Option.value (List.assoc_opt "served" s.Protocol.counters) ~default:(-1));
+          Alcotest.(check bool)
+            "generation present" true
+            (List.mem_assoc "generation" s.Protocol.counters))
+
+let test_malformed_and_torn_clients () =
+  with_server () (fun _dir sock t ->
+      (* a well-framed but meaningless payload: structured static error *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Protocol.write_frame fd "ZZZZ-not-a-request";
+      (match Protocol.read_frame fd with
+      | Ok data -> (
+          match Protocol.decode_response data with
+          | Ok (Protocol.Failure e) ->
+              Alcotest.(check string) "malformed code" "err:XPST0003"
+                e.Protocol.code
+          | _ -> Alcotest.fail "expected a structured failure")
+      | Error e -> Alcotest.failf "no response to malformed request: %s" e);
+      Unix.close fd;
+      (* a torn client: frame header promises 100 bytes, sends 10, dies *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let b = Buffer.create 14 in
+      Buffer.add_string b "\x64\x00\x00\x00";
+      Buffer.add_string b "ten bytes!";
+      ignore (Unix.write_substring fd (Buffer.contents b) 0 14);
+      Unix.close fd;
+      poll "torn client counted" (fun () -> stat t "client_errors" >= 2);
+      (* an instantly-vanishing client *)
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Unix.close fd;
+      poll "eof client counted" (fun () -> stat t "client_errors" >= 3);
+      (* the daemon shrugged it all off *)
+      ignore
+        (ok_value "control query"
+           (Client.request ~socket_path:sock
+              (Protocol.Query (Protocol.query_request title_query)))))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control + client backoff.                                 *)
+
+let test_admission_control () =
+  let g = gate () in
+  with_server
+    ~tweak:(fun c ->
+      { c with workers = 1; queue_limit = 1; on_request = gate_hook g })
+    ()
+    (fun _dir sock t ->
+      let req () =
+        Client.request ~socket_path:sock
+          (Protocol.Query (Protocol.query_request title_query))
+      in
+      let r1 = ref (Error "pending") and r2 = ref (Error "pending") in
+      let t1 = Thread.create (fun () -> r1 := req ()) () in
+      (* the lone worker parks on request 1 *)
+      poll "worker parked" (fun () -> Atomic.get g.picked = 1);
+      let t2 = Thread.create (fun () -> r2 := req ()) () in
+      poll "queue filled" (fun () -> stat t "queue_depth" = 1);
+      (* queue full: request 3 is shed synchronously, without queueing *)
+      let e = ok_failure "shed" (req ()) in
+      Alcotest.(check string) "shed code" "gtlx:GTLX0009" e.Protocol.code;
+      Alcotest.(check string) "resource class" "resource" e.Protocol.error_class;
+      Alcotest.(check (option int)) "queue depth carried" (Some 1)
+        e.Protocol.queue_depth;
+      Alcotest.(check bool) "retry hint carried" true
+        (e.Protocol.retry_after_ms <> None);
+      Alcotest.(check int) "shed counted" 1 (stat t "shed");
+      open_gate g;
+      Thread.join t1;
+      Thread.join t2;
+      ignore (ok_value "request 1 served" !r1);
+      ignore (ok_value "request 2 served" !r2);
+      Alcotest.(check int) "served" 2 (stat t "served"))
+
+let test_client_backoff_retries () =
+  let g = gate () in
+  with_server
+    ~tweak:(fun c ->
+      { c with workers = 1; queue_limit = 1; retry_after_ms = 40;
+        on_request = gate_hook g })
+    ()
+    (fun _dir sock t ->
+      let q = Protocol.query_request title_query in
+      let park = Thread.create (fun () ->
+          ignore (Client.request ~socket_path:sock (Protocol.Query q))) ()
+      in
+      poll "worker parked" (fun () -> Atomic.get g.picked = 1);
+      let fill = Thread.create (fun () ->
+          ignore (Client.request ~socket_path:sock (Protocol.Query q))) ()
+      in
+      poll "queue filled" (fun () -> stat t "queue_depth" = 1);
+      (* without retries the overload is the answer *)
+      let e = ok_failure "shed" (Client.query ~socket_path:sock q) in
+      Alcotest.(check string) "shed code" "gtlx:GTLX0009" e.Protocol.code;
+      (* with retries: the first backoff sleep releases the jam, the retry
+         is served.  jitter is pinned to the deterministic upper bound, so
+         the recorded delays are exactly base * 2^(k-1), base = the
+         server's own retry-after hint (40ms) *)
+      let slept = ref [] in
+      let sleep d =
+        slept := d :: !slept;
+        open_gate g
+      in
+      let v =
+        ok_value "served after retry"
+          (Client.query ~socket_path:sock ~retries:3 ~jitter:Fun.id ~sleep q)
+      in
+      Alcotest.(check (list string))
+        "retried answer" [ "<title>Usability testing</title>" ] v.Protocol.items;
+      (match List.rev !slept with
+      | first :: _ ->
+          Alcotest.(check (float 1e-9)) "hint-seeded backoff" 0.040 first
+      | [] -> Alcotest.fail "no backoff sleep recorded");
+      Thread.join park;
+      Thread.join fill;
+      Alcotest.(check bool) "shed counted" true (stat t "shed" >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker over the wire.                                      *)
+
+let test_breaker_lifecycle () =
+  with_server
+    ~tweak:(fun c -> { c with breaker_threshold = 3; breaker_cooldown = 2 })
+    ()
+    (fun _dir sock t ->
+      let send ?fault_at () =
+        ok_value "pipelined request"
+          (Client.request ~socket_path:sock
+             (Protocol.Query
+                (Protocol.query_request
+                   ~strategy:Galatex.Engine.Native_pipelined ?fault_at
+                   title_query)))
+      in
+      let state () =
+        match
+          List.find_opt
+            (fun b -> b.Protocol.b_strategy = "pipelined")
+            (Server.stats t).Protocol.breakers
+        with
+        | Some b -> b.Protocol.b_state
+        | None -> "absent"
+      in
+      (* three consecutive internal-error fallbacks trip the breaker *)
+      for i = 1 to 3 do
+        let v = send ~fault_at:1 () in
+        Alcotest.(check bool)
+          (Printf.sprintf "request %d fell back" i)
+          true v.Protocol.fell_back
+      done;
+      Alcotest.(check string) "tripped" "open" (state ());
+      Alcotest.(check int) "one trip" 1 (stat t "breaker_trips");
+      (* while open, requests bypass to the reference path — the injected
+         fault never runs, so the answer is clean *)
+      for i = 1 to 2 do
+        let v = send ~fault_at:1 () in
+        Alcotest.(check bool)
+          (Printf.sprintf "bypass %d is clean" i)
+          false v.Protocol.fell_back;
+        Alcotest.(check string)
+          (Printf.sprintf "bypass %d on reference path" i)
+          "materialized" v.Protocol.strategy_used
+      done;
+      Alcotest.(check int) "bypasses counted" 2 (stat t "breaker_bypassed");
+      Alcotest.(check string) "cooldown elapsed" "half-open" (state ());
+      (* the half-open probe runs the real strategy; it still faults *)
+      let v = send ~fault_at:1 () in
+      Alcotest.(check bool) "probe fell back" true v.Protocol.fell_back;
+      Alcotest.(check string) "probe failure re-opens" "open" (state ());
+      Alcotest.(check int) "second trip" 2 (stat t "breaker_trips");
+      (* cooldown again, then a healthy probe closes it *)
+      ignore (send ~fault_at:1 ());
+      ignore (send ~fault_at:1 ());
+      let v = send () in
+      Alcotest.(check bool) "good probe" false v.Protocol.fell_back;
+      Alcotest.(check string) "probe ran the strategy" "pipelined"
+        v.Protocol.strategy_used;
+      Alcotest.(check string) "closed again" "closed" (state ());
+      let v = send () in
+      Alcotest.(check string) "serving on pipelined again" "pipelined"
+        v.Protocol.strategy_used)
+
+(* ------------------------------------------------------------------ *)
+(* Hot snapshot reload.                                                *)
+
+let test_hot_reload () =
+  with_server () (fun dir sock t ->
+      let ask query =
+        Client.request ~socket_path:sock
+          (Protocol.Query (Protocol.query_request query))
+      in
+      let v = ok_value "gen 1 query" (ask title_query) in
+      Alcotest.(check int) "serving gen 1" 1 v.Protocol.generation;
+      (* a new snapshot generation lands in the directory *)
+      save_corpus ~dir corpus_v2;
+      Alcotest.(check (option int))
+        "directory moved on" (Some 2)
+        (Ftindex.Store.current_generation ~dir);
+      Alcotest.(check int) "still serving gen 1" 1 (Server.generation t);
+      Server.request_reload t;
+      poll "reload applied" (fun () -> Server.generation t = 2);
+      let v = ok_value "gen 2 query" (ask {|//title[. ftcontains "zebra"]|}) in
+      Alcotest.(check (list string))
+        "new data served" [ "<title>Zebra quokka</title>" ] v.Protocol.items;
+      Alcotest.(check int) "reply stamped gen 2" 2 v.Protocol.generation;
+      Alcotest.(check int) "one reload" 1 (stat t "reloads"))
+
+let test_reload_watcher () =
+  with_server ~tweak:(fun c -> { c with watch_generation = true }) ()
+    (fun dir _sock t ->
+      save_corpus ~dir corpus_v2;
+      (* no explicit request: the watcher notices the generation change *)
+      poll "watcher reloaded" (fun () -> Server.generation t = 2))
+
+let test_reload_failure_keeps_old_engine () =
+  with_server () (fun dir _sock t ->
+      save_corpus ~dir corpus_v2;
+      (* every reload attempt dies on an injected I/O fault: the old
+         engine must keep serving *)
+      Server.set_reload_io t (fun () ->
+          Ftindex.Store.Io.with_fault ~at:1 Ftindex.Store.Io.Io_error);
+      Server.request_reload t;
+      poll "reload failure counted" (fun () -> stat t "reload_failures" = 1);
+      Alcotest.(check int) "old engine retained" 1 (Server.generation t);
+      (* injected crash faults are absorbed the same way *)
+      Server.set_reload_io t (fun () ->
+          Ftindex.Store.Io.with_fault ~at:2 Ftindex.Store.Io.Crash);
+      Server.request_reload t;
+      poll "crash fault counted" (fun () -> stat t "reload_failures" = 2);
+      Alcotest.(check int) "old engine still retained" 1 (Server.generation t);
+      (* heal the I/O layer: the next reload succeeds *)
+      Server.set_reload_io t (fun () -> Ftindex.Store.Io.real ());
+      Server.request_reload t;
+      poll "healed reload applied" (fun () -> Server.generation t = 2))
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown.                                                  *)
+
+let test_graceful_shutdown () =
+  let g = gate () in
+  with_server
+    ~tweak:(fun c ->
+      { c with workers = 2; queue_limit = 8; on_request = gate_hook g })
+    ()
+    (fun _dir sock t ->
+      let results = Array.make 5 (Error "pending") in
+      let spawn i =
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              Client.request ~socket_path:sock
+                (Protocol.Query (Protocol.query_request title_query)))
+          ()
+      in
+      let t0 = spawn 0 and t1 = spawn 1 in
+      poll "both workers parked" (fun () -> Atomic.get g.picked = 2);
+      let rest = List.map spawn [ 2; 3; 4 ] in
+      poll "three queued" (fun () -> stat t "queue_depth" = 3);
+      Server.request_shutdown t;
+      (* the drain answers queued stragglers without needing the (still
+         parked) workers *)
+      poll "stragglers answered" (fun () -> stat t "shed_shutdown" = 3);
+      open_gate g;
+      Server.wait t;
+      List.iter Thread.join (t0 :: t1 :: rest);
+      ignore (ok_value "in-flight 0 finished" results.(0));
+      ignore (ok_value "in-flight 1 finished" results.(1));
+      List.iter
+        (fun i ->
+          let e = ok_failure (Printf.sprintf "straggler %d" i) results.(i) in
+          Alcotest.(check string)
+            (Printf.sprintf "straggler %d shed" i)
+            "gtlx:GTLX0009" e.Protocol.code)
+        [ 2; 3; 4 ];
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock);
+      (match
+         Client.request ~socket_path:sock
+           (Protocol.Query (Protocol.query_request title_query))
+       with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "socket still answering after shutdown"))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: everything at once, and the invariant is simply that every
+   well-formed request gets one structured response and the daemon
+   survives.                                                           *)
+
+let test_chaos () =
+  with_server ~tweak:(fun c -> { c with workers = 4; queue_limit = 16 }) ()
+    (fun _dir sock t ->
+      let strategies =
+        [
+          Galatex.Engine.Translated;
+          Galatex.Engine.Native_materialized;
+          Galatex.Engine.Native_pipelined;
+        ]
+      in
+      let structured = Atomic.make 0 in
+      let failures = ref [] in
+      let failures_lock = Mutex.create () in
+      let fail_with msg =
+        Mutex.lock failures_lock;
+        failures := msg :: !failures;
+        Mutex.unlock failures_lock
+      in
+      (* a storm of clients: injected eval faults at assorted steps across
+         every strategy/optimization/fallback combination, interleaved
+         with torn connections and malformed frames *)
+      let well_formed =
+        List.concat_map
+          (fun strategy ->
+            List.concat_map
+              (fun optimize ->
+                List.concat_map
+                  (fun fallback ->
+                    List.map
+                      (fun fault_at -> (strategy, optimize, fallback, fault_at))
+                      [ None; Some 1; Some 5; Some 50 ])
+                  [ true; false ])
+              [ true; false ])
+          strategies
+      in
+      let client (strategy, optimize, fallback, fault_at) =
+        let q =
+          Protocol.query_request ~strategy ~optimize ~fallback ?fault_at
+            title_query
+        in
+        match Client.request ~socket_path:sock (Protocol.Query q) with
+        | Ok (Protocol.Value _) | Ok (Protocol.Failure _) ->
+            Atomic.incr structured
+        | Ok (Protocol.Stats_reply _) -> fail_with "stats reply to a query"
+        | Error reason -> fail_with ("transport error: " ^ reason)
+      in
+      let torn_client () =
+        match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+            (try
+               Unix.connect fd (Unix.ADDR_UNIX sock);
+               ignore (Unix.write_substring fd "\x40\x00\x00\x00abc" 0 7)
+             with Unix.Unix_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+      in
+      let malformed_client () =
+        match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+            (try
+               Unix.connect fd (Unix.ADDR_UNIX sock);
+               Protocol.write_frame fd (String.make 32 '\xfe');
+               ignore (Protocol.read_frame fd)
+             with Unix.Unix_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ())
+      in
+      let threads =
+        List.mapi
+          (fun i spec ->
+            Thread.create
+              (fun () ->
+                client spec;
+                if i mod 3 = 0 then torn_client ();
+                if i mod 5 = 0 then malformed_client ())
+              ())
+          well_formed
+      in
+      List.iter Thread.join threads;
+      (match !failures with
+      | [] -> ()
+      | msgs ->
+          Alcotest.failf "%d chaos clients broke the contract, e.g. %s"
+            (List.length msgs) (List.hd msgs));
+      Alcotest.(check int)
+        "every well-formed request answered structurally"
+        (List.length well_formed) (Atomic.get structured);
+      (* the accept loop and every worker survived the storm *)
+      ignore
+        (ok_value "post-chaos control query"
+           (Client.request ~socket_path:sock
+              (Protocol.Query (Protocol.query_request title_query))));
+      Alcotest.(check bool)
+        "torn clients were counted, not fatal" true
+        (stat t "client_errors" > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite (a): engine-level mutable state under concurrency.  One
+   engine, many threads forcing the fallback path — the atomic counter
+   must come out exact (a plain int loses increments).                 *)
+
+let test_engine_fallback_counter_threadsafe () =
+  let engine = Galatex.Engine.of_strings corpus_v1 in
+  let threads_n = 8 and per_thread = 25 in
+  let errors = Atomic.make 0 in
+  let threads =
+    List.init threads_n (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              match
+                Galatex.Engine.run_report engine
+                  ~strategy:Galatex.Engine.Native_pipelined ~fault_at:1
+                  title_query
+              with
+              | r -> if not r.Galatex.Engine.fell_back then Atomic.incr errors
+              | exception _ -> Atomic.incr errors
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "every run fell back" 0 (Atomic.get errors);
+  Alcotest.(check int)
+    "no lost increments" (threads_n * per_thread)
+    (Galatex.Engine.fallback_count engine)
+
+let tests =
+  [
+    Alcotest.test_case "protocol round trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+    Alcotest.test_case "basic round trip" `Quick test_basic_round_trip;
+    Alcotest.test_case "stats over wire" `Quick test_stats_over_wire;
+    Alcotest.test_case "malformed and torn clients" `Quick
+      test_malformed_and_torn_clients;
+    Alcotest.test_case "admission control" `Quick test_admission_control;
+    Alcotest.test_case "client backoff retries" `Quick
+      test_client_backoff_retries;
+    Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle;
+    Alcotest.test_case "hot reload" `Quick test_hot_reload;
+    Alcotest.test_case "reload watcher" `Quick test_reload_watcher;
+    Alcotest.test_case "reload failure keeps old engine" `Quick
+      test_reload_failure_keeps_old_engine;
+    Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
+    Alcotest.test_case "chaos" `Quick test_chaos;
+    Alcotest.test_case "concurrent fallback counter" `Quick
+      test_engine_fallback_counter_threadsafe;
+  ]

@@ -8,6 +8,8 @@
      galatex serve   --index DIR --socket PATH   run the query daemon
      galatex query   --server PATH 'QUERY'       query a running daemon
      galatex stats   --server PATH               daemon counters / breakers
+     galatex update  --server PATH --add FILE    live index updates (WAL)
+     galatex update  --index DIR --compact       offline updates / compaction
      galatex demo                                run the use-case catalogue *)
 
 open Cmdliner
@@ -244,8 +246,11 @@ let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
       exit
         (Galatex_server.Protocol.exit_code_of_class
            e.Galatex_server.Protocol.error_class)
-  | Ok (Galatex_server.Protocol.Stats_reply _) ->
-      Printf.eprintf "internal error: unexpected stats response\n";
+  | Ok
+      ( Galatex_server.Protocol.Stats_reply _
+      | Galatex_server.Protocol.Update_reply _
+      | Galatex_server.Protocol.Compact_reply _ ) ->
+      Printf.eprintf "internal error: unexpected response to query\n";
       exit 5
   | Error reason ->
       Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
@@ -561,6 +566,151 @@ let run_stats server =
         server reason;
       exit 2
 
+(* --- update --- *)
+
+let add_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "a"; "add" ] ~docv:"FILE"
+        ~doc:
+          "XML document to add or replace, keyed by basename (repeatable).
+           Validated before anything reaches the write-ahead log.")
+
+let remove_doc_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "r"; "remove" ] ~docv:"URI"
+        ~doc:"Document uri to remove from the index (repeatable).")
+
+let compact_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "compact" ]
+        ~doc:
+          "After applying the operations, fold the write-ahead log into a
+           fresh snapshot generation and reset it.")
+
+let update_index_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "index" ] ~docv:"DIR"
+        ~doc:
+          "Apply the updates offline, directly to the snapshot directory's
+           write-ahead log.  Do not combine with a running daemon on the
+           same directory — the log is single-writer; use $(b,--server)
+           instead.")
+
+(* adds first, then removes; both validated (XML parsed, file read) before
+   any record is appended, so the log stays replayable by construction *)
+let ops_of ~adds ~removes =
+  List.map
+    (fun path ->
+      let uri = Filename.basename path in
+      let source = read_file path in
+      ignore (Xmlkit.Parser.parse_document ~uri source);
+      Ftindex.Wal.Add_doc { uri; source })
+    adds
+  @ List.map (fun uri -> Ftindex.Wal.Remove_doc uri) removes
+
+let remote_error (e : Galatex_server.Protocol.error_reply) =
+  Printf.eprintf "%s error %s: %s\n" e.Galatex_server.Protocol.error_class
+    e.Galatex_server.Protocol.code e.Galatex_server.Protocol.message;
+  exit
+    (Galatex_server.Protocol.exit_code_of_class
+       e.Galatex_server.Protocol.error_class)
+
+let run_remote_update ~server ops ~do_compact =
+  let send req =
+    match Galatex_server.Client.request ~socket_path:server req with
+    | Ok resp -> resp
+    | Error reason ->
+        Printf.eprintf
+          "dynamic error err:FODC0002 cannot reach server at %s: %s\n" server
+          reason;
+        exit 2
+  in
+  if ops <> [] then begin
+    match send (Galatex_server.Protocol.Update ops) with
+    | Galatex_server.Protocol.Update_reply r ->
+        Printf.printf
+          "acknowledged %d operation(s): generation %d, last seq %d, log %d record(s) / %d bytes\n"
+          (List.length ops) r.Galatex_server.Protocol.u_generation
+          r.Galatex_server.Protocol.u_last_seq
+          r.Galatex_server.Protocol.u_records
+          r.Galatex_server.Protocol.u_bytes
+    | Galatex_server.Protocol.Failure e -> remote_error e
+    | _ ->
+        Printf.eprintf "internal error: unexpected response to update\n";
+        exit 5
+  end;
+  if do_compact then begin
+    match send Galatex_server.Protocol.Compact with
+    | Galatex_server.Protocol.Compact_reply r ->
+        Printf.printf "compacted: %d record(s) folded into generation %d\n"
+          r.Galatex_server.Protocol.c_folded
+          r.Galatex_server.Protocol.c_generation
+    | Galatex_server.Protocol.Failure e -> remote_error e
+    | _ ->
+        Printf.eprintf "internal error: unexpected response to compact\n";
+        exit 5
+  end;
+  `Ok ()
+
+let run_offline_update ~dir ops ~do_compact =
+  let engine = Galatex.Engine.of_store ~dir () in
+  let gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
+  let w = Ftindex.Wal.open_writer ~dir ~generation:gen () in
+  let engine =
+    List.fold_left
+      (fun eng op ->
+        ignore (Ftindex.Wal.append w op);
+        Galatex.Engine.apply_update eng op)
+      engine ops
+  in
+  if ops <> [] then
+    Printf.printf
+      "appended %d operation(s): generation %d, log %d record(s) / %d bytes\n"
+      (List.length ops)
+      (Ftindex.Wal.writer_generation w)
+      (Ftindex.Wal.wal_records w) (Ftindex.Wal.wal_bytes w);
+  if do_compact then begin
+    let folded = Ftindex.Wal.wal_records w in
+    let engine = Galatex.Engine.compact engine ~dir in
+    Printf.printf "compacted: %d record(s) folded into generation %d\n" folded
+      (Option.value (Galatex.Engine.generation engine) ~default:0)
+  end;
+  `Ok ()
+
+let run_update adds removes server index_dir do_compact =
+  if adds = [] && removes = [] && not do_compact then
+    `Error (false, "nothing to do: give --add, --remove and/or --compact")
+  else
+    match (server, index_dir) with
+    | None, None ->
+        `Error (false, "either --server SOCKET or --index DIR is required")
+    | Some _, Some _ ->
+        `Error (false, "--server and --index are mutually exclusive")
+    | Some server, None ->
+        handle_errors (fun () ->
+            run_remote_update ~server (ops_of ~adds ~removes) ~do_compact)
+    | None, Some dir ->
+        handle_errors (fun () ->
+            run_offline_update ~dir (ops_of ~adds ~removes) ~do_compact)
+
+let update_cmd =
+  let doc =
+    "Apply live index updates (add/replace/remove documents) through the
+     crash-safe write-ahead log — against a running daemon with
+     $(b,--server), or offline against a snapshot directory with
+     $(b,--index) — and optionally fold the log into a fresh snapshot
+     generation with $(b,--compact)."
+  in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(
+      ret
+        (const run_update $ add_arg $ remove_doc_arg $ server_arg
+       $ update_index_arg $ compact_flag_arg))
+
 let stats_server_arg =
   Arg.(
     required
@@ -601,7 +751,7 @@ let main =
     (Cmd.info "galatex" ~version:"1.0.0" ~doc)
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
-      module_cmd; serve_cmd; stats_cmd; demo_cmd;
+      module_cmd; serve_cmd; stats_cmd; update_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -37,16 +37,13 @@ let add_document ?config (index : Inverted.t) ~uri root =
     total_postings = index.Inverted.total_postings + List.length tokens;
   }
 
-let index_documents ?config docs =
-  (* Scores depend on corpus-wide idf, so recompute every document's posting
-     scores once all documents are known. *)
-  let with_docs =
-    List.fold_left
-      (fun idx (uri, root) -> add_document ?config idx ~uri root)
-      (Inverted.empty ()) docs
-  in
-  let stats = with_docs.Inverted.stats in
-  let postings = Hashtbl.create (Hashtbl.length with_docs.Inverted.postings) in
+(* Scores depend on corpus-wide idf: recompute every posting's score from
+   the index's current statistics.  Score depends only on stats, so applying
+   this after each incremental add/remove yields the same index as applying
+   it once after the last one. *)
+let rescore (index : Inverted.t) =
+  let stats = index.Inverted.stats in
+  let postings = Hashtbl.create (max 16 (Hashtbl.length index.Inverted.postings)) in
   Hashtbl.iter
     (fun w entries ->
       let rescored =
@@ -56,8 +53,14 @@ let index_documents ?config docs =
           entries
       in
       Hashtbl.replace postings w rescored)
-    with_docs.Inverted.postings;
-  { with_docs with Inverted.postings }
+    index.Inverted.postings;
+  { index with Inverted.postings }
+
+let index_documents ?config docs =
+  rescore
+    (List.fold_left
+       (fun idx (uri, root) -> add_document ?config idx ~uri root)
+       (Inverted.empty ()) docs)
 
 let index_strings ?config docs =
   index_documents ?config

@@ -10,6 +10,13 @@ val add_document :
     statistics known so far; prefer {!index_documents} for a whole corpus.
     @raise Invalid_argument on duplicate uri. *)
 
+val rescore : Inverted.t -> Inverted.t
+(** Recompute every posting score from the index's current corpus
+    statistics.  After an incremental {!add_document} or
+    [Inverted.remove_document], this restores the invariant that scores
+    reflect corpus-wide idf — making the index equal to one built from
+    scratch over the same documents. *)
+
 val index_documents :
   ?config:Tokenize.Segmenter.config ->
   (string * Xmlkit.Node.t) list ->

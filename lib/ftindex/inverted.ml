@@ -30,6 +30,35 @@ let documents t = t.documents
 let stats t = t.stats
 let total_postings t = t.total_postings
 
+(* Exact postings reclamation: filtering a word's (document, position)-sorted
+   list preserves the order of the surviving entries, empty words leave the
+   distinct-word list, and corpus statistics forget the document — so the
+   result matches an index that never contained it (up to posting scores,
+   which depend on corpus-wide idf; Indexer.rescore restores those). *)
+let remove_document t ~uri =
+  if not (List.mem_assoc uri t.documents) then t
+  else begin
+    let postings = Hashtbl.create (max 16 (Hashtbl.length t.postings)) in
+    let removed = ref 0 in
+    Hashtbl.iter
+      (fun w entries ->
+        let kept, gone =
+          List.partition (fun (p : Posting.t) -> p.Posting.doc <> uri) entries
+        in
+        removed := !removed + List.length gone;
+        if kept <> [] then Hashtbl.replace postings w kept)
+      t.postings;
+    let doc_tokens = Hashtbl.copy t.doc_tokens in
+    Hashtbl.remove doc_tokens uri;
+    {
+      documents = List.filter (fun (u, _) -> u <> uri) t.documents;
+      postings;
+      doc_tokens;
+      stats = Stats.remove_document t.stats ~doc:uri;
+      total_postings = t.total_postings - !removed;
+    }
+  end
+
 let document_root t uri = List.assoc_opt uri t.documents
 
 let postings t word =

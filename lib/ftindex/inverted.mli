@@ -19,6 +19,14 @@ val stats : t -> Stats.t
 val total_postings : t -> int
 (** Total number of tokens indexed (corpus word count). *)
 
+val remove_document : t -> uri:string -> t
+(** Remove one document with exact postings reclamation: its entries leave
+    every posting list (surviving order preserved), words with no remaining
+    postings leave the distinct-word list, its token stream and statistics
+    are forgotten.  Posting {e scores} of the surviving documents still
+    reflect the old corpus; run [Indexer.rescore] to restore exactness
+    against a from-scratch index.  No-op for an unknown uri. *)
+
 val document_root : t -> string -> Xmlkit.Node.t option
 
 val postings : t -> string -> Posting.t list

@@ -51,6 +51,32 @@ let add_document t ~doc tokens =
     counts;
   { t with doc_count = t.doc_count + 1 }
 
+let remove_document t ~doc =
+  if not (Hashtbl.mem t.docs doc) then t
+  else begin
+    let t =
+      {
+        doc_count = t.doc_count - 1;
+        docs = Hashtbl.copy t.docs;
+        df = Hashtbl.copy t.df;
+        tf = Hashtbl.copy t.tf;
+      }
+    in
+    Hashtbl.remove t.docs doc;
+    let words =
+      Hashtbl.fold (fun (d, w) _ acc -> if d = doc then w :: acc else acc) t.tf []
+    in
+    List.iter
+      (fun w ->
+        Hashtbl.remove t.tf (doc, w);
+        (* drop zero entries so the tables match a from-scratch build *)
+        match Hashtbl.find_opt t.df w with
+        | Some n when n > 1 -> Hashtbl.replace t.df w (n - 1)
+        | Some _ | None -> Hashtbl.remove t.df w)
+      words;
+    t
+  end
+
 let doc_count t = t.doc_count
 let document_frequency t w = Option.value ~default:0 (Hashtbl.find_opt t.df w)
 

@@ -9,6 +9,12 @@ val add_document : t -> doc:string -> Tokenize.Token.t list -> t
 (** Record one document's token stream.
     @raise Invalid_argument on a duplicate document name. *)
 
+val remove_document : t -> doc:string -> t
+(** Forget one document exactly: document frequencies decremented (entries
+    dropped at zero), its term frequencies and per-document stats removed —
+    the result equals statistics built without the document.  No-op for an
+    unknown document. *)
+
 val doc_count : t -> int
 val document_frequency : t -> string -> int
 val term_frequency : t -> doc:string -> string -> int

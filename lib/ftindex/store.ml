@@ -219,9 +219,40 @@ module Io = struct
         | Some (Bit_flip off) -> flip_bit data off
         | None -> data)
 
+  (* One logical "append the whole buffer" data operation (WAL records).
+     Same fault semantics as [write_file]: ENOSPC / crash leave a durable
+     half-written prefix, a torn write silently persists [n] bytes. *)
+  let append_file t path data =
+    guard t (* open/create *);
+    let fd =
+      Unix.openfile path
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND; Unix.O_CLOEXEC ]
+        0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        (match step t with
+        | Some Io_error ->
+            write_all fd (String.sub data 0 (String.length data / 2));
+            fail ()
+        | Some Crash ->
+            write_all fd (String.sub data 0 (String.length data / 2));
+            raise Crashed
+        | Some (Torn_write n) ->
+            write_all fd (String.sub data 0 (min (max n 0) (String.length data)))
+        | Some (Bit_flip off) -> write_all fd (flip_bit data off)
+        | None -> write_all fd data);
+        guard t (* fsync *);
+        Unix.fsync fd)
+
   let rename t src dst =
     guard t;
     Unix.rename src dst
+
+  let truncate t path len =
+    guard t;
+    Unix.truncate path len
 
   let unlink t path =
     guard t;

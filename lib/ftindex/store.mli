@@ -58,7 +58,34 @@ module Io : sig
 
   val ops : t -> int
   (** Operations performed so far (use a clean run to size a sweep). *)
+
+  (** {2 Raw operations}
+
+      Exposed so sibling persistence modules (the write-ahead log) share
+      the same injector — one op counter spans a whole save / load /
+      append / compact scenario, so a sweep over operation indices covers
+      the combined path.  [write_file] / [append_file] / [read_file] are
+      data operations (a fault can tear or flip the payload); the rest are
+      metadata operations (a fault is an error or a simulated crash). *)
+
+  val write_file : t -> string -> string -> unit
+  (** Truncate-and-write the whole buffer, then fsync. *)
+
+  val append_file : t -> string -> string -> unit
+  (** Append the whole buffer (creating the file if needed), then fsync. *)
+
+  val read_file : t -> string -> string
+  val rename : t -> string -> string -> unit
+  val unlink : t -> string -> unit
+  val mkdir : t -> string -> unit
+  val readdir : t -> string -> string array
+  val fsync_dir : t -> string -> unit
+  val truncate : t -> string -> int -> unit
 end
+
+val crc32 : string -> int
+(** The store's from-scratch CRC-32 (IEEE 802.3) — shared with the WAL so
+    both persistence formats checksum identically. *)
 
 (** {1 Damage reporting} *)
 

@@ -1,0 +1,130 @@
+(** Write-ahead log for live index updates.
+
+    The snapshot store (see {!Store}) makes the index durable but only as a
+    whole: any corpus change means a full save plus a reload.  The WAL adds
+    an incremental update path on top of the {e current snapshot
+    generation}: every accepted add / remove is first appended — framed and
+    CRC-32-checksummed — to a [WAL] file inside the snapshot directory, and
+    only then applied to the in-memory index.  Recovery replays the log
+    idempotently onto the loaded snapshot, so
+
+    {e snapshot generation + WAL offset define the exact index state across
+    [kill -9] at any byte.}
+
+    {b Record format.}  The log is a header record followed by operation
+    records, all framed alike: [u32 len], [u32 crc32(len)], payload,
+    [u32 crc32(payload)].  Checksumming the length separately lets recovery
+    distinguish a {e torn tail} (the file ends before a record's promised
+    extent — possible only for the last append, silently truncated) from
+    {e mid-log corruption} (bytes present but a checksum fails — surfaced
+    as structured code [GTLX0010], never silently dropped).  The header
+    payload carries the format magic, version, and the {e base generation}:
+    the snapshot generation the log extends.
+
+    {b Idempotent replay.}  A log whose base generation differs from the
+    manifest's is {e stale} — the crash happened after a compaction folded
+    it into a new snapshot generation but before the log reset — and is
+    ignored.  Replaying [Add_doc] for an existing uri replaces the
+    document; [Remove_doc] of an absent uri is a no-op; so replaying a
+    prefix twice converges.
+
+    {b Compaction} (performed by [Engine.compact]) folds the log into a
+    fresh snapshot generation via the store's atomic-manifest protocol,
+    then resets the log to an empty one based on the new generation.
+
+    All I/O goes through {!Store.Io}, so fault sweeps can drive every
+    append / replay / compact operation index. *)
+
+type op =
+  | Add_doc of { uri : string; source : string }
+      (** index (or replace) a document from its XML source text *)
+  | Remove_doc of string  (** forget a document by uri *)
+
+type record = { seq : int;  (** 1-based, dense *) op : op }
+
+val wal_name : string
+(** File name of the log within a snapshot directory (["WAL"]). *)
+
+val wal_magic : string
+val wal_version : int
+
+(** {1 Applying operations} *)
+
+val apply : ?config:Tokenize.Segmenter.config -> Inverted.t -> op -> Inverted.t
+(** Apply one operation to an index, exactly: the result equals
+    [Indexer.index_documents] over the updated document list (including
+    per-entry scores, which are recomputed corpus-wide).  [Add_doc] of an
+    existing uri replaces it (the document moves to the end of the document
+    list, as a remove-then-add would); [Remove_doc] of an unknown uri is a
+    no-op.  Raises whatever parsing / indexing raises — callers replaying a
+    log wrap failures (see {!replay}). *)
+
+val fold_sources : (string * string) list -> op list -> (string * string) list
+(** The document-set semantics of a log: the [(uri, source)] list that
+    re-indexing from scratch after the operations would see.  Used by
+    tests and tooling to cross-check exactness. *)
+
+(** {1 Reading / recovery} *)
+
+type log = {
+  base_generation : int;  (** snapshot generation the log extends *)
+  records : record list;  (** valid records, in append order *)
+  truncated : bool;  (** a torn tail was dropped *)
+  valid_bytes : int;  (** size of the valid prefix, including the header *)
+}
+
+val read_log : ?io:Store.Io.t -> dir:string -> unit -> log option
+(** Read and verify the log in [dir].  [None] when there is no log (or an
+    empty file).  A torn tail is dropped silently ([truncated] reports it).
+
+    @raise Xquery.Errors.Error with [GTLX0010] on mid-log corruption (a
+    complete record whose checksum fails, an unparseable record, or a
+    sequence-number gap — an acknowledged record vanished),
+    [GTLX0007] on a log format version mismatch, [FODC0002] when the log
+    cannot be read at all.  Nothing else. *)
+
+val replay :
+  ?config:Tokenize.Segmenter.config -> Inverted.t -> record list -> Inverted.t
+(** Fold {!apply} over replayed records; any failure inside an apply is
+    surfaced as [GTLX0010] (the log is unreplayable). *)
+
+val reset : ?io:Store.Io.t -> dir:string -> generation:int -> unit -> unit
+(** Atomically replace the log with an empty one whose base generation is
+    [generation] (temp + fsync + rename, like every store file).
+    @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
+
+(** {1 Appending} *)
+
+type writer
+(** An open log positioned at its valid end.  Single-writer: the serving
+    layer serializes all appends through one writer. *)
+
+val open_writer :
+  ?io:Store.Io.t -> dir:string -> generation:int -> unit -> writer
+(** Open (or create) the log for appending on top of snapshot generation
+    [generation].  An absent log, or a stale one (different base
+    generation — left over from a compaction), is {!reset}.  A valid log
+    with a torn tail is physically truncated to its valid prefix so
+    subsequent appends extend a clean log.
+    @raise Xquery.Errors.Error as {!read_log} on a corrupt log (never
+    resets one — the corruption must surface, not be destroyed), and with
+    [GTLX0008] when the reset / tail truncation itself fails.
+    @raise Store.Io.Crashed under injected crash faults. *)
+
+val append : writer -> op -> record
+(** Frame, checksum, append and fsync one operation; returns the record
+    with its assigned sequence number.  On an I/O failure the writer
+    truncates the file back to its last known-good size (best effort), so
+    a failed append never leaves garbage for the next one to bury.
+    @raise Xquery.Errors.Error with [GTLX0008] when the append cannot be
+    made durable.
+    @raise Store.Io.Crashed under injected crash faults. *)
+
+val writer_generation : writer -> int
+val wal_records : writer -> int
+(** Operation records in the log (excluding the header). *)
+
+val wal_bytes : writer -> int
+(** Size in bytes of the valid log, including the header. *)
+
+val next_seq : writer -> int

@@ -73,7 +73,11 @@ type t = {
       (** set when this engine came out of {!of_store} *)
   mutable generation : int option;
       (** snapshot generation when this engine came out of {!of_store} *)
+  mutable wal : wal_recovery option;
+      (** set when {!of_store} replayed a write-ahead log *)
 }
+
+and wal_recovery = { replayed : int; truncated_tail : bool }
 
 let of_index ?(config = Tokenize.Segmenter.default_config) ?thesauri
     ?default_thesaurus index =
@@ -90,6 +94,7 @@ let of_index ?(config = Tokenize.Segmenter.default_config) ?thesauri
     fallbacks = Atomic.make 0;
     salvage = None;
     generation = None;
+    wal = None;
   }
 
 let create ?config ?thesauri ?default_thesaurus docs =
@@ -105,6 +110,7 @@ let index t = Env.index t.env
 let fallback_count t = Atomic.get t.fallbacks
 let salvage_report t = t.salvage
 let generation t = t.generation
+let wal_recovery t = t.wal
 
 (* Persistence: delegate to the crash-safe store, carrying the engine's
    tokenizer config so a later salvage re-indexes identically. *)
@@ -115,13 +121,67 @@ let of_store ?io ?(limits = Xquery.Limits.defaults) ?sources ?thesauri
     ?default_thesaurus ~dir () =
   let governor = Xquery.Limits.governor limits in
   let loaded = Ftindex.Store.load ?io ~governor ?sources ~dir () in
+  (* Replay the write-ahead log on top of the snapshot.  A log based on
+     another generation is stale — the crash happened after a compaction
+     folded it into the snapshot but before the log reset — and is
+     ignored; that is what makes replay idempotent across retries. *)
+  let wal, index =
+    match Ftindex.Wal.read_log ?io ~dir () with
+    | None -> (None, loaded.Ftindex.Store.index)
+    | Some log
+      when log.Ftindex.Wal.base_generation <> loaded.Ftindex.Store.generation
+      ->
+        (None, loaded.Ftindex.Store.index)
+    | Some log ->
+        ( Some
+            {
+              replayed = List.length log.Ftindex.Wal.records;
+              truncated_tail = log.Ftindex.Wal.truncated;
+            },
+          Ftindex.Wal.replay ~config:loaded.Ftindex.Store.config
+            loaded.Ftindex.Store.index log.Ftindex.Wal.records )
+  in
   let t =
     of_index ~config:loaded.Ftindex.Store.config ?thesauri ?default_thesaurus
-      loaded.Ftindex.Store.index
+      index
   in
   t.salvage <- Some loaded.Ftindex.Store.report;
   t.generation <- Some loaded.Ftindex.Store.generation;
+  t.wal <- wal;
   t
+
+(* Live updates: apply one WAL operation, producing a new engine over the
+   updated index.  The caller (the serving layer) appends to the log first
+   and swaps engines atomically; readers keep the old [t].  The fallback
+   counter cell is shared so the engine-wide degradation count survives
+   updates. *)
+let apply_update t op =
+  let index' = Ftindex.Wal.apply ~config:t.config (index t) op in
+  let env =
+    Env.create ~thesauri:t.env.Env.thesauri
+      ?default_thesaurus:t.env.Env.default_thesaurus index'
+  in
+  let context_doc =
+    match Ftindex.Inverted.documents index' with
+    | (_, doc) :: _ -> Some doc
+    | [] -> None
+  in
+  { t with env; context_doc }
+
+(* Fold the log into a fresh snapshot generation (the store's atomic
+   manifest protocol), then reset the log on top of it.  The reset is
+   advisory: recovery ignores a stale log, so a failure here costs disk
+   space, never correctness. *)
+let compact ?io t ~dir =
+  save ?io t ~dir;
+  match Ftindex.Store.current_generation ~dir with
+  | None ->
+      Xquery.Errors.raise_error Xquery.Errors.GTLX0008
+        "compaction of %s: no readable manifest after save" dir
+  | Some gen ->
+      (try Ftindex.Wal.reset ?io ~dir ~generation:gen ()
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      { t with generation = Some gen; wal = None }
 
 (* fn:collection(): all corpus documents, so multi-document queries don't
    depend on the default context node. *)

@@ -79,6 +79,13 @@ val salvage_report : t -> Ftindex.Store.report option
     describes any corruption found and repairs performed during the load
     ({!Ftindex.Store.clean} tests for a pristine load). *)
 
+type wal_recovery = { replayed : int;  (** records replayed *)
+                      truncated_tail : bool  (** a torn tail was dropped *) }
+
+val wal_recovery : t -> wal_recovery option
+(** [Some r] iff {!of_store} found (and replayed) a write-ahead log based
+    on the loaded snapshot generation. *)
+
 (** {1 Persistence} *)
 
 val save :
@@ -101,8 +108,33 @@ val of_store :
     step budget apply to loading; default {!Xquery.Limits.defaults}).
     [sources] (uri, XML text) enables re-indexing of damaged document
     segments.  The load outcome is retained as {!salvage_report}.
-    @raise Xquery.Errors.Error with [GTLX0006]/[GTLX0007]/[GTLX0008] (or a
-    resource code) and nothing else. *)
+
+    When the snapshot directory holds a write-ahead log based on the loaded
+    generation, its records are replayed onto the index (a torn tail is
+    dropped silently; see {!Ftindex.Wal}) and {!wal_recovery} reports it.
+    A log based on another generation (a compaction's leftover) is ignored.
+
+    @raise Xquery.Errors.Error with [GTLX0006]/[GTLX0007]/[GTLX0008]
+    (snapshot), [GTLX0010] (unreplayable update log), [FODC0002] or a
+    resource code — and nothing else. *)
+
+val apply_update : t -> Ftindex.Wal.op -> t
+(** Apply one live update, returning a {e new} engine over the updated
+    index (exact: equal to indexing the updated document set from scratch,
+    including corpus-wide scores).  The original engine is untouched, so
+    in-flight readers are unaffected until the caller swaps engines; the
+    fallback counter cell is shared across the swap.  The caller is
+    responsible for logging the operation durably {e first}
+    ({!Ftindex.Wal.append}).
+    @raise Xquery.Errors.Error (e.g. [XPST0003] for malformed XML). *)
+
+val compact : ?io:Ftindex.Store.Io.t -> t -> dir:string -> t
+(** Fold the current index (snapshot + applied updates) into a fresh
+    snapshot generation via the store's atomic-manifest protocol, then
+    reset the write-ahead log on top of it.  Returns the engine stamped
+    with the new generation.  The log reset is advisory — recovery ignores
+    a stale log — so a crash anywhere leaves a recoverable directory.
+    @raise Xquery.Errors.Error with [GTLX0008] when the save fails. *)
 
 (** {1 Evaluation} *)
 

@@ -33,12 +33,27 @@ let request ~socket_path req =
 
 let shed_reply = function
   | Protocol.Failure e when e.Protocol.code = "gtlx:GTLX0009" -> Some e
-  | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _ -> None
+  | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _
+  | Protocol.Update_reply _ | Protocol.Compact_reply _ ->
+      None
 
 let default_jitter bound = bound *. (0.5 +. Random.float 0.5)
 
+(* Deterministic upper bound (seconds) on the wait before retry attempt
+   [k]: exponential in the attempt number, never below [base_ms] (attempt
+   1 waits the base itself), never above [cap_ms].  Pure — the qcheck
+   property in test_server.ml exercises it directly. *)
+let backoff_bound ~base_ms ~cap_ms ~attempt:k =
+  let base_ms = max 1 base_ms in
+  let cap_ms = max base_ms cap_ms in
+  let doubled =
+    (* shift without overflow: past the cap, stop growing *)
+    if k - 1 >= 20 then cap_ms else min cap_ms (base_ms lsl (k - 1))
+  in
+  float_of_int (max base_ms doubled) /. 1000.
+
 let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
-    ?(jitter = default_jitter) ?(sleep = Unix.sleepf) q =
+    ?(cap_delay_ms = 5000) ?(jitter = default_jitter) ?(sleep = Unix.sleepf) q =
   let req = Protocol.Query q in
   (* attempt [k] of [retries + 1]; [base_ms] tracks the daemon's hint *)
   let rec go k base_ms =
@@ -50,12 +65,14 @@ let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
           | Some e ->
               (true, Option.value e.Protocol.retry_after_ms ~default:base_ms)
           | None -> (false, base_ms))
-      | Error _ -> (true, base_ms)
+      | Error _ ->
+          (* connect refused / socket missing / torn frame: the daemon may
+             be restarting — same backoff loop as a shed *)
+          (true, base_ms)
     in
     if (not retryable) || k > retries then outcome
     else begin
-      let bound = float_of_int (base_ms lsl (k - 1)) /. 1000. in
-      sleep (jitter bound);
+      sleep (jitter (backoff_bound ~base_ms ~cap_ms:cap_delay_ms ~attempt:k));
       go (k + 1) base_ms
     end
   in
@@ -66,5 +83,7 @@ let stats ~socket_path =
   | Ok (Protocol.Stats_reply s) -> Ok s
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
-  | Ok (Protocol.Value _) -> Error "unexpected value response to stats"
+  | Ok (Protocol.Value _ | Protocol.Update_reply _ | Protocol.Compact_reply _)
+    ->
+      Error "unexpected response to stats"
   | Error reason -> Error reason

@@ -12,21 +12,31 @@ val request :
     failures only (connect/read/write/decode); a structured evaluation
     failure is [Ok (Failure _)]. *)
 
+val backoff_bound : base_ms:int -> cap_ms:int -> attempt:int -> float
+(** Deterministic upper bound (seconds) on the wait before retry attempt
+    [attempt] (1-based): [min cap (base * 2^(attempt-1))], clamped so it
+    never falls below [base] nor exceeds [cap] and never overflows.  Pure
+    — property-tested directly. *)
+
 val query :
   socket_path:string ->
   ?retries:int ->
   ?base_delay_ms:int ->
+  ?cap_delay_ms:int ->
   ?jitter:(float -> float) ->
   ?sleep:(float -> unit) ->
   Protocol.query_request ->
   (Protocol.response, string) result
 (** Send a query, retrying up to [retries] extra times (default 0) when
-    the daemon sheds it with [GTLX0009] or the connection fails outright.
-    Backoff before attempt [k] is [base * 2^(k-1) * jitter] where [base]
+    the daemon sheds it with [GTLX0009] or the connection fails outright
+    — including [ECONNREFUSED] and a missing socket file, so a client
+    loop survives a daemon restart.  Backoff before attempt [k] is
+    [backoff_bound ~base_ms ~cap_ms ~attempt:k * jitter] where [base_ms]
     is the shed response's [retry_after_ms] hint when present, else
-    [base_delay_ms] (default 25), and [jitter] maps the deterministic
-    upper bound to the actual wait (default: uniform random in
-    [0.5x, 1.0x]).  [sleep] is a test hook (default [Unix.sleepf]).
+    [base_delay_ms] (default 25); [cap_delay_ms] bounds the wait (default
+    5000), and [jitter] maps the deterministic upper bound to the actual
+    wait (default: uniform random in [0.5x, 1.0x]).  [sleep] is a test
+    hook (default [Unix.sleepf]).
 
     Returns the last response (possibly still the shed failure) or the
     last transport error once retries are exhausted. *)

@@ -89,7 +89,11 @@ type query_request = {
   fault_at : int option;
 }
 
-type request = Query of query_request | Stats
+type request =
+  | Query of query_request
+  | Stats
+  | Update of Ftindex.Wal.op list
+  | Compact
 
 let query_request ?(strategy = Galatex.Engine.Native_materialized)
     ?(optimize = false) ?(fallback = true) ?context
@@ -109,10 +113,35 @@ let strategy_of_tag = function
   | 2 -> Galatex.Engine.Native_pipelined
   | n -> malformed "unknown strategy tag %d" n
 
+let put_op b (op : Ftindex.Wal.op) =
+  match op with
+  | Ftindex.Wal.Add_doc { uri; source } ->
+      put_u8 b (Char.code 'A');
+      put_str b uri;
+      put_str b source
+  | Ftindex.Wal.Remove_doc uri ->
+      put_u8 b (Char.code 'R');
+      put_str b uri
+
+let get_op r : Ftindex.Wal.op =
+  match Char.chr (get_u8 r) with
+  | 'A' ->
+      let uri = get_str r in
+      let source = get_str r in
+      Ftindex.Wal.Add_doc { uri; source }
+  | 'R' -> Ftindex.Wal.Remove_doc (get_str r)
+  | c -> malformed "unknown update op tag %C" c
+  | exception Invalid_argument _ -> malformed "update op tag out of range"
+
 let encode_request req =
   let b = Buffer.create 256 in
   (match req with
   | Stats -> put_u8 b (Char.code 'S')
+  | Compact -> put_u8 b (Char.code 'C')
+  | Update ops ->
+      put_u8 b (Char.code 'U');
+      put_u32 b (List.length ops);
+      List.iter (put_op b) ops
   | Query q ->
       put_u8 b (Char.code 'Q');
       put_str b q.query;
@@ -136,6 +165,13 @@ let decode_request data =
     | 'S' ->
         finish r "stats request";
         Ok Stats
+    | 'C' ->
+        finish r "compact request";
+        Ok Compact
+    | 'U' ->
+        let ops = List.init (get_u32 r) (fun _ -> get_op r) in
+        finish r "update request";
+        Ok (Update ops)
     | 'Q' ->
         let query = get_str r in
         let strategy = strategy_of_tag (get_u8 r) in
@@ -197,10 +233,24 @@ type stats_reply = {
   breakers : breaker_reply list;
 }
 
+type update_reply = {
+  u_generation : int;  (** base snapshot generation the log extends *)
+  u_last_seq : int;  (** sequence number of the last appended record *)
+  u_records : int;  (** records now in the write-ahead log *)
+  u_bytes : int;  (** size of the log in bytes *)
+}
+
+type compact_reply = {
+  c_generation : int;  (** the fresh snapshot generation *)
+  c_folded : int;  (** log records folded into it *)
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
   | Stats_reply of stats_reply
+  | Update_reply of update_reply
+  | Compact_reply of compact_reply
 
 let error_of ?retry_after_ms ?queue_depth (e : Xquery.Errors.t) =
   {
@@ -238,6 +288,16 @@ let encode_response resp =
       put_str b e.message;
       put_opt put_u32 b e.retry_after_ms;
       put_opt put_u32 b e.queue_depth
+  | Update_reply u ->
+      put_u8 b (Char.code 'U');
+      put_u32 b u.u_generation;
+      put_u32 b u.u_last_seq;
+      put_u32 b u.u_records;
+      put_u32 b u.u_bytes
+  | Compact_reply c ->
+      put_u8 b (Char.code 'C');
+      put_u32 b c.c_generation;
+      put_u32 b c.c_folded
   | Stats_reply s ->
       put_u8 b (Char.code 'T');
       put_u32 b (List.length s.counters);
@@ -277,6 +337,18 @@ let decode_response data =
         let queue_depth = get_opt get_u32 r in
         finish r "error response";
         Ok (Failure { code; error_class; message; retry_after_ms; queue_depth })
+    | 'U' ->
+        let u_generation = get_u32 r in
+        let u_last_seq = get_u32 r in
+        let u_records = get_u32 r in
+        let u_bytes = get_u32 r in
+        finish r "update response";
+        Ok (Update_reply { u_generation; u_last_seq; u_records; u_bytes })
+    | 'C' ->
+        let c_generation = get_u32 r in
+        let c_folded = get_u32 r in
+        finish r "compact response";
+        Ok (Compact_reply { c_generation; c_folded })
     | 'T' ->
         let counters =
           List.init (get_u32 r) (fun _ ->

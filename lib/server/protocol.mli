@@ -24,7 +24,15 @@ type query_request = {
           runs clean *)
 }
 
-type request = Query of query_request | Stats
+type request =
+  | Query of query_request
+  | Stats
+  | Update of Ftindex.Wal.op list
+      (** append the operations to the write-ahead log (durably, in order)
+          and apply them to the serving engine; a batch is acknowledged as
+          a whole *)
+  | Compact
+      (** fold the log into a fresh snapshot generation and reset it *)
 
 val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
   ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
@@ -63,10 +71,24 @@ type stats_reply = {
   breakers : breaker_reply list;
 }
 
+type update_reply = {
+  u_generation : int;  (** base snapshot generation the log extends *)
+  u_last_seq : int;  (** sequence number of the last appended record *)
+  u_records : int;  (** records now in the write-ahead log *)
+  u_bytes : int;  (** size of the log in bytes *)
+}
+
+type compact_reply = {
+  c_generation : int;  (** the fresh snapshot generation *)
+  c_folded : int;  (** log records folded into it *)
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
   | Stats_reply of stats_reply
+  | Update_reply of update_reply
+  | Compact_reply of compact_reply
 
 val error_of : ?retry_after_ms:int -> ?queue_depth:int -> Xquery.Errors.t -> error_reply
 val exit_code_of_class : string -> int

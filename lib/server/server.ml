@@ -4,18 +4,28 @@
 
      accept thread   select/accept loop; admission control (bounded queue
                      of accepted connections, shedding with GTLX0009 when
-                     full); reload and shutdown flags are polled here, so
-                     snapshot loads happen OFF the request path; performs
-                     the shutdown drain and joins the workers.
+                     full); performs the shutdown drain and joins the
+                     workers and the ticker.
+     ticker thread   dedicated maintenance loop: polls the reload flag and
+                     the snapshot generation (so an *idle* daemon observes
+                     new snapshots too) and runs threshold-triggered WAL
+                     compaction — all OFF both the accept and request
+                     paths.
      worker pool     each worker pops one connection, reads one framed
                      request, evaluates it under a fresh governor, writes
                      one framed response, closes.  Every failure mode —
                      torn frame, malformed request, evaluation error,
                      vanished client — is absorbed; a worker never dies.
 
+   Live updates are single-writer: one [update_lock] serializes Update and
+   Compact requests (whichever worker carries them), reloads and background
+   compactions against each other.  Readers never take it — they keep
+   serving the pre-update engine until the atomic engine swap (which takes
+   only [lock]).  Lock order: [update_lock] strictly before [lock].
+
    Signal handlers must not take locks (the main thread may hold them), so
-   [request_reload] / [request_shutdown] only flip atomics; the accept
-   loop notices within one select tick. *)
+   [request_reload] / [request_shutdown] only flip atomics; the ticker and
+   accept loops notice within one tick. *)
 
 let src = Logs.Src.create "galatex.server" ~doc:"GalaTex query daemon"
 
@@ -35,6 +45,9 @@ type config = {
   recv_timeout : float;
   reload_io : unit -> Ftindex.Store.Io.t;
   on_request : unit -> unit;
+  update_io : unit -> Ftindex.Store.Io.t;
+  wal_compact_bytes : int option;
+  tick_interval : float;
 }
 
 let default_config ~index_dir ~socket_path =
@@ -52,6 +65,9 @@ let default_config ~index_dir ~socket_path =
     recv_timeout = 10.0;
     reload_io = (fun () -> Ftindex.Store.Io.real ());
     on_request = ignore;
+    update_io = (fun () -> Ftindex.Store.Io.real ());
+    wal_compact_bytes = Some (4 * 1024 * 1024);
+    tick_interval = 0.05;
   }
 
 type t = {
@@ -67,6 +83,13 @@ type t = {
   done_cond : Condition.t;
   reload_flag : bool Atomic.t;
   stop_flag : bool Atomic.t;
+  compact_flag : bool Atomic.t;
+  update_lock : Mutex.t;
+      (** single-writer: serializes updates, compactions and reloads;
+          taken strictly before [lock] *)
+  mutable writer : Ftindex.Wal.writer option;  (** guarded by update_lock *)
+  mutable update_io_now : unit -> Ftindex.Store.Io.t;
+      (** guarded by update_lock *)
   breaker : Breaker.t;
   (* counters: atomics so workers never contend on the queue lock *)
   accepted : int Atomic.t;
@@ -79,7 +102,15 @@ type t = {
   reloads : int Atomic.t;
   reload_failures : int Atomic.t;
   salvage_events : int Atomic.t;
+  updates : int Atomic.t;  (** WAL records acknowledged *)
+  update_errors : int Atomic.t;
+  compactions : int Atomic.t;
+  compaction_failures : int Atomic.t;
+  (* lock-free mirrors of the writer's log size, for stats *)
+  wal_records_now : int Atomic.t;
+  wal_bytes_now : int Atomic.t;
   mutable accept_thread : Thread.t option;
+  mutable ticker_thread : Thread.t option;
 }
 
 let locked t f =
@@ -190,6 +221,12 @@ let stats t =
         ("generation", Option.value (Galatex.Engine.generation engine) ~default:0);
         ("queue_depth", depth);
         ("workers", t.cfg.workers);
+        ("updates", Atomic.get t.updates);
+        ("update_errors", Atomic.get t.update_errors);
+        ("compactions", Atomic.get t.compactions);
+        ("compaction_failures", Atomic.get t.compaction_failures);
+        ("wal_records", Atomic.get t.wal_records_now);
+        ("wal_bytes", Atomic.get t.wal_bytes_now);
       ];
     breakers =
       List.map
@@ -225,6 +262,139 @@ let overload_reply t ~code_reason ~depth =
   Protocol.Failure
     (Protocol.error_of ~retry_after_ms:t.cfg.retry_after_ms ~queue_depth:depth e)
 
+(* ------------------------------------------------------------------ *)
+(* Live updates: WAL append first, then apply, then atomic engine swap.
+   All under [update_lock]; readers keep serving the old engine.        *)
+
+let mirror_wal t =
+  match t.writer with
+  | Some w ->
+      Atomic.set t.wal_records_now (Ftindex.Wal.wal_records w);
+      Atomic.set t.wal_bytes_now (Ftindex.Wal.wal_bytes w)
+  | None ->
+      Atomic.set t.wal_records_now 0;
+      Atomic.set t.wal_bytes_now 0
+
+(* The open writer for the current engine generation (reopened after a
+   reload or compaction moved the generation).  Call under update_lock. *)
+let ensure_writer t =
+  let gen = generation t in
+  match t.writer with
+  | Some w when Ftindex.Wal.writer_generation w = gen -> w
+  | _ ->
+      let w =
+        Ftindex.Wal.open_writer ~io:(t.update_io_now ()) ~dir:t.cfg.index_dir
+          ~generation:gen ()
+      in
+      t.writer <- Some w;
+      w
+
+(* Reject unparseable documents before anything reaches the log, so the
+   log stays replayable by construction. *)
+let validate_op = function
+  | Ftindex.Wal.Add_doc { uri; source } ->
+      ignore (Xmlkit.Parser.parse_document ~uri source)
+  | Ftindex.Wal.Remove_doc _ -> ()
+
+let handle_update t ops =
+  let draining = locked t (fun () -> t.draining) in
+  if draining then begin
+    Atomic.incr t.shed_shutdown;
+    overload_reply t ~code_reason:"shutting down" ~depth:0
+  end
+  else begin
+    Mutex.lock t.update_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.update_lock)
+      (fun () ->
+        match
+          List.iter validate_op ops;
+          let w = ensure_writer t in
+          let last_seq =
+            List.fold_left
+              (fun _ op -> (Ftindex.Wal.append w op).Ftindex.Wal.seq)
+              (Ftindex.Wal.next_seq w - 1)
+              ops
+          in
+          let engine = current_engine t in
+          let engine' = List.fold_left Galatex.Engine.apply_update engine ops in
+          (w, last_seq, engine')
+        with
+        | exception exn ->
+            Atomic.incr t.update_errors;
+            (* a failure after a partial append leaves records in the log
+               that the serving engine has not applied; re-sync the engine
+               from the directory at the next maintenance tick so memory
+               and log never drift apart *)
+            Atomic.set t.reload_flag true;
+            mirror_wal t;
+            Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn))
+        | w, last_seq, engine' ->
+            locked t (fun () -> t.engine <- engine');
+            List.iter (fun _ -> Atomic.incr t.updates) ops;
+            mirror_wal t;
+            (match t.cfg.wal_compact_bytes with
+            | Some limit when Ftindex.Wal.wal_bytes w >= limit ->
+                Atomic.set t.compact_flag true
+            | Some _ | None -> ());
+            Protocol.Update_reply
+              {
+                Protocol.u_generation = Ftindex.Wal.writer_generation w;
+                u_last_seq = last_seq;
+                u_records = Ftindex.Wal.wal_records w;
+                u_bytes = Ftindex.Wal.wal_bytes w;
+              })
+  end
+
+(* Fold the log into a fresh snapshot generation.  On failure the directory
+   may already carry the new manifest (making the live log stale), so the
+   engine is re-synced from disk at the next tick — acknowledged updates
+   are in the log or the new snapshot either way, never lost. *)
+let do_compact t ~reason =
+  Mutex.lock t.update_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.update_lock)
+    (fun () ->
+      let engine = current_engine t in
+      let folded =
+        match t.writer with Some w -> Ftindex.Wal.wal_records w | None -> 0
+      in
+      match
+        Galatex.Engine.compact ~io:(t.update_io_now ()) engine
+          ~dir:t.cfg.index_dir
+      with
+      | exception exn ->
+          Atomic.incr t.compaction_failures;
+          Atomic.set t.reload_flag true;
+          t.writer <- None;
+          mirror_wal t;
+          let e = Xquery.Errors.wrap_exn exn in
+          Log.warn (fun m ->
+              m "compaction (%s) failed: %s" reason (Xquery.Errors.to_string e));
+          Error e
+      | engine' ->
+          locked t (fun () -> t.engine <- engine');
+          t.writer <- None (* reopen on the new generation at next update *);
+          mirror_wal t;
+          Atomic.incr t.compactions;
+          let gen = Option.value (Galatex.Engine.generation engine') ~default:0 in
+          Log.info (fun m ->
+              m "compaction (%s): folded %d record(s) into generation %d"
+                reason folded gen);
+          Ok (gen, folded))
+
+let handle_compact t =
+  let draining = locked t (fun () -> t.draining) in
+  if draining then begin
+    Atomic.incr t.shed_shutdown;
+    overload_reply t ~code_reason:"shutting down" ~depth:0
+  end
+  else
+    match do_compact t ~reason:"requested" with
+    | Ok (gen, folded) ->
+        Protocol.Compact_reply { Protocol.c_generation = gen; c_folded = folded }
+    | Error e -> Protocol.Failure (Protocol.error_of e)
+
 let serve_connection t fd =
   Fun.protect
     ~finally:(fun () -> close_quietly fd)
@@ -256,6 +426,16 @@ let serve_connection t fd =
                     queue_depth = None;
                   }
             | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
+            | Ok (Protocol.Update ops) -> (
+                try handle_update t ops
+                with exn ->
+                  Atomic.incr t.update_errors;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok Protocol.Compact -> (
+                try handle_compact t
+                with exn ->
+                  Atomic.incr t.compaction_failures;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
             | Ok (Protocol.Query q) -> (
                 (* run_report's boundary guarantee means only structured
                    errors escape eval_query; wrap_exn is defense in depth
@@ -293,37 +473,54 @@ let worker_loop t =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Hot snapshot reload — runs in the accept thread, off the request
+(* Hot snapshot reload — runs in the ticker thread, off the request
    path.  A corrupt new snapshot is rejected: the old engine keeps
-   serving, with the failure logged and counted.                       *)
+   serving, with the failure logged and counted.  Serialized with
+   updates and compactions via update_lock: a reload replays the
+   write-ahead log, so live appends must not race it.                  *)
 
 let do_reload t ~reason =
-  let io = (locked t (fun () -> t.reload_io_now)) () in
-  match
-    Galatex.Engine.of_store ~io ~sources:t.cfg.sources ~dir:t.cfg.index_dir ()
-  with
-  | exception Xquery.Errors.Error e ->
-      Atomic.incr t.reload_failures;
-      Log.warn (fun m ->
-          m "reload (%s) failed, keeping generation %d: %s" reason
-            (generation t) (Xquery.Errors.to_string e))
-  | exception Ftindex.Store.Io.Crashed ->
-      Atomic.incr t.reload_failures;
-      Log.warn (fun m ->
-          m "reload (%s) died on injected crash fault, keeping generation %d"
-            reason (generation t))
-  | fresh ->
-      (match Galatex.Engine.salvage_report fresh with
-      | Some r when not (Ftindex.Store.clean r) ->
-          Atomic.incr t.salvage_events;
+  Mutex.lock t.update_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.update_lock)
+    (fun () ->
+      let io = (locked t (fun () -> t.reload_io_now)) () in
+      match
+        Galatex.Engine.of_store ~io ~sources:t.cfg.sources ~dir:t.cfg.index_dir
+          ()
+      with
+      | exception Xquery.Errors.Error e ->
+          Atomic.incr t.reload_failures;
           Log.warn (fun m ->
-              m "reload salvaged a damaged snapshot: %s"
-                (Ftindex.Store.report_to_string r))
-      | _ -> ());
-      locked t (fun () -> t.engine <- fresh);
-      Atomic.incr t.reloads;
-      Log.info (fun m ->
-          m "reload (%s): now serving generation %d" reason (generation t))
+              m "reload (%s) failed, keeping generation %d: %s" reason
+                (generation t) (Xquery.Errors.to_string e))
+      | exception Ftindex.Store.Io.Crashed ->
+          Atomic.incr t.reload_failures;
+          Log.warn (fun m ->
+              m "reload (%s) died on injected crash fault, keeping generation %d"
+                reason (generation t))
+      | fresh ->
+          (match Galatex.Engine.salvage_report fresh with
+          | Some r when not (Ftindex.Store.clean r) ->
+              Atomic.incr t.salvage_events;
+              Log.warn (fun m ->
+                  m "reload salvaged a damaged snapshot: %s"
+                    (Ftindex.Store.report_to_string r))
+          | _ -> ());
+          locked t (fun () -> t.engine <- fresh);
+          (* the log may have moved with the generation: reopen lazily *)
+          t.writer <- None;
+          mirror_wal t;
+          (match Ftindex.Wal.read_log ~dir:t.cfg.index_dir () with
+          | Some log
+            when log.Ftindex.Wal.base_generation = generation t ->
+              Atomic.set t.wal_records_now
+                (List.length log.Ftindex.Wal.records);
+              Atomic.set t.wal_bytes_now log.Ftindex.Wal.valid_bytes
+          | Some _ | None | (exception _) -> ());
+          Atomic.incr t.reloads;
+          Log.info (fun m ->
+              m "reload (%s): now serving generation %d" reason (generation t)))
 
 let maybe_reload t =
   if Atomic.exchange t.reload_flag false then do_reload t ~reason:"requested"
@@ -331,6 +528,26 @@ let maybe_reload t =
     match Ftindex.Store.current_generation ~dir:t.cfg.index_dir with
     | Some g when g <> generation t -> do_reload t ~reason:"generation change"
     | Some _ | None -> ()
+
+let maybe_compact t =
+  if Atomic.exchange t.compact_flag false then
+    ignore (do_compact t ~reason:"wal threshold")
+
+(* Dedicated maintenance ticker: an idle daemon (zero in-flight requests)
+   still observes reload requests, new snapshot generations, and pending
+   threshold compactions — none of it on the accept or request path. *)
+let ticker_loop t =
+  while not (Atomic.get t.stop_flag) do
+    (try
+       if not (locked t (fun () -> t.draining)) then begin
+         maybe_reload t;
+         maybe_compact t
+       end
+     with exn ->
+       Log.err (fun m ->
+           m "maintenance absorbed an exception: %s" (Printexc.to_string exn)));
+    Thread.delay t.cfg.tick_interval
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop: admission control, then the shutdown drain.            *)
@@ -377,6 +594,7 @@ let shutdown_drain t workers =
       close_quietly fd)
     stragglers;
   List.iter Thread.join workers;
+  (match t.ticker_thread with Some th -> Thread.join th | None -> ());
   close_quietly t.listen_fd;
   (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
   locked t (fun () ->
@@ -388,7 +606,6 @@ let accept_loop t workers =
   let rec loop () =
     if Atomic.get t.stop_flag then ()
     else begin
-      maybe_reload t;
       (match Unix.select [ t.listen_fd ] [] [] 0.05 with
       | [ _ ], _, _ -> (
           match Unix.accept ~cloexec:true t.listen_fd with
@@ -446,6 +663,10 @@ let start cfg =
       done_cond = Condition.create ();
       reload_flag = Atomic.make false;
       stop_flag = Atomic.make false;
+      compact_flag = Atomic.make false;
+      update_lock = Mutex.create ();
+      writer = None;
+      update_io_now = cfg.update_io;
       breaker =
         Breaker.create ~threshold:cfg.breaker_threshold
           ~cooldown:cfg.breaker_cooldown;
@@ -459,7 +680,14 @@ let start cfg =
       reloads = Atomic.make 0;
       reload_failures = Atomic.make 0;
       salvage_events = Atomic.make 0;
+      updates = Atomic.make 0;
+      update_errors = Atomic.make 0;
+      compactions = Atomic.make 0;
+      compaction_failures = Atomic.make 0;
+      wal_records_now = Atomic.make 0;
+      wal_bytes_now = Atomic.make 0;
       accept_thread = None;
+      ticker_thread = None;
     }
   in
   (match Galatex.Engine.salvage_report engine with
@@ -468,9 +696,26 @@ let start cfg =
       Log.warn (fun m ->
           m "initial snapshot salvaged: %s" (Ftindex.Store.report_to_string r))
   | _ -> ());
+  (match Galatex.Engine.wal_recovery engine with
+  | Some r ->
+      Log.info (fun m ->
+          m "recovered %d update record(s) from the write-ahead log%s"
+            r.Galatex.Engine.replayed
+            (if r.Galatex.Engine.truncated_tail then " (torn tail dropped)"
+             else ""))
+  | None -> ());
+  (* open the writer eagerly so startup fails loudly on an unwritable log
+     directory, and the stats mirrors are exact from the first request *)
+  (Mutex.lock t.update_lock;
+   Fun.protect
+     ~finally:(fun () -> Mutex.unlock t.update_lock)
+     (fun () ->
+       ignore (ensure_writer t);
+       mirror_wal t));
   let workers =
     List.init (max 1 cfg.workers) (fun _ -> Thread.create worker_loop t)
   in
+  t.ticker_thread <- Some (Thread.create ticker_loop t);
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t workers) ());
   Log.info (fun m ->
       m "serving generation %d on %s (%d workers, queue %d)" (generation t)
@@ -493,3 +738,13 @@ let stop t =
   wait t
 
 let set_reload_io t io = locked t (fun () -> t.reload_io_now <- io)
+
+let set_update_io t io =
+  Mutex.lock t.update_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.update_lock)
+    (fun () ->
+      t.update_io_now <- io;
+      (* drop the open writer so the next update reopens with the new
+         injector armed (tests aim faults at specific append ops) *)
+      t.writer <- None)

@@ -21,6 +21,19 @@
       new snapshot is loaded {e off the request path}, the engine swapped
       atomically, in-flight requests drain on the old one — and a corrupt
       new snapshot is rejected, the old engine keeps serving;
+    - {b live updates}: {!Protocol.Update} batches are validated, appended
+      to the write-ahead log ({!Ftindex.Wal}) durably {e first}, applied
+      to a copy of the engine and swapped in atomically; a single writer
+      lock serializes updates, compactions and reloads against each other
+      while readers keep serving the pre-update engine;
+    - {b online compaction}: an explicit {!Protocol.Compact} request, or
+      the log passing [wal_compact_bytes], folds the log into a fresh
+      snapshot generation — the threshold variant runs on the maintenance
+      ticker, off the request path;
+    - {b maintenance ticker}: a dedicated thread polls the reload flag,
+      the snapshot generation and the compaction flag every
+      [tick_interval], so an {e idle} daemon (zero in-flight requests)
+      still reloads and compacts;
     - {b graceful shutdown}: {!request_shutdown} (SIGTERM) stops
       accepting, lets in-flight requests finish, answers queued
       stragglers with [GTLX0009], removes the socket file and returns
@@ -50,6 +63,14 @@ type config = {
       (** test hook, called by a worker as it picks up a connection —
           tests park workers on a gate here to fill the queue
           deterministically (default [ignore]) *)
+  update_io : unit -> Ftindex.Store.Io.t;
+      (** I/O layer for WAL appends and compactions — tests inject
+          [Store.Io] faults here (default {!Ftindex.Store.Io.real}) *)
+  wal_compact_bytes : int option;
+      (** background-compact when the log reaches this many bytes;
+          [None] disables the threshold (default [Some 4194304]) *)
+  tick_interval : float;
+      (** maintenance ticker period in seconds (default 0.05) *)
 }
 
 val default_config : index_dir:string -> socket_path:string -> config
@@ -81,8 +102,9 @@ val stats : t -> Protocol.stats_reply
     [accepted], [served], [errors], [shed], [shed_shutdown],
     [client_errors], [breaker_bypassed], [breaker_trips],
     [fallbacks_total], [reloads], [reload_failures], [salvage_events],
-    [generation], [queue_depth], [workers] — plus per-strategy breaker
-    states. *)
+    [generation], [queue_depth], [workers], [updates], [update_errors],
+    [compactions], [compaction_failures], [wal_records], [wal_bytes] —
+    plus per-strategy breaker states. *)
 
 val generation : t -> int
 (** Snapshot generation currently serving. *)
@@ -90,3 +112,8 @@ val generation : t -> int
 val set_reload_io : t -> (unit -> Ftindex.Store.Io.t) -> unit
 (** Test hook: replace the reload I/O layer of a running daemon (the
     chaos test arms [Store.Io] faults for the next reload). *)
+
+val set_update_io : t -> (unit -> Ftindex.Store.Io.t) -> unit
+(** Test hook: replace the update I/O layer of a running daemon and drop
+    the open WAL writer, so the next update reopens the log with the new
+    injector armed (the chaos tests aim faults at specific append ops). *)

@@ -45,6 +45,8 @@ type code =
   | GTLX0008  (** incomplete snapshot (missing manifest / torn save) *)
   (* GalaTex serving errors (the query daemon) *)
   | GTLX0009  (** server overloaded: admission control shed the request *)
+  (* GalaTex live-update errors (the write-ahead log) *)
+  | GTLX0010  (** unreplayable update log: mid-log WAL corruption *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -57,7 +59,7 @@ let class_of = function
       Dynamic
   (* storage errors are environmental, like FODC0002: the snapshot on disk
      cannot be retrieved intact.  They are dynamic, not resource limits. *)
-  | GTLX0006 | GTLX0007 | GTLX0008 -> Dynamic
+  | GTLX0006 | GTLX0007 | GTLX0008 | GTLX0010 -> Dynamic
   (* overload shedding is a resource condition: the request was sound,
      the server's capacity was not — retryable, like a budget *)
   | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 -> Resource
@@ -91,6 +93,7 @@ let code_string = function
   | GTLX0007 -> "gtlx:GTLX0007"
   | GTLX0008 -> "gtlx:GTLX0008"
   | GTLX0009 -> "gtlx:GTLX0009"
+  | GTLX0010 -> "gtlx:GTLX0010"
 
 let class_string = function
   | Static -> "static"

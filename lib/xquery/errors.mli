@@ -33,6 +33,9 @@ type code =
   | GTLX0009
       (** server overloaded: admission control shed the request (the
           message carries the queue depth and a retry-after hint) *)
+  | GTLX0010
+      (** unreplayable update log: the write-ahead log is corrupt in the
+          middle (not a torn tail, which recovery truncates silently) *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

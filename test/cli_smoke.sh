@@ -123,6 +123,88 @@ expect_exit "daemon exits 0 on SIGTERM" 0 $?
 expect_exit "query against a dead socket is dynamic (FODC0002)" 2 $?
 grep -q 'err:FODC0002' err.txt || { echo "FAIL: dead-socket error not structured" >&2; fails=$((fails+1)); }
 
+# --- live updates: every acknowledged update survives kill -9 ---
+# Apply N updates through the write-ahead log, kill the daemon with
+# SIGKILL (no drain, no flush), then verify the recovered index answers
+# exactly like a from-scratch re-index of the acknowledged documents.
+cat > u1.xml <<'EOF'
+<book><title>Axolotl care</title><p>axolotl habitats and feeding.</p></book>
+EOF
+cat > u2.xml <<'EOF'
+<book><title>Axolotl biology</title><p>regeneration in the axolotl.</p></book>
+EOF
+cat > u3.xml <<'EOF'
+<book><title>Axolotl myths</title><p>stories about the axolotl.</p></book>
+EOF
+UQ='collection()//title[. ftcontains "axolotl"]'
+
+"$GX" index -d a.xml --output updsnap >/dev/null
+expect_exit "index for live updates" 0 $?
+
+"$GX" serve --index updsnap --socket upd.sock 2>upd-serve.log &
+USRV=$!
+for _ in $(seq 1 100); do [ -S upd.sock ] && break; sleep 0.1; done
+[ -S upd.sock ] || { echo "FAIL: update daemon never bound its socket" >&2; cat upd-serve.log >&2; fails=$((fails+1)); }
+
+for f in u1.xml u2.xml u3.xml; do
+  "$GX" update --server upd.sock -a "$f" >ack.txt
+  expect_exit "update --server $f" 0 $?
+  grep -q '^acknowledged 1 operation' ack.txt || { echo "FAIL: $f not acknowledged" >&2; fails=$((fails+1)); }
+done
+
+kill -9 $USRV
+wait $USRV 2>/dev/null
+
+"$GX" index -d a.xml -d u1.xml -d u2.xml -d u3.xml --output freshsnap >/dev/null
+want=$("$GX" query --index freshsnap "$UQ")
+got=$("$GX" query --index updsnap "$UQ" 2>/dev/null)
+expect_exit "query on the recovered index" 0 $?
+[ "$got" = "$want" ] || { echo "FAIL: recovery diverged from re-index: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+# a restarted daemon serves the recovered state and can fold it away
+"$GX" serve --index updsnap --socket upd.sock 2>>upd-serve.log &
+USRV=$!
+for _ in $(seq 1 100); do [ -S upd.sock ] && break; sleep 0.1; done
+"$GX" stats --server upd.sock | grep -q '^wal_records 3$' || { echo "FAIL: recovered log not mirrored in stats" >&2; fails=$((fails+1)); }
+
+got=$("$GX" query --server upd.sock --retries 2 "$UQ")
+expect_exit "restarted daemon serves recovered updates" 0 $?
+[ "$got" = "$want" ] || { echo "FAIL: served recovery diverged: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+"$GX" update --server upd.sock --compact >ack.txt
+expect_exit "update --compact over the socket" 0 $?
+grep -q '^compacted: 3 record(s) folded into generation 2$' ack.txt || { echo "FAIL: compaction not reported: $(cat ack.txt)" >&2; fails=$((fails+1)); }
+
+got=$("$GX" query --server upd.sock "$UQ")
+[ "$got" = "$want" ] || { echo "FAIL: compaction changed the answer: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+kill -TERM $USRV
+wait $USRV
+expect_exit "update daemon exits 0 on SIGTERM" 0 $?
+
+# offline form: append to the log directly, no daemon involved
+"$GX" update --index updsnap -r u3.xml >ack.txt
+expect_exit "offline update --index" 0 $?
+grep -q '^appended 1 operation' ack.txt || { echo "FAIL: offline update not reported" >&2; fails=$((fails+1)); }
+
+"$GX" index -d a.xml -d u1.xml -d u2.xml --output freshsnap2 >/dev/null
+want=$("$GX" query --index freshsnap2 "$UQ")
+got=$("$GX" query --index updsnap "$UQ" 2>/dev/null)
+[ "$got" = "$want" ] || { echo "FAIL: offline removal diverged: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+# a half-written trailing record (torn tail) is dropped silently
+printf 'torn' >> updsnap/WAL
+got=$("$GX" query --index updsnap "$UQ" 2>/dev/null)
+expect_exit "torn WAL tail recovered" 0 $?
+[ "$got" = "$want" ] || { echo "FAIL: torn tail changed the answer: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+# mid-log corruption is a structured dynamic error, never a wrong answer
+# (bytes 8-9 are the first bytes of the header payload — the log magic)
+dd if=/dev/zero of=updsnap/WAL bs=1 seek=8 count=2 conv=notrunc 2>/dev/null
+"$GX" query --index updsnap "$UQ" 2>err.txt
+expect_exit "corrupt WAL is dynamic (GTLX0010)" 2 $?
+grep -q 'gtlx:GTLX0010' err.txt || { echo "FAIL: GTLX0010 not reported" >&2; fails=$((fails+1)); }
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke failure(s)" >&2
   exit 1

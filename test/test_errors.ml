@@ -127,8 +127,17 @@ let test_error_classes () =
       Alcotest.(check string) "storage is dynamic" "dynamic"
         (class_string (class_of c)))
     [ GTLX0006; GTLX0007; GTLX0008 ];
+  (* overload shedding terminates a request like a resource limit would *)
+  Alcotest.(check string) "overload is resource" "resource"
+    (class_string (class_of GTLX0009));
+  (* an unreplayable update log is environmental damage, like a corrupt
+     snapshot: dynamic class *)
+  Alcotest.(check string) "unreplayable log is dynamic" "dynamic"
+    (class_string (class_of GTLX0010));
   Alcotest.(check string) "storage code string" "gtlx:GTLX0006"
-    (code_string GTLX0006)
+    (code_string GTLX0006);
+  Alcotest.(check string) "update-log code string" "gtlx:GTLX0010"
+    (code_string GTLX0010)
 
 let tests =
   [

@@ -27,6 +27,7 @@ let () =
       ("errors", Test_errors.tests);
       ("faults", Test_faults.tests);
       ("store", Test_store.tests);
+      ("wal", Test_wal.tests);
       ("server", Test_server.tests);
       ("conformance", Test_conformance.tests);
     ]

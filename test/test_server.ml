@@ -12,7 +12,16 @@
    4. SIGHUP-style reload swaps snapshots atomically off the request path,
       and a corrupt new snapshot leaves the old engine serving;
    5. shutdown drains: in-flight requests finish, queued stragglers are
-      answered with GTLX0009, the socket file is removed.
+      answered with GTLX0009, the socket file is removed;
+   6. live updates are single-writer, WAL-first and exact: concurrent
+      Update batches serialize, every acknowledged record survives a
+      restart (idempotent replay), compaction folds the log into a fresh
+      generation on request or past the size threshold — and the
+      maintenance ticker does reloads/compactions with zero in-flight
+      requests and every worker parked;
+   7. the client's retry loop survives a daemon restart (connection
+      refused / missing socket retry the same backoff as a shed), with
+      the backoff bound pure and property-tested.
 
    Everything is driven in-process (Server.start + Client) with the
    deterministic injectors from PR 1 (eval faults) and PR 2 (store I/O
@@ -83,13 +92,38 @@ let ok_value what = function
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
         e.Protocol.message
-  | Ok (Protocol.Stats_reply _) -> Alcotest.failf "%s: unexpected stats" what
+  | Ok
+      ( Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ ) ->
+      Alcotest.failf "%s: unexpected reply kind" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let ok_failure what = function
   | Ok (Protocol.Failure e) -> e
-  | Ok (Protocol.Value _) -> Alcotest.failf "%s: unexpected value" what
-  | Ok (Protocol.Stats_reply _) -> Alcotest.failf "%s: unexpected stats" what
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ ) ->
+      Alcotest.failf "%s: unexpected success reply" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let ok_update what = function
+  | Ok (Protocol.Update_reply r) -> r
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
+        e.Protocol.message
+  | Ok (Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Compact_reply _)
+    ->
+      Alcotest.failf "%s: unexpected reply kind" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let ok_compact what = function
+  | Ok (Protocol.Compact_reply r) -> r
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
+        e.Protocol.message
+  | Ok (Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _)
+    ->
+      Alcotest.failf "%s: unexpected reply kind" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let title_query = {|//title[. ftcontains "usability"]|}
@@ -136,11 +170,41 @@ let test_protocol_roundtrip () =
   (match Protocol.decode_request (Protocol.encode_request (Protocol.Query q)) with
   | Ok (Protocol.Query q') ->
       Alcotest.(check bool) "query round trip" true (q = q')
-  | Ok Protocol.Stats -> Alcotest.fail "decoded as stats"
+  | Ok (Protocol.Stats | Protocol.Update _ | Protocol.Compact) ->
+      Alcotest.fail "decoded as another request"
   | Error e -> Alcotest.failf "decode failed: %s" e);
   (match Protocol.decode_request (Protocol.encode_request Protocol.Stats) with
   | Ok Protocol.Stats -> ()
   | _ -> Alcotest.fail "stats round trip");
+  let ops =
+    [
+      Ftindex.Wal.Add_doc { uri = "b.xml"; source = "<doc>new text</doc>" };
+      Ftindex.Wal.Remove_doc "a.xml";
+    ]
+  in
+  (match
+     Protocol.decode_request (Protocol.encode_request (Protocol.Update ops))
+   with
+  | Ok (Protocol.Update ops') ->
+      Alcotest.(check bool) "update round trip" true (ops = ops')
+  | _ -> Alcotest.fail "update round trip");
+  (match Protocol.decode_request (Protocol.encode_request Protocol.Compact) with
+  | Ok Protocol.Compact -> ()
+  | _ -> Alcotest.fail "compact round trip");
+  let update_resp =
+    Protocol.Update_reply
+      { Protocol.u_generation = 3; u_last_seq = 17; u_records = 5; u_bytes = 512 }
+  in
+  (match Protocol.decode_response (Protocol.encode_response update_resp) with
+  | Ok r -> Alcotest.(check bool) "update reply round trip" true (r = update_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let compact_resp =
+    Protocol.Compact_reply { Protocol.c_generation = 4; c_folded = 5 }
+  in
+  (match Protocol.decode_response (Protocol.encode_response compact_resp) with
+  | Ok r ->
+      Alcotest.(check bool) "compact reply round trip" true (r = compact_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
   let resp =
     Protocol.Failure
       { Protocol.code = "gtlx:GTLX0009"; error_class = "resource";
@@ -556,7 +620,10 @@ let test_chaos () =
         match Client.request ~socket_path:sock (Protocol.Query q) with
         | Ok (Protocol.Value _) | Ok (Protocol.Failure _) ->
             Atomic.incr structured
-        | Ok (Protocol.Stats_reply _) -> fail_with "stats reply to a query"
+        | Ok
+            ( Protocol.Stats_reply _ | Protocol.Update_reply _
+            | Protocol.Compact_reply _ ) ->
+            fail_with "non-query reply to a query"
         | Error reason -> fail_with ("transport error: " ^ reason)
       in
       let torn_client () =
@@ -639,6 +706,257 @@ let test_engine_fallback_counter_threadsafe () =
     "no lost increments" (threads_n * per_thread)
     (Galatex.Engine.fallback_count engine)
 
+(* ------------------------------------------------------------------ *)
+(* Live updates over the wire (the tentpole, served).                   *)
+
+let zebra_doc =
+  "<book><title>Zebra quokka</title><p>entirely new data about zebra \
+   usability</p></book>"
+
+let ask sock query =
+  Client.request ~socket_path:sock (Protocol.Query (Protocol.query_request query))
+
+let send_update sock ops =
+  Client.request ~socket_path:sock (Protocol.Update ops)
+
+let test_update_over_wire () =
+  with_server () (fun _dir sock t ->
+      let r =
+        ok_update "add b.xml"
+          (send_update sock
+             [ Ftindex.Wal.Add_doc { uri = "b.xml"; source = zebra_doc } ])
+      in
+      Alcotest.(check int) "base generation" 1 r.Protocol.u_generation;
+      Alcotest.(check int) "one record" 1 r.Protocol.u_records;
+      Alcotest.(check int) "first seq" 1 r.Protocol.u_last_seq;
+      (* the update is visible to the very next query *)
+      let v = ok_value "zebra" (ask sock {|collection()//title[. ftcontains "zebra"]|}) in
+      Alcotest.(check (list string))
+        "added document served" [ "<title>Zebra quokka</title>" ]
+        v.Protocol.items;
+      (* removal, same path *)
+      let r =
+        ok_update "remove a.xml" (send_update sock [ Ftindex.Wal.Remove_doc "a.xml" ])
+      in
+      Alcotest.(check int) "second seq" 2 r.Protocol.u_last_seq;
+      let v = ok_value "usability gone" (ask sock title_query) in
+      Alcotest.(check (list string)) "removed document gone" [] v.Protocol.items;
+      Alcotest.(check int) "updates counted" 2 (stat t "updates");
+      Alcotest.(check int) "wal records mirrored" 2 (stat t "wal_records");
+      (* a malformed add is rejected before anything reaches the log *)
+      let e =
+        ok_failure "malformed add"
+          (send_update sock
+             [ Ftindex.Wal.Add_doc { uri = "bad.xml"; source = "<broken" } ])
+      in
+      Alcotest.(check string) "syntax code" "err:XPST0003" e.Protocol.code;
+      Alcotest.(check int) "log untouched" 2 (stat t "wal_records"))
+
+let test_update_survives_restart () =
+  with_dir (fun dir ->
+      save_corpus ~dir corpus_v1;
+      let sock = fresh_name "gtx" ^ ".sock" in
+      let cfg = Server.default_config ~index_dir:dir ~socket_path:sock in
+      let t = Server.start cfg in
+      ignore
+        (ok_update "add"
+           (send_update sock
+              [ Ftindex.Wal.Add_doc { uri = "b.xml"; source = zebra_doc } ]));
+      let before =
+        (ok_value "before restart" (ask sock {|collection()//title[. ftcontains "zebra"]|}))
+          .Protocol.items
+      in
+      Alcotest.(check (list string))
+        "update served before restart" [ "<title>Zebra quokka</title>" ] before;
+      Server.stop t;
+      (* cold start: the snapshot is still generation 1; the acknowledged
+         update must come back from the write-ahead log *)
+      let t = Server.start cfg in
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          let after =
+            (ok_value "after restart" (ask sock {|collection()//title[. ftcontains "zebra"]|}))
+              .Protocol.items
+          in
+          Alcotest.(check (list string)) "identical answers" before after;
+          Alcotest.(check int) "log recovered" 1 (stat t "wal_records")))
+
+let test_concurrent_updates_single_writer () =
+  with_server () (fun _dir sock t ->
+      let n = 8 in
+      let failures = Atomic.make 0 in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () ->
+                let doc =
+                  Printf.sprintf
+                    "<book><title>Quokka %d</title><p>quokka facts</p></book>" i
+                in
+                let uri = Printf.sprintf "d%d.xml" i in
+                match
+                  send_update sock [ Ftindex.Wal.Add_doc { uri; source = doc } ]
+                with
+                | Ok (Protocol.Update_reply _) -> ()
+                | _ -> Atomic.incr failures)
+              ())
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every batch acknowledged" 0 (Atomic.get failures);
+      Alcotest.(check int) "all updates applied" n (stat t "updates");
+      Alcotest.(check int) "all records logged" n (stat t "wal_records");
+      (* exactness after the race: every one of the n documents answers *)
+      let v = ok_value "quokka" (ask sock {|collection()//title[. ftcontains "quokka"]|}) in
+      Alcotest.(check int) "all documents served" n (List.length v.Protocol.items);
+      (* explicit compaction folds them into generation 2 *)
+      let c =
+        ok_compact "compact" (Client.request ~socket_path:sock Protocol.Compact)
+      in
+      Alcotest.(check int) "records folded" n c.Protocol.c_folded;
+      Alcotest.(check int) "fresh generation" 2 c.Protocol.c_generation;
+      Alcotest.(check int) "log reset" 0 (stat t "wal_records");
+      let v = ok_value "post-compact" (ask sock {|collection()//title[. ftcontains "quokka"]|}) in
+      Alcotest.(check int) "still all served" n (List.length v.Protocol.items);
+      Alcotest.(check int) "reply stamped gen 2" 2 v.Protocol.generation)
+
+let test_threshold_background_compaction () =
+  with_server ~tweak:(fun c -> { c with wal_compact_bytes = Some 1 }) ()
+    (fun _dir sock t ->
+      ignore
+        (ok_update "add"
+           (send_update sock
+              [ Ftindex.Wal.Add_doc { uri = "b.xml"; source = zebra_doc } ]));
+      (* the ticker notices the over-threshold log off the request path *)
+      poll "background compaction ran" (fun () -> stat t "compactions" >= 1);
+      poll "log reset" (fun () -> stat t "wal_records" = 0);
+      poll "generation moved" (fun () -> Server.generation t = 2);
+      let v = ok_value "post-compact" (ask sock {|collection()//title[. ftcontains "zebra"]|}) in
+      Alcotest.(check (list string))
+        "update survived compaction" [ "<title>Zebra quokka</title>" ]
+        v.Protocol.items)
+
+let test_update_fault_is_structured () =
+  with_server () (fun _dir sock t ->
+      (* every append dies on an injected I/O fault: the update must come
+         back as a structured storage error, the daemon keeps serving *)
+      Server.set_update_io t (fun () ->
+          Ftindex.Store.Io.with_fault ~at:1 Ftindex.Store.Io.Io_error);
+      let e =
+        ok_failure "faulted update"
+          (send_update sock
+             [ Ftindex.Wal.Add_doc { uri = "b.xml"; source = zebra_doc } ])
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "structured storage code (got %s)" e.Protocol.code)
+        true
+        (List.mem e.Protocol.code
+           [ "gtlx:GTLX0006"; "gtlx:GTLX0007"; "gtlx:GTLX0008"; "err:FODC0002" ]);
+      Alcotest.(check bool) "error counted" true (stat t "update_errors" >= 1);
+      (* heal the I/O layer: the daemon recovers without a restart *)
+      Server.set_update_io t (fun () -> Ftindex.Store.Io.real ());
+      poll "engine re-synced" (fun () ->
+          match
+            send_update sock
+              [ Ftindex.Wal.Add_doc { uri = "b.xml"; source = zebra_doc } ]
+          with
+          | Ok (Protocol.Update_reply _) -> true
+          | _ -> false);
+      let v = ok_value "healed" (ask sock {|collection()//title[. ftcontains "zebra"]|}) in
+      Alcotest.(check (list string))
+        "update served after healing" [ "<title>Zebra quokka</title>" ]
+        v.Protocol.items)
+
+(* Satellite: the maintenance ticker reloads with zero in-flight requests
+   and every worker parked — maintenance is on neither the accept nor the
+   request path. *)
+let test_ticker_reloads_while_workers_parked () =
+  let g = gate () in
+  with_server
+    ~tweak:(fun c -> { c with workers = 2; on_request = gate_hook g })
+    ()
+    (fun dir sock t ->
+      let spawn () =
+        Thread.create (fun () -> ignore (ask sock title_query)) ()
+      in
+      let t1 = spawn () and t2 = spawn () in
+      poll "every worker parked" (fun () -> Atomic.get g.picked = 2);
+      save_corpus ~dir corpus_v2;
+      Server.request_reload t;
+      poll "reloaded with all workers parked" (fun () -> Server.generation t = 2);
+      open_gate g;
+      Thread.join t1;
+      Thread.join t2)
+
+(* Satellite: an idle daemon's watcher notices a new generation with no
+   request traffic at all. *)
+let test_idle_watcher_reloads () =
+  with_server ~tweak:(fun c -> { c with watch_generation = true }) ()
+    (fun dir _sock t ->
+      Alcotest.(check int) "no requests in flight" 0 (stat t "accepted");
+      save_corpus ~dir corpus_v2;
+      poll "idle daemon reloaded" (fun () -> Server.generation t = 2);
+      Alcotest.(check int) "still zero requests" 0 (stat t "accepted"))
+
+(* Satellite: the client's retry loop rides out a daemon restart — the
+   socket is gone entirely between stop and start, so every interim
+   attempt fails at connect, not with a shed. *)
+let test_client_survives_daemon_restart () =
+  with_dir (fun dir ->
+      save_corpus ~dir corpus_v1;
+      let sock = fresh_name "gtx" ^ ".sock" in
+      let cfg = Server.default_config ~index_dir:dir ~socket_path:sock in
+      let t = Server.start cfg in
+      ignore (ok_value "before restart" (ask sock title_query));
+      Server.stop t;
+      Alcotest.(check bool) "socket gone" false (Sys.file_exists sock);
+      let result = ref (Error "pending") in
+      let attempts = Atomic.make 0 in
+      let client =
+        Thread.create
+          (fun () ->
+            result :=
+              Client.query ~socket_path:sock ~retries:500
+                ~sleep:(fun _ ->
+                  Atomic.incr attempts;
+                  Thread.delay 0.01)
+                (Protocol.query_request title_query))
+          ()
+      in
+      (* let the client bang on the missing socket a few times first *)
+      poll "client retrying against dead socket" (fun () ->
+          Atomic.get attempts >= 3);
+      let t = Server.start cfg in
+      Thread.join client;
+      let v = ok_value "served after restart" !result in
+      Alcotest.(check (list string))
+        "same answer as before" [ "<title>Usability testing</title>" ]
+        v.Protocol.items;
+      Server.stop t)
+
+(* Satellite: the pure backoff bound — within [base, cap], monotonically
+   non-decreasing, deterministic.  Runs under qcheck's seed control, so a
+   failure reproduces from the printed seed. *)
+let prop_backoff_bounds =
+  QCheck2.Test.make ~name:"client backoff bounds" ~count:300
+    QCheck2.Gen.(
+      triple (int_range 1 5000) (int_range 1 60_000) (int_range 1 50))
+    (fun (base_ms, cap_ms, attempts) ->
+      let lo = float_of_int base_ms /. 1000. in
+      let hi = float_of_int (max base_ms cap_ms) /. 1000. in
+      let rec check k prev =
+        if k > attempts then true
+        else
+          let b = Client.backoff_bound ~base_ms ~cap_ms ~attempt:k in
+          let again = Client.backoff_bound ~base_ms ~cap_ms ~attempt:k in
+          b = again (* deterministic *)
+          && b >= lo -. 1e-9
+          && b <= hi +. 1e-9
+          && b >= prev -. 1e-9 (* never shrinks as attempts grow *)
+          && check (k + 1) b
+      in
+      check 1 0.0)
+
 let tests =
   [
     Alcotest.test_case "protocol round trip" `Quick test_protocol_roundtrip;
@@ -659,4 +977,19 @@ let tests =
     Alcotest.test_case "chaos" `Quick test_chaos;
     Alcotest.test_case "concurrent fallback counter" `Quick
       test_engine_fallback_counter_threadsafe;
+    Alcotest.test_case "update over wire" `Quick test_update_over_wire;
+    Alcotest.test_case "update survives restart" `Quick
+      test_update_survives_restart;
+    Alcotest.test_case "concurrent updates single-writer" `Quick
+      test_concurrent_updates_single_writer;
+    Alcotest.test_case "threshold background compaction" `Quick
+      test_threshold_background_compaction;
+    Alcotest.test_case "update fault is structured" `Quick
+      test_update_fault_is_structured;
+    Alcotest.test_case "ticker reloads with workers parked" `Quick
+      test_ticker_reloads_while_workers_parked;
+    Alcotest.test_case "idle watcher reloads" `Quick test_idle_watcher_reloads;
+    Alcotest.test_case "client survives daemon restart" `Quick
+      test_client_survives_daemon_restart;
+    QCheck_alcotest.to_alcotest prop_backoff_bounds;
   ]

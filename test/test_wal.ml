@@ -1,0 +1,519 @@
+(* The write-ahead-log durability contract:
+
+   1. applying an operation is exact: the updated index is bit-equal
+      (documents, postings, corpus-wide scores) to re-indexing the updated
+      document set from scratch (deterministic cases + qcheck over random
+      op sequences);
+   2. append / recover round-trips: records come back in order with dense
+      sequence numbers, a reopened writer continues the sequence;
+   3. a torn tail (the file ends inside the last record's promised extent)
+      is dropped silently and truncated physically on reopen; mid-log
+      corruption (bytes present, checksum wrong) surfaces as GTLX0010; a
+      log format version bump surfaces as GTLX0007; a stale log (base
+      generation older than the manifest — a compaction's leftover) is
+      ignored;
+   4. a fault injected at *any* I/O operation of an append, a recovery
+      read, or a compaction yields exactly one of: an index equal to
+      re-indexing some acknowledged prefix of the operations, or a
+      structured gtlx:/err: error — never a raw exception, never silently
+      wrong postings.  Compaction never loses an acknowledged update: after
+      any faulted compact, recovery yields the *full* updated index or a
+      structured error.
+
+   Exactness is cross-checked at the query level, test_store style: a
+   recovered engine answers the use-case query identically to an engine
+   indexed from scratch over the folded document set. *)
+
+open Ftindex
+
+let index_eq = Test_store.index_eq
+let with_dir = Test_store.with_dir
+let corpus_sources = Test_store.corpus_sources
+let faults = Test_store.faults
+let check_same = Test_store.check_same
+
+let structured_codes =
+  [
+    Xquery.Errors.GTLX0006;
+    Xquery.Errors.GTLX0007;
+    Xquery.Errors.GTLX0008;
+    Xquery.Errors.GTLX0010;
+    Xquery.Errors.FODC0002;
+  ]
+
+let structured e = List.mem e.Xquery.Errors.code structured_codes
+
+let zebra_doc =
+  "<book><title>Zebra quokka</title><p>entirely new words about zebra \
+   usability</p></book>"
+
+let replacement_a =
+  "<book><title>Usability rewritten</title><p>the same uri with different \
+   testing text</p></book>"
+
+(* adds c.xml, removes b.xml, replaces a.xml: every op kind, and no
+   document survives untouched (so salvage-source ambiguity cannot hide
+   an inexact recovery) *)
+let update_ops =
+  [
+    Wal.Add_doc { uri = "c.xml"; source = zebra_doc };
+    Wal.Remove_doc "b.xml";
+    Wal.Add_doc { uri = "a.xml"; source = replacement_a };
+  ]
+
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
+(* every index reachable by acknowledging a prefix of [ops] *)
+let prefix_indexes sources ops =
+  List.init
+    (List.length ops + 1)
+    (fun k -> Indexer.index_strings (Wal.fold_sources sources (take k ops)))
+
+let base_index () = Indexer.index_strings corpus_sources
+
+(* --- 1. apply = reindex from scratch --- *)
+
+let test_apply_exact () =
+  let applied =
+    List.fold_left (fun i op -> Wal.apply i op) (base_index ()) update_ops
+  in
+  let scratch =
+    Indexer.index_strings (Wal.fold_sources corpus_sources update_ops)
+  in
+  check_same "apply = fold_sources reindex" applied scratch;
+  (* removing an absent uri is a no-op *)
+  check_same "remove of unknown uri"
+    (Wal.apply (base_index ()) (Wal.Remove_doc "nope.xml"))
+    (base_index ());
+  (* query-level cross-check *)
+  let q = Test_store.usecase_query in
+  Alcotest.(check string)
+    "applied engine answers like a fresh one"
+    (Xquery.Value.to_display_string
+       (Galatex.Engine.run
+          (Galatex.Engine.of_strings
+             (Wal.fold_sources corpus_sources update_ops))
+          q))
+    (Xquery.Value.to_display_string
+       (Galatex.Engine.run (Galatex.Engine.of_index applied) q))
+
+let gen_ops =
+  let open QCheck2.Gen in
+  let uris = [| "a.xml"; "b.xml"; "d0.xml"; "d1.xml" |] in
+  let vocab =
+    [| "usability"; "testing"; "web"; "design"; "zebra"; "quokka"; "goals" |]
+  in
+  let gen_doc =
+    let* words = list_size (int_range 1 12) (oneofa vocab) in
+    return (Printf.sprintf "<doc><p>%s</p></doc>" (String.concat " " words))
+  in
+  let gen_op =
+    let* uri = oneofa uris in
+    frequency
+      [
+        ( 3,
+          let* source = gen_doc in
+          return (Wal.Add_doc { uri; source }) );
+        (1, return (Wal.Remove_doc uri));
+      ]
+  in
+  list_size (int_range 0 10) gen_op
+
+let prop_apply_exact =
+  QCheck2.Test.make ~name:"Wal.apply sequence = reindex from scratch"
+    ~count:40 gen_ops (fun ops ->
+      let applied =
+        List.fold_left (fun i op -> Wal.apply i op) (base_index ()) ops
+      in
+      let scratch =
+        Indexer.index_strings (Wal.fold_sources corpus_sources ops)
+      in
+      index_eq applied scratch)
+
+(* --- 2. append / recover round trips --- *)
+
+let test_writer_roundtrip () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      Alcotest.(check int) "records counted" 3 (Wal.wal_records w);
+      (match Wal.read_log ~dir () with
+      | None -> Alcotest.fail "log vanished"
+      | Some log ->
+          Alcotest.(check int) "base generation" 1 log.Wal.base_generation;
+          Alcotest.(check bool) "no torn tail" false log.Wal.truncated;
+          Alcotest.(check (list int))
+            "dense 1-based sequence" [ 1; 2; 3 ]
+            (List.map (fun r -> r.Wal.seq) log.Wal.records);
+          Alcotest.(check bool)
+            "operations preserved" true
+            (List.map (fun r -> r.Wal.op) log.Wal.records = update_ops);
+          check_same "replay is exact"
+            (Indexer.index_strings (Wal.fold_sources corpus_sources update_ops))
+            (Wal.replay (base_index ()) log.Wal.records));
+      (* a reopened writer continues the sequence *)
+      let w2 = Wal.open_writer ~dir ~generation:1 () in
+      Alcotest.(check int) "records survive reopen" 3 (Wal.wal_records w2);
+      Alcotest.(check int) "sequence continues" 4 (Wal.next_seq w2);
+      let r = Wal.append w2 (Wal.Remove_doc "c.xml") in
+      Alcotest.(check int) "next sequence assigned" 4 r.Wal.seq)
+
+let test_stale_log_ignored () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      ignore (Wal.append w (List.hd update_ops));
+      (* a compaction moved the snapshot on: the old log is stale *)
+      (match Wal.read_log ~dir () with
+      | Some log -> Alcotest.(check int) "old base" 1 log.Wal.base_generation
+      | None -> Alcotest.fail "log missing");
+      let w2 = Wal.open_writer ~dir ~generation:2 () in
+      Alcotest.(check int) "stale log reset" 0 (Wal.wal_records w2);
+      Alcotest.(check int) "writer on the new generation" 2
+        (Wal.writer_generation w2);
+      match Wal.read_log ~dir () with
+      | Some log -> Alcotest.(check int) "new base" 2 log.Wal.base_generation
+      | None -> Alcotest.fail "reset log missing")
+
+(* --- 3. torn tails, mid-log corruption, version bumps --- *)
+
+let wal_file dir = Filename.concat dir Wal.wal_name
+
+let file_size path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> in_channel_length ic)
+
+let test_torn_tail_truncated_silently () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      ignore (Wal.append w (List.nth update_ops 0));
+      ignore (Wal.append w (List.nth update_ops 1));
+      let two = Wal.wal_bytes w in
+      ignore (Wal.append w (List.nth update_ops 2));
+      let three = Wal.wal_bytes w in
+      Alcotest.(check int) "writer tracks the file size" three
+        (file_size (wal_file dir));
+      (* every way the third append can tear: from one byte in to one
+         byte short of complete *)
+      List.iter
+        (fun cut ->
+          Test_store.truncate_file (wal_file dir) cut;
+          match Wal.read_log ~dir () with
+          | None -> Alcotest.failf "cut@%d: log unreadable" cut
+          | Some log ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cut@%d: tear detected" cut)
+                true log.Wal.truncated;
+              Alcotest.(check int)
+                (Printf.sprintf "cut@%d: prefix records survive" cut)
+                2
+                (List.length log.Wal.records);
+              Alcotest.(check int)
+                (Printf.sprintf "cut@%d: valid prefix" cut)
+                two log.Wal.valid_bytes)
+        [ two + 1; two + 4; two + 9; three - 1 ];
+      (* reopening truncates the torn tail physically and appends cleanly *)
+      Test_store.truncate_file (wal_file dir) (three - 1);
+      let w2 = Wal.open_writer ~dir ~generation:1 () in
+      Alcotest.(check int) "tail dropped on reopen" two
+        (file_size (wal_file dir));
+      Alcotest.(check int) "reopen continues after record 2" 3 (Wal.next_seq w2);
+      ignore (Wal.append w2 (List.nth update_ops 2));
+      match Wal.read_log ~dir () with
+      | Some log ->
+          Alcotest.(check bool) "clean after re-append" false log.Wal.truncated;
+          Alcotest.(check int) "three records again" 3
+            (List.length log.Wal.records)
+      | None -> Alcotest.fail "log unreadable after re-append")
+
+let expect_code name code f =
+  match f () with
+  | _ -> Alcotest.failf "%s: unexpectedly succeeded" name
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check string)
+        name
+        (Xquery.Errors.code_string code)
+        (Xquery.Errors.code_string e.Xquery.Errors.code)
+
+let test_midlog_corruption_is_gtlx0010 () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      let header = Wal.wal_bytes w in
+      ignore (Wal.append w (List.nth update_ops 0));
+      ignore (Wal.append w (List.nth update_ops 1));
+      (* flip a byte inside record 1 — NOT the tail, so this cannot be
+         mistaken for a torn append *)
+      Test_store.patch_file (wal_file dir) (header + 12) (fun c ->
+          Char.chr (Char.code c lxor 0x08));
+      expect_code "mid-log flip" Xquery.Errors.GTLX0010 (fun () ->
+          Wal.read_log ~dir ());
+      expect_code "open_writer refuses to destroy a corrupt log"
+        Xquery.Errors.GTLX0010 (fun () -> Wal.open_writer ~dir ~generation:1 ());
+      expect_code "of_store surfaces it" Xquery.Errors.GTLX0010 (fun () ->
+          Galatex.Engine.of_store ~dir ()))
+
+(* a crafted header with a bumped version (checksums valid, so this is a
+   format skew, not corruption) — also pins the frame layout: if the codec
+   drifts, this test fails before any cross-version deployment would *)
+let test_version_mismatch_is_gtlx0007 () =
+  let put_u32 v =
+    String.init 4 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
+  in
+  let frame payload =
+    let len = put_u32 (String.length payload) in
+    len ^ put_u32 (Store.crc32 len) ^ payload ^ put_u32 (Store.crc32 payload)
+  in
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let header =
+        Wal.wal_magic ^ put_u32 (Wal.wal_version + 1) ^ put_u32 1
+      in
+      let oc = open_out_bin (wal_file dir) in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (frame header));
+      expect_code "future log version" Xquery.Errors.GTLX0007 (fun () ->
+          Wal.read_log ~dir ()))
+
+(* --- engine-level recovery: snapshot + WAL across a cold start --- *)
+
+let test_of_store_replays_and_reports () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      ignore (Wal.append w (List.nth update_ops 0));
+      ignore (Wal.append w (List.nth update_ops 1));
+      ignore (Wal.append w (List.nth update_ops 2));
+      (* tear the third record: only the first two were made durable *)
+      Test_store.truncate_file (wal_file dir) (Wal.wal_bytes w - 3);
+      let engine = Galatex.Engine.of_store ~dir () in
+      (match Galatex.Engine.wal_recovery engine with
+      | Some r ->
+          Alcotest.(check int) "two records replayed" 2
+            r.Galatex.Engine.replayed;
+          Alcotest.(check bool) "tear reported" true
+            r.Galatex.Engine.truncated_tail
+      | None -> Alcotest.fail "wal_recovery missing");
+      check_same "recovered index = reindex of the acknowledged prefix"
+        (Indexer.index_strings
+           (Wal.fold_sources corpus_sources (take 2 update_ops)))
+        (Galatex.Engine.index engine);
+      (* a compaction folds the replayed state into generation 2 *)
+      let engine = Galatex.Engine.compact engine ~dir in
+      Alcotest.(check (option int))
+        "compacted generation" (Some 2)
+        (Galatex.Engine.generation engine);
+      (match Wal.read_log ~dir () with
+      | Some log ->
+          Alcotest.(check int) "log reset onto the new base" 2
+            log.Wal.base_generation;
+          Alcotest.(check int) "log empty" 0 (List.length log.Wal.records)
+      | None -> Alcotest.fail "log missing after compaction");
+      let reloaded = Galatex.Engine.of_store ~dir () in
+      Alcotest.(check bool) "no replay needed after compaction" true
+        (match Galatex.Engine.wal_recovery reloaded with
+        | None | Some { Galatex.Engine.replayed = 0; truncated_tail = false }
+          ->
+            true
+        | Some _ -> false);
+      check_same "compacted snapshot is exact"
+        (Indexer.index_strings
+           (Wal.fold_sources corpus_sources (take 2 update_ops)))
+        (Galatex.Engine.index reloaded))
+
+(* --- 4. fault sweeps: every I/O op of append / recovery / compact --- *)
+
+(* salvage sources covering both generations a recovery might land on *)
+let all_sources =
+  Wal.fold_sources corpus_sources update_ops @ corpus_sources
+
+let check_recovery ~name ~candidates dir =
+  match Galatex.Engine.of_store ~sources:all_sources ~dir () with
+  | engine ->
+      Alcotest.(check bool)
+        (name ^ ": recovered index = an acknowledged prefix")
+        true
+        (List.exists
+           (fun c -> index_eq c (Galatex.Engine.index engine))
+           candidates)
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: structured error (got %s)" name
+           (Xquery.Errors.code_string e.Xquery.Errors.code))
+        true (structured e)
+  | exception exn ->
+      Alcotest.failf "%s: raw exception escaped recovery: %s" name
+        (Printexc.to_string exn)
+
+let count_append_ops () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let io = Store.Io.real () in
+      let w = Wal.open_writer ~io ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      Store.Io.ops io)
+
+let test_append_fault_sweep () =
+  let candidates = prefix_indexes corpus_sources update_ops in
+  let total = count_append_ops () in
+  Alcotest.(check bool) "append path performs several ops" true (total > 6);
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "append %s@%d" fname at in
+        with_dir (fun dir ->
+            Store.save ~dir (base_index ());
+            let io = Store.Io.with_fault ~at fault in
+            (match
+               let w = Wal.open_writer ~io ~dir ~generation:1 () in
+               List.iter (fun op -> ignore (Wal.append w op)) update_ops
+             with
+            | () -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured append error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured e)
+            | exception Store.Io.Crashed -> () (* simulated process death *)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped append: %s" name
+                  (Printexc.to_string exn));
+            check_recovery ~name ~candidates dir))
+      faults
+  done
+
+let test_recovery_read_fault_sweep () =
+  let candidates = prefix_indexes corpus_sources update_ops in
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      let io = Store.Io.real () in
+      ignore (Wal.read_log ~io ~dir ());
+      let total = Store.Io.ops io in
+      Alcotest.(check bool) "read performs ops" true (total >= 1);
+      for at = 1 to total do
+        List.iter
+          (fun (fname, fault) ->
+            let name = Printf.sprintf "recovery %s@%d" fname at in
+            match Wal.read_log ~io:(Store.Io.with_fault ~at fault) ~dir () with
+            | None ->
+                (* a fully-torn read: an empty log is the acknowledged
+                   prefix of length 0 *)
+                ()
+            | Some log ->
+                let recovered =
+                  Wal.replay (base_index ()) log.Wal.records
+                in
+                Alcotest.(check bool)
+                  (name ^ ": replayed prefix exact")
+                  true
+                  (List.exists (index_eq recovered) candidates)
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured e)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped read_log: %s" name
+                  (Printexc.to_string exn))
+          faults
+      done)
+
+let count_compact_ops () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      let engine = Galatex.Engine.of_store ~dir () in
+      let io = Store.Io.real () in
+      ignore (Galatex.Engine.compact ~io engine ~dir);
+      Store.Io.ops io)
+
+let test_compact_fault_sweep () =
+  (* compaction must never lose an acknowledged update: whatever op dies,
+     recovery yields the FULL updated index (from the old snapshot + log,
+     or from the new snapshot) or a structured error — prefixes are not
+     acceptable here *)
+  let full =
+    Indexer.index_strings (Wal.fold_sources corpus_sources update_ops)
+  in
+  let total = count_compact_ops () in
+  Alcotest.(check bool) "compact performs several ops" true (total > 8);
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "compact %s@%d" fname at in
+        with_dir (fun dir ->
+            Store.save ~dir (base_index ());
+            let w = Wal.open_writer ~dir ~generation:1 () in
+            List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+            let engine = Galatex.Engine.of_store ~dir () in
+            (match
+               Galatex.Engine.compact
+                 ~io:(Store.Io.with_fault ~at fault)
+                 engine ~dir
+             with
+            | _ -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured compact error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured e)
+            | exception Store.Io.Crashed -> ()
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped compact: %s" name
+                  (Printexc.to_string exn));
+            check_recovery ~name ~candidates:[ full ] dir))
+      faults
+  done
+
+(* query-level spot check on top of the structural sweeps: a post-crash
+   engine answers the use-case query exactly like a from-scratch index *)
+let test_query_cross_check_after_recovery () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      let recovered = Galatex.Engine.of_store ~sources:all_sources ~dir () in
+      let scratch =
+        Galatex.Engine.of_strings (Wal.fold_sources corpus_sources update_ops)
+      in
+      List.iter
+        (fun q ->
+          Alcotest.(check string)
+            (Printf.sprintf "recovered answers %s identically" q)
+            (Xquery.Value.to_display_string (Galatex.Engine.run scratch q))
+            (Xquery.Value.to_display_string (Galatex.Engine.run recovered q)))
+        [
+          Test_store.usecase_query;
+          {|//title[. ftcontains "zebra"]|};
+          {|//book[. ftcontains "usability" && "testing"]/title|};
+        ])
+
+let tests =
+  [
+    Alcotest.test_case "apply is exact" `Quick test_apply_exact;
+    QCheck_alcotest.to_alcotest prop_apply_exact;
+    Alcotest.test_case "writer round trip" `Quick test_writer_roundtrip;
+    Alcotest.test_case "stale log ignored" `Quick test_stale_log_ignored;
+    Alcotest.test_case "torn tail truncated silently" `Quick
+      test_torn_tail_truncated_silently;
+    Alcotest.test_case "mid-log corruption (GTLX0010)" `Quick
+      test_midlog_corruption_is_gtlx0010;
+    Alcotest.test_case "log version mismatch (GTLX0007)" `Quick
+      test_version_mismatch_is_gtlx0007;
+    Alcotest.test_case "of_store replays and reports" `Quick
+      test_of_store_replays_and_reports;
+    Alcotest.test_case "append fault sweep" `Slow test_append_fault_sweep;
+    Alcotest.test_case "recovery read fault sweep" `Quick
+      test_recovery_read_fault_sweep;
+    Alcotest.test_case "compact fault sweep" `Slow test_compact_fault_sweep;
+    Alcotest.test_case "query cross-check after recovery" `Quick
+      test_query_cross_check_after_recovery;
+  ]

@@ -387,61 +387,32 @@ let fig7 () =
     (fun doc_count ->
       let index = fig7_corpus doc_count in
       let eng = Galatex.Engine.of_index index in
-      let env = Galatex.Engine.env eng in
-      let books =
-        List.filter_map
-          (fun (_, d) ->
-            List.find_opt
-              (fun n -> Xmlkit.Node.name n = Some "book")
-              (Xmlkit.Node.children d))
-          (Ftindex.Inverted.documents index)
+      let query =
+        Printf.sprintf "count(collection()//book[. ftcontains %s])" sel
       in
-      let parsed =
-        match
-          (Xquery.Parser.parse_query (". ftcontains " ^ sel)).Xquery.Ast.body
-        with
-        | Xquery.Ast.Ft_contains { selection; _ } -> selection
-        | _ -> assert false
-      in
-      let resolve_doc = Galatex.Fts_module.make_resolver env in
-      let ctx =
-        Xquery.Eval.setup_context ~resolve_doc
-          (Xquery.Ast.query (Xquery.Ast.Sequence []))
-      in
+      (* counts come from the engine's own instrumentation: both strategies
+         charge [allmatches_materialized] — the materialized plan per
+         AllMatches entry built, the pipelined plan per match pulled — so
+         the two columns are the Section 4 comparison, measured in-band *)
+      let report ~strategy = Galatex.Engine.run_report eng ~strategy query in
+      let mat = report ~strategy:Galatex.Engine.Native_materialized in
+      let pipe = report ~strategy:Galatex.Engine.Native_pipelined in
       let t_mat =
         Harness.time_ms (fun () ->
-            let am =
-              Galatex.Ft_eval.all_matches env ~eval:Xquery.Eval.eval ctx parsed
-            in
-            Galatex.Ft_ops.ft_contains env books am)
+            report ~strategy:Galatex.Engine.Native_materialized)
       in
-      let am = Galatex.Ft_eval.all_matches env ~eval:Xquery.Eval.eval ctx parsed in
-      let materialized_size =
-        (* the intermediate FTAnd product the window filter consumes *)
-        let and_sel =
-          match
-            (Xquery.Parser.parse_query {|. ftcontains "ra" && "sa"|}).Xquery.Ast.body
-          with
-          | Xquery.Ast.Ft_contains { selection; _ } -> selection
-          | _ -> assert false
-        in
-        Galatex.All_matches.size
-          (Galatex.Ft_eval.all_matches env ~eval:Xquery.Eval.eval ctx and_sel)
-      in
-      let pulled = ref 0 in
       let t_pipe =
         Harness.time_ms (fun () ->
-            let s = Galatex.Ft_stream.stream env ~eval:Xquery.Eval.eval ctx parsed in
-            let r = Galatex.Ft_stream.contains env books s in
-            pulled := s.Galatex.Ft_stream.pulled;
-            r)
+            report ~strategy:Galatex.Engine.Native_pipelined)
       in
-      let s = Galatex.Ft_stream.stream env ~eval:Xquery.Eval.eval ctx parsed in
+      let count (r : Galatex.Engine.report) =
+        r.Galatex.Engine.counters.Xquery.Limits.allmatches_materialized
+      in
       assert (
-        Galatex.Ft_ops.ft_contains env books am
-        = Galatex.Ft_stream.contains env books s);
+        Xquery.Value.to_display_string mat.Galatex.Engine.value
+        = Xquery.Value.to_display_string pipe.Galatex.Engine.value);
       Harness.row "  %4d   %12d   %15d   %9.2fms   %8.2fms   %7.1fx\n" doc_count
-        materialized_size !pulled t_mat t_pipe
+        (count mat) (count pipe) t_mat t_pipe
         (t_mat /. Float.max 0.001 t_pipe))
     [ 4; 8; 16; 32 ];
   Harness.row

@@ -187,6 +187,43 @@ let quiet_arg =
     & info [ "q"; "quiet" ]
         ~doc:"Suppress the one-line snapshot-salvage warning on stderr.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the evaluation's span tree (parse, rewrite, translate,
+           eval, per-ftcontains dispatch) to stderr.  Local evaluation
+           only.")
+
+let trace_json_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-json" ]
+        ~doc:
+          "Print the span tree and the run's engine counters as one JSON
+           object on stdout $(i,instead of) the result items.  Local
+           evaluation only.")
+
+(* the machine-readable twin of --trace: one JSON object carrying the span
+   tree plus the run's counters, for scripts and the CI smoke *)
+let report_json (report : Galatex.Engine.report) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\"strategy\":\"";
+  Buffer.add_string b
+    (Galatex.Engine.strategy_name report.Galatex.Engine.strategy_used);
+  Printf.bprintf b "\",\"fell_back\":%b,\"steps\":%d,\"counters\":{"
+    report.Galatex.Engine.fell_back report.Galatex.Engine.steps;
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\"%s\":%d" k v)
+    (Xquery.Limits.counters_to_list report.Galatex.Engine.counters);
+  Buffer.add_string b "},\"trace\":";
+  Buffer.add_string b (Obs.Trace.to_json report.Galatex.Engine.trace);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 (* One greppable line for operators watching stderr; the full report stays
    available under --report.  --quiet silences it. *)
 let print_salvage_report ~quiet engine =
@@ -246,10 +283,7 @@ let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
       exit
         (Galatex_server.Protocol.exit_code_of_class
            e.Galatex_server.Protocol.error_class)
-  | Ok
-      ( Galatex_server.Protocol.Stats_reply _
-      | Galatex_server.Protocol.Update_reply _
-      | Galatex_server.Protocol.Compact_reply _ ) ->
+  | Ok _ ->
       Printf.eprintf "internal error: unexpected response to query\n";
       exit 5
   | Error reason ->
@@ -259,9 +293,12 @@ let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
 
 let run_query docs index_dir server retries strategy optimize context pretty
     max_steps max_depth max_matches timeout no_fallback show_report quiet
-    query =
+    trace trace_json query =
   let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
   match server with
+  | Some _ when trace || trace_json ->
+      `Error
+        (false, "--trace/--trace-json require local evaluation, not --server")
   | Some server ->
       run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
         ~no_fallback ~show_report query
@@ -307,13 +344,17 @@ let run_query docs index_dir server retries strategy optimize context pretty
               Printf.eprintf "storage: %s\n" (Ftindex.Store.report_to_string r)
           | None -> Printf.eprintf "storage: indexed in memory (no snapshot)\n"
         end;
-        List.iter
-          (fun item ->
-            match item with
-            | Xquery.Value.Node n when pretty ->
-                print_endline (Xmlkit.Printer.pretty n)
-            | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
-          report.Galatex.Engine.value;
+        if trace then
+          Printf.eprintf "%s" (Obs.Trace.render report.Galatex.Engine.trace);
+        if trace_json then print_endline (report_json report)
+        else
+          List.iter
+            (fun item ->
+              match item with
+              | Xquery.Value.Node n when pretty ->
+                  print_endline (Xmlkit.Printer.pretty n)
+              | item -> print_endline (Fmt.str "%a" Xquery.Value.pp_item item))
+            report.Galatex.Engine.value;
         `Ok ())
 
 let query_cmd =
@@ -326,7 +367,7 @@ let query_cmd =
        $ retries_arg $ strategy_arg $ optimize_arg $ context_arg
        $ pretty_arg $ max_steps_arg $ max_depth_arg $ max_matches_arg
        $ timeout_arg $ no_fallback_arg $ report_arg $ quiet_arg
-       $ query_arg))
+       $ trace_arg $ trace_json_arg $ query_arg))
 
 (* --- translate --- *)
 
@@ -497,8 +538,22 @@ let breaker_cooldown_arg =
           "Bypassed requests before a tripped breaker lets a probe through
            (default 8).")
 
+let slow_threshold_arg =
+  Arg.(
+    value & opt float 250.0
+    & info [ "slow-threshold" ] ~docv:"MS"
+        ~doc:
+          "Queries slower than this many milliseconds enter the slow-query
+           log (default 250).")
+
+let slowlog_capacity_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "slowlog-capacity" ] ~docv:"N"
+        ~doc:"Slow-query log ring-buffer capacity (default 32).")
+
 let run_serve docs index_dir socket workers queue_limit watch
-    breaker_threshold breaker_cooldown quiet =
+    breaker_threshold breaker_cooldown slow_threshold slowlog_capacity quiet =
   match index_dir with
   | None -> `Error (false, "--index DIR is required")
   | Some index_dir ->
@@ -521,6 +576,8 @@ let run_serve docs index_dir socket workers queue_limit watch
               watch_generation = watch;
               breaker_threshold;
               breaker_cooldown;
+              slowlog_threshold = slow_threshold /. 1000.;
+              slowlog_capacity;
             }
           in
           let t = Galatex_server.Server.start cfg in
@@ -546,25 +603,46 @@ let serve_cmd =
       ret
         (const run_serve $ docs_arg $ index_dir_arg $ socket_arg
        $ workers_arg $ queue_limit_arg $ watch_arg $ breaker_threshold_arg
-       $ breaker_cooldown_arg $ quiet_arg))
+       $ breaker_cooldown_arg $ slow_threshold_arg $ slowlog_capacity_arg
+       $ quiet_arg))
 
-let run_stats server =
-  match Galatex_server.Client.stats ~socket_path:server with
-  | Ok s ->
-      List.iter
-        (fun (k, v) -> Printf.printf "%s %d\n" k v)
-        s.Galatex_server.Protocol.counters;
-      List.iter
-        (fun (b : Galatex_server.Protocol.breaker_reply) ->
-          Printf.printf "breaker %s %s consecutive=%d cooldown=%d trips=%d\n"
-            b.Galatex_server.Protocol.b_strategy b.b_state b.b_consecutive
-            b.b_cooldown b.b_trips)
-        s.Galatex_server.Protocol.breakers;
-      `Ok ()
-  | Error reason ->
-      Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
-        server reason;
-      exit 2
+let server_unreachable server reason =
+  Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
+    server reason;
+  exit 2
+
+let run_stats server metrics slowlog =
+  if metrics then
+    match Galatex_server.Client.metrics ~socket_path:server with
+    | Ok text ->
+        print_string text;
+        `Ok ()
+    | Error reason -> server_unreachable server reason
+  else if slowlog then
+    match Galatex_server.Client.slowlog ~socket_path:server with
+    | Ok entries ->
+        List.iter
+          (fun (e : Galatex_server.Protocol.slow_entry) ->
+            Printf.printf "slow t=%.3f strategy=%s duration_ms=%.3f steps=%d %s\n"
+              e.Galatex_server.Protocol.s_unix_time e.s_strategy e.s_duration_ms
+              e.s_steps e.s_query)
+          entries;
+        `Ok ()
+    | Error reason -> server_unreachable server reason
+  else
+    match Galatex_server.Client.stats ~socket_path:server with
+    | Ok s ->
+        List.iter
+          (fun (k, v) -> Printf.printf "%s %d\n" k v)
+          s.Galatex_server.Protocol.counters;
+        List.iter
+          (fun (b : Galatex_server.Protocol.breaker_reply) ->
+            Printf.printf "breaker %s %s consecutive=%d cooldown=%d trips=%d\n"
+              b.Galatex_server.Protocol.b_strategy b.b_state b.b_consecutive
+              b.b_cooldown b.b_trips)
+          s.Galatex_server.Protocol.breakers;
+        `Ok ()
+    | Error reason -> server_unreachable server reason
 
 (* --- update --- *)
 
@@ -717,9 +795,32 @@ let stats_server_arg =
     & opt (some string) None
     & info [ "server" ] ~docv:"SOCKET" ~doc:"The daemon's socket path.")
 
+let stats_metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the Prometheus-style text exposition (counters, engine
+           counters, per-strategy latency histograms) instead of the plain
+           counter list.")
+
+let stats_slowlog_arg =
+  Arg.(
+    value & flag
+    & info [ "slowlog" ]
+        ~doc:"Print the slow-query log (newest first) instead of counters.")
+
 let stats_cmd =
-  let doc = "Print a running daemon's counters and breaker states." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run_stats $ stats_server_arg))
+  let doc =
+    "Print a running daemon's counters and breaker states; with
+     $(b,--metrics) the Prometheus-style exposition, with $(b,--slowlog)
+     the slow-query log."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      ret
+        (const run_stats $ stats_server_arg $ stats_metrics_arg
+       $ stats_slowlog_arg))
 
 (* --- demo --- *)
 

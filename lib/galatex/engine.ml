@@ -44,6 +44,8 @@ type report = {
   steps : int;
   peak_matches : int;
   fallbacks_total : int;
+  trace : Obs.Trace.span;
+  counters : Xquery.Limits.counters;
 }
 
 (* Map the front ends' positional syntax exceptions to err:XPST0003 so the
@@ -168,6 +170,11 @@ let apply_update t op =
   in
   { t with env; context_doc }
 
+(* Hot reload builds a fresh engine via [of_store], which starts its
+   counters from zero; carrying the predecessor's cells across the swap
+   keeps engine-lifetime totals monotonic over reloads. *)
+let share_counters ~from t = { t with fallbacks = from.fallbacks }
+
 (* Fold the log into a fresh snapshot generation (the store's atomic
    manifest protocol), then reset the log on top of it.  The reset is
    advisory: recovery ignores a stale log, so a failure here costs disk
@@ -202,50 +209,95 @@ let focus_context t ?context ctx =
 
 let parse = Xquery.Parser.parse_query
 
-let apply_optimizations opts (q : Xquery.Ast.query) =
-  let q = if opts.pushdown then Rewrite.pushdown_query q else q in
-  let q = if opts.or_short_circuit then Rewrite.or_short_circuit_query q else q in
-  q
+(* Rewrites count as fired only when they changed the plan: the ASTs are
+   pure data, so a structural compare is exact. *)
+let apply_optimizations ?governor opts (q : Xquery.Ast.query) =
+  let fired f = match governor with Some g -> f g | None -> () in
+  let q' = if opts.pushdown then Rewrite.pushdown_query q else q in
+  if opts.pushdown && q' <> q then fired Xquery.Limits.count_pushdown;
+  let q'' =
+    if opts.or_short_circuit then Rewrite.or_short_circuit_query q' else q'
+  in
+  if opts.or_short_circuit && q'' <> q' then
+    fired Xquery.Limits.count_or_short_circuit;
+  q''
 
-(* One strategy attempt under a shared governor. *)
-let attempt t ~governor ~strategy ~optimizations ?context (q : Xquery.Ast.query) =
-  let q = apply_optimizations optimizations q in
+(* Wrap an ft handler so every ftcontains / ft:score dispatch records a
+   nested span — this is where the strategies actually diverge, so it is
+   the span users look at first. *)
+let traced_handler tr name (h : Xquery.Context.ft_handler) =
+  {
+    Xquery.Context.handle_contains =
+      (fun ~eval ctx context_nodes selection ignored ->
+        Obs.Trace.with_span tr name (fun () ->
+            h.Xquery.Context.handle_contains ~eval ctx context_nodes selection
+              ignored));
+    Xquery.Context.handle_score =
+      (fun ~eval ctx context_nodes selection ->
+        Obs.Trace.with_span tr name (fun () ->
+            h.Xquery.Context.handle_score ~eval ctx context_nodes selection));
+  }
+
+(* One strategy attempt under a shared governor and trace. *)
+let attempt t ~tr ~governor ~strategy ~optimizations ?context
+    (q : Xquery.Ast.query) =
+  let q =
+    if optimizations = no_optimizations then q
+    else
+      Obs.Trace.with_span tr "rewrite" (fun () ->
+          apply_optimizations ~governor optimizations q)
+  in
   match strategy with
   | Translated ->
-      let translated = Translate.translate_query q in
+      let translated =
+        Obs.Trace.with_span tr "translate" (fun () ->
+            Translate.translate_query q)
+      in
       let ctx = Fts_module.setup_context ~governor t.env translated in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
-      Xquery.Eval.eval ctx translated.Xquery.Ast.body
+      Obs.Trace.with_span tr "eval" (fun () ->
+          Xquery.Eval.eval ctx translated.Xquery.Ast.body)
   | Native_materialized ->
       let resolve_doc = Fts_module.make_resolver t.env in
       let ctx =
-        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_eval.handler t.env)
+        Xquery.Eval.setup_context ~resolve_doc
+          ~ft:(traced_handler tr "ft_eval" (Ft_eval.handler t.env))
           ~governor q
       in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
-      Xquery.Eval.eval ctx q.Xquery.Ast.body
+      Obs.Trace.with_span tr "eval" (fun () ->
+          Xquery.Eval.eval ctx q.Xquery.Ast.body)
   | Native_pipelined ->
       let resolve_doc = Fts_module.make_resolver t.env in
       let ctx =
-        Xquery.Eval.setup_context ~resolve_doc ~ft:(Ft_stream.handler t.env)
+        Xquery.Eval.setup_context ~resolve_doc
+          ~ft:(traced_handler tr "ft_stream" (Ft_stream.handler t.env))
           ~governor q
       in
       register_collection t ctx;
       let ctx = focus_context t ?context ctx in
-      Xquery.Eval.eval ctx q.Xquery.Ast.body
+      Obs.Trace.with_span tr "eval" (fun () ->
+          Xquery.Eval.eval ctx q.Xquery.Ast.body)
 
 (* The boundary guarantee: everything an attempt raises leaves this
    function as a structured Errors.Error. *)
 let structured f =
   try Ok (f ()) with exn -> Error (Xquery.Errors.wrap_exn exn)
 
-let run_query_report t ?(strategy = Native_materialized)
+(* The shared body: [tr] arrives with an open "query" root span (so the
+   parse phase, recorded by [run_report] before the AST exists, lands in
+   the same tree). *)
+let run_in t ~tr ?(strategy = Native_materialized)
     ?(optimizations = no_optimizations) ?(limits = Xquery.Limits.defaults)
     ?fault_at ?(fallback = true) ?context (q : Xquery.Ast.query) =
   let governor = Xquery.Limits.governor ?fault_at limits in
   let finish ~strategy_used ~fell_back ~fallback_error value =
+    Obs.Trace.exit tr;
+    let trace =
+      match Obs.Trace.root tr with Some s -> s | None -> assert false
+    in
     {
       value;
       strategy_used;
@@ -254,9 +306,13 @@ let run_query_report t ?(strategy = Native_materialized)
       steps = Xquery.Limits.steps governor;
       peak_matches = Xquery.Limits.peak_matches governor;
       fallbacks_total = Atomic.get t.fallbacks;
+      trace;
+      counters = Xquery.Limits.copy_counters (Xquery.Limits.counters governor);
     }
   in
-  match structured (fun () -> attempt t ~governor ~strategy ~optimizations ?context q) with
+  match
+    structured (fun () -> attempt t ~tr ~governor ~strategy ~optimizations ?context q)
+  with
   | Ok value ->
       finish ~strategy_used:strategy ~fell_back:false ~fallback_error:None value
   | Error err ->
@@ -270,7 +326,9 @@ let run_query_report t ?(strategy = Native_materialized)
         raise (Xquery.Errors.Error err)
       else begin
         (* graceful degradation: retry on the reference materialized path
-           with no rewritings, under the same (partly spent) governor *)
+           with no rewritings, under the same (partly spent) governor.  The
+           second attempt's spans join the same "query" root, so the trace
+           shows both attempts. *)
         Atomic.incr t.fallbacks;
         Logs.warn (fun m ->
             m "engine: %s strategy failed (%s); falling back to materialized"
@@ -278,7 +336,7 @@ let run_query_report t ?(strategy = Native_materialized)
               (Xquery.Errors.to_string err));
         match
           structured (fun () ->
-              attempt t ~governor ~strategy:Native_materialized
+              attempt t ~tr ~governor ~strategy:Native_materialized
                 ~optimizations:no_optimizations ?context q)
         with
         | Ok value ->
@@ -287,23 +345,34 @@ let run_query_report t ?(strategy = Native_materialized)
         | Error err' -> raise (Xquery.Errors.Error err')
       end
 
-let run_report t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context
-    src =
-  match structured (fun () -> parse src) with
+let run_query_report t ?clock ?strategy ?optimizations ?limits ?fault_at
+    ?fallback ?context (q : Xquery.Ast.query) =
+  let tr = Obs.Trace.make ?clock () in
+  Obs.Trace.enter tr "query";
+  run_in t ~tr ?strategy ?optimizations ?limits ?fault_at ?fallback ?context q
+
+let run_report t ?clock ?strategy ?optimizations ?limits ?fault_at ?fallback
+    ?context src =
+  let tr = Obs.Trace.make ?clock () in
+  Obs.Trace.enter tr "query";
+  match
+    structured (fun () -> Obs.Trace.with_span tr "parse" (fun () -> parse src))
+  with
   | Error err -> raise (Xquery.Errors.Error err)
   | Ok q ->
-      run_query_report t ?strategy ?optimizations ?limits ?fault_at ?fallback
+      run_in t ~tr ?strategy ?optimizations ?limits ?fault_at ?fallback
         ?context q
 
-let run_query t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context q
-    =
-  (run_query_report t ?strategy ?optimizations ?limits ?fault_at ?fallback
-     ?context q)
+let run_query t ?clock ?strategy ?optimizations ?limits ?fault_at ?fallback
+    ?context q =
+  (run_query_report t ?clock ?strategy ?optimizations ?limits ?fault_at
+     ?fallback ?context q)
     .value
 
-let run t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context src =
-  (run_report t ?strategy ?optimizations ?limits ?fault_at ?fallback ?context
-     src)
+let run t ?clock ?strategy ?optimizations ?limits ?fault_at ?fallback ?context
+    src =
+  (run_report t ?clock ?strategy ?optimizations ?limits ?fault_at ?fallback
+     ?context src)
     .value
 
 (* Show the plain XQuery the GalaTex translation produces (Section 3.2.2). *)

@@ -118,6 +118,12 @@ val of_store :
     (snapshot), [GTLX0010] (unreplayable update log), [FODC0002] or a
     resource code — and nothing else. *)
 
+val share_counters : from:t -> t -> t
+(** [share_counters ~from t] makes [t] report into [from]'s engine-lifetime
+    counter cells (the atomic fallback count).  The serving layer applies
+    it to the fresh engine a hot reload built, so counters survive the swap
+    instead of resetting to zero. *)
+
 val apply_update : t -> Ftindex.Wal.op -> t
 (** Apply one live update, returning a {e new} engine over the updated
     index (exact: equal to indexing the updated document set from scratch,
@@ -155,10 +161,20 @@ type report = {
   fallbacks_total : int;
       (** {!fallback_count} of the engine after this run — the engine-wide
           degradation counter, not just this run's *)
+  trace : Obs.Trace.span;
+      (** the run's span tree, rooted at ["query"]: ["parse"] (when the run
+          started from source text), ["rewrite"] (when optimizations were
+          requested), ["translate"] (Translated strategy), ["eval"] with
+          nested ["ft_eval"] / ["ft_stream"] spans per ftcontains dispatch.
+          A fallback leaves both attempts' spans under the same root. *)
+  counters : Xquery.Limits.counters;
+      (** snapshot of this run's observability counters (materializations,
+          postings read, rewrite firings, top-k work) *)
 }
 
 val run_query_report :
   t ->
+  ?clock:Obs.Clock.t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
   ?limits:Xquery.Limits.t ->
@@ -168,6 +184,10 @@ val run_query_report :
   Xquery.Ast.query ->
   report
 (** Evaluate a parsed query under a fresh {!Xquery.Limits.governor}.
+
+    [clock] is the time source for the report's {!report.trace} span tree
+    (default {!Obs.Clock.real}; tests inject {!Obs.Clock.manual} so span
+    assertions are deterministic).
 
     [context] selects the document whose root is the initial context node
     (default: the first indexed document); [fn:collection()] always
@@ -188,6 +208,7 @@ val run_query_report :
 
 val run_report :
   t ->
+  ?clock:Obs.Clock.t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
   ?limits:Xquery.Limits.t ->
@@ -201,6 +222,7 @@ val run_report :
 
 val run_query :
   t ->
+  ?clock:Obs.Clock.t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
   ?limits:Xquery.Limits.t ->
@@ -213,6 +235,7 @@ val run_query :
 
 val run :
   t ->
+  ?clock:Obs.Clock.t ->
   ?strategy:strategy ->
   ?optimizations:optimizations ->
   ?limits:Xquery.Limits.t ->

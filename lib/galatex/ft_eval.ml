@@ -42,10 +42,10 @@ let source_phrases ~(eval : eval_callback) ctx = function
   | Ft_expr e ->
       List.map Xquery.Value.item_to_string (Xquery.Value.atomize (eval ctx e))
 
-let words_matches ?within env resolved ~query_pos ~weight anyall phrases =
+let words_matches ?g ?within env resolved ~query_pos ~weight anyall phrases =
   let phrase_ms phrase =
     All_matches.of_matches
-      (Ft_ops.phrase_matches ?within env resolved ~query_pos ~weight phrase)
+      (Ft_ops.phrase_matches ?g ?within env resolved ~query_pos ~weight phrase)
   in
   let tokens_of phrases =
     List.concat_map (Ft_ops.phrase_tokens resolved) phrases
@@ -84,9 +84,12 @@ let rec eval_selection ?within ?(approximate = false) env ~eval ctx
     ~outer_options counter selection =
   let recur = eval_selection ?within ~approximate env ~eval ctx in
   let g = ctx.Xquery.Context.governor in
-  (* every operator output is an AllMatches construction point: bound it *)
+  (* every operator output is an AllMatches construction point: bound it,
+     and account it — the materialized side of the Section 4 comparison *)
   let governed am =
-    Xquery.Limits.check_matches g (All_matches.size am);
+    let n = All_matches.size am in
+    Xquery.Limits.check_matches g n;
+    Xquery.Limits.count_materialized g n;
     am
   in
   governed
@@ -98,7 +101,7 @@ let rec eval_selection ?within ?(approximate = false) env ~eval ctx
       let resolved = Match_options.resolve_with ~outer:outer_options options in
       let weight = Option.map (eval_weight ~eval ctx) weight in
       let phrases = source_phrases ~eval ctx source in
-      words_matches ?within env resolved ~query_pos ~weight anyall phrases
+      words_matches ~g ?within env resolved ~query_pos ~weight anyall phrases
   | Ft_with_options (inner, options) ->
       let outer_options = Match_options.resolve_with ~outer:outer_options options in
       recur ~outer_options counter inner

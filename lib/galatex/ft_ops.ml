@@ -43,11 +43,16 @@ let in_context within (p : Ftindex.Posting.t) =
           && Xmlkit.Dewey.contains dewey (Ftindex.Posting.node p))
         nodes
 
-let posting_entries ?within env expansion =
+let posting_entries ?g ?within env expansion =
   let index = Env.index env in
   let all =
     List.concat_map (fun key -> Ftindex.Inverted.postings index key) expansion.Match_options.keys
   in
+  (* the observability hook: every inverted-list entry this leaf pulled,
+     counted before context/option filtering — the paper's IO-side cost *)
+  (match g with
+  | Some g -> Xquery.Limits.count_postings g (List.length all)
+  | None -> ());
   List.filter
     (fun p -> expansion.Match_options.accept p && in_context within p)
     all
@@ -57,7 +62,7 @@ let posting_entries ?within env expansion =
    are stop words (under the active stop-word list) are dropped and allow a
    corresponding gap between the surviving tokens (the paper: distance and
    window "skip stop words when specified"). *)
-let phrase_occurrences ?within env resolved tokens =
+let phrase_occurrences ?g ?within env resolved tokens =
   let expansions = List.map (Match_options.expand env resolved) tokens in
   (* surviving tokens with the number of dropped stop tokens preceding them *)
   let survivors =
@@ -72,7 +77,7 @@ let phrase_occurrences ?within env resolved tokens =
   match survivors with
   | [] -> []
   | (_, first) :: rest ->
-      let first_postings = posting_entries ?within env first in
+      let first_postings = posting_entries ?g ?within env first in
       (* index follower postings by (doc, position) for O(1) extension *)
       let follower_tables =
         List.map
@@ -81,7 +86,7 @@ let phrase_occurrences ?within env resolved tokens =
             List.iter
               (fun p ->
                 Hashtbl.replace tbl (p.Ftindex.Posting.doc, Ftindex.Posting.abs_pos p) p)
-              (posting_entries ?within env e);
+              (posting_entries ?g ?within env e);
             (gap, tbl))
           rest
       in
@@ -133,9 +138,9 @@ let phrase_tokens resolved phrase =
   else Tokenize.Segmenter.words_of_phrase phrase
 
 (* One phrase -> AllMatches with one Match per occurrence. *)
-let phrase_matches ?within env resolved ~query_pos ~weight phrase =
+let phrase_matches ?g ?within env resolved ~query_pos ~weight phrase =
   let tokens = phrase_tokens resolved phrase in
-  phrase_occurrences ?within env resolved tokens
+  phrase_occurrences ?g ?within env resolved tokens
   |> List.map (match_of_postings ~query_pos ~weight)
 
 (* --- Boolean connectives --- *)

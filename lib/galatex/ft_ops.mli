@@ -37,6 +37,7 @@ val phrase_tokens : Match_options.resolved -> string -> string list
     pattern characters stay inside the tokens (whitespace split only). *)
 
 val phrase_occurrences :
+  ?g:Xquery.Limits.governor ->
   ?within:(string * Xmlkit.Dewey.t) list ->
   Env.t ->
   Match_options.resolved ->
@@ -44,13 +45,15 @@ val phrase_occurrences :
   Ftindex.Posting.t list list
 (** All occurrences of a phrase (consecutive positions; dropped stop tokens
     allow gaps).  [within] restricts positions to the evaluation context,
-    like the paper's getTokenInfo. *)
+    like the paper's getTokenInfo.  [g] accounts every inverted-list entry
+    read (before filtering) as [postings_read]. *)
 
 val match_of_postings :
   query_pos:int -> weight:float option -> Ftindex.Posting.t list ->
   All_matches.match_
 
 val phrase_matches :
+  ?g:Xquery.Limits.governor ->
   ?within:(string * Xmlkit.Dewey.t) list ->
   Env.t ->
   Match_options.resolved ->

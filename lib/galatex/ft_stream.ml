@@ -32,13 +32,13 @@ let to_all_matches s =
 
 (* --- FTWords, lazily over the leading token's postings --- *)
 
-let words_stream ?within env resolved ~query_pos ~weight anyall phrases =
+let words_stream ?g ?within env resolved ~query_pos ~weight anyall phrases =
   (* The phrase extension machinery of Ft_ops is reused; only the iteration
      over occurrences is lazy.  Expansion (vocabulary scan) happens on
      construction, like GalaTex's inverted-list reads. *)
   let phrase_seq phrase =
     let tokens = Ft_ops.phrase_tokens resolved phrase in
-    List.to_seq (Ft_ops.phrase_occurrences ?within env resolved tokens)
+    List.to_seq (Ft_ops.phrase_occurrences ?g ?within env resolved tokens)
     |> Seq.map (Ft_ops.match_of_postings ~query_pos ~weight)
   in
   let tokens_of phrases =
@@ -177,7 +177,8 @@ let rec eval_stream ?within env ~eval ctx ~outer_options counter selection =
       let weight = Option.map (Ft_eval.eval_weight ~eval ctx) weight in
       {
         seq =
-          words_stream ?within env resolved ~query_pos ~weight anyall
+          words_stream ~g:ctx.Xquery.Context.governor ?within env resolved
+            ~query_pos ~weight anyall
             (Ft_eval.source_phrases ~eval ctx source);
         anchors = [];
         pulled = 0;
@@ -222,8 +223,11 @@ let stream ?within env ~eval ctx selection =
     eval_stream ?within env ~eval ctx ~outer_options:Match_options.defaults
       (ref 0) selection
   in
-  (* pipelining never materializes whole AllMatches, so the governed
-     quantity is the number of matches pulled through the pipeline *)
+  (* pipelining never materializes whole AllMatches, so the governed —
+     and counted — quantity is the number of matches pulled through the
+     pipeline; same counter unit as the materialized strategy's operator
+     outputs, which makes Section 4's pipelined <= materialized claim
+     directly checkable from the report *)
   let g = ctx.Xquery.Context.governor in
   let pulled = ref 0 in
   {
@@ -233,6 +237,7 @@ let stream ?within env ~eval ctx selection =
         (fun m ->
           incr pulled;
           Xquery.Limits.check_matches g !pulled;
+          Xquery.Limits.count_materialized g 1;
           m)
         s.seq;
   }

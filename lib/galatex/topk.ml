@@ -159,5 +159,13 @@ let top_k_pruned env nodes am k =
     (node_infos env nodes);
   (List.rev !top, stats)
 
-let top_k ?(pruned = true) env nodes am k =
-  if pruned then top_k_pruned env nodes am k else top_k_naive env nodes am k
+let top_k ?g ?(pruned = true) env nodes am k =
+  let ((_, stats) as result) =
+    if pruned then top_k_pruned env nodes am k else top_k_naive env nodes am k
+  in
+  (match g with
+  | Some g ->
+      Xquery.Limits.count_topk g ~match_tests:stats.match_tests
+        ~nodes_pruned:stats.nodes_pruned
+  | None -> ());
+  result

@@ -23,6 +23,7 @@ val top_k_pruned :
     final score — cannot beat the current k-th best. *)
 
 val top_k :
+  ?g:Xquery.Limits.governor ->
   ?pruned:bool ->
   Env.t ->
   Xmlkit.Node.t list ->
@@ -30,4 +31,5 @@ val top_k :
   int ->
   result list * stats
 (** Results in descending score order, zero-score nodes excluded.  Pruned
-    and naive return the same answer sets (property-tested). *)
+    and naive return the same answer sets (property-tested).  [g] mirrors
+    the returned stats into the governor's observability counters. *)

@@ -1,0 +1,15 @@
+(* Pluggable time source (see clock.mli).
+
+   A manual clock is a shared atomic tick counter, so concurrent readers
+   (the daemon's workers under a test clock) each observe a distinct,
+   strictly increasing instant without locks. *)
+
+type t = unit -> float
+
+let real = Unix.gettimeofday
+
+let manual ?(start = 0.0) ?(step = 1.0) () =
+  let ticks = Atomic.make 0 in
+  fun () -> start +. (step *. float_of_int (Atomic.fetch_and_add ticks 1))
+
+let fixed v = fun () -> v

@@ -1,0 +1,20 @@
+(** Pluggable time source for tracing and latency accounting.
+
+    Everything in [Obs] that reads time takes one of these, so tests
+    inject a {!manual} clock and assert on exact durations instead of
+    sleeping. *)
+
+type t = unit -> float
+
+val real : t
+(** [Unix.gettimeofday]. *)
+
+val manual : ?start:float -> ?step:float -> unit -> t
+(** A deterministic clock: the [n]-th call (counted atomically across
+    threads) returns [start +. step * n] for [n = 0, 1, 2, ...].  Every
+    call advances time by exactly [step] (default: start 0, step 1), so a
+    span that wraps one timed operation always has a positive, predictable
+    duration. *)
+
+val fixed : float -> t
+(** A clock frozen at one instant (durations all come out zero). *)

@@ -1,0 +1,43 @@
+(* Named-counter registry (see metrics.mli).
+
+   Registration takes a lock (it rebuilds the assoc list); increments
+   touch only the counter's own atomic cell, so the hot path never
+   contends.  Cells are handed out by reference: callers that increment
+   in a loop hold the cell, not the name. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable cells : (string * int Atomic.t) list;  (** insertion order *)
+}
+
+let create () = { lock = Mutex.create (); cells = [] }
+
+let counter t name =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match List.assoc_opt name t.cells with
+      | Some cell -> cell
+      | None ->
+          let cell = Atomic.make 0 in
+          t.cells <- t.cells @ [ (name, cell) ];
+          cell)
+
+let add t name n = ignore (Atomic.fetch_and_add (counter t name) n)
+let incr t name = add t name 1
+
+let get t name =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match List.assoc_opt name t.cells with
+      | Some cell -> Atomic.get cell
+      | None -> 0)
+
+let snapshot t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> List.map (fun (name, cell) -> (name, Atomic.get cell)) t.cells)

@@ -1,0 +1,23 @@
+(** Thread-safe registry of named monotonic counters.
+
+    The registry owns the name → cell mapping; the cells are plain
+    [int Atomic.t], so incrementing is lock-free once a counter exists.
+    Counters are cumulative by design — merging across an engine swap
+    means {e keeping the same registry}, which is exactly what the daemon
+    does across hot reloads. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> int Atomic.t
+(** Get or create the named counter's cell (0 on creation). *)
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+
+val get : t -> string -> int
+(** Current value; 0 for a name never registered. *)
+
+val snapshot : t -> (string * int) list
+(** All counters in registration order. *)

@@ -1,0 +1,30 @@
+(* Bounded ring buffer (see ring.mli).
+
+   The whole buffer lives in one atomic cell holding an immutable list
+   (newest first); writers CAS-loop, readers just [get].  Capacities are
+   small (a slow-query log keeps tens of entries), so the O(capacity)
+   truncation per add is irrelevant next to the query it records. *)
+
+type 'a t = { capacity : int; cell : 'a list Atomic.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  { capacity; cell = Atomic.make [] }
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let add t x =
+  let rec loop () =
+    let cur = Atomic.get t.cell in
+    let next = take t.capacity (x :: cur) in
+    if not (Atomic.compare_and_set t.cell cur next) then loop ()
+  in
+  loop ()
+
+let entries t = Atomic.get t.cell
+let length t = List.length (Atomic.get t.cell)
+let capacity t = t.capacity
+let clear t = Atomic.set t.cell []

@@ -1,0 +1,17 @@
+(** Thread-safe bounded ring buffer, newest first — the shape of a
+    slow-query log: the last [capacity] interesting events, never more. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val add : 'a t -> 'a -> unit
+(** Prepend, evicting the oldest entry past capacity.  Lock-free. *)
+
+val entries : 'a t -> 'a list
+(** Newest first, at most [capacity] long. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val clear : 'a t -> unit

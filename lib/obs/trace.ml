@@ -1,0 +1,96 @@
+(* Span/trace recorder (see trace.mli).
+
+   A recorder belongs to one evaluation (one thread); the span stack makes
+   well-nestedness structural — a child can only close into the span that
+   was open when it started, so child intervals are always contained in
+   their parent's. *)
+
+type span = {
+  name : string;
+  start : float;
+  mutable finish : float;
+  mutable children : span list;  (** built in reverse, flipped on [exit] *)
+}
+
+type t = {
+  clock : Clock.t;
+  mutable stack : span list;  (** open spans, innermost first *)
+  mutable roots : span list;  (** closed top-level spans, newest first *)
+}
+
+let make ?(clock = Clock.real) () = { clock; stack = []; roots = [] }
+
+let enter t name =
+  let s = { name; start = t.clock (); finish = nan; children = [] } in
+  t.stack <- s :: t.stack
+
+let exit t =
+  match t.stack with
+  | [] -> invalid_arg "Trace.exit: no open span"
+  | s :: rest ->
+      s.finish <- t.clock ();
+      s.children <- List.rev s.children;
+      t.stack <- rest;
+      (match rest with
+      | parent :: _ -> parent.children <- s :: parent.children
+      | [] -> t.roots <- s :: t.roots)
+
+let with_span t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> exit t) f
+
+let roots t = List.rev t.roots
+
+let root t = match t.roots with s :: _ -> Some s | [] -> None
+
+let duration s = s.finish -. s.start
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let rec render_into buf indent s =
+  Buffer.add_string buf
+    (Printf.sprintf "%s%s %.6fs\n" (String.make (2 * indent) ' ') s.name
+       (duration s));
+  List.iter (render_into buf (indent + 1)) s.children
+
+let render s =
+  let buf = Buffer.create 256 in
+  render_into buf 0 s;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers must not be NaN/Infinity: an unclosed span renders as 0. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "0.000000"
+
+let rec json_into buf s =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"start\":%s,\"duration\":%s,\"children\":["
+       (json_escape s.name) (json_float s.start) (json_float (duration s)));
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_into buf c)
+    s.children;
+  Buffer.add_string buf "]}"
+
+let to_json s =
+  let buf = Buffer.create 256 in
+  json_into buf s;
+  Buffer.contents buf

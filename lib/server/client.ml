@@ -34,7 +34,8 @@ let request ~socket_path req =
 let shed_reply = function
   | Protocol.Failure e when e.Protocol.code = "gtlx:GTLX0009" -> Some e
   | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _
-  | Protocol.Update_reply _ | Protocol.Compact_reply _ ->
+  | Protocol.Update_reply _ | Protocol.Compact_reply _
+  | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _ ->
       None
 
 let default_jitter bound = bound *. (0.5 +. Random.float 0.5)
@@ -83,7 +84,30 @@ let stats ~socket_path =
   | Ok (Protocol.Stats_reply s) -> Ok s
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
-  | Ok (Protocol.Value _ | Protocol.Update_reply _ | Protocol.Compact_reply _)
-    ->
+  | Ok
+      ( Protocol.Value _ | Protocol.Update_reply _ | Protocol.Compact_reply _
+      | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _ ) ->
       Error "unexpected response to stats"
+  | Error reason -> Error reason
+
+let metrics ~socket_path =
+  match request ~socket_path Protocol.Metrics with
+  | Ok (Protocol.Metrics_reply text) -> Ok text
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ | Protocol.Slowlog_reply _ ) ->
+      Error "unexpected response to metrics"
+  | Error reason -> Error reason
+
+let slowlog ~socket_path =
+  match request ~socket_path Protocol.Slowlog with
+  | Ok (Protocol.Slowlog_reply entries) -> Ok entries
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ | Protocol.Metrics_reply _ ) ->
+      Error "unexpected response to slowlog"
   | Error reason -> Error reason

@@ -44,3 +44,11 @@ val query :
 val stats : socket_path:string -> (Protocol.stats_reply, string) result
 (** Fetch the daemon's counter snapshot; [Error] on transport failure or
     a non-stats response. *)
+
+val metrics : socket_path:string -> (string, string) result
+(** Fetch the Prometheus-style text exposition; [Error] on transport
+    failure or an unexpected response. *)
+
+val slowlog : socket_path:string -> (Protocol.slow_entry list, string) result
+(** Fetch the slow-query log (newest first); [Error] on transport failure
+    or an unexpected response. *)

@@ -94,6 +94,8 @@ type request =
   | Stats
   | Update of Ftindex.Wal.op list
   | Compact
+  | Metrics
+  | Slowlog
 
 let query_request ?(strategy = Galatex.Engine.Native_materialized)
     ?(optimize = false) ?(fallback = true) ?context
@@ -138,6 +140,8 @@ let encode_request req =
   (match req with
   | Stats -> put_u8 b (Char.code 'S')
   | Compact -> put_u8 b (Char.code 'C')
+  | Metrics -> put_u8 b (Char.code 'M')
+  | Slowlog -> put_u8 b (Char.code 'L')
   | Update ops ->
       put_u8 b (Char.code 'U');
       put_u32 b (List.length ops);
@@ -168,6 +172,12 @@ let decode_request data =
     | 'C' ->
         finish r "compact request";
         Ok Compact
+    | 'M' ->
+        finish r "metrics request";
+        Ok Metrics
+    | 'L' ->
+        finish r "slowlog request";
+        Ok Slowlog
     | 'U' ->
         let ops = List.init (get_u32 r) (fun _ -> get_op r) in
         finish r "update request";
@@ -245,12 +255,22 @@ type compact_reply = {
   c_folded : int;  (** log records folded into it *)
 }
 
+type slow_entry = {
+  s_query : string;
+  s_strategy : string;
+  s_duration_ms : float;
+  s_unix_time : float;  (** server clock when the query finished *)
+  s_steps : int;
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
   | Stats_reply of stats_reply
   | Update_reply of update_reply
   | Compact_reply of compact_reply
+  | Metrics_reply of string
+  | Slowlog_reply of slow_entry list
 
 let error_of ?retry_after_ms ?queue_depth (e : Xquery.Errors.t) =
   {
@@ -298,6 +318,20 @@ let encode_response resp =
       put_u8 b (Char.code 'C');
       put_u32 b c.c_generation;
       put_u32 b c.c_folded
+  | Metrics_reply text ->
+      put_u8 b (Char.code 'M');
+      put_str b text
+  | Slowlog_reply entries ->
+      put_u8 b (Char.code 'L');
+      put_u32 b (List.length entries);
+      List.iter
+        (fun e ->
+          put_str b e.s_query;
+          put_str b e.s_strategy;
+          put_bits64 b (Int64.bits_of_float e.s_duration_ms);
+          put_bits64 b (Int64.bits_of_float e.s_unix_time);
+          put_u32 b e.s_steps)
+        entries
   | Stats_reply s ->
       put_u8 b (Char.code 'T');
       put_u32 b (List.length s.counters);
@@ -367,6 +401,22 @@ let decode_response data =
         in
         finish r "stats response";
         Ok (Stats_reply { counters; breakers })
+    | 'M' ->
+        let text = get_str r in
+        finish r "metrics response";
+        Ok (Metrics_reply text)
+    | 'L' ->
+        let entries =
+          List.init (get_u32 r) (fun _ ->
+              let s_query = get_str r in
+              let s_strategy = get_str r in
+              let s_duration_ms = Int64.float_of_bits (get_bits64 r) in
+              let s_unix_time = Int64.float_of_bits (get_bits64 r) in
+              let s_steps = get_u32 r in
+              { s_query; s_strategy; s_duration_ms; s_unix_time; s_steps })
+        in
+        finish r "slowlog response";
+        Ok (Slowlog_reply entries)
     | c -> Error (Printf.sprintf "unknown response tag %C" c)
     | exception Invalid_argument _ -> Error "response tag out of range"
   with Malformed reason -> Error reason

@@ -33,6 +33,12 @@ type request =
           a whole *)
   | Compact
       (** fold the log into a fresh snapshot generation and reset it *)
+  | Metrics
+      (** Prometheus-style text exposition of the daemon's counters,
+          engine counters and latency histograms *)
+  | Slowlog
+      (** the ring buffer of recent queries slower than the configured
+          threshold, newest first *)
 
 val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
   ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
@@ -83,12 +89,22 @@ type compact_reply = {
   c_folded : int;  (** log records folded into it *)
 }
 
+type slow_entry = {
+  s_query : string;  (** query source text *)
+  s_strategy : string;  (** strategy key, e.g. ["pipelined+O"] *)
+  s_duration_ms : float;
+  s_unix_time : float;  (** server clock when the query finished *)
+  s_steps : int;  (** eval steps the run consumed *)
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
   | Stats_reply of stats_reply
   | Update_reply of update_reply
   | Compact_reply of compact_reply
+  | Metrics_reply of string  (** Prometheus-style text exposition *)
+  | Slowlog_reply of slow_entry list  (** newest first *)
 
 val error_of : ?retry_after_ms:int -> ?queue_depth:int -> Xquery.Errors.t -> error_reply
 val exit_code_of_class : string -> int

@@ -48,6 +48,9 @@ type config = {
   update_io : unit -> Ftindex.Store.Io.t;
   wal_compact_bytes : int option;
   tick_interval : float;
+  clock : Obs.Clock.t;
+  slowlog_threshold : float;  (** seconds; queries at or above it are logged *)
+  slowlog_capacity : int;
 }
 
 let default_config ~index_dir ~socket_path =
@@ -68,6 +71,9 @@ let default_config ~index_dir ~socket_path =
     update_io = (fun () -> Ftindex.Store.Io.real ());
     wal_compact_bytes = Some (4 * 1024 * 1024);
     tick_interval = 0.05;
+    clock = Obs.Clock.real;
+    slowlog_threshold = 0.25;
+    slowlog_capacity = 32;
   }
 
 type t = {
@@ -109,9 +115,23 @@ type t = {
   (* lock-free mirrors of the writer's log size, for stats *)
   wal_records_now : int Atomic.t;
   wal_bytes_now : int Atomic.t;
+  (* observability state lives on [t], not the engine, so a hot reload's
+     engine swap cannot reset it *)
+  queries : int Atomic.t;  (** Query requests evaluated (success or error) *)
+  engine_counters : Obs.Metrics.t;
+      (** engine-run counter totals, accumulated per report *)
+  histograms : (string * Obs.Histogram.t) list;
+      (** per-(strategy, optimize) latency histograms, pre-created so the
+          request path only ever reads this list *)
+  slowlog : Protocol.slow_entry Obs.Ring.t;
   mutable accept_thread : Thread.t option;
   mutable ticker_thread : Thread.t option;
 }
+
+(* all strategy keys a request can carry — histogram labels are bounded *)
+let strategy_keys =
+  [ "translated"; "materialized"; "pipelined";
+    "translated+O"; "materialized+O"; "pipelined+O" ]
 
 let locked t f =
   Mutex.lock t.lock;
@@ -142,10 +162,34 @@ let strategy_key (q : Protocol.query_request) =
   let base = Galatex.Engine.strategy_name q.Protocol.strategy in
   if q.Protocol.optimize then base ^ "+O" else base
 
+(* Latency, engine-counter and slow-query accounting around one Query
+   request.  Runs on both the success and the failure path: a failing
+   query spent real time too. *)
+let observe_query t (q : Protocol.query_request) ~duration ~steps =
+  Atomic.incr t.queries;
+  (match List.assoc_opt (strategy_key q) t.histograms with
+  | Some h -> Obs.Histogram.observe h duration
+  | None -> ());
+  if duration >= t.cfg.slowlog_threshold then
+    Obs.Ring.add t.slowlog
+      {
+        Protocol.s_query = q.Protocol.query;
+        s_strategy = strategy_key q;
+        s_duration_ms = duration *. 1000.0;
+        s_unix_time = t.cfg.clock ();
+        s_steps = steps;
+      }
+
+let accumulate_counters t (c : Xquery.Limits.counters) =
+  List.iter
+    (fun (name, v) -> Obs.Metrics.add t.engine_counters name v)
+    (Xquery.Limits.counters_to_list c)
+
 let eval_query t (q : Protocol.query_request) =
   let engine = current_engine t in
   let gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
   let limits = effective_limits t.cfg q.Protocol.limits in
+  let t0 = t.cfg.clock () in
   let decision =
     if optimized q then Breaker.route t.breaker (strategy_key q)
     else Breaker.Run
@@ -177,6 +221,10 @@ let eval_query t (q : Protocol.query_request) =
   | report ->
       record (not report.Galatex.Engine.fell_back);
       Atomic.incr t.served;
+      accumulate_counters t report.Galatex.Engine.counters;
+      observe_query t q
+        ~duration:(t.cfg.clock () -. t0)
+        ~steps:report.Galatex.Engine.steps;
       Protocol.Value
         {
           Protocol.items =
@@ -195,6 +243,7 @@ let eval_query t (q : Protocol.query_request) =
       record
         (Xquery.Errors.class_of e.Xquery.Errors.code <> Xquery.Errors.Internal);
       Atomic.incr t.errors;
+      observe_query t q ~duration:(t.cfg.clock () -. t0) ~steps:0;
       Protocol.Failure (Protocol.error_of e)
 
 (* ------------------------------------------------------------------ *)
@@ -206,6 +255,7 @@ let stats t =
   {
     Protocol.counters =
       [
+        ("queries", Atomic.get t.queries);
         ("accepted", Atomic.get t.accepted);
         ("served", Atomic.get t.served);
         ("errors", Atomic.get t.errors);
@@ -240,6 +290,88 @@ let stats t =
           })
         (Breaker.snapshots t.breaker);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition.                                   *)
+
+(* Prometheus renders +Inf / small floats with %g-style shortest form. *)
+let metric_float f =
+  if f = infinity then "+Inf" else Printf.sprintf "%g" f
+
+let metrics_text t =
+  let b = Buffer.create 4096 in
+  let counter name help v =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s counter\n%s %d\n" name help name
+      name v
+  in
+  let gauge name help v =
+    Printf.bprintf b "# HELP %s %s\n# TYPE %s gauge\n%s %d\n" name help name
+      name v
+  in
+  let s = stats t in
+  let stat key = Option.value ~default:0 (List.assoc_opt key s.Protocol.counters) in
+  counter "galatex_queries_total" "Query requests evaluated." (stat "queries");
+  counter "galatex_accepted_total" "Connections accepted." (stat "accepted");
+  counter "galatex_served_total" "Queries answered with a value." (stat "served");
+  counter "galatex_errors_total" "Queries answered with an error." (stat "errors");
+  counter "galatex_shed_total" "Connections shed by admission control."
+    (stat "shed");
+  counter "galatex_shed_shutdown_total" "Connections shed during shutdown."
+    (stat "shed_shutdown");
+  counter "galatex_client_errors_total" "Torn or malformed client exchanges."
+    (stat "client_errors");
+  counter "galatex_breaker_bypassed_total"
+    "Requests routed to the reference path by an open breaker."
+    (stat "breaker_bypassed");
+  counter "galatex_breaker_trips_total" "Circuit-breaker trips."
+    (stat "breaker_trips");
+  counter "galatex_fallbacks_total" "Engine strategy fallbacks."
+    (stat "fallbacks_total");
+  counter "galatex_reloads_total" "Hot snapshot reloads." (stat "reloads");
+  counter "galatex_reload_failures_total" "Rejected snapshot reloads."
+    (stat "reload_failures");
+  counter "galatex_salvage_events_total" "Snapshot loads that needed salvage."
+    (stat "salvage_events");
+  counter "galatex_updates_total" "WAL records acknowledged." (stat "updates");
+  counter "galatex_update_errors_total" "Failed update requests."
+    (stat "update_errors");
+  counter "galatex_compactions_total" "WAL compactions." (stat "compactions");
+  counter "galatex_compaction_failures_total" "Failed WAL compactions."
+    (stat "compaction_failures");
+  gauge "galatex_generation" "Snapshot generation now serving."
+    (stat "generation");
+  gauge "galatex_queue_depth" "Accepted connections awaiting a worker."
+    (stat "queue_depth");
+  gauge "galatex_wal_records" "Records in the write-ahead log."
+    (stat "wal_records");
+  gauge "galatex_wal_bytes" "Write-ahead log size in bytes." (stat "wal_bytes");
+  List.iter
+    (fun (name, v) ->
+      counter
+        ("galatex_engine_" ^ name ^ "_total")
+        "Engine observability counter, summed over runs." v)
+    (Obs.Metrics.snapshot t.engine_counters);
+  Buffer.add_string b
+    "# HELP galatex_query_duration_seconds Query latency by strategy key.\n\
+     # TYPE galatex_query_duration_seconds histogram\n";
+  List.iter
+    (fun (key, h) ->
+      List.iter
+        (fun (le, n) ->
+          Printf.bprintf b
+            "galatex_query_duration_seconds_bucket{strategy=\"%s\",le=\"%s\"} %d\n"
+            key (metric_float le) n)
+        (Obs.Histogram.cumulative h);
+      Printf.bprintf b "galatex_query_duration_seconds_sum{strategy=\"%s\"} %s\n"
+        key
+        (metric_float (Obs.Histogram.sum h));
+      Printf.bprintf b
+        "galatex_query_duration_seconds_count{strategy=\"%s\"} %d\n" key
+        (Obs.Histogram.count h))
+    t.histograms;
+  Buffer.contents b
+
+let slowlog_entries t = Obs.Ring.entries t.slowlog
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection serving.                                             *)
@@ -426,6 +558,8 @@ let serve_connection t fd =
                     queue_depth = None;
                   }
             | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
+            | Ok Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
+            | Ok Protocol.Slowlog -> Protocol.Slowlog_reply (slowlog_entries t)
             | Ok (Protocol.Update ops) -> (
                 try handle_update t ops
                 with exn ->
@@ -507,7 +641,10 @@ let do_reload t ~reason =
                   m "reload salvaged a damaged snapshot: %s"
                     (Ftindex.Store.report_to_string r))
           | _ -> ());
-          locked t (fun () -> t.engine <- fresh);
+          (* carry the engine-lifetime counters across the swap: a reload
+             is maintenance, not a reset (regression-tested) *)
+          locked t (fun () ->
+              t.engine <- Galatex.Engine.share_counters ~from:t.engine fresh);
           (* the log may have moved with the generation: reopen lazily *)
           t.writer <- None;
           mirror_wal t;
@@ -686,6 +823,11 @@ let start cfg =
       compaction_failures = Atomic.make 0;
       wal_records_now = Atomic.make 0;
       wal_bytes_now = Atomic.make 0;
+      queries = Atomic.make 0;
+      engine_counters = Obs.Metrics.create ();
+      histograms =
+        List.map (fun key -> (key, Obs.Histogram.create ())) strategy_keys;
+      slowlog = Obs.Ring.create ~capacity:(max 1 cfg.slowlog_capacity);
       accept_thread = None;
       ticker_thread = None;
     }

@@ -71,6 +71,13 @@ type config = {
           [None] disables the threshold (default [Some 4194304]) *)
   tick_interval : float;
       (** maintenance ticker period in seconds (default 0.05) *)
+  clock : Obs.Clock.t;
+      (** time source for latency histograms and the slow-query log —
+          tests inject {!Obs.Clock.manual} (default {!Obs.Clock.real}) *)
+  slowlog_threshold : float;
+      (** queries taking at least this many seconds enter the slow-query
+          log (default 0.25) *)
+  slowlog_capacity : int;  (** slow-query ring size (default 32) *)
 }
 
 val default_config : index_dir:string -> socket_path:string -> config
@@ -99,12 +106,27 @@ val stop : t -> unit
 
 val stats : t -> Protocol.stats_reply
 (** Counter snapshot (also served over the wire as {!Protocol.Stats}):
-    [accepted], [served], [errors], [shed], [shed_shutdown],
+    [queries], [accepted], [served], [errors], [shed], [shed_shutdown],
     [client_errors], [breaker_bypassed], [breaker_trips],
     [fallbacks_total], [reloads], [reload_failures], [salvage_events],
     [generation], [queue_depth], [workers], [updates], [update_errors],
     [compactions], [compaction_failures], [wal_records], [wal_bytes] —
-    plus per-strategy breaker states. *)
+    plus per-strategy breaker states.  All counters (and the metrics
+    below) survive hot reloads: they live on the daemon, and the engine's
+    own cells are carried across the swap. *)
+
+val metrics_text : t -> string
+(** Prometheus-style text exposition (also served over the wire as
+    {!Protocol.Metrics}): every stats counter as
+    [galatex_<name>_total] / gauge, engine observability counters summed
+    over all runs as [galatex_engine_<name>_total], and
+    [galatex_query_duration_seconds] histograms labelled by strategy key
+    ([materialized], [pipelined+O], ...). *)
+
+val slowlog_entries : t -> Protocol.slow_entry list
+(** The slow-query ring (also served as {!Protocol.Slowlog}): queries
+    that took at least [slowlog_threshold] seconds, newest first, at most
+    [slowlog_capacity] entries. *)
 
 val generation : t -> int
 (** Snapshot generation currently serving. *)

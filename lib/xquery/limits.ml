@@ -29,6 +29,55 @@ let default_max_depth = 10_000
 
 let defaults = { unlimited with max_depth = Some default_max_depth }
 
+(* Per-run observability counters.  They piggyback on the governor because
+   every hook site (operator outputs, posting reads, rewrite application)
+   already holds it for limit checks — so a hook is one plain-int
+   increment on an already-touched path.  A governor belongs to one run on
+   one thread; cross-request aggregation (atomics) is the serving layer's
+   job. *)
+type counters = {
+  mutable allmatches_materialized : int;
+      (** materialized strategy: sum of AllMatches sizes at every operator
+          output; pipelined strategy: matches pulled through the pipeline —
+          the two sides of the paper's Section 4 comparison, in one unit *)
+  mutable postings_read : int;  (** inverted-list entries read at the leaves *)
+  mutable pushdown_fired : int;  (** Figure 6(a) rewrites that changed the plan *)
+  mutable or_short_circuit_fired : int;
+      (** Figure 6(b) rewrites that changed the plan *)
+  mutable topk_match_tests : int;  (** satisfiesMatch tests spent in top-k *)
+  mutable topk_nodes_pruned : int;  (** nodes abandoned by top-k pruning *)
+}
+
+let fresh_counters () =
+  {
+    allmatches_materialized = 0;
+    postings_read = 0;
+    pushdown_fired = 0;
+    or_short_circuit_fired = 0;
+    topk_match_tests = 0;
+    topk_nodes_pruned = 0;
+  }
+
+let copy_counters c =
+  {
+    allmatches_materialized = c.allmatches_materialized;
+    postings_read = c.postings_read;
+    pushdown_fired = c.pushdown_fired;
+    or_short_circuit_fired = c.or_short_circuit_fired;
+    topk_match_tests = c.topk_match_tests;
+    topk_nodes_pruned = c.topk_nodes_pruned;
+  }
+
+let counters_to_list c =
+  [
+    ("allmatches_materialized", c.allmatches_materialized);
+    ("postings_read", c.postings_read);
+    ("pushdown_fired", c.pushdown_fired);
+    ("or_short_circuit_fired", c.or_short_circuit_fired);
+    ("topk_match_tests", c.topk_match_tests);
+    ("topk_nodes_pruned", c.topk_nodes_pruned);
+  ]
+
 type governor = {
   limits : t;
   max_steps : int;
@@ -39,6 +88,7 @@ type governor = {
   mutable depth : int;
   mutable peak_matches : int;
   mutable fault_at : int;  (** step index to fail at; -1 when disabled *)
+  counters : counters;
 }
 
 let governor ?(fault_at = -1) (limits : t) =
@@ -55,12 +105,29 @@ let governor ?(fault_at = -1) (limits : t) =
     depth = 0;
     peak_matches = 0;
     fault_at;
+    counters = fresh_counters ();
   }
 
 let ungoverned () = governor defaults
 
 let steps g = g.steps
 let peak_matches g = g.peak_matches
+let counters g = g.counters
+
+let count_materialized g n =
+  g.counters.allmatches_materialized <- g.counters.allmatches_materialized + n
+
+let count_postings g n = g.counters.postings_read <- g.counters.postings_read + n
+
+let count_pushdown g =
+  g.counters.pushdown_fired <- g.counters.pushdown_fired + 1
+
+let count_or_short_circuit g =
+  g.counters.or_short_circuit_fired <- g.counters.or_short_circuit_fired + 1
+
+let count_topk g ~match_tests ~nodes_pruned =
+  g.counters.topk_match_tests <- g.counters.topk_match_tests + match_tests;
+  g.counters.topk_nodes_pruned <- g.counters.topk_nodes_pruned + nodes_pruned
 
 (* How often (in steps) the deadline is polled; a power of two so the
    check is a mask. *)

@@ -24,6 +24,36 @@ val defaults : t
 
 val default_max_depth : int
 
+(** Per-run observability counters, carried by the governor so every hook
+    site (operator outputs, posting reads, plan rewrites, top-k pruning)
+    is a single plain-int increment on a path that already holds the
+    governor for limit checks.  One governor serves one run on one thread;
+    the serving layer aggregates across runs with atomics. *)
+type counters = {
+  mutable allmatches_materialized : int;
+      (** materialized strategy: sum of AllMatches sizes at every operator
+          output; pipelined strategy: matches pulled through the pipeline.
+          One unit for both, so the paper's Section 4 claim (pipelined <=
+          materialized) is directly comparable — and property-tested. *)
+  mutable postings_read : int;
+      (** inverted-list entries read at FTWords leaves *)
+  mutable pushdown_fired : int;
+      (** Figure 6(a) pushdown rewrites that changed the plan *)
+  mutable or_short_circuit_fired : int;
+      (** Figure 6(b) FTOr rewrites that changed the plan *)
+  mutable topk_match_tests : int;
+      (** satisfiesMatch tests spent inside top-k evaluation *)
+  mutable topk_nodes_pruned : int;
+      (** candidate nodes abandoned early by top-k pruning *)
+}
+
+val fresh_counters : unit -> counters
+val copy_counters : counters -> counters
+(** An independent snapshot (reports retain one after the run ends). *)
+
+val counters_to_list : counters -> (string * int) list
+(** Stable (name, value) pairs for exposition. *)
+
 type governor
 
 val governor : ?fault_at:int -> t -> governor
@@ -40,6 +70,15 @@ val steps : governor -> int
 
 val peak_matches : governor -> int
 (** Largest materialization observed by {!check_matches}. *)
+
+val counters : governor -> counters
+(** The run's live counter record (mutated in place by the hooks). *)
+
+val count_materialized : governor -> int -> unit
+val count_postings : governor -> int -> unit
+val count_pushdown : governor -> unit
+val count_or_short_circuit : governor -> unit
+val count_topk : governor -> match_tests:int -> nodes_pruned:int -> unit
 
 val tick : governor -> unit
 (** Account one eval step: fires the injected fault when armed, enforces

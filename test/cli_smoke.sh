@@ -51,6 +51,28 @@ expect_exit "query --index" 0 $?
 grep -q 'fallbacks-total=' rep.txt || { echo "FAIL: --report missing fallbacks-total" >&2; fails=$((fails+1)); }
 grep -q 'storage: snapshot loaded clean' rep.txt || { echo "FAIL: --report missing storage line" >&2; fails=$((fails+1)); }
 
+# --- tracing: human tree on stderr, JSON span tree + counters on stdout ---
+out=$("$GX" query --index snap --trace '//title[. ftcontains "usability"]' 2>trace.txt)
+expect_exit "query --trace" 0 $?
+[ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: --trace changed the answer: $out" >&2; fails=$((fails+1)); }
+grep -q 'query' trace.txt || { echo "FAIL: --trace missing root span" >&2; fails=$((fails+1)); }
+grep -q 'ft_eval' trace.txt || { echo "FAIL: --trace missing ft_eval span" >&2; fails=$((fails+1)); }
+
+"$GX" query --index snap --trace-json '//title[. ftcontains "usability"]' >trace.json
+expect_exit "query --trace-json" 0 $?
+grep -q '"name":"query"' trace.json || { echo "FAIL: --trace-json missing query span" >&2; fails=$((fails+1)); }
+grep -q '"allmatches_materialized":' trace.json || { echo "FAIL: --trace-json missing counters" >&2; fails=$((fails+1)); }
+grep -q '"postings_read":' trace.json || { echo "FAIL: --trace-json missing postings_read" >&2; fails=$((fails+1)); }
+
+# pushdown visibly shrinks materialization on a selective windowed FTOr
+PDQ='count(//p[. ftcontains ("software" && "usability" || "testing" && "design") window 2 words])'
+plain=$("$GX" query --index snap --trace-json "$PDQ" | sed 's/.*"allmatches_materialized":\([0-9]*\).*/\1/')
+opt=$("$GX" query --index snap --trace-json --optimize "$PDQ" | sed 's/.*"allmatches_materialized":\([0-9]*\).*/\1/')
+[ "$opt" -lt "$plain" ] || { echo "FAIL: --optimize did not reduce materialization ($plain -> $opt)" >&2; fails=$((fails+1)); }
+
+"$GX" query --server nowhere.sock --trace '//title' 2>/dev/null
+[ $? -ne 0 ] || { echo "FAIL: --trace with --server should be rejected" >&2; fails=$((fails+1)); }
+
 # --- corrupt a posting segment: salvaged, same answer, damage reported ---
 post_seg=$(ls snap/post-*.seg | head -1)
 dd if=/dev/zero of="$post_seg" bs=1 seek=40 count=4 conv=notrunc 2>/dev/null
@@ -88,7 +110,8 @@ grep -q 'gtlx:GTLX0008' err.txt || { echo "FAIL: GTLX0008 not reported" >&2; fai
 "$GX" index -d a.xml -d b.xml --output srvsnap >/dev/null
 expect_exit "index for serving" 0 $?
 
-"$GX" serve --index srvsnap --socket srv.sock 2>serve.log &
+# --slow-threshold 0: every query lands in the slow-query log
+"$GX" serve --index srvsnap --socket srv.sock --slow-threshold 0 2>serve.log &
 SRV=$!
 for _ in $(seq 1 100); do [ -S srv.sock ] && break; sleep 0.1; done
 [ -S srv.sock ] || { echo "FAIL: daemon never bound its socket" >&2; cat serve.log >&2; fails=$((fails+1)); }
@@ -98,6 +121,15 @@ expect_exit "query over the socket" 0 $?
 [ "$out" = "<title>Usability testing</title>" ] || { echo "FAIL: wrong served result: $out" >&2; fails=$((fails+1)); }
 
 "$GX" stats --server srv.sock | grep -q '^generation 1$' || { echo "FAIL: stats missing generation 1" >&2; fails=$((fails+1)); }
+
+# --- metrics scrape: the query above is visible in the exposition and
+# --- in the slow-query log (threshold 0 logs everything)
+"$GX" stats --server srv.sock --metrics >metrics.txt
+expect_exit "stats --metrics" 0 $?
+grep -q '^galatex_queries_total 1$' metrics.txt || { echo "FAIL: galatex_queries_total not incremented" >&2; fails=$((fails+1)); }
+grep -q '^galatex_engine_postings_read_total [1-9]' metrics.txt || { echo "FAIL: engine counters missing from metrics" >&2; fails=$((fails+1)); }
+grep -q 'galatex_query_duration_seconds_count{strategy="materialized"} 1' metrics.txt || { echo "FAIL: per-strategy histogram missing" >&2; fails=$((fails+1)); }
+"$GX" stats --server srv.sock --slowlog | grep -q 'strategy=materialized' || { echo "FAIL: slow-query log empty under zero threshold" >&2; fails=$((fails+1)); }
 
 # a new snapshot generation lands in the directory; SIGHUP hot-reloads it
 "$GX" index -d b.xml --output srvsnap >/dev/null
@@ -154,6 +186,9 @@ done
 
 kill -9 $USRV
 wait $USRV 2>/dev/null
+# SIGKILL leaves the socket file behind: remove it so the bind-wait below
+# observes the restarted daemon, not the corpse
+rm -f upd.sock
 
 "$GX" index -d a.xml -d u1.xml -d u2.xml -d u3.xml --output freshsnap >/dev/null
 want=$("$GX" query --index freshsnap "$UQ")

@@ -28,6 +28,7 @@ let () =
       ("faults", Test_faults.tests);
       ("store", Test_store.tests);
       ("wal", Test_wal.tests);
+      ("obs", Test_obs.tests);
       ("server", Test_server.tests);
       ("conformance", Test_conformance.tests);
     ]

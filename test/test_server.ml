@@ -92,18 +92,12 @@ let ok_value what = function
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
         e.Protocol.message
-  | Ok
-      ( Protocol.Stats_reply _ | Protocol.Update_reply _
-      | Protocol.Compact_reply _ ) ->
-      Alcotest.failf "%s: unexpected reply kind" what
+  | Ok _ -> Alcotest.failf "%s: unexpected reply kind" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let ok_failure what = function
   | Ok (Protocol.Failure e) -> e
-  | Ok
-      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
-      | Protocol.Compact_reply _ ) ->
-      Alcotest.failf "%s: unexpected success reply" what
+  | Ok _ -> Alcotest.failf "%s: unexpected success reply" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let ok_update what = function
@@ -111,9 +105,7 @@ let ok_update what = function
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
         e.Protocol.message
-  | Ok (Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Compact_reply _)
-    ->
-      Alcotest.failf "%s: unexpected reply kind" what
+  | Ok _ -> Alcotest.failf "%s: unexpected reply kind" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let ok_compact what = function
@@ -121,9 +113,7 @@ let ok_compact what = function
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
         e.Protocol.message
-  | Ok (Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _)
-    ->
-      Alcotest.failf "%s: unexpected reply kind" what
+  | Ok _ -> Alcotest.failf "%s: unexpected reply kind" what
   | Error reason -> Alcotest.failf "%s: transport error %s" what reason
 
 let title_query = {|//title[. ftcontains "usability"]|}
@@ -170,8 +160,7 @@ let test_protocol_roundtrip () =
   (match Protocol.decode_request (Protocol.encode_request (Protocol.Query q)) with
   | Ok (Protocol.Query q') ->
       Alcotest.(check bool) "query round trip" true (q = q')
-  | Ok (Protocol.Stats | Protocol.Update _ | Protocol.Compact) ->
-      Alcotest.fail "decoded as another request"
+  | Ok _ -> Alcotest.fail "decoded as another request"
   | Error e -> Alcotest.failf "decode failed: %s" e);
   (match Protocol.decode_request (Protocol.encode_request Protocol.Stats) with
   | Ok Protocol.Stats -> ()
@@ -526,6 +515,109 @@ let test_reload_failure_keeps_old_engine () =
       poll "healed reload applied" (fun () -> Server.generation t = 2))
 
 (* ------------------------------------------------------------------ *)
+(* Observability: counters across reloads, metrics, slow-query log.    *)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+(* The regression this PR fixes: the atomic engine swap on reload used
+   to replace the engine-lifetime counter cells, silently zeroing
+   [queries]/[fallbacks_total] and the latency histograms. *)
+let test_counters_survive_reload () =
+  with_server () (fun dir sock t ->
+      let ask ?fault_at () =
+        Client.request ~socket_path:sock
+          (Protocol.Query
+             (Protocol.query_request ~strategy:Galatex.Engine.Native_pipelined
+                ?fault_at title_query))
+      in
+      ignore (ok_value "plain query" (ask ()));
+      ignore (ok_value "fallback query" (ask ~fault_at:1 ()));
+      Alcotest.(check int) "queries before reload" 2 (stat t "queries");
+      Alcotest.(check int) "fallbacks before reload" 1 (stat t "fallbacks_total");
+      let histogram_count () =
+        match Client.metrics ~socket_path:sock with
+        | Ok text -> text
+        | Error reason -> Alcotest.failf "metrics: %s" reason
+      in
+      Alcotest.(check bool) "histogram populated before reload" true
+        (contains
+           {|galatex_query_duration_seconds_count{strategy="pipelined"} 2|}
+           (histogram_count ()));
+      save_corpus ~dir corpus_v2;
+      Server.request_reload t;
+      poll "reload applied" (fun () -> Server.generation t = 2);
+      Alcotest.(check int) "queries carried across the swap" 2 (stat t "queries");
+      Alcotest.(check int) "fallbacks carried across the swap" 1
+        (stat t "fallbacks_total");
+      Alcotest.(check bool) "histogram carried across the swap" true
+        (contains
+           {|galatex_query_duration_seconds_count{strategy="pipelined"} 2|}
+           (histogram_count ()));
+      (* and the carried cells keep counting, they are not frozen copies *)
+      ignore (ok_value "fallback after reload" (ask ~fault_at:1 ()));
+      Alcotest.(check int) "queries keep counting" 3 (stat t "queries");
+      Alcotest.(check int) "fallbacks keep counting" 2 (stat t "fallbacks_total");
+      Alcotest.(check bool) "histogram keeps counting" true
+        (contains
+           {|galatex_query_duration_seconds_count{strategy="pipelined"} 3|}
+           (histogram_count ())))
+
+(* Metrics exposition and the slow-query log, under the injected manual
+   clock: each query reads the clock three times (start, end, log stamp),
+   so with step 1 every query lasts exactly one tick = 1000 ms. *)
+let test_metrics_and_slowlog () =
+  with_server
+    ~tweak:(fun c ->
+      {
+        c with
+        clock = Obs.Clock.manual ();
+        slowlog_threshold = 0.0;
+        slowlog_capacity = 4;
+      })
+    ()
+    (fun _dir sock _t ->
+      ignore
+        (ok_value "one query"
+           (Client.request ~socket_path:sock
+              (Protocol.Query (Protocol.query_request title_query))));
+      let text =
+        match Client.metrics ~socket_path:sock with
+        | Ok text -> text
+        | Error reason -> Alcotest.failf "metrics: %s" reason
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("exposition has " ^ needle) true
+            (contains needle text))
+        [
+          "galatex_queries_total 1";
+          "# TYPE galatex_queries_total counter";
+          "galatex_engine_allmatches_materialized_total";
+          "galatex_engine_postings_read_total";
+          {|galatex_query_duration_seconds_count{strategy="materialized"} 1|};
+          {|galatex_query_duration_seconds_bucket{strategy="materialized",le="+Inf"} 1|};
+          {|galatex_query_duration_seconds_count{strategy="pipelined"} 0|};
+        ];
+      match Client.slowlog ~socket_path:sock with
+      | Error reason -> Alcotest.failf "slowlog: %s" reason
+      | Ok entries -> (
+          match entries with
+          | [ e ] ->
+              Alcotest.(check string) "slow entry query" title_query
+                e.Protocol.s_query;
+              Alcotest.(check string) "slow entry strategy" "materialized"
+                e.Protocol.s_strategy;
+              Alcotest.(check (float 0.)) "deterministic duration" 1000.0
+                e.Protocol.s_duration_ms;
+              Alcotest.(check bool) "steps recorded" true (e.Protocol.s_steps > 0)
+          | entries ->
+              Alcotest.failf "expected one slow entry, got %d"
+                (List.length entries)))
+
+(* ------------------------------------------------------------------ *)
 (* Graceful shutdown.                                                  *)
 
 let test_graceful_shutdown () =
@@ -620,10 +712,7 @@ let test_chaos () =
         match Client.request ~socket_path:sock (Protocol.Query q) with
         | Ok (Protocol.Value _) | Ok (Protocol.Failure _) ->
             Atomic.incr structured
-        | Ok
-            ( Protocol.Stats_reply _ | Protocol.Update_reply _
-            | Protocol.Compact_reply _ ) ->
-            fail_with "non-query reply to a query"
+        | Ok _ -> fail_with "non-query reply to a query"
         | Error reason -> fail_with ("transport error: " ^ reason)
       in
       let torn_client () =
@@ -973,6 +1062,10 @@ let tests =
     Alcotest.test_case "reload watcher" `Quick test_reload_watcher;
     Alcotest.test_case "reload failure keeps old engine" `Quick
       test_reload_failure_keeps_old_engine;
+    Alcotest.test_case "counters survive hot reload" `Quick
+      test_counters_survive_reload;
+    Alcotest.test_case "metrics exposition and slowlog" `Quick
+      test_metrics_and_slowlog;
     Alcotest.test_case "graceful shutdown" `Quick test_graceful_shutdown;
     Alcotest.test_case "chaos" `Quick test_chaos;
     Alcotest.test_case "concurrent fallback counter" `Quick

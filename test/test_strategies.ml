@@ -52,6 +52,42 @@ let fixed_queries =
 
 let test_fixed_queries () = List.iter check_agree fixed_queries
 
+(* --- optimizations preserve IO accounting --- *)
+
+(* Result-identical runs must read the same postings.  Pushdown only
+   reorders filters above the FTWords leaves, so it may not change
+   [postings_read] at all; or-short-circuit rewrites FTOr into XQuery's
+   lazy [or], so it may legitimately read {e fewer} postings — never
+   more. *)
+let postings_read ~optimizations src =
+  let report =
+    Engine.run_report (Lazy.force engine) ~strategy:Engine.Native_materialized
+      ~optimizations src
+  in
+  report.Engine.counters.Xquery.Limits.postings_read
+
+let test_postings_read_stable () =
+  List.iter
+    (fun src ->
+      let plain = postings_read ~optimizations:Engine.no_optimizations src in
+      let again = postings_read ~optimizations:Engine.no_optimizations src in
+      let pushed =
+        postings_read
+          ~optimizations:{ Engine.pushdown = true; or_short_circuit = false }
+          src
+      in
+      let all = postings_read ~optimizations:Engine.all_optimizations src in
+      Alcotest.(check int)
+        (Printf.sprintf "repeated runs read identical postings: %s" src)
+        plain again;
+      Alcotest.(check int)
+        (Printf.sprintf "pushdown reads identical postings: %s" src)
+        plain pushed;
+      if not (all <= plain) then
+        Alcotest.failf
+          "all optimizations read more postings (%d > %d) on %s" all plain src)
+    fixed_queries
+
 (* --- randomized cross-strategy agreement --- *)
 
 let vocab =
@@ -139,6 +175,8 @@ let prop_scores_agree =
 let tests =
   [
     Alcotest.test_case "fixed query battery" `Slow test_fixed_queries;
+    Alcotest.test_case "optimizations keep postings_read honest" `Slow
+      test_postings_read_stable;
     QCheck_alcotest.to_alcotest prop_strategies_agree;
     QCheck_alcotest.to_alcotest prop_scores_agree;
   ]

@@ -1282,6 +1282,195 @@ let r4_live_updates () =
         (fun () -> output_string oc json);
       Harness.row "  wrote BENCH_R4.json\n")
 
+(* ---------------------------------------------------------------- R5 *)
+
+let r5_cluster () =
+  Harness.section
+    "R5 (robustness): document-sharded cluster — scaling, rolling reload, \
+     degradation";
+  let module Srv = Galatex_server.Server in
+  let module Cli = Galatex_server.Client in
+  let module Proto = Galatex_server.Protocol in
+  let module Router = Galatex_cluster.Router in
+  let root = Printf.sprintf "r5-cluster-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      Unix.mkdir root 0o755;
+      let docs =
+        Corpus.Generator.books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 1500;
+            doc_count = 32;
+            sections_per_doc = 3;
+            paras_per_section = 4;
+            words_per_para = 40;
+            vocab_size = 150;
+          }
+      in
+      let sources =
+        List.map (fun (uri, d) -> (uri, Xmlkit.Printer.to_string d)) docs
+      in
+      let query =
+        {|count(collection()//book[. ftcontains "ra" && "sa" window 14 words])|}
+      in
+      let clients = 4 and per_client = 25 in
+      (* bring up [shards] daemons over a hash-partitioned cut of the same
+         corpus plus the router, run the closed-loop workload through the
+         router, and hand the live cluster to [during] mid-run (rolling
+         reload, shard kill) before tearing everything down *)
+      let run_cluster ~name ~shards ?(during = fun _ -> ()) () =
+        let parts = Corpus.Partition.split ~shards sources in
+        let socks =
+          Array.init shards (fun i ->
+              Printf.sprintf "r5-%s-s%d-%d.sock" name i (Unix.getpid ()))
+        in
+        let dirs =
+          Array.mapi
+            (fun i part ->
+              let dir =
+                Filename.concat root (Printf.sprintf "%s-shard-%d" name i)
+              in
+              Ftindex.Store.save ~dir (Ftindex.Indexer.index_strings part);
+              dir)
+            parts
+        in
+        let servers =
+          Array.init shards (fun i ->
+              Srv.start (Srv.default_config ~index_dir:dirs.(i)
+                           ~socket_path:socks.(i)))
+        in
+        let router_sock = Printf.sprintf "r5-%s-rt-%d.sock" name (Unix.getpid ()) in
+        let endpoints =
+          Array.to_list
+            (Array.map
+               (fun sock -> { Router.primary = sock; replicas = [] })
+               socks)
+        in
+        let router =
+          Router.start (Router.default_config ~shards:endpoints
+                          ~socket_path:router_sock)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Router.stop router;
+            Array.iter Srv.stop servers)
+          (fun () ->
+            let lat = Array.make (clients * per_client) Float.nan in
+            let partials = Atomic.make 0 and failures = Atomic.make 0 in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init clients (fun c ->
+                  Thread.create
+                    (fun () ->
+                      for r = 0 to per_client - 1 do
+                        let s = Unix.gettimeofday () in
+                        match
+                          Cli.query ~socket_path:router_sock ~retries:2
+                            (Proto.query_request query)
+                        with
+                        | Ok (Proto.Value v) ->
+                            lat.((c * per_client) + r) <-
+                              (Unix.gettimeofday () -. s) *. 1000.;
+                            if v.Proto.partial <> None then
+                              Atomic.incr partials
+                        | Ok _ | Error _ -> Atomic.incr failures
+                      done)
+                    ())
+            in
+            during (router_sock, servers);
+            List.iter Thread.join threads;
+            let wall = Unix.gettimeofday () -. t0 in
+            let served =
+              Array.of_list
+                (List.filter
+                   (fun x -> not (Float.is_nan x))
+                   (Array.to_list lat))
+            in
+            Array.sort compare served;
+            ( name,
+              shards,
+              Array.length served,
+              Atomic.get partials,
+              Atomic.get failures,
+              float_of_int (Array.length served) /. wall,
+              percentile served 0.5,
+              percentile served 0.99 ))
+      in
+      (* scaling: same corpus, same offered load, more partitions *)
+      let scaling =
+        List.map
+          (fun shards ->
+            run_cluster ~name:(Printf.sprintf "scale%d" shards) ~shards ())
+          [ 1; 2; 4 ]
+      in
+      (* a rolling reload racing the query stream: N-1 shards keep serving,
+         so the stream sees no partials and only a modest tail bump *)
+      let rolling =
+        run_cluster ~name:"rolling" ~shards:2
+          ~during:(fun (router_sock, _) ->
+            Thread.delay 0.05;
+            ignore (Cli.reload ~socket_path:router_sock ()))
+          ()
+      in
+      (* one shard killed mid-stream: queries degrade to GTLX0011-tagged
+         partials instead of failing *)
+      let degraded =
+        run_cluster ~name:"degraded" ~shards:2
+          ~during:(fun (_, servers) ->
+            Thread.delay 0.05;
+            Srv.stop servers.(1))
+          ()
+      in
+      let rows = scaling @ [ rolling; degraded ] in
+      Harness.row
+        "  closed-loop workload: %d clients x %d requests through the router\n\n"
+        clients per_client;
+      Harness.row
+        "  config     shards   served   partial   failed   throughput      \
+         p50       p99\n";
+      List.iter
+        (fun (name, shards, served, partials, failures, rps, p50, p99) ->
+          Harness.row
+            "  %-9s %6d   %6d   %7d   %6d   %8.0f/s   %6.2fms  %7.2fms\n" name
+            shards served partials failures rps p50 p99)
+        rows;
+      let (_, _, _, roll_partials, roll_failures, _, _, _) = rolling in
+      let (_, _, _, deg_partials, _, _, _, _) = degraded in
+      Harness.row
+        "  => rolling reload cost the stream %d partials and %d failures\n\
+        \     (the gate holds: N-1 shards always serve); with a shard killed\n\
+        \     outright, %d queries degraded to GTLX0011-tagged partials\n\
+        \     instead of failing\n"
+        roll_partials roll_failures deg_partials;
+      let json =
+        Printf.sprintf
+          "{\n\
+          \  \"experiment\": \"R5\",\n\
+          \  \"clients\": %d,\n\
+          \  \"requests_per_client\": %d,\n\
+          \  \"runs\": [\n\
+           %s\n\
+          \  ]\n\
+           }\n"
+          clients per_client
+          (String.concat ",\n"
+             (List.map
+                (fun (name, shards, served, partials, failures, rps, p50, p99) ->
+                  Printf.sprintf
+                    "    {\"name\": \"%s\", \"shards\": %d, \"served\": %d, \
+                     \"partial\": %d, \"failed\": %d, \"throughput_rps\": \
+                     %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+                    name shards served partials failures rps p50 p99)
+                rows))
+      in
+      let oc = open_out "BENCH_R5.json" in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc json);
+      Harness.row "  wrote BENCH_R5.json\n")
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -1292,6 +1481,7 @@ let experiments =
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
     ("R2", r2_cold_start); ("R3", r3_serving); ("R4", r4_live_updates);
+    ("R5", r5_cluster);
   ]
 
 let () =

@@ -6,8 +6,10 @@
      galatex index   -d a.xml ...                dump inverted-list documents
      galatex tokens  -d a.xml                    show TokenInfo values
      galatex serve   --index DIR --socket PATH   run the query daemon
+     galatex route   --shard SOCK --socket PATH  run the cluster router
      galatex query   --server PATH 'QUERY'       query a running daemon
      galatex stats   --server PATH               daemon counters / breakers
+     galatex stats   --server PATH --health      liveness / generation probe
      galatex update  --server PATH --add FILE    live index updates (WAL)
      galatex update  --index DIR --compact       offline updates / compaction
      galatex demo                                run the use-case catalogue *)
@@ -255,16 +257,64 @@ let retries_arg =
            exponential backoff when the daemon sheds the request
            (gtlx:GTLX0009) or the connection fails.")
 
+(* merge policy as a converter so "topk:10" parses at the flag layer *)
+let merge_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "auto" -> Ok None
+    | "concat" -> Ok (Some Galatex_server.Protocol.Merge_concat)
+    | "sum" -> Ok (Some Galatex_server.Protocol.Merge_sum)
+    | s when String.length s > 5 && String.sub s 0 5 = "topk:" -> (
+        match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+        | Some k when k > 0 -> Ok (Some (Galatex_server.Protocol.Merge_topk k))
+        | Some _ | None -> Error (`Msg "topk wants a positive count, e.g. topk:10"))
+    | _ -> Error (`Msg "expected auto, concat, sum or topk:K")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "auto"
+    | Some Galatex_server.Protocol.Merge_concat -> Format.pp_print_string ppf "concat"
+    | Some Galatex_server.Protocol.Merge_sum -> Format.pp_print_string ppf "sum"
+    | Some (Galatex_server.Protocol.Merge_topk k) -> Format.fprintf ppf "topk:%d" k
+  in
+  Arg.conv (parse, print)
+
+let merge_arg =
+  Arg.(
+    value & opt merge_conv None
+    & info [ "merge" ] ~docv:"POLICY"
+        ~doc:
+          "With $(b,--server) pointing at a $(b,galatex route) router: how
+           per-shard answers merge — $(b,auto) (counts/sums are summed,
+           everything else concatenates in partition order), $(b,concat),
+           $(b,sum), or $(b,topk:K) (k-way merge of score-tagged items by
+           descending score).  A single daemon ignores it.")
+
 (* The daemon's answer carries the error class as a string; map it to the
    same exit codes the local path uses (static 1 .. internal 5). *)
 let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
-    ~no_fallback ~show_report query =
+    ~no_fallback ~show_report ~merge query =
   let q =
     Galatex_server.Protocol.query_request ~strategy ~optimize
-      ~fallback:(not no_fallback) ?context ~limits query
+      ~fallback:(not no_fallback) ?context ~limits ?merge query
   in
-  match Galatex_server.Client.query ~socket_path:server ~retries q with
+  (* a --timeout budget bounds the whole retry loop, and each attempt
+     advertises what is left of it over the wire *)
+  let deadline =
+    Option.map
+      (fun tmo -> Unix.gettimeofday () +. tmo)
+      limits.Xquery.Limits.timeout
+  in
+  match Galatex_server.Client.query ~socket_path:server ~retries ?deadline q with
   | Ok (Galatex_server.Protocol.Value v) ->
+      (match v.Galatex_server.Protocol.partial with
+      | Some p ->
+          Printf.eprintf
+            "warning: partial result (gtlx:GTLX0011): missing partition(s) %s \
+             — %s\n"
+            (String.concat ", "
+               (List.map string_of_int p.Galatex_server.Protocol.missing))
+            p.Galatex_server.Protocol.detail
+      | None -> ());
       if v.Galatex_server.Protocol.fell_back then
         Printf.eprintf
           "note: %s strategy failed internally on the server; %s\n"
@@ -291,9 +341,9 @@ let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
         server reason;
       exit 2
 
-let run_query docs index_dir server retries strategy optimize context pretty
-    max_steps max_depth max_matches timeout no_fallback show_report quiet
-    trace trace_json query =
+let run_query docs index_dir server retries merge strategy optimize context
+    pretty max_steps max_depth max_matches timeout no_fallback show_report
+    quiet trace trace_json query =
   let limits = limits_of ~max_steps ~max_depth ~max_matches ~timeout in
   match server with
   | Some _ when trace || trace_json ->
@@ -301,7 +351,7 @@ let run_query docs index_dir server retries strategy optimize context pretty
         (false, "--trace/--trace-json require local evaluation, not --server")
   | Some server ->
       run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
-        ~no_fallback ~show_report query
+        ~no_fallback ~show_report ~merge query
   | None ->
   if docs = [] && index_dir = None then
     `Error
@@ -364,7 +414,7 @@ let query_cmd =
     Term.(
       ret
         (const run_query $ docs_arg $ index_dir_arg $ server_arg
-       $ retries_arg $ strategy_arg $ optimize_arg $ context_arg
+       $ retries_arg $ merge_arg $ strategy_arg $ optimize_arg $ context_arg
        $ pretty_arg $ max_steps_arg $ max_depth_arg $ max_matches_arg
        $ timeout_arg $ no_fallback_arg $ report_arg $ quiet_arg
        $ trace_arg $ trace_json_arg $ query_arg))
@@ -385,10 +435,30 @@ let translate_cmd =
 
 (* --- index --- *)
 
-let run_index docs word output =
+let run_index docs word output shards =
   if docs = [] then `Error (false, "at least one --document is required")
+  else if shards < 1 then `Error (false, "--shards wants a positive count")
+  else if shards > 1 && output = None then
+    `Error (false, "--shards requires --output DIR")
   else
     handle_errors (fun () ->
+        (match (output, shards) with
+        | Some dir, shards when shards > 1 ->
+            (* cut the corpus with the same hash the router uses to route
+               updates (Corpus.Partition) — the partitioner IS the layout *)
+            let parts = Corpus.Partition.split ~shards (load_documents docs) in
+            (* the store creates each shard-i leaf but not the parent *)
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ());
+            Array.iteri
+              (fun i part ->
+                let sdir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+                let engine = Galatex.Engine.create part in
+                Galatex.Engine.save engine ~dir:sdir;
+                Printf.printf "shard %d: %d document(s) -> %s\n" i
+                  (List.length part) sdir)
+              parts
+        | _ ->
         let engine = engine_of docs in
         let index = Galatex.Engine.index engine in
         (match output with
@@ -410,7 +480,7 @@ let run_index docs word output =
                 Printf.printf "\n%d distinct words, %d postings, %d documents\n"
                   (Ftindex.Inverted.distinct_word_count index)
                   (Ftindex.Inverted.total_postings index)
-                  (List.length (Ftindex.Inverted.documents index))));
+                  (List.length (Ftindex.Inverted.documents index)))));
         `Ok ())
 
 let word_arg =
@@ -428,13 +498,27 @@ let output_arg =
            CRC-checksummed segments) loadable with $(b,galatex query --index
            DIR).")
 
+let shards_count_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "With $(b,--output DIR): partition the documents by uri hash
+           ($(b,Corpus.Partition), the same hash $(b,galatex route) uses to
+           route updates) and write one snapshot per partition to
+           $(i,DIR)/shard-0 .. $(i,DIR)/shard-N-1, ready for N $(b,galatex
+           serve) daemons behind a router.")
+
 let index_cmd =
   let doc =
     "Preprocess documents and print index artifacts (Figure 5(b) inverted
-     lists / distinct-word list), or persist them with $(b,--output)."
+     lists / distinct-word list), or persist them with $(b,--output) —
+     optionally cut into per-shard snapshots with $(b,--shards)."
   in
   Cmd.v (Cmd.info "index" ~doc)
-    Term.(ret (const run_index $ docs_arg $ word_arg $ output_arg))
+    Term.(
+      ret (const run_index $ docs_arg $ word_arg $ output_arg
+         $ shards_count_arg))
 
 (* --- tokens --- *)
 
@@ -606,12 +690,107 @@ let serve_cmd =
        $ breaker_cooldown_arg $ slow_threshold_arg $ slowlog_capacity_arg
        $ quiet_arg))
 
+(* --- route --- *)
+
+let shard_arg =
+  Arg.(
+    non_empty & opt_all string []
+    & info [ "shard" ] ~docv:"SOCK[,REPLICA,...]"
+        ~doc:
+          "A shard's endpoints, primary socket first, optional replica
+           sockets comma-separated after it (repeatable; the $(i,i)-th
+           $(b,--shard) serves partition $(i,i) as cut by $(b,galatex index
+           --shards)).")
+
+let route_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra endpoint sweeps per shard per query after the first; each
+           sweep tries the primary then the replicas (default 2).")
+
+let route_deadline_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-query budget when the client sent neither a deadline nor a
+           timeout limit (default 5).")
+
+let run_route shards socket workers queue_limit retries deadline
+    breaker_threshold breaker_cooldown quiet =
+  handle_errors (fun () ->
+      Logs.set_reporter
+        (Logs_threaded.enable ();
+         Logs_fmt.reporter ~dst:Format.err_formatter ());
+      Logs.set_level (Some (if quiet then Logs.Warning else Logs.Info));
+      let endpoints =
+        List.map
+          (fun spec ->
+            match String.split_on_char ',' spec with
+            | primary :: replicas when primary <> "" ->
+                { Galatex_cluster.Router.primary; replicas }
+            | _ ->
+                Xquery.Errors.raise_error Xquery.Errors.FODC0002
+                  "malformed --shard %S: want SOCK[,REPLICA,...]" spec)
+          shards
+      in
+      let cfg =
+        {
+          (Galatex_cluster.Router.default_config ~shards:endpoints
+             ~socket_path:socket)
+          with
+          workers;
+          queue_limit;
+          retries;
+          default_deadline = deadline;
+          breaker_threshold;
+          breaker_cooldown;
+        }
+      in
+      let t = Galatex_cluster.Router.start cfg in
+      (* handlers only flip atomics (async-signal-safe); SIGHUP becomes a
+         rolling reload across the shards, one at a time *)
+      Sys.set_signal Sys.sighup
+        (Sys.Signal_handle (fun _ -> Galatex_cluster.Router.request_reload t));
+      let stop _ = Galatex_cluster.Router.request_shutdown t in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Galatex_cluster.Router.wait t;
+      `Ok ())
+
+let route_cmd =
+  let doc =
+    "Route queries across document-sharded $(b,galatex serve) daemons:
+     scatter-gather with per-shard deadline budgets, replica failover
+     behind per-endpoint circuit breakers, partial results
+     (gtlx:GTLX0011) when partitions stay down, document-hash update
+     routing, and rolling reload on SIGHUP."
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(
+      ret
+        (const run_route $ shard_arg $ socket_arg $ workers_arg
+       $ queue_limit_arg $ route_retries_arg $ route_deadline_arg
+       $ breaker_threshold_arg $ breaker_cooldown_arg $ quiet_arg))
+
 let server_unreachable server reason =
   Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
     server reason;
   exit 2
 
-let run_stats server metrics slowlog =
+let run_stats server metrics slowlog health =
+  if health then
+    match Galatex_server.Client.health ~socket_path:server () with
+    | Ok h ->
+        Printf.printf "generation %d\nwal_records %d\ndraining %b\n"
+          h.Galatex_server.Protocol.h_generation
+          h.Galatex_server.Protocol.h_wal_records
+          h.Galatex_server.Protocol.h_draining;
+        `Ok ()
+    | Error reason -> server_unreachable server reason
+  else
   if metrics then
     match Galatex_server.Client.metrics ~socket_path:server with
     | Ok text ->
@@ -810,17 +989,27 @@ let stats_slowlog_arg =
     & info [ "slowlog" ]
         ~doc:"Print the slow-query log (newest first) instead of counters.")
 
+let stats_health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Probe liveness instead: print the serving snapshot generation,
+           write-ahead-log depth and drain state.  Against a router, the
+           merged view — minimum generation and summed log depth across
+           reachable shards.")
+
 let stats_cmd =
   let doc =
     "Print a running daemon's counters and breaker states; with
      $(b,--metrics) the Prometheus-style exposition, with $(b,--slowlog)
-     the slow-query log."
+     the slow-query log, with $(b,--health) a liveness / generation probe."
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       ret
         (const run_stats $ stats_server_arg $ stats_metrics_arg
-       $ stats_slowlog_arg))
+       $ stats_slowlog_arg $ stats_health_arg))
 
 (* --- demo --- *)
 
@@ -852,7 +1041,7 @@ let main =
     (Cmd.info "galatex" ~version:"1.0.0" ~doc)
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
-      module_cmd; serve_cmd; stats_cmd; update_cmd; demo_cmd;
+      module_cmd; serve_cmd; route_cmd; stats_cmd; update_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,131 @@
+(* Merging per-shard answers (see merge.mli). *)
+
+module Protocol = Galatex_server.Protocol
+
+let classify text =
+  match Galatex.Engine.parse text with
+  | exception _ ->
+      (* unparseable: concat is harmless — the shards will all answer the
+         real structured syntax error and the router propagates it *)
+      Protocol.Merge_concat
+  | q -> (
+      match q.Xquery.Ast.body with
+      | Xquery.Ast.Call (("count" | "sum"), _) -> Protocol.Merge_sum
+      | _ -> Protocol.Merge_concat)
+
+(* --- score extraction ---------------------------------------------- *)
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then None else go 0
+
+let float_prefix s start =
+  let n = String.length s in
+  let is_float_char c =
+    match c with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false
+  in
+  let stop = ref start in
+  while !stop < n && is_float_char s.[!stop] do incr stop done;
+  if !stop = start then None
+  else float_of_string_opt (String.sub s start (!stop - start))
+
+let score_of_item item =
+  match find_sub item "score=\"" with
+  | Some i -> float_prefix item (i + String.length "score=\"")
+  | None ->
+      (* a bare numeric score printed ahead of the item text *)
+      let start = ref 0 in
+      let n = String.length item in
+      while !start < n && (item.[!start] = ' ' || item.[!start] = '\t') do
+        incr start
+      done;
+      float_prefix item !start
+
+(* --- the three policies -------------------------------------------- *)
+
+let by_shard per_shard =
+  List.sort (fun (a, _) (b, _) -> compare (a : int) b) per_shard
+
+let concat per_shard = List.concat_map snd (by_shard per_shard)
+
+(* Every shard must have answered exactly one numeric item for a sum to
+   make sense; otherwise the classification was wrong and concatenation
+   at least loses nothing. *)
+let sum per_shard =
+  let nums =
+    List.map
+      (fun (_, items) ->
+        match items with [ it ] -> float_of_string_opt (String.trim it) | _ -> None)
+      (by_shard per_shard)
+  in
+  if List.exists Option.is_none nums then None
+  else
+    let total = List.fold_left (fun acc n -> acc +. Option.get n) 0. nums in
+    let text =
+      if Float.is_integer total && Float.abs total < 1e15 then
+        string_of_int (int_of_float total)
+      else Printf.sprintf "%g" total
+    in
+    Some [ text ]
+
+let neg_inf = neg_infinity
+
+let top_k ~k per_shard =
+  let scored items = List.map (fun it -> (score_of_item it, it)) items in
+  let bound = function None -> neg_inf | Some s -> s in
+  let descending l =
+    let rec sorted = function
+      | (a, _) :: ((b, _) :: _ as rest) ->
+          bound a >= bound b && sorted rest
+      | [ _ ] | [] -> true
+    in
+    if sorted l then l
+    else List.stable_sort (fun (a, _) (b, _) -> compare (bound b) (bound a)) l
+  in
+  let heads =
+    Array.of_list
+      (List.map (fun (_, items) -> ref (descending (scored items)))
+         (by_shard per_shard))
+  in
+  (* k-way merge: each shard's head is its upper bound (its list is
+     descending), so the global best is always among the heads — take the
+     max head k times.  Strict [>] keeps ties in shard order. *)
+  let rec pick acc n =
+    if n = 0 then List.rev acc
+    else begin
+      let best = ref (-1) and best_s = ref neg_inf in
+      Array.iteri
+        (fun i r ->
+          match !r with
+          | [] -> ()
+          | (s, _) :: _ ->
+              let s = bound s in
+              if !best < 0 || s > !best_s then begin
+                best := i;
+                best_s := s
+              end)
+        heads;
+      if !best < 0 then List.rev acc
+      else
+        match !(heads.(!best)) with
+        | (_, it) :: rest ->
+            heads.(!best) := rest;
+            pick (it :: acc) (n - 1)
+        | [] -> assert false
+    end
+  in
+  pick [] (max 0 k)
+
+let items policy per_shard =
+  match policy with
+  | Protocol.Merge_concat -> concat per_shard
+  | Protocol.Merge_topk k -> top_k ~k per_shard
+  | Protocol.Merge_sum -> (
+      match sum per_shard with
+      | Some merged -> merged
+      | None -> concat per_shard)

@@ -1,0 +1,39 @@
+(** Merging per-shard answers into one cluster answer.
+
+    Three policies ({!Galatex_server.Protocol.merge}):
+    - {b concat}: items in cluster document order — shard index major,
+      in-shard order minor.  The default, and correct for any query whose
+      result order is document order, because the partitioner
+      ({!Corpus.Partition}) keeps in-shard order a stable refinement of
+      the unsharded order.
+    - {b sum}: each shard answered a single numeric item (a [count] or
+      [sum] over {e its} partition); the cluster answer is their sum.
+    - {b top-k}: each shard answered a score-descending list; the cluster
+      answer is the k best by a k-way merge that uses each shard's head
+      score as that shard's upper bound — no shard list is scanned past
+      the point where its bound falls below the current k-th score. *)
+
+val classify : string -> Galatex_server.Protocol.merge
+(** Merge policy for a query by inspection of its source text: a body
+    that is a top-level [count(...)] or [sum(...)] call sums, anything
+    else (including unparseable text — the shards will report the real
+    error) concatenates.  Used when the client sent no explicit policy. *)
+
+val score_of_item : string -> float option
+(** The relevance score carried by a result item's display string: a
+    [score="..."] attribute anywhere in the item, else a leading float
+    (as printed for a bare numeric score), else [None]. *)
+
+val items :
+  Galatex_server.Protocol.merge -> (int * string list) list -> string list
+(** [items policy per_shard] merges the per-shard item lists (keyed by
+    shard index, any order) into one.  [Merge_sum] falls back to
+    concatenation when a shard's answer is not a single numeric item, so
+    a misclassified query degrades to unmerged-but-complete output
+    instead of garbage. *)
+
+val top_k : k:int -> (int * string list) list -> string list
+(** The top-k merge itself, exposed for direct testing: pre-sorts any
+    shard list that is not score-descending, then k-way merges by head
+    score (ties and unscored items resolve in shard order; unscored items
+    rank below every scored one). *)

@@ -1,0 +1,903 @@
+(* The document-sharded cluster router (see router.mli for the contract).
+
+   Thread architecture mirrors the single daemon (server.ml):
+
+     accept thread   select/accept loop, admission control (bounded queue,
+                     GTLX0009 shedding), shutdown drain.
+     ticker thread   polls the rolling-reload flag so a SIGHUP on an idle
+                     router still rolls the shards.
+     worker pool     one framed request per connection; a query worker
+                     scatters to the shards on short-lived per-shard
+                     threads and joins them before replying.
+
+   The router holds no engine and no locks around shard I/O: all cluster
+   state is the breaker registry (thread-safe) and atomic counters, so a
+   slow shard blocks only the workers waiting on it, never the router's
+   own bookkeeping. *)
+
+let src = Logs.Src.create "galatex.route" ~doc:"GalaTex cluster router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Protocol = Galatex_server.Protocol
+module Client = Galatex_server.Client
+module Breaker = Galatex_server.Breaker
+
+type endpoint = { primary : string; replicas : string list }
+
+type config = {
+  socket_path : string;
+  shards : endpoint list;
+  workers : int;
+  queue_limit : int;
+  retries : int;
+  default_deadline : float;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  retry_after_ms : int;
+  recv_timeout : float;
+  probe_timeout : float;
+  reload_timeout : float;
+  tick_interval : float;
+  on_request : unit -> unit;
+  jitter : float -> float;
+  sleep : float -> unit;
+}
+
+let default_config ~shards ~socket_path =
+  {
+    socket_path;
+    shards;
+    workers = 4;
+    queue_limit = 64;
+    retries = 2;
+    default_deadline = 5.0;
+    breaker_threshold = 3;
+    breaker_cooldown = 8;
+    retry_after_ms = 25;
+    recv_timeout = 10.0;
+    probe_timeout = 2.0;
+    reload_timeout = 60.0;
+    tick_interval = 0.05;
+    on_request = ignore;
+    jitter = (fun bound -> bound *. (0.5 +. Random.float 0.5));
+    sleep = Unix.sleepf;
+  }
+
+type t = {
+  cfg : config;
+  shards : endpoint array;
+  listen_fd : Unix.file_descr;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable draining : bool;
+  mutable stopped : bool;
+  done_cond : Condition.t;
+  reload_flag : bool Atomic.t;
+  stop_flag : bool Atomic.t;
+  breakers : Breaker.t;  (** keyed by endpoint socket path *)
+  shard_up : int Atomic.t array;  (** 1 after last contact succeeded *)
+  (* counters *)
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  queries : int Atomic.t;
+  partials : int Atomic.t;
+  failed : int Atomic.t;
+  shed : int Atomic.t;
+  shed_shutdown : int Atomic.t;
+  client_errors : int Atomic.t;
+  shard_attempts : int Atomic.t;
+  shard_errors : int Atomic.t;
+  shard_bypassed : int Atomic.t;
+  updates : int Atomic.t;
+  update_errors : int Atomic.t;
+  compactions : int Atomic.t;
+  reloads : int Atomic.t;
+  reload_failures : int Atomic.t;
+  mutable accept_thread : Thread.t option;
+  mutable ticker_thread : Thread.t option;
+}
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let send_response t fd resp =
+  try Protocol.write_frame fd (Protocol.encode_response resp)
+  with
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
+      Atomic.incr t.client_errors
+
+let overload_reply t ~code_reason ~depth =
+  let e =
+    Xquery.Errors.make Xquery.Errors.GTLX0009
+      (Printf.sprintf "router overloaded (%s): queue depth %d, retry after %d ms"
+         code_reason depth t.cfg.retry_after_ms)
+  in
+  Protocol.Failure
+    (Protocol.error_of ~retry_after_ms:t.cfg.retry_after_ms ~queue_depth:depth e)
+
+let partial_failure fmt =
+  Format.kasprintf
+    (fun msg ->
+      Protocol.error_of (Xquery.Errors.make Xquery.Errors.GTLX0011 msg))
+    fmt
+
+let now () = Unix.gettimeofday ()
+let mark_up t i up = Atomic.set t.shard_up.(i) (if up then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter: one shard, primary then replicas, breaker-gated, within the
+   query's remaining deadline.                                          *)
+
+type shard_outcome =
+  | Answered of Protocol.query_reply
+  | Authoritative of Protocol.error_reply
+      (** a static / dynamic / type error: the query's own failure, not
+          the shard's — the shard is healthy and the error propagates *)
+  | Missing of string
+
+(* One endpoint sweep (primary first).  [`Got outcome] ends the shard's
+   scatter; [`Swept admitted] means every endpoint failed softly, with
+   [admitted = false] when the breakers bypassed all of them — the
+   fast-fail case: the shard is known down, don't wait out the budget. *)
+let sweep_endpoints t ~deadline q i eps =
+  let admitted = ref false in
+  let last = ref "all endpoints breaker-open" in
+  let result = ref None in
+  List.iter
+    (fun path ->
+      if Option.is_none !result then
+        let left = deadline -. now () in
+        if left <= 0. then last := "deadline exhausted"
+        else
+          match Breaker.route t.breakers path with
+          | Breaker.Bypass -> Atomic.incr t.shard_bypassed
+          | Breaker.Run | Breaker.Probe -> (
+              admitted := true;
+              Atomic.incr t.shard_attempts;
+              let q = { q with Protocol.deadline_left = Some left } in
+              match
+                Client.request ~recv_timeout:(left +. 0.5) ~socket_path:path
+                  (Protocol.Query q)
+              with
+              | Ok (Protocol.Value v) ->
+                  Breaker.record t.breakers path ~ok:true;
+                  result := Some (Answered v)
+              | Ok (Protocol.Failure e) -> (
+                  match e.Protocol.error_class with
+                  | "static" | "dynamic" | "type" ->
+                      (* the shard did its job; the query is at fault *)
+                      Breaker.record t.breakers path ~ok:true;
+                      result := Some (Authoritative e)
+                  | _ ->
+                      (* resource (shed, budget) or internal: the shard
+                         could not serve — fail over *)
+                      Breaker.record t.breakers path ~ok:false;
+                      Atomic.incr t.shard_errors;
+                      last :=
+                        Printf.sprintf "%s: %s: %s" path e.Protocol.code
+                          e.Protocol.message)
+              | Ok
+                  ( Protocol.Stats_reply _ | Protocol.Update_reply _
+                  | Protocol.Compact_reply _ | Protocol.Metrics_reply _
+                  | Protocol.Slowlog_reply _ | Protocol.Health_reply _ ) ->
+                  Breaker.record t.breakers path ~ok:false;
+                  Atomic.incr t.shard_errors;
+                  last := Printf.sprintf "%s: unexpected response" path
+              | Error reason ->
+                  Breaker.record t.breakers path ~ok:false;
+                  Atomic.incr t.shard_errors;
+                  last := Printf.sprintf "%s: %s" path reason))
+    eps;
+  match !result with
+  | Some outcome ->
+      mark_up t i true;
+      `Got outcome
+  | None -> `Swept (!admitted, !last)
+
+let ask_shard t ~deadline q i =
+  let ep = t.shards.(i) in
+  let eps = ep.primary :: ep.replicas in
+  let max_sweeps = 1 + max 0 t.cfg.retries in
+  let rec go sweep last =
+    if sweep > max_sweeps || deadline -. now () <= 0. then Missing last
+    else
+      match sweep_endpoints t ~deadline q i eps with
+      | `Got outcome -> outcome
+      | `Swept (false, _) ->
+          (* every endpoint breaker-open: the shard is known down; declare
+             it missing now instead of waiting out the budget *)
+          Missing "all endpoints breaker-open"
+      | `Swept (true, last) ->
+          let left = deadline -. now () in
+          if sweep < max_sweeps && left > 0. then
+            t.cfg.sleep
+              (Float.min
+                 (t.cfg.jitter
+                    (Client.backoff_bound ~base_ms:t.cfg.retry_after_ms
+                       ~cap_ms:1000 ~attempt:sweep))
+                 left);
+          go (sweep + 1) last
+  in
+  let outcome = go 1 "unasked" in
+  (match outcome with Missing _ -> mark_up t i false | _ -> ());
+  outcome
+
+(* ------------------------------------------------------------------ *)
+(* Gather: merge per-shard outcomes into one reply.                     *)
+
+let scatter_query t q =
+  Atomic.incr t.queries;
+  let n = Array.length t.shards in
+  let budget =
+    match q.Protocol.deadline_left with
+    | Some d -> d
+    | None -> (
+        match q.Protocol.limits.Xquery.Limits.timeout with
+        | Some tmo -> tmo
+        | None -> t.cfg.default_deadline)
+  in
+  let deadline = now () +. budget in
+  let outcomes = Array.make n (Missing "unasked") in
+  let threads =
+    List.init n (fun i ->
+        Thread.create
+          (fun () ->
+            outcomes.(i) <-
+              (try ask_shard t ~deadline q i
+               with exn -> Missing (Printexc.to_string exn)))
+          ())
+  in
+  List.iter Thread.join threads;
+  (* a structured query error from any healthy shard is authoritative:
+     the same query would fail the same way on every partition *)
+  let authoritative =
+    Array.fold_left
+      (fun acc o ->
+        match (acc, o) with
+        | None, Authoritative e -> Some e
+        | acc, _ -> acc)
+      None outcomes
+  in
+  match authoritative with
+  | Some e -> Protocol.Failure e
+  | None -> (
+      let answered = ref [] and missing = ref [] in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Answered v -> answered := (i, v) :: !answered
+          | Missing reason -> missing := (i, reason) :: !missing
+          | Authoritative _ -> ())
+        outcomes;
+      let answered = List.rev !answered and missing = List.rev !missing in
+      let describe (i, reason) = Printf.sprintf "partition %d: %s" i reason in
+      match answered with
+      | [] ->
+          Atomic.incr t.failed;
+          Protocol.Failure
+            (partial_failure "no partition answered (%d of %d down): %s" n n
+               (String.concat "; " (List.map describe missing)))
+      | (_, first) :: _ ->
+          let policy =
+            match q.Protocol.merge with
+            | Some m -> m
+            | None -> Merge.classify q.Protocol.query
+          in
+          let items =
+            Merge.items policy
+              (List.map (fun (i, v) -> (i, v.Protocol.items)) answered)
+          in
+          let steps =
+            List.fold_left (fun acc (_, v) -> acc + v.Protocol.steps) 0 answered
+          in
+          let generation =
+            List.fold_left
+              (fun acc (_, v) -> min acc v.Protocol.generation)
+              max_int answered
+          in
+          let fell_back =
+            List.exists (fun (_, v) -> v.Protocol.fell_back) answered
+          in
+          let partial =
+            match missing with
+            | [] -> None
+            | l ->
+                Atomic.incr t.partials;
+                Some
+                  {
+                    Protocol.missing = List.map fst l;
+                    detail = String.concat "; " (List.map describe l);
+                  }
+          in
+          Protocol.Value
+            {
+              Protocol.items;
+              strategy_used = first.Protocol.strategy_used;
+              fell_back;
+              steps;
+              generation;
+              partial;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Updates: route each operation to the shard that owns its document.
+   Single-writer semantics: a shard's writes go to its primary only —
+   replicas serve failover reads, never router writes.                  *)
+
+let uri_of_op = function
+  | Ftindex.Wal.Add_doc { uri; _ } -> uri
+  | Ftindex.Wal.Remove_doc uri -> uri
+
+(* A bounded-retry unicast for control-plane requests (updates, compact):
+   transport failures and sheds back off and retry within [budget]. *)
+let request_primary t ~budget ~socket_path req =
+  let deadline = now () +. budget in
+  let rec go attempt =
+    let left = deadline -. now () in
+    if left <= 0. then Error "deadline exhausted"
+    else
+      let outcome =
+        try Client.request ~recv_timeout:(left +. 0.5) ~socket_path req
+        with exn -> Error (Printexc.to_string exn)
+      in
+      let retryable =
+        match outcome with
+        | Ok reply -> Option.is_some (Client.shed_reply reply)
+        | Error _ -> true
+      in
+      if (not retryable) || attempt > max 0 t.cfg.retries then outcome
+      else begin
+        t.cfg.sleep
+          (Float.min
+             (t.cfg.jitter
+                (Client.backoff_bound ~base_ms:t.cfg.retry_after_ms
+                   ~cap_ms:1000 ~attempt))
+             (Float.max 0. (deadline -. now ())));
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let route_update t ops =
+  Atomic.incr t.updates;
+  let n = Array.length t.shards in
+  let groups = Array.make n [] in
+  List.iter
+    (fun op ->
+      let i = Corpus.Partition.shard_of_uri ~shards:n (uri_of_op op) in
+      groups.(i) <- op :: groups.(i))
+    ops;
+  let merged =
+    ref { Protocol.u_generation = 0; u_last_seq = 0; u_records = 0; u_bytes = 0 }
+  in
+  let applied = ref [] in
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    match (List.rev groups.(i), !failure) with
+    | [], _ | _, Some _ -> ()
+    | batch, None -> (
+        match
+          request_primary t ~budget:t.cfg.default_deadline
+            ~socket_path:t.shards.(i).primary (Protocol.Update batch)
+        with
+        | Ok (Protocol.Update_reply u) ->
+            mark_up t i true;
+            applied := i :: !applied;
+            merged :=
+              {
+                Protocol.u_generation =
+                  max !merged.Protocol.u_generation u.Protocol.u_generation;
+                u_last_seq = max !merged.Protocol.u_last_seq u.Protocol.u_last_seq;
+                u_records = !merged.Protocol.u_records + u.Protocol.u_records;
+                u_bytes = !merged.Protocol.u_bytes + u.Protocol.u_bytes;
+              }
+        | Ok (Protocol.Failure e) ->
+            Atomic.incr t.update_errors;
+            failure :=
+              Some
+                {
+                  e with
+                  Protocol.message =
+                    Printf.sprintf "partition %d: %s" i e.Protocol.message;
+                }
+        | Ok _ ->
+            Atomic.incr t.update_errors;
+            failure :=
+              Some (partial_failure "partition %d: unexpected response" i)
+        | Error reason ->
+            Atomic.incr t.update_errors;
+            mark_up t i false;
+            let applied_note =
+              match List.rev !applied with
+              | [] -> ""
+              | l ->
+                  Printf.sprintf " (already applied to partition(s) %s)"
+                    (String.concat ", " (List.map string_of_int l))
+            in
+            failure :=
+              Some
+                (partial_failure "update lost partition %d: %s%s" i reason
+                   applied_note))
+  done;
+  match !failure with
+  | Some e -> Protocol.Failure e
+  | None -> Protocol.Update_reply !merged
+
+let route_compact t =
+  Atomic.incr t.compactions;
+  let n = Array.length t.shards in
+  let merged = ref { Protocol.c_generation = 0; c_folded = 0 } in
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    if Option.is_none !failure then
+      match
+        request_primary t ~budget:t.cfg.reload_timeout
+          ~socket_path:t.shards.(i).primary Protocol.Compact
+      with
+      | Ok (Protocol.Compact_reply c) ->
+          mark_up t i true;
+          merged :=
+            {
+              Protocol.c_generation =
+                max !merged.Protocol.c_generation c.Protocol.c_generation;
+              c_folded = !merged.Protocol.c_folded + c.Protocol.c_folded;
+            }
+      | Ok (Protocol.Failure e) ->
+          failure :=
+            Some
+              {
+                e with
+                Protocol.message =
+                  Printf.sprintf "partition %d: %s" i e.Protocol.message;
+              }
+      | Ok _ -> failure := Some (partial_failure "partition %d: unexpected response" i)
+      | Error reason ->
+          mark_up t i false;
+          failure :=
+            Some (partial_failure "partition %d unreachable for compaction: %s" i reason)
+  done;
+  match !failure with
+  | Some e -> Protocol.Failure e
+  | None -> Protocol.Compact_reply !merged
+
+(* ------------------------------------------------------------------ *)
+(* Health and rolling reload.                                           *)
+
+let probe_shard t i =
+  let ep = t.shards.(i) in
+  let rec try_eps = function
+    | [] -> None
+    | path :: rest -> (
+        match
+          Client.health ~recv_timeout:t.cfg.probe_timeout ~socket_path:path ()
+        with
+        | Ok h -> Some h
+        | Error _ -> try_eps rest)
+  in
+  let r = try_eps (ep.primary :: ep.replicas) in
+  mark_up t i (Option.is_some r);
+  r
+
+let merge_health ~own_draining healths =
+  List.fold_left
+    (fun acc h ->
+      {
+        Protocol.h_generation =
+          min acc.Protocol.h_generation h.Protocol.h_generation;
+        h_wal_records = acc.Protocol.h_wal_records + h.Protocol.h_wal_records;
+        h_draining = acc.Protocol.h_draining || h.Protocol.h_draining;
+      })
+    {
+      Protocol.h_generation = max_int;
+      h_wal_records = 0;
+      h_draining = own_draining;
+    }
+    healths
+
+let cluster_health t =
+  let n = Array.length t.shards in
+  let answers = List.filter_map (fun i -> probe_shard t i) (List.init n Fun.id) in
+  match answers with
+  | [] ->
+      Error (partial_failure "no partition answered the health probe (%d down)" n)
+  | healths ->
+      Ok (merge_health ~own_draining:(locked t (fun () -> t.draining)) healths)
+
+let rolling_reload t =
+  (* one shard at a time, in partition order; the synchronous Reload
+     reply from shard i's primary is the gate for shard i+1 — it proves
+     the previous shard finished its swap and is serving again, so N-1
+     shards always hold the fort *)
+  let n = Array.length t.shards in
+  let healths = ref [] in
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    if Option.is_none !failure then begin
+      let ep = t.shards.(i) in
+      (match
+         Client.reload ~recv_timeout:t.cfg.reload_timeout
+           ~socket_path:ep.primary ()
+       with
+      | Ok h ->
+          mark_up t i true;
+          healths := h :: !healths;
+          Log.info (fun m ->
+              m "rolling reload: partition %d now serving generation %d" i
+                h.Protocol.h_generation)
+      | Error reason ->
+          mark_up t i false;
+          Atomic.incr t.reload_failures;
+          failure :=
+            Some
+              (partial_failure
+                 "rolling reload stopped at partition %d: %s (partitions \
+                  0..%d reloaded, the rest keep their old generation)"
+                 i reason (i - 1)));
+      if Option.is_none !failure then
+        (* replicas reload after their primary; a replica that fails only
+           costs failover freshness, never the roll *)
+        List.iter
+          (fun path ->
+            match
+              Client.reload ~recv_timeout:t.cfg.reload_timeout
+                ~socket_path:path ()
+            with
+            | Ok _ -> ()
+            | Error reason ->
+                Atomic.incr t.reload_failures;
+                Log.warn (fun m ->
+                    m "rolling reload: replica %s of partition %d failed: %s"
+                      path i reason))
+          ep.replicas
+    end
+  done;
+  match !failure with
+  | Some e -> Error e
+  | None ->
+      Atomic.incr t.reloads;
+      Ok
+        (merge_health
+           ~own_draining:(locked t (fun () -> t.draining))
+           !healths)
+
+(* ------------------------------------------------------------------ *)
+(* Stats and metrics.                                                   *)
+
+let stats t =
+  let a = Atomic.get in
+  let counters =
+    [
+      ("route_queries", a t.queries);
+      ("route_partial", a t.partials);
+      ("route_failed", a t.failed);
+      ("accepted", a t.accepted);
+      ("served", a t.served);
+      ("shed", a t.shed);
+      ("shed_shutdown", a t.shed_shutdown);
+      ("client_errors", a t.client_errors);
+      ("shard_attempts", a t.shard_attempts);
+      ("shard_errors", a t.shard_errors);
+      ("shard_bypassed", a t.shard_bypassed);
+      ("breaker_trips", Breaker.trips_total t.breakers);
+      ("updates", a t.updates);
+      ("update_errors", a t.update_errors);
+      ("compactions", a t.compactions);
+      ("reloads", a t.reloads);
+      ("reload_failures", a t.reload_failures);
+      ("queue_depth", locked t (fun () -> Queue.length t.queue));
+      ("workers", t.cfg.workers);
+      ("shards", Array.length t.shards);
+    ]
+  in
+  let breakers =
+    List.map
+      (fun s ->
+        {
+          Protocol.b_strategy = s.Breaker.strategy;
+          b_state = s.Breaker.state;
+          b_consecutive = s.Breaker.consecutive;
+          b_cooldown = s.Breaker.cooldown;
+          b_trips = s.Breaker.trips;
+        })
+      (Breaker.snapshots t.breakers)
+  in
+  { Protocol.counters; breakers }
+
+let metrics_text t =
+  let b = Buffer.create 1024 in
+  let gauge_names = [ "queue_depth"; "workers"; "shards" ] in
+  List.iter
+    (fun (name, v) ->
+      let kind = if List.mem name gauge_names then "gauge" else "counter" in
+      let metric =
+        if kind = "counter" then Printf.sprintf "galatex_%s_total" name
+        else Printf.sprintf "galatex_%s" name
+      in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" metric kind);
+      Buffer.add_string b (Printf.sprintf "%s %d\n" metric v))
+    (stats t).Protocol.counters;
+  Buffer.add_string b "# TYPE galatex_route_shard_up gauge\n";
+  Array.iteri
+    (fun i up ->
+      Buffer.add_string b
+        (Printf.sprintf "galatex_route_shard_up{shard=\"%d\"} %d\n" i
+           (Atomic.get up)))
+    t.shard_up;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection dispatch.                                             *)
+
+let handle_reload_request t =
+  if locked t (fun () -> t.draining) then begin
+    Atomic.incr t.shed_shutdown;
+    overload_reply t ~code_reason:"shutting down" ~depth:0
+  end
+  else
+    match rolling_reload t with
+    | Ok h -> Protocol.Health_reply h
+    | Error e -> Protocol.Failure e
+
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> close_quietly fd)
+    (fun () ->
+      t.cfg.on_request ();
+      match Protocol.read_frame fd with
+      | Error reason ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: %s" reason)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: receive timeout")
+      | exception Unix.Unix_error (e, _, _) ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m ->
+              m "dropping connection: %s" (Unix.error_message e))
+      | Ok data ->
+          let resp =
+            match Protocol.decode_request data with
+            | Error reason ->
+                Atomic.incr t.client_errors;
+                Protocol.Failure
+                  {
+                    Protocol.code = "err:XPST0003";
+                    error_class = "static";
+                    message = "malformed request: " ^ reason;
+                    retry_after_ms = None;
+                    queue_depth = None;
+                  }
+            | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
+            | Ok Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
+            | Ok Protocol.Slowlog ->
+                (* the shards keep the slow logs; the router has none *)
+                Protocol.Slowlog_reply []
+            | Ok Protocol.Health -> (
+                match cluster_health t with
+                | Ok h -> Protocol.Health_reply h
+                | Error e -> Protocol.Failure e)
+            | Ok Protocol.Reload -> (
+                try handle_reload_request t
+                with exn ->
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Update ops) -> (
+                try route_update t ops
+                with exn ->
+                  Atomic.incr t.update_errors;
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok Protocol.Compact -> (
+                try route_compact t
+                with exn ->
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Query q) -> (
+                try scatter_query t q
+                with exn ->
+                  Atomic.incr t.failed;
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+          in
+          Atomic.incr t.served;
+          send_response t fd resp)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.lock
+    else begin
+      let fd = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (try serve_connection t fd
+       with exn ->
+         Atomic.incr t.client_errors;
+         Log.err (fun m ->
+             m "worker absorbed an exception: %s" (Printexc.to_string exn)));
+      loop ()
+    end
+  in
+  loop ()
+
+let ticker_loop t =
+  while not (Atomic.get t.stop_flag) do
+    (try
+       if
+         Atomic.exchange t.reload_flag false
+         && not (locked t (fun () -> t.draining))
+       then
+         match rolling_reload t with
+         | Ok h ->
+             Log.info (fun m ->
+                 m "rolling reload complete: serving floor generation %d"
+                   h.Protocol.h_generation)
+         | Error e ->
+             Log.err (fun m -> m "rolling reload failed: %s" e.Protocol.message)
+     with exn ->
+       Log.err (fun m ->
+           m "maintenance absorbed an exception: %s" (Printexc.to_string exn)));
+    Thread.delay t.cfg.tick_interval
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop, drain, lifecycle — same shape as the single daemon.     *)
+
+let admit t client =
+  (match Unix.setsockopt_float client Unix.SO_RCVTIMEO t.cfg.recv_timeout with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  Atomic.incr t.accepted;
+  Mutex.lock t.lock;
+  if t.draining then begin
+    Mutex.unlock t.lock;
+    Atomic.incr t.shed_shutdown;
+    send_response t client (overload_reply t ~code_reason:"shutting down" ~depth:0);
+    close_quietly client
+  end
+  else if Queue.length t.queue >= t.cfg.queue_limit then begin
+    let depth = Queue.length t.queue in
+    Mutex.unlock t.lock;
+    Atomic.incr t.shed;
+    send_response t client (overload_reply t ~code_reason:"queue full" ~depth);
+    close_quietly client
+  end
+  else begin
+    Queue.add client t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let shutdown_drain t workers =
+  let stragglers =
+    locked t (fun () ->
+        t.draining <- true;
+        let fds = List.of_seq (Queue.to_seq t.queue) in
+        Queue.clear t.queue;
+        Condition.broadcast t.nonempty;
+        fds)
+  in
+  List.iter
+    (fun fd ->
+      Atomic.incr t.shed_shutdown;
+      send_response t fd (overload_reply t ~code_reason:"shutting down" ~depth:0);
+      close_quietly fd)
+    stragglers;
+  List.iter Thread.join workers;
+  (match t.ticker_thread with Some th -> Thread.join th | None -> ());
+  close_quietly t.listen_fd;
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  locked t (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.done_cond);
+  Log.info (fun m -> m "router shutdown complete")
+
+let accept_loop t workers =
+  let rec loop () =
+    if Atomic.get t.stop_flag then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [ _ ], _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | client, _ -> admit t client
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK
+                  | Unix.ECONNABORTED ),
+                  _,
+                  _ ) ->
+              ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop ()
+   with exn ->
+     Log.err (fun m ->
+         m "accept loop absorbed an exception: %s" (Printexc.to_string exn)));
+  shutdown_drain t workers
+
+let start (cfg : config) =
+  if cfg.shards = [] then invalid_arg "Router.start: no shards";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try
+     if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with
+  | Unix.Unix_error (e, fn, _) ->
+      close_quietly listen_fd;
+      Xquery.Errors.raise_error Xquery.Errors.FODC0002
+        "cannot route on %s: %s: %s" cfg.socket_path fn (Unix.error_message e));
+  let t =
+    {
+      cfg;
+      shards = Array.of_list cfg.shards;
+      listen_fd;
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      stopped = false;
+      done_cond = Condition.create ();
+      reload_flag = Atomic.make false;
+      stop_flag = Atomic.make false;
+      breakers =
+        Breaker.create ~threshold:cfg.breaker_threshold
+          ~cooldown:cfg.breaker_cooldown;
+      shard_up =
+        Array.init (List.length cfg.shards) (fun _ -> Atomic.make 1);
+      accepted = Atomic.make 0;
+      served = Atomic.make 0;
+      queries = Atomic.make 0;
+      partials = Atomic.make 0;
+      failed = Atomic.make 0;
+      shed = Atomic.make 0;
+      shed_shutdown = Atomic.make 0;
+      client_errors = Atomic.make 0;
+      shard_attempts = Atomic.make 0;
+      shard_errors = Atomic.make 0;
+      shard_bypassed = Atomic.make 0;
+      updates = Atomic.make 0;
+      update_errors = Atomic.make 0;
+      compactions = Atomic.make 0;
+      reloads = Atomic.make 0;
+      reload_failures = Atomic.make 0;
+      accept_thread = None;
+      ticker_thread = None;
+    }
+  in
+  let workers =
+    List.init (max 1 cfg.workers) (fun _ -> Thread.create worker_loop t)
+  in
+  t.ticker_thread <- Some (Thread.create ticker_loop t);
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t workers) ());
+  Log.info (fun m ->
+      m "routing %d partition(s) on %s (%d workers, queue %d)"
+        (Array.length t.shards) cfg.socket_path cfg.workers cfg.queue_limit);
+  t
+
+let request_reload t = Atomic.set t.reload_flag true
+let request_shutdown t = Atomic.set t.stop_flag true
+
+let wait t =
+  Mutex.lock t.lock;
+  while not t.stopped do
+    Condition.wait t.done_cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  match t.accept_thread with Some th -> Thread.join th | None -> ()
+
+let stop t =
+  request_shutdown t;
+  wait t

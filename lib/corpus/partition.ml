@@ -1,0 +1,33 @@
+(* Document partitioning for sharded serving (see partition.mli).
+
+   FNV-1a over the uri, folded modulo the shard count.  The indexer and
+   the router must agree on placement forever, so the function is frozen:
+   64-bit FNV-1a with the standard offset basis and prime. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let shard_of_uri ~shards uri =
+  if shards < 1 then invalid_arg "Partition.shard_of_uri: shards < 1";
+  (* mask the sign so the fold is non-negative before the mod *)
+  let h = Int64.to_int (fnv1a uri) land max_int in
+  h mod shards
+
+let split ~shards docs =
+  if shards < 1 then invalid_arg "Partition.split: shards < 1";
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun ((uri, _) as doc) ->
+      let i = shard_of_uri ~shards uri in
+      buckets.(i) <- doc :: buckets.(i))
+    docs;
+  Array.map List.rev buckets

@@ -1,0 +1,26 @@
+(** Document partitioning for sharded serving: the single source of truth
+    for which shard owns which document.
+
+    Both sides of the cluster use it — [galatex index --shards N] places
+    each document when building the per-shard snapshots, and the router
+    places each update operation when routing it — so the hash function
+    here {e is} the cluster's data layout.  Changing it reshuffles every
+    document; treat it like a wire format. *)
+
+val fnv1a : string -> int64
+(** 64-bit FNV-1a of the string — cheap, well distributed on short keys
+    like document uris, and easy to reimplement bit-for-bit elsewhere. *)
+
+val shard_of_uri : shards:int -> string -> int
+(** [shard_of_uri ~shards uri] is the owning shard index in
+    [0 .. shards - 1], by document-uri hash.  Placement depends only on
+    the uri and the shard count, never on insertion order, so indexer and
+    router always agree.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val split : shards:int -> (string * 'a) list -> (string * 'a) list array
+(** Partition [(uri, doc)] pairs into [shards] buckets by
+    {!shard_of_uri}, preserving the input's relative order inside each
+    bucket — so cluster document order (shard index major, in-shard order
+    minor) is a stable refinement of a single daemon's document order.
+    @raise Invalid_argument if [shards < 1]. *)

@@ -2,7 +2,7 @@
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let request ~socket_path req =
+let request ?recv_timeout ~socket_path req =
   match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
       Error (Printf.sprintf "socket: %s" (Unix.error_message e))
@@ -10,6 +10,14 @@ let request ~socket_path req =
       Fun.protect
         ~finally:(fun () -> close_quietly fd)
         (fun () ->
+          (match recv_timeout with
+          | Some s when s > 0. ->
+              (* a mute peer (hung daemon, half-dead shard) must surface as
+                 a transport error, never a hang — the router's scatter
+                 path depends on this bound *)
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+               with Unix.Unix_error _ -> ())
+          | Some _ | None -> ());
           match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
           | exception Unix.Unix_error (e, fn, _) ->
               Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
@@ -28,6 +36,9 @@ let request ~socket_path req =
               match Protocol.read_frame fd with
               | Ok data -> Protocol.decode_response data
               | Error reason -> Error reason
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  Error "receive timeout"
               | exception Unix.Unix_error (e, fn, _) ->
                   Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))))
 
@@ -35,7 +46,8 @@ let shed_reply = function
   | Protocol.Failure e when e.Protocol.code = "gtlx:GTLX0009" -> Some e
   | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _
   | Protocol.Update_reply _ | Protocol.Compact_reply _
-  | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _ ->
+  | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _
+  | Protocol.Health_reply _ ->
       None
 
 let default_jitter bound = bound *. (0.5 +. Random.float 0.5)
@@ -54,11 +66,27 @@ let backoff_bound ~base_ms ~cap_ms ~attempt:k =
   float_of_int (max base_ms doubled) /. 1000.
 
 let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
-    ?(cap_delay_ms = 5000) ?(jitter = default_jitter) ?(sleep = Unix.sleepf) q =
-  let req = Protocol.Query q in
+    ?(cap_delay_ms = 5000) ?(jitter = default_jitter) ?(sleep = Unix.sleepf)
+    ?deadline q =
+  (* [deadline] is an absolute [Unix.gettimeofday]-clock instant bounding
+     the whole retry loop: every attempt advertises the remaining budget
+     over the wire ([deadline_left]), backoff sleeps are capped to it, and
+     when it runs out the last outcome is returned instead of retrying —
+     retries spend the one original budget, they don't restart it. *)
+  let remaining () =
+    match deadline with
+    | None -> infinity
+    | Some d -> d -. Unix.gettimeofday ()
+  in
   (* attempt [k] of [retries + 1]; [base_ms] tracks the daemon's hint *)
   let rec go k base_ms =
-    let outcome = request ~socket_path req in
+    let left = remaining () in
+    let q =
+      if left = infinity then q
+      else { q with Protocol.deadline_left = Some (Float.max 0. left) }
+    in
+    let recv_timeout = if left = infinity then None else Some (left +. 1.) in
+    let outcome = request ?recv_timeout ~socket_path (Protocol.Query q) in
     let retryable, base_ms =
       match outcome with
       | Ok reply -> (
@@ -71,9 +99,14 @@ let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
              be restarting — same backoff loop as a shed *)
           (true, base_ms)
     in
-    if (not retryable) || k > retries then outcome
+    if (not retryable) || k > retries || remaining () <= 0. then outcome
     else begin
-      sleep (jitter (backoff_bound ~base_ms ~cap_ms:cap_delay_ms ~attempt:k));
+      let wait =
+        Float.min
+          (jitter (backoff_bound ~base_ms ~cap_ms:cap_delay_ms ~attempt:k))
+          (Float.max 0. (remaining ()))
+      in
+      sleep wait;
       go (k + 1) base_ms
     end
   in
@@ -86,7 +119,8 @@ let stats ~socket_path =
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
   | Ok
       ( Protocol.Value _ | Protocol.Update_reply _ | Protocol.Compact_reply _
-      | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _ ) ->
+      | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _
+      | Protocol.Health_reply _ ) ->
       Error "unexpected response to stats"
   | Error reason -> Error reason
 
@@ -97,7 +131,8 @@ let metrics ~socket_path =
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
   | Ok
       ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
-      | Protocol.Compact_reply _ | Protocol.Slowlog_reply _ ) ->
+      | Protocol.Compact_reply _ | Protocol.Slowlog_reply _
+      | Protocol.Health_reply _ ) ->
       Error "unexpected response to metrics"
   | Error reason -> Error reason
 
@@ -108,6 +143,25 @@ let slowlog ~socket_path =
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
   | Ok
       ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
-      | Protocol.Compact_reply _ | Protocol.Metrics_reply _ ) ->
+      | Protocol.Compact_reply _ | Protocol.Metrics_reply _
+      | Protocol.Health_reply _ ) ->
       Error "unexpected response to slowlog"
   | Error reason -> Error reason
+
+let health_request ?recv_timeout ~socket_path req what =
+  match request ?recv_timeout ~socket_path req with
+  | Ok (Protocol.Health_reply h) -> Ok h
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ | Protocol.Metrics_reply _
+      | Protocol.Slowlog_reply _ ) ->
+      Error ("unexpected response to " ^ what)
+  | Error reason -> Error reason
+
+let health ?recv_timeout ~socket_path () =
+  health_request ?recv_timeout ~socket_path Protocol.Health "health"
+
+let reload ?recv_timeout ~socket_path () =
+  health_request ?recv_timeout ~socket_path Protocol.Reload "reload"

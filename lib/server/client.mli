@@ -7,10 +7,20 @@
     seeded by the daemon's own retry-after hint when one came back. *)
 
 val request :
-  socket_path:string -> Protocol.request -> (Protocol.response, string) result
+  ?recv_timeout:float ->
+  socket_path:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
 (** One round trip on a fresh connection.  [Error reason] covers transport
     failures only (connect/read/write/decode); a structured evaluation
-    failure is [Ok (Failure _)]. *)
+    failure is [Ok (Failure _)].  [recv_timeout] (seconds) bounds the wait
+    for the reply so a mute peer surfaces as [Error "receive timeout"]
+    instead of a hang — the cluster router's scatter path relies on it. *)
+
+val shed_reply : Protocol.response -> Protocol.error_reply option
+(** The overload-shed failure ([GTLX0009]) carried by a response, if that
+    is what it is — the retryable case shared by {!query} and the cluster
+    router's unicast retry loop. *)
 
 val backoff_bound : base_ms:int -> cap_ms:int -> attempt:int -> float
 (** Deterministic upper bound (seconds) on the wait before retry attempt
@@ -25,6 +35,7 @@ val query :
   ?cap_delay_ms:int ->
   ?jitter:(float -> float) ->
   ?sleep:(float -> unit) ->
+  ?deadline:float ->
   Protocol.query_request ->
   (Protocol.response, string) result
 (** Send a query, retrying up to [retries] extra times (default 0) when
@@ -38,8 +49,15 @@ val query :
     wait (default: uniform random in [0.5x, 1.0x]).  [sleep] is a test
     hook (default [Unix.sleepf]).
 
+    [deadline] is an absolute [Unix.gettimeofday] instant bounding the
+    {e whole} retry loop: every attempt advertises the remaining budget
+    over the wire ([deadline_left], which the daemon clamps its timeout
+    to), the receive wait and backoff sleeps are capped to it, and once it
+    passes the last outcome is returned instead of retrying — so a query
+    with a 2 s budget spends 2 s total, not 2 s per attempt.
+
     Returns the last response (possibly still the shed failure) or the
-    last transport error once retries are exhausted. *)
+    last transport error once retries or the deadline are exhausted. *)
 
 val stats : socket_path:string -> (Protocol.stats_reply, string) result
 (** Fetch the daemon's counter snapshot; [Error] on transport failure or
@@ -52,3 +70,21 @@ val metrics : socket_path:string -> (string, string) result
 val slowlog : socket_path:string -> (Protocol.slow_entry list, string) result
 (** Fetch the slow-query log (newest first); [Error] on transport failure
     or an unexpected response. *)
+
+val health :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  unit ->
+  (Protocol.health_reply, string) result
+(** Probe liveness: the daemon answers from atomics without touching the
+    engine, so this is cheap enough to poll every router tick. *)
+
+val reload :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  unit ->
+  (Protocol.health_reply, string) result
+(** Ask the daemon to reload its snapshot {e synchronously} and return the
+    post-reload health snapshot.  The reply is the rolling-reload gate: it
+    proves the daemon finished the swap and is serving again, and carries
+    the generation so the caller can verify which one. *)

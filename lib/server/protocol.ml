@@ -79,6 +79,8 @@ let finish r what =
 (* ------------------------------------------------------------------ *)
 (* Requests.                                                           *)
 
+type merge = Merge_concat | Merge_sum | Merge_topk of int
+
 type query_request = {
   query : string;
   strategy : Galatex.Engine.strategy;
@@ -87,6 +89,8 @@ type query_request = {
   context : string option;
   limits : Xquery.Limits.t;
   fault_at : int option;
+  deadline_left : float option;
+  merge : merge option;
 }
 
 type request =
@@ -96,13 +100,16 @@ type request =
   | Compact
   | Metrics
   | Slowlog
+  | Health
+  | Reload
 
 let query_request ?(strategy = Galatex.Engine.Native_materialized)
     ?(optimize = false) ?(fallback = true) ?context
     ?(limits =
       { Xquery.Limits.max_steps = None; max_depth = None; max_matches = None;
-        timeout = None }) ?fault_at query =
-  { query; strategy; optimize; fallback; context; limits; fault_at }
+        timeout = None }) ?fault_at ?deadline_left ?merge query =
+  { query; strategy; optimize; fallback; context; limits; fault_at;
+    deadline_left; merge }
 
 let strategy_tag = function
   | Galatex.Engine.Translated -> 0
@@ -135,6 +142,23 @@ let get_op r : Ftindex.Wal.op =
   | c -> malformed "unknown update op tag %C" c
   | exception Invalid_argument _ -> malformed "update op tag out of range"
 
+let put_float b f = put_bits64 b (Int64.bits_of_float f)
+let get_float r = Int64.float_of_bits (get_bits64 r)
+
+let put_merge b = function
+  | Merge_concat -> put_u8 b 0
+  | Merge_sum -> put_u8 b 1
+  | Merge_topk k ->
+      put_u8 b 2;
+      put_u32 b k
+
+let get_merge r =
+  match get_u8 r with
+  | 0 -> Merge_concat
+  | 1 -> Merge_sum
+  | 2 -> Merge_topk (get_u32 r)
+  | n -> malformed "unknown merge tag %d" n
+
 let encode_request req =
   let b = Buffer.create 256 in
   (match req with
@@ -142,6 +166,8 @@ let encode_request req =
   | Compact -> put_u8 b (Char.code 'C')
   | Metrics -> put_u8 b (Char.code 'M')
   | Slowlog -> put_u8 b (Char.code 'L')
+  | Health -> put_u8 b (Char.code 'H')
+  | Reload -> put_u8 b (Char.code 'R')
   | Update ops ->
       put_u8 b (Char.code 'U');
       put_u32 b (List.length ops);
@@ -156,10 +182,10 @@ let encode_request req =
       put_opt put_u32 b q.limits.Xquery.Limits.max_steps;
       put_opt put_u32 b q.limits.Xquery.Limits.max_depth;
       put_opt put_u32 b q.limits.Xquery.Limits.max_matches;
-      put_opt
-        (fun b f -> put_bits64 b (Int64.bits_of_float f))
-        b q.limits.Xquery.Limits.timeout;
-      put_opt put_u32 b q.fault_at);
+      put_opt put_float b q.limits.Xquery.Limits.timeout;
+      put_opt put_u32 b q.fault_at;
+      put_opt put_float b q.deadline_left;
+      put_opt put_merge b q.merge);
   Buffer.contents b
 
 let decode_request data =
@@ -178,6 +204,12 @@ let decode_request data =
     | 'L' ->
         finish r "slowlog request";
         Ok Slowlog
+    | 'H' ->
+        finish r "health request";
+        Ok Health
+    | 'R' ->
+        finish r "reload request";
+        Ok Reload
     | 'U' ->
         let ops = List.init (get_u32 r) (fun _ -> get_op r) in
         finish r "update request";
@@ -191,10 +223,10 @@ let decode_request data =
         let max_steps = get_opt get_u32 r in
         let max_depth = get_opt get_u32 r in
         let max_matches = get_opt get_u32 r in
-        let timeout =
-          get_opt (fun r -> Int64.float_of_bits (get_bits64 r)) r
-        in
+        let timeout = get_opt get_float r in
         let fault_at = get_opt get_u32 r in
+        let deadline_left = get_opt get_float r in
+        let merge = get_opt get_merge r in
         finish r "query request";
         Ok
           (Query
@@ -206,6 +238,8 @@ let decode_request data =
                context;
                limits = { Xquery.Limits.max_steps; max_depth; max_matches; timeout };
                fault_at;
+               deadline_left;
+               merge;
              })
     | c -> Error (Printf.sprintf "unknown request tag %C" c)
     | exception Invalid_argument _ -> Error "request tag out of range"
@@ -214,12 +248,18 @@ let decode_request data =
 (* ------------------------------------------------------------------ *)
 (* Responses.                                                          *)
 
+type partial_info = {
+  missing : int list;  (** shard indices that never answered *)
+  detail : string;  (** human-readable reason, per missing shard *)
+}
+
 type query_reply = {
   items : string list;
   strategy_used : string;
   fell_back : bool;
   steps : int;
   generation : int;
+  partial : partial_info option;
 }
 
 type error_reply = {
@@ -263,6 +303,12 @@ type slow_entry = {
   s_steps : int;
 }
 
+type health_reply = {
+  h_generation : int;  (** snapshot generation now serving *)
+  h_wal_records : int;  (** records in the write-ahead log *)
+  h_draining : bool;  (** shutdown drain has begun *)
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
@@ -271,6 +317,7 @@ type response =
   | Compact_reply of compact_reply
   | Metrics_reply of string
   | Slowlog_reply of slow_entry list
+  | Health_reply of health_reply
 
 let error_of ?retry_after_ms ?queue_depth (e : Xquery.Errors.t) =
   {
@@ -300,7 +347,13 @@ let encode_response resp =
       put_str b v.strategy_used;
       put_bool b v.fell_back;
       put_u32 b v.steps;
-      put_u32 b v.generation
+      put_u32 b v.generation;
+      put_opt
+        (fun b p ->
+          put_u32 b (List.length p.missing);
+          List.iter (put_u32 b) p.missing;
+          put_str b p.detail)
+        b v.partial
   | Failure e ->
       put_u8 b (Char.code 'E');
       put_str b e.code;
@@ -321,6 +374,11 @@ let encode_response resp =
   | Metrics_reply text ->
       put_u8 b (Char.code 'M');
       put_str b text
+  | Health_reply h ->
+      put_u8 b (Char.code 'H');
+      put_u32 b h.h_generation;
+      put_u32 b h.h_wal_records;
+      put_bool b h.h_draining
   | Slowlog_reply entries ->
       put_u8 b (Char.code 'L');
       put_u32 b (List.length entries);
@@ -361,8 +419,16 @@ let decode_response data =
         let fell_back = get_bool r in
         let steps = get_u32 r in
         let generation = get_u32 r in
+        let partial =
+          get_opt
+            (fun r ->
+              let missing = List.init (get_u32 r) (fun _ -> get_u32 r) in
+              let detail = get_str r in
+              { missing; detail })
+            r
+        in
         finish r "value response";
-        Ok (Value { items; strategy_used; fell_back; steps; generation })
+        Ok (Value { items; strategy_used; fell_back; steps; generation; partial })
     | 'E' ->
         let code = get_str r in
         let error_class = get_str r in
@@ -405,6 +471,12 @@ let decode_response data =
         let text = get_str r in
         finish r "metrics response";
         Ok (Metrics_reply text)
+    | 'H' ->
+        let h_generation = get_u32 r in
+        let h_wal_records = get_u32 r in
+        let h_draining = get_bool r in
+        finish r "health response";
+        Ok (Health_reply { h_generation; h_wal_records; h_draining })
     | 'L' ->
         let entries =
           List.init (get_u32 r) (fun _ ->

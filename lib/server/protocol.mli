@@ -9,6 +9,11 @@
 
 (** {1 Requests} *)
 
+type merge = Merge_concat | Merge_sum | Merge_topk of int
+(** How a cluster router combines per-shard answers (shard daemons ignore
+    the field): concatenate in partition order, sum single numeric items
+    (counts), or k-way merge score-tagged items by descending score. *)
+
 type query_request = {
   query : string;  (** XQuery Full-Text source text *)
   strategy : Galatex.Engine.strategy;
@@ -22,6 +27,15 @@ type query_request = {
       (** deterministic fault injection at eval step [n] of {e this}
           request's evaluation (chaos tests); a breaker-bypassed request
           runs clean *)
+  deadline_left : float option;
+      (** the caller's {e remaining} wall-clock budget (seconds) at send
+          time.  The server clamps its effective timeout to it, so retries
+          and scatter fan-out spend the one original budget instead of
+          restarting it per hop *)
+  merge : merge option;
+      (** merge policy hint for a cluster router ([None] = router decides:
+          top-level [count]/[sum] calls are summed, everything else
+          concatenates in partition order) *)
 }
 
 type request =
@@ -39,21 +53,44 @@ type request =
   | Slowlog
       (** the ring buffer of recent queries slower than the configured
           threshold, newest first *)
+  | Health
+      (** lightweight liveness / generation probe: answered from atomics,
+          never touches the engine or takes the update lock *)
+  | Reload
+      (** synchronous hot snapshot reload: the worker performs the reload
+          (off the other workers' request path — readers keep the old
+          engine until the atomic swap) and replies with a health snapshot
+          of the post-reload state.  The rolling-reload gate. *)
 
 val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
   ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
-  ?fault_at:int -> string -> query_request
+  ?fault_at:int -> ?deadline_left:float -> ?merge:merge -> string ->
+  query_request
 (** Defaults: materialized strategy, no optimizations, fallback on, no
-    explicit limits (the server's own defaults apply). *)
+    explicit limits (the server's own defaults apply), no deadline
+    propagation, router-decided merge. *)
 
 (** {1 Responses} *)
+
+type partial_info = {
+  missing : int list;  (** shard indices that never answered *)
+  detail : string;  (** one human-readable reason per missing shard *)
+}
+(** Partial-result framing (code [gtlx:GTLX0011]): a cluster router that
+    lost some partitions past retries answers with the shards that did
+    reply and tags the reply with the missing partition indices instead of
+    failing the whole query. *)
 
 type query_reply = {
   items : string list;  (** result items, one display string each *)
   strategy_used : string;
   fell_back : bool;
-  steps : int;
-  generation : int;  (** snapshot generation that answered (0: in-memory) *)
+  steps : int;  (** summed across shards on a merged cluster reply *)
+  generation : int;
+      (** snapshot generation that answered (0: in-memory); a merged
+          cluster reply reports the {e minimum} across answering shards —
+          the serving floor *)
+  partial : partial_info option;  (** [None] = complete answer *)
 }
 
 type error_reply = {
@@ -97,6 +134,12 @@ type slow_entry = {
   s_steps : int;  (** eval steps the run consumed *)
 }
 
+type health_reply = {
+  h_generation : int;  (** snapshot generation now serving *)
+  h_wal_records : int;  (** records in the write-ahead log *)
+  h_draining : bool;  (** shutdown drain has begun *)
+}
+
 type response =
   | Value of query_reply
   | Failure of error_reply
@@ -105,6 +148,7 @@ type response =
   | Compact_reply of compact_reply
   | Metrics_reply of string  (** Prometheus-style text exposition *)
   | Slowlog_reply of slow_entry list  (** newest first *)
+  | Health_reply of health_reply  (** answers [Health] and [Reload] *)
 
 val error_of : ?retry_after_ms:int -> ?queue_depth:int -> Xquery.Errors.t -> error_reply
 val exit_code_of_class : string -> int

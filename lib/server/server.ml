@@ -189,6 +189,20 @@ let eval_query t (q : Protocol.query_request) =
   let engine = current_engine t in
   let gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
   let limits = effective_limits t.cfg q.Protocol.limits in
+  (* the caller's remaining budget caps whatever timeout would apply: a
+     retried or scatter-forwarded request spends the one original budget
+     instead of restarting it on every hop *)
+  let limits =
+    match q.Protocol.deadline_left with
+    | None -> limits
+    | Some left ->
+        let timeout =
+          match limits.Xquery.Limits.timeout with
+          | Some t -> Float.min t left
+          | None -> left
+        in
+        { limits with Xquery.Limits.timeout = Some (Float.max 0. timeout) }
+  in
   let t0 = t.cfg.clock () in
   let decision =
     if optimized q then Breaker.route t.breaker (strategy_key q)
@@ -236,6 +250,7 @@ let eval_query t (q : Protocol.query_request) =
           fell_back = report.Galatex.Engine.fell_back;
           steps = report.Galatex.Engine.steps;
           generation = gen;
+          partial = None;
         }
   | exception Xquery.Errors.Error e ->
       (* user errors and resource limits are the request's own problem;
@@ -527,91 +542,13 @@ let handle_compact t =
         Protocol.Compact_reply { Protocol.c_generation = gen; c_folded = folded }
     | Error e -> Protocol.Failure (Protocol.error_of e)
 
-let serve_connection t fd =
-  Fun.protect
-    ~finally:(fun () -> close_quietly fd)
-    (fun () ->
-      t.cfg.on_request ();
-      match Protocol.read_frame fd with
-      | Error reason ->
-          Atomic.incr t.client_errors;
-          Log.debug (fun m -> m "dropping connection: %s" reason)
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-          (* receive timeout: a connected-but-mute client *)
-          Atomic.incr t.client_errors;
-          Log.debug (fun m -> m "dropping connection: receive timeout")
-      | exception Unix.Unix_error (e, _, _) ->
-          Atomic.incr t.client_errors;
-          Log.debug (fun m ->
-              m "dropping connection: %s" (Unix.error_message e))
-      | Ok data ->
-          let resp =
-            match Protocol.decode_request data with
-            | Error reason ->
-                Atomic.incr t.client_errors;
-                Protocol.Failure
-                  {
-                    Protocol.code = "err:XPST0003";
-                    error_class = "static";
-                    message = "malformed request: " ^ reason;
-                    retry_after_ms = None;
-                    queue_depth = None;
-                  }
-            | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
-            | Ok Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
-            | Ok Protocol.Slowlog -> Protocol.Slowlog_reply (slowlog_entries t)
-            | Ok (Protocol.Update ops) -> (
-                try handle_update t ops
-                with exn ->
-                  Atomic.incr t.update_errors;
-                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok Protocol.Compact -> (
-                try handle_compact t
-                with exn ->
-                  Atomic.incr t.compaction_failures;
-                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok (Protocol.Query q) -> (
-                (* run_report's boundary guarantee means only structured
-                   errors escape eval_query; wrap_exn is defense in depth
-                   so a daemon worker can never die on a request *)
-                try eval_query t q
-                with exn ->
-                  Atomic.incr t.errors;
-                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-          in
-          send_response t fd resp)
-
-let worker_loop t =
-  let rec loop () =
-    Mutex.lock t.lock;
-    while Queue.is_empty t.queue && not t.draining do
-      Condition.wait t.nonempty t.lock
-    done;
-    if Queue.is_empty t.queue then begin
-      (* draining and nothing left: the pool winds down *)
-      Mutex.unlock t.lock;
-      ()
-    end
-    else begin
-      let fd = Queue.pop t.queue in
-      Mutex.unlock t.lock;
-      (try serve_connection t fd
-       with exn ->
-         (* absolute backstop: a worker never dies *)
-         Atomic.incr t.client_errors;
-         Log.err (fun m ->
-             m "worker absorbed an exception: %s" (Printexc.to_string exn)));
-      loop ()
-    end
-  in
-  loop ()
-
 (* ------------------------------------------------------------------ *)
-(* Hot snapshot reload — runs in the ticker thread, off the request
-   path.  A corrupt new snapshot is rejected: the old engine keeps
-   serving, with the failure logged and counted.  Serialized with
-   updates and compactions via update_lock: a reload replays the
-   write-ahead log, so live appends must not race it.                  *)
+(* Hot snapshot reload.  A corrupt new snapshot is rejected: the old
+   engine keeps serving, with the failure logged and counted.  Serialized
+   with updates and compactions via update_lock: a reload replays the
+   write-ahead log, so live appends must not race it.  Runs in the ticker
+   thread (SIGHUP / --watch) or synchronously in a worker (the Reload
+   request — the rolling-reload gate).                                  *)
 
 let do_reload t ~reason =
   Mutex.lock t.update_lock;
@@ -658,6 +595,115 @@ let do_reload t ~reason =
           Atomic.incr t.reloads;
           Log.info (fun m ->
               m "reload (%s): now serving generation %d" reason (generation t)))
+
+(* Liveness / generation probe: answered from atomics and one short-held
+   lock — it never takes the update lock or touches the engine, so routers
+   can poll it every tick without paying for a query. *)
+let health t =
+  {
+    Protocol.h_generation = generation t;
+    h_wal_records = Atomic.get t.wal_records_now;
+    h_draining = locked t (fun () -> t.draining);
+  }
+
+let handle_reload t =
+  let draining = locked t (fun () -> t.draining) in
+  if draining then begin
+    Atomic.incr t.shed_shutdown;
+    overload_reply t ~code_reason:"shutting down" ~depth:0
+  end
+  else begin
+    do_reload t ~reason:"requested over the wire";
+    (* the reply is the gate: it proves this daemon finished the swap (or
+       rejected a bad snapshot) and is serving again, and carries the
+       generation so the caller can verify which one *)
+    Protocol.Health_reply (health t)
+  end
+
+let serve_connection t fd =
+  Fun.protect
+    ~finally:(fun () -> close_quietly fd)
+    (fun () ->
+      t.cfg.on_request ();
+      match Protocol.read_frame fd with
+      | Error reason ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: %s" reason)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* receive timeout: a connected-but-mute client *)
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: receive timeout")
+      | exception Unix.Unix_error (e, _, _) ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m ->
+              m "dropping connection: %s" (Unix.error_message e))
+      | Ok data ->
+          let resp =
+            match Protocol.decode_request data with
+            | Error reason ->
+                Atomic.incr t.client_errors;
+                Protocol.Failure
+                  {
+                    Protocol.code = "err:XPST0003";
+                    error_class = "static";
+                    message = "malformed request: " ^ reason;
+                    retry_after_ms = None;
+                    queue_depth = None;
+                  }
+            | Ok Protocol.Stats -> Protocol.Stats_reply (stats t)
+            | Ok Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
+            | Ok Protocol.Slowlog -> Protocol.Slowlog_reply (slowlog_entries t)
+            | Ok Protocol.Health -> Protocol.Health_reply (health t)
+            | Ok Protocol.Reload -> (
+                try handle_reload t
+                with exn ->
+                  Atomic.incr t.reload_failures;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Update ops) -> (
+                try handle_update t ops
+                with exn ->
+                  Atomic.incr t.update_errors;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok Protocol.Compact -> (
+                try handle_compact t
+                with exn ->
+                  Atomic.incr t.compaction_failures;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Query q) -> (
+                (* run_report's boundary guarantee means only structured
+                   errors escape eval_query; wrap_exn is defense in depth
+                   so a daemon worker can never die on a request *)
+                try eval_query t q
+                with exn ->
+                  Atomic.incr t.errors;
+                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+          in
+          send_response t fd resp)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* draining and nothing left: the pool winds down *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let fd = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      (try serve_connection t fd
+       with exn ->
+         (* absolute backstop: a worker never dies *)
+         Atomic.incr t.client_errors;
+         Log.err (fun m ->
+             m "worker absorbed an exception: %s" (Printexc.to_string exn)));
+      loop ()
+    end
+  in
+  loop ()
 
 let maybe_reload t =
   if Atomic.exchange t.reload_flag false then do_reload t ~reason:"requested"

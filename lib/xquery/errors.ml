@@ -47,6 +47,11 @@ type code =
   | GTLX0009  (** server overloaded: admission control shed the request *)
   (* GalaTex live-update errors (the write-ahead log) *)
   | GTLX0010  (** unreplayable update log: mid-log WAL corruption *)
+  (* GalaTex cluster errors (the document-sharded router) *)
+  | GTLX0011
+      (** partial result: one or more document partitions were unavailable
+          (down past retries, or out of deadline budget); the message and
+          the reply's partial framing name the missing partitions *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -61,8 +66,10 @@ let class_of = function
      cannot be retrieved intact.  They are dynamic, not resource limits. *)
   | GTLX0006 | GTLX0007 | GTLX0008 | GTLX0010 -> Dynamic
   (* overload shedding is a resource condition: the request was sound,
-     the server's capacity was not — retryable, like a budget *)
-  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 -> Resource
+     the server's capacity was not — retryable, like a budget.  A partial
+     cluster answer is the same shape: the missing partitions may return
+     on a retry. *)
+  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 | GTLX0011 -> Resource
   | GTLX0005 -> Internal
 
 let code_string = function
@@ -94,6 +101,7 @@ let code_string = function
   | GTLX0008 -> "gtlx:GTLX0008"
   | GTLX0009 -> "gtlx:GTLX0009"
   | GTLX0010 -> "gtlx:GTLX0010"
+  | GTLX0011 -> "gtlx:GTLX0011"
 
 let class_string = function
   | Static -> "static"

@@ -36,6 +36,10 @@ type code =
   | GTLX0010
       (** unreplayable update log: the write-ahead log is corrupt in the
           middle (not a torn tail, which recovery truncates silently) *)
+  | GTLX0011
+      (** partial cluster result: one or more document partitions were
+          unavailable past retries; the message (and the query reply's
+          partial framing) names the missing partitions *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

@@ -240,6 +240,86 @@ dd if=/dev/zero of=updsnap/WAL bs=1 seek=8 count=2 conv=notrunc 2>/dev/null
 expect_exit "corrupt WAL is dynamic (GTLX0010)" 2 $?
 grep -q 'gtlx:GTLX0010' err.txt || { echo "FAIL: GTLX0010 not reported" >&2; fails=$((fails+1)); }
 
+# --- cluster lifecycle: shard the corpus, serve it behind the router,
+# --- lose a shard (partial, GTLX0011), restart it (full), roll a reload
+# --- over SIGHUP with zero failed queries ---
+for i in 1 2 3 4 5 6; do
+  printf '<book><title>Cluster %d</title><p>cluster usability item %d</p></book>' "$i" "$i" > "c$i.xml"
+done
+"$GX" index -d c1.xml -d c2.xml -d c3.xml -d c4.xml -d c5.xml -d c6.xml \
+  --shards 2 --output clu >/dev/null
+expect_exit "index --shards 2" 0 $?
+[ -d clu/shard-0 ] && [ -d clu/shard-1 ] || { echo "FAIL: sharded index layout missing" >&2; fails=$((fails+1)); }
+
+"$GX" serve --index clu/shard-0 --socket s0.sock 2>s0.log & S0=$!
+"$GX" serve --index clu/shard-1 --socket s1.sock 2>s1.log & S1=$!
+for _ in $(seq 1 100); do [ -S s0.sock ] && [ -S s1.sock ] && break; sleep 0.1; done
+[ -S s0.sock ] && [ -S s1.sock ] || { echo "FAIL: shard daemons never bound" >&2; cat s0.log s1.log >&2; fails=$((fails+1)); }
+
+"$GX" route --shard s0.sock --shard s1.sock --socket rt.sock 2>rt.log & RT=$!
+for _ in $(seq 1 100); do [ -S rt.sock ] && break; sleep 0.1; done
+[ -S rt.sock ] || { echo "FAIL: router never bound its socket" >&2; cat rt.log >&2; fails=$((fails+1)); }
+
+CQ='count(collection()//book)'
+out=$("$GX" query --server rt.sock --retries 2 "$CQ" 2>err.txt)
+expect_exit "routed count over 2 shards" 0 $?
+[ "$out" = "6" ] || { echo "FAIL: routed count wrong: $out" >&2; fails=$((fails+1)); }
+grep -q 'warning:' err.txt && { echo "FAIL: healthy cluster answered partial" >&2; fails=$((fails+1)); }
+
+"$GX" stats --server rt.sock --health | grep -q '^generation 1$' || { echo "FAIL: cluster health missing generation 1" >&2; fails=$((fails+1)); }
+
+# kill -9 one shard: the query degrades to a partial (exit 0) that names
+# the missing partition with GTLX0011 on stderr — never a hard failure
+kill -9 $S1
+wait $S1 2>/dev/null
+"$GX" query --server rt.sock "$CQ" >/dev/null 2>err.txt
+expect_exit "degraded query after shard kill -9" 0 $?
+grep -q 'gtlx:GTLX0011' err.txt || { echo "FAIL: partial not tagged GTLX0011" >&2; cat err.txt >&2; fails=$((fails+1)); }
+grep -Fq 'missing partition(s) 1' err.txt || { echo "FAIL: partial does not name partition 1" >&2; cat err.txt >&2; fails=$((fails+1)); }
+
+# restart the shard: full answers come back once its breaker re-probes
+rm -f s1.sock
+"$GX" serve --index clu/shard-1 --socket s1.sock 2>>s1.log & S1=$!
+recovered=0
+for _ in $(seq 1 100); do
+  out=$("$GX" query --server rt.sock --retries 2 "$CQ" 2>err.txt)
+  if [ "$out" = "6" ] && ! grep -q 'warning:' err.txt; then recovered=1; break; fi
+  sleep 0.1
+done
+[ "$recovered" -eq 1 ] || { echo "FAIL: cluster never recovered after shard restart" >&2; cat rt.log >&2; fails=$((fails+1)); }
+
+# rolling reload over SIGHUP while a query stream runs: every query in
+# the stream must come back complete — N-1 shards always serve the roll
+: > roll-fails.txt
+(
+  for _ in $(seq 1 25); do
+    o=$("$GX" query --server rt.sock --retries 3 "$CQ" 2>w.txt) || echo "hard failure" >> roll-fails.txt
+    [ "$o" = "6" ] || echo "wrong answer: $o" >> roll-fails.txt
+    grep -q 'warning:' w.txt && echo "partial during roll" >> roll-fails.txt
+  done
+) &
+QL=$!
+sleep 0.2
+kill -HUP $RT
+wait $QL
+[ -s roll-fails.txt ] && { echo "FAIL: queries failed during rolling reload:" >&2; sort roll-fails.txt | uniq -c >&2; fails=$((fails+1)); }
+
+rolled=0
+for _ in $(seq 1 100); do
+  if "$GX" stats --server s0.sock 2>/dev/null | grep -q '^reloads 1$' \
+     && "$GX" stats --server s1.sock 2>/dev/null | grep -q '^reloads 1$'; then rolled=1; break; fi
+  sleep 0.1
+done
+[ "$rolled" -eq 1 ] || { echo "FAIL: rolling reload did not reach every shard" >&2; cat rt.log >&2; fails=$((fails+1)); }
+
+# graceful teardown: router exits 0 and removes its socket
+kill -TERM $RT
+wait $RT
+expect_exit "router exits 0 on SIGTERM" 0 $?
+[ -e rt.sock ] && { echo "FAIL: router socket left behind" >&2; fails=$((fails+1)); }
+kill -TERM $S0 $S1
+wait $S0 $S1 2>/dev/null
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke failure(s)" >&2
   exit 1

@@ -1,0 +1,568 @@
+(* The cluster serving contract:
+
+   1. merging is exact: concat preserves cluster document order (shard
+      index major, in-shard order minor), counts sum, top-k merges by
+      score upper bound — pre-sorting any shard list that arrives out of
+      order, breaking ties in shard order;
+   2. a shard that is down past retries costs its partition, not the
+      query: the merged answer carries partial framing (GTLX0011) naming
+      the missing partitions; with every partition down the query fails
+      with GTLX0011; a static/dynamic/type error from a healthy shard is
+      the query's own failure and propagates as-is;
+   3. replica failover: a shard with a live replica keeps answering in
+      full when its primary dies;
+   4. updates route by document hash to the owning shard's primary only
+      (single-writer per partition);
+   5. rolling reload over the wire reloads every shard and reports the
+      merged health;
+   6. chaos: under random shard kills/restarts, torn client frames and a
+      concurrent query+update stream, every client gets a full answer, a
+      GTLX0011-tagged partial naming the missing partitions, or a
+      structured shed — never a hang, a protocol desync, or a transport
+      error from the router itself.
+
+   Everything runs in-process: Server.start per shard, Router.start for
+   the router, Server.stop/start as the kill/restart hammer. *)
+
+open Galatex_server
+module Router = Galatex_cluster.Router
+module Merge = Galatex_cluster.Merge
+
+(* --- scratch dirs / sockets (same conventions as test_server.ml) --- *)
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_name "clu-scratch" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let rec poll ?(tries = 250) msg f =
+  if f () then ()
+  else if tries = 0 then Alcotest.failf "timeout waiting for %s" msg
+  else begin
+    Thread.delay 0.02;
+    poll ~tries:(tries - 1) msg f
+  end
+
+(* --- fixtures: 8 books cut into 2 partitions by uri hash --- *)
+
+let sources =
+  List.init 8 (fun i ->
+      ( Printf.sprintf "doc%d.xml" i,
+        Printf.sprintf
+          "<book><title>Book %d</title><p>the usability of web site number \
+           %d</p></book>"
+          i i ))
+
+let n_docs = List.length sources
+let shard_count = 2
+let parts = Corpus.Partition.split ~shards:shard_count sources
+
+(* titles in cluster document order: shard 0's documents in order, then
+   shard 1's — the ground truth for the concat tests *)
+let expected_titles =
+  List.concat_map
+    (fun part ->
+      List.map
+        (fun (uri, _) ->
+          Scanf.sscanf uri "doc%d.xml" (fun i ->
+              Printf.sprintf "<title>Book %d</title>" i))
+        part)
+    (Array.to_list parts)
+
+let count_query = "count(collection()//book)"
+let titles_query = "collection()//book/title"
+
+let short_limits : Xquery.Limits.t =
+  { Xquery.Limits.defaults with Xquery.Limits.timeout = Some 3.0 }
+
+(* --- an in-process cluster: one Server.t per shard + the router --- *)
+
+type cluster = {
+  router_sock : string;
+  shard_socks : string array;
+  shard_dirs : string array;
+  servers : Server.t option ref array;  (** [None] while killed *)
+  router : Router.t;
+}
+
+let shard_config ~dir ~sock =
+  {
+    (Server.default_config ~index_dir:dir ~socket_path:sock) with
+    Server.workers = 2;
+    tick_interval = 0.02;
+  }
+
+let start_shard c i =
+  c.servers.(i) :=
+    Some (Server.start (shard_config ~dir:c.shard_dirs.(i) ~sock:c.shard_socks.(i)))
+
+let kill_shard c i =
+  match !(c.servers.(i)) with
+  | Some t ->
+      c.servers.(i) := None;
+      Server.stop t
+  | None -> ()
+
+let with_cluster ?(replicas = false) ?(tweak = fun (c : Router.config) -> c) ()
+    f =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let shard_dirs =
+        Array.mapi
+          (fun i part ->
+            let sdir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+            Ftindex.Store.save ~dir:sdir (Ftindex.Indexer.index_strings part);
+            sdir)
+          parts
+      in
+      let shard_socks =
+        Array.init shard_count (fun i ->
+            fresh_name (Printf.sprintf "cs%d" i) ^ ".sock")
+      in
+      let servers =
+        Array.init shard_count (fun i ->
+            ref
+              (Some
+                 (Server.start
+                    (shard_config ~dir:shard_dirs.(i) ~sock:shard_socks.(i)))))
+      in
+      (* a replica is a second read-only daemon over the same snapshot
+         directory; the router only ever writes to primaries *)
+      let replica_servers = ref [] in
+      let replica_socks =
+        if not replicas then Array.make shard_count None
+        else
+          Array.init shard_count (fun i ->
+              let sock = fresh_name (Printf.sprintf "cr%d" i) ^ ".sock" in
+              replica_servers :=
+                Server.start (shard_config ~dir:shard_dirs.(i) ~sock)
+                :: !replica_servers;
+              Some sock)
+      in
+      let endpoints =
+        Array.to_list
+          (Array.mapi
+             (fun i sock ->
+               {
+                 Router.primary = sock;
+                 replicas = Option.to_list replica_socks.(i);
+               })
+             shard_socks)
+      in
+      let router_sock = fresh_name "crt" ^ ".sock" in
+      let cfg =
+        tweak
+          {
+            (Router.default_config ~shards:endpoints ~socket_path:router_sock) with
+            Router.workers = 4;
+            retries = 1;
+            default_deadline = 3.0;
+            tick_interval = 0.02;
+            probe_timeout = 1.0;
+            reload_timeout = 10.0;
+          }
+      in
+      let router = Router.start cfg in
+      let c = { router_sock; shard_socks; shard_dirs; servers; router } in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop router;
+          Array.iteri (fun i _ -> kill_shard c i) c.servers;
+          List.iter Server.stop !replica_servers)
+        (fun () -> f c))
+
+let ok_value what = function
+  | Ok (Protocol.Value v) -> v
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
+        e.Protocol.message
+  | Ok _ -> Alcotest.failf "%s: unexpected reply kind" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let query ?merge c text =
+  Client.request ~socket_path:c.router_sock
+    (Protocol.Query (Protocol.query_request ~limits:short_limits ?merge text))
+
+(* ------------------------------------------------------------------ *)
+(* Merge unit tests (no daemons).                                      *)
+
+let test_merge_classify () =
+  let is_sum q = Merge.classify q = Protocol.Merge_sum in
+  Alcotest.(check bool) "count sums" true (is_sum "count(collection()//book)");
+  Alcotest.(check bool) "sum sums" true (is_sum "sum(//price)");
+  Alcotest.(check bool) "path concats" false (is_sum "//book/title");
+  Alcotest.(check bool) "garbage concats" false (is_sum "((@!")
+
+let test_merge_scores () =
+  Alcotest.(check (option (float 1e-9)))
+    "attribute" (Some 0.5)
+    (Merge.score_of_item {|<result score="0.5"><p>x</p></result>|});
+  Alcotest.(check (option (float 1e-9)))
+    "leading float" (Some 0.25)
+    (Merge.score_of_item "0.25 some text");
+  Alcotest.(check (option (float 1e-9)))
+    "no score" None
+    (Merge.score_of_item "<title>plain</title>")
+
+let test_merge_topk () =
+  let s0 = (0, [ "0.9 a"; "0.5 b"; "0.1 c" ]) in
+  let s1 = (1, [ "0.8 d"; "0.7 e" ]) in
+  Alcotest.(check (list string))
+    "k-way order"
+    [ "0.9 a"; "0.8 d"; "0.7 e"; "0.5 b" ]
+    (Merge.top_k ~k:4 [ s0; s1 ]);
+  Alcotest.(check (list string))
+    "k bounds" [ "0.9 a"; "0.8 d" ]
+    (Merge.top_k ~k:2 [ s1; s0 ]);
+  (* an out-of-order shard list is pre-sorted before the merge *)
+  Alcotest.(check (list string))
+    "pre-sorts" [ "0.9 y"; "0.8 d"; "0.7 e"; "0.2 x" ]
+    (Merge.top_k ~k:4 [ (0, [ "0.2 x"; "0.9 y" ]); s1 ]);
+  (* ties resolve in shard order; unscored items rank below scored ones *)
+  Alcotest.(check (list string))
+    "ties and unscored"
+    [ "0.5 first"; "0.5 second"; "<plain/>" ]
+    (Merge.top_k ~k:3
+       [ (1, [ "0.5 second" ]); (0, [ "0.5 first"; "<plain/>" ]) ])
+
+let test_merge_sum () =
+  Alcotest.(check (list string))
+    "sums" [ "5" ]
+    (Merge.items Protocol.Merge_sum [ (1, [ "3" ]); (0, [ "2" ]) ]);
+  Alcotest.(check (list string))
+    "fractional" [ "2.5" ]
+    (Merge.items Protocol.Merge_sum [ (0, [ "1.25" ]); (1, [ "1.25" ]) ]);
+  (* a non-numeric answer means the classification was wrong: degrade to
+     concatenation instead of inventing numbers *)
+  Alcotest.(check (list string))
+    "degrades to concat" [ "<a/>"; "3" ]
+    (Merge.items Protocol.Merge_sum [ (0, [ "<a/>" ]); (1, [ "3" ]) ])
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-gather basics.                                              *)
+
+let test_concat_document_order () =
+  with_cluster () (fun c ->
+      let v = ok_value "titles" (query c titles_query) in
+      Alcotest.(check (list string)) "cluster document order" expected_titles
+        v.Protocol.items;
+      Alcotest.(check bool) "complete" true (v.Protocol.partial = None))
+
+let test_count_sums_across_shards () =
+  with_cluster () (fun c ->
+      let v = ok_value "count" (query c count_query) in
+      Alcotest.(check (list string))
+        "summed" [ string_of_int n_docs ] v.Protocol.items)
+
+let test_topk_over_wire () =
+  with_cluster () (fun c ->
+      (* each shard answers its own document count — a single numeric item,
+         which the top-k merge scores as a leading float *)
+      let sizes =
+        List.sort (fun a b -> compare b a)
+          (List.map List.length (Array.to_list parts))
+      in
+      let v =
+        ok_value "topk"
+          (query ~merge:(Protocol.Merge_topk 2) c count_query)
+      in
+      Alcotest.(check (list string))
+        "descending shard counts"
+        (List.map string_of_int sizes)
+        v.Protocol.items)
+
+let test_authoritative_error_propagates () =
+  with_cluster () (fun c ->
+      match query c "((@!" with
+      | Ok (Protocol.Failure e) ->
+          Alcotest.(check string) "syntax error" "err:XPST0003" e.Protocol.code
+      | Ok _ -> Alcotest.fail "expected the shards' syntax error"
+      | Error reason -> Alcotest.failf "transport error %s" reason)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation: shard down -> partial; all down -> GTLX0011.           *)
+
+let test_partial_when_shard_down () =
+  with_cluster () (fun c ->
+      kill_shard c 1;
+      let v = ok_value "degraded" (query c titles_query) in
+      (match v.Protocol.partial with
+      | Some p ->
+          Alcotest.(check (list int)) "names the partition" [ 1 ]
+            p.Protocol.missing;
+          Alcotest.(check bool) "carries a reason" true
+            (String.length p.Protocol.detail > 0)
+      | None -> Alcotest.fail "expected a partial result");
+      (* only partition 0's documents answered, still in order *)
+      let expected_part0 =
+        List.filteri (fun i _ -> i < List.length parts.(0)) expected_titles
+      in
+      Alcotest.(check (list string))
+        "surviving partition in order" expected_part0 v.Protocol.items;
+      (* restart: full answers return *)
+      start_shard c 1;
+      poll "full answers after restart" (fun () ->
+          match query c titles_query with
+          | Ok (Protocol.Value v) -> v.Protocol.partial = None
+          | _ -> false))
+
+let test_all_down_fails_gtlx0011 () =
+  with_cluster () (fun c ->
+      kill_shard c 0;
+      kill_shard c 1;
+      match query c count_query with
+      | Ok (Protocol.Failure e) ->
+          Alcotest.(check string) "GTLX0011" "gtlx:GTLX0011" e.Protocol.code;
+          Alcotest.(check string) "resource class" "resource"
+            e.Protocol.error_class
+      | Ok _ -> Alcotest.fail "expected a structured failure"
+      | Error reason -> Alcotest.failf "transport error %s" reason)
+
+let test_replica_failover () =
+  with_cluster ~replicas:true () (fun c ->
+      kill_shard c 0;
+      (* the replica keeps partition 0 answering: no partial framing *)
+      let v = ok_value "failover" (query c count_query) in
+      Alcotest.(check bool) "complete" true (v.Protocol.partial = None);
+      Alcotest.(check (list string))
+        "full count" [ string_of_int n_docs ] v.Protocol.items)
+
+(* ------------------------------------------------------------------ *)
+(* Update routing: by document hash, to the owning primary only.       *)
+
+let test_update_routes_by_hash () =
+  with_cluster () (fun c ->
+      let uri = "fresh-doc.xml" in
+      let owner = Corpus.Partition.shard_of_uri ~shards:shard_count uri in
+      let other = 1 - owner in
+      let op =
+        Ftindex.Wal.Add_doc
+          { uri; source = "<book><title>Fresh</title><p>usability</p></book>" }
+      in
+      (match
+         Client.request ~socket_path:c.router_sock (Protocol.Update [ op ])
+       with
+      | Ok (Protocol.Update_reply u) ->
+          Alcotest.(check int) "one record" 1 u.Protocol.u_records
+      | Ok (Protocol.Failure e) ->
+          Alcotest.failf "update failed: %s: %s" e.Protocol.code
+            e.Protocol.message
+      | Ok _ -> Alcotest.fail "unexpected reply to update"
+      | Error reason -> Alcotest.failf "transport error %s" reason);
+      (* the owning shard's log took the record; the other's stayed empty *)
+      let wal i =
+        match Client.health ~socket_path:c.shard_socks.(i) () with
+        | Ok h -> h.Protocol.h_wal_records
+        | Error reason -> Alcotest.failf "health %d: %s" i reason
+      in
+      Alcotest.(check int) "owner appended" 1 (wal owner);
+      Alcotest.(check int) "other untouched" 0 (wal other);
+      let v = ok_value "count after add" (query c count_query) in
+      Alcotest.(check (list string))
+        "document visible" [ string_of_int (n_docs + 1) ] v.Protocol.items)
+
+(* ------------------------------------------------------------------ *)
+(* Rolling reload over the wire.                                       *)
+
+let test_rolling_reload_over_wire () =
+  with_cluster () (fun c ->
+      match Client.reload ~socket_path:c.router_sock () with
+      | Ok h ->
+          Alcotest.(check bool) "serving floor" true (h.Protocol.h_generation >= 1);
+          (* every shard performed exactly one reload, and kept serving *)
+          Array.iter
+            (fun sock ->
+              match Client.stats ~socket_path:sock with
+              | Ok s ->
+                  Alcotest.(check (option int))
+                    "shard reloaded" (Some 1)
+                    (List.assoc_opt "reloads" s.Protocol.counters)
+              | Error reason -> Alcotest.failf "stats: %s" reason)
+            c.shard_socks;
+          let v = ok_value "after reload" (query c count_query) in
+          Alcotest.(check (list string))
+            "still serving" [ string_of_int n_docs ] v.Protocol.items
+      | Error reason -> Alcotest.failf "reload failed: %s" reason)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: kills, restarts, torn frames, concurrent queries + updates.  *)
+
+let test_chaos () =
+  with_cluster () (fun c ->
+      let deadline = Unix.gettimeofday () +. 3.0 in
+      let violations = ref [] and vlock = Mutex.create () in
+      let violation fmt =
+        Printf.ksprintf
+          (fun msg ->
+            Mutex.lock vlock;
+            violations := msg :: !violations;
+            Mutex.unlock vlock)
+          fmt
+      in
+      let full = Atomic.make 0
+      and partial = Atomic.make 0
+      and shed = Atomic.make 0 in
+      let client_loop () =
+        while Unix.gettimeofday () < deadline do
+          let q =
+            Protocol.query_request
+              ~limits:
+                {
+                  Xquery.Limits.defaults with
+                  Xquery.Limits.timeout = Some 1.5;
+                }
+              count_query
+          in
+          (match
+             Client.query ~socket_path:c.router_sock ~retries:2
+               ~deadline:(Unix.gettimeofday () +. 1.5)
+               q
+           with
+          | Ok (Protocol.Value v) -> (
+              match v.Protocol.partial with
+              | None ->
+                  Atomic.incr full;
+                  (* updates only ever add documents *)
+                  let bad_count =
+                    match v.Protocol.items with
+                    | [ n ] -> (
+                        match int_of_string_opt n with
+                        | Some k -> k < n_docs
+                        | None -> true)
+                    | _ -> true
+                  in
+                  if bad_count then
+                    violation "full answer with bad count: [%s]"
+                      (String.concat "; " v.Protocol.items)
+              | Some p ->
+                  Atomic.incr partial;
+                  if
+                    p.Protocol.missing = []
+                    || List.exists
+                         (fun i -> i < 0 || i >= shard_count)
+                         p.Protocol.missing
+                  then
+                    violation "partial naming bogus partitions [%s]"
+                      (String.concat ", "
+                         (List.map string_of_int p.Protocol.missing)))
+          | Ok (Protocol.Failure e) ->
+              if e.Protocol.code = "gtlx:GTLX0009"
+                 || e.Protocol.code = "gtlx:GTLX0011"
+              then Atomic.incr shed
+              else violation "unexpected failure %s: %s" e.Protocol.code
+                     e.Protocol.message
+          | Ok _ -> violation "non-query reply to a query"
+          | Error reason ->
+              (* the router itself must never be unreachable *)
+              violation "transport error from the router: %s" reason);
+          Thread.delay 0.01
+        done
+      in
+      let update_loop () =
+        let i = ref 0 in
+        while Unix.gettimeofday () < deadline do
+          incr i;
+          let uri = Printf.sprintf "chaos-%d.xml" !i in
+          let op =
+            Ftindex.Wal.Add_doc
+              {
+                uri;
+                source =
+                  Printf.sprintf "<book><title>Chaos %d</title></book>" !i;
+              }
+          in
+          (match
+             Client.request ~socket_path:c.router_sock (Protocol.Update [ op ])
+           with
+          | Ok (Protocol.Update_reply _) | Ok (Protocol.Failure _) -> ()
+          | Ok _ -> violation "non-update reply to an update"
+          | Error reason ->
+              violation "transport error on update: %s" reason);
+          Thread.delay 0.05
+        done
+      in
+      let tear_loop () =
+        (* torn and oversized frames straight at the router: it must shrug
+           (client_errors), never desync or die *)
+        while Unix.gettimeofday () < deadline do
+          (try
+             let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+             Fun.protect
+               ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+               (fun () ->
+                 Unix.connect fd (Unix.ADDR_UNIX c.router_sock);
+                 ignore (Unix.write_substring fd "\xff\xff" 0 2))
+           with Unix.Unix_error _ -> ());
+          Thread.delay 0.05
+        done
+      in
+      let chaos_loop () =
+        let which = ref 0 in
+        while Unix.gettimeofday () < deadline -. 0.8 do
+          let i = !which land 1 in
+          incr which;
+          kill_shard c i;
+          Thread.delay 0.25;
+          start_shard c i;
+          (* a rolling reload mid-churn must answer (possibly GTLX0011),
+             never hang *)
+          (match Client.reload ~recv_timeout:5.0 ~socket_path:c.router_sock () with
+          | Ok _ | Error _ -> ());
+          Thread.delay 0.2
+        done
+      in
+      let threads =
+        List.map
+          (fun f -> Thread.create f ())
+          [ client_loop; client_loop; update_loop; tear_loop; chaos_loop ]
+      in
+      List.iter Thread.join threads;
+      (* quiesce: both shards up -> full answers must return *)
+      Array.iteri (fun i r -> if !r = None then start_shard c i) c.servers;
+      poll "full answers after the storm" (fun () ->
+          match query c count_query with
+          | Ok (Protocol.Value v) -> v.Protocol.partial = None
+          | _ -> false);
+      (match !violations with
+      | [] -> ()
+      | vs ->
+          Alcotest.failf "%d invariant violation(s):\n%s" (List.length vs)
+            (String.concat "\n" vs));
+      if Atomic.get full = 0 then
+        Alcotest.failf "no fully-answered query in the whole sweep (%d partial, %d shed)"
+          (Atomic.get partial) (Atomic.get shed))
+
+let tests =
+  [
+    Alcotest.test_case "merge classify" `Quick test_merge_classify;
+    Alcotest.test_case "merge score extraction" `Quick test_merge_scores;
+    Alcotest.test_case "merge top-k" `Quick test_merge_topk;
+    Alcotest.test_case "merge sum" `Quick test_merge_sum;
+    Alcotest.test_case "concat document order" `Quick test_concat_document_order;
+    Alcotest.test_case "count sums across shards" `Quick
+      test_count_sums_across_shards;
+    Alcotest.test_case "top-k over the wire" `Quick test_topk_over_wire;
+    Alcotest.test_case "authoritative error propagates" `Quick
+      test_authoritative_error_propagates;
+    Alcotest.test_case "partial when shard down" `Quick
+      test_partial_when_shard_down;
+    Alcotest.test_case "all partitions down" `Quick test_all_down_fails_gtlx0011;
+    Alcotest.test_case "replica failover" `Quick test_replica_failover;
+    Alcotest.test_case "update routes by hash" `Quick test_update_routes_by_hash;
+    Alcotest.test_case "rolling reload over wire" `Quick
+      test_rolling_reload_over_wire;
+    Alcotest.test_case "chaos" `Quick test_chaos;
+  ]

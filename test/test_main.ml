@@ -30,5 +30,6 @@ let () =
       ("wal", Test_wal.tests);
       ("obs", Test_obs.tests);
       ("server", Test_server.tests);
+      ("cluster", Test_cluster.tests);
       ("conformance", Test_conformance.tests);
     ]

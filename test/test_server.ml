@@ -202,12 +202,54 @@ let test_protocol_roundtrip () =
   (match Protocol.decode_response (Protocol.encode_response resp) with
   | Ok r -> Alcotest.(check bool) "response round trip" true (r = resp)
   | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* cluster-era fields: deadline propagation, merge policy, health /
+     reload requests, partial-result framing *)
+  let qc =
+    Protocol.query_request ~deadline_left:0.75 ~merge:(Protocol.Merge_topk 10)
+      "//p"
+  in
+  (match
+     Protocol.decode_request (Protocol.encode_request (Protocol.Query qc))
+   with
+  | Ok (Protocol.Query q') ->
+      Alcotest.(check bool) "deadline+merge round trip" true (qc = q')
+  | _ -> Alcotest.fail "deadline+merge round trip");
+  (match Protocol.decode_request (Protocol.encode_request Protocol.Health) with
+  | Ok Protocol.Health -> ()
+  | _ -> Alcotest.fail "health round trip");
+  (match Protocol.decode_request (Protocol.encode_request Protocol.Reload) with
+  | Ok Protocol.Reload -> ()
+  | _ -> Alcotest.fail "reload round trip");
+  let partial_resp =
+    Protocol.Value
+      {
+        Protocol.items = [ "<title>t</title>" ];
+        strategy_used = "materialized";
+        fell_back = false;
+        steps = 12;
+        generation = 2;
+        partial =
+          Some { Protocol.missing = [ 1; 3 ]; detail = "partition 1: down" };
+      }
+  in
+  (match Protocol.decode_response (Protocol.encode_response partial_resp) with
+  | Ok r ->
+      Alcotest.(check bool) "partial reply round trip" true (r = partial_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let health_resp =
+    Protocol.Health_reply
+      { Protocol.h_generation = 7; h_wal_records = 3; h_draining = true }
+  in
+  (match Protocol.decode_response (Protocol.encode_response health_resp) with
+  | Ok r ->
+      Alcotest.(check bool) "health reply round trip" true (r = health_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
   (* a total decoder: garbage comes back as Error, never an exception *)
   List.iter
     (fun garbage ->
       match Protocol.decode_request garbage with
       | Ok _ | Error _ -> ())
-    [ ""; "Z"; "Q"; "Qxx"; String.make 64 '\xff' ]
+    [ ""; "Z"; "Q"; "Qxx"; "H"; "Hx"; "Rx"; String.make 64 '\xff' ]
 
 let test_breaker_state_machine () =
   let b = Breaker.create ~threshold:3 ~cooldown:2 in
@@ -239,6 +281,55 @@ let test_breaker_state_machine () =
   Breaker.record b key ~ok:true;
   Alcotest.(check bool) "closed after good probe" true
     (Breaker.route b key = Breaker.Run)
+
+(* The half-open window under contention: when the cooldown expires, many
+   workers may route the same strategy in the same instant — exactly one
+   of them must be admitted as the probe, every other one must bypass,
+   or a still-broken strategy gets hammered by a thundering herd of
+   "probes".  Raced with a barrier so all threads hit route together. *)
+let test_breaker_half_open_single_probe () =
+  let threads = 8 in
+  for round = 1 to 20 do
+    let b = Breaker.create ~threshold:1 ~cooldown:1 in
+    let key = "pipelined" in
+    ignore (Breaker.route b key);
+    Breaker.record b key ~ok:false;
+    (* Open 1: one bypassed request brings it to half-open *)
+    Alcotest.(check bool) "cooldown bypass" true
+      (Breaker.route b key = Breaker.Bypass);
+    let barrier = Mutex.create () and turnstile = Condition.create () in
+    let released = ref false and arrived = ref 0 in
+    let probes = Atomic.make 0 and bypasses = Atomic.make 0 in
+    let racer () =
+      Mutex.lock barrier;
+      incr arrived;
+      if !arrived = threads then begin
+        released := true;
+        Condition.broadcast turnstile
+      end
+      else
+        while not !released do
+          Condition.wait turnstile barrier
+        done;
+      Mutex.unlock barrier;
+      match Breaker.route b key with
+      | Breaker.Probe -> Atomic.incr probes
+      | Breaker.Bypass -> Atomic.incr bypasses
+      | Breaker.Run -> ()
+    in
+    let ts = List.init threads (fun _ -> Thread.create racer ()) in
+    List.iter Thread.join ts;
+    if Atomic.get probes <> 1 then
+      Alcotest.failf "round %d: %d probes admitted (want exactly 1)" round
+        (Atomic.get probes);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: the rest bypass" round)
+      (threads - 1) (Atomic.get bypasses);
+    (* the probe's outcome still drives the machine: a success closes it *)
+    Breaker.record b key ~ok:true;
+    Alcotest.(check bool) "closed after raced probe" true
+      (Breaker.route b key = Breaker.Run)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Basic serving.                                                      *)
@@ -1050,6 +1141,8 @@ let tests =
   [
     Alcotest.test_case "protocol round trip" `Quick test_protocol_roundtrip;
     Alcotest.test_case "breaker state machine" `Quick test_breaker_state_machine;
+    Alcotest.test_case "breaker half-open single probe" `Quick
+      test_breaker_half_open_single_probe;
     Alcotest.test_case "basic round trip" `Quick test_basic_round_trip;
     Alcotest.test_case "stats over wire" `Quick test_stats_over_wire;
     Alcotest.test_case "malformed and torn clients" `Quick

@@ -1471,6 +1471,207 @@ let r5_cluster () =
         (fun () -> output_string oc json);
       Harness.row "  wrote BENCH_R5.json\n")
 
+(* ---------------------------------------------------------------- R6 *)
+
+let r6_replication () =
+  Harness.section
+    "R6 (robustness): WAL-shipping replication — follower lag under load, \
+     time-to-converge";
+  let module Srv = Galatex_server.Server in
+  let module Cli = Galatex_server.Client in
+  let module Proto = Galatex_server.Protocol in
+  let root = Printf.sprintf "r6-repl-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      Unix.mkdir root 0o755;
+      let docs =
+        Corpus.Generator.books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 1600;
+            doc_count = 16;
+            sections_per_doc = 3;
+            paras_per_section = 4;
+            words_per_para = 40;
+            vocab_size = 150;
+          }
+      in
+      let sources =
+        List.map (fun (uri, d) -> (uri, Xmlkit.Printer.to_string d)) docs
+      in
+      let pri_dir = Filename.concat root "primary" in
+      Ftindex.Store.save ~dir:pri_dir (Ftindex.Indexer.index_strings sources);
+      let pid = Unix.getpid () in
+      let pri_sock = Printf.sprintf "r6-pri-%d.sock" pid in
+      let fol_sock = Printf.sprintf "r6-fol-%d.sock" pid in
+      let fol_dir = Filename.concat root "follower" in
+      let pri_cfg =
+        {
+          (Srv.default_config ~index_dir:pri_dir ~socket_path:pri_sock) with
+          Srv.tick_interval = 0.01;
+        }
+      in
+      let fol_cfg =
+        {
+          (Srv.default_config ~index_dir:fol_dir ~socket_path:fol_sock) with
+          Srv.follow = Some pri_sock;
+          tick_interval = 0.01;
+        }
+      in
+      let primary = ref (Srv.start pri_cfg) in
+      let follower = Srv.start fol_cfg in
+      Fun.protect
+        ~finally:(fun () ->
+          Srv.stop follower;
+          Srv.stop !primary)
+        (fun () ->
+          let health sock =
+            match Cli.health ~socket_path:sock () with
+            | Ok h -> Some h
+            | Error _ -> None
+          in
+          let converged () =
+            match (health pri_sock, health fol_sock) with
+            | Some p, Some f ->
+                p.Proto.h_generation = f.Proto.h_generation
+                && p.Proto.h_seq = f.Proto.h_seq
+                && p.Proto.h_manifest_crc = f.Proto.h_manifest_crc
+            | _ -> false
+          in
+          let wait_converged () =
+            let t0 = Unix.gettimeofday () in
+            let rec go tries =
+              if converged () then (Unix.gettimeofday () -. t0) *. 1000.
+              else if tries = 0 then Float.nan
+              else (
+                Thread.delay 0.002;
+                go (tries - 1))
+            in
+            go 5000
+          in
+          ignore (wait_converged ());
+          (* 1. follower lag under a sustained single-writer update stream:
+             a sampler polls both healths while the main thread streams
+             acknowledged updates as fast as the primary will take them *)
+          let updates_n = 150 in
+          let samples = ref [] in
+          let streaming = Atomic.make true in
+          let t_load0 = Unix.gettimeofday () in
+          let sampler =
+            Thread.create
+              (fun () ->
+                while Atomic.get streaming do
+                  (match (health pri_sock, health fol_sock) with
+                  | Some p, Some f when p.Proto.h_generation = f.Proto.h_generation ->
+                      samples :=
+                        ( (Unix.gettimeofday () -. t_load0) *. 1000.,
+                          max 0 (p.Proto.h_seq - f.Proto.h_seq) )
+                        :: !samples
+                  | _ -> ());
+                  Thread.delay 0.002
+                done)
+              ()
+          in
+          for i = 1 to updates_n do
+            let op =
+              Ftindex.Wal.Add_doc
+                {
+                  uri = Printf.sprintf "r6-new-%d.xml" i;
+                  source =
+                    Printf.sprintf "<book><title>replica load %d</title></book>" i;
+                }
+            in
+            match Cli.request ~socket_path:pri_sock (Proto.Update [ op ]) with
+            | Ok (Proto.Update_reply _) -> ()
+            | _ -> failwith "r6: update not acknowledged"
+          done;
+          let t_acked = Unix.gettimeofday () in
+          let drain_ms = wait_converged () in
+          Atomic.set streaming false;
+          Thread.join sampler;
+          let lags = List.map snd !samples in
+          let max_lag = List.fold_left max 0 lags in
+          let mean_lag =
+            if lags = [] then 0.
+            else
+              float_of_int (List.fold_left ( + ) 0 lags)
+              /. float_of_int (List.length lags)
+          in
+          let ack_wall = (t_acked -. t_load0) *. 1000. in
+          (* 2. time-to-converge after a primary restart: stop the primary
+             mid-life, bring it back, append more records and time how long
+             the follower needs to match (generation, seq, manifest CRC) *)
+          let restart_trials =
+            List.init 3 (fun t ->
+                Srv.stop !primary;
+                primary := Srv.start pri_cfg;
+                for i = 1 to 5 do
+                  let op =
+                    Ftindex.Wal.Add_doc
+                      {
+                        uri = Printf.sprintf "r6-restart-%d-%d.xml" t i;
+                        source = "<book><title>after restart</title></book>";
+                      }
+                  in
+                  ignore (Cli.request ~socket_path:pri_sock (Proto.Update [ op ]))
+                done;
+                wait_converged ())
+          in
+          (* 3. time-to-converge across a compaction: the base generation
+             moves, so the follower must pull a full snapshot re-sync *)
+          let compact_ms =
+            (match Cli.request ~socket_path:pri_sock Proto.Compact with
+            | Ok (Proto.Compact_reply _) -> ()
+            | _ -> failwith "r6: compact failed");
+            wait_converged ()
+          in
+          let resyncs =
+            match Cli.stats ~socket_path:fol_sock with
+            | Ok s ->
+                List.assoc_opt "snapshot_resyncs" s.Proto.counters
+                |> Option.value ~default:0
+            | Error _ -> 0
+          in
+          Harness.row
+            "  sustained load: %d acked updates in %.0fms; follower lag max \
+             %d, mean %.1f records (%d samples); drained %.0fms after last \
+             ack\n"
+            updates_n ack_wall max_lag mean_lag (List.length lags) drain_ms;
+          List.iteri
+            (fun i ms ->
+              Harness.row
+                "  restart %d: follower re-converged in %.0fms\n" (i + 1) ms)
+            restart_trials;
+          Harness.row
+            "  compaction: full snapshot re-sync converged in %.0fms \
+             (follower snapshot_resyncs=%d)\n"
+            compact_ms resyncs;
+          let json =
+            Printf.sprintf
+              "{\n\
+              \  \"experiment\": \"R6\",\n\
+              \  \"updates\": %d,\n\
+              \  \"ack_wall_ms\": %.3f,\n\
+              \  \"lag_max_records\": %d,\n\
+              \  \"lag_mean_records\": %.3f,\n\
+              \  \"lag_samples\": %d,\n\
+              \  \"drain_ms\": %.3f,\n\
+              \  \"restart_converge_ms\": [%s],\n\
+              \  \"compact_resync_ms\": %.3f,\n\
+              \  \"snapshot_resyncs\": %d\n\
+               }\n"
+              updates_n ack_wall max_lag mean_lag (List.length lags) drain_ms
+              (String.concat ", "
+                 (List.map (Printf.sprintf "%.3f") restart_trials))
+              compact_ms resyncs
+          in
+          let oc = open_out "BENCH_R6.json" in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc json);
+          Harness.row "  wrote BENCH_R6.json\n"))
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -1481,7 +1682,7 @@ let experiments =
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
     ("R2", r2_cold_start); ("R3", r3_serving); ("R4", r4_live_updates);
-    ("R5", r5_cluster);
+    ("R5", r5_cluster); ("R6", r6_replication);
   ]
 
 let () =

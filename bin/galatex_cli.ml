@@ -636,7 +636,20 @@ let slowlog_capacity_arg =
     & info [ "slowlog-capacity" ] ~docv:"N"
         ~doc:"Slow-query log ring-buffer capacity (default 32).")
 
-let run_serve docs index_dir socket workers queue_limit watch
+let follow_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "follow" ] ~docv:"PRIMARY_SOCK"
+        ~doc:
+          "Replica mode: follow the primary daemon at this socket.  The
+           daemon becomes read-only (updates and compactions are
+           rejected), bootstraps an empty index directory by pulling the
+           primary's snapshot, tails the primary's write-ahead log every
+           maintenance tick, and re-syncs the full snapshot when the
+           primary compacts or the anti-entropy manifest check
+           mismatches.")
+
+let run_serve docs index_dir socket workers queue_limit watch follow
     breaker_threshold breaker_cooldown slow_threshold slowlog_capacity quiet =
   match index_dir with
   | None -> `Error (false, "--index DIR is required")
@@ -658,6 +671,7 @@ let run_serve docs index_dir socket workers queue_limit watch
               workers;
               queue_limit;
               watch_generation = watch;
+              follow;
               breaker_threshold;
               breaker_cooldown;
               slowlog_threshold = slow_threshold /. 1000.;
@@ -680,15 +694,16 @@ let serve_cmd =
   let doc =
     "Serve queries concurrently over a Unix-domain socket: admission
      control under load, per-strategy circuit breakers, hot snapshot
-     reload on SIGHUP, graceful drain on SIGTERM."
+     reload on SIGHUP, graceful drain on SIGTERM, and replica mode
+     ($(b,--follow)) tailing a primary's write-ahead log."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const run_serve $ docs_arg $ index_dir_arg $ socket_arg
-       $ workers_arg $ queue_limit_arg $ watch_arg $ breaker_threshold_arg
-       $ breaker_cooldown_arg $ slow_threshold_arg $ slowlog_capacity_arg
-       $ quiet_arg))
+       $ workers_arg $ queue_limit_arg $ watch_arg $ follow_arg
+       $ breaker_threshold_arg $ breaker_cooldown_arg $ slow_threshold_arg
+       $ slowlog_capacity_arg $ quiet_arg))
 
 (* --- route --- *)
 
@@ -718,7 +733,19 @@ let route_deadline_arg =
           "Per-query budget when the client sent neither a deadline nor a
            timeout limit (default 5).")
 
-let run_route shards socket workers queue_limit retries deadline
+let max_lag_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-lag" ] ~docv:"N"
+        ~doc:
+          "Failover freshness bound: skip a replica more than $(docv)
+           write-ahead-log records behind the shard's freshest known
+           position (or on an older base generation) as if it were down;
+           when a partition's only live endpoints are too stale the query
+           fails with gtlx:GTLX0012.  Default: unbounded — any replica is
+           served, with a warning and a $(b,stale_served) count.")
+
+let run_route shards socket workers queue_limit retries max_lag deadline
     breaker_threshold breaker_cooldown quiet =
   handle_errors (fun () ->
       Logs.set_reporter
@@ -744,6 +771,7 @@ let run_route shards socket workers queue_limit retries deadline
           workers;
           queue_limit;
           retries;
+          max_lag;
           default_deadline = deadline;
           breaker_threshold;
           breaker_cooldown;
@@ -765,15 +793,17 @@ let route_cmd =
     "Route queries across document-sharded $(b,galatex serve) daemons:
      scatter-gather with per-shard deadline budgets, replica failover
      behind per-endpoint circuit breakers, partial results
-     (gtlx:GTLX0011) when partitions stay down, document-hash update
+     (gtlx:GTLX0011) when partitions stay down, bounded-staleness
+     failover ($(b,--max-lag), gtlx:GTLX0012), document-hash update
      routing, and rolling reload on SIGHUP."
   in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       ret
         (const run_route $ shard_arg $ socket_arg $ workers_arg
-       $ queue_limit_arg $ route_retries_arg $ route_deadline_arg
-       $ breaker_threshold_arg $ breaker_cooldown_arg $ quiet_arg))
+       $ queue_limit_arg $ route_retries_arg $ max_lag_arg
+       $ route_deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+       $ quiet_arg))
 
 let server_unreachable server reason =
   Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
@@ -784,10 +814,26 @@ let run_stats server metrics slowlog health =
   if health then
     match Galatex_server.Client.health ~socket_path:server () with
     | Ok h ->
-        Printf.printf "generation %d\nwal_records %d\ndraining %b\n"
+        Printf.printf
+          "generation %d\nwal_records %d\ndraining %b\nseq %d\nrole \
+           %s\nmanifest_crc %d\n"
           h.Galatex_server.Protocol.h_generation
           h.Galatex_server.Protocol.h_wal_records
-          h.Galatex_server.Protocol.h_draining;
+          h.Galatex_server.Protocol.h_draining
+          h.Galatex_server.Protocol.h_seq h.Galatex_server.Protocol.h_role
+          h.Galatex_server.Protocol.h_manifest_crc;
+        List.iter
+          (fun (e : Galatex_server.Protocol.endpoint_health) ->
+            Printf.printf
+              "endpoint shard=%d role=%s state=%s up=%b generation=%d \
+               seq=%d lag=%s %s\n"
+              e.Galatex_server.Protocol.e_shard e.e_role e.e_state e.e_up
+              e.e_generation e.e_seq
+              (match e.e_lag with
+              | Some l -> string_of_int l
+              | None -> if e.e_up then "gen-behind" else "unknown")
+              e.e_path)
+          h.Galatex_server.Protocol.h_endpoints;
         `Ok ()
     | Error reason -> server_unreachable server reason
   else

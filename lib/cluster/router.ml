@@ -30,6 +30,7 @@ type config = {
   workers : int;
   queue_limit : int;
   retries : int;
+  max_lag : int option;
   default_deadline : float;
   breaker_threshold : int;
   breaker_cooldown : int;
@@ -50,6 +51,7 @@ let default_config ~shards ~socket_path =
     workers = 4;
     queue_limit = 64;
     retries = 2;
+    max_lag = None;
     default_deadline = 5.0;
     breaker_threshold = 3;
     breaker_cooldown = 8;
@@ -77,6 +79,14 @@ type t = {
   stop_flag : bool Atomic.t;
   breakers : Breaker.t;  (** keyed by endpoint socket path *)
   shard_up : int Atomic.t array;  (** 1 after last contact succeeded *)
+  state_lock : Mutex.t;  (** guards [latest] and [ep_fresh] *)
+  latest : (int * int) array;
+      (** per shard: the freshest (generation, seq) the router has seen —
+          from update acks, query replies and health probes.  The
+          staleness yardstick for failover reads; kept even while the
+          primary is down, which is exactly when it matters. *)
+  ep_fresh : (string, int * int) Hashtbl.t;
+      (** last (generation, seq) observed per endpoint, for lag gauges *)
   (* counters *)
   accepted : int Atomic.t;
   served : int Atomic.t;
@@ -89,6 +99,8 @@ type t = {
   shard_attempts : int Atomic.t;
   shard_errors : int Atomic.t;
   shard_bypassed : int Atomic.t;
+  stale_skips : int Atomic.t;
+  stale_served : int Atomic.t;
   updates : int Atomic.t;
   update_errors : int Atomic.t;
   compactions : int Atomic.t;
@@ -125,26 +137,78 @@ let partial_failure fmt =
       Protocol.error_of (Xquery.Errors.make Xquery.Errors.GTLX0011 msg))
     fmt
 
+let stale_failure fmt =
+  Format.kasprintf
+    (fun msg ->
+      Protocol.error_of (Xquery.Errors.make Xquery.Errors.GTLX0012 msg))
+    fmt
+
 let now () = Unix.gettimeofday ()
 let mark_up t i up = Atomic.set t.shard_up.(i) (if up then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
+(* Replication freshness.  Positions are ordered lexicographically:
+   (g1,s1) <= (g2,s2) iff g1 < g2, or g1 = g2 and s1 <= s2 — a higher
+   base generation supersedes any sequence number on an older one.      *)
+
+let pos_leq (g1, s1) (g2, s2) = g1 < g2 || (g1 = g2 && s1 <= s2)
+
+(* Monotone bump: freshness only ever advances, so a straggling reply
+   from a lagging replica can never walk the yardstick backwards. *)
+let note_freshness t i path pos =
+  Mutex.lock t.state_lock;
+  if pos_leq t.latest.(i) pos then t.latest.(i) <- pos;
+  Hashtbl.replace t.ep_fresh path pos;
+  Mutex.unlock t.state_lock
+
+let shard_latest t i =
+  Mutex.lock t.state_lock;
+  let p = t.latest.(i) in
+  Mutex.unlock t.state_lock;
+  p
+
+let endpoint_pos t path =
+  Mutex.lock t.state_lock;
+  let p = Hashtbl.find_opt t.ep_fresh path in
+  Mutex.unlock t.state_lock;
+  p
+
+(* Records behind the freshest known position; [None] = not comparable
+   (the endpoint's base generation is behind — infinitely stale). *)
+let lag_of ~latest:(lg, ls) (g, s) =
+  if g < lg then None else if g > lg then Some 0 else Some (max 0 (ls - s))
+
+let describe_lag = function
+  | None -> "base generation behind"
+  | Some l -> Printf.sprintf "lag %d" l
+
+(* ------------------------------------------------------------------ *)
 (* Scatter: one shard, primary then replicas, breaker-gated, within the
    query's remaining deadline.                                          *)
+
+type missing_info = {
+  reason : string;
+  stale : bool;
+      (** true when a live replica answered but was skipped for exceeding
+          the staleness bound — the [GTLX0012] case, distinct from a
+          plainly down partition *)
+}
 
 type shard_outcome =
   | Answered of Protocol.query_reply
   | Authoritative of Protocol.error_reply
       (** a static / dynamic / type error: the query's own failure, not
           the shard's — the shard is healthy and the error propagates *)
-  | Missing of string
+  | Missing of missing_info
 
 (* One endpoint sweep (primary first).  [`Got outcome] ends the shard's
    scatter; [`Swept admitted] means every endpoint failed softly, with
    [admitted = false] when the breakers bypassed all of them — the
    fast-fail case: the shard is known down, don't wait out the budget. *)
 let sweep_endpoints t ~deadline q i eps =
+  let primary = t.shards.(i).primary in
   let admitted = ref false in
+  let stale = ref false in
   let last = ref "all endpoints breaker-open" in
   let result = ref None in
   List.iter
@@ -163,9 +227,41 @@ let sweep_endpoints t ~deadline q i eps =
                 Client.request ~recv_timeout:(left +. 0.5) ~socket_path:path
                   (Protocol.Query q)
               with
-              | Ok (Protocol.Value v) ->
+              | Ok (Protocol.Value v) -> (
                   Breaker.record t.breakers path ~ok:true;
-                  result := Some (Answered v)
+                  let pos = (v.Protocol.generation, v.Protocol.seq) in
+                  note_freshness t i path pos;
+                  if path = primary then result := Some (Answered v)
+                  else
+                    (* failover read from a replica: gate on the staleness
+                       bound against the freshest position this router has
+                       ever seen for the shard — which still works when the
+                       primary itself is the thing that just died *)
+                    let lag = lag_of ~latest:(shard_latest t i) pos in
+                    match t.cfg.max_lag with
+                    | Some bound
+                      when match lag with None -> true | Some l -> l > bound
+                      ->
+                        (* healthy endpoint, just too far behind: skip it
+                           like a down one, but don't punish its breaker *)
+                        Atomic.incr t.stale_skips;
+                        stale := true;
+                        last :=
+                          Printf.sprintf "%s: replica too stale (%s, bound %d)"
+                            path (describe_lag lag) bound
+                    | Some _ -> result := Some (Answered v)
+                    | None ->
+                        (match lag with
+                        | Some 0 -> ()
+                        | _ ->
+                            Atomic.incr t.stale_served;
+                            Log.warn (fun m ->
+                                m
+                                  "serving replica %s of partition %d \
+                                   unbounded (%s); set --max-lag to gate \
+                                   failover freshness"
+                                  path i (describe_lag lag)));
+                        result := Some (Answered v))
               | Ok (Protocol.Failure e) -> (
                   match e.Protocol.error_class with
                   | "static" | "dynamic" | "type" ->
@@ -183,7 +279,8 @@ let sweep_endpoints t ~deadline q i eps =
               | Ok
                   ( Protocol.Stats_reply _ | Protocol.Update_reply _
                   | Protocol.Compact_reply _ | Protocol.Metrics_reply _
-                  | Protocol.Slowlog_reply _ | Protocol.Health_reply _ ) ->
+                  | Protocol.Slowlog_reply _ | Protocol.Health_reply _
+                  | Protocol.Wal_reply _ | Protocol.Snapshot_reply _ ) ->
                   Breaker.record t.breakers path ~ok:false;
                   Atomic.incr t.shard_errors;
                   last := Printf.sprintf "%s: unexpected response" path
@@ -196,22 +293,23 @@ let sweep_endpoints t ~deadline q i eps =
   | Some outcome ->
       mark_up t i true;
       `Got outcome
-  | None -> `Swept (!admitted, !last)
+  | None -> `Swept (!admitted, !last, !stale)
 
 let ask_shard t ~deadline q i =
   let ep = t.shards.(i) in
   let eps = ep.primary :: ep.replicas in
   let max_sweeps = 1 + max 0 t.cfg.retries in
-  let rec go sweep last =
-    if sweep > max_sweeps || deadline -. now () <= 0. then Missing last
+  let rec go sweep last stale =
+    if sweep > max_sweeps || deadline -. now () <= 0. then
+      Missing { reason = last; stale }
     else
       match sweep_endpoints t ~deadline q i eps with
       | `Got outcome -> outcome
-      | `Swept (false, _) ->
+      | `Swept (false, _, _) ->
           (* every endpoint breaker-open: the shard is known down; declare
              it missing now instead of waiting out the budget *)
-          Missing "all endpoints breaker-open"
-      | `Swept (true, last) ->
+          Missing { reason = "all endpoints breaker-open"; stale }
+      | `Swept (true, last, stale_now) ->
           let left = deadline -. now () in
           if sweep < max_sweeps && left > 0. then
             t.cfg.sleep
@@ -220,9 +318,9 @@ let ask_shard t ~deadline q i =
                     (Client.backoff_bound ~base_ms:t.cfg.retry_after_ms
                        ~cap_ms:1000 ~attempt:sweep))
                  left);
-          go (sweep + 1) last
+          go (sweep + 1) last (stale || stale_now)
   in
-  let outcome = go 1 "unasked" in
+  let outcome = go 1 "unasked" false in
   (match outcome with Missing _ -> mark_up t i false | _ -> ());
   outcome
 
@@ -241,14 +339,17 @@ let scatter_query t q =
         | None -> t.cfg.default_deadline)
   in
   let deadline = now () +. budget in
-  let outcomes = Array.make n (Missing "unasked") in
+  let outcomes =
+    Array.make n (Missing { reason = "unasked"; stale = false })
+  in
   let threads =
     List.init n (fun i ->
         Thread.create
           (fun () ->
             outcomes.(i) <-
               (try ask_shard t ~deadline q i
-               with exn -> Missing (Printexc.to_string exn)))
+               with exn ->
+                 Missing { reason = Printexc.to_string exn; stale = false }))
           ())
   in
   List.iter Thread.join threads;
@@ -270,17 +371,27 @@ let scatter_query t q =
         (fun i o ->
           match o with
           | Answered v -> answered := (i, v) :: !answered
-          | Missing reason -> missing := (i, reason) :: !missing
+          | Missing m -> missing := (i, m) :: !missing
           | Authoritative _ -> ())
         outcomes;
       let answered = List.rev !answered and missing = List.rev !missing in
-      let describe (i, reason) = Printf.sprintf "partition %d: %s" i reason in
+      let describe (i, m) = Printf.sprintf "partition %d: %s" i m.reason in
       match answered with
       | [] ->
           Atomic.incr t.failed;
-          Protocol.Failure
-            (partial_failure "no partition answered (%d of %d down): %s" n n
-               (String.concat "; " (List.map describe missing)))
+          if List.exists (fun (_, m) -> m.stale) missing then
+            (* some partition had a live replica we refused to serve: the
+               caller's bound, not an outage — distinct code, same exit
+               class, so callers can loosen --max-lag deliberately *)
+            Protocol.Failure
+              (stale_failure
+                 "no sufficiently fresh endpoint (--max-lag %d): %s"
+                 (Option.value t.cfg.max_lag ~default:0)
+                 (String.concat "; " (List.map describe missing)))
+          else
+            Protocol.Failure
+              (partial_failure "no partition answered (%d of %d down): %s" n n
+                 (String.concat "; " (List.map describe missing)))
       | (_, first) :: _ ->
           let policy =
             match q.Protocol.merge with
@@ -297,6 +408,11 @@ let scatter_query t q =
           let generation =
             List.fold_left
               (fun acc (_, v) -> min acc v.Protocol.generation)
+              max_int answered
+          in
+          let seq =
+            List.fold_left
+              (fun acc (_, v) -> min acc v.Protocol.seq)
               max_int answered
           in
           let fell_back =
@@ -320,6 +436,7 @@ let scatter_query t q =
               fell_back;
               steps;
               generation;
+              seq;
               partial;
             })
 
@@ -386,6 +503,8 @@ let route_update t ops =
         with
         | Ok (Protocol.Update_reply u) ->
             mark_up t i true;
+            note_freshness t i t.shards.(i).primary
+              (u.Protocol.u_generation, u.Protocol.u_last_seq);
             applied := i :: !applied;
             merged :=
               {
@@ -440,6 +559,7 @@ let route_compact t =
       with
       | Ok (Protocol.Compact_reply c) ->
           mark_up t i true;
+          note_freshness t i t.shards.(i).primary (c.Protocol.c_generation, 0);
           merged :=
             {
               Protocol.c_generation =
@@ -467,45 +587,108 @@ let route_compact t =
 (* ------------------------------------------------------------------ *)
 (* Health and rolling reload.                                           *)
 
-let probe_shard t i =
+let breaker_state t path =
+  match
+    List.find_opt
+      (fun s -> s.Breaker.strategy = path)
+      (Breaker.snapshots t.breakers)
+  with
+  | Some s -> s.Breaker.state
+  | None -> "closed"  (* never routed yet *)
+
+(* Probe every endpoint of shard [i] (primary first, so its position is
+   noted before replica lags are judged against it). *)
+let probe_endpoints t i =
   let ep = t.shards.(i) in
-  let rec try_eps = function
-    | [] -> None
-    | path :: rest -> (
-        match
-          Client.health ~recv_timeout:t.cfg.probe_timeout ~socket_path:path ()
-        with
-        | Ok h -> Some h
-        | Error _ -> try_eps rest)
-  in
-  let r = try_eps (ep.primary :: ep.replicas) in
-  mark_up t i (Option.is_some r);
-  r
+  List.map
+    (fun (path, role) ->
+      let r =
+        Client.health ~recv_timeout:t.cfg.probe_timeout ~socket_path:path ()
+      in
+      (match r with
+      | Ok h -> note_freshness t i path (h.Protocol.h_generation, h.Protocol.h_seq)
+      | Error _ -> ());
+      (path, role, r))
+    ((ep.primary, "primary")
+    :: List.map (fun p -> (p, "replica")) ep.replicas)
+
+let endpoint_row t i (path, role, r) =
+  match r with
+  | Ok h ->
+      {
+        Protocol.e_path = path;
+        e_shard = i;
+        e_role = role;
+        e_state = breaker_state t path;
+        e_up = true;
+        e_generation = h.Protocol.h_generation;
+        e_seq = h.Protocol.h_seq;
+        e_lag =
+          lag_of ~latest:(shard_latest t i)
+            (h.Protocol.h_generation, h.Protocol.h_seq);
+      }
+  | Error _ ->
+      {
+        Protocol.e_path = path;
+        e_shard = i;
+        e_role = role;
+        e_state = breaker_state t path;
+        e_up = false;
+        e_generation = 0;
+        e_seq = 0;
+        e_lag = None;
+      }
 
 let merge_health ~own_draining healths =
   List.fold_left
     (fun acc h ->
       {
+        acc with
         Protocol.h_generation =
           min acc.Protocol.h_generation h.Protocol.h_generation;
         h_wal_records = acc.Protocol.h_wal_records + h.Protocol.h_wal_records;
         h_draining = acc.Protocol.h_draining || h.Protocol.h_draining;
+        h_seq = min acc.Protocol.h_seq h.Protocol.h_seq;
       })
     {
       Protocol.h_generation = max_int;
       h_wal_records = 0;
       h_draining = own_draining;
+      h_seq = max_int;
+      h_manifest_crc = 0;
+      h_role = "router";
+      h_endpoints = [];
     }
     healths
 
 let cluster_health t =
   let n = Array.length t.shards in
-  let answers = List.filter_map (fun i -> probe_shard t i) (List.init n Fun.id) in
-  match answers with
+  let per_shard = List.init n (fun i -> (i, probe_endpoints t i)) in
+  let rows =
+    List.concat_map
+      (fun (i, eps) -> List.map (endpoint_row t i) eps)
+      per_shard
+  in
+  let shard_healths =
+    List.filter_map
+      (fun (i, eps) ->
+        let answers =
+          List.filter_map (fun (_, _, r) -> Result.to_option r) eps
+        in
+        mark_up t i (answers <> []);
+        (* primary listed first, so its health represents the shard when
+           it is up; otherwise the freshest-answering replica stands in *)
+        match answers with [] -> None | h :: _ -> Some h)
+      per_shard
+  in
+  match shard_healths with
   | [] ->
       Error (partial_failure "no partition answered the health probe (%d down)" n)
   | healths ->
-      Ok (merge_health ~own_draining:(locked t (fun () -> t.draining)) healths)
+      let merged =
+        merge_health ~own_draining:(locked t (fun () -> t.draining)) healths
+      in
+      Ok { merged with Protocol.h_endpoints = rows }
 
 let rolling_reload t =
   (* one shard at a time, in partition order; the synchronous Reload
@@ -524,6 +707,8 @@ let rolling_reload t =
        with
       | Ok h ->
           mark_up t i true;
+          note_freshness t i ep.primary
+            (h.Protocol.h_generation, h.Protocol.h_seq);
           healths := h :: !healths;
           Log.info (fun m ->
               m "rolling reload: partition %d now serving generation %d" i
@@ -582,6 +767,8 @@ let stats t =
       ("shard_attempts", a t.shard_attempts);
       ("shard_errors", a t.shard_errors);
       ("shard_bypassed", a t.shard_bypassed);
+      ("stale_skips", a t.stale_skips);
+      ("stale_served", a t.stale_served);
       ("breaker_trips", Breaker.trips_total t.breakers);
       ("updates", a t.updates);
       ("update_errors", a t.update_errors);
@@ -627,6 +814,28 @@ let metrics_text t =
         (Printf.sprintf "galatex_route_shard_up{shard=\"%d\"} %d\n" i
            (Atomic.get up)))
     t.shard_up;
+  (* replica lag against the shard's freshest known position, from the
+     last contact with each replica; -1 = base generation behind *)
+  Buffer.add_string b "# TYPE galatex_route_replica_lag gauge\n";
+  Array.iteri
+    (fun i ep ->
+      List.iter
+        (fun path ->
+          match endpoint_pos t path with
+          | None -> ()
+          | Some pos ->
+              let lag =
+                match lag_of ~latest:(shard_latest t i) pos with
+                | None -> -1
+                | Some l -> l
+              in
+              Buffer.add_string b
+                (Printf.sprintf
+                   "galatex_route_replica_lag{shard=\"%d\",endpoint=\"%s\"} \
+                    %d\n"
+                   i path lag))
+        ep.replicas)
+    t.shards;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -696,6 +905,15 @@ let serve_connection t fd =
                 with exn ->
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Fetch_wal _ | Protocol.Fetch_snapshot _) ->
+                (* replication pulls are point-to-point follower↔primary
+                   traffic; a router has no log or snapshot to ship *)
+                Protocol.Failure
+                  (Protocol.error_of
+                     (Xquery.Errors.make Xquery.Errors.FODC0002
+                        "replication fetches are served by shard daemons, \
+                         not the router: point the follower at its \
+                         primary's socket"))
             | Ok (Protocol.Query q) -> (
                 try scatter_query t q
                 with exn ->
@@ -857,6 +1075,9 @@ let start (cfg : config) =
           ~cooldown:cfg.breaker_cooldown;
       shard_up =
         Array.init (List.length cfg.shards) (fun _ -> Atomic.make 1);
+      state_lock = Mutex.create ();
+      latest = Array.make (List.length cfg.shards) (0, 0);
+      ep_fresh = Hashtbl.create 16;
       accepted = Atomic.make 0;
       served = Atomic.make 0;
       queries = Atomic.make 0;
@@ -868,6 +1089,8 @@ let start (cfg : config) =
       shard_attempts = Atomic.make 0;
       shard_errors = Atomic.make 0;
       shard_bypassed = Atomic.make 0;
+      stale_skips = Atomic.make 0;
+      stale_served = Atomic.make 0;
       updates = Atomic.make 0;
       update_errors = Atomic.make 0;
       compactions = Atomic.make 0;

@@ -22,6 +22,15 @@
       a tripped endpoint is skipped without paying its timeout, and when
       every endpoint of a shard is tripped the shard is declared down
       immediately — no waiting;
+    - {b bounded staleness}: the router tracks each shard's freshest
+      known (generation, seq) position from update acks, query replies
+      and health probes; with [max_lag] set, a failover read from a
+      replica more than that many WAL records behind — or on an older
+      base generation — is skipped like a down endpoint.  When a
+      partition's only live endpoints are too-stale replicas the query
+      fails with [GTLX0012] (not [GTLX0011]: the caller's freshness
+      bound, not an outage).  Unbounded ([max_lag = None]) serves any
+      replica but warns and counts [stale_served];
     - {b updates} route by document hash to the owning shard's
       {e primary only} (single-writer semantics; replicas never see
       writes from the router), acknowledged per batch with summed
@@ -44,6 +53,12 @@ type config = {
   retries : int;
       (** extra endpoint sweeps per shard per query after the first
           (default 2); each sweep tries primary then replicas *)
+  max_lag : int option;
+      (** failover freshness bound: skip a replica whose reply is more
+          than this many WAL records behind the shard's freshest known
+          position (or on an older base generation) as if it were down.
+          [None] (the default) serves any replica, logging a warning and
+          counting [stale_served] when it is behind. *)
   default_deadline : float;
       (** per-query budget in seconds when the client set neither
           [deadline_left] nor a timeout limit (default 5.0) *)
@@ -95,24 +110,29 @@ val stop : t -> unit
 
 val stats : t -> Galatex_server.Protocol.stats_reply
 (** Router counters ([route_queries], [route_partial], [route_failed],
-    [shard_attempts], [shard_errors], [shard_bypassed], ...) plus one
-    breaker snapshot per shard endpoint (the [strategy] field carries the
-    endpoint's socket path). *)
+    [shard_attempts], [shard_errors], [shard_bypassed], [stale_skips],
+    [stale_served], ...) plus one breaker snapshot per shard endpoint
+    (the [strategy] field carries the endpoint's socket path). *)
 
 val metrics_text : t -> string
 (** Prometheus-style exposition of the router counters plus per-shard
     health gauges ([galatex_route_shard_up{shard="i"}], from the most
-    recent contact with each shard). *)
+    recent contact with each shard) and per-replica freshness gauges
+    ([galatex_route_replica_lag{shard,endpoint}]: WAL records behind the
+    shard's freshest known position at last contact, or [-1] when the
+    replica's base generation is behind). *)
 
 val cluster_health :
   t ->
   (Galatex_server.Protocol.health_reply, Galatex_server.Protocol.error_reply)
   result
-(** Probe every shard (primary first, replicas on failure) and merge:
-    generation is the {e minimum} across answering shards (the serving
-    floor), WAL records sum, draining is true when the router or any
-    answering shard is draining.  [Error] with [GTLX0011] when no shard
-    answers. *)
+(** Probe {e every} endpoint of every shard and merge: generation and
+    seq are the {e minimum} across answering shards (the serving floor),
+    WAL records sum, draining is true when the router or any answering
+    shard is draining, and [h_endpoints] carries one row per endpoint —
+    role, breaker state, up/down, (generation, seq) and replication lag
+    against the shard's freshest known position.  [Error] with
+    [GTLX0011] when no shard answers. *)
 
 val rolling_reload :
   t ->

@@ -758,6 +758,40 @@ let current_generation ~dir =
           | exception Corrupt _ -> None)
       | Frame_ok _ | Frame_version _ | Frame_corrupt _ -> None)
 
+(* The complete file listing of the current snapshot, manifest first:
+   what a replica must copy to hold a bit-identical base.  Same
+   total plain-I/O discipline as current_generation. *)
+let snapshot_files ~dir =
+  match Io.read_file (Io.real ()) (Filename.concat dir manifest_name) with
+  | exception _ -> None
+  | data -> (
+      match unframe data with
+      | Frame_ok ('M', payload) -> (
+          match decode_manifest payload with
+          | m ->
+              let files =
+                manifest_name
+                :: (List.map (fun d -> d.m_file) m.mdocs
+                   @ List.map (fun s -> s.p_file) m.msegs)
+              in
+              Some (m.gen, files)
+          | exception Corrupt _ -> None)
+      | Frame_ok _ | Frame_version _ | Frame_corrupt _ -> None)
+
+(* CRC-32 of the raw manifest bytes.  Because every segment file's name
+   and framing is fixed by its contents and the manifest names them all
+   (and is itself framed and checksummed), two directories with equal
+   manifest CRCs at the same generation hold the same snapshot bytes —
+   the anti-entropy comparison is a single u32. *)
+let manifest_crc ~dir =
+  match Io.read_file (Io.real ()) (Filename.concat dir manifest_name) with
+  | exception _ -> None
+  | data -> Some (crc32 data)
+
+let install_file ?(io = Io.real ()) ~dir ~name data =
+  Io.mkdir io dir;
+  atomic_write io ~dir name data
+
 (* Rebuild one word's postings from the (intact) token streams — exactly
    the Indexer's computation: documents in indexing order, positions in
    stream order, scores from the corpus statistics. *)

@@ -176,6 +176,29 @@ val current_generation : dir:string -> int option
     when there is no readable manifest.  Plain I/O, never raises — the
     serving layer polls this to detect new snapshots. *)
 
+(** {1 Replication support}
+
+    A replica holds a bit-identical copy of its primary's snapshot: it
+    never runs {!save} itself but installs the primary's files byte for
+    byte, so manifest-CRC equality at a matched generation proves the two
+    directories identical. *)
+
+val snapshot_files : dir:string -> (int * string list) option
+(** The generation and complete file listing (manifest first) of the
+    snapshot currently in [dir], or [None] when there is no readable
+    manifest.  Plain I/O, never raises. *)
+
+val manifest_crc : dir:string -> int option
+(** CRC-32 of the raw manifest bytes in [dir] — the anti-entropy
+    fingerprint: equal CRCs at equal generations imply bit-identical
+    snapshots.  Plain I/O, never raises. *)
+
+val install_file : ?io:Io.t -> dir:string -> name:string -> string -> unit
+(** Atomically install one verbatim snapshot file (temp + fsync + rename),
+    creating [dir] if needed — the replica-side half of a snapshot
+    transfer.  Install the manifest last, exactly as {!save} does.
+    @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
+
 (** {1 Format constants (exposed for tests)} *)
 
 val format_magic : string

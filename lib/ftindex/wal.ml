@@ -340,12 +340,21 @@ let next_seq w = w.w_next_seq
 let append w op =
   let seq = w.w_next_seq in
   let data = frame (op_payload ~seq op) in
+  (* if the log file itself is absent (deleted out from under the writer,
+     or a first append racing a crash between reset's rename and now) the
+     append below creates it — and the new directory entry must be made
+     durable too, or the first acknowledged record can vanish with the
+     entry on a crash *)
+  let created = not (Sys.file_exists w.w_path) in
   let repair () =
     (* best effort: cut any half-written garbage back to the known-good
        prefix so the next append does not bury it mid-log *)
     try Unix.truncate w.w_path w.w_good with Sys_error _ | Unix.Unix_error _ -> ()
   in
-  match Store.Io.append_file w.w_io w.w_path data with
+  match
+    Store.Io.append_file w.w_io w.w_path data;
+    if created then Store.Io.fsync_dir w.w_io (Filename.dirname w.w_path)
+  with
   | () ->
       w.w_next_seq <- seq + 1;
       w.w_records <- w.w_records + 1;
@@ -358,3 +367,42 @@ let append w op =
       repair ();
       err Xquery.Errors.GTLX0008 "update log append failed: %s: %s" fn
         (Unix.error_message e)
+
+(* --- wire shipping (replication) --- *)
+
+let encode_records records =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun { seq; op } -> Buffer.add_string b (frame (op_payload ~seq op)))
+    records;
+  Buffer.contents b
+
+let decode_records data =
+  match scan data with
+  | exception Corrupt reason -> unreplayable "shipped records: %s" reason
+  | payloads, _, torn -> (
+      (* a wire transfer ships whole frames: a short tail here is lost
+         bytes in transit, not a torn local append — never drop it *)
+      if torn then unreplayable "shipped records: incomplete frame";
+      match List.map decode_op payloads with
+      | records -> records
+      | exception Corrupt reason -> unreplayable "shipped records: %s" reason)
+
+let select_fresh ~applied records =
+  let next = ref (applied + 1) in
+  let fresh = ref [] in
+  List.iter
+    (fun r ->
+      if r.seq < !next then
+        (* duplicate of an already-applied (or already-selected) record:
+           the dense-seq invariant makes seq < next exactly that case *)
+        ()
+      else if r.seq = !next then begin
+        fresh := r :: !fresh;
+        incr next
+      end
+      else
+        unreplayable "sequence gap in shipped records: expected seq %d, got %d"
+          !next r.seq)
+    records;
+  List.rev !fresh

@@ -128,3 +128,30 @@ val wal_bytes : writer -> int
 (** Size in bytes of the valid log, including the header. *)
 
 val next_seq : writer -> int
+
+(** {1 Wire shipping (replication)}
+
+    A primary ships acknowledged WAL records to followers re-using the
+    on-disk framing byte for byte, so the follower verifies shipped bytes
+    with the same checksumming scan that recovery uses. *)
+
+val encode_records : record list -> string
+(** Frame and checksum records exactly as {!append} writes them to disk
+    (no header record): appending the result to a log whose last seq
+    precedes the first shipped seq reproduces the primary's log bytes. *)
+
+val decode_records : string -> record list
+(** Verify and decode a {!encode_records} transfer.
+    @raise Xquery.Errors.Error with [GTLX0010] on any checksum failure,
+    unparseable record, or incomplete trailing frame — shipped bytes are
+    never silently dropped (unlike a local torn tail). *)
+
+val select_fresh : applied:int -> record list -> record list
+(** The dense continuation [applied+1, applied+2, ...] extracted from
+    shipped records that may contain duplicates: records with
+    [seq <= applied] (or re-sent within the batch) are skipped, so
+    applying the result after [applied] records converges to the in-order
+    replay state no matter how deliveries were duplicated.
+    @raise Xquery.Errors.Error with [GTLX0010] when the records skip ahead
+    (a sequence gap): applying them would silently diverge from the
+    acknowledged order. *)

@@ -47,7 +47,8 @@ let shed_reply = function
   | Protocol.Value _ | Protocol.Failure _ | Protocol.Stats_reply _
   | Protocol.Update_reply _ | Protocol.Compact_reply _
   | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _
-  | Protocol.Health_reply _ ->
+  | Protocol.Health_reply _ | Protocol.Wal_reply _ | Protocol.Snapshot_reply _
+    ->
       None
 
 let default_jitter bound = bound *. (0.5 +. Random.float 0.5)
@@ -120,7 +121,8 @@ let stats ~socket_path =
   | Ok
       ( Protocol.Value _ | Protocol.Update_reply _ | Protocol.Compact_reply _
       | Protocol.Metrics_reply _ | Protocol.Slowlog_reply _
-      | Protocol.Health_reply _ ) ->
+      | Protocol.Health_reply _ | Protocol.Wal_reply _
+      | Protocol.Snapshot_reply _ ) ->
       Error "unexpected response to stats"
   | Error reason -> Error reason
 
@@ -132,7 +134,8 @@ let metrics ~socket_path =
   | Ok
       ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
       | Protocol.Compact_reply _ | Protocol.Slowlog_reply _
-      | Protocol.Health_reply _ ) ->
+      | Protocol.Health_reply _ | Protocol.Wal_reply _
+      | Protocol.Snapshot_reply _ ) ->
       Error "unexpected response to metrics"
   | Error reason -> Error reason
 
@@ -144,7 +147,8 @@ let slowlog ~socket_path =
   | Ok
       ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
       | Protocol.Compact_reply _ | Protocol.Metrics_reply _
-      | Protocol.Health_reply _ ) ->
+      | Protocol.Health_reply _ | Protocol.Wal_reply _
+      | Protocol.Snapshot_reply _ ) ->
       Error "unexpected response to slowlog"
   | Error reason -> Error reason
 
@@ -156,7 +160,8 @@ let health_request ?recv_timeout ~socket_path req what =
   | Ok
       ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
       | Protocol.Compact_reply _ | Protocol.Metrics_reply _
-      | Protocol.Slowlog_reply _ ) ->
+      | Protocol.Slowlog_reply _ | Protocol.Wal_reply _
+      | Protocol.Snapshot_reply _ ) ->
       Error ("unexpected response to " ^ what)
   | Error reason -> Error reason
 
@@ -165,3 +170,31 @@ let health ?recv_timeout ~socket_path () =
 
 let reload ?recv_timeout ~socket_path () =
   health_request ?recv_timeout ~socket_path Protocol.Reload "reload"
+
+let fetch_wal ?recv_timeout ~socket_path ~from_seq () =
+  match request ?recv_timeout ~socket_path (Protocol.Fetch_wal { from_seq }) with
+  | Ok (Protocol.Wal_reply w) -> Ok w
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ | Protocol.Metrics_reply _
+      | Protocol.Slowlog_reply _ | Protocol.Health_reply _
+      | Protocol.Snapshot_reply _ ) ->
+      Error "unexpected response to fetch-wal"
+  | Error reason -> Error reason
+
+let fetch_snapshot ?recv_timeout ~socket_path ?file () =
+  match
+    request ?recv_timeout ~socket_path (Protocol.Fetch_snapshot { file })
+  with
+  | Ok (Protocol.Snapshot_reply s) -> Ok s
+  | Ok (Protocol.Failure e) ->
+      Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
+  | Ok
+      ( Protocol.Value _ | Protocol.Stats_reply _ | Protocol.Update_reply _
+      | Protocol.Compact_reply _ | Protocol.Metrics_reply _
+      | Protocol.Slowlog_reply _ | Protocol.Health_reply _
+      | Protocol.Wal_reply _ ) ->
+      Error "unexpected response to fetch-snapshot"
+  | Error reason -> Error reason

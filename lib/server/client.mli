@@ -88,3 +88,23 @@ val reload :
     post-reload health snapshot.  The reply is the rolling-reload gate: it
     proves the daemon finished the swap and is serving again, and carries
     the generation so the caller can verify which one. *)
+
+val fetch_wal :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  from_seq:int ->
+  unit ->
+  (Protocol.wal_reply, string) result
+(** Fetch acknowledged WAL records with sequence numbers past [from_seq]
+    from a primary — the follower's catch-up pull.  [Error] on transport
+    failure, a structured failure, or an unexpected response. *)
+
+val fetch_snapshot :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  ?file:string ->
+  unit ->
+  (Protocol.snapshot_reply, string) result
+(** Without [file]: the primary's current snapshot generation, manifest
+    CRC and file listing.  With [file]: that file's raw bytes
+    ([sn_data = Some _]).  The follower's bootstrap / re-sync pull. *)

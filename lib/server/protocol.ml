@@ -102,6 +102,8 @@ type request =
   | Slowlog
   | Health
   | Reload
+  | Fetch_wal of { from_seq : int }
+  | Fetch_snapshot of { file : string option }
 
 let query_request ?(strategy = Galatex.Engine.Native_materialized)
     ?(optimize = false) ?(fallback = true) ?context
@@ -172,6 +174,12 @@ let encode_request req =
       put_u8 b (Char.code 'U');
       put_u32 b (List.length ops);
       List.iter (put_op b) ops
+  | Fetch_wal { from_seq } ->
+      put_u8 b (Char.code 'W');
+      put_u32 b from_seq
+  | Fetch_snapshot { file } ->
+      put_u8 b (Char.code 'F');
+      put_opt put_str b file
   | Query q ->
       put_u8 b (Char.code 'Q');
       put_str b q.query;
@@ -214,6 +222,14 @@ let decode_request data =
         let ops = List.init (get_u32 r) (fun _ -> get_op r) in
         finish r "update request";
         Ok (Update ops)
+    | 'W' ->
+        let from_seq = get_u32 r in
+        finish r "fetch-wal request";
+        Ok (Fetch_wal { from_seq })
+    | 'F' ->
+        let file = get_opt get_str r in
+        finish r "fetch-snapshot request";
+        Ok (Fetch_snapshot { file })
     | 'Q' ->
         let query = get_str r in
         let strategy = strategy_of_tag (get_u8 r) in
@@ -259,6 +275,7 @@ type query_reply = {
   fell_back : bool;
   steps : int;
   generation : int;
+  seq : int;  (** WAL records applied on top of [generation] *)
   partial : partial_info option;
 }
 
@@ -303,10 +320,46 @@ type slow_entry = {
   s_steps : int;
 }
 
+type endpoint_health = {
+  e_path : string;  (** endpoint socket path *)
+  e_shard : int;  (** partition the endpoint serves *)
+  e_role : string;  (** ["primary"] or ["replica"] *)
+  e_state : string;  (** breaker state: closed / open / half-open *)
+  e_up : bool;  (** answered the probe *)
+  e_generation : int;  (** 0 when down *)
+  e_seq : int;  (** 0 when down *)
+  e_lag : int option;
+      (** records behind the shard's freshest known position; [None] when
+          down or when the endpoint's base generation is behind (lag is
+          only well-defined at a matched generation) *)
+}
+
 type health_reply = {
   h_generation : int;  (** snapshot generation now serving *)
   h_wal_records : int;  (** records in the write-ahead log *)
   h_draining : bool;  (** shutdown drain has begun *)
+  h_seq : int;  (** last applied WAL sequence number *)
+  h_manifest_crc : int;  (** CRC-32 of the base snapshot manifest *)
+  h_role : string;  (** ["primary"], ["replica"], or ["router"] *)
+  h_endpoints : endpoint_health list;
+      (** router only: per-endpoint freshness and breaker state *)
+}
+
+type wal_reply = {
+  w_generation : int;  (** base generation the shipped records extend *)
+  w_last_seq : int;  (** primary's last acknowledged sequence number *)
+  w_frames : string;
+      (** shipped records, framed exactly as on disk ({!Ftindex.Wal}
+          record framing, no header record); may stop short of
+          [w_last_seq] when the full tail exceeds one frame *)
+}
+
+type snapshot_reply = {
+  sn_generation : int;  (** generation of the snapshot being transferred *)
+  sn_manifest_crc : int;  (** CRC-32 of the raw manifest bytes *)
+  sn_files : string list;  (** complete listing, manifest first *)
+  sn_data : string option;
+      (** [None] for a listing reply; [Some bytes] for a file transfer *)
 }
 
 type response =
@@ -318,6 +371,8 @@ type response =
   | Metrics_reply of string
   | Slowlog_reply of slow_entry list
   | Health_reply of health_reply
+  | Wal_reply of wal_reply
+  | Snapshot_reply of snapshot_reply
 
 let error_of ?retry_after_ms ?queue_depth (e : Xquery.Errors.t) =
   {
@@ -348,6 +403,7 @@ let encode_response resp =
       put_bool b v.fell_back;
       put_u32 b v.steps;
       put_u32 b v.generation;
+      put_u32 b v.seq;
       put_opt
         (fun b p ->
           put_u32 b (List.length p.missing);
@@ -378,7 +434,34 @@ let encode_response resp =
       put_u8 b (Char.code 'H');
       put_u32 b h.h_generation;
       put_u32 b h.h_wal_records;
-      put_bool b h.h_draining
+      put_bool b h.h_draining;
+      put_u32 b h.h_seq;
+      put_u32 b h.h_manifest_crc;
+      put_str b h.h_role;
+      put_u32 b (List.length h.h_endpoints);
+      List.iter
+        (fun e ->
+          put_str b e.e_path;
+          put_u32 b e.e_shard;
+          put_str b e.e_role;
+          put_str b e.e_state;
+          put_bool b e.e_up;
+          put_u32 b e.e_generation;
+          put_u32 b e.e_seq;
+          put_opt put_u32 b e.e_lag)
+        h.h_endpoints
+  | Wal_reply w ->
+      put_u8 b (Char.code 'W');
+      put_u32 b w.w_generation;
+      put_u32 b w.w_last_seq;
+      put_str b w.w_frames
+  | Snapshot_reply s ->
+      put_u8 b (Char.code 'F');
+      put_u32 b s.sn_generation;
+      put_u32 b s.sn_manifest_crc;
+      put_u32 b (List.length s.sn_files);
+      List.iter (put_str b) s.sn_files;
+      put_opt put_str b s.sn_data
   | Slowlog_reply entries ->
       put_u8 b (Char.code 'L');
       put_u32 b (List.length entries);
@@ -419,6 +502,7 @@ let decode_response data =
         let fell_back = get_bool r in
         let steps = get_u32 r in
         let generation = get_u32 r in
+        let seq = get_u32 r in
         let partial =
           get_opt
             (fun r ->
@@ -428,7 +512,9 @@ let decode_response data =
             r
         in
         finish r "value response";
-        Ok (Value { items; strategy_used; fell_back; steps; generation; partial })
+        Ok
+          (Value
+             { items; strategy_used; fell_back; steps; generation; seq; partial })
     | 'E' ->
         let code = get_str r in
         let error_class = get_str r in
@@ -475,8 +561,40 @@ let decode_response data =
         let h_generation = get_u32 r in
         let h_wal_records = get_u32 r in
         let h_draining = get_bool r in
+        let h_seq = get_u32 r in
+        let h_manifest_crc = get_u32 r in
+        let h_role = get_str r in
+        let h_endpoints =
+          List.init (get_u32 r) (fun _ ->
+              let e_path = get_str r in
+              let e_shard = get_u32 r in
+              let e_role = get_str r in
+              let e_state = get_str r in
+              let e_up = get_bool r in
+              let e_generation = get_u32 r in
+              let e_seq = get_u32 r in
+              let e_lag = get_opt get_u32 r in
+              { e_path; e_shard; e_role; e_state; e_up; e_generation; e_seq;
+                e_lag })
+        in
         finish r "health response";
-        Ok (Health_reply { h_generation; h_wal_records; h_draining })
+        Ok
+          (Health_reply
+             { h_generation; h_wal_records; h_draining; h_seq; h_manifest_crc;
+               h_role; h_endpoints })
+    | 'W' ->
+        let w_generation = get_u32 r in
+        let w_last_seq = get_u32 r in
+        let w_frames = get_str r in
+        finish r "wal response";
+        Ok (Wal_reply { w_generation; w_last_seq; w_frames })
+    | 'F' ->
+        let sn_generation = get_u32 r in
+        let sn_manifest_crc = get_u32 r in
+        let sn_files = List.init (get_u32 r) (fun _ -> get_str r) in
+        let sn_data = get_opt get_str r in
+        finish r "snapshot response";
+        Ok (Snapshot_reply { sn_generation; sn_manifest_crc; sn_files; sn_data })
     | 'L' ->
         let entries =
           List.init (get_u32 r) (fun _ ->

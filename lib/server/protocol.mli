@@ -61,6 +61,14 @@ type request =
           (off the other workers' request path — readers keep the old
           engine until the atomic swap) and replies with a health snapshot
           of the post-reload state.  The rolling-reload gate. *)
+  | Fetch_wal of { from_seq : int }
+      (** replication: stream acknowledged WAL records with sequence
+          numbers past [from_seq], re-using the on-disk record framing;
+          answered with {!Wal_reply} *)
+  | Fetch_snapshot of { file : string option }
+      (** replication: [None] asks for the current snapshot's generation,
+          manifest CRC and file listing; [Some name] transfers that file's
+          raw bytes.  Answered with {!Snapshot_reply}. *)
 
 val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
   ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
@@ -90,6 +98,10 @@ type query_reply = {
       (** snapshot generation that answered (0: in-memory); a merged
           cluster reply reports the {e minimum} across answering shards —
           the serving floor *)
+  seq : int;
+      (** WAL records applied on top of [generation] when the query ran; a
+          merged cluster reply reports the minimum across answering shards.
+          With [generation], the exact index state that answered. *)
   partial : partial_info option;  (** [None] = complete answer *)
 }
 
@@ -134,10 +146,50 @@ type slow_entry = {
   s_steps : int;  (** eval steps the run consumed *)
 }
 
+type endpoint_health = {
+  e_path : string;  (** endpoint socket path *)
+  e_shard : int;  (** partition the endpoint serves *)
+  e_role : string;  (** ["primary"] or ["replica"] *)
+  e_state : string;  (** breaker state: "closed" | "open" | "half-open" *)
+  e_up : bool;  (** answered the probe *)
+  e_generation : int;  (** 0 when down *)
+  e_seq : int;  (** 0 when down *)
+  e_lag : int option;
+      (** records behind the shard's freshest known position; [None] when
+          the endpoint is down or its base generation is behind (lag is
+          only well-defined at a matched generation) *)
+}
+(** One row of a router health reply: why an endpoint is (or is not)
+    being served from — breaker state plus replication freshness. *)
+
 type health_reply = {
   h_generation : int;  (** snapshot generation now serving *)
   h_wal_records : int;  (** records in the write-ahead log *)
   h_draining : bool;  (** shutdown drain has begun *)
+  h_seq : int;  (** last applied WAL sequence number *)
+  h_manifest_crc : int;
+      (** CRC-32 of the base snapshot manifest: the anti-entropy
+          fingerprint a follower compares against its primary's *)
+  h_role : string;  (** ["primary"], ["replica"], or ["router"] *)
+  h_endpoints : endpoint_health list;  (** router replies only *)
+}
+
+type wal_reply = {
+  w_generation : int;  (** base generation the shipped records extend *)
+  w_last_seq : int;  (** primary's last acknowledged sequence number *)
+  w_frames : string;
+      (** shipped records, framed exactly as on disk (decode with
+          {!Ftindex.Wal.decode_records}); may stop short of [w_last_seq]
+          when the tail exceeds one frame — fetch again from the new
+          position *)
+}
+
+type snapshot_reply = {
+  sn_generation : int;  (** generation of the snapshot being transferred *)
+  sn_manifest_crc : int;  (** CRC-32 of the raw manifest bytes *)
+  sn_files : string list;  (** complete listing, manifest first *)
+  sn_data : string option;
+      (** [None] for a listing reply; [Some bytes] for a file transfer *)
 }
 
 type response =
@@ -149,6 +201,8 @@ type response =
   | Metrics_reply of string  (** Prometheus-style text exposition *)
   | Slowlog_reply of slow_entry list  (** newest first *)
   | Health_reply of health_reply  (** answers [Health] and [Reload] *)
+  | Wal_reply of wal_reply  (** answers [Fetch_wal] *)
+  | Snapshot_reply of snapshot_reply  (** answers [Fetch_snapshot] *)
 
 val error_of : ?retry_after_ms:int -> ?queue_depth:int -> Xquery.Errors.t -> error_reply
 val exit_code_of_class : string -> int

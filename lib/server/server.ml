@@ -41,6 +41,7 @@ type config = {
   breaker_threshold : int;
   breaker_cooldown : int;
   watch_generation : bool;
+  follow : string option;
   retry_after_ms : int;
   recv_timeout : float;
   reload_io : unit -> Ftindex.Store.Io.t;
@@ -64,6 +65,7 @@ let default_config ~index_dir ~socket_path =
     breaker_threshold = 5;
     breaker_cooldown = 8;
     watch_generation = false;
+    follow = None;
     retry_after_ms = 25;
     recv_timeout = 10.0;
     reload_io = (fun () -> Ftindex.Store.Io.real ());
@@ -115,6 +117,15 @@ type t = {
   (* lock-free mirrors of the writer's log size, for stats *)
   wal_records_now : int Atomic.t;
   wal_bytes_now : int Atomic.t;
+  (* replication state: the manifest fingerprint this daemon serves, the
+     primary's last observed position (followers), and sync counters *)
+  manifest_crc_now : int Atomic.t;
+  primary_gen_now : int Atomic.t;
+  primary_seq_now : int Atomic.t;
+  wal_syncs : int Atomic.t;  (** catch-up pulls that applied records *)
+  wal_sync_records : int Atomic.t;  (** records applied via replication *)
+  snapshot_resyncs : int Atomic.t;
+  sync_failures : int Atomic.t;
   (* observability state lives on [t], not the engine, so a hot reload's
      engine swap cannot reset it *)
   queries : int Atomic.t;  (** Query requests evaluated (success or error) *)
@@ -141,6 +152,12 @@ let current_engine t = locked t (fun () -> t.engine)
 
 let generation t =
   Option.value (Galatex.Engine.generation (current_engine t)) ~default:0
+
+let refresh_manifest_crc t =
+  Atomic.set t.manifest_crc_now
+    (Option.value ~default:0 (Ftindex.Store.manifest_crc ~dir:t.cfg.index_dir))
+
+let role t = match t.cfg.follow with Some _ -> "replica" | None -> "primary"
 
 (* ------------------------------------------------------------------ *)
 (* Request evaluation: breaker routing + fresh governor per request.   *)
@@ -188,6 +205,7 @@ let accumulate_counters t (c : Xquery.Limits.counters) =
 let eval_query t (q : Protocol.query_request) =
   let engine = current_engine t in
   let gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
+  let seq = Atomic.get t.wal_records_now in
   let limits = effective_limits t.cfg q.Protocol.limits in
   (* the caller's remaining budget caps whatever timeout would apply: a
      retried or scatter-forwarded request spends the one original budget
@@ -250,6 +268,7 @@ let eval_query t (q : Protocol.query_request) =
           fell_back = report.Galatex.Engine.fell_back;
           steps = report.Galatex.Engine.steps;
           generation = gen;
+          seq;
           partial = None;
         }
   | exception Xquery.Errors.Error e ->
@@ -267,6 +286,15 @@ let eval_query t (q : Protocol.query_request) =
 let stats t =
   let depth = locked t (fun () -> Queue.length t.queue) in
   let engine = current_engine t in
+  (* lag is only well-defined at a matched base generation; a follower
+     whose generation trails its primary is flagged, not lag-numbered *)
+  let follow_lag, follow_gen_behind =
+    let pg = Atomic.get t.primary_gen_now in
+    let my_gen = Option.value (Galatex.Engine.generation engine) ~default:0 in
+    if pg = 0 then (0, 0)
+    else if pg <> my_gen then (0, 1)
+    else (max 0 (Atomic.get t.primary_seq_now - Atomic.get t.wal_records_now), 0)
+  in
   {
     Protocol.counters =
       [
@@ -292,6 +320,12 @@ let stats t =
         ("compaction_failures", Atomic.get t.compaction_failures);
         ("wal_records", Atomic.get t.wal_records_now);
         ("wal_bytes", Atomic.get t.wal_bytes_now);
+        ("wal_syncs", Atomic.get t.wal_syncs);
+        ("wal_sync_records", Atomic.get t.wal_sync_records);
+        ("snapshot_resyncs", Atomic.get t.snapshot_resyncs);
+        ("sync_failures", Atomic.get t.sync_failures);
+        ("follow_lag", follow_lag);
+        ("follow_gen_behind", follow_gen_behind);
       ];
     breakers =
       List.map
@@ -360,6 +394,21 @@ let metrics_text t =
   gauge "galatex_wal_records" "Records in the write-ahead log."
     (stat "wal_records");
   gauge "galatex_wal_bytes" "Write-ahead log size in bytes." (stat "wal_bytes");
+  counter "galatex_wal_syncs_total"
+    "Replication catch-up pulls that applied shipped records."
+    (stat "wal_syncs");
+  counter "galatex_wal_sync_records_total"
+    "WAL records applied via replication." (stat "wal_sync_records");
+  counter "galatex_snapshot_resyncs_total"
+    "Full snapshot re-syncs pulled from the primary." (stat "snapshot_resyncs");
+  counter "galatex_sync_failures_total" "Failed replication pulls."
+    (stat "sync_failures");
+  gauge "galatex_follow_lag"
+    "Records behind the primary at a matched base generation (followers)."
+    (stat "follow_lag");
+  gauge "galatex_follow_generation_behind"
+    "1 when this follower's base generation trails its primary's."
+    (stat "follow_gen_behind");
   List.iter
     (fun (name, v) ->
       counter
@@ -523,6 +572,7 @@ let do_compact t ~reason =
           locked t (fun () -> t.engine <- engine');
           t.writer <- None (* reopen on the new generation at next update *);
           mirror_wal t;
+          refresh_manifest_crc t;
           Atomic.incr t.compactions;
           let gen = Option.value (Galatex.Engine.generation engine') ~default:0 in
           Log.info (fun m ->
@@ -592,6 +642,7 @@ let do_reload t ~reason =
                 (List.length log.Ftindex.Wal.records);
               Atomic.set t.wal_bytes_now log.Ftindex.Wal.valid_bytes
           | Some _ | None | (exception _) -> ());
+          refresh_manifest_crc t;
           Atomic.incr t.reloads;
           Log.info (fun m ->
               m "reload (%s): now serving generation %d" reason (generation t)))
@@ -604,6 +655,12 @@ let health t =
     Protocol.h_generation = generation t;
     h_wal_records = Atomic.get t.wal_records_now;
     h_draining = locked t (fun () -> t.draining);
+    (* sequence numbers are dense from 1, so the record count IS the last
+       applied sequence number — no extra bookkeeping *)
+    h_seq = Atomic.get t.wal_records_now;
+    h_manifest_crc = Atomic.get t.manifest_crc_now;
+    h_role = role t;
+    h_endpoints = [];
   }
 
 let handle_reload t =
@@ -619,6 +676,275 @@ let handle_reload t =
        generation so the caller can verify which one *)
     Protocol.Health_reply (health t)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Replication.  The primary side answers Fetch_wal (the acknowledged
+   log tail, re-using the on-disk framing) and Fetch_snapshot (a
+   CRC-verified base snapshot, file by file).  The follower side — a
+   daemon started with [follow = Some primary_sock] — pulls on the
+   maintenance ticker: WAL catch-up while the base generation matches,
+   full snapshot re-sync when it no longer does (the primary compacted)
+   or when the anti-entropy manifest-CRC comparison disagrees.          *)
+
+let handle_fetch_wal t ~from_seq =
+  (* plain-I/O read of the acknowledged log: a torn tail racing a
+     concurrent append is dropped by the scan, so only acknowledged,
+     checksum-verified records ever ship *)
+  match Ftindex.Wal.read_log ~dir:t.cfg.index_dir () with
+  | None ->
+      Protocol.Wal_reply
+        { Protocol.w_generation = generation t; w_last_seq = 0; w_frames = "" }
+  | Some log ->
+      let last_seq =
+        List.fold_left
+          (fun acc r -> max acc r.Ftindex.Wal.seq)
+          0 log.Ftindex.Wal.records
+      in
+      let fresh =
+        List.filter
+          (fun r -> r.Ftindex.Wal.seq > from_seq)
+          log.Ftindex.Wal.records
+      in
+      (* ship a dense prefix that fits one reply frame; the follower
+         fetches again from its new position for the rest *)
+      let budget = Protocol.max_frame - 4096 in
+      let rec take size acc = function
+        | [] -> List.rev acc
+        | r :: rest ->
+            let bytes = Ftindex.Wal.encode_records [ r ] in
+            let size = size + String.length bytes in
+            if size > budget && acc <> [] then List.rev acc
+            else take size (bytes :: acc) rest
+      in
+      Protocol.Wal_reply
+        {
+          Protocol.w_generation = log.Ftindex.Wal.base_generation;
+          w_last_seq = last_seq;
+          w_frames = String.concat "" (take 0 [] fresh);
+        }
+
+let handle_fetch_snapshot t ~file =
+  match Ftindex.Store.snapshot_files ~dir:t.cfg.index_dir with
+  | None ->
+      Protocol.Failure
+        (Protocol.error_of
+           (Xquery.Errors.make Xquery.Errors.GTLX0008
+              "no readable snapshot to transfer"))
+  | Some (gen, files) -> (
+      let crc =
+        Option.value ~default:0
+          (Ftindex.Store.manifest_crc ~dir:t.cfg.index_dir)
+      in
+      match file with
+      | None ->
+          Protocol.Snapshot_reply
+            { Protocol.sn_generation = gen; sn_manifest_crc = crc;
+              sn_files = files; sn_data = None }
+      | Some name
+        when (not (List.mem name files)) || Filename.basename name <> name ->
+          Protocol.Failure
+            (Protocol.error_of
+               (Xquery.Errors.make Xquery.Errors.FODC0002
+                  (Printf.sprintf "not a file of snapshot generation %d: %s"
+                     gen name)))
+      | Some name -> (
+          match
+            Ftindex.Store.Io.read_file
+              (Ftindex.Store.Io.real ())
+              (Filename.concat t.cfg.index_dir name)
+          with
+          | data ->
+              Protocol.Snapshot_reply
+                { Protocol.sn_generation = gen; sn_manifest_crc = crc;
+                  sn_files = files; sn_data = Some data }
+          | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+              (* a compaction's cleanup can unlink the file between the
+                 listing and this read; the follower restarts the
+                 transfer against the new generation *)
+              Protocol.Failure
+                (Protocol.error_of
+                   (Xquery.Errors.make Xquery.Errors.FODC0002
+                      (Printf.sprintf
+                         "snapshot file %s vanished (concurrent compaction?)"
+                         name)))))
+
+(* Pull the primary's complete snapshot into [dir] — segments first,
+   manifest last, each installed atomically — then reset the WAL to the
+   new base generation.  Pure pull, no server state: the follower ticker
+   and the empty-directory bootstrap in [start] share it. *)
+let pull_snapshot ~dir ~primary =
+  match Client.fetch_snapshot ~recv_timeout:30.0 ~socket_path:primary () with
+  | Error reason -> Error ("snapshot listing: " ^ reason)
+  | Ok listing -> (
+      let gen = listing.Protocol.sn_generation in
+      let files = listing.Protocol.sn_files in
+      if List.exists (fun n -> n = "" || Filename.basename n <> n) files then
+        Error "primary listed a snapshot file outside its directory"
+      else
+        let manifest, segments =
+          List.partition (fun n -> n = Ftindex.Store.manifest_name) files
+        in
+        let rec fetch = function
+          | [] -> Ok ()
+          | name :: rest -> (
+              match
+                Client.fetch_snapshot ~recv_timeout:60.0 ~socket_path:primary
+                  ~file:name ()
+              with
+              | Error reason -> Error (name ^ ": " ^ reason)
+              | Ok reply when reply.Protocol.sn_generation <> gen ->
+                  Error "primary moved to a new generation mid-transfer"
+              | Ok { Protocol.sn_data = None; _ } ->
+                  Error ("no data came back for " ^ name)
+              | Ok { Protocol.sn_data = Some data; _ } -> (
+                  match Ftindex.Store.install_file ~dir ~name data with
+                  | () -> fetch rest
+                  | exception Sys_error msg -> Error msg
+                  | exception Unix.Unix_error (e, fn, _) ->
+                      Error (fn ^ ": " ^ Unix.error_message e)))
+        in
+        match fetch (segments @ manifest) with
+        | Error _ as e -> e
+        | Ok () -> (
+            (* segments of superseded generations are dead weight now *)
+            (match Sys.readdir dir with
+            | exception Sys_error _ -> ()
+            | names ->
+                Array.iter
+                  (fun n ->
+                    if
+                      Filename.check_suffix n ".seg"
+                      && not (List.mem n files)
+                    then
+                      try Sys.remove (Filename.concat dir n)
+                      with Sys_error _ -> ())
+                  names);
+            match Ftindex.Wal.reset ~dir ~generation:gen () with
+            | () -> Ok (gen, listing.Protocol.sn_manifest_crc)
+            | exception Sys_error msg -> Error msg
+            | exception Unix.Unix_error (e, fn, _) ->
+                Error (fn ^ ": " ^ Unix.error_message e)))
+
+let snapshot_resync t ~primary ~reason =
+  Mutex.lock t.update_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.update_lock)
+    (fun () ->
+      Log.info (fun m ->
+          m "follow: snapshot re-sync from %s (%s)" primary reason);
+      match pull_snapshot ~dir:t.cfg.index_dir ~primary with
+      | Error why ->
+          Atomic.incr t.sync_failures;
+          Log.warn (fun m -> m "follow: snapshot re-sync failed: %s" why)
+      | Ok (gen, _crc) -> (
+          t.writer <- None;
+          match
+            Galatex.Engine.of_store ~sources:t.cfg.sources
+              ~dir:t.cfg.index_dir ()
+          with
+          | exception exn ->
+              Atomic.incr t.sync_failures;
+              Log.warn (fun m ->
+                  m "follow: re-synced snapshot failed to load: %s"
+                    (Xquery.Errors.to_string (Xquery.Errors.wrap_exn exn)))
+          | fresh ->
+              locked t (fun () ->
+                  t.engine <- Galatex.Engine.share_counters ~from:t.engine fresh);
+              mirror_wal t;
+              refresh_manifest_crc t;
+              Atomic.incr t.snapshot_resyncs;
+              Log.info (fun m ->
+                  m "follow: re-synced, now bit-identical at generation %d" gen)))
+
+let catch_up_wal t ~primary =
+  Mutex.lock t.update_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.update_lock)
+    (fun () ->
+      match
+        let w = ensure_writer t in
+        let applied = Ftindex.Wal.wal_records w in
+        match
+          Client.fetch_wal ~recv_timeout:10.0 ~socket_path:primary
+            ~from_seq:applied ()
+        with
+        | Error reason -> `Failed reason
+        | Ok reply
+          when reply.Protocol.w_generation
+               <> Ftindex.Wal.writer_generation w ->
+            (* the primary compacted under us; the next tick's health
+               probe triggers the snapshot re-sync *)
+            `Gen_moved
+        | Ok reply ->
+            let records =
+              Ftindex.Wal.decode_records reply.Protocol.w_frames
+            in
+            let fresh = Ftindex.Wal.select_fresh ~applied records in
+            if fresh = [] then `Applied 0
+            else begin
+              (* durable first, exactly like a primary update: append
+                 every shipped record to our own log, then apply and swap
+                 — so our log bytes replay to our served state across
+                 kill -9 at any point *)
+              List.iter
+                (fun r -> ignore (Ftindex.Wal.append w r.Ftindex.Wal.op))
+                fresh;
+              let engine = current_engine t in
+              let engine' =
+                List.fold_left
+                  (fun e r -> Galatex.Engine.apply_update e r.Ftindex.Wal.op)
+                  engine fresh
+              in
+              locked t (fun () -> t.engine <- engine');
+              mirror_wal t;
+              `Applied (List.length fresh)
+            end
+      with
+      | `Applied 0 -> ()
+      | `Applied n ->
+          Atomic.incr t.wal_syncs;
+          ignore (Atomic.fetch_and_add t.wal_sync_records n);
+          Log.debug (fun m -> m "follow: applied %d shipped record(s)" n)
+      | `Gen_moved -> ()
+      | `Failed reason ->
+          Atomic.incr t.sync_failures;
+          Log.debug (fun m -> m "follow: catch-up failed: %s" reason)
+      | exception exn ->
+          (* a structured GTLX0010 here means garbage or a gap on the
+             wire; if our base really diverged, the anti-entropy CRC
+             check forces the re-sync on a later tick *)
+          Atomic.incr t.sync_failures;
+          Log.warn (fun m ->
+              m "follow: catch-up failed: %s"
+                (Xquery.Errors.to_string (Xquery.Errors.wrap_exn exn))))
+
+let follow_tick t ~primary =
+  match Client.health ~recv_timeout:2.0 ~socket_path:primary () with
+  | Error reason ->
+      (* primary unreachable: keep serving at the current position; the
+         router's staleness bound decides if that is still acceptable *)
+      Log.debug (fun m -> m "follow: primary %s unreachable: %s" primary reason)
+  | Ok h ->
+      Atomic.set t.primary_gen_now h.Protocol.h_generation;
+      Atomic.set t.primary_seq_now h.Protocol.h_seq;
+      let my_gen = generation t in
+      if h.Protocol.h_generation <> my_gen then
+        snapshot_resync t ~primary
+          ~reason:
+            (Printf.sprintf "base generation %d, primary at %d" my_gen
+               h.Protocol.h_generation)
+      else if h.Protocol.h_manifest_crc <> Atomic.get t.manifest_crc_now then begin
+        Log.warn (fun m ->
+            m
+              "follow: anti-entropy: manifest CRC mismatch at generation %d \
+               (mine %d, primary %d)"
+              my_gen
+              (Atomic.get t.manifest_crc_now)
+              h.Protocol.h_manifest_crc);
+        snapshot_resync t ~primary ~reason:"manifest CRC mismatch"
+      end
+      else if h.Protocol.h_seq > Atomic.get t.wal_records_now then
+        catch_up_wal t ~primary
 
 let serve_connection t fd =
   Fun.protect
@@ -659,6 +985,25 @@ let serve_connection t fd =
                 with exn ->
                   Atomic.incr t.reload_failures;
                   Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Update _ | Protocol.Compact)
+              when t.cfg.follow <> None ->
+                (* single-writer across the fleet: a follower's state is
+                   defined by its primary's log, never by direct writes *)
+                Protocol.Failure
+                  (Protocol.error_of
+                     (Xquery.Errors.make Xquery.Errors.FODC0002
+                        "read-only replica: this daemon follows a primary; \
+                         route updates there"))
+            | Ok (Protocol.Fetch_wal { from_seq }) -> (
+                try handle_fetch_wal t ~from_seq
+                with exn ->
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Fetch_snapshot { file }) -> (
+                try handle_fetch_snapshot t ~file
+                with exn ->
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
             | Ok (Protocol.Update ops) -> (
                 try handle_update t ops
                 with exn ->
@@ -724,7 +1069,12 @@ let ticker_loop t =
     (try
        if not (locked t (fun () -> t.draining)) then begin
          maybe_reload t;
-         maybe_compact t
+         match t.cfg.follow with
+         | Some primary ->
+             (* a follower never self-compacts: its generation may only
+                advance by tracking the primary's *)
+             follow_tick t ~primary
+         | None -> maybe_compact t
        end
      with exn ->
        Log.err (fun m ->
@@ -817,6 +1167,19 @@ let accept_loop t workers =
 let start cfg =
   (* a worker writing to a vanished client must get EPIPE, not die *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (match cfg.follow with
+  | Some primary
+    when Ftindex.Store.current_generation ~dir:cfg.index_dir = None -> (
+      (* empty follower directory: bootstrap a base snapshot from the
+         primary before anything serves *)
+      Log.info (fun m -> m "bootstrapping from primary %s" primary);
+      match pull_snapshot ~dir:cfg.index_dir ~primary with
+      | Ok (gen, _) ->
+          Log.info (fun m -> m "bootstrap complete at generation %d" gen)
+      | Error reason ->
+          Xquery.Errors.raise_error Xquery.Errors.FODC0002
+            "cannot bootstrap from primary %s: %s" primary reason)
+  | Some _ | None -> ());
   let engine =
     Galatex.Engine.of_store ~sources:cfg.sources ~dir:cfg.index_dir ()
   in
@@ -869,6 +1232,13 @@ let start cfg =
       compaction_failures = Atomic.make 0;
       wal_records_now = Atomic.make 0;
       wal_bytes_now = Atomic.make 0;
+      manifest_crc_now = Atomic.make 0;
+      primary_gen_now = Atomic.make 0;
+      primary_seq_now = Atomic.make 0;
+      wal_syncs = Atomic.make 0;
+      wal_sync_records = Atomic.make 0;
+      snapshot_resyncs = Atomic.make 0;
+      sync_failures = Atomic.make 0;
       queries = Atomic.make 0;
       engine_counters = Obs.Metrics.create ();
       histograms =
@@ -900,6 +1270,7 @@ let start cfg =
      (fun () ->
        ignore (ensure_writer t);
        mirror_wal t));
+  refresh_manifest_crc t;
   let workers =
     List.init (max 1 cfg.workers) (fun _ -> Thread.create worker_loop t)
   in

@@ -52,6 +52,15 @@ type config = {
   watch_generation : bool;
       (** poll the snapshot directory between requests and hot-reload when
           its generation changes, without a SIGHUP (default false) *)
+  follow : string option;
+      (** replica mode: the primary's socket path.  The daemon becomes a
+          read-only follower — it rejects [Update] / [Compact], bootstraps
+          an empty index directory by pulling the primary's snapshot, and
+          on every maintenance tick probes the primary's health: a base
+          generation or manifest-CRC mismatch triggers a full snapshot
+          re-sync (anti-entropy), a higher primary sequence number pulls
+          the WAL tail ([Fetch_wal]) and applies it durable-first, exactly
+          like a primary update.  Default [None] (primary mode). *)
   retry_after_ms : int;  (** hint carried by shed responses (default 25) *)
   recv_timeout : float;
       (** seconds a worker waits for a request frame before giving up on
@@ -110,7 +119,9 @@ val stats : t -> Protocol.stats_reply
     [client_errors], [breaker_bypassed], [breaker_trips],
     [fallbacks_total], [reloads], [reload_failures], [salvage_events],
     [generation], [queue_depth], [workers], [updates], [update_errors],
-    [compactions], [compaction_failures], [wal_records], [wal_bytes] —
+    [compactions], [compaction_failures], [wal_records], [wal_bytes],
+    [wal_syncs], [wal_sync_records], [snapshot_resyncs], [sync_failures],
+    [follow_lag], [follow_gen_behind] —
     plus per-strategy breaker states.  All counters (and the metrics
     below) survive hot reloads: they live on the daemon, and the engine's
     own cells are carried across the swap. *)

@@ -52,6 +52,10 @@ type code =
       (** partial result: one or more document partitions were unavailable
           (down past retries, or out of deadline budget); the message and
           the reply's partial framing name the missing partitions *)
+  (* GalaTex replication errors (bounded-staleness failover) *)
+  | GTLX0012
+      (** no sufficiently fresh endpoint: only replicas lagging beyond the
+          configured staleness bound remain for a partition *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -69,7 +73,11 @@ let class_of = function
      the server's capacity was not — retryable, like a budget.  A partial
      cluster answer is the same shape: the missing partitions may return
      on a retry. *)
-  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 | GTLX0011 -> Resource
+  (* a too-stale replica is the same retryable shape: the primary (or a
+     caught-up replica) may be back within the bound on a retry *)
+  | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 | GTLX0011
+  | GTLX0012 ->
+      Resource
   | GTLX0005 -> Internal
 
 let code_string = function
@@ -102,6 +110,7 @@ let code_string = function
   | GTLX0009 -> "gtlx:GTLX0009"
   | GTLX0010 -> "gtlx:GTLX0010"
   | GTLX0011 -> "gtlx:GTLX0011"
+  | GTLX0012 -> "gtlx:GTLX0012"
 
 let class_string = function
   | Static -> "static"

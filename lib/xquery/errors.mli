@@ -40,6 +40,12 @@ type code =
       (** partial cluster result: one or more document partitions were
           unavailable past retries; the message (and the query reply's
           partial framing) names the missing partitions *)
+  | GTLX0012
+      (** bounded staleness violated: every reachable endpoint of a
+          partition was a replica lagging its primary beyond the
+          configured [--max-lag] bound, so no sufficiently fresh answer
+          exists; the primary (or a caught-up replica) may return on a
+          retry *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

@@ -18,8 +18,16 @@ expect_exit() { # expect_exit NAME WANT ACTUAL
   fi
 }
 
-work=$(mktemp -d ./cli-smoke-XXXXXX)
-trap 'rm -rf "$work"' EXIT
+work=$(mktemp -d "$PWD/cli-smoke-XXXXXX")
+# every background daemon registers its PID here; the trap kills them all
+# on ANY exit path — a failing check must never leave daemons running
+daemons=""
+cleanup() {
+  for pid in $daemons; do kill -9 "$pid" 2>/dev/null; done
+  wait 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
 cd "$work"
 
 cat > a.xml <<'EOF'
@@ -112,7 +120,7 @@ expect_exit "index for serving" 0 $?
 
 # --slow-threshold 0: every query lands in the slow-query log
 "$GX" serve --index srvsnap --socket srv.sock --slow-threshold 0 2>serve.log &
-SRV=$!
+SRV=$!; daemons="$daemons $SRV"
 for _ in $(seq 1 100); do [ -S srv.sock ] && break; sleep 0.1; done
 [ -S srv.sock ] || { echo "FAIL: daemon never bound its socket" >&2; cat serve.log >&2; fails=$((fails+1)); }
 
@@ -174,7 +182,7 @@ UQ='collection()//title[. ftcontains "axolotl"]'
 expect_exit "index for live updates" 0 $?
 
 "$GX" serve --index updsnap --socket upd.sock 2>upd-serve.log &
-USRV=$!
+USRV=$!; daemons="$daemons $USRV"
 for _ in $(seq 1 100); do [ -S upd.sock ] && break; sleep 0.1; done
 [ -S upd.sock ] || { echo "FAIL: update daemon never bound its socket" >&2; cat upd-serve.log >&2; fails=$((fails+1)); }
 
@@ -198,7 +206,7 @@ expect_exit "query on the recovered index" 0 $?
 
 # a restarted daemon serves the recovered state and can fold it away
 "$GX" serve --index updsnap --socket upd.sock 2>>upd-serve.log &
-USRV=$!
+USRV=$!; daemons="$daemons $USRV"
 for _ in $(seq 1 100); do [ -S upd.sock ] && break; sleep 0.1; done
 "$GX" stats --server upd.sock | grep -q '^wal_records 3$' || { echo "FAIL: recovered log not mirrored in stats" >&2; fails=$((fails+1)); }
 
@@ -251,12 +259,12 @@ done
 expect_exit "index --shards 2" 0 $?
 [ -d clu/shard-0 ] && [ -d clu/shard-1 ] || { echo "FAIL: sharded index layout missing" >&2; fails=$((fails+1)); }
 
-"$GX" serve --index clu/shard-0 --socket s0.sock 2>s0.log & S0=$!
-"$GX" serve --index clu/shard-1 --socket s1.sock 2>s1.log & S1=$!
+"$GX" serve --index clu/shard-0 --socket s0.sock 2>s0.log & S0=$!; daemons="$daemons $S0"
+"$GX" serve --index clu/shard-1 --socket s1.sock 2>s1.log & S1=$!; daemons="$daemons $S1"
 for _ in $(seq 1 100); do [ -S s0.sock ] && [ -S s1.sock ] && break; sleep 0.1; done
 [ -S s0.sock ] && [ -S s1.sock ] || { echo "FAIL: shard daemons never bound" >&2; cat s0.log s1.log >&2; fails=$((fails+1)); }
 
-"$GX" route --shard s0.sock --shard s1.sock --socket rt.sock 2>rt.log & RT=$!
+"$GX" route --shard s0.sock --shard s1.sock --socket rt.sock 2>rt.log & RT=$!; daemons="$daemons $RT"
 for _ in $(seq 1 100); do [ -S rt.sock ] && break; sleep 0.1; done
 [ -S rt.sock ] || { echo "FAIL: router never bound its socket" >&2; cat rt.log >&2; fails=$((fails+1)); }
 
@@ -279,7 +287,7 @@ grep -Fq 'missing partition(s) 1' err.txt || { echo "FAIL: partial does not name
 
 # restart the shard: full answers come back once its breaker re-probes
 rm -f s1.sock
-"$GX" serve --index clu/shard-1 --socket s1.sock 2>>s1.log & S1=$!
+"$GX" serve --index clu/shard-1 --socket s1.sock 2>>s1.log & S1=$!; daemons="$daemons $S1"
 recovered=0
 for _ in $(seq 1 100); do
   out=$("$GX" query --server rt.sock --retries 2 "$CQ" 2>err.txt)
@@ -319,6 +327,62 @@ expect_exit "router exits 0 on SIGTERM" 0 $?
 [ -e rt.sock ] && { echo "FAIL: router socket left behind" >&2; fails=$((fails+1)); }
 kill -TERM $S0 $S1
 wait $S0 $S1 2>/dev/null
+
+# --- replication: a follower bootstraps an EMPTY directory from its
+# --- primary over the wire, tails the write-ahead log, converges to the
+# --- same (generation, seq, manifest CRC), and rejects writes ---
+"$GX" index -d a.xml -d b.xml --output repsnap >/dev/null
+expect_exit "index for replication" 0 $?
+
+"$GX" serve --index repsnap --socket pri.sock 2>pri.log & PRI=$!; daemons="$daemons $PRI"
+for _ in $(seq 1 100); do [ -S pri.sock ] && break; sleep 0.1; done
+[ -S pri.sock ] || { echo "FAIL: replication primary never bound" >&2; cat pri.log >&2; fails=$((fails+1)); }
+
+# repdir does not exist: the follower must pull the snapshot to create it
+"$GX" serve --index repdir --socket fol.sock --follow pri.sock 2>fol.log & FOL=$!; daemons="$daemons $FOL"
+for _ in $(seq 1 100); do [ -S fol.sock ] && break; sleep 0.1; done
+[ -S fol.sock ] || { echo "FAIL: follower never bound (bootstrap failed?)" >&2; cat fol.log >&2; fails=$((fails+1)); }
+
+"$GX" stats --server fol.sock --health | grep -q '^role replica$' || { echo "FAIL: follower health missing replica role" >&2; fails=$((fails+1)); }
+"$GX" stats --server pri.sock --health | grep -q '^role primary$' || { echo "FAIL: primary health missing primary role" >&2; fails=$((fails+1)); }
+
+# stream updates at the primary; the follower tails them within ticks
+for f in u1.xml u2.xml u3.xml; do
+  "$GX" update --server pri.sock -a "$f" >/dev/null
+  expect_exit "replicated update $f" 0 $?
+done
+
+fingerprint() { "$GX" stats --server "$1" --health 2>/dev/null | grep -E '^(generation|seq|manifest_crc) '; }
+converged=0
+for _ in $(seq 1 100); do
+  if [ -n "$(fingerprint pri.sock)" ] && [ "$(fingerprint pri.sock)" = "$(fingerprint fol.sock)" ]; then converged=1; break; fi
+  sleep 0.1
+done
+[ "$converged" -eq 1 ] || { echo "FAIL: follower never converged: [$(fingerprint pri.sock)] vs [$(fingerprint fol.sock)]" >&2; cat fol.log >&2; fails=$((fails+1)); }
+
+want=$("$GX" query --server pri.sock "$UQ")
+got=$("$GX" query --server fol.sock "$UQ")
+expect_exit "query on the follower" 0 $?
+[ "$got" = "$want" ] || { echo "FAIL: follower answers diverge: [$got] vs [$want]" >&2; fails=$((fails+1)); }
+
+# the follower is read-only: updates are refused with a structured error
+"$GX" update --server fol.sock -a u1.xml 2>err.txt
+expect_exit "follower rejects updates (FODC0002)" 2 $?
+grep -q 'err:FODC0002' err.txt || { echo "FAIL: follower rejection not structured" >&2; fails=$((fails+1)); }
+
+# a primary compaction moves the base generation; the follower re-syncs
+"$GX" update --server pri.sock --compact >/dev/null
+expect_exit "primary compaction" 0 $?
+resynced=0
+for _ in $(seq 1 100); do
+  if [ -n "$(fingerprint pri.sock)" ] && [ "$(fingerprint pri.sock)" = "$(fingerprint fol.sock)" ]; then resynced=1; break; fi
+  sleep 0.1
+done
+[ "$resynced" -eq 1 ] || { echo "FAIL: follower never re-synced after compaction" >&2; cat fol.log >&2; fails=$((fails+1)); }
+"$GX" stats --server fol.sock | grep -q '^snapshot_resyncs [1-9]' || { echo "FAIL: snapshot re-sync not counted" >&2; fails=$((fails+1)); }
+
+kill -TERM $FOL $PRI
+wait $FOL $PRI 2>/dev/null
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke failure(s)" >&2

@@ -341,6 +341,131 @@ let test_replica_failover () =
         "full count" [ string_of_int n_docs ] v.Protocol.items)
 
 (* ------------------------------------------------------------------ *)
+(* Bounded-staleness failover: the router tracks each shard's freshest
+   known (generation, seq) from update acks, query replies and probes;
+   --max-lag gates how far behind a failover replica may serve from.    *)
+
+(* an uri owned by the given partition, for steering updates *)
+let uri_owned_by shard =
+  let rec go i =
+    let uri = Printf.sprintf "steer%d.xml" i in
+    if Corpus.Partition.shard_of_uri ~shards:shard_count uri = shard then uri
+    else go (i + 1)
+  in
+  go 0
+
+let steer_op shard =
+  Ftindex.Wal.Add_doc
+    {
+      uri = uri_owned_by shard;
+      source = "<book><title>Steered</title><p>usability steering</p></book>";
+    }
+
+let send_update c ops =
+  match Client.request ~socket_path:c.router_sock (Protocol.Update ops) with
+  | Ok (Protocol.Update_reply _) -> ()
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "update failed: %s: %s" e.Protocol.code e.Protocol.message
+  | Ok _ -> Alcotest.fail "unexpected reply to update"
+  | Error reason -> Alcotest.failf "update transport error %s" reason
+
+let router_stat c key =
+  match List.assoc_opt key (Router.stats c.router).Protocol.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "router counter %s missing" key
+
+let test_stale_replicas_fail_gtlx0012 () =
+  with_cluster ~replicas:true
+    ~tweak:(fun cfg -> { cfg with Router.max_lag = Some 0 })
+    ()
+    (fun c ->
+      (* advance both primaries past their replicas (the replicas are
+         separate daemons over the same snapshot and never see the WAL
+         append); the update acks teach the router the fresh positions *)
+      send_update c [ steer_op 0; steer_op 1 ];
+      (* primaries are at the latest position: queries still flow *)
+      ignore (ok_value "fresh" (query c count_query));
+      kill_shard c 0;
+      kill_shard c 1;
+      (* only stale replicas remain: the freshness bound fails the query
+         with the dedicated code, not the outage code *)
+      (match query c count_query with
+      | Ok (Protocol.Failure e) ->
+          Alcotest.(check string) "stale code" "gtlx:GTLX0012" e.Protocol.code;
+          Alcotest.(check string)
+            "resource class" "resource" e.Protocol.error_class
+      | Ok _ -> Alcotest.fail "query served beyond --max-lag"
+      | Error reason -> Alcotest.failf "transport error %s" reason);
+      Alcotest.(check bool) "stale skips counted" true
+        (router_stat c "stale_skips" > 0))
+
+let test_stale_replica_served_when_unbounded () =
+  with_cluster ~replicas:true () (fun c ->
+      send_update c [ steer_op 0 ];
+      kill_shard c 0;
+      (* no bound set: the lagging replica serves — complete answer,
+         logged and counted rather than refused *)
+      let v = ok_value "unbounded failover" (query c count_query) in
+      Alcotest.(check bool) "complete" true (v.Protocol.partial = None);
+      Alcotest.(check (list string))
+        "replica's pre-update count"
+        [ string_of_int n_docs ]
+        v.Protocol.items;
+      Alcotest.(check bool) "stale serves counted" true
+        (router_stat c "stale_served" > 0))
+
+let test_replica_within_bound_serves () =
+  with_cluster ~replicas:true
+    ~tweak:(fun cfg -> { cfg with Router.max_lag = Some 5 })
+    ()
+    (fun c ->
+      send_update c [ steer_op 0 ];
+      kill_shard c 0;
+      (* one record behind, bound is five: the replica is fresh enough *)
+      let v = ok_value "within bound" (query c count_query) in
+      Alcotest.(check bool) "complete" true (v.Protocol.partial = None);
+      Alcotest.(check int) "no stale skips" 0 (router_stat c "stale_skips"))
+
+let test_health_reports_endpoints () =
+  with_cluster ~replicas:true () (fun c ->
+      kill_shard c 1;
+      match Client.health ~socket_path:c.router_sock () with
+      | Error reason -> Alcotest.failf "health: %s" reason
+      | Ok h ->
+          Alcotest.(check string) "router role" "router" h.Protocol.h_role;
+          Alcotest.(check int)
+            "one row per endpoint" (2 * shard_count)
+            (List.length h.Protocol.h_endpoints);
+          let find path =
+            List.find
+              (fun e -> e.Protocol.e_path = path)
+              h.Protocol.h_endpoints
+          in
+          Array.iteri
+            (fun i sock ->
+              let e = find sock in
+              Alcotest.(check string) "primary role" "primary"
+                e.Protocol.e_role;
+              Alcotest.(check int) "shard index" i e.Protocol.e_shard)
+            c.shard_socks;
+          Alcotest.(check bool) "killed primary reported down" false
+            (find c.shard_socks.(1)).Protocol.e_up;
+          let replicas =
+            List.filter
+              (fun e -> e.Protocol.e_role = "replica")
+              h.Protocol.h_endpoints
+          in
+          Alcotest.(check int) "both replicas probed" 2 (List.length replicas);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "replica up" true e.Protocol.e_up;
+              Alcotest.(check bool) "breaker state reported" true
+                (List.mem e.Protocol.e_state [ "closed"; "open"; "half-open" ]);
+              Alcotest.(check (option int)) "lag well-defined" (Some 0)
+                e.Protocol.e_lag)
+            replicas)
+
+(* ------------------------------------------------------------------ *)
 (* Update routing: by document hash, to the owning primary only.       *)
 
 let test_update_routes_by_hash () =
@@ -561,6 +686,14 @@ let tests =
       test_partial_when_shard_down;
     Alcotest.test_case "all partitions down" `Quick test_all_down_fails_gtlx0011;
     Alcotest.test_case "replica failover" `Quick test_replica_failover;
+    Alcotest.test_case "stale replicas fail (GTLX0012)" `Quick
+      test_stale_replicas_fail_gtlx0012;
+    Alcotest.test_case "stale replica served when unbounded" `Quick
+      test_stale_replica_served_when_unbounded;
+    Alcotest.test_case "replica within bound serves" `Quick
+      test_replica_within_bound_serves;
+    Alcotest.test_case "health reports endpoints" `Quick
+      test_health_reports_endpoints;
     Alcotest.test_case "update routes by hash" `Quick test_update_routes_by_hash;
     Alcotest.test_case "rolling reload over wire" `Quick
       test_rolling_reload_over_wire;

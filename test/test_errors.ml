@@ -134,10 +134,16 @@ let test_error_classes () =
      snapshot: dynamic class *)
   Alcotest.(check string) "unreplayable log is dynamic" "dynamic"
     (class_string (class_of GTLX0010));
+  (* a freshness-bound failure terminates the request like overload
+     shedding: the caller chose the bound — resource class *)
+  Alcotest.(check string) "stale failover is resource" "resource"
+    (class_string (class_of GTLX0012));
   Alcotest.(check string) "storage code string" "gtlx:GTLX0006"
     (code_string GTLX0006);
   Alcotest.(check string) "update-log code string" "gtlx:GTLX0010"
-    (code_string GTLX0010)
+    (code_string GTLX0010);
+  Alcotest.(check string) "stale-failover code string" "gtlx:GTLX0012"
+    (code_string GTLX0012)
 
 let tests =
   [

@@ -31,5 +31,6 @@ let () =
       ("obs", Test_obs.tests);
       ("server", Test_server.tests);
       ("cluster", Test_cluster.tests);
+      ("replication", Test_replication.tests);
       ("conformance", Test_conformance.tests);
     ]

@@ -228,6 +228,7 @@ let test_protocol_roundtrip () =
         fell_back = false;
         steps = 12;
         generation = 2;
+        seq = 5;
         partial =
           Some { Protocol.missing = [ 1; 3 ]; detail = "partition 1: down" };
       }
@@ -238,11 +239,77 @@ let test_protocol_roundtrip () =
   | Error e -> Alcotest.failf "decode failed: %s" e);
   let health_resp =
     Protocol.Health_reply
-      { Protocol.h_generation = 7; h_wal_records = 3; h_draining = true }
+      {
+        Protocol.h_generation = 7;
+        h_wal_records = 3;
+        h_draining = true;
+        h_seq = 3;
+        h_manifest_crc = 0xdeadbeef;
+        h_role = "primary";
+        h_endpoints =
+          [
+            {
+              Protocol.e_path = "/tmp/s0.sock";
+              e_shard = 0;
+              e_role = "replica";
+              e_state = "half-open";
+              e_up = true;
+              e_generation = 7;
+              e_seq = 1;
+              e_lag = Some 2;
+            };
+            {
+              Protocol.e_path = "/tmp/s1.sock";
+              e_shard = 1;
+              e_role = "primary";
+              e_state = "closed";
+              e_up = false;
+              e_generation = 0;
+              e_seq = 0;
+              e_lag = None;
+            };
+          ];
+      }
   in
   (match Protocol.decode_response (Protocol.encode_response health_resp) with
   | Ok r ->
       Alcotest.(check bool) "health reply round trip" true (r = health_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  (* replication round trips: catch-up pull and snapshot transfer *)
+  (match
+     Protocol.decode_request
+       (Protocol.encode_request (Protocol.Fetch_wal { from_seq = 42 }))
+   with
+  | Ok (Protocol.Fetch_wal { from_seq = 42 }) -> ()
+  | _ -> Alcotest.fail "fetch-wal round trip");
+  List.iter
+    (fun file ->
+      match
+        Protocol.decode_request
+          (Protocol.encode_request (Protocol.Fetch_snapshot { file }))
+      with
+      | Ok (Protocol.Fetch_snapshot { file = f }) when f = file -> ()
+      | _ -> Alcotest.fail "fetch-snapshot round trip")
+    [ None; Some "MANIFEST" ];
+  let wal_resp =
+    Protocol.Wal_reply
+      { Protocol.w_generation = 3; w_last_seq = 99; w_frames = "\x01binary\x00" }
+  in
+  (match Protocol.decode_response (Protocol.encode_response wal_resp) with
+  | Ok r -> Alcotest.(check bool) "wal reply round trip" true (r = wal_resp)
+  | Error e -> Alcotest.failf "decode failed: %s" e);
+  let snap_resp =
+    Protocol.Snapshot_reply
+      {
+        Protocol.sn_generation = 5;
+        sn_manifest_crc = 123456789;
+        sn_files = [ "MANIFEST"; "docs.0000000005.seg" ];
+        sn_data = Some "\x00raw\xffbytes";
+      }
+  in
+  (match Protocol.decode_response (Protocol.encode_response snap_resp) with
+  | Ok r ->
+      Alcotest.(check bool) "snapshot reply round trip" true (r = snap_resp)
   | Error e -> Alcotest.failf "decode failed: %s" e);
   (* a total decoder: garbage comes back as Error, never an exception *)
   List.iter

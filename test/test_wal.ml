@@ -473,6 +473,100 @@ let test_compact_fault_sweep () =
       faults
   done
 
+(* --- 5. wire shipping: the replication transfer path ---
+
+   A primary ships acknowledged records framed exactly as on disk
+   ([encode_records]); a follower decodes them ([decode_records]) and
+   filters them against its own applied position ([select_fresh]).  The
+   contract: replaying any shuffled-with-duplicates prefix of the
+   acknowledged records either converges to the in-order replay state of
+   some prefix, or is rejected with GTLX0010 — never silent divergence. *)
+
+let records_of ops = List.mapi (fun i op -> { Wal.seq = i + 1; op }) ops
+
+let test_shipping_roundtrip () =
+  let records = records_of update_ops in
+  let decoded = Wal.decode_records (Wal.encode_records records) in
+  Alcotest.(check bool) "records survive the wire" true (decoded = records);
+  Alcotest.(check bool) "empty ship" true (Wal.decode_records "" = []);
+  (* a torn wire transfer is a protocol error, not a local torn tail:
+     the primary only ships acknowledged records, so missing bytes mean
+     corruption — reject, never silently drop *)
+  let frames = Wal.encode_records records in
+  (match Wal.decode_records (String.sub frames 0 (String.length frames - 3)) with
+  | _ -> Alcotest.fail "torn wire frames accepted"
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check string)
+        "torn wire is GTLX0010" "gtlx:GTLX0010"
+        (Xquery.Errors.code_string e.Xquery.Errors.code));
+  (* flipped payload byte: checksum catches it *)
+  let corrupt = Bytes.of_string frames in
+  Bytes.set corrupt (Bytes.length corrupt - 5) '\xff';
+  match Wal.decode_records (Bytes.to_string corrupt) with
+  | _ -> Alcotest.fail "corrupt wire frames accepted"
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check string)
+        "corrupt wire is GTLX0010" "gtlx:GTLX0010"
+        (Xquery.Errors.code_string e.Xquery.Errors.code)
+
+let test_select_fresh () =
+  let records = records_of update_ops in
+  (* duplicates below the applied position are skipped idempotently *)
+  Alcotest.(check bool)
+    "skips applied prefix" true
+    (Wal.select_fresh ~applied:2 records
+    = List.filter (fun r -> r.Wal.seq > 2) records);
+  Alcotest.(check bool)
+    "everything applied -> nothing fresh" true
+    (Wal.select_fresh ~applied:(List.length records) records = []);
+  Alcotest.(check bool)
+    "redelivered batch with internal duplicates" true
+    (Wal.select_fresh ~applied:0 (List.hd records :: records) = records);
+  (* a gap is never bridged: rejection, not silent divergence *)
+  match Wal.select_fresh ~applied:0 (List.filter (fun r -> r.Wal.seq <> 2) records) with
+  | _ -> Alcotest.fail "sequence gap accepted"
+  | exception Xquery.Errors.Error e ->
+      Alcotest.(check string)
+        "gap is GTLX0010" "gtlx:GTLX0010"
+        (Xquery.Errors.code_string e.Xquery.Errors.code)
+
+let prop_shipping_convergence =
+  let gen =
+    let open QCheck2.Gen in
+    let* ops = gen_ops in
+    let records = records_of ops in
+    let n = List.length records in
+    let* k = int_range 0 n in
+    let prefix = List.filteri (fun i _ -> i < k) records in
+    let* dups =
+      if k = 0 then return []
+      else
+        let* idx = list_size (int_range 0 3) (int_range 0 (k - 1)) in
+        return (List.map (fun i -> List.nth prefix i) idx)
+    in
+    let* delivered = shuffle_l (prefix @ dups) in
+    return (records, delivered)
+  in
+  QCheck2.Test.make
+    ~name:"shipped replay converges or rejects — never diverges" ~count:60 gen
+    (fun (records, delivered) ->
+      match
+        Wal.select_fresh ~applied:0
+          (Wal.decode_records (Wal.encode_records delivered))
+      with
+      | exception Xquery.Errors.Error e ->
+          (* rejected: must be the structured unreplayable code *)
+          e.Xquery.Errors.code = Xquery.Errors.GTLX0010
+      | fresh ->
+          (* accepted: exactly records 1..m in order, and replaying them
+             is bit-identical to the in-order replay of that prefix *)
+          let m = List.length fresh in
+          List.map (fun r -> r.Wal.seq) fresh = List.init m (fun i -> i + 1)
+          && index_eq
+               (Wal.replay (base_index ()) fresh)
+               (Wal.replay (base_index ())
+                  (List.filteri (fun i _ -> i < m) records)))
+
 (* query-level spot check on top of the structural sweeps: a post-crash
    engine answers the use-case query exactly like a from-scratch index *)
 let test_query_cross_check_after_recovery () =
@@ -516,4 +610,8 @@ let tests =
     Alcotest.test_case "compact fault sweep" `Slow test_compact_fault_sweep;
     Alcotest.test_case "query cross-check after recovery" `Quick
       test_query_cross_check_after_recovery;
+    Alcotest.test_case "shipping round trip" `Quick test_shipping_roundtrip;
+    Alcotest.test_case "select fresh (duplicates, gaps)" `Quick
+      test_select_fresh;
+    QCheck_alcotest.to_alcotest prop_shipping_convergence;
   ]

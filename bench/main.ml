@@ -1141,13 +1141,17 @@ let r4_live_updates () =
                     match
                       Cli.request ~socket_path
                         (Proto.Update
-                           [
-                             Ftindex.Wal.Add_doc
-                               {
-                                 uri = Printf.sprintf "u%d.xml" (i mod 12);
-                                 source = upd_doc i;
-                               };
-                           ])
+                           {
+                             ops =
+                               [
+                                 Ftindex.Wal.Add_doc
+                                   {
+                                     uri = Printf.sprintf "u%d.xml" (i mod 12);
+                                     source = upd_doc i;
+                                   };
+                               ];
+                             epoch = 0;
+                           })
                     with
                     | Ok (Proto.Update_reply _) ->
                         ulat.(i) <- (Unix.gettimeofday () -. s) *. 1000.
@@ -1582,7 +1586,10 @@ let r6_replication () =
                     Printf.sprintf "<book><title>replica load %d</title></book>" i;
                 }
             in
-            match Cli.request ~socket_path:pri_sock (Proto.Update [ op ]) with
+            match
+              Cli.request ~socket_path:pri_sock
+                (Proto.Update { ops = [ op ]; epoch = 0 })
+            with
             | Ok (Proto.Update_reply _) -> ()
             | _ -> failwith "r6: update not acknowledged"
           done;
@@ -1614,14 +1621,14 @@ let r6_replication () =
                         source = "<book><title>after restart</title></book>";
                       }
                   in
-                  ignore (Cli.request ~socket_path:pri_sock (Proto.Update [ op ]))
+                  ignore (Cli.request ~socket_path:pri_sock (Proto.Update { ops = [ op ]; epoch = 0 }))
                 done;
                 wait_converged ())
           in
           (* 3. time-to-converge across a compaction: the base generation
              moves, so the follower must pull a full snapshot re-sync *)
           let compact_ms =
-            (match Cli.request ~socket_path:pri_sock Proto.Compact with
+            (match Cli.request ~socket_path:pri_sock (Proto.Compact { epoch = 0 }) with
             | Ok (Proto.Compact_reply _) -> ()
             | _ -> failwith "r6: compact failed");
             wait_converged ()
@@ -1672,6 +1679,253 @@ let r6_replication () =
             (fun () -> output_string oc json);
           Harness.row "  wrote BENCH_R6.json\n"))
 
+(* ---------------------------------------------------------------- R7 *)
+
+let r7_failover () =
+  Harness.section
+    "R7 (robustness): epoch-fenced primary failover — write-unavailability \
+     window, query p99 through the drill";
+  let module Srv = Galatex_server.Server in
+  let module Cli = Galatex_server.Client in
+  let module Proto = Galatex_server.Protocol in
+  let module Router = Galatex_cluster.Router in
+  let root = Printf.sprintf "r7-failover-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      Unix.mkdir root 0o755;
+      let docs =
+        Corpus.Generator.books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 1700;
+            doc_count = 16;
+            sections_per_doc = 3;
+            paras_per_section = 4;
+            words_per_para = 40;
+            vocab_size = 150;
+          }
+      in
+      let sources =
+        List.map (fun (uri, d) -> (uri, Xmlkit.Printer.to_string d)) docs
+      in
+      let pri_dir = Filename.concat root "primary" in
+      Ftindex.Store.save ~dir:pri_dir (Ftindex.Indexer.index_strings sources);
+      let pid = Unix.getpid () in
+      let pri_sock = Printf.sprintf "r7-pri-%d.sock" pid in
+      let fol_sock = Printf.sprintf "r7-fol-%d.sock" pid in
+      let rt_sock = Printf.sprintf "r7-rt-%d.sock" pid in
+      let fol_dir = Filename.concat root "follower" in
+      let pri_cfg =
+        {
+          (Srv.default_config ~index_dir:pri_dir ~socket_path:pri_sock) with
+          Srv.tick_interval = 0.01;
+        }
+      in
+      let fol_cfg =
+        {
+          (Srv.default_config ~index_dir:fol_dir ~socket_path:fol_sock) with
+          Srv.follow = Some pri_sock;
+          tick_interval = 0.01;
+        }
+      in
+      let primary = ref (Srv.start pri_cfg) in
+      let follower = Srv.start fol_cfg in
+      let router =
+        Router.start
+          {
+            (Router.default_config
+               ~shards:[ { Router.primary = pri_sock; replicas = [ fol_sock ] } ]
+               ~socket_path:rt_sock)
+            with
+            Router.workers = 4;
+            retries = 1;
+            default_deadline = 3.0;
+            tick_interval = 0.01;
+            probe_timeout = 0.1;
+            reload_timeout = 10.0;
+            primary_failover = true;
+            failover_ticks = 2;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop router;
+          Srv.stop follower;
+          Srv.stop !primary)
+        (fun () ->
+          let health sock =
+            match Cli.health ~socket_path:sock () with
+            | Ok h -> Some h
+            | Error _ -> None
+          in
+          let converged () =
+            match (health pri_sock, health fol_sock) with
+            | Some p, Some f ->
+                p.Proto.h_generation = f.Proto.h_generation
+                && p.Proto.h_seq = f.Proto.h_seq
+                && p.Proto.h_manifest_crc = f.Proto.h_manifest_crc
+            | _ -> false
+          in
+          let rec wait ?(tries = 5000) msg f =
+            if f () then ()
+            else if tries = 0 then failwith ("r7: timeout waiting for " ^ msg)
+            else (
+              Thread.delay 0.002;
+              wait ~tries:(tries - 1) msg f)
+          in
+          wait "bootstrap" converged;
+          (* writer: streams single-doc updates through the router and
+             records (wall time, epoch) per acknowledged write; failures
+             during the window are the unavailability being measured *)
+          let acks = ref [] and acks_lock = Mutex.create () in
+          let stop = Atomic.make false in
+          let writer =
+            Thread.create
+              (fun () ->
+                let i = ref 0 in
+                while not (Atomic.get stop) do
+                  incr i;
+                  let op =
+                    Ftindex.Wal.Add_doc
+                      {
+                        uri = Printf.sprintf "r7-new-%d.xml" !i;
+                        source =
+                          Printf.sprintf "<book><title>failover %d</title></book>"
+                            !i;
+                      }
+                  in
+                  (match
+                     Cli.request ~recv_timeout:2.0 ~socket_path:rt_sock
+                       (Proto.Update { ops = [ op ]; epoch = 0 })
+                   with
+                  | Ok (Proto.Update_reply u) ->
+                      Mutex.lock acks_lock;
+                      acks := (Unix.gettimeofday (), u.Proto.u_epoch) :: !acks;
+                      Mutex.unlock acks_lock
+                  | Ok _ | Error _ -> ());
+                  Thread.delay 0.002
+                done)
+              ()
+          in
+          (* reader: hammers the router with the cross-shard count query
+             and keeps every latency — the replica keeps serving reads
+             while the primary is down, so p99 should stay flat *)
+          let lats = ref [] and lats_lock = Mutex.create () in
+          let reader =
+            Thread.create
+              (fun () ->
+                while not (Atomic.get stop) do
+                  let t0 = Unix.gettimeofday () in
+                  (match
+                     Cli.request ~recv_timeout:2.0 ~socket_path:rt_sock
+                       (Proto.Query
+                          (Proto.query_request "count(collection()//book)"))
+                   with
+                  | Ok (Proto.Value _) ->
+                      let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+                      Mutex.lock lats_lock;
+                      lats := dt :: !lats;
+                      Mutex.unlock lats_lock
+                  | Ok _ | Error _ -> ());
+                  Thread.delay 0.002
+                done)
+              ()
+          in
+          let acked_at e =
+            Mutex.lock acks_lock;
+            let l = List.filter (fun (_, e') -> e' = e) !acks in
+            Mutex.unlock acks_lock;
+            l
+          in
+          wait "epoch-1 writes" (fun () -> List.length (acked_at 1) >= 25);
+          (* kill -9 the primary mid-stream: the router's sweep detects
+             the dead primary and promotes the follower; writes resume
+             when the first epoch-2 ack lands *)
+          let t_kill = Unix.gettimeofday () in
+          Srv.stop !primary;
+          wait "failover + resumed writes" (fun () -> acked_at 2 <> []);
+          let t_resume =
+            List.fold_left
+              (fun acc (t, _) -> Float.min acc t)
+              infinity (acked_at 2)
+          in
+          let last_old_ack =
+            List.fold_left
+              (fun acc (t, _) -> Float.max acc t)
+              0. (List.filter (fun (t, _) -> t < t_kill) (acked_at 1))
+          in
+          wait "epoch-2 writes flow" (fun () -> List.length (acked_at 2) >= 25);
+          (* the restarted old primary is fenced and re-converges *)
+          let t_restart = Unix.gettimeofday () in
+          primary := Srv.start pri_cfg;
+          wait "old primary demoted" (fun () ->
+              match health pri_sock with
+              | Some h -> h.Proto.h_role = "replica"
+              | None -> false);
+          wait "old primary converged" (fun () ->
+              converged ()
+              && match health pri_sock with
+                 | Some h -> h.Proto.h_epoch >= 2
+                 | None -> false);
+          let rejoin_ms = (Unix.gettimeofday () -. t_restart) *. 1000. in
+          Atomic.set stop true;
+          Thread.join writer;
+          Thread.join reader;
+          let window_ms = (t_resume -. t_kill) *. 1000. in
+          let gap_ms = (t_resume -. last_old_ack) *. 1000. in
+          let lat_sorted =
+            let a = Array.of_list !lats in
+            Array.sort compare a;
+            a
+          in
+          let q_p50 = percentile lat_sorted 0.5
+          and q_p99 = percentile lat_sorted 0.99 in
+          let failovers, demotes =
+            match Cli.stats ~socket_path:rt_sock with
+            | Ok s ->
+                let c k =
+                  Option.value ~default:0 (List.assoc_opt k s.Proto.counters)
+                in
+                (c "failovers", c "demotes_sent")
+            | Error _ -> (0, 0)
+          in
+          let n1 = List.length (acked_at 1) and n2 = List.length (acked_at 2) in
+          Harness.row
+            "  write unavailability: %.0fms from kill to first epoch-2 ack \
+             (%.0fms between acks); %d acks on epoch 1, %d on epoch 2\n"
+            window_ms gap_ms n1 n2;
+          Harness.row
+            "  reads through the drill: %d queries, p50 %.2fms, p99 %.2fms\n"
+            (Array.length lat_sorted) q_p50 q_p99;
+          Harness.row
+            "  old primary rejoined (demoted + bit-identical) in %.0fms; \
+             router: %d failover(s), %d demote(s)\n"
+            rejoin_ms failovers demotes;
+          let json =
+            Printf.sprintf
+              "{\n\
+              \  \"experiment\": \"R7\",\n\
+              \  \"write_unavailability_ms\": %.3f,\n\
+              \  \"ack_gap_ms\": %.3f,\n\
+              \  \"acks_epoch1\": %d,\n\
+              \  \"acks_epoch2\": %d,\n\
+              \  \"query_count\": %d,\n\
+              \  \"query_p50_ms\": %.3f,\n\
+              \  \"query_p99_ms\": %.3f,\n\
+              \  \"old_primary_rejoin_ms\": %.3f,\n\
+              \  \"router_failovers\": %d,\n\
+              \  \"router_demotes\": %d\n\
+               }\n"
+              window_ms gap_ms n1 n2 (Array.length lat_sorted) q_p50 q_p99
+              rejoin_ms failovers demotes
+          in
+          let oc = open_out "BENCH_R7.json" in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc json);
+          Harness.row "  wrote BENCH_R7.json\n"))
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -1682,7 +1936,7 @@ let experiments =
     ("S4", s4_strategies); ("A1", a1_expansion_cache);
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
     ("R2", r2_cold_start); ("R3", r3_serving); ("R4", r4_live_updates);
-    ("R5", r5_cluster); ("R6", r6_replication);
+    ("R5", r5_cluster); ("R6", r6_replication); ("R7", r7_failover);
   ]
 
 let () =

@@ -10,6 +10,7 @@
      galatex query   --server PATH 'QUERY'       query a running daemon
      galatex stats   --server PATH               daemon counters / breakers
      galatex stats   --server PATH --health      liveness / generation probe
+     galatex promote SOCKET                      fail over: make a follower primary
      galatex update  --server PATH --add FILE    live index updates (WAL)
      galatex update  --index DIR --compact       offline updates / compaction
      galatex demo                                run the use-case catalogue *)
@@ -649,8 +650,19 @@ let follow_arg =
            primary compacts or the anti-entropy manifest check
            mismatches.")
 
+let follow_timeout_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "follow-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Base replication timeout: how long a follower waits on its
+           primary before calling a sync step failed.  Health probes wait
+           this long, write-ahead-log catch-up 5x, snapshot listings 15x
+           and per-file transfers 30x (default 2).")
+
 let run_serve docs index_dir socket workers queue_limit watch follow
-    breaker_threshold breaker_cooldown slow_threshold slowlog_capacity quiet =
+    follow_timeout breaker_threshold breaker_cooldown slow_threshold
+    slowlog_capacity quiet =
   match index_dir with
   | None -> `Error (false, "--index DIR is required")
   | Some index_dir ->
@@ -672,6 +684,7 @@ let run_serve docs index_dir socket workers queue_limit watch follow
               queue_limit;
               watch_generation = watch;
               follow;
+              follow_timeout;
               breaker_threshold;
               breaker_cooldown;
               slowlog_threshold = slow_threshold /. 1000.;
@@ -702,8 +715,8 @@ let serve_cmd =
       ret
         (const run_serve $ docs_arg $ index_dir_arg $ socket_arg
        $ workers_arg $ queue_limit_arg $ watch_arg $ follow_arg
-       $ breaker_threshold_arg $ breaker_cooldown_arg $ slow_threshold_arg
-       $ slowlog_capacity_arg $ quiet_arg))
+       $ follow_timeout_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+       $ slow_threshold_arg $ slowlog_capacity_arg $ quiet_arg))
 
 (* --- route --- *)
 
@@ -743,10 +756,33 @@ let max_lag_arg =
            position (or on an older base generation) as if it were down;
            when a partition's only live endpoints are too stale the query
            fails with gtlx:GTLX0012.  Default: unbounded — any replica is
-           served, with a warning and a $(b,stale_served) count.")
+           served, with a warning and a $(b,stale_served) count.
+           With $(b,--primary-failover) it also gates which followers are
+           eligible for promotion.")
 
-let run_route shards socket workers queue_limit retries max_lag deadline
-    breaker_threshold breaker_cooldown quiet =
+let primary_failover_arg =
+  Arg.(
+    value & flag
+    & info [ "primary-failover" ]
+        ~doc:
+          "Fail writes over automatically: when a shard's primary stops
+           answering health probes, promote the freshest eligible follower
+           (not draining, within $(b,--max-lag); freshest by epoch,
+           generation, seq), fence the old primary off with the bumped
+           epoch so it demotes and re-syncs when it reappears, and adopt
+           primaries promoted by hand ($(b,galatex promote)).")
+
+let failover_ticks_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "failover-ticks" ] ~docv:"N"
+        ~doc:
+          "Consecutive failed probe sweeps of a shard's current primary
+           before a promotion is attempted (default 3).")
+
+let run_route shards socket workers queue_limit retries max_lag
+    primary_failover failover_ticks deadline breaker_threshold
+    breaker_cooldown quiet =
   handle_errors (fun () ->
       Logs.set_reporter
         (Logs_threaded.enable ();
@@ -772,6 +808,8 @@ let run_route shards socket workers queue_limit retries max_lag deadline
           queue_limit;
           retries;
           max_lag;
+          primary_failover;
+          failover_ticks;
           default_deadline = deadline;
           breaker_threshold;
           breaker_cooldown;
@@ -795,15 +833,17 @@ let route_cmd =
      behind per-endpoint circuit breakers, partial results
      (gtlx:GTLX0011) when partitions stay down, bounded-staleness
      failover ($(b,--max-lag), gtlx:GTLX0012), document-hash update
-     routing, and rolling reload on SIGHUP."
+     routing with epoch fencing, automatic primary failover
+     ($(b,--primary-failover), gtlx:GTLX0013), and rolling reload on
+     SIGHUP."
   in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
       ret
         (const run_route $ shard_arg $ socket_arg $ workers_arg
        $ queue_limit_arg $ route_retries_arg $ max_lag_arg
-       $ route_deadline_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-       $ quiet_arg))
+       $ primary_failover_arg $ failover_ticks_arg $ route_deadline_arg
+       $ breaker_threshold_arg $ breaker_cooldown_arg $ quiet_arg))
 
 let server_unreachable server reason =
   Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
@@ -816,19 +856,48 @@ let run_stats server metrics slowlog health =
     | Ok h ->
         Printf.printf
           "generation %d\nwal_records %d\ndraining %b\nseq %d\nrole \
-           %s\nmanifest_crc %d\n"
+           %s\nmanifest_crc %d\nepoch %d\n"
           h.Galatex_server.Protocol.h_generation
           h.Galatex_server.Protocol.h_wal_records
           h.Galatex_server.Protocol.h_draining
           h.Galatex_server.Protocol.h_seq h.Galatex_server.Protocol.h_role
-          h.Galatex_server.Protocol.h_manifest_crc;
+          h.Galatex_server.Protocol.h_manifest_crc
+          h.Galatex_server.Protocol.h_epoch;
+        (* a follower's link to its primary: one extra stats fetch, so the
+           probe stays a single cheap request for everything else *)
+        (if h.Galatex_server.Protocol.h_role = "replica" then
+           match Galatex_server.Client.stats ~socket_path:server with
+           | Error _ -> ()
+           | Ok s ->
+               let find k =
+                 List.assoc_opt k s.Galatex_server.Protocol.counters
+               in
+               let streak =
+                 Option.value (find "primary_down_streak") ~default:0
+               in
+               let total =
+                 Option.value (find "primary_unreachable_ticks") ~default:0
+               in
+               let tmo =
+                 Option.value (find "follow_timeout_ms") ~default:0
+               in
+               if streak > 0 then
+                 Printf.printf
+                   "primary unreachable for %d ticks (%d lifetime; follow \
+                    timeout %d ms)\n"
+                   streak total tmo
+               else
+                 Printf.printf
+                   "primary up (%d unreachable ticks lifetime; follow \
+                    timeout %d ms)\n"
+                   total tmo);
         List.iter
           (fun (e : Galatex_server.Protocol.endpoint_health) ->
             Printf.printf
               "endpoint shard=%d role=%s state=%s up=%b generation=%d \
-               seq=%d lag=%s %s\n"
+               seq=%d epoch=%d lag=%s %s\n"
               e.Galatex_server.Protocol.e_shard e.e_role e.e_state e.e_up
-              e.e_generation e.e_seq
+              e.e_generation e.e_seq e.e_epoch
               (match e.e_lag with
               | Some l -> string_of_int l
               | None -> if e.e_up then "gen-behind" else "unknown")
@@ -933,7 +1002,7 @@ let run_remote_update ~server ops ~do_compact =
         exit 2
   in
   if ops <> [] then begin
-    match send (Galatex_server.Protocol.Update ops) with
+    match send (Galatex_server.Protocol.Update { ops; epoch = 0 }) with
     | Galatex_server.Protocol.Update_reply r ->
         Printf.printf
           "acknowledged %d operation(s): generation %d, last seq %d, log %d record(s) / %d bytes\n"
@@ -947,7 +1016,7 @@ let run_remote_update ~server ops ~do_compact =
         exit 5
   end;
   if do_compact then begin
-    match send Galatex_server.Protocol.Compact with
+    match send (Galatex_server.Protocol.Compact { epoch = 0 }) with
     | Galatex_server.Protocol.Compact_reply r ->
         Printf.printf "compacted: %d record(s) folded into generation %d\n"
           r.Galatex_server.Protocol.c_folded
@@ -1057,6 +1126,56 @@ let stats_cmd =
         (const run_stats $ stats_server_arg $ stats_metrics_arg
        $ stats_slowlog_arg $ stats_health_arg))
 
+(* --- promote --- *)
+
+let promote_sock_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET"
+        ~doc:"Socket path of the daemon to promote (usually a follower).")
+
+let promote_epoch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "min-epoch" ] ~docv:"EPOCH"
+        ~doc:
+          "The highest fencing epoch observed anywhere in the replica set
+           (default 0 = unknown).  The daemon promotes onto an epoch
+           strictly greater than both this and its own, so the new
+           timeline supersedes every old one.")
+
+let run_promote sock min_epoch =
+  handle_errors (fun () ->
+      match
+        Galatex_server.Client.promote ~recv_timeout:60.0 ~socket_path:sock
+          ~epoch:min_epoch ()
+      with
+      | Ok h ->
+          Printf.printf
+            "promoted %s: role %s, epoch %d, generation %d, seq %d\n" sock
+            h.Galatex_server.Protocol.h_role
+            h.Galatex_server.Protocol.h_epoch
+            h.Galatex_server.Protocol.h_generation
+            h.Galatex_server.Protocol.h_seq;
+          `Ok ()
+      | Error reason ->
+          Printf.eprintf "promote %s failed: %s\n" sock reason;
+          exit 2)
+
+let promote_cmd =
+  let doc =
+    "Promote a running daemon to read-write primary: it seals its
+     write-ahead log, durably bumps its fencing epoch, and starts
+     accepting updates.  Writes stamped with an older epoch — a
+     superseded primary's, or a router that has not re-discovered yet —
+     are rejected with gtlx:GTLX0013, so two timelines can never both
+     acknowledge.  Point the old primary's followers at the new one, or
+     let $(b,galatex route --primary-failover) drive the whole drill."
+  in
+  Cmd.v (Cmd.info "promote" ~doc)
+    Term.(ret (const run_promote $ promote_sock_arg $ promote_epoch_arg))
+
 (* --- demo --- *)
 
 let run_demo strategy =
@@ -1087,7 +1206,8 @@ let main =
     (Cmd.info "galatex" ~version:"1.0.0" ~doc)
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
-      module_cmd; serve_cmd; route_cmd; stats_cmd; update_cmd; demo_cmd;
+      module_cmd; serve_cmd; route_cmd; stats_cmd; promote_cmd; update_cmd;
+      demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

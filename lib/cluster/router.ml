@@ -31,6 +31,8 @@ type config = {
   queue_limit : int;
   retries : int;
   max_lag : int option;
+  primary_failover : bool;
+  failover_ticks : int;
   default_deadline : float;
   breaker_threshold : int;
   breaker_cooldown : int;
@@ -52,6 +54,8 @@ let default_config ~shards ~socket_path =
     queue_limit = 64;
     retries = 2;
     max_lag = None;
+    primary_failover = false;
+    failover_ticks = 3;
     default_deadline = 5.0;
     breaker_threshold = 3;
     breaker_cooldown = 8;
@@ -87,6 +91,18 @@ type t = {
           primary is down, which is exactly when it matters. *)
   ep_fresh : (string, int * int) Hashtbl.t;
       (** last (generation, seq) observed per endpoint, for lag gauges *)
+  current_primary : string array;
+      (** per shard: the endpoint hash-routed writes go to right now —
+          starts at the configured primary, moves on failover / adoption.
+          Guarded by [state_lock]. *)
+  shard_epoch : int array;
+      (** per shard: the highest fencing epoch observed anywhere (health
+          probes, update acks, promote replies) — stamped onto every
+          write so a superseded node fences it off.  Guarded by
+          [state_lock]. *)
+  primary_down_ticks : int array;
+      (** per shard: consecutive ticker probes of the current primary
+          that went unanswered (ticker thread only) *)
   (* counters *)
   accepted : int Atomic.t;
   served : int Atomic.t;
@@ -106,6 +122,13 @@ type t = {
   compactions : int Atomic.t;
   reloads : int Atomic.t;
   reload_failures : int Atomic.t;
+  failovers : int Atomic.t;
+  failover_failures : int Atomic.t;
+  demotes_sent : int Atomic.t;
+  fenced_writes : int Atomic.t;  (** writes a shard refused with GTLX0013 *)
+  mutable last_failover_sweep : float;
+      (** ticker thread only: when the last failover probe sweep ran, so
+          sweeps pace at the probe timescale, not every flag-poll tick *)
   mutable accept_thread : Thread.t option;
   mutable ticker_thread : Thread.t option;
 }
@@ -173,10 +196,93 @@ let endpoint_pos t path =
   Mutex.unlock t.state_lock;
   p
 
+(* The current write primary of shard [i] — runtime state, not config. *)
+let shard_primary t i =
+  Mutex.lock t.state_lock;
+  let p = t.current_primary.(i) in
+  Mutex.unlock t.state_lock;
+  p
+
+let shard_epoch_now t i =
+  Mutex.lock t.state_lock;
+  let e = t.shard_epoch.(i) in
+  Mutex.unlock t.state_lock;
+  e
+
+(* Monotone, like freshness: an epoch observation never walks back. *)
+let note_epoch t i e =
+  Mutex.lock t.state_lock;
+  if e > t.shard_epoch.(i) then t.shard_epoch.(i) <- e;
+  Mutex.unlock t.state_lock
+
+let set_primary t i path epoch =
+  Mutex.lock t.state_lock;
+  t.current_primary.(i) <- path;
+  if epoch > t.shard_epoch.(i) then t.shard_epoch.(i) <- epoch;
+  Mutex.unlock t.state_lock
+
 (* Records behind the freshest known position; [None] = not comparable
    (the endpoint's base generation is behind — infinitely stale). *)
 let lag_of ~latest:(lg, ls) (g, s) =
   if g < lg then None else if g > lg then Some 0 else Some (max 0 (ls - s))
+
+(* Probe every endpoint of shard [i] (current primary first, so its
+   position is noted before replica lags are judged against it), noting
+   freshness and fencing epochs as they come back. *)
+let probe_endpoints t i =
+  let ep = t.shards.(i) in
+  let cur = shard_primary t i in
+  let ordered =
+    cur :: List.filter (fun p -> p <> cur) (ep.primary :: ep.replicas)
+  in
+  List.map
+    (fun path ->
+      let role = if path = cur then "primary" else "replica" in
+      let r =
+        Client.health ~recv_timeout:t.cfg.probe_timeout ~socket_path:path ()
+      in
+      (match r with
+      | Ok h ->
+          note_freshness t i path (h.Protocol.h_generation, h.Protocol.h_seq);
+          note_epoch t i h.Protocol.h_epoch
+      | Error _ -> ());
+      (path, role, r))
+    ordered
+
+(* Adopt the highest-epoch node that itself claims to be primary, when
+   its epoch matches everything the router has seen — how the router
+   notices promotions it did not perform (a manual [galatex promote],
+   another router's failover).  A claimant below the known epoch is a
+   stale old primary and is never adopted. *)
+let adopt_primary t i probes =
+  let best =
+    List.fold_left
+      (fun acc (path, _role, r) ->
+        match r with
+        | Ok h when h.Protocol.h_role = "primary" -> (
+            match acc with
+            | Some (_, e) when e >= h.Protocol.h_epoch -> acc
+            | Some _ | None -> Some (path, h.Protocol.h_epoch))
+        | Ok _ | Error _ -> acc)
+      None probes
+  in
+  match best with
+  | None -> ()
+  | Some (path, e) ->
+      Mutex.lock t.state_lock;
+      let adopt = e >= t.shard_epoch.(i) && t.current_primary.(i) <> path in
+      let old = t.current_primary.(i) in
+      if adopt then begin
+        t.current_primary.(i) <- path;
+        if e > t.shard_epoch.(i) then t.shard_epoch.(i) <- e
+      end;
+      Mutex.unlock t.state_lock;
+      if adopt then
+        Log.warn (fun m ->
+            m "partition %d: adopting %s as primary at epoch %d (was %s)" i
+              path e old)
+
+let refresh_shard_view t i = adopt_primary t i (probe_endpoints t i)
 
 let describe_lag = function
   | None -> "base generation behind"
@@ -206,7 +312,7 @@ type shard_outcome =
    [admitted = false] when the breakers bypassed all of them — the
    fast-fail case: the shard is known down, don't wait out the budget. *)
 let sweep_endpoints t ~deadline q i eps =
-  let primary = t.shards.(i).primary in
+  let primary = shard_primary t i in
   let admitted = ref false in
   let stale = ref false in
   let last = ref "all endpoints breaker-open" in
@@ -297,7 +403,11 @@ let sweep_endpoints t ~deadline q i eps =
 
 let ask_shard t ~deadline q i =
   let ep = t.shards.(i) in
-  let eps = ep.primary :: ep.replicas in
+  (* current primary first: reads prefer the node taking the writes *)
+  let cur = shard_primary t i in
+  let eps =
+    cur :: List.filter (fun p -> p <> cur) (ep.primary :: ep.replicas)
+  in
   let max_sweeps = 1 + max 0 t.cfg.retries in
   let rec go sweep last stale =
     if sweep > max_sweeps || deadline -. now () <= 0. then
@@ -489,7 +599,14 @@ let route_update t ops =
       groups.(i) <- op :: groups.(i))
     ops;
   let merged =
-    ref { Protocol.u_generation = 0; u_last_seq = 0; u_records = 0; u_bytes = 0 }
+    ref
+      {
+        Protocol.u_generation = 0;
+        u_last_seq = 0;
+        u_records = 0;
+        u_bytes = 0;
+        u_epoch = 0;
+      }
   in
   let applied = ref [] in
   let failure = ref None in
@@ -497,14 +614,17 @@ let route_update t ops =
     match (List.rev groups.(i), !failure) with
     | [], _ | _, Some _ -> ()
     | batch, None -> (
+        let primary = shard_primary t i in
         match
           request_primary t ~budget:t.cfg.default_deadline
-            ~socket_path:t.shards.(i).primary (Protocol.Update batch)
+            ~socket_path:primary
+            (Protocol.Update { ops = batch; epoch = shard_epoch_now t i })
         with
         | Ok (Protocol.Update_reply u) ->
             mark_up t i true;
-            note_freshness t i t.shards.(i).primary
+            note_freshness t i primary
               (u.Protocol.u_generation, u.Protocol.u_last_seq);
+            note_epoch t i u.Protocol.u_epoch;
             applied := i :: !applied;
             merged :=
               {
@@ -513,9 +633,22 @@ let route_update t ops =
                 u_last_seq = max !merged.Protocol.u_last_seq u.Protocol.u_last_seq;
                 u_records = !merged.Protocol.u_records + u.Protocol.u_records;
                 u_bytes = !merged.Protocol.u_bytes + u.Protocol.u_bytes;
+                u_epoch = max !merged.Protocol.u_epoch u.Protocol.u_epoch;
               }
         | Ok (Protocol.Failure e) ->
             Atomic.incr t.update_errors;
+            if e.Protocol.code = "gtlx:GTLX0013" then begin
+              (* the shard fenced us off: someone else moved the timeline.
+                 Re-learn the shard's epoch and primary before the caller
+                 retries — the refreshed view makes the retry land right. *)
+              Atomic.incr t.fenced_writes;
+              Log.warn (fun m ->
+                  m
+                    "partition %d fenced an update (%s); re-discovering its \
+                     primary and epoch"
+                    i e.Protocol.message);
+              refresh_shard_view t i
+            end;
             failure :=
               Some
                 {
@@ -552,14 +685,15 @@ let route_compact t =
   let merged = ref { Protocol.c_generation = 0; c_folded = 0 } in
   let failure = ref None in
   for i = 0 to n - 1 do
-    if Option.is_none !failure then
+    if Option.is_none !failure then begin
+      let primary = shard_primary t i in
       match
-        request_primary t ~budget:t.cfg.reload_timeout
-          ~socket_path:t.shards.(i).primary Protocol.Compact
+        request_primary t ~budget:t.cfg.reload_timeout ~socket_path:primary
+          (Protocol.Compact { epoch = shard_epoch_now t i })
       with
       | Ok (Protocol.Compact_reply c) ->
           mark_up t i true;
-          note_freshness t i t.shards.(i).primary (c.Protocol.c_generation, 0);
+          note_freshness t i primary (c.Protocol.c_generation, 0);
           merged :=
             {
               Protocol.c_generation =
@@ -567,6 +701,15 @@ let route_compact t =
               c_folded = !merged.Protocol.c_folded + c.Protocol.c_folded;
             }
       | Ok (Protocol.Failure e) ->
+          if e.Protocol.code = "gtlx:GTLX0013" then begin
+            Atomic.incr t.fenced_writes;
+            Log.warn (fun m ->
+                m
+                  "partition %d fenced a compaction (%s); re-discovering its \
+                   primary and epoch"
+                  i e.Protocol.message);
+            refresh_shard_view t i
+          end;
           failure :=
             Some
               {
@@ -579,6 +722,7 @@ let route_compact t =
           mark_up t i false;
           failure :=
             Some (partial_failure "partition %d unreachable for compaction: %s" i reason)
+    end
   done;
   match !failure with
   | Some e -> Protocol.Failure e
@@ -596,22 +740,6 @@ let breaker_state t path =
   | Some s -> s.Breaker.state
   | None -> "closed"  (* never routed yet *)
 
-(* Probe every endpoint of shard [i] (primary first, so its position is
-   noted before replica lags are judged against it). *)
-let probe_endpoints t i =
-  let ep = t.shards.(i) in
-  List.map
-    (fun (path, role) ->
-      let r =
-        Client.health ~recv_timeout:t.cfg.probe_timeout ~socket_path:path ()
-      in
-      (match r with
-      | Ok h -> note_freshness t i path (h.Protocol.h_generation, h.Protocol.h_seq)
-      | Error _ -> ());
-      (path, role, r))
-    ((ep.primary, "primary")
-    :: List.map (fun p -> (p, "replica")) ep.replicas)
-
 let endpoint_row t i (path, role, r) =
   match r with
   | Ok h ->
@@ -623,6 +751,7 @@ let endpoint_row t i (path, role, r) =
         e_up = true;
         e_generation = h.Protocol.h_generation;
         e_seq = h.Protocol.h_seq;
+        e_epoch = h.Protocol.h_epoch;
         e_lag =
           lag_of ~latest:(shard_latest t i)
             (h.Protocol.h_generation, h.Protocol.h_seq);
@@ -636,6 +765,7 @@ let endpoint_row t i (path, role, r) =
         e_up = false;
         e_generation = 0;
         e_seq = 0;
+        e_epoch = 0;
         e_lag = None;
       }
 
@@ -649,6 +779,7 @@ let merge_health ~own_draining healths =
         h_wal_records = acc.Protocol.h_wal_records + h.Protocol.h_wal_records;
         h_draining = acc.Protocol.h_draining || h.Protocol.h_draining;
         h_seq = min acc.Protocol.h_seq h.Protocol.h_seq;
+        h_epoch = max acc.Protocol.h_epoch h.Protocol.h_epoch;
       })
     {
       Protocol.h_generation = max_int;
@@ -656,6 +787,7 @@ let merge_health ~own_draining healths =
       h_draining = own_draining;
       h_seq = max_int;
       h_manifest_crc = 0;
+      h_epoch = 0;
       h_role = "router";
       h_endpoints = [];
     }
@@ -689,6 +821,136 @@ let cluster_health t =
         merge_health ~own_draining:(locked t (fun () -> t.draining)) healths
       in
       Ok { merged with Protocol.h_endpoints = rows }
+
+(* ------------------------------------------------------------------ *)
+(* Primary failover (--primary-failover): the ticker probes every shard,
+   adopts promotions it did not perform, fences reappeared old primaries,
+   and after [failover_ticks] consecutive dead probes of the current
+   primary promotes the freshest eligible follower.                      *)
+
+(* Any endpoint other than the current primary that still claims the
+   primary role at an epoch below the shard's is a reappeared old
+   primary on a dead timeline: tell it where the live timeline is so it
+   steps down and re-syncs. *)
+let demote_stale t i probes =
+  let cur = shard_primary t i in
+  let epoch = shard_epoch_now t i in
+  List.iter
+    (fun (path, _role, r) ->
+      match r with
+      | Ok h
+        when path <> cur
+             && h.Protocol.h_role = "primary"
+             && h.Protocol.h_epoch < epoch -> (
+          match
+            Client.demote ~recv_timeout:t.cfg.probe_timeout ~socket_path:path
+              ~epoch ~primary:cur ()
+          with
+          | Ok _ ->
+              Atomic.incr t.demotes_sent;
+              Log.warn (fun m ->
+                  m
+                    "partition %d: fenced stale primary %s (epoch %d < %d); \
+                     it demotes and re-syncs from %s"
+                    i path h.Protocol.h_epoch epoch cur)
+          | Error reason ->
+              Log.warn (fun m ->
+                  m "partition %d: could not demote stale primary %s: %s" i
+                    path reason))
+      | Ok _ | Error _ -> ())
+    probes
+
+(* A promotion candidate: answering, not draining, and within --max-lag
+   of the freshest position this router has ever seen for the shard —
+   the same yardstick failover reads use, which still works when the
+   dead primary is the node that set it. *)
+let eligible t i (path, _role, r) =
+  match r with
+  | Error _ -> None
+  | Ok h ->
+      if h.Protocol.h_draining then None
+      else
+        let pos = (h.Protocol.h_generation, h.Protocol.h_seq) in
+        let lag = lag_of ~latest:(shard_latest t i) pos in
+        let fresh_enough =
+          match t.cfg.max_lag with
+          | None -> true
+          | Some bound -> (
+              match lag with None -> false | Some l -> l <= bound)
+        in
+        if fresh_enough then Some (path, h) else None
+
+let attempt_failover t i probes =
+  let dead = shard_primary t i in
+  (* freshest timeline wins: max (epoch, generation, seq), so a follower
+     already on a newer epoch is never undercut by a longer log on an
+     older one *)
+  let best =
+    List.fold_left
+      (fun acc (path, h) ->
+        let key =
+          (h.Protocol.h_epoch, h.Protocol.h_generation, h.Protocol.h_seq)
+        in
+        match acc with
+        | Some (_, k) when k >= key -> acc
+        | Some _ | None -> Some ((path, h), key))
+      None
+      (List.filter_map (eligible t i) probes)
+  in
+  match best with
+  | None ->
+      Atomic.incr t.failover_failures;
+      Log.err (fun m ->
+          m
+            "partition %d: primary %s is down and no follower is eligible \
+             (unreachable, draining, or beyond --max-lag %s): writes stay \
+             parked until one catches up"
+            i dead
+            (match t.cfg.max_lag with
+            | None -> "unset"
+            | Some l -> string_of_int l))
+  | Some ((path, _), _) -> (
+      match
+        Client.promote ~recv_timeout:t.cfg.reload_timeout ~socket_path:path
+          ~epoch:(shard_epoch_now t i) ()
+      with
+      | Ok h ->
+          Atomic.incr t.failovers;
+          set_primary t i path h.Protocol.h_epoch;
+          note_freshness t i path (h.Protocol.h_generation, h.Protocol.h_seq);
+          Log.warn (fun m ->
+              m
+                "partition %d: failed over %s -> %s at epoch %d (generation \
+                 %d, seq %d)"
+                i dead path h.Protocol.h_epoch h.Protocol.h_generation
+                h.Protocol.h_seq)
+      | Error reason ->
+          Atomic.incr t.failover_failures;
+          Log.err (fun m ->
+              m "partition %d: promoting %s failed: %s" i path reason))
+
+(* One ticker sweep of the failover state machine (ticker thread only —
+   [primary_down_ticks] is unshared). *)
+let failover_tick t =
+  Array.iteri
+    (fun i _ ->
+      let probes = probe_endpoints t i in
+      adopt_primary t i probes;
+      demote_stale t i probes;
+      let cur = shard_primary t i in
+      let cur_up =
+        List.exists (fun (path, _, r) -> path = cur && Result.is_ok r) probes
+      in
+      if cur_up then t.primary_down_ticks.(i) <- 0
+      else begin
+        t.primary_down_ticks.(i) <- t.primary_down_ticks.(i) + 1;
+        if t.primary_down_ticks.(i) >= max 1 t.cfg.failover_ticks then begin
+          t.primary_down_ticks.(i) <- 0;
+          attempt_failover t i
+            (List.filter (fun (path, _, _) -> path <> cur) probes)
+        end
+      end)
+    t.shards
 
 let rolling_reload t =
   (* one shard at a time, in partition order; the synchronous Reload
@@ -775,6 +1037,11 @@ let stats t =
       ("compactions", a t.compactions);
       ("reloads", a t.reloads);
       ("reload_failures", a t.reload_failures);
+      ("failovers", a t.failovers);
+      ("failover_failures", a t.failover_failures);
+      ("demotes_sent", a t.demotes_sent);
+      ("fenced_writes", a t.fenced_writes);
+      ("primary_failover", if t.cfg.primary_failover then 1 else 0);
       ("queue_depth", locked t (fun () -> Queue.length t.queue));
       ("workers", t.cfg.workers);
       ("shards", Array.length t.shards);
@@ -796,7 +1063,9 @@ let stats t =
 
 let metrics_text t =
   let b = Buffer.create 1024 in
-  let gauge_names = [ "queue_depth"; "workers"; "shards" ] in
+  let gauge_names =
+    [ "queue_depth"; "workers"; "shards"; "primary_failover" ]
+  in
   List.iter
     (fun (name, v) ->
       let kind = if List.mem name gauge_names then "gauge" else "counter" in
@@ -807,6 +1076,13 @@ let metrics_text t =
       Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" metric kind);
       Buffer.add_string b (Printf.sprintf "%s %d\n" metric v))
     (stats t).Protocol.counters;
+  Buffer.add_string b "# TYPE galatex_route_shard_epoch gauge\n";
+  Array.iteri
+    (fun i _ ->
+      Buffer.add_string b
+        (Printf.sprintf "galatex_route_shard_epoch{shard=\"%d\"} %d\n" i
+           (shard_epoch_now t i)))
+    t.shards;
   Buffer.add_string b "# TYPE galatex_route_shard_up gauge\n";
   Array.iteri
     (fun i up ->
@@ -894,17 +1170,27 @@ let serve_connection t fd =
                 with exn ->
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok (Protocol.Update ops) -> (
+            | Ok (Protocol.Update { ops; epoch = _ }) -> (
+                (* the router stamps its own observed epoch on each
+                   shard's batch; a direct client's epoch (usually 0) is
+                   not forwarded *)
                 try route_update t ops
                 with exn ->
                   Atomic.incr t.update_errors;
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok Protocol.Compact -> (
+            | Ok (Protocol.Compact _) -> (
                 try route_compact t
                 with exn ->
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Promote _ | Protocol.Demote _) ->
+                Protocol.Failure
+                  (Protocol.error_of
+                     (Xquery.Errors.make Xquery.Errors.FODC0002
+                        "promote/demote are addressed to a shard daemon's \
+                         socket, not the router: use `galatex promote SOCK` \
+                         or --primary-failover"))
             | Ok (Protocol.Fetch_wal _ | Protocol.Fetch_snapshot _) ->
                 (* replication pulls are point-to-point follower↔primary
                    traffic; a router has no log or snapshot to ship *)
@@ -947,17 +1233,28 @@ let worker_loop t =
 let ticker_loop t =
   while not (Atomic.get t.stop_flag) do
     (try
+       let draining = locked t (fun () -> t.draining) in
+       (if Atomic.exchange t.reload_flag false && not draining then
+          match rolling_reload t with
+          | Ok h ->
+              Log.info (fun m ->
+                  m "rolling reload complete: serving floor generation %d"
+                    h.Protocol.h_generation)
+          | Error e ->
+              Log.err (fun m ->
+                  m "rolling reload failed: %s" e.Protocol.message));
+       (* failover sweeps probe every endpoint, so they pace at the probe
+          timescale rather than the (much faster) flag-poll tick *)
+       let sweep_every =
+         Float.max t.cfg.tick_interval (t.cfg.probe_timeout /. 4.)
+       in
        if
-         Atomic.exchange t.reload_flag false
-         && not (locked t (fun () -> t.draining))
-       then
-         match rolling_reload t with
-         | Ok h ->
-             Log.info (fun m ->
-                 m "rolling reload complete: serving floor generation %d"
-                   h.Protocol.h_generation)
-         | Error e ->
-             Log.err (fun m -> m "rolling reload failed: %s" e.Protocol.message)
+         t.cfg.primary_failover && (not draining)
+         && now () -. t.last_failover_sweep >= sweep_every
+       then begin
+         t.last_failover_sweep <- now ();
+         failover_tick t
+       end
      with exn ->
        Log.err (fun m ->
            m "maintenance absorbed an exception: %s" (Printexc.to_string exn)));
@@ -1078,6 +1375,11 @@ let start (cfg : config) =
       state_lock = Mutex.create ();
       latest = Array.make (List.length cfg.shards) (0, 0);
       ep_fresh = Hashtbl.create 16;
+      current_primary =
+        Array.of_list
+          (List.map (fun (e : endpoint) -> e.primary) cfg.shards);
+      shard_epoch = Array.make (List.length cfg.shards) 0;
+      primary_down_ticks = Array.make (List.length cfg.shards) 0;
       accepted = Atomic.make 0;
       served = Atomic.make 0;
       queries = Atomic.make 0;
@@ -1096,6 +1398,11 @@ let start (cfg : config) =
       compactions = Atomic.make 0;
       reloads = Atomic.make 0;
       reload_failures = Atomic.make 0;
+      failovers = Atomic.make 0;
+      failover_failures = Atomic.make 0;
+      demotes_sent = Atomic.make 0;
+      fenced_writes = Atomic.make 0;
+      last_failover_sweep = 0.;
       accept_thread = None;
       ticker_thread = None;
     }

@@ -32,9 +32,24 @@
       bound, not an outage).  Unbounded ([max_lag = None]) serves any
       replica but warns and counts [stale_served];
     - {b updates} route by document hash to the owning shard's
-      {e primary only} (single-writer semantics; replicas never see
-      writes from the router), acknowledged per batch with summed
-      counts;
+      {e current} primary only (single-writer semantics; replicas never
+      see writes from the router), acknowledged per batch with summed
+      counts, each stamped with the highest fencing epoch the router has
+      observed for the shard so a superseded node rejects them with
+      [GTLX0013] instead of forking the timeline — a fenced write
+      triggers an immediate re-discovery of the shard's primary and
+      epoch;
+    - {b primary failover} ([primary_failover]): the ticker probes every
+      endpoint of every shard; after [failover_ticks] consecutive dead
+      probes of a shard's current primary it promotes the freshest
+      eligible follower — not draining, within [max_lag] of the shard's
+      freshest known position, maximal by (epoch, generation, seq) — via
+      [Promote], carrying the highest epoch the router has seen so the
+      new timeline supersedes every old one.  The same sweep {e adopts}
+      primaries promoted elsewhere (a manual [galatex promote]) when
+      their epoch is at least the shard's, and {e fences} reappeared old
+      primaries still claiming the role at a lower epoch by sending them
+      [Demote], pointing at the live primary to re-sync from;
     - {b rolling reload} (SIGHUP or a wire [Reload]): shards reload one
       at a time, each gated on the previous shard's synchronous
       [Reload] reply — the proof it is serving its new generation —
@@ -58,7 +73,17 @@ type config = {
           than this many WAL records behind the shard's freshest known
           position (or on an older base generation) as if it were down.
           [None] (the default) serves any replica, logging a warning and
-          counting [stale_served] when it is behind. *)
+          counting [stale_served] when it is behind.  Also gates failover
+          {e promotion} eligibility when [primary_failover] is set. *)
+  primary_failover : bool;
+      (** promote a follower when the shard's primary stops answering
+          probes, adopt externally-made promotions, and fence stale old
+          primaries (default false: the router only re-discovers on a
+          fenced write, it never promotes) *)
+  failover_ticks : int;
+      (** consecutive failed probe sweeps of the current primary before
+          a promotion is attempted (default 3); sweeps pace at
+          [max tick_interval (probe_timeout / 4)] seconds *)
   default_deadline : float;
       (** per-query budget in seconds when the client set neither
           [deadline_left] nor a timeout limit (default 5.0) *)
@@ -111,7 +136,8 @@ val stop : t -> unit
 val stats : t -> Galatex_server.Protocol.stats_reply
 (** Router counters ([route_queries], [route_partial], [route_failed],
     [shard_attempts], [shard_errors], [shard_bypassed], [stale_skips],
-    [stale_served], ...) plus one breaker snapshot per shard endpoint
+    [stale_served], [failovers], [failover_failures], [demotes_sent],
+    [fenced_writes], ...) plus one breaker snapshot per shard endpoint
     (the [strategy] field carries the endpoint's socket path). *)
 
 val metrics_text : t -> string

@@ -363,6 +363,11 @@ type manifest = {
   msegs : mseg list;
   m_total : int;  (** total postings (= total tokens) across the corpus *)
   m_words : int;  (** distinct-word count *)
+  m_epoch : int;
+      (** primary-failover fencing epoch: bumped durably on every
+          promotion, carried across generations by {!save}; encoded as an
+          optional trailing field so pre-epoch manifests decode as epoch
+          1 *)
 }
 
 let encode_manifest m =
@@ -388,6 +393,7 @@ let encode_manifest m =
     m.msegs;
   put_u64 b m.m_total;
   put_u32 b m.m_words;
+  put_u32 b m.m_epoch;
   Buffer.contents b
 
 let decode_manifest payload =
@@ -413,12 +419,14 @@ let decode_manifest payload =
   in
   let m_total = get_u64 r in
   let m_words = get_u32 r in
+  (* optional trailing epoch: pre-epoch manifests end at m_words *)
+  let m_epoch = if r.pos < String.length payload then get_u32 r else 1 in
   if r.pos <> String.length payload then corrupt "trailing manifest bytes";
   let uris = List.map (fun d -> d.m_uri) mdocs in
   if List.length (List.sort_uniq compare uris) <> List.length uris then
     corrupt "duplicate document uri in manifest";
   { gen; m_config = { Tokenize.Segmenter.paragraph_elements; ignore_elements };
-    mdocs; msegs; m_total; m_words }
+    mdocs; msegs; m_total; m_words; m_epoch }
 
 let encode_doc ~uri ~source (tokens : Tokenize.Token.t array) =
   let b = Buffer.create (String.length source + 1024) in
@@ -563,9 +571,33 @@ let next_generation io dir =
       match gen_of_filename name with Some g -> max acc (g + 1) | None -> acc)
     1 files
 
+(* Plain-I/O, total read of the directory's current manifest — used by
+   [save] to carry the fencing epoch across generations and by the epoch
+   helpers further down.  Deliberately not routed through the caller's
+   injector: it is a read-only peek, and keeping it off the fault-op
+   counter keeps the save/compact sweeps deterministic. *)
+let manifest_opt ~dir =
+  match Io.read_file (Io.real ()) (Filename.concat dir manifest_name) with
+  | exception _ -> None
+  | data -> (
+      match unframe data with
+      | Frame_ok ('M', payload) -> (
+          match decode_manifest payload with
+          | m -> Some m
+          | exception Corrupt _ -> None)
+      | Frame_ok _ | Frame_version _ | Frame_corrupt _ -> None)
+
 let save ?(io = Io.real ()) ?(config = Tokenize.Segmenter.default_config)
-    ?(segment_postings = 4096) ~dir index =
+    ?(segment_postings = 4096) ?epoch ~dir index =
   let segment_postings = max 1 segment_postings in
+  (* the fencing epoch survives compaction: a new generation into an
+     existing directory keeps the directory's epoch unless the caller
+     stamps one explicitly; a fresh directory starts at epoch 1 *)
+  let epoch =
+    match epoch with
+    | Some e -> e
+    | None -> ( match manifest_opt ~dir with Some m -> m.m_epoch | None -> 1)
+  in
   try
     Io.mkdir io dir;
     let gen = next_generation io dir in
@@ -647,6 +679,7 @@ let save ?(io = Io.real ()) ?(config = Tokenize.Segmenter.default_config)
         msegs = List.rev !msegs;
         m_total = Inverted.total_postings index;
         m_words = Inverted.distinct_word_count index;
+        m_epoch = epoch;
       }
     in
     atomic_write io ~dir manifest_name (frame ~kind:'M' (encode_manifest manifest));
@@ -741,6 +774,7 @@ type loaded = {
   config : Tokenize.Segmenter.config;
   report : report;
   generation : int;
+  epoch : int;
 }
 
 (* The generation currently named by the directory's manifest, via plain
@@ -778,19 +812,63 @@ let snapshot_files ~dir =
           | exception Corrupt _ -> None)
       | Frame_ok _ | Frame_version _ | Frame_corrupt _ -> None)
 
-(* CRC-32 of the raw manifest bytes.  Because every segment file's name
-   and framing is fixed by its contents and the manifest names them all
-   (and is itself framed and checksummed), two directories with equal
-   manifest CRCs at the same generation hold the same snapshot bytes —
-   the anti-entropy comparison is a single u32. *)
+(* CRC-32 of the manifest *payload*.  Because every segment file's name
+   and framing is fixed by its contents and the manifest names them all,
+   two directories with equal manifest CRCs at the same generation hold
+   the same snapshot bytes — the anti-entropy comparison is a single u32.
+
+   Deliberately NOT a CRC of the raw file bytes: the frame ends in
+   crc32(payload), and a CRC over a CRC-terminated message is
+   self-cancelling — any two equal-length payloads with correctly
+   stamped embedded CRCs hash to the same whole-file value (the CRC
+   residue property), which would blind anti-entropy to every
+   same-length divergence, an epoch bump being the canonical one. *)
 let manifest_crc ~dir =
   match Io.read_file (Io.real ()) (Filename.concat dir manifest_name) with
   | exception _ -> None
-  | data -> Some (crc32 data)
+  | data -> (
+      match unframe data with
+      | Frame_ok (_, payload) -> Some (crc32 payload)
+      (* unreadable frame: hash the raw bytes so the comparison still
+         disagrees with any healthy peer and forces the repair *)
+      | Frame_version _ | Frame_corrupt _ -> Some (crc32 data))
 
 let install_file ?(io = Io.real ()) ~dir ~name data =
   Io.mkdir io dir;
   atomic_write io ~dir name data
+
+(* ------------------------------------------------------------------ *)
+(* Fencing epoch.                                                      *)
+
+let current_epoch ~dir = Option.map (fun m -> m.m_epoch) (manifest_opt ~dir)
+
+let bump_epoch ?(io = Io.real ()) ~dir ~epoch () =
+  match manifest_opt ~dir with
+  | None ->
+      storage_error Xquery.Errors.GTLX0008
+        "cannot bump epoch: no readable manifest in %s" dir
+  | Some m ->
+      if epoch < m.m_epoch then
+        storage_error Xquery.Errors.GTLX0013
+          "epoch regression refused: %s is at epoch %d, asked to stamp %d" dir
+          m.m_epoch epoch
+      else if epoch = m.m_epoch then ()
+      else begin
+        (* same temp → fsync → rename discipline as save: a crash at any
+           point leaves the old epoch or the new one, never a torn
+           manifest *)
+        try
+          atomic_write io ~dir manifest_name
+            (frame ~kind:'M' (encode_manifest { m with m_epoch = epoch }));
+          Io.fsync_dir io dir
+        with
+        | Sys_error msg ->
+            storage_error Xquery.Errors.GTLX0008 "epoch bump in %s failed: %s"
+              dir msg
+        | Unix.Unix_error (e, fn, _) ->
+            storage_error Xquery.Errors.GTLX0008
+              "epoch bump in %s failed: %s: %s" dir fn (Unix.error_message e)
+      end
 
 (* Rebuild one word's postings from the (intact) token streams — exactly
    the Indexer's computation: documents in indexing order, positions in
@@ -994,6 +1072,7 @@ let load_manifest ~io ~governor ~sources ~dir m =
     report =
       { damaged = List.rev !damaged; reindexed; rebuilt_words = !rebuilt_words };
     generation = m.gen;
+    epoch = m.m_epoch;
   }
 
 (* Drive [load_manifest] with a bounded retry for the reader/writer race:

@@ -118,6 +118,7 @@ val save :
   ?io:Io.t ->
   ?config:Tokenize.Segmenter.config ->
   ?segment_postings:int ->
+  ?epoch:int ->
   dir:string ->
   Inverted.t ->
   unit
@@ -126,7 +127,10 @@ val save :
     manifest rename.  [config] is the tokenizer configuration the index
     was built with — recorded so salvage re-indexes sources identically.
     [segment_postings] caps postings per posting segment (default 4096);
-    a word with more postings spans several segments.
+    a word with more postings spans several segments.  [epoch] stamps the
+    manifest with a fencing epoch; by default the directory's current
+    epoch carries over (a fresh directory starts at epoch 1), so
+    compaction never moves the epoch.
 
     @raise Xquery.Errors.Error with [GTLX0008] when I/O fails mid-save.
     @raise Io.Crashed under injected crash faults. *)
@@ -141,6 +145,10 @@ type loaded = {
       (** the snapshot generation the manifest named — a fresh directory
           starts at 1 and every {!save} into it increments; serving layers
           use this to detect that the directory moved on *)
+  epoch : int;
+      (** the fencing epoch the manifest named — monotone across
+          promotions, constant across compactions; pre-epoch manifests
+          read as epoch 1 *)
 }
 
 val load :
@@ -189,9 +197,37 @@ val snapshot_files : dir:string -> (int * string list) option
     manifest.  Plain I/O, never raises. *)
 
 val manifest_crc : dir:string -> int option
-(** CRC-32 of the raw manifest bytes in [dir] — the anti-entropy
+(** CRC-32 of the manifest payload in [dir] — the anti-entropy
     fingerprint: equal CRCs at equal generations imply bit-identical
-    snapshots.  Plain I/O, never raises. *)
+    snapshots.  Computed over the payload rather than the raw file
+    because a CRC of a CRC-terminated frame is self-cancelling (the
+    residue property): it would not change under same-length payload
+    edits such as an epoch bump.  Plain I/O, never raises. *)
+
+(** {1 Fencing epoch (primary failover)}
+
+    Every manifest carries a monotonically increasing {e epoch}: the
+    fencing token of the replication layer.  A follower promotion bumps
+    it durably; every write-path request is stamped with it; a node
+    rejects requests from a superseded epoch with [GTLX0013], which makes
+    split-brain structurally impossible — two primaries can coexist only
+    at different epochs, and only the higher one can get writes
+    acknowledged. *)
+
+val current_epoch : dir:string -> int option
+(** The fencing epoch named by the manifest currently in [dir], or [None]
+    when there is no readable manifest.  Plain I/O, never raises. *)
+
+val bump_epoch : ?io:Io.t -> dir:string -> epoch:int -> unit -> unit
+(** Durably restamp the current manifest with [epoch] (temp + fsync +
+    rename + directory fsync, the same discipline as {!save}).  A no-op
+    when [epoch] equals the current epoch.
+
+    @raise Xquery.Errors.Error with [GTLX0013] when [epoch] is {e lower}
+    than the directory's current epoch (epoch regression — the caller is
+    on a superseded timeline), or [GTLX0008] when there is no readable
+    manifest or I/O fails.
+    @raise Io.Crashed under injected crash faults. *)
 
 val install_file : ?io:Io.t -> dir:string -> name:string -> string -> unit
 (** Atomically install one verbatim snapshot file (temp + fsync + rename),

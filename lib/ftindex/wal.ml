@@ -83,11 +83,12 @@ let frame payload =
   put_u32 b (Store.crc32 payload);
   Buffer.contents b
 
-let header_payload ~generation =
-  let b = Buffer.create 16 in
+let header_payload ~generation ~epoch =
+  let b = Buffer.create 20 in
   Buffer.add_string b wal_magic;
   put_u32 b wal_version;
   put_u32 b generation;
+  put_u32 b epoch;
   Buffer.contents b
 
 let op_payload ~seq op =
@@ -164,6 +165,7 @@ let scan data =
 
 type log = {
   base_generation : int;
+  base_epoch : int;
   records : record list;
   truncated : bool;
   valid_bytes : int;
@@ -183,8 +185,10 @@ let decode_header payload =
   r.pos <- 8;
   let version = get_u32 r in
   let generation = get_u32 r in
+  (* optional trailing fencing epoch: pre-epoch headers end here *)
+  let epoch = if r.pos < String.length payload then get_u32 r else 1 in
   if r.pos <> String.length payload then corrupt "trailing bytes in header";
-  (version, generation)
+  (version, generation, epoch)
 
 let read_log ?(io = Store.Io.real ()) ~dir () =
   let path = wal_path dir in
@@ -215,11 +219,11 @@ let read_log ?(io = Store.Io.real ()) ~dir () =
           | header :: ops -> (
               match decode_header header with
               | exception Corrupt reason -> unreplayable "%s: %s" path reason
-              | version, _ when version <> wal_version ->
+              | version, _, _ when version <> wal_version ->
                   err Xquery.Errors.GTLX0007
                     "update log %s has format version %d, this build reads %d"
                     path version wal_version
-              | _, base_generation -> (
+              | _, base_generation, base_epoch -> (
                   match List.map decode_op ops with
                   | exception Corrupt reason ->
                       unreplayable "%s: %s" path reason
@@ -236,7 +240,9 @@ let read_log ?(io = Store.Io.real ()) ~dir () =
                               "%s: sequence gap: record %d carries seq %d"
                               path (i + 1) r.seq)
                         records;
-                      Some { base_generation; records; truncated; valid_bytes }
+                      Some
+                        { base_generation; base_epoch; records; truncated;
+                          valid_bytes }
                   )))
 
 (* --- applying operations --- *)
@@ -272,24 +278,69 @@ let fold_sources sources ops =
 
 (* --- resetting / appending --- *)
 
-let reset ?(io = Store.Io.real ()) ~dir ~generation () =
+(* By default the log adopts the directory's current fencing epoch (from
+   the manifest), so pre-failover callers never have to thread it. *)
+let resolve_epoch ~dir = function
+  | Some e -> e
+  | None -> Option.value (Store.current_epoch ~dir) ~default:1
+
+let reset ?(io = Store.Io.real ()) ~dir ~generation ?epoch () =
+  let epoch = resolve_epoch ~dir epoch in
   let tmp = Filename.concat dir (wal_name ^ ".tmp") in
-  Store.Io.write_file io tmp (frame (header_payload ~generation));
+  Store.Io.write_file io tmp (frame (header_payload ~generation ~epoch));
   Store.Io.rename io tmp (wal_path dir);
   Store.Io.fsync_dir io dir
+
+let seal ?(io = Store.Io.real ()) ~dir ~generation ~epoch () =
+  (* a promotion that cannot stamp its timeline durably must fail
+     structurally, never leak a raw I/O exception to the serving layer *)
+  let wrap f =
+    try f () with
+    | Sys_error msg ->
+        err Xquery.Errors.GTLX0008 "cannot seal update log: %s" msg
+    | Unix.Unix_error (e, fn, _) ->
+        err Xquery.Errors.GTLX0008 "cannot seal update log: %s: %s" fn
+          (Unix.error_message e)
+  in
+  match read_log ~io ~dir () with
+  | None -> wrap (fun () -> reset ~io ~dir ~generation ~epoch ())
+  | Some log when log.base_generation <> generation ->
+      (* stale log from before a compaction: nothing worth preserving *)
+      wrap (fun () -> reset ~io ~dir ~generation ~epoch ())
+  | Some log when log.base_epoch > epoch ->
+      err Xquery.Errors.GTLX0013
+        "cannot seal update log at epoch %d: it is already at epoch %d" epoch
+        log.base_epoch
+  | Some log ->
+      (* rewrite the whole log — new header, identical records — with the
+         same temp → fsync → rename discipline as reset, so a crash leaves
+         the old timeline or the new one, never a torn mix *)
+      let b = Buffer.create (log.valid_bytes + 16) in
+      Buffer.add_string b (frame (header_payload ~generation ~epoch));
+      List.iter
+        (fun { seq; op } -> Buffer.add_string b (frame (op_payload ~seq op)))
+        log.records;
+      let tmp = Filename.concat dir (wal_name ^ ".tmp") in
+      wrap (fun () ->
+          Store.Io.write_file io tmp (Buffer.contents b);
+          Store.Io.rename io tmp (wal_path dir);
+          Store.Io.fsync_dir io dir)
 
 type writer = {
   w_io : Store.Io.t;
   w_path : string;
   w_generation : int;
+  w_epoch : int;
   mutable w_next_seq : int;
   mutable w_records : int;
   mutable w_good : int;  (* bytes of valid log, including the header *)
 }
 
-let header_size = String.length (frame (header_payload ~generation:1))
+let header_size =
+  String.length (frame (header_payload ~generation:1 ~epoch:1))
 
-let open_writer ?(io = Store.Io.real ()) ~dir ~generation () =
+let open_writer ?(io = Store.Io.real ()) ~dir ~generation ?epoch () =
+  let epoch = resolve_epoch ~dir epoch in
   let wrap_io f =
     match f () with
     | () -> ()
@@ -300,14 +351,30 @@ let open_writer ?(io = Store.Io.real ()) ~dir ~generation () =
           (Unix.error_message e)
   in
   let fresh () =
-    wrap_io (fun () -> reset ~io ~dir ~generation ());
+    wrap_io (fun () -> reset ~io ~dir ~generation ~epoch ());
     {
       w_io = io;
       w_path = wal_path dir;
       w_generation = generation;
+      w_epoch = epoch;
       w_next_seq = 1;
       w_records = 0;
       w_good = header_size;
+    }
+  in
+  let positioned log =
+    if log.truncated then
+      (* drop the torn tail physically so appends extend a clean log *)
+      wrap_io (fun () -> Store.Io.truncate io (wal_path dir) log.valid_bytes);
+    let last_seq = List.fold_left (fun acc r -> max acc r.seq) 0 log.records in
+    {
+      w_io = io;
+      w_path = wal_path dir;
+      w_generation = generation;
+      w_epoch = epoch;
+      w_next_seq = last_seq + 1;
+      w_records = List.length log.records;
+      w_good = log.valid_bytes;
     }
   in
   match read_log ~io ~dir () with
@@ -315,24 +382,24 @@ let open_writer ?(io = Store.Io.real ()) ~dir ~generation () =
   | Some log when log.base_generation <> generation ->
       (* stale: left behind by a compaction that could not reset it *)
       fresh ()
-  | Some log ->
-      if log.truncated then
-        (* drop the torn tail physically so appends extend a clean log *)
-        wrap_io (fun () ->
-            Store.Io.truncate io (wal_path dir) log.valid_bytes);
-      let last_seq =
-        List.fold_left (fun acc r -> max acc r.seq) 0 log.records
-      in
-      {
-        w_io = io;
-        w_path = wal_path dir;
-        w_generation = generation;
-        w_next_seq = last_seq + 1;
-        w_records = List.length log.records;
-        w_good = log.valid_bytes;
-      }
+  | Some log when log.base_epoch > epoch ->
+      (* the log already belongs to a newer primary timeline: the opener
+         is the stale party; refusing here is the last fencing line before
+         an old primary could append on a superseded timeline *)
+      err Xquery.Errors.GTLX0013
+        "update log is at epoch %d, opener is at stale epoch %d"
+        log.base_epoch epoch
+  | Some log when log.base_epoch < epoch -> (
+      (* promotion: seal the follower's log onto the new epoch, keeping
+         every acknowledged record *)
+      wrap_io (fun () -> seal ~io ~dir ~generation ~epoch ());
+      match read_log ~io ~dir () with
+      | Some log -> positioned log
+      | None -> fresh ())
+  | Some log -> positioned log
 
 let writer_generation w = w.w_generation
+let writer_epoch w = w.w_epoch
 let wal_records w = w.w_records
 let wal_bytes w = w.w_good
 let next_seq w = w.w_next_seq

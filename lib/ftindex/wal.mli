@@ -68,6 +68,9 @@ val fold_sources : (string * string) list -> op list -> (string * string) list
 
 type log = {
   base_generation : int;  (** snapshot generation the log extends *)
+  base_epoch : int;
+      (** fencing epoch the log was written under (see {!Store}); headers
+          predating the epoch field read as epoch 1 *)
   records : record list;  (** valid records, in append order *)
   truncated : bool;  (** a torn tail was dropped *)
   valid_bytes : int;  (** size of the valid prefix, including the header *)
@@ -88,10 +91,29 @@ val replay :
 (** Fold {!apply} over replayed records; any failure inside an apply is
     surfaced as [GTLX0010] (the log is unreplayable). *)
 
-val reset : ?io:Store.Io.t -> dir:string -> generation:int -> unit -> unit
+val reset :
+  ?io:Store.Io.t -> dir:string -> generation:int -> ?epoch:int -> unit -> unit
 (** Atomically replace the log with an empty one whose base generation is
-    [generation] (temp + fsync + rename, like every store file).
+    [generation] (temp + fsync + rename, like every store file).  [epoch]
+    stamps the header's fencing epoch; by default the directory's current
+    manifest epoch carries over (1 when there is none).
     @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
+
+val seal :
+  ?io:Store.Io.t ->
+  dir:string ->
+  generation:int ->
+  epoch:int ->
+  unit ->
+  unit
+(** Promotion-side log sealing: atomically rewrite the log with a header
+    stamped [epoch], preserving every record byte-for-byte (temp + fsync +
+    rename — a crash leaves the old timeline or the new one intact).  A
+    missing or stale-generation log becomes a fresh empty one at [epoch].
+    @raise Xquery.Errors.Error with [GTLX0013] when the log is already at
+    a {e higher} epoch (the sealer is the stale party), as {!read_log} on
+    a corrupt log, or [Sys_error] / [Unix.Unix_error] on I/O failure.
+    @raise Store.Io.Crashed under injected crash faults. *)
 
 (** {1 Appending} *)
 
@@ -100,15 +122,22 @@ type writer
     layer serializes all appends through one writer. *)
 
 val open_writer :
-  ?io:Store.Io.t -> dir:string -> generation:int -> unit -> writer
+  ?io:Store.Io.t -> dir:string -> generation:int -> ?epoch:int -> unit -> writer
 (** Open (or create) the log for appending on top of snapshot generation
     [generation].  An absent log, or a stale one (different base
     generation — left over from a compaction), is {!reset}.  A valid log
     with a torn tail is physically truncated to its valid prefix so
     subsequent appends extend a clean log.
+
+    [epoch] is the opener's fencing epoch (default: the directory's
+    current manifest epoch).  A log at a {e lower} epoch is {!seal}ed onto
+    the opener's (promotion adopting the records); a log at a {e higher}
+    epoch refuses with [GTLX0013] — an old primary must never append on a
+    superseded timeline.
     @raise Xquery.Errors.Error as {!read_log} on a corrupt log (never
-    resets one — the corruption must surface, not be destroyed), and with
-    [GTLX0008] when the reset / tail truncation itself fails.
+    resets one — the corruption must surface, not be destroyed), with
+    [GTLX0013] on an epoch regression, and with [GTLX0008] when the
+    reset / tail truncation itself fails.
     @raise Store.Io.Crashed under injected crash faults. *)
 
 val append : writer -> op -> record
@@ -121,6 +150,10 @@ val append : writer -> op -> record
     @raise Store.Io.Crashed under injected crash faults. *)
 
 val writer_generation : writer -> int
+
+val writer_epoch : writer -> int
+(** The fencing epoch the writer's log header carries. *)
+
 val wal_records : writer -> int
 (** Operation records in the log (excluding the header). *)
 

@@ -171,8 +171,20 @@ let health ?recv_timeout ~socket_path () =
 let reload ?recv_timeout ~socket_path () =
   health_request ?recv_timeout ~socket_path Protocol.Reload "reload"
 
-let fetch_wal ?recv_timeout ~socket_path ~from_seq () =
-  match request ?recv_timeout ~socket_path (Protocol.Fetch_wal { from_seq }) with
+let promote ?recv_timeout ~socket_path ~epoch () =
+  health_request ?recv_timeout ~socket_path
+    (Protocol.Promote { p_epoch = epoch })
+    "promote"
+
+let demote ?recv_timeout ~socket_path ~epoch ~primary () =
+  health_request ?recv_timeout ~socket_path
+    (Protocol.Demote { d_epoch = epoch; d_primary = primary })
+    "demote"
+
+let fetch_wal ?recv_timeout ~socket_path ~from_seq ?(epoch = 0) () =
+  match
+    request ?recv_timeout ~socket_path (Protocol.Fetch_wal { from_seq; epoch })
+  with
   | Ok (Protocol.Wal_reply w) -> Ok w
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)

@@ -89,15 +89,45 @@ val reload :
     proves the daemon finished the swap and is serving again, and carries
     the generation so the caller can verify which one. *)
 
+val promote :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  epoch:int ->
+  unit ->
+  (Protocol.health_reply, string) result
+(** Ask the daemon to become primary: seal its log, durably bump its
+    fencing epoch past [max own_epoch epoch], and start accepting writes.
+    The reply proves the flip ([h_role = "primary"]) and carries the new
+    epoch ([h_epoch]) the caller must stamp on subsequent writes.  Pass
+    [epoch] as the highest epoch the caller has observed anywhere (0 when
+    unknown) so the new timeline is beyond every old one. *)
+
+val demote :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  epoch:int ->
+  primary:string ->
+  unit ->
+  (Protocol.health_reply, string) result
+(** Tell the daemon a primary at [epoch] exists at socket path [primary]:
+    it steps down to follower, re-syncs from [primary], and the reply
+    shows the new role.  [Error "gtlx:GTLX0013: ..."] when [epoch] does
+    not exceed the daemon's own — demotion must only flow from a higher
+    timeline. *)
+
 val fetch_wal :
   ?recv_timeout:float ->
   socket_path:string ->
   from_seq:int ->
+  ?epoch:int ->
   unit ->
   (Protocol.wal_reply, string) result
 (** Fetch acknowledged WAL records with sequence numbers past [from_seq]
-    from a primary — the follower's catch-up pull.  [Error] on transport
-    failure, a structured failure, or an unexpected response. *)
+    from a primary — the follower's catch-up pull.  [epoch] (default 0 =
+    don't fence) is the follower's idea of the primary's epoch: a node at
+    a lower epoch refuses with [GTLX0013], telling the follower its
+    upstream is stale.  [Error] on transport failure, a structured
+    failure, or an unexpected response. *)
 
 val fetch_snapshot :
   ?recv_timeout:float ->

@@ -96,14 +96,16 @@ type query_request = {
 type request =
   | Query of query_request
   | Stats
-  | Update of Ftindex.Wal.op list
-  | Compact
+  | Update of { ops : Ftindex.Wal.op list; epoch : int }
+  | Compact of { epoch : int }
   | Metrics
   | Slowlog
   | Health
   | Reload
-  | Fetch_wal of { from_seq : int }
+  | Fetch_wal of { from_seq : int; epoch : int }
   | Fetch_snapshot of { file : string option }
+  | Promote of { p_epoch : int }
+  | Demote of { d_epoch : int; d_primary : string }
 
 let query_request ?(strategy = Galatex.Engine.Native_materialized)
     ?(optimize = false) ?(fallback = true) ?context
@@ -165,21 +167,32 @@ let encode_request req =
   let b = Buffer.create 256 in
   (match req with
   | Stats -> put_u8 b (Char.code 'S')
-  | Compact -> put_u8 b (Char.code 'C')
+  | Compact { epoch } ->
+      put_u8 b (Char.code 'C');
+      put_u32 b epoch
   | Metrics -> put_u8 b (Char.code 'M')
   | Slowlog -> put_u8 b (Char.code 'L')
   | Health -> put_u8 b (Char.code 'H')
   | Reload -> put_u8 b (Char.code 'R')
-  | Update ops ->
+  | Update { ops; epoch } ->
       put_u8 b (Char.code 'U');
+      put_u32 b epoch;
       put_u32 b (List.length ops);
       List.iter (put_op b) ops
-  | Fetch_wal { from_seq } ->
+  | Fetch_wal { from_seq; epoch } ->
       put_u8 b (Char.code 'W');
-      put_u32 b from_seq
+      put_u32 b from_seq;
+      put_u32 b epoch
   | Fetch_snapshot { file } ->
       put_u8 b (Char.code 'F');
       put_opt put_str b file
+  | Promote { p_epoch } ->
+      put_u8 b (Char.code 'P');
+      put_u32 b p_epoch
+  | Demote { d_epoch; d_primary } ->
+      put_u8 b (Char.code 'D');
+      put_u32 b d_epoch;
+      put_str b d_primary
   | Query q ->
       put_u8 b (Char.code 'Q');
       put_str b q.query;
@@ -204,8 +217,9 @@ let decode_request data =
         finish r "stats request";
         Ok Stats
     | 'C' ->
+        let epoch = get_u32 r in
         finish r "compact request";
-        Ok Compact
+        Ok (Compact { epoch })
     | 'M' ->
         finish r "metrics request";
         Ok Metrics
@@ -219,13 +233,24 @@ let decode_request data =
         finish r "reload request";
         Ok Reload
     | 'U' ->
+        let epoch = get_u32 r in
         let ops = List.init (get_u32 r) (fun _ -> get_op r) in
         finish r "update request";
-        Ok (Update ops)
+        Ok (Update { ops; epoch })
     | 'W' ->
         let from_seq = get_u32 r in
+        let epoch = get_u32 r in
         finish r "fetch-wal request";
-        Ok (Fetch_wal { from_seq })
+        Ok (Fetch_wal { from_seq; epoch })
+    | 'P' ->
+        let p_epoch = get_u32 r in
+        finish r "promote request";
+        Ok (Promote { p_epoch })
+    | 'D' ->
+        let d_epoch = get_u32 r in
+        let d_primary = get_str r in
+        finish r "demote request";
+        Ok (Demote { d_epoch; d_primary })
     | 'F' ->
         let file = get_opt get_str r in
         finish r "fetch-snapshot request";
@@ -305,6 +330,7 @@ type update_reply = {
   u_last_seq : int;  (** sequence number of the last appended record *)
   u_records : int;  (** records now in the write-ahead log *)
   u_bytes : int;  (** size of the log in bytes *)
+  u_epoch : int;  (** fencing epoch the write was acknowledged under *)
 }
 
 type compact_reply = {
@@ -328,6 +354,7 @@ type endpoint_health = {
   e_up : bool;  (** answered the probe *)
   e_generation : int;  (** 0 when down *)
   e_seq : int;  (** 0 when down *)
+  e_epoch : int;  (** fencing epoch the endpoint reported; 0 when down *)
   e_lag : int option;
       (** records behind the shard's freshest known position; [None] when
           down or when the endpoint's base generation is behind (lag is
@@ -340,6 +367,7 @@ type health_reply = {
   h_draining : bool;  (** shutdown drain has begun *)
   h_seq : int;  (** last applied WAL sequence number *)
   h_manifest_crc : int;  (** CRC-32 of the base snapshot manifest *)
+  h_epoch : int;  (** fencing epoch of the node's manifest (0: router) *)
   h_role : string;  (** ["primary"], ["replica"], or ["router"] *)
   h_endpoints : endpoint_health list;
       (** router only: per-endpoint freshness and breaker state *)
@@ -348,6 +376,7 @@ type health_reply = {
 type wal_reply = {
   w_generation : int;  (** base generation the shipped records extend *)
   w_last_seq : int;  (** primary's last acknowledged sequence number *)
+  w_epoch : int;  (** fencing epoch the shipped records belong to *)
   w_frames : string;
       (** shipped records, framed exactly as on disk ({!Ftindex.Wal}
           record framing, no header record); may stop short of
@@ -422,7 +451,8 @@ let encode_response resp =
       put_u32 b u.u_generation;
       put_u32 b u.u_last_seq;
       put_u32 b u.u_records;
-      put_u32 b u.u_bytes
+      put_u32 b u.u_bytes;
+      put_u32 b u.u_epoch
   | Compact_reply c ->
       put_u8 b (Char.code 'C');
       put_u32 b c.c_generation;
@@ -437,6 +467,7 @@ let encode_response resp =
       put_bool b h.h_draining;
       put_u32 b h.h_seq;
       put_u32 b h.h_manifest_crc;
+      put_u32 b h.h_epoch;
       put_str b h.h_role;
       put_u32 b (List.length h.h_endpoints);
       List.iter
@@ -448,12 +479,14 @@ let encode_response resp =
           put_bool b e.e_up;
           put_u32 b e.e_generation;
           put_u32 b e.e_seq;
+          put_u32 b e.e_epoch;
           put_opt put_u32 b e.e_lag)
         h.h_endpoints
   | Wal_reply w ->
       put_u8 b (Char.code 'W');
       put_u32 b w.w_generation;
       put_u32 b w.w_last_seq;
+      put_u32 b w.w_epoch;
       put_str b w.w_frames
   | Snapshot_reply s ->
       put_u8 b (Char.code 'F');
@@ -528,8 +561,9 @@ let decode_response data =
         let u_last_seq = get_u32 r in
         let u_records = get_u32 r in
         let u_bytes = get_u32 r in
+        let u_epoch = get_u32 r in
         finish r "update response";
-        Ok (Update_reply { u_generation; u_last_seq; u_records; u_bytes })
+        Ok (Update_reply { u_generation; u_last_seq; u_records; u_bytes; u_epoch })
     | 'C' ->
         let c_generation = get_u32 r in
         let c_folded = get_u32 r in
@@ -563,6 +597,7 @@ let decode_response data =
         let h_draining = get_bool r in
         let h_seq = get_u32 r in
         let h_manifest_crc = get_u32 r in
+        let h_epoch = get_u32 r in
         let h_role = get_str r in
         let h_endpoints =
           List.init (get_u32 r) (fun _ ->
@@ -573,21 +608,23 @@ let decode_response data =
               let e_up = get_bool r in
               let e_generation = get_u32 r in
               let e_seq = get_u32 r in
+              let e_epoch = get_u32 r in
               let e_lag = get_opt get_u32 r in
               { e_path; e_shard; e_role; e_state; e_up; e_generation; e_seq;
-                e_lag })
+                e_epoch; e_lag })
         in
         finish r "health response";
         Ok
           (Health_reply
              { h_generation; h_wal_records; h_draining; h_seq; h_manifest_crc;
-               h_role; h_endpoints })
+               h_epoch; h_role; h_endpoints })
     | 'W' ->
         let w_generation = get_u32 r in
         let w_last_seq = get_u32 r in
+        let w_epoch = get_u32 r in
         let w_frames = get_str r in
         finish r "wal response";
-        Ok (Wal_reply { w_generation; w_last_seq; w_frames })
+        Ok (Wal_reply { w_generation; w_last_seq; w_epoch; w_frames })
     | 'F' ->
         let sn_generation = get_u32 r in
         let sn_manifest_crc = get_u32 r in

@@ -41,12 +41,15 @@ type query_request = {
 type request =
   | Query of query_request
   | Stats
-  | Update of Ftindex.Wal.op list
+  | Update of { ops : Ftindex.Wal.op list; epoch : int }
       (** append the operations to the write-ahead log (durably, in order)
           and apply them to the serving engine; a batch is acknowledged as
-          a whole *)
-  | Compact
-      (** fold the log into a fresh snapshot generation and reset it *)
+          a whole.  [epoch] is the caller's fencing epoch: a node whose
+          epoch differs rejects with [GTLX0013]; epoch 0 marks an unfenced
+          direct client (accepted at any node epoch) *)
+  | Compact of { epoch : int }
+      (** fold the log into a fresh snapshot generation and reset it;
+          [epoch] fences exactly as in [Update] *)
   | Metrics
       (** Prometheus-style text exposition of the daemon's counters,
           engine counters and latency histograms *)
@@ -61,14 +64,26 @@ type request =
           (off the other workers' request path — readers keep the old
           engine until the atomic swap) and replies with a health snapshot
           of the post-reload state.  The rolling-reload gate. *)
-  | Fetch_wal of { from_seq : int }
+  | Fetch_wal of { from_seq : int; epoch : int }
       (** replication: stream acknowledged WAL records with sequence
           numbers past [from_seq], re-using the on-disk record framing;
-          answered with {!Wal_reply} *)
+          answered with {!Wal_reply}.  [epoch] is the follower's idea of
+          the primary's epoch (0 = unknown / don't fence): a node at a
+          {e lower} epoch than the caller rejects with [GTLX0013] — the
+          caller must not replicate from a superseded timeline *)
   | Fetch_snapshot of { file : string option }
       (** replication: [None] asks for the current snapshot's generation,
           manifest CRC and file listing; [Some name] transfers that file's
           raw bytes.  Answered with {!Snapshot_reply}. *)
+  | Promote of { p_epoch : int }
+      (** failover: seal the log, durably bump the fencing epoch to at
+          least [p_epoch] (always past the node's own), and begin serving
+          as primary.  Answered with {!Health_reply} showing the new role
+          and epoch. *)
+  | Demote of { d_epoch : int; d_primary : string }
+      (** failover: step down and follow [d_primary], because a primary at
+          [d_epoch] exists.  Rejected with [GTLX0013] when [d_epoch] is
+          not beyond the node's own epoch.  Answered with {!Health_reply}. *)
 
 val query_request : ?strategy:Galatex.Engine.strategy -> ?optimize:bool ->
   ?fallback:bool -> ?context:string -> ?limits:Xquery.Limits.t ->
@@ -131,6 +146,9 @@ type update_reply = {
   u_last_seq : int;  (** sequence number of the last appended record *)
   u_records : int;  (** records now in the write-ahead log *)
   u_bytes : int;  (** size of the log in bytes *)
+  u_epoch : int;
+      (** fencing epoch the write was acknowledged under — routers track
+          it to notice a promotion they did not perform *)
 }
 
 type compact_reply = {
@@ -154,6 +172,7 @@ type endpoint_health = {
   e_up : bool;  (** answered the probe *)
   e_generation : int;  (** 0 when down *)
   e_seq : int;  (** 0 when down *)
+  e_epoch : int;  (** fencing epoch the endpoint reported; 0 when down *)
   e_lag : int option;
       (** records behind the shard's freshest known position; [None] when
           the endpoint is down or its base generation is behind (lag is
@@ -170,6 +189,8 @@ type health_reply = {
   h_manifest_crc : int;
       (** CRC-32 of the base snapshot manifest: the anti-entropy
           fingerprint a follower compares against its primary's *)
+  h_epoch : int;
+      (** fencing epoch of the node's manifest (0 on a router reply) *)
   h_role : string;  (** ["primary"], ["replica"], or ["router"] *)
   h_endpoints : endpoint_health list;  (** router replies only *)
 }
@@ -177,6 +198,9 @@ type health_reply = {
 type wal_reply = {
   w_generation : int;  (** base generation the shipped records extend *)
   w_last_seq : int;  (** primary's last acknowledged sequence number *)
+  w_epoch : int;
+      (** fencing epoch the shipped records belong to — a follower seeing
+          it advance knows a promotion happened *)
   w_frames : string;
       (** shipped records, framed exactly as on disk (decode with
           {!Ftindex.Wal.decode_records}); may stop short of [w_last_seq]
@@ -200,7 +224,8 @@ type response =
   | Compact_reply of compact_reply
   | Metrics_reply of string  (** Prometheus-style text exposition *)
   | Slowlog_reply of slow_entry list  (** newest first *)
-  | Health_reply of health_reply  (** answers [Health] and [Reload] *)
+  | Health_reply of health_reply
+      (** answers [Health], [Reload], [Promote] and [Demote] *)
   | Wal_reply of wal_reply  (** answers [Fetch_wal] *)
   | Snapshot_reply of snapshot_reply  (** answers [Fetch_snapshot] *)
 

@@ -42,6 +42,11 @@ type config = {
   breaker_cooldown : int;
   watch_generation : bool;
   follow : string option;
+  follow_timeout : float;
+      (** seconds a follower waits on its primary before calling a sync
+          step failed; the base unit every replication timeout scales
+          from (probe x1, WAL catch-up x5, snapshot listing x15, file
+          transfer x30) *)
   retry_after_ms : int;
   recv_timeout : float;
   reload_io : unit -> Ftindex.Store.Io.t;
@@ -66,6 +71,7 @@ let default_config ~index_dir ~socket_path =
     breaker_cooldown = 8;
     watch_generation = false;
     follow = None;
+    follow_timeout = 2.0;
     retry_after_ms = 25;
     recv_timeout = 10.0;
     reload_io = (fun () -> Ftindex.Store.Io.real ());
@@ -126,6 +132,19 @@ type t = {
   wal_sync_records : int Atomic.t;  (** records applied via replication *)
   snapshot_resyncs : int Atomic.t;
   sync_failures : int Atomic.t;
+  (* failover state: the role can flip at runtime (Promote / Demote), so
+     it lives here, not in the immutable config; the fencing epoch mirrors
+     the manifest's and is refreshed whenever the manifest moves *)
+  follow_now : string option Atomic.t;
+      (** [Some primary] = replica following it; [None] = primary *)
+  epoch_now : int Atomic.t;  (** fencing epoch of the manifest now serving *)
+  primary_unreachable_ticks : int Atomic.t;
+      (** total follower ticks whose health probe got no answer *)
+  primary_down_streak : int Atomic.t;
+      (** consecutive unanswered probes; 0 while the primary answers *)
+  stale_epoch_rejections : int Atomic.t;  (** requests fenced with GTLX0013 *)
+  promotions : int Atomic.t;
+  demotions : int Atomic.t;
   (* observability state lives on [t], not the engine, so a hot reload's
      engine swap cannot reset it *)
   queries : int Atomic.t;  (** Query requests evaluated (success or error) *)
@@ -155,9 +174,16 @@ let generation t =
 
 let refresh_manifest_crc t =
   Atomic.set t.manifest_crc_now
-    (Option.value ~default:0 (Ftindex.Store.manifest_crc ~dir:t.cfg.index_dir))
+    (Option.value ~default:0 (Ftindex.Store.manifest_crc ~dir:t.cfg.index_dir));
+  (* the epoch travels inside the manifest, so the two mirrors move
+     together: every install / compact / bump shows up in both *)
+  Atomic.set t.epoch_now
+    (Option.value ~default:1 (Ftindex.Store.current_epoch ~dir:t.cfg.index_dir))
 
-let role t = match t.cfg.follow with Some _ -> "replica" | None -> "primary"
+let current_follow t = Atomic.get t.follow_now
+
+let role t =
+  match current_follow t with Some _ -> "replica" | None -> "primary"
 
 (* ------------------------------------------------------------------ *)
 (* Request evaluation: breaker routing + fresh governor per request.   *)
@@ -326,6 +352,18 @@ let stats t =
         ("sync_failures", Atomic.get t.sync_failures);
         ("follow_lag", follow_lag);
         ("follow_gen_behind", follow_gen_behind);
+        ("epoch", Atomic.get t.epoch_now);
+        ("promotions", Atomic.get t.promotions);
+        ("demotions", Atomic.get t.demotions);
+        ("stale_epoch_rejections", Atomic.get t.stale_epoch_rejections);
+        ("primary_unreachable_ticks", Atomic.get t.primary_unreachable_ticks);
+        ("primary_down_streak", Atomic.get t.primary_down_streak);
+        ( "follow_primary_up",
+          match current_follow t with
+          | None -> 1
+          | Some _ -> if Atomic.get t.primary_down_streak = 0 then 1 else 0 );
+        ( "follow_timeout_ms",
+          int_of_float (t.cfg.follow_timeout *. 1000.0 +. 0.5) );
       ];
     breakers =
       List.map
@@ -409,6 +447,19 @@ let metrics_text t =
   gauge "galatex_follow_generation_behind"
     "1 when this follower's base generation trails its primary's."
     (stat "follow_gen_behind");
+  gauge "galatex_epoch" "Fencing epoch of the manifest now serving."
+    (stat "epoch");
+  counter "galatex_promotions_total" "Promotions to primary." (stat "promotions");
+  counter "galatex_demotions_total" "Demotions to follower." (stat "demotions");
+  counter "galatex_stale_epoch_rejections_total"
+    "Requests fenced off with GTLX0013 (stale epoch)."
+    (stat "stale_epoch_rejections");
+  counter "galatex_primary_unreachable_ticks_total"
+    "Follower maintenance ticks whose primary health probe went unanswered."
+    (stat "primary_unreachable_ticks");
+  gauge "galatex_follow_primary_up"
+    "1 while the followed primary answers health probes (1 on a primary)."
+    (stat "follow_primary_up");
   List.iter
     (fun (name, v) ->
       counter
@@ -492,6 +543,29 @@ let validate_op = function
       ignore (Xmlkit.Parser.parse_document ~uri source)
   | Ftindex.Wal.Remove_doc _ -> ()
 
+(* The fence: a write-path request stamped with an epoch other than ours
+   is refused with GTLX0013 — lower means the caller rode a superseded
+   timeline (its acknowledgements would be lost bytes), higher means WE
+   are the superseded party and must not acknowledge anything until
+   demoted or re-promoted.  Epoch 0 marks an unfenced direct client. *)
+let fence t ~what ~epoch =
+  let own = Atomic.get t.epoch_now in
+  if epoch = 0 || epoch = own then None
+  else begin
+    Atomic.incr t.stale_epoch_rejections;
+    Log.warn (fun m ->
+        m "fenced %s: request epoch %d, node epoch %d (gtlx:GTLX0013)" what
+          epoch own);
+    Some
+      (Protocol.Failure
+         (Protocol.error_of
+            (Xquery.Errors.make Xquery.Errors.GTLX0013
+               (Printf.sprintf
+                  "stale epoch: %s carries epoch %d but this node is at epoch \
+                   %d; re-discover the primary and retry there"
+                  what epoch own))))
+  end
+
 let handle_update t ops =
   let draining = locked t (fun () -> t.draining) in
   if draining then begin
@@ -539,6 +613,7 @@ let handle_update t ops =
                 u_last_seq = last_seq;
                 u_records = Ftindex.Wal.wal_records w;
                 u_bytes = Ftindex.Wal.wal_bytes w;
+                u_epoch = Atomic.get t.epoch_now;
               })
   end
 
@@ -659,6 +734,7 @@ let health t =
        applied sequence number — no extra bookkeeping *)
     h_seq = Atomic.get t.wal_records_now;
     h_manifest_crc = Atomic.get t.manifest_crc_now;
+    h_epoch = Atomic.get t.epoch_now;
     h_role = role t;
     h_endpoints = [];
   }
@@ -678,6 +754,83 @@ let handle_reload t =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Failover: Promote seals the log and durably bumps the epoch past
+   everything the caller has seen (manifest first — a crash between the
+   two leaves manifest ahead of log, which the next open_writer heals by
+   sealing the log up); Demote flips a fenced old primary to follower.
+   Both run under update_lock so no write can interleave with the flip. *)
+
+let handle_promote t ~p_epoch =
+  let draining = locked t (fun () -> t.draining) in
+  if draining then begin
+    Atomic.incr t.shed_shutdown;
+    overload_reply t ~code_reason:"shutting down" ~depth:0
+  end
+  else begin
+    Mutex.lock t.update_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.update_lock)
+      (fun () ->
+        let own = Atomic.get t.epoch_now in
+        let was = role t in
+        let new_epoch = max own p_epoch + 1 in
+        match
+          Ftindex.Store.bump_epoch ~dir:t.cfg.index_dir ~epoch:new_epoch ();
+          Ftindex.Wal.seal ~dir:t.cfg.index_dir ~generation:(generation t)
+            ~epoch:new_epoch ()
+        with
+        | exception exn ->
+            Log.warn (fun m ->
+                m "promotion to epoch %d failed: %s" new_epoch
+                  (Xquery.Errors.to_string (Xquery.Errors.wrap_exn exn)));
+            Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn))
+        | () ->
+            (* the new timeline is durable; only now flip the role *)
+            t.writer <- None (* reopen on the sealed log at next update *);
+            Atomic.set t.follow_now None;
+            Atomic.set t.primary_gen_now 0;
+            Atomic.set t.primary_seq_now 0;
+            Atomic.set t.primary_down_streak 0;
+            refresh_manifest_crc t;
+            Atomic.incr t.promotions;
+            Log.info (fun m ->
+                m "promoted to primary at epoch %d (was %s at epoch %d)"
+                  new_epoch was own);
+            Protocol.Health_reply (health t))
+  end
+
+let handle_demote t ~d_epoch ~d_primary =
+  let own = Atomic.get t.epoch_now in
+  if d_epoch <= own then begin
+    (* demotion must flow from a strictly newer timeline: otherwise any
+       straggler could knock over the live primary *)
+    Atomic.incr t.stale_epoch_rejections;
+    Protocol.Failure
+      (Protocol.error_of
+         (Xquery.Errors.make Xquery.Errors.GTLX0013
+            (Printf.sprintf
+               "refusing demotion: claimed primary epoch %d does not exceed \
+                this node's epoch %d"
+               d_epoch own)))
+  end
+  else begin
+    Mutex.lock t.update_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.update_lock)
+      (fun () ->
+        Atomic.set t.follow_now (Some d_primary);
+        t.writer <- None;
+        Atomic.set t.primary_down_streak 0;
+        Atomic.incr t.demotions;
+        Log.warn (fun m ->
+            m
+              "fenced off by epoch %d primary at %s (gtlx:GTLX0013): demoting \
+               to follower, re-syncing from it"
+              d_epoch d_primary);
+        Protocol.Health_reply (health t))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Replication.  The primary side answers Fetch_wal (the acknowledged
    log tail, re-using the on-disk framing) and Fetch_snapshot (a
    CRC-verified base snapshot, file by file).  The follower side — a
@@ -686,14 +839,35 @@ let handle_reload t =
    full snapshot re-sync when it no longer does (the primary compacted)
    or when the anti-entropy manifest-CRC comparison disagrees.          *)
 
-let handle_fetch_wal t ~from_seq =
-  (* plain-I/O read of the acknowledged log: a torn tail racing a
-     concurrent append is dropped by the scan, so only acknowledged,
-     checksum-verified records ever ship *)
-  match Ftindex.Wal.read_log ~dir:t.cfg.index_dir () with
+let handle_fetch_wal t ~from_seq ~epoch =
+  let own = Atomic.get t.epoch_now in
+  if epoch > own then begin
+    (* the caller has seen a newer timeline than ours: we are the stale
+       party and must not ship records anyone might apply — the caller's
+       next health probe of the real primary sorts it out *)
+    Atomic.incr t.stale_epoch_rejections;
+    Log.warn (fun m ->
+        m
+          "fenced fetch-wal: caller has seen epoch %d, this node is at epoch \
+           %d (gtlx:GTLX0013)"
+          epoch own);
+    Protocol.Failure
+      (Protocol.error_of
+         (Xquery.Errors.make Xquery.Errors.GTLX0013
+            (Printf.sprintf
+               "stale timeline: this node is at epoch %d but the caller has \
+                seen epoch %d; do not replicate from here"
+               own epoch)))
+  end
+  else
+    (* plain-I/O read of the acknowledged log: a torn tail racing a
+       concurrent append is dropped by the scan, so only acknowledged,
+       checksum-verified records ever ship *)
+    match Ftindex.Wal.read_log ~dir:t.cfg.index_dir () with
   | None ->
       Protocol.Wal_reply
-        { Protocol.w_generation = generation t; w_last_seq = 0; w_frames = "" }
+        { Protocol.w_generation = generation t; w_last_seq = 0; w_epoch = own;
+          w_frames = "" }
   | Some log ->
       let last_seq =
         List.fold_left
@@ -720,6 +894,7 @@ let handle_fetch_wal t ~from_seq =
         {
           Protocol.w_generation = log.Ftindex.Wal.base_generation;
           w_last_seq = last_seq;
+          w_epoch = log.Ftindex.Wal.base_epoch;
           w_frames = String.concat "" (take 0 [] fresh);
         }
 
@@ -772,8 +947,12 @@ let handle_fetch_snapshot t ~file =
    manifest last, each installed atomically — then reset the WAL to the
    new base generation.  Pure pull, no server state: the follower ticker
    and the empty-directory bootstrap in [start] share it. *)
-let pull_snapshot ~dir ~primary =
-  match Client.fetch_snapshot ~recv_timeout:30.0 ~socket_path:primary () with
+let pull_snapshot ?(follow_timeout = 2.0) ~dir ~primary () =
+  match
+    Client.fetch_snapshot
+      ~recv_timeout:(follow_timeout *. 15.0)
+      ~socket_path:primary ()
+  with
   | Error reason -> Error ("snapshot listing: " ^ reason)
   | Ok listing -> (
       let gen = listing.Protocol.sn_generation in
@@ -788,8 +967,9 @@ let pull_snapshot ~dir ~primary =
           | [] -> Ok ()
           | name :: rest -> (
               match
-                Client.fetch_snapshot ~recv_timeout:60.0 ~socket_path:primary
-                  ~file:name ()
+                Client.fetch_snapshot
+                  ~recv_timeout:(follow_timeout *. 30.0)
+                  ~socket_path:primary ~file:name ()
               with
               | Error reason -> Error (name ^ ": " ^ reason)
               | Ok reply when reply.Protocol.sn_generation <> gen ->
@@ -832,7 +1012,10 @@ let snapshot_resync t ~primary ~reason =
     (fun () ->
       Log.info (fun m ->
           m "follow: snapshot re-sync from %s (%s)" primary reason);
-      match pull_snapshot ~dir:t.cfg.index_dir ~primary with
+      match
+        pull_snapshot ~follow_timeout:t.cfg.follow_timeout ~dir:t.cfg.index_dir
+          ~primary ()
+      with
       | Error why ->
           Atomic.incr t.sync_failures;
           Log.warn (fun m -> m "follow: snapshot re-sync failed: %s" why)
@@ -865,8 +1048,10 @@ let catch_up_wal t ~primary =
         let w = ensure_writer t in
         let applied = Ftindex.Wal.wal_records w in
         match
-          Client.fetch_wal ~recv_timeout:10.0 ~socket_path:primary
-            ~from_seq:applied ()
+          Client.fetch_wal
+            ~recv_timeout:(t.cfg.follow_timeout *. 5.0)
+            ~socket_path:primary ~from_seq:applied
+            ~epoch:(Atomic.get t.epoch_now) ()
         with
         | Error reason -> `Failed reason
         | Ok reply
@@ -919,12 +1104,17 @@ let catch_up_wal t ~primary =
                 (Xquery.Errors.to_string (Xquery.Errors.wrap_exn exn))))
 
 let follow_tick t ~primary =
-  match Client.health ~recv_timeout:2.0 ~socket_path:primary () with
+  match
+    Client.health ~recv_timeout:t.cfg.follow_timeout ~socket_path:primary ()
+  with
   | Error reason ->
       (* primary unreachable: keep serving at the current position; the
          router's staleness bound decides if that is still acceptable *)
+      Atomic.incr t.primary_unreachable_ticks;
+      Atomic.incr t.primary_down_streak;
       Log.debug (fun m -> m "follow: primary %s unreachable: %s" primary reason)
   | Ok h ->
+      Atomic.set t.primary_down_streak 0;
       Atomic.set t.primary_gen_now h.Protocol.h_generation;
       Atomic.set t.primary_seq_now h.Protocol.h_seq;
       let my_gen = generation t in
@@ -985,8 +1175,8 @@ let serve_connection t fd =
                 with exn ->
                   Atomic.incr t.reload_failures;
                   Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok (Protocol.Update _ | Protocol.Compact)
-              when t.cfg.follow <> None ->
+            | Ok (Protocol.Update _ | Protocol.Compact _)
+              when current_follow t <> None ->
                 (* single-writer across the fleet: a follower's state is
                    defined by its primary's log, never by direct writes *)
                 Protocol.Failure
@@ -994,8 +1184,8 @@ let serve_connection t fd =
                      (Xquery.Errors.make Xquery.Errors.FODC0002
                         "read-only replica: this daemon follows a primary; \
                          route updates there"))
-            | Ok (Protocol.Fetch_wal { from_seq }) -> (
-                try handle_fetch_wal t ~from_seq
+            | Ok (Protocol.Fetch_wal { from_seq; epoch }) -> (
+                try handle_fetch_wal t ~from_seq ~epoch
                 with exn ->
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
@@ -1004,16 +1194,34 @@ let serve_connection t fd =
                 with exn ->
                   Protocol.Failure
                     (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok (Protocol.Update ops) -> (
-                try handle_update t ops
+            | Ok (Protocol.Promote { p_epoch }) -> (
+                try handle_promote t ~p_epoch
                 with exn ->
-                  Atomic.incr t.update_errors;
-                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
-            | Ok Protocol.Compact -> (
-                try handle_compact t
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Demote { d_epoch; d_primary }) -> (
+                try handle_demote t ~d_epoch ~d_primary
                 with exn ->
-                  Atomic.incr t.compaction_failures;
-                  Protocol.Failure (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+                  Protocol.Failure
+                    (Protocol.error_of (Xquery.Errors.wrap_exn exn)))
+            | Ok (Protocol.Update { ops; epoch }) -> (
+                match fence t ~what:"update" ~epoch with
+                | Some rejection -> rejection
+                | None -> (
+                    try handle_update t ops
+                    with exn ->
+                      Atomic.incr t.update_errors;
+                      Protocol.Failure
+                        (Protocol.error_of (Xquery.Errors.wrap_exn exn))))
+            | Ok (Protocol.Compact { epoch }) -> (
+                match fence t ~what:"compact" ~epoch with
+                | Some rejection -> rejection
+                | None -> (
+                    try handle_compact t
+                    with exn ->
+                      Atomic.incr t.compaction_failures;
+                      Protocol.Failure
+                        (Protocol.error_of (Xquery.Errors.wrap_exn exn))))
             | Ok (Protocol.Query q) -> (
                 (* run_report's boundary guarantee means only structured
                    errors escape eval_query; wrap_exn is defense in depth
@@ -1069,7 +1277,9 @@ let ticker_loop t =
     (try
        if not (locked t (fun () -> t.draining)) then begin
          maybe_reload t;
-         match t.cfg.follow with
+         (* the role is runtime state (Promote / Demote flip it), so the
+            ticker re-reads it every pass *)
+         match current_follow t with
          | Some primary ->
              (* a follower never self-compacts: its generation may only
                 advance by tracking the primary's *)
@@ -1173,7 +1383,10 @@ let start cfg =
       (* empty follower directory: bootstrap a base snapshot from the
          primary before anything serves *)
       Log.info (fun m -> m "bootstrapping from primary %s" primary);
-      match pull_snapshot ~dir:cfg.index_dir ~primary with
+      match
+        pull_snapshot ~follow_timeout:cfg.follow_timeout ~dir:cfg.index_dir
+          ~primary ()
+      with
       | Ok (gen, _) ->
           Log.info (fun m -> m "bootstrap complete at generation %d" gen)
       | Error reason ->
@@ -1239,6 +1452,13 @@ let start cfg =
       wal_sync_records = Atomic.make 0;
       snapshot_resyncs = Atomic.make 0;
       sync_failures = Atomic.make 0;
+      follow_now = Atomic.make cfg.follow;
+      epoch_now = Atomic.make 1;
+      primary_unreachable_ticks = Atomic.make 0;
+      primary_down_streak = Atomic.make 0;
+      stale_epoch_rejections = Atomic.make 0;
+      promotions = Atomic.make 0;
+      demotions = Atomic.make 0;
       queries = Atomic.make 0;
       engine_counters = Obs.Metrics.create ();
       histograms =

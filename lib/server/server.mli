@@ -60,7 +60,18 @@ type config = {
           generation or manifest-CRC mismatch triggers a full snapshot
           re-sync (anti-entropy), a higher primary sequence number pulls
           the WAL tail ([Fetch_wal]) and applies it durable-first, exactly
-          like a primary update.  Default [None] (primary mode). *)
+          like a primary update.  Default [None] (primary mode).
+
+          This is only the {e starting} role: a [Promote] request flips a
+          follower to read-write primary (sealing its log and durably
+          bumping the fencing epoch), and a [Demote] from a
+          higher-epoch timeline flips a primary back to follower. *)
+  follow_timeout : float;
+      (** seconds a follower waits on its primary before calling a sync
+          step failed — the base unit every replication timeout scales
+          from: health probe x1, WAL catch-up x5, snapshot listing x15,
+          per-file transfer x30 (default 2.0, preserving the historical
+          2/10/30/60 second ladder) *)
   retry_after_ms : int;  (** hint carried by shed responses (default 25) *)
   recv_timeout : float;
       (** seconds a worker waits for a request frame before giving up on
@@ -121,7 +132,9 @@ val stats : t -> Protocol.stats_reply
     [generation], [queue_depth], [workers], [updates], [update_errors],
     [compactions], [compaction_failures], [wal_records], [wal_bytes],
     [wal_syncs], [wal_sync_records], [snapshot_resyncs], [sync_failures],
-    [follow_lag], [follow_gen_behind] —
+    [follow_lag], [follow_gen_behind], [epoch], [promotions], [demotions],
+    [stale_epoch_rejections], [primary_unreachable_ticks],
+    [primary_down_streak], [follow_primary_up], [follow_timeout_ms] —
     plus per-strategy breaker states.  All counters (and the metrics
     below) survive hot reloads: they live on the daemon, and the engine's
     own cells are carried across the swap. *)

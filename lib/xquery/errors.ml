@@ -56,6 +56,10 @@ type code =
   | GTLX0012
       (** no sufficiently fresh endpoint: only replicas lagging beyond the
           configured staleness bound remain for a partition *)
+  (* GalaTex failover errors (epoch fencing) *)
+  | GTLX0013
+      (** stale epoch: the request (or the node itself) belongs to a
+          superseded primary timeline and was fenced off *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -68,7 +72,10 @@ let class_of = function
       Dynamic
   (* storage errors are environmental, like FODC0002: the snapshot on disk
      cannot be retrieved intact.  They are dynamic, not resource limits. *)
-  | GTLX0006 | GTLX0007 | GTLX0008 | GTLX0010 -> Dynamic
+  (* a fenced-off epoch is environmental in the same way: the caller's
+     view of who is primary is stale; it must re-discover, not retry
+     blindly — dynamic, exit 2, like the other storage-integrity codes *)
+  | GTLX0006 | GTLX0007 | GTLX0008 | GTLX0010 | GTLX0013 -> Dynamic
   (* overload shedding is a resource condition: the request was sound,
      the server's capacity was not — retryable, like a budget.  A partial
      cluster answer is the same shape: the missing partitions may return
@@ -111,6 +118,7 @@ let code_string = function
   | GTLX0010 -> "gtlx:GTLX0010"
   | GTLX0011 -> "gtlx:GTLX0011"
   | GTLX0012 -> "gtlx:GTLX0012"
+  | GTLX0013 -> "gtlx:GTLX0013"
 
 let class_string = function
   | Static -> "static"

@@ -46,6 +46,12 @@ type code =
           configured [--max-lag] bound, so no sufficiently fresh answer
           exists; the primary (or a caught-up replica) may return on a
           retry *)
+  | GTLX0013
+      (** stale epoch: a write-path or replication request carried an
+          epoch older than the receiving node's (the caller addresses a
+          superseded primary timeline), or the node itself observed a
+          higher epoch elsewhere and fenced itself off; callers must
+          re-discover the current primary rather than retry blindly *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

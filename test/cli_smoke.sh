@@ -381,6 +381,19 @@ done
 [ "$resynced" -eq 1 ] || { echo "FAIL: follower never re-synced after compaction" >&2; cat fol.log >&2; fails=$((fails+1)); }
 "$GX" stats --server fol.sock | grep -q '^snapshot_resyncs [1-9]' || { echo "FAIL: snapshot re-sync not counted" >&2; fails=$((fails+1)); }
 
+# --- failover: promote the follower onto a new fencing epoch; it flips
+# --- to primary, accepts writes, and advertises the new timeline ---
+"$GX" promote fol.sock >promote.txt
+expect_exit "galatex promote" 0 $?
+grep -q 'role primary' promote.txt || { echo "FAIL: promote did not report the primary role: $(cat promote.txt)" >&2; fails=$((fails+1)); }
+grep -q 'epoch 2' promote.txt || { echo "FAIL: promote did not advance the epoch: $(cat promote.txt)" >&2; fails=$((fails+1)); }
+"$GX" stats --server fol.sock --health | grep -q '^epoch 2$' || { echo "FAIL: promoted daemon health missing epoch 2" >&2; fails=$((fails+1)); }
+"$GX" stats --server fol.sock --health | grep -q '^role primary$' || { echo "FAIL: promoted daemon still a replica" >&2; fails=$((fails+1)); }
+
+"$GX" update --server fol.sock -a u1.xml >ack.txt
+expect_exit "promoted daemon accepts updates" 0 $?
+grep -q '^acknowledged 1 operation' ack.txt || { echo "FAIL: post-promotion update not acknowledged" >&2; fails=$((fails+1)); }
+
 kill -TERM $FOL $PRI
 wait $FOL $PRI 2>/dev/null
 

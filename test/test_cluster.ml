@@ -362,7 +362,9 @@ let steer_op shard =
     }
 
 let send_update c ops =
-  match Client.request ~socket_path:c.router_sock (Protocol.Update ops) with
+  match Client.request ~socket_path:c.router_sock
+      (Protocol.Update { ops; epoch = 0 })
+  with
   | Ok (Protocol.Update_reply _) -> ()
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "update failed: %s: %s" e.Protocol.code e.Protocol.message
@@ -478,7 +480,8 @@ let test_update_routes_by_hash () =
           { uri; source = "<book><title>Fresh</title><p>usability</p></book>" }
       in
       (match
-         Client.request ~socket_path:c.router_sock (Protocol.Update [ op ])
+         Client.request ~socket_path:c.router_sock
+           (Protocol.Update { ops = [ op ]; epoch = 0 })
        with
       | Ok (Protocol.Update_reply u) ->
           Alcotest.(check int) "one record" 1 u.Protocol.u_records
@@ -610,7 +613,8 @@ let test_chaos () =
               }
           in
           (match
-             Client.request ~socket_path:c.router_sock (Protocol.Update [ op ])
+             Client.request ~socket_path:c.router_sock
+               (Protocol.Update { ops = [ op ]; epoch = 0 })
            with
           | Ok (Protocol.Update_reply _) | Ok (Protocol.Failure _) -> ()
           | Ok _ -> violation "non-update reply to an update"
@@ -670,6 +674,131 @@ let test_chaos () =
         Alcotest.failf "no fully-answered query in the whole sweep (%d partial, %d shed)"
           (Atomic.get partial) (Atomic.get shed))
 
+(* ------------------------------------------------------------------ *)
+(* Automatic primary failover: the router detects the dead primary,
+   promotes the caught-up follower onto a new epoch, redirects writes,
+   and fences the restarted old primary off its stale timeline.        *)
+
+let test_primary_failover () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let pdir = Filename.concat dir "pri" in
+      let fdir = Filename.concat dir "fol" in
+      Ftindex.Store.save ~dir:pdir (Ftindex.Indexer.index_strings sources);
+      let psock = fresh_name "fop" ^ ".sock" in
+      let fsock = fresh_name "fof" ^ ".sock" in
+      let pcfg = shard_config ~dir:pdir ~sock:psock in
+      let primary = ref (Some (Server.start pcfg)) in
+      let follower =
+        Server.start
+          { (shard_config ~dir:fdir ~sock:fsock) with Server.follow = Some psock }
+      in
+      let router_sock = fresh_name "fort" ^ ".sock" in
+      let cfg =
+        {
+          (Router.default_config
+             ~shards:[ { Router.primary = psock; replicas = [ fsock ] } ]
+             ~socket_path:router_sock)
+          with
+          Router.workers = 2;
+          retries = 1;
+          default_deadline = 3.0;
+          tick_interval = 0.02;
+          probe_timeout = 0.2;
+          reload_timeout = 10.0;
+          primary_failover = true;
+          failover_ticks = 2;
+        }
+      in
+      let router = Router.start cfg in
+      Fun.protect
+        ~finally:(fun () ->
+          Router.stop router;
+          Server.stop follower;
+          match !primary with Some t -> Server.stop t | None -> ())
+        (fun () ->
+          let health sock =
+            match Client.health ~socket_path:sock () with
+            | Ok h -> h
+            | Error reason -> Alcotest.failf "health %s: %s" sock reason
+          in
+          let converged () =
+            match
+              (Client.health ~socket_path:psock (), Client.health ~socket_path:fsock ())
+            with
+            | Ok p, Ok f ->
+                p.Protocol.h_generation = f.Protocol.h_generation
+                && p.Protocol.h_seq = f.Protocol.h_seq
+                && p.Protocol.h_manifest_crc = f.Protocol.h_manifest_crc
+            | _ -> false
+          in
+          let rstat key =
+            match Client.stats ~socket_path:router_sock with
+            | Ok s ->
+                Option.value ~default:0
+                  (List.assoc_opt key s.Protocol.counters)
+            | Error _ -> 0
+          in
+          let send_update i =
+            let op =
+              Ftindex.Wal.Add_doc
+                {
+                  uri = Printf.sprintf "failover-%d.xml" i;
+                  source =
+                    Printf.sprintf "<book><title>Failover %d</title></book>" i;
+                }
+            in
+            Client.request ~socket_path:router_sock
+              (Protocol.Update { ops = [ op ]; epoch = 0 })
+          in
+          poll "follower bootstraps" converged;
+          (* writes flow through the router onto the original timeline *)
+          (match send_update 0 with
+          | Ok (Protocol.Update_reply u) ->
+              Alcotest.(check int) "epoch-1 write" 1 u.Protocol.u_epoch
+          | _ -> Alcotest.fail "routed update failed");
+          poll "follower catches up" converged;
+          (* kill -9 the primary: the router's health sweep notices and
+             promotes the caught-up follower onto epoch 2 *)
+          (match !primary with
+          | Some t ->
+              primary := None;
+              Server.stop t
+          | None -> ());
+          poll ~tries:500 "router fails over" (fun () -> rstat "failovers" >= 1);
+          let h = health fsock in
+          Alcotest.(check string) "follower promoted" "primary"
+            h.Protocol.h_role;
+          Alcotest.(check int) "new timeline" 2 h.Protocol.h_epoch;
+          (* hash-routed writes resume, stamped with the new epoch *)
+          poll ~tries:500 "writes resume on the new primary" (fun () ->
+              match send_update 1 with
+              | Ok (Protocol.Update_reply u) -> u.Protocol.u_epoch = 2
+              | _ -> false);
+          (* the restarted old primary claims the stale timeline: the
+             router demotes it and it re-syncs onto the new one *)
+          primary := Some (Server.start pcfg);
+          poll ~tries:500 "old primary demoted" (fun () ->
+              match Client.health ~socket_path:psock () with
+              | Ok h -> h.Protocol.h_role = "replica"
+              | Error _ -> false);
+          Alcotest.(check bool) "demotes counted" true (rstat "demotes_sent" >= 1);
+          poll ~tries:500 "old primary converges onto the new timeline"
+            (fun () -> converged () && (health psock).Protocol.h_epoch = 2);
+          (* the cluster still answers in full through the router *)
+          match
+            Client.request ~socket_path:router_sock
+              (Protocol.Query
+                 (Protocol.query_request ~limits:short_limits count_query))
+          with
+          | Ok (Protocol.Value v) ->
+              Alcotest.(check (list string))
+                "full answer after failover"
+                [ string_of_int (n_docs + 2) ]
+                v.Protocol.items;
+              Alcotest.(check bool) "not partial" true (v.Protocol.partial = None)
+          | _ -> Alcotest.fail "query through the router failed"))
+
 let tests =
   [
     Alcotest.test_case "merge classify" `Quick test_merge_classify;
@@ -698,4 +827,5 @@ let tests =
     Alcotest.test_case "rolling reload over wire" `Quick
       test_rolling_reload_over_wire;
     Alcotest.test_case "chaos" `Quick test_chaos;
+    Alcotest.test_case "primary failover" `Quick test_primary_failover;
   ]

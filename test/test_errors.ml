@@ -143,7 +143,13 @@ let test_error_classes () =
   Alcotest.(check string) "update-log code string" "gtlx:GTLX0010"
     (code_string GTLX0010);
   Alcotest.(check string) "stale-failover code string" "gtlx:GTLX0012"
-    (code_string GTLX0012)
+    (code_string GTLX0012);
+  (* an epoch-fenced write is environmental (the cluster moved on, the
+     caller's view is stale), like a storage error: dynamic class *)
+  Alcotest.(check string) "epoch fencing is dynamic" "dynamic"
+    (class_string (class_of GTLX0013));
+  Alcotest.(check string) "epoch-fencing code string" "gtlx:GTLX0013"
+    (code_string GTLX0013)
 
 let tests =
   [

@@ -129,7 +129,7 @@ let query sock text =
        (Protocol.Query (Protocol.query_request text)))
 
 let update sock ops =
-  match Client.request ~socket_path:sock (Protocol.Update ops) with
+  match Client.request ~socket_path:sock (Protocol.Update { ops; epoch = 0 }) with
   | Ok (Protocol.Update_reply u) -> u
   | Ok (Protocol.Failure e) ->
       Alcotest.failf "update: unexpected failure %s: %s" e.Protocol.code
@@ -268,11 +268,16 @@ let test_follower_bootstrap_and_catch_up () =
 let test_follower_rejects_writes () =
   with_pair () (fun ~pdir:_ ~fdir:_ ~psock ~fsock ->
       poll "bootstrap" (fun () -> converged psock fsock);
-      (match Client.request ~socket_path:fsock (Protocol.Update [ add_doc 0 ]) with
+      (match
+         Client.request ~socket_path:fsock
+           (Protocol.Update { ops = [ add_doc 0 ]; epoch = 0 })
+       with
       | Ok (Protocol.Failure e) ->
           Alcotest.(check string) "update rejected" "err:FODC0002" e.Protocol.code
       | _ -> Alcotest.fail "follower accepted an update");
-      match Client.request ~socket_path:fsock Protocol.Compact with
+      match
+        Client.request ~socket_path:fsock (Protocol.Compact { epoch = 0 })
+      with
       | Ok (Protocol.Failure e) ->
           Alcotest.(check string) "compact rejected" "err:FODC0002" e.Protocol.code
       | _ -> Alcotest.fail "follower accepted a compaction")
@@ -283,7 +288,9 @@ let test_compaction_triggers_resync () =
       ignore (update psock (List.init 4 add_doc));
       poll "catch-up" (fun () -> converged psock fsock);
       (* fold the log: the base generation moves under the follower *)
-      (match Client.request ~socket_path:psock Protocol.Compact with
+      (match
+         Client.request ~socket_path:psock (Protocol.Compact { epoch = 0 })
+       with
       | Ok (Protocol.Compact_reply c) ->
           Alcotest.(check int) "generation moved" 2 c.Protocol.c_generation
       | _ -> Alcotest.fail "compact failed");
@@ -342,7 +349,7 @@ let test_convergence_chaos () =
                 for i = 0 to 19 do
                   (match
                      Client.request ~recv_timeout:2.0 ~socket_path:psock
-                       (Protocol.Update [ add_doc i ])
+                       (Protocol.Update { ops = [ add_doc i ]; epoch = 0 })
                    with
                   | Ok (Protocol.Update_reply _) -> Atomic.incr acked
                   | Ok _ | Error _ -> ());
@@ -360,7 +367,7 @@ let test_convergence_chaos () =
           Alcotest.(check bool) "some updates were acknowledged" true
             (Atomic.get acked > 0);
           (* a compaction mid-life forces the snapshot re-sync path too *)
-          (match Client.request ~socket_path:psock Protocol.Compact with
+          (match Client.request ~socket_path:psock (Protocol.Compact { epoch = 0 }) with
           | Ok (Protocol.Compact_reply _) -> ()
           | _ -> Alcotest.fail "compact failed");
           List.iter
@@ -376,6 +383,202 @@ let test_convergence_chaos () =
                 (converged f0 f1)
           | _ -> assert false))
 
+(* ------------------------------------------------------------------ *)
+(* 7. failover: promotion, fencing, demotion                           *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_promote_over_wire () =
+  with_pair () (fun ~pdir:_ ~fdir:_ ~psock ~fsock ->
+      poll "bootstrap" (fun () -> converged psock fsock);
+      (* the follower becomes primary on a strictly newer timeline *)
+      let h = ok "promote" (Client.promote ~socket_path:fsock ~epoch:0 ()) in
+      Alcotest.(check string) "flipped to primary" "primary" h.Protocol.h_role;
+      Alcotest.(check int) "epoch advanced" 2 h.Protocol.h_epoch;
+      (* writes stamped with the new epoch land on the new primary *)
+      (match
+         Client.request ~socket_path:fsock
+           (Protocol.Update { ops = [ add_doc 0 ]; epoch = h.Protocol.h_epoch })
+       with
+      | Ok (Protocol.Update_reply u) ->
+          Alcotest.(check int) "write carries new epoch" 2 u.Protocol.u_epoch
+      | _ -> Alcotest.fail "new primary refused a fenced write");
+      (* a writer still living on the old timeline is fenced off *)
+      (match
+         Client.request ~socket_path:fsock
+           (Protocol.Update { ops = [ add_doc 1 ]; epoch = 1 })
+       with
+      | Ok (Protocol.Failure e) ->
+          Alcotest.(check string) "stale write fenced" "gtlx:GTLX0013"
+            e.Protocol.code
+      | _ -> Alcotest.fail "stale-epoch write was not fenced");
+      (* demotion must flow from a strictly newer timeline: the old
+         primary shrugs off a demotion at its own epoch ... *)
+      (match Client.demote ~socket_path:psock ~epoch:1 ~primary:fsock () with
+      | Error reason ->
+          Alcotest.(check bool) "stale demotion refused with GTLX0013" true
+            (contains reason "GTLX0013")
+      | Ok _ -> Alcotest.fail "accepted a demotion at its own epoch");
+      (* ... and steps down for the epoch-2 one, re-syncing from it *)
+      let d =
+        ok "demote" (Client.demote ~socket_path:psock ~epoch:2 ~primary:fsock ())
+      in
+      Alcotest.(check string) "old primary now replica" "replica"
+        d.Protocol.h_role;
+      poll "old primary catches up on the new timeline" (fun () ->
+          converged fsock psock);
+      poll "old primary adopts the new epoch" (fun () ->
+          (health psock).Protocol.h_epoch = 2);
+      check_same_answers ~what:"after failover" fsock psock;
+      Alcotest.(check bool) "promotion counted" true
+        (stat fsock "promotions" >= 1);
+      Alcotest.(check bool) "demotion counted" true (stat psock "demotions" >= 1))
+
+(* The tentpole interleaving: primary + two followers under a fenced
+   concurrent writer (stamps every update with the highest epoch it has
+   observed, exactly like the router).  Kill the primary, promote the
+   caught-up follower, restart the old primary on its stale timeline,
+   fence it, demote it.  Acceptance: writes were acknowledged on both
+   timelines but the timelines never diverged — every acknowledged write
+   is present, bit-identically, on all three nodes at the end. *)
+let test_failover_fencing_chaos () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let pdir = Filename.concat dir "primary" in
+      save_corpus ~dir:pdir corpus;
+      let psock = fresh_name "fcp" ^ ".sock" in
+      let pcfg = daemon_config ~dir:pdir ~sock:psock () in
+      let primary = ref (Server.start pcfg) in
+      let mk_follower i =
+        let fdir = Filename.concat dir (Printf.sprintf "follower%d" i) in
+        let fsock = fresh_name (Printf.sprintf "fcf%d" i) ^ ".sock" in
+        (fsock, Server.start (daemon_config ~follow:psock ~dir:fdir ~sock:fsock ()))
+      in
+      let f1sock, f1 = mk_follower 1 in
+      let f2sock, f2 = mk_follower 2 in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop f1;
+          Server.stop f2;
+          Server.stop !primary)
+        (fun () ->
+          poll "bootstrap" (fun () ->
+              converged psock f1sock && converged psock f2sock);
+          let target = Atomic.make psock in
+          let epoch_seen = Atomic.make 1 in
+          let acked = Atomic.make [] in
+          let paused = Atomic.make false in
+          let stop = Atomic.make false in
+          let updater =
+            Thread.create
+              (fun () ->
+                let i = ref 0 in
+                while not (Atomic.get stop) do
+                  if Atomic.get paused then Thread.delay 0.01
+                  else begin
+                    (match
+                       Client.request ~recv_timeout:5.0
+                         ~socket_path:(Atomic.get target)
+                         (Protocol.Update
+                            {
+                              ops = [ add_doc !i ];
+                              epoch = Atomic.get epoch_seen;
+                            })
+                     with
+                    | Ok (Protocol.Update_reply u) ->
+                        Atomic.set acked
+                          ((!i, u.Protocol.u_epoch) :: Atomic.get acked)
+                    | Ok (Protocol.Failure e)
+                      when e.Protocol.code = "gtlx:GTLX0013" ->
+                        (* fenced: re-learn the epoch before retrying *)
+                        (match
+                           Client.health ~recv_timeout:5.0
+                             ~socket_path:(Atomic.get target) ()
+                         with
+                        | Ok h ->
+                            Atomic.set epoch_seen
+                              (max (Atomic.get epoch_seen) h.Protocol.h_epoch)
+                        | Error _ -> ())
+                    | Ok _ | Error _ -> ());
+                    incr i;
+                    Thread.delay 0.005
+                  end
+                done)
+              ()
+          in
+          let acked_at e =
+            List.length (List.filter (fun (_, e') -> e' = e) (Atomic.get acked))
+          in
+          (* phase 1: writes flow on the original timeline *)
+          poll "epoch-1 writes acknowledged" (fun () -> acked_at 1 >= 3);
+          (* quiesce, let the failover candidate catch up fully, then
+             kill -9 the primary: no in-flight write at the kill *)
+          Atomic.set paused true;
+          Thread.delay 0.05;
+          poll "candidate caught up" (fun () -> converged psock f1sock);
+          Server.stop !primary;
+          (* promote past everything the writer has observed *)
+          let h =
+            ok "promote"
+              (Client.promote ~socket_path:f1sock
+                 ~epoch:(Atomic.get epoch_seen) ())
+          in
+          Alcotest.(check string) "new primary" "primary" h.Protocol.h_role;
+          Alcotest.(check int) "new timeline" 2 h.Protocol.h_epoch;
+          Atomic.set epoch_seen h.Protocol.h_epoch;
+          Atomic.set target f1sock;
+          Atomic.set paused false;
+          (* phase 2: writes flow on the new timeline *)
+          poll "epoch-2 writes acknowledged" (fun () -> acked_at 2 >= 3);
+          (* the old primary comes back on its stale timeline *)
+          primary := Server.start pcfg;
+          (* a router-stamped (epoch-2) write against it is fenced, never
+             acknowledged: no write lands on two divergent timelines *)
+          (match
+             Client.request ~socket_path:psock
+               (Protocol.Update { ops = [ add_doc 999_999 ]; epoch = 2 })
+           with
+          | Ok (Protocol.Failure e) ->
+              Alcotest.(check string) "restarted old primary is fenced"
+                "gtlx:GTLX0013" e.Protocol.code
+          | _ -> Alcotest.fail "stale restarted primary accepted a write");
+          (* demote the straggler and re-point the second follower *)
+          ignore
+            (ok "demote old primary"
+               (Client.demote ~socket_path:psock ~epoch:2 ~primary:f1sock ()));
+          ignore
+            (ok "re-point follower2"
+               (Client.demote ~socket_path:f2sock ~epoch:2 ~primary:f1sock ()));
+          Atomic.set stop true;
+          Thread.join updater;
+          (* convergence: all three nodes land on the new primary's bits *)
+          poll ~tries:500 "old primary converges" (fun () ->
+              converged f1sock psock);
+          poll ~tries:500 "follower2 converges" (fun () ->
+              converged f1sock f2sock);
+          check_same_answers ~what:"failover chaos (old primary)" f1sock psock;
+          check_same_answers ~what:"failover chaos (follower2)" f1sock f2sock;
+          (* both timelines acknowledged writes, and none was lost: the
+             final corpus is exactly the seed plus every acknowledged
+             update — the fenced write left no trace *)
+          let acked = Atomic.get acked in
+          let epochs = List.sort_uniq compare (List.map snd acked) in
+          Alcotest.(check (list int))
+            "writes acknowledged on both timelines, never a third" [ 1; 2 ]
+            epochs;
+          let distinct = List.sort_uniq compare (List.map fst acked) in
+          Alcotest.(check (list string))
+            "every acknowledged write survived the failover"
+            [ string_of_int (List.length corpus + List.length distinct) ]
+            (query f1sock count_query).Protocol.items;
+          Alcotest.(check bool) "old primary adopted the new epoch" true
+            ((health psock).Protocol.h_epoch = 2)))
+
 let tests =
   [
     Alcotest.test_case "fetch wal over the wire" `Quick test_fetch_wal_over_wire;
@@ -390,4 +593,7 @@ let tests =
     Alcotest.test_case "anti-entropy repairs divergence" `Quick
       test_anti_entropy_repairs_divergence;
     Alcotest.test_case "convergence chaos" `Quick test_convergence_chaos;
+    Alcotest.test_case "promote over the wire" `Quick test_promote_over_wire;
+    Alcotest.test_case "failover and fencing chaos" `Quick
+      test_failover_fencing_chaos;
   ]

@@ -172,17 +172,36 @@ let test_protocol_roundtrip () =
     ]
   in
   (match
-     Protocol.decode_request (Protocol.encode_request (Protocol.Update ops))
+     Protocol.decode_request
+       (Protocol.encode_request (Protocol.Update { ops; epoch = 7 }))
    with
-  | Ok (Protocol.Update ops') ->
-      Alcotest.(check bool) "update round trip" true (ops = ops')
+  | Ok (Protocol.Update { ops = ops'; epoch }) ->
+      Alcotest.(check bool) "update round trip" true (ops = ops');
+      Alcotest.(check int) "update epoch round trip" 7 epoch
   | _ -> Alcotest.fail "update round trip");
-  (match Protocol.decode_request (Protocol.encode_request Protocol.Compact) with
-  | Ok Protocol.Compact -> ()
+  (match
+     Protocol.decode_request
+       (Protocol.encode_request (Protocol.Compact { epoch = 9 }))
+   with
+  | Ok (Protocol.Compact { epoch = 9 }) -> ()
   | _ -> Alcotest.fail "compact round trip");
+  (match
+     Protocol.decode_request
+       (Protocol.encode_request (Protocol.Promote { p_epoch = 4 }))
+   with
+  | Ok (Protocol.Promote { p_epoch = 4 }) -> ()
+  | _ -> Alcotest.fail "promote round trip");
+  (match
+     Protocol.decode_request
+       (Protocol.encode_request
+          (Protocol.Demote { d_epoch = 6; d_primary = "pri.sock" }))
+   with
+  | Ok (Protocol.Demote { d_epoch = 6; d_primary = "pri.sock" }) -> ()
+  | _ -> Alcotest.fail "demote round trip");
   let update_resp =
     Protocol.Update_reply
-      { Protocol.u_generation = 3; u_last_seq = 17; u_records = 5; u_bytes = 512 }
+      { Protocol.u_generation = 3; u_last_seq = 17; u_records = 5;
+        u_bytes = 512; u_epoch = 2 }
   in
   (match Protocol.decode_response (Protocol.encode_response update_resp) with
   | Ok r -> Alcotest.(check bool) "update reply round trip" true (r = update_resp)
@@ -245,6 +264,7 @@ let test_protocol_roundtrip () =
         h_draining = true;
         h_seq = 3;
         h_manifest_crc = 0xdeadbeef;
+        h_epoch = 5;
         h_role = "primary";
         h_endpoints =
           [
@@ -256,6 +276,7 @@ let test_protocol_roundtrip () =
               e_up = true;
               e_generation = 7;
               e_seq = 1;
+              e_epoch = 3;
               e_lag = Some 2;
             };
             {
@@ -266,6 +287,7 @@ let test_protocol_roundtrip () =
               e_up = false;
               e_generation = 0;
               e_seq = 0;
+              e_epoch = 0;
               e_lag = None;
             };
           ];
@@ -278,9 +300,9 @@ let test_protocol_roundtrip () =
   (* replication round trips: catch-up pull and snapshot transfer *)
   (match
      Protocol.decode_request
-       (Protocol.encode_request (Protocol.Fetch_wal { from_seq = 42 }))
+       (Protocol.encode_request (Protocol.Fetch_wal { from_seq = 42; epoch = 3 }))
    with
-  | Ok (Protocol.Fetch_wal { from_seq = 42 }) -> ()
+  | Ok (Protocol.Fetch_wal { from_seq = 42; epoch = 3 }) -> ()
   | _ -> Alcotest.fail "fetch-wal round trip");
   List.iter
     (fun file ->
@@ -293,7 +315,12 @@ let test_protocol_roundtrip () =
     [ None; Some "MANIFEST" ];
   let wal_resp =
     Protocol.Wal_reply
-      { Protocol.w_generation = 3; w_last_seq = 99; w_frames = "\x01binary\x00" }
+      {
+        Protocol.w_generation = 3;
+        w_last_seq = 99;
+        w_epoch = 4;
+        w_frames = "\x01binary\x00";
+      }
   in
   (match Protocol.decode_response (Protocol.encode_response wal_resp) with
   | Ok r -> Alcotest.(check bool) "wal reply round trip" true (r = wal_resp)
@@ -964,7 +991,7 @@ let ask sock query =
   Client.request ~socket_path:sock (Protocol.Query (Protocol.query_request query))
 
 let send_update sock ops =
-  Client.request ~socket_path:sock (Protocol.Update ops)
+  Client.request ~socket_path:sock (Protocol.Update { ops; epoch = 0 })
 
 let test_update_over_wire () =
   with_server () (fun _dir sock t ->
@@ -1058,7 +1085,7 @@ let test_concurrent_updates_single_writer () =
       Alcotest.(check int) "all documents served" n (List.length v.Protocol.items);
       (* explicit compaction folds them into generation 2 *)
       let c =
-        ok_compact "compact" (Client.request ~socket_path:sock Protocol.Compact)
+        ok_compact "compact" (Client.request ~socket_path:sock (Protocol.Compact { epoch = 0 }))
       in
       Alcotest.(check int) "records folded" n c.Protocol.c_folded;
       Alcotest.(check int) "fresh generation" 2 c.Protocol.c_generation;

@@ -425,6 +425,116 @@ let test_load_deadline () =
             "deadline code" "gtlx:GTLX0004"
             (Xquery.Errors.code_string e.Xquery.Errors.code))
 
+(* --- fencing epoch: round trip, regression refusal, bump atomicity --- *)
+
+let test_epoch_roundtrip () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Alcotest.(check (option int))
+        "no manifest yet" None (Store.current_epoch ~dir);
+      Store.save ~dir index;
+      Alcotest.(check (option int))
+        "fresh directory starts at epoch 1" (Some 1)
+        (Store.current_epoch ~dir);
+      let l = Store.load ~dir () in
+      Alcotest.(check int) "loaded epoch" 1 l.Store.epoch;
+      Store.save ~epoch:5 ~dir index;
+      Alcotest.(check (option int))
+        "explicit epoch stamped" (Some 5) (Store.current_epoch ~dir);
+      (* a compaction-style resave with no [epoch] carries it over *)
+      Store.save ~dir index;
+      Alcotest.(check (option int))
+        "resave carries the epoch over" (Some 5) (Store.current_epoch ~dir);
+      Store.bump_epoch ~dir ~epoch:7 ();
+      Alcotest.(check (option int))
+        "bumped" (Some 7) (Store.current_epoch ~dir);
+      Store.bump_epoch ~dir ~epoch:7 ();
+      Alcotest.(check (option int))
+        "equal bump is a no-op" (Some 7) (Store.current_epoch ~dir);
+      (match Store.bump_epoch ~dir ~epoch:6 () with
+      | () -> Alcotest.fail "epoch regression must be refused"
+      | exception Xquery.Errors.Error e ->
+          Alcotest.(check string)
+            "regression code" "gtlx:GTLX0013"
+            (Xquery.Errors.code_string e.Xquery.Errors.code));
+      let l = Store.load ~dir () in
+      Alcotest.(check int) "epoch survives the refused bump" 7 l.Store.epoch;
+      check_same "bumps never touch the index" index l.Store.index)
+
+(* Regression: the anti-entropy fingerprint must see an epoch bump.  A
+   CRC-32 of the raw frame bytes would not — the frame ends in
+   crc32(payload), and a CRC over a CRC-terminated message is invariant
+   under same-length payload edits (the residue property), so two
+   manifests differing only in their epoch hashed identically and a
+   fenced-off old primary never noticed the new timeline. *)
+let test_manifest_crc_sees_epoch () =
+  let index = corpus_index () in
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let before = Store.manifest_crc ~dir in
+      Alcotest.(check bool) "fingerprint exists" true (before <> None);
+      Store.bump_epoch ~dir ~epoch:2 ();
+      Alcotest.(check bool)
+        "same-length epoch bump changes the fingerprint" true
+        (Store.manifest_crc ~dir <> before))
+
+let count_bump_ops index =
+  with_dir (fun dir ->
+      Store.save ~dir index;
+      let io = Store.Io.real () in
+      Store.bump_epoch ~io ~dir ~epoch:3 ();
+      Store.Io.ops io)
+
+let test_bump_epoch_fault_sweep () =
+  (* a faulted bump leaves the old epoch, the new epoch, or a manifest
+     that fails structurally — never a third epoch, never a raw
+     exception, and a readable manifest always loads the exact index *)
+  let index = corpus_index () in
+  let total = count_bump_ops index in
+  Alcotest.(check bool) "bump performs several ops" true (total > 2);
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "bump %s@%d" fname at in
+        with_dir (fun dir ->
+            Store.save ~dir index;
+            (match
+               Store.bump_epoch
+                 ~io:(Store.Io.with_fault ~at fault)
+                 ~dir ~epoch:9 ()
+             with
+            | () -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (name ^ ": structured bump error")
+                  true
+                  (e.Xquery.Errors.code = Xquery.Errors.GTLX0008)
+            | exception Store.Io.Crashed -> () (* simulated process death *)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped bump: %s" name
+                  (Printexc.to_string exn));
+            match Store.current_epoch ~dir with
+            | Some (1 | 9) -> (
+                match Store.load ~dir () with
+                | l -> check_same (name ^ ": index intact") index l.Store.index
+                | exception Xquery.Errors.Error e ->
+                    Alcotest.failf "%s: readable manifest failed load (%s)"
+                      name
+                      (Xquery.Errors.code_string e.Xquery.Errors.code))
+            | Some e -> Alcotest.failf "%s: torn epoch %d" name e
+            | None -> (
+                (* the flipped manifest got renamed in: detection, not
+                   silence, is the contract *)
+                match Store.load ~dir () with
+                | _ ->
+                    Alcotest.failf "%s: corrupt manifest loaded cleanly" name
+                | exception Xquery.Errors.Error e ->
+                    Alcotest.(check bool)
+                      (name ^ ": corrupt manifest fails structurally")
+                      true (structured_storage e))))
+      faults
+  done
+
 (* --- engine level: persistence round trip and query cross-check --- *)
 
 let usecase_query = {|//book[. ftcontains "usability" && "testing"]/title|}
@@ -551,6 +661,11 @@ let tests =
       test_damaged_doc_without_sources_is_fatal;
     Alcotest.test_case "deadline applies to load (GTLX0004)" `Quick
       test_load_deadline;
+    Alcotest.test_case "fencing epoch round trip" `Quick test_epoch_roundtrip;
+    Alcotest.test_case "manifest CRC sees same-length divergence" `Quick
+      test_manifest_crc_sees_epoch;
+    Alcotest.test_case "epoch bump fault sweep" `Slow
+      test_bump_epoch_fault_sweep;
     Alcotest.test_case "engine save/of_store query cross-check" `Quick
       test_engine_roundtrip_query;
     Alcotest.test_case "run_report exposes fallbacks_total" `Quick

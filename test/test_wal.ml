@@ -473,7 +473,194 @@ let test_compact_fault_sweep () =
       faults
   done
 
-(* --- 5. wire shipping: the replication transfer path ---
+(* --- 5. fencing epoch: sealing, regression refusal, monotonicity ---
+
+   The failover contract at the storage layer: a promotion bumps the
+   manifest epoch first, then seals the log onto it; a crash in between
+   leaves the manifest ahead, which the next open_writer heals by
+   sealing.  A writer must never append on a superseded timeline. *)
+
+let test_seal_preserves_records () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      Alcotest.(check int) "writer starts on epoch 1" 1 (Wal.writer_epoch w);
+      (* promotion order: manifest first, then the log *)
+      Store.bump_epoch ~dir ~epoch:4 ();
+      Wal.seal ~dir ~generation:1 ~epoch:4 ();
+      (match Wal.read_log ~dir () with
+      | None -> Alcotest.fail "sealed log vanished"
+      | Some log ->
+          Alcotest.(check int) "sealed epoch" 4 log.Wal.base_epoch;
+          Alcotest.(check int)
+            "records preserved" (List.length update_ops)
+            (List.length log.Wal.records);
+          check_same "replay after seal is exact"
+            (List.fold_left Wal.apply (base_index ())
+               (List.map (fun r -> r.Wal.op) log.Wal.records))
+            (List.fold_left Wal.apply (base_index ()) update_ops));
+      (* the default open_writer epoch is the manifest's: it adopts *)
+      let w2 = Wal.open_writer ~dir ~generation:1 () in
+      Alcotest.(check int) "reopened on the sealed epoch" 4 (Wal.writer_epoch w2);
+      (* crash between bump and seal: the manifest is ahead; the next
+         open_writer seals the log up to it, keeping every record *)
+      Store.bump_epoch ~dir ~epoch:6 ();
+      let w3 = Wal.open_writer ~dir ~generation:1 () in
+      Alcotest.(check int) "healed onto the manifest epoch" 6
+        (Wal.writer_epoch w3);
+      match Wal.read_log ~dir () with
+      | None -> Alcotest.fail "healed log vanished"
+      | Some log ->
+          Alcotest.(check int) "healed header" 6 log.Wal.base_epoch;
+          Alcotest.(check int)
+            "healing kept the records" (List.length update_ops)
+            (List.length log.Wal.records))
+
+let test_epoch_regression_refused () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      Store.bump_epoch ~dir ~epoch:5 ();
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      ignore (Wal.append w (List.hd update_ops));
+      (* an old primary reopening its log below the sealed epoch *)
+      (match Wal.open_writer ~dir ~generation:1 ~epoch:3 () with
+      | _ -> Alcotest.fail "writer accepted a superseded epoch"
+      | exception Xquery.Errors.Error e ->
+          Alcotest.(check string)
+            "stale writer refused" "gtlx:GTLX0013"
+            (Xquery.Errors.code_string e.Xquery.Errors.code));
+      (* and a stale sealer is the stale party too *)
+      match Wal.seal ~dir ~generation:1 ~epoch:3 () with
+      | () -> Alcotest.fail "seal accepted a superseded epoch"
+      | exception Xquery.Errors.Error e ->
+          Alcotest.(check string)
+            "stale seal refused" "gtlx:GTLX0013"
+            (Xquery.Errors.code_string e.Xquery.Errors.code))
+
+let count_seal_ops () =
+  with_dir (fun dir ->
+      Store.save ~dir (base_index ());
+      let w = Wal.open_writer ~dir ~generation:1 () in
+      List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+      let io = Store.Io.real () in
+      Wal.seal ~io ~dir ~generation:1 ~epoch:4 ();
+      Store.Io.ops io)
+
+let test_seal_fault_sweep () =
+  (* a faulted seal leaves the log on the old epoch or the new one, or
+     fails structurally — never a half-stamped timeline, never a raw
+     exception.  The surviving records are some acknowledged prefix (a
+     torn read models a tail that was never durable, exactly like the
+     append sweep); a clean read preserves every record, which
+     test_seal_preserves_records pins separately. *)
+  let candidates = prefix_indexes corpus_sources update_ops in
+  let total = count_seal_ops () in
+  Alcotest.(check bool) "seal performs several ops" true (total > 2);
+  for at = 1 to total do
+    List.iter
+      (fun (fname, fault) ->
+        let name = Printf.sprintf "seal %s@%d" fname at in
+        with_dir (fun dir ->
+            Store.save ~dir (base_index ());
+            let w = Wal.open_writer ~dir ~generation:1 () in
+            List.iter (fun op -> ignore (Wal.append w op)) update_ops;
+            (match
+               Wal.seal
+                 ~io:(Store.Io.with_fault ~at fault)
+                 ~dir ~generation:1 ~epoch:4 ()
+             with
+            | () -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured seal error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured e)
+            | exception Store.Io.Crashed -> ()
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped seal: %s" name
+                  (Printexc.to_string exn));
+            match Wal.read_log ~dir () with
+            | Some log ->
+                Alcotest.(check bool)
+                  (name ^ ": old or new epoch, never torn")
+                  true
+                  (log.Wal.base_epoch = 1 || log.Wal.base_epoch = 4);
+                let recovered = Wal.replay (base_index ()) log.Wal.records in
+                Alcotest.(check bool)
+                  (name ^ ": recovered index = an acknowledged prefix")
+                  true
+                  (List.exists (index_eq recovered) candidates)
+            | None -> ()
+            | exception Xquery.Errors.Error e ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: structured read error (got %s)" name
+                     (Xquery.Errors.code_string e.Xquery.Errors.code))
+                  true (structured e)
+            | exception exn ->
+                Alcotest.failf "%s: raw exception escaped read_log: %s" name
+                  (Printexc.to_string exn)))
+      faults
+  done
+
+(* qcheck: under any program of bumps, resaves and writer reopens, the
+   observed epoch never decreases, regressions always refuse with
+   GTLX0013, and a default writer always lands on the manifest epoch *)
+type epoch_action = Bump of int | Resave | Reopen
+
+let prop_epoch_monotone =
+  let open QCheck2 in
+  let gen_action =
+    Gen.oneof
+      [
+        Gen.map (fun e -> Bump e) (Gen.int_range 1 12);
+        Gen.return Resave;
+        Gen.return Reopen;
+      ]
+  in
+  Test.make ~name:"fencing epoch is monotone" ~count:30
+    (Gen.list_size (Gen.int_range 1 10) gen_action)
+    (fun actions ->
+      with_dir (fun dir ->
+          Store.save ~dir (base_index ());
+          let model = ref 1 in
+          List.iter
+            (fun action ->
+              (match action with
+              | Bump e -> (
+                  match Store.bump_epoch ~dir ~epoch:e () with
+                  | () ->
+                      if e < !model then
+                        Test.fail_reportf
+                          "regression to %d accepted at epoch %d" e !model;
+                      model := max !model e
+                  | exception Xquery.Errors.Error err ->
+                      if
+                        not
+                          (e < !model
+                          && err.Xquery.Errors.code = Xquery.Errors.GTLX0013)
+                      then
+                        Test.fail_reportf "bump to %d at %d failed with %s" e
+                          !model
+                          (Xquery.Errors.code_string err.Xquery.Errors.code))
+              | Resave -> Store.save ~dir (base_index ())
+              | Reopen ->
+                  let w = Wal.open_writer ~dir ~generation:1 () in
+                  if Wal.writer_epoch w <> !model then
+                    Test.fail_reportf "writer epoch %d, manifest epoch %d"
+                      (Wal.writer_epoch w) !model);
+              match Store.current_epoch ~dir with
+              | Some e when e = !model -> ()
+              | e ->
+                  Test.fail_reportf "manifest epoch %s, model %d"
+                    (match e with
+                    | None -> "unreadable"
+                    | Some v -> string_of_int v)
+                    !model)
+            actions;
+          true))
+
+(* --- 6. wire shipping: the replication transfer path ---
 
    A primary ships acknowledged records framed exactly as on disk
    ([encode_records]); a follower decodes them ([decode_records]) and
@@ -610,6 +797,12 @@ let tests =
     Alcotest.test_case "compact fault sweep" `Slow test_compact_fault_sweep;
     Alcotest.test_case "query cross-check after recovery" `Quick
       test_query_cross_check_after_recovery;
+    Alcotest.test_case "seal preserves records" `Quick
+      test_seal_preserves_records;
+    Alcotest.test_case "epoch regression refused (GTLX0013)" `Quick
+      test_epoch_regression_refused;
+    Alcotest.test_case "seal fault sweep" `Slow test_seal_fault_sweep;
+    QCheck_alcotest.to_alcotest prop_epoch_monotone;
     Alcotest.test_case "shipping round trip" `Quick test_shipping_roundtrip;
     Alcotest.test_case "select fresh (duplicates, gaps)" `Quick
       test_select_fresh;

@@ -1634,7 +1634,7 @@ let r6_replication () =
             wait_converged ()
           in
           let resyncs =
-            match Cli.stats ~socket_path:fol_sock with
+            match Cli.stats ~socket_path:fol_sock () with
             | Ok s ->
                 List.assoc_opt "snapshot_resyncs" s.Proto.counters
                 |> Option.value ~default:0
@@ -1882,7 +1882,7 @@ let r7_failover () =
           let q_p50 = percentile lat_sorted 0.5
           and q_p99 = percentile lat_sorted 0.99 in
           let failovers, demotes =
-            match Cli.stats ~socket_path:rt_sock with
+            match Cli.stats ~socket_path:rt_sock () with
             | Ok s ->
                 let c k =
                   Option.value ~default:0 (List.assoc_opt k s.Proto.counters)
@@ -1926,6 +1926,203 @@ let r7_failover () =
             (fun () -> output_string oc json);
           Harness.row "  wrote BENCH_R7.json\n"))
 
+(* ---------------------------------------------------------------- R8 *)
+
+let r8_netfaults () =
+  Harness.section
+    "R8 (robustness): open-loop load with 5% slow-peer faults — latency \
+     and degradation, I/O deadlines tight vs loose";
+  let module Srv = Galatex_server.Server in
+  let module Cli = Galatex_server.Client in
+  let module Proto = Galatex_server.Protocol in
+  let module Router = Galatex_cluster.Router in
+  let module Faultnet = Galatex_server.Faultnet in
+  let root = Printf.sprintf "r8-netfaults-%d" (Unix.getpid ()) in
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      Unix.mkdir root 0o755;
+      let docs =
+        Corpus.Generator.books
+          {
+            Corpus.Generator.default_profile with
+            Corpus.Generator.seed = 1800;
+            doc_count = 16;
+            sections_per_doc = 2;
+            paras_per_section = 3;
+            words_per_para = 30;
+            vocab_size = 120;
+          }
+      in
+      let sources =
+        List.map (fun (uri, d) -> (uri, Xmlkit.Printer.to_string d)) docs
+      in
+      let parts = Corpus.Partition.split ~shards:2 sources in
+      let pid = Unix.getpid () in
+      let shard_socks =
+        Array.init 2 (fun i -> Printf.sprintf "r8-s%d-%d.sock" i pid)
+      in
+      let servers =
+        Array.mapi
+          (fun i part ->
+            let dir = Filename.concat root (Printf.sprintf "shard-%d" i) in
+            Ftindex.Store.save ~dir (Ftindex.Indexer.index_strings part);
+            Srv.start
+              {
+                (Srv.default_config ~index_dir:dir
+                   ~socket_path:shard_socks.(i))
+                with
+                Srv.workers = 4;
+                tick_interval = 0.02;
+                recv_timeout = 2.0;
+                idle_timeout = 1.0;
+              })
+          parts
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Srv.stop servers)
+        (fun () ->
+          (* the slow peers: 5% of connections on the router->shard-0
+             link and on the client->router link stall silently *)
+          let weather ~seed =
+            Faultnet.seeded_plans ~seed ~p_stall:0.05 ~latency:0.001
+              ~jitter:0.002 ()
+          in
+          (* one open-loop run: [n] requests launched at [rate]/s
+             regardless of completions, against a fresh router + proxies
+             configured with the given deadlines *)
+          let run_config ~label ~deadline ~client_timeout =
+            let shard_proxy = Printf.sprintf "r8-sp-%s-%d.sock" label pid in
+            let sp =
+              Faultnet.start ~listen:shard_proxy ~target:shard_socks.(0)
+                ~plan_for:(weather ~seed:81)
+            in
+            let rt_sock = Printf.sprintf "r8-rt-%s-%d.sock" label pid in
+            let router =
+              Router.start
+                {
+                  (Router.default_config
+                     ~shards:
+                       [
+                         { Router.primary = shard_proxy; replicas = [] };
+                         { Router.primary = shard_socks.(1); replicas = [] };
+                       ]
+                     ~socket_path:rt_sock)
+                  with
+                  Router.workers = 8;
+                  retries = 0;
+                  default_deadline = deadline;
+                  recv_timeout = deadline;
+                  idle_timeout = deadline;
+                  tick_interval = 0.02;
+                  probe_timeout = 0.5;
+                }
+            in
+            let client_proxy = Printf.sprintf "r8-cp-%s-%d.sock" label pid in
+            let cp =
+              Faultnet.start ~listen:client_proxy ~target:rt_sock
+                ~plan_for:(weather ~seed:82)
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                Faultnet.stop cp;
+                Router.stop router;
+                Faultnet.stop sp)
+              (fun () ->
+                let n = 150 and rate = 50. in
+                let lats = ref [] in
+                let full = ref 0
+                and partial = ref 0
+                and shed = ref 0
+                and deadline_errors = ref 0
+                and transport_errors = ref 0 in
+                let lock = Mutex.create () in
+                let one () =
+                  let t0 = Unix.gettimeofday () in
+                  let outcome =
+                    Cli.request ~recv_timeout:client_timeout
+                      ~socket_path:client_proxy
+                      (Proto.Query
+                         (Proto.query_request "count(collection()//book)"))
+                  in
+                  let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+                  Mutex.lock lock;
+                  lats := dt :: !lats;
+                  (match outcome with
+                  | Ok (Proto.Value v) ->
+                      if v.Proto.partial = None then incr full
+                      else incr partial
+                  | Ok (Proto.Failure e) ->
+                      if e.Proto.code = "gtlx:GTLX0009" then incr shed
+                      else incr transport_errors
+                  | Ok _ -> incr transport_errors
+                  | Error reason ->
+                      if
+                        String.length reason >= 13
+                        && String.sub reason 0 13 = "gtlx:GTLX0014"
+                      then incr deadline_errors
+                      else incr transport_errors);
+                  Mutex.unlock lock
+                in
+                let t0 = Unix.gettimeofday () in
+                let threads =
+                  List.init n (fun k ->
+                      let due = t0 +. (float_of_int k /. rate) in
+                      let wait = due -. Unix.gettimeofday () in
+                      if wait > 0. then Thread.delay wait;
+                      Thread.create one ())
+                in
+                List.iter Thread.join threads;
+                let sorted =
+                  let a = Array.of_list !lats in
+                  Array.sort compare a;
+                  a
+                in
+                let p50 = percentile sorted 0.5
+                and p99 = percentile sorted 0.99 in
+                Harness.row
+                  "  %-14s p50 %7.2fms  p99 %8.2fms  full %3d  partial %2d  \
+                   deadline-errors %2d  shed %2d  transport %2d\n"
+                  label p50 p99 !full !partial !deadline_errors !shed
+                  !transport_errors;
+                Printf.sprintf
+                  "{ \"label\": \"%s\", \"deadline_s\": %.2f, \
+                   \"client_timeout_s\": %.2f, \"requests\": %d, \
+                   \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"full\": %d, \
+                   \"partial\": %d, \"deadline_errors\": %d, \"shed\": %d, \
+                   \"transport_errors\": %d }"
+                  label deadline client_timeout n p50 p99 !full !partial
+                  !deadline_errors !shed !transport_errors)
+          in
+          (* tight: the serving stack cuts a stalled peer at 0.5s and
+             degrades (partial answers / fast structured errors); loose:
+             the same weather rides 3s deadlines, so every stall costs
+             its full window — the tail the tight config amputates *)
+          let tight =
+            run_config ~label:"deadlines-on" ~deadline:0.5 ~client_timeout:0.5
+          in
+          let loose =
+            run_config ~label:"deadlines-off" ~deadline:3.0 ~client_timeout:3.0
+          in
+          let json =
+            Printf.sprintf
+              "{\n\
+              \  \"experiment\": \"R8\",\n\
+              \  \"p_stall\": 0.05,\n\
+              \  \"open_loop_rate_per_s\": 50,\n\
+              \  \"configs\": [\n\
+              \    %s,\n\
+              \    %s\n\
+              \  ]\n\
+               }\n"
+              tight loose
+          in
+          let oc = open_out "BENCH_R8.json" in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc json);
+          Harness.row "  wrote BENCH_R8.json\n"))
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -1937,6 +2134,7 @@ let experiments =
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
     ("R2", r2_cold_start); ("R3", r3_serving); ("R4", r4_live_updates);
     ("R5", r5_cluster); ("R6", r6_replication); ("R7", r7_failover);
+    ("R8", r8_netfaults);
   ]
 
 let () =

@@ -290,6 +290,23 @@ let merge_arg =
            $(b,sum), or $(b,topk:K) (k-way merge of score-tagged items by
            descending score).  A single daemon ignores it.")
 
+(* A transport-level failure to reach (or finish an exchange with) the
+   daemon.  A blown I/O deadline keeps its structured resource identity —
+   gtlx:GTLX0014, the resource exit code — so scripts can tell "the peer
+   is slow or stalled" from "the peer is gone" (FODC0002, exit 2). *)
+let transport_error server reason =
+  if String.starts_with ~prefix:"gtlx:GTLX0014" reason then begin
+    Printf.eprintf "resource error %s (server %s)\n" reason server;
+    exit
+      (Galatex_server.Protocol.exit_code_of_class
+         (Xquery.Errors.class_string Xquery.Errors.Resource))
+  end
+  else begin
+    Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
+      server reason;
+    exit 2
+  end
+
 (* The daemon's answer carries the error class as a string; map it to the
    same exit codes the local path uses (static 1 .. internal 5). *)
 let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
@@ -337,10 +354,7 @@ let run_remote_query ~server ~retries ~strategy ~optimize ~context ~limits
   | Ok _ ->
       Printf.eprintf "internal error: unexpected response to query\n";
       exit 5
-  | Error reason ->
-      Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
-        server reason;
-      exit 2
+  | Error reason -> transport_error server reason
 
 let run_query docs index_dir server retries merge strategy optimize context
     pretty max_steps max_depth max_matches timeout no_fallback show_report
@@ -658,11 +672,47 @@ let follow_timeout_arg =
           "Base replication timeout: how long a follower waits on its
            primary before calling a sync step failed.  Health probes wait
            this long, write-ahead-log catch-up 5x, snapshot listings 15x
-           and per-file transfers 30x (default 2).")
+           and per-file transfers 30x (default 2).  Enforced end-to-end
+           (connect, transfer, reply) even mid-stream: a primary that
+           stalls halfway through a snapshot file fails the sync step
+           with gtlx:GTLX0014 instead of hanging the follower.")
+
+let serve_io_timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "io-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-connection I/O deadline: one framed request read — and,
+           separately, one reply write — must finish within $(docv)
+           seconds or the connection is dropped with gtlx:GTLX0014
+           semantics; a reply abandoned on a client that stopped reading
+           counts $(b,slow_client_disconnects) (default 10).")
+
+let serve_idle_timeout_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-connection progress bound: drop the connection when no
+           byte moves for $(docv) seconds — the handshake timeout and the
+           byte-rate floor that defeats slow-loris clients long before
+           $(b,--io-timeout) (default 2).")
+
+let client_io_timeout_arg default =
+  Arg.(
+    value & opt float default
+    & info [ "io-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          (Printf.sprintf
+             "Client-side deadline for the whole exchange — connect,
+              request write, reply read.  A stalled or slow-loris
+              endpoint fails with gtlx:GTLX0014 (resource exit code)
+              instead of hanging (default %g)."
+             default))
 
 let run_serve docs index_dir socket workers queue_limit watch follow
-    follow_timeout breaker_threshold breaker_cooldown slow_threshold
-    slowlog_capacity quiet =
+    follow_timeout io_timeout idle_timeout breaker_threshold breaker_cooldown
+    slow_threshold slowlog_capacity quiet =
   match index_dir with
   | None -> `Error (false, "--index DIR is required")
   | Some index_dir ->
@@ -685,6 +735,8 @@ let run_serve docs index_dir socket workers queue_limit watch follow
               watch_generation = watch;
               follow;
               follow_timeout;
+              recv_timeout = io_timeout;
+              idle_timeout;
               breaker_threshold;
               breaker_cooldown;
               slowlog_threshold = slow_threshold /. 1000.;
@@ -715,7 +767,8 @@ let serve_cmd =
       ret
         (const run_serve $ docs_arg $ index_dir_arg $ socket_arg
        $ workers_arg $ queue_limit_arg $ watch_arg $ follow_arg
-       $ follow_timeout_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+       $ follow_timeout_arg $ serve_io_timeout_arg $ serve_idle_timeout_arg
+       $ breaker_threshold_arg $ breaker_cooldown_arg
        $ slow_threshold_arg $ slowlog_capacity_arg $ quiet_arg))
 
 (* --- route --- *)
@@ -781,8 +834,8 @@ let failover_ticks_arg =
            before a promotion is attempted (default 3).")
 
 let run_route shards socket workers queue_limit retries max_lag
-    primary_failover failover_ticks deadline breaker_threshold
-    breaker_cooldown quiet =
+    primary_failover failover_ticks deadline io_timeout idle_timeout
+    breaker_threshold breaker_cooldown quiet =
   handle_errors (fun () ->
       Logs.set_reporter
         (Logs_threaded.enable ();
@@ -811,6 +864,8 @@ let run_route shards socket workers queue_limit retries max_lag
           primary_failover;
           failover_ticks;
           default_deadline = deadline;
+          recv_timeout = io_timeout;
+          idle_timeout;
           breaker_threshold;
           breaker_cooldown;
         }
@@ -843,16 +898,15 @@ let route_cmd =
         (const run_route $ shard_arg $ socket_arg $ workers_arg
        $ queue_limit_arg $ route_retries_arg $ max_lag_arg
        $ primary_failover_arg $ failover_ticks_arg $ route_deadline_arg
+       $ serve_io_timeout_arg $ serve_idle_timeout_arg
        $ breaker_threshold_arg $ breaker_cooldown_arg $ quiet_arg))
 
-let server_unreachable server reason =
-  Printf.eprintf "dynamic error err:FODC0002 cannot reach server at %s: %s\n"
-    server reason;
-  exit 2
+let server_unreachable server reason = transport_error server reason
 
-let run_stats server metrics slowlog health =
+let run_stats server io_timeout metrics slowlog health =
+  let recv_timeout = io_timeout in
   if health then
-    match Galatex_server.Client.health ~socket_path:server () with
+    match Galatex_server.Client.health ~recv_timeout ~socket_path:server () with
     | Ok h ->
         Printf.printf
           "generation %d\nwal_records %d\ndraining %b\nseq %d\nrole \
@@ -866,7 +920,7 @@ let run_stats server metrics slowlog health =
         (* a follower's link to its primary: one extra stats fetch, so the
            probe stays a single cheap request for everything else *)
         (if h.Galatex_server.Protocol.h_role = "replica" then
-           match Galatex_server.Client.stats ~socket_path:server with
+           match Galatex_server.Client.stats ~recv_timeout ~socket_path:server () with
            | Error _ -> ()
            | Ok s ->
                let find k =
@@ -907,13 +961,13 @@ let run_stats server metrics slowlog health =
     | Error reason -> server_unreachable server reason
   else
   if metrics then
-    match Galatex_server.Client.metrics ~socket_path:server with
+    match Galatex_server.Client.metrics ~recv_timeout ~socket_path:server () with
     | Ok text ->
         print_string text;
         `Ok ()
     | Error reason -> server_unreachable server reason
   else if slowlog then
-    match Galatex_server.Client.slowlog ~socket_path:server with
+    match Galatex_server.Client.slowlog ~recv_timeout ~socket_path:server () with
     | Ok entries ->
         List.iter
           (fun (e : Galatex_server.Protocol.slow_entry) ->
@@ -924,7 +978,7 @@ let run_stats server metrics slowlog health =
         `Ok ()
     | Error reason -> server_unreachable server reason
   else
-    match Galatex_server.Client.stats ~socket_path:server with
+    match Galatex_server.Client.stats ~recv_timeout ~socket_path:server () with
     | Ok s ->
         List.iter
           (fun (k, v) -> Printf.printf "%s %d\n" k v)
@@ -991,15 +1045,14 @@ let remote_error (e : Galatex_server.Protocol.error_reply) =
     (Galatex_server.Protocol.exit_code_of_class
        e.Galatex_server.Protocol.error_class)
 
-let run_remote_update ~server ops ~do_compact =
+let run_remote_update ~server ~io_timeout ops ~do_compact =
   let send req =
-    match Galatex_server.Client.request ~socket_path:server req with
+    match
+      Galatex_server.Client.request ~recv_timeout:io_timeout ~socket_path:server
+        req
+    with
     | Ok resp -> resp
-    | Error reason ->
-        Printf.eprintf
-          "dynamic error err:FODC0002 cannot reach server at %s: %s\n" server
-          reason;
-        exit 2
+    | Error reason -> transport_error server reason
   in
   if ops <> [] then begin
     match send (Galatex_server.Protocol.Update { ops; epoch = 0 }) with
@@ -1053,7 +1106,7 @@ let run_offline_update ~dir ops ~do_compact =
   end;
   `Ok ()
 
-let run_update adds removes server index_dir do_compact =
+let run_update adds removes server index_dir do_compact io_timeout =
   if adds = [] && removes = [] && not do_compact then
     `Error (false, "nothing to do: give --add, --remove and/or --compact")
   else
@@ -1064,7 +1117,8 @@ let run_update adds removes server index_dir do_compact =
         `Error (false, "--server and --index are mutually exclusive")
     | Some server, None ->
         handle_errors (fun () ->
-            run_remote_update ~server (ops_of ~adds ~removes) ~do_compact)
+            run_remote_update ~server ~io_timeout (ops_of ~adds ~removes)
+              ~do_compact)
     | None, Some dir ->
         handle_errors (fun () ->
             run_offline_update ~dir (ops_of ~adds ~removes) ~do_compact)
@@ -1081,7 +1135,8 @@ let update_cmd =
     Term.(
       ret
         (const run_update $ add_arg $ remove_doc_arg $ server_arg
-       $ update_index_arg $ compact_flag_arg))
+       $ update_index_arg $ compact_flag_arg
+       $ client_io_timeout_arg 60.0))
 
 let stats_server_arg =
   Arg.(
@@ -1123,8 +1178,9 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       ret
-        (const run_stats $ stats_server_arg $ stats_metrics_arg
-       $ stats_slowlog_arg $ stats_health_arg))
+        (const run_stats $ stats_server_arg
+       $ client_io_timeout_arg Galatex_server.Client.default_io_timeout
+       $ stats_metrics_arg $ stats_slowlog_arg $ stats_health_arg))
 
 (* --- promote --- *)
 
@@ -1145,11 +1201,11 @@ let promote_epoch_arg =
            strictly greater than both this and its own, so the new
            timeline supersedes every old one.")
 
-let run_promote sock min_epoch =
+let run_promote sock min_epoch io_timeout =
   handle_errors (fun () ->
       match
-        Galatex_server.Client.promote ~recv_timeout:60.0 ~socket_path:sock
-          ~epoch:min_epoch ()
+        Galatex_server.Client.promote ~recv_timeout:io_timeout
+          ~socket_path:sock ~epoch:min_epoch ()
       with
       | Ok h ->
           Printf.printf
@@ -1161,7 +1217,11 @@ let run_promote sock min_epoch =
           `Ok ()
       | Error reason ->
           Printf.eprintf "promote %s failed: %s\n" sock reason;
-          exit 2)
+          exit
+            (if String.starts_with ~prefix:"gtlx:GTLX0014" reason then
+               Galatex_server.Protocol.exit_code_of_class
+                 (Xquery.Errors.class_string Xquery.Errors.Resource)
+             else 2))
 
 let promote_cmd =
   let doc =
@@ -1174,7 +1234,126 @@ let promote_cmd =
      let $(b,galatex route --primary-failover) drive the whole drill."
   in
   Cmd.v (Cmd.info "promote" ~doc)
-    Term.(ret (const run_promote $ promote_sock_arg $ promote_epoch_arg))
+    Term.(
+      ret
+        (const run_promote $ promote_sock_arg $ promote_epoch_arg
+       $ client_io_timeout_arg 60.0))
+
+(* --- faultnet --- *)
+
+let faultnet_listen_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"LISTEN"
+        ~doc:"Unix socket path the proxy listens on (clients dial this).")
+
+let faultnet_target_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"TARGET"
+        ~doc:"Unix socket path of the real daemon to forward to.")
+
+let faultnet_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the fault schedule: connection $(i,i)'s fate is a pure
+           function of (seed, i), so the same seed replays the same
+           faults.")
+
+let faultnet_p_stall_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "p-stall" ] ~docv:"P"
+        ~doc:
+          "Probability a connection stalls silently after a random prefix
+           of bytes — the gray failure deadlines exist for.")
+
+let faultnet_p_drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "p-drop" ] ~docv:"P"
+        ~doc:"Probability a connection is severed after a random prefix.")
+
+let faultnet_p_throttle_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "p-throttle" ] ~docv:"P"
+        ~doc:"Probability a connection is throttled to $(b,--rate) bytes/s.")
+
+let faultnet_latency_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "latency" ] ~docv:"SECONDS"
+        ~doc:"Base latency added to every forwarded chunk.")
+
+let faultnet_jitter_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"SECONDS"
+        ~doc:"Extra per-connection latency, uniform in [0, JITTER).")
+
+let faultnet_rate_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "rate" ] ~docv:"BYTES_PER_SEC"
+        ~doc:"Byte rate for throttled connections (default 4096).")
+
+let faultnet_blackhole_arg =
+  Arg.(
+    value & flag
+    & info [ "blackhole" ]
+        ~doc:
+          "Accept every connection and never forward a byte either way
+           (overrides the seeded schedule) — the deterministic
+           accept-then-hang endpoint the smoke tests point one-shots at.")
+
+let run_faultnet listen target seed p_stall p_drop p_throttle latency jitter
+    rate blackhole =
+  handle_errors (fun () ->
+      let plan_for =
+        if blackhole then fun _ ->
+          let hole =
+            {
+              Galatex_server.Faultnet.clean with
+              Galatex_server.Faultnet.blackhole = true;
+            }
+          in
+          (hole, hole)
+        else
+          Galatex_server.Faultnet.seeded_plans ~seed ~p_stall ~p_drop
+            ~p_throttle ~latency ~jitter ~rate ()
+      in
+      let t = Galatex_server.Faultnet.start ~listen ~target ~plan_for in
+      Printf.printf "faultnet: %s -> %s (seed %d)\n%!" listen target seed;
+      let stopping = Atomic.make false in
+      let stop _ = Atomic.set stopping true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      while not (Atomic.get stopping) do
+        Unix.sleepf 0.05
+      done;
+      Galatex_server.Faultnet.stop t;
+      `Ok ())
+
+let faultnet_cmd =
+  let doc =
+    "Run a deterministic network fault injector between a client and a
+     daemon socket: a userspace proxy that stalls, drops, throttles or
+     delays connections on a seeded schedule.  The CI network-chaos
+     drill routes every link of a replica topology through one of these
+     and asserts nothing hangs past its deadline."
+  in
+  Cmd.v (Cmd.info "faultnet" ~doc)
+    Term.(
+      ret
+        (const run_faultnet $ faultnet_listen_arg $ faultnet_target_arg
+       $ faultnet_seed_arg $ faultnet_p_stall_arg $ faultnet_p_drop_arg
+       $ faultnet_p_throttle_arg $ faultnet_latency_arg $ faultnet_jitter_arg
+       $ faultnet_rate_arg $ faultnet_blackhole_arg))
 
 (* --- demo --- *)
 
@@ -1207,7 +1386,7 @@ let main =
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
       module_cmd; serve_cmd; route_cmd; stats_cmd; promote_cmd; update_cmd;
-      demo_cmd;
+      faultnet_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -38,6 +38,7 @@ type config = {
   breaker_cooldown : int;
   retry_after_ms : int;
   recv_timeout : float;
+  idle_timeout : float;
   probe_timeout : float;
   reload_timeout : float;
   tick_interval : float;
@@ -61,6 +62,7 @@ let default_config ~shards ~socket_path =
     breaker_cooldown = 8;
     retry_after_ms = 25;
     recv_timeout = 10.0;
+    idle_timeout = 2.0;
     probe_timeout = 2.0;
     reload_timeout = 60.0;
     tick_interval = 0.05;
@@ -112,6 +114,7 @@ type t = {
   shed : int Atomic.t;
   shed_shutdown : int Atomic.t;
   client_errors : int Atomic.t;
+  slow_client_disconnects : int Atomic.t;
   shard_attempts : int Atomic.t;
   shard_errors : int Atomic.t;
   shard_bypassed : int Atomic.t;
@@ -139,11 +142,20 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Per-connection I/O bounds, mirroring the daemon's: one framed read or
+   write finishes within [recv_timeout] with progress at least every
+   [idle_timeout] seconds, or the connection is dropped. *)
+let conn_limits t =
+  Galatex_server.Netio.within ~idle:t.cfg.idle_timeout t.cfg.recv_timeout
+
 let send_response t fd resp =
-  try Protocol.write_frame fd (Protocol.encode_response resp)
+  try Protocol.write_frame ~limits:(conn_limits t) fd (Protocol.encode_response resp)
   with
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
       Atomic.incr t.client_errors
+  | Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ } ->
+      Atomic.incr t.slow_client_disconnects;
+      Log.debug (fun m -> m "dropping slow client: reply write deadline expired")
 
 let overload_reply t ~code_reason ~depth =
   let e =
@@ -1026,6 +1038,7 @@ let stats t =
       ("shed", a t.shed);
       ("shed_shutdown", a t.shed_shutdown);
       ("client_errors", a t.client_errors);
+      ("slow_client_disconnects", a t.slow_client_disconnects);
       ("shard_attempts", a t.shard_attempts);
       ("shard_errors", a t.shard_errors);
       ("shard_bypassed", a t.shard_bypassed);
@@ -1132,10 +1145,13 @@ let serve_connection t fd =
     ~finally:(fun () -> close_quietly fd)
     (fun () ->
       t.cfg.on_request ();
-      match Protocol.read_frame fd with
+      match Protocol.read_frame ~limits:(conn_limits t) fd with
       | Error reason ->
           Atomic.incr t.client_errors;
           Log.debug (fun m -> m "dropping connection: %s" reason)
+      | exception Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ } ->
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: request read deadline expired")
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           Atomic.incr t.client_errors;
           Log.debug (fun m -> m "dropping connection: receive timeout")
@@ -1265,9 +1281,8 @@ let ticker_loop t =
 (* Accept loop, drain, lifecycle — same shape as the single daemon.     *)
 
 let admit t client =
-  (match Unix.setsockopt_float client Unix.SO_RCVTIMEO t.cfg.recv_timeout with
-  | () -> ()
-  | exception Unix.Unix_error _ -> ());
+  (* per-connection bounds are enforced end-to-end by Netio limits in
+     [serve_connection]; SO_RCVTIMEO is no defense against slow-loris *)
   Atomic.incr t.accepted;
   Mutex.lock t.lock;
   if t.draining then begin
@@ -1388,6 +1403,7 @@ let start (cfg : config) =
       shed = Atomic.make 0;
       shed_shutdown = Atomic.make 0;
       client_errors = Atomic.make 0;
+      slow_client_disconnects = Atomic.make 0;
       shard_attempts = Atomic.make 0;
       shard_errors = Atomic.make 0;
       shard_bypassed = Atomic.make 0;

@@ -94,8 +94,13 @@ type config = {
           (default 8) *)
   retry_after_ms : int;  (** hint carried by shed responses (default 25) *)
   recv_timeout : float;
-      (** seconds a router worker waits for a client's request frame
-          (default 10.0) *)
+      (** per-connection I/O deadline (seconds): one framed client
+          request read — and, separately, one reply write — must finish
+          within this bound or the connection is dropped (default 10.0);
+          abandoned reply writes count [slow_client_disconnects] *)
+  idle_timeout : float;
+      (** per-connection progress bound (seconds): handshake timeout and
+          byte-rate floor against slow-loris clients (default 2.0) *)
   probe_timeout : float;
       (** per-endpoint wait for a health probe reply (default 2.0) *)
   reload_timeout : float;

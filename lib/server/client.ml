@@ -1,41 +1,54 @@
 (* Client side of the daemon protocol (see client.mli). *)
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let default_io_timeout = 10.
+
+let deadline_reason (e : Xquery.Errors.t) =
+  Printf.sprintf "%s: %s" (Xquery.Errors.code_string e.code) e.message
 
 let request ?recv_timeout ~socket_path req =
-  match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) ->
-      Error (Printf.sprintf "socket: %s" (Unix.error_message e))
+  (* [recv_timeout] is an absolute budget for the {e whole} exchange —
+     connect, request write, reply read — enforced by Netio, so a mute or
+     slow-loris peer (hung daemon, half-dead shard, stalled transfer)
+     surfaces as a ["gtlx:GTLX0014: ..."] transport error, never a hang.
+     The router's scatter path and every one-shot CLI command depend on
+     this bound.  A per-syscall [SO_RCVTIMEO] cannot give it: one byte
+     per interval resets that clock forever. *)
+  let limits =
+    match recv_timeout with
+    | Some s when s > 0. -> Netio.within s
+    | Some _ | None -> Netio.no_limits
+  in
+  match Netio.connect ~limits socket_path with
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Xquery.Errors.Error e -> Error (deadline_reason e)
   | fd ->
       Fun.protect
         ~finally:(fun () -> close_quietly fd)
         (fun () ->
-          (match recv_timeout with
-          | Some s when s > 0. ->
-              (* a mute peer (hung daemon, half-dead shard) must surface as
-                 a transport error, never a hang — the router's scatter
-                 path depends on this bound *)
-              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
-               with Unix.Unix_error _ -> ())
-          | Some _ | None -> ());
-          match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-          | exception Unix.Unix_error (e, fn, _) ->
-              Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
-          | () -> (
-              (* an admission-control shed answers before reading the
-                 request and closes; on a Unix socket the delivered reply
-                 stays readable, only our late send sees EPIPE — swallow
-                 it and read the reply *)
-              (try
-                 Protocol.write_frame fd (Protocol.encode_request req);
-                 Unix.shutdown fd Unix.SHUTDOWN_SEND
-               with
-              | Unix.Unix_error
-                  ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
-                ());
-              match Protocol.read_frame fd with
+          (* an admission-control shed answers before reading the
+             request and closes; on a Unix socket the delivered reply
+             stays readable, only our late send sees EPIPE — swallow
+             it and read the reply *)
+          let sent =
+            try
+              Protocol.write_frame ~limits fd (Protocol.encode_request req);
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              Ok ()
+            with
+            | Unix.Unix_error
+                ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
+                Ok ()
+            | Xquery.Errors.Error e -> Error (deadline_reason e)
+          in
+          match sent with
+          | Error reason -> Error reason
+          | Ok () -> (
+              match Protocol.read_frame ~limits fd with
               | Ok data -> Protocol.decode_response data
               | Error reason -> Error reason
+              | exception Xquery.Errors.Error e -> Error (deadline_reason e)
               | exception
                   Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
                   Error "receive timeout"
@@ -113,8 +126,12 @@ let query ~socket_path ?(retries = 0) ?(base_delay_ms = 25)
   in
   go 1 base_delay_ms
 
-let stats ~socket_path =
-  match request ~socket_path Protocol.Stats with
+(* One-shot commands default to a finite exchange deadline: [galatex
+   stats --health], [promote], [demote] and friends must never hang
+   forever against a stalled endpoint (they used to). *)
+
+let stats ?(recv_timeout = default_io_timeout) ~socket_path () =
+  match request ~recv_timeout ~socket_path Protocol.Stats with
   | Ok (Protocol.Stats_reply s) -> Ok s
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
@@ -126,8 +143,8 @@ let stats ~socket_path =
       Error "unexpected response to stats"
   | Error reason -> Error reason
 
-let metrics ~socket_path =
-  match request ~socket_path Protocol.Metrics with
+let metrics ?(recv_timeout = default_io_timeout) ~socket_path () =
+  match request ~recv_timeout ~socket_path Protocol.Metrics with
   | Ok (Protocol.Metrics_reply text) -> Ok text
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
@@ -139,8 +156,8 @@ let metrics ~socket_path =
       Error "unexpected response to metrics"
   | Error reason -> Error reason
 
-let slowlog ~socket_path =
-  match request ~socket_path Protocol.Slowlog with
+let slowlog ?(recv_timeout = default_io_timeout) ~socket_path () =
+  match request ~recv_timeout ~socket_path Protocol.Slowlog with
   | Ok (Protocol.Slowlog_reply entries) -> Ok entries
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
@@ -152,8 +169,8 @@ let slowlog ~socket_path =
       Error "unexpected response to slowlog"
   | Error reason -> Error reason
 
-let health_request ?recv_timeout ~socket_path req what =
-  match request ?recv_timeout ~socket_path req with
+let health_request ~recv_timeout ~socket_path req what =
+  match request ~recv_timeout ~socket_path req with
   | Ok (Protocol.Health_reply h) -> Ok h
   | Ok (Protocol.Failure e) ->
       Error (Printf.sprintf "%s: %s" e.Protocol.code e.Protocol.message)
@@ -165,19 +182,21 @@ let health_request ?recv_timeout ~socket_path req what =
       Error ("unexpected response to " ^ what)
   | Error reason -> Error reason
 
-let health ?recv_timeout ~socket_path () =
-  health_request ?recv_timeout ~socket_path Protocol.Health "health"
+let health ?(recv_timeout = default_io_timeout) ~socket_path () =
+  health_request ~recv_timeout ~socket_path Protocol.Health "health"
 
-let reload ?recv_timeout ~socket_path () =
-  health_request ?recv_timeout ~socket_path Protocol.Reload "reload"
+(* reload swaps a whole snapshot generation in synchronously; give it a
+   proportionally longer default than the cheap probes *)
+let reload ?(recv_timeout = 60.) ~socket_path () =
+  health_request ~recv_timeout ~socket_path Protocol.Reload "reload"
 
-let promote ?recv_timeout ~socket_path ~epoch () =
-  health_request ?recv_timeout ~socket_path
+let promote ?(recv_timeout = default_io_timeout) ~socket_path ~epoch () =
+  health_request ~recv_timeout ~socket_path
     (Protocol.Promote { p_epoch = epoch })
     "promote"
 
-let demote ?recv_timeout ~socket_path ~epoch ~primary () =
-  health_request ?recv_timeout ~socket_path
+let demote ?(recv_timeout = default_io_timeout) ~socket_path ~epoch ~primary () =
+  health_request ~recv_timeout ~socket_path
     (Protocol.Demote { d_epoch = epoch; d_primary = primary })
     "demote"
 

@@ -6,6 +6,11 @@
     refuses the connection, it retries with jittered exponential backoff,
     seeded by the daemon's own retry-after hint when one came back. *)
 
+val default_io_timeout : float
+(** Default whole-exchange deadline (seconds) for the one-shot commands
+    ({!stats}, {!health}, {!promote}, ...): they must answer or fail
+    against a stalled endpoint, never hang. *)
+
 val request :
   ?recv_timeout:float ->
   socket_path:string ->
@@ -13,9 +18,12 @@ val request :
   (Protocol.response, string) result
 (** One round trip on a fresh connection.  [Error reason] covers transport
     failures only (connect/read/write/decode); a structured evaluation
-    failure is [Ok (Failure _)].  [recv_timeout] (seconds) bounds the wait
-    for the reply so a mute peer surfaces as [Error "receive timeout"]
-    instead of a hang — the cluster router's scatter path relies on it. *)
+    failure is [Ok (Failure _)].  [recv_timeout] (seconds) is an absolute
+    budget for the whole exchange — connect, request write, reply read —
+    enforced by {!Netio}, so a mute, stalled, or slow-loris peer surfaces
+    as [Error "gtlx:GTLX0014: ..."] instead of a hang (the cluster
+    router's scatter path and every CLI one-shot rely on it).  Omitted =
+    unbounded. *)
 
 val shed_reply : Protocol.response -> Protocol.error_reply option
 (** The overload-shed failure ([GTLX0009]) carried by a response, if that
@@ -59,15 +67,25 @@ val query :
     Returns the last response (possibly still the shed failure) or the
     last transport error once retries or the deadline are exhausted. *)
 
-val stats : socket_path:string -> (Protocol.stats_reply, string) result
+val stats :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  unit ->
+  (Protocol.stats_reply, string) result
 (** Fetch the daemon's counter snapshot; [Error] on transport failure or
-    a non-stats response. *)
+    a non-stats response.  [recv_timeout] defaults to
+    {!default_io_timeout}. *)
 
-val metrics : socket_path:string -> (string, string) result
+val metrics :
+  ?recv_timeout:float -> socket_path:string -> unit -> (string, string) result
 (** Fetch the Prometheus-style text exposition; [Error] on transport
     failure or an unexpected response. *)
 
-val slowlog : socket_path:string -> (Protocol.slow_entry list, string) result
+val slowlog :
+  ?recv_timeout:float ->
+  socket_path:string ->
+  unit ->
+  (Protocol.slow_entry list, string) result
 (** Fetch the slow-query log (newest first); [Error] on transport failure
     or an unexpected response. *)
 
@@ -77,7 +95,10 @@ val health :
   unit ->
   (Protocol.health_reply, string) result
 (** Probe liveness: the daemon answers from atomics without touching the
-    engine, so this is cheap enough to poll every router tick. *)
+    engine, so this is cheap enough to poll every router tick.  Like all
+    one-shots, [recv_timeout] defaults to {!default_io_timeout} (reload:
+    60 s, since it swaps a snapshot generation synchronously) — pass a
+    tighter bound for probe loops. *)
 
 val reload :
   ?recv_timeout:float ->

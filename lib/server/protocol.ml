@@ -649,41 +649,10 @@ let decode_response data =
   with Malformed reason -> Error reason
 
 (* ------------------------------------------------------------------ *)
-(* Framed I/O: u32 length prefix + payload.                            *)
+(* Framed I/O: u32 length prefix + payload.  Delegated to Netio so
+   every frame on every socket moves under the deadline-aware layer;
+   the codec above stays pure. *)
 
-let max_frame = 16 * 1024 * 1024
-
-let write_all fd s =
-  let n = String.length s in
-  let off = ref 0 in
-  while !off < n do
-    off := !off + Unix.write_substring fd s !off (n - !off)
-  done
-
-let write_frame fd payload =
-  let b = Buffer.create (String.length payload + 4) in
-  put_u32 b (String.length payload);
-  Buffer.add_string b payload;
-  write_all fd (Buffer.contents b)
-
-(* Read exactly [n] bytes; [Error] on EOF mid-way (a torn client). *)
-let read_exact fd n =
-  let buf = Bytes.create n in
-  let off = ref 0 in
-  let eof = ref false in
-  while (not !eof) && !off < n do
-    let k = Unix.read fd buf !off (n - !off) in
-    if k = 0 then eof := true else off := !off + k
-  done;
-  if !eof then Error (Printf.sprintf "torn frame: %d of %d bytes" !off n)
-  else Ok (Bytes.to_string buf)
-
-let read_frame fd =
-  match read_exact fd 4 with
-  | Error _ -> Error "connection closed before a frame"
-  | Ok header ->
-      let r = reader header in
-      let len = get_u32 r in
-      if len > max_frame then
-        Error (Printf.sprintf "oversized frame (%d bytes)" len)
-      else read_exact fd len
+let max_frame = Netio.max_frame
+let write_frame ?limits fd payload = Netio.write_frame ?limits fd payload
+let read_frame ?limits fd = Netio.read_frame ?limits fd

@@ -241,16 +241,23 @@ val decode_request : string -> (request, string) result
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 
-(** {1 Framed I/O} *)
+(** {1 Framed I/O}
+
+    Thin veneers over {!Netio}: every framed read/write in the stack
+    flows through the deadline-aware I/O layer.  With [?limits] absent
+    the operation is unbounded (legacy blocking semantics); with limits
+    set, expiry raises [Xquery.Errors.Error] carrying [GTLX0014]. *)
 
 val max_frame : int
 (** Upper bound on accepted payload length (a corrupt length prefix must
     not allocate gigabytes). *)
 
-val write_frame : Unix.file_descr -> string -> unit
+val write_frame : ?limits:Netio.limits -> Unix.file_descr -> string -> unit
 (** @raise Unix.Unix_error on I/O failure (EPIPE when the peer vanished —
-    callers handle it). *)
+    callers handle it).
+    @raise Xquery.Errors.Error [GTLX0014] when [limits] expire. *)
 
-val read_frame : Unix.file_descr -> (string, string) result
+val read_frame : ?limits:Netio.limits -> Unix.file_descr -> (string, string) result
 (** [Error reason] on EOF, a torn frame, or an oversized length prefix.
-    @raise Unix.Unix_error on I/O failure (e.g. a receive timeout). *)
+    @raise Unix.Unix_error on I/O failure.
+    @raise Xquery.Errors.Error [GTLX0014] when [limits] expire. *)

@@ -49,6 +49,11 @@ type config = {
           transfer x30) *)
   retry_after_ms : int;
   recv_timeout : float;
+  idle_timeout : float;
+      (** per-connection progress bound (seconds): max time with zero
+          bytes moving during a request read or reply write — the
+          handshake timeout and the byte-rate floor that disconnects
+          slow-loris clients long before [recv_timeout] *)
   reload_io : unit -> Ftindex.Store.Io.t;
   on_request : unit -> unit;
   update_io : unit -> Ftindex.Store.Io.t;
@@ -74,6 +79,7 @@ let default_config ~index_dir ~socket_path =
     follow_timeout = 2.0;
     retry_after_ms = 25;
     recv_timeout = 10.0;
+    idle_timeout = 2.0;
     reload_io = (fun () -> Ftindex.Store.Io.real ());
     on_request = ignore;
     update_io = (fun () -> Ftindex.Store.Io.real ());
@@ -112,6 +118,9 @@ type t = {
   shed : int Atomic.t;
   shed_shutdown : int Atomic.t;
   client_errors : int Atomic.t;
+  slow_client_disconnects : int Atomic.t;
+      (** reply writes abandoned because the client stopped reading and
+          the connection's I/O deadline or idle bound expired *)
   breaker_bypassed : int Atomic.t;
   reloads : int Atomic.t;
   reload_failures : int Atomic.t;
@@ -331,6 +340,7 @@ let stats t =
         ("shed", Atomic.get t.shed);
         ("shed_shutdown", Atomic.get t.shed_shutdown);
         ("client_errors", Atomic.get t.client_errors);
+        ("slow_client_disconnects", Atomic.get t.slow_client_disconnects);
         ("breaker_bypassed", Atomic.get t.breaker_bypassed);
         ("breaker_trips", Breaker.trips_total t.breaker);
         ("fallbacks_total", Galatex.Engine.fallback_count engine);
@@ -407,6 +417,9 @@ let metrics_text t =
     (stat "shed_shutdown");
   counter "galatex_client_errors_total" "Torn or malformed client exchanges."
     (stat "client_errors");
+  counter "galatex_slow_client_disconnects_total"
+    "Reply writes abandoned because the client stopped reading."
+    (stat "slow_client_disconnects");
   counter "galatex_breaker_bypassed_total"
     "Requests routed to the reference path by an open breaker."
     (stat "breaker_bypassed");
@@ -493,12 +506,23 @@ let slowlog_entries t = Obs.Ring.entries t.slowlog
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Per-connection I/O bounds: the whole of one framed read or write must
+   finish within [recv_timeout], and bytes must keep moving at least
+   every [idle_timeout] seconds (handshake timeout / byte-rate floor). *)
+let conn_limits t =
+  Netio.within ~idle:t.cfg.idle_timeout t.cfg.recv_timeout
+
 let send_response t fd resp =
-  try Protocol.write_frame fd (Protocol.encode_response resp)
+  try Protocol.write_frame ~limits:(conn_limits t) fd (Protocol.encode_response resp)
   with
   | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _) ->
       (* the client vanished mid-response: its problem, not ours *)
       Atomic.incr t.client_errors
+  | Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ } ->
+      (* the client stopped reading mid-reply: abandoning the write frees
+         the worker a stalled peer would otherwise pin forever *)
+      Atomic.incr t.slow_client_disconnects;
+      Log.debug (fun m -> m "dropping slow client: reply write deadline expired")
 
 let overload_reply t ~code_reason ~depth =
   let e =
@@ -1141,10 +1165,15 @@ let serve_connection t fd =
     ~finally:(fun () -> close_quietly fd)
     (fun () ->
       t.cfg.on_request ();
-      match Protocol.read_frame fd with
+      match Protocol.read_frame ~limits:(conn_limits t) fd with
       | Error reason ->
           Atomic.incr t.client_errors;
           Log.debug (fun m -> m "dropping connection: %s" reason)
+      | exception Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ } ->
+          (* request read deadline / idle bound expired: a mute or
+             slow-loris client — it never gets to pin the worker *)
+          Atomic.incr t.client_errors;
+          Log.debug (fun m -> m "dropping connection: request read deadline expired")
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           (* receive timeout: a connected-but-mute client *)
           Atomic.incr t.client_errors;
@@ -1296,9 +1325,9 @@ let ticker_loop t =
 (* Accept loop: admission control, then the shutdown drain.            *)
 
 let admit t client =
-  (match Unix.setsockopt_float client Unix.SO_RCVTIMEO t.cfg.recv_timeout with
-  | () -> ()
-  | exception Unix.Unix_error _ -> ());
+  (* no SO_RCVTIMEO: per-connection bounds are enforced end-to-end by
+     Netio limits in [serve_connection] — a per-syscall timeout cannot
+     stop a slow-loris peer that dribbles one byte per interval *)
   Atomic.incr t.accepted;
   Mutex.lock t.lock;
   if t.draining then begin
@@ -1435,6 +1464,7 @@ let start cfg =
       shed = Atomic.make 0;
       shed_shutdown = Atomic.make 0;
       client_errors = Atomic.make 0;
+      slow_client_disconnects = Atomic.make 0;
       breaker_bypassed = Atomic.make 0;
       reloads = Atomic.make 0;
       reload_failures = Atomic.make 0;

@@ -74,8 +74,16 @@ type config = {
           2/10/30/60 second ladder) *)
   retry_after_ms : int;  (** hint carried by shed responses (default 25) *)
   recv_timeout : float;
-      (** seconds a worker waits for a request frame before giving up on
-          the connection (default 10.0) *)
+      (** per-connection I/O deadline (seconds): the whole of one framed
+          request read — and, separately, one reply write — must finish
+          within this bound or the connection is dropped with the
+          structured [GTLX0014] semantics (default 10.0); an abandoned
+          reply write also counts [slow_client_disconnects] *)
+  idle_timeout : float;
+      (** per-connection progress bound (seconds): max time with zero
+          bytes moving during a read or write — the handshake timeout
+          and the byte-rate floor that disconnects slow-loris clients
+          well before [recv_timeout] (default 2.0) *)
   reload_io : unit -> Ftindex.Store.Io.t;
       (** I/O layer for reloads — tests inject [Store.Io] faults here
           (default {!Ftindex.Store.Io.real}) *)

@@ -60,6 +60,11 @@ type code =
   | GTLX0013
       (** stale epoch: the request (or the node itself) belongs to a
           superseded primary timeline and was fenced off *)
+  (* GalaTex network errors (deadline-aware framed I/O) *)
+  | GTLX0014
+      (** network I/O deadline exceeded: a framed read/write/connect ran
+          out of its absolute deadline (or made no progress for the idle
+          bound) against a slow or stalled peer *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 
@@ -82,8 +87,10 @@ let class_of = function
      on a retry. *)
   (* a too-stale replica is the same retryable shape: the primary (or a
      caught-up replica) may be back within the bound on a retry *)
+  (* a blown network deadline is a resource condition like GTLX0004: the
+     request was sound, the peer's responsiveness was not — retryable *)
   | GTLX0001 | GTLX0002 | GTLX0003 | GTLX0004 | GTLX0009 | GTLX0011
-  | GTLX0012 ->
+  | GTLX0012 | GTLX0014 ->
       Resource
   | GTLX0005 -> Internal
 
@@ -119,6 +126,7 @@ let code_string = function
   | GTLX0011 -> "gtlx:GTLX0011"
   | GTLX0012 -> "gtlx:GTLX0012"
   | GTLX0013 -> "gtlx:GTLX0013"
+  | GTLX0014 -> "gtlx:GTLX0014"
 
 let class_string = function
   | Static -> "static"

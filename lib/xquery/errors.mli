@@ -52,6 +52,12 @@ type code =
           superseded primary timeline), or the node itself observed a
           higher epoch elsewhere and fenced itself off; callers must
           re-discover the current primary rather than retry blindly *)
+  | GTLX0014
+      (** network I/O deadline exceeded: a framed read, write, or connect
+          against a peer ran past its absolute deadline, or made no
+          progress for the configured idle bound (slow-loris / stalled
+          transfer); retryable like the other resource codes — the peer
+          may answer promptly next time *)
 
 type error_class = Static | Type_error | Dynamic | Resource | Internal
 

@@ -139,6 +139,34 @@ grep -q '^galatex_engine_postings_read_total [1-9]' metrics.txt || { echo "FAIL:
 grep -q 'galatex_query_duration_seconds_count{strategy="materialized"} 1' metrics.txt || { echo "FAIL: per-strategy histogram missing" >&2; fails=$((fails+1)); }
 "$GX" stats --server srv.sock --slowlog | grep -q 'strategy=materialized' || { echo "FAIL: slow-query log empty under zero threshold" >&2; fails=$((fails+1)); }
 
+# --- network deadlines: one-shots against a blackholed endpoint must
+# --- fail fast with the structured resource code gtlx:GTLX0014 (exit 4),
+# --- never hang — the faultnet proxy is the accept-then-hang endpoint
+"$GX" faultnet hole.sock srv.sock --blackhole 2>hole.log &
+FN=$!; daemons="$daemons $FN"
+for _ in $(seq 1 100); do [ -S hole.sock ] && break; sleep 0.1; done
+[ -S hole.sock ] || { echo "FAIL: faultnet never bound its socket" >&2; cat hole.log >&2; fails=$((fails+1)); }
+
+timeout 10 "$GX" stats --server hole.sock --io-timeout 0.5 2>err.txt
+expect_exit "stats against a blackhole is resource (GTLX0014, exit 4)" 4 $?
+grep -q 'gtlx:GTLX0014' err.txt || { echo "FAIL: stats deadline not tagged GTLX0014" >&2; cat err.txt >&2; fails=$((fails+1)); }
+
+timeout 10 "$GX" stats --server hole.sock --health --io-timeout 0.5 2>err.txt
+expect_exit "stats --health against a blackhole exits 4" 4 $?
+grep -q 'gtlx:GTLX0014' err.txt || { echo "FAIL: health deadline not tagged GTLX0014" >&2; cat err.txt >&2; fails=$((fails+1)); }
+
+# a query through the blackhole is cut by the client-side deadline too
+timeout 10 "$GX" query --server hole.sock --timeout 0.5 '//title' 2>err.txt
+rc=$?
+[ "$rc" -ne 0 ] && [ "$rc" -ne 124 ] || { echo "FAIL: blackholed query hung or succeeded (rc $rc)" >&2; fails=$((fails+1)); }
+
+kill -TERM $FN
+wait $FN 2>/dev/null
+expect_exit "faultnet exits 0 on SIGTERM" 0 $?
+
+# the daemon behind the proxy was never harmed
+"$GX" stats --server srv.sock | grep -q '^generation 1$' || { echo "FAIL: daemon unhealthy after blackhole drill" >&2; fails=$((fails+1)); }
+
 # a new snapshot generation lands in the directory; SIGHUP hot-reloads it
 "$GX" index -d b.xml --output srvsnap >/dev/null
 kill -HUP $SRV

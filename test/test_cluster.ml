@@ -513,7 +513,7 @@ let test_rolling_reload_over_wire () =
           (* every shard performed exactly one reload, and kept serving *)
           Array.iter
             (fun sock ->
-              match Client.stats ~socket_path:sock with
+              match Client.stats ~socket_path:sock () with
               | Ok s ->
                   Alcotest.(check (option int))
                     "shard reloaded" (Some 1)
@@ -733,7 +733,7 @@ let test_primary_failover () =
             | _ -> false
           in
           let rstat key =
-            match Client.stats ~socket_path:router_sock with
+            match Client.stats ~socket_path:router_sock () with
             | Ok s ->
                 Option.value ~default:0
                   (List.assoc_opt key s.Protocol.counters)

@@ -149,7 +149,13 @@ let test_error_classes () =
   Alcotest.(check string) "epoch fencing is dynamic" "dynamic"
     (class_string (class_of GTLX0013));
   Alcotest.(check string) "epoch-fencing code string" "gtlx:GTLX0013"
-    (code_string GTLX0013)
+    (code_string GTLX0013);
+  (* a network I/O deadline expiry terminates the request like any other
+     exhausted budget: resource class, retryable *)
+  Alcotest.(check string) "io deadline is resource" "resource"
+    (class_string (class_of GTLX0014));
+  Alcotest.(check string) "io-deadline code string" "gtlx:GTLX0014"
+    (code_string GTLX0014)
 
 let tests =
   [

@@ -29,8 +29,10 @@ let () =
       ("store", Test_store.tests);
       ("wal", Test_wal.tests);
       ("obs", Test_obs.tests);
+      ("netio", Test_netio.tests);
       ("server", Test_server.tests);
       ("cluster", Test_cluster.tests);
       ("replication", Test_replication.tests);
+      ("netchaos", Test_netchaos.tests);
       ("conformance", Test_conformance.tests);
     ]

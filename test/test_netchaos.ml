@@ -1,0 +1,409 @@
+(* The network-chaos contract, swept with seeded faultnet schedules on
+   every link type of the serving stack:
+
+   1. client <-> daemon: under a seeded mix of stalls, drops, throttles
+      and latency, every request completes — a value, a structured
+      failure, or a transport error — within deadline + grace, never a
+      hang; the daemon itself stays healthy throughout (a direct query
+      still answers in full, no worker is wedged);
+   2. router <-> shard: a shard behind a blackholed link costs its
+      partition (GTLX0011 partial naming it), its endpoint breaker
+      trips — and when the link heals, a half-open probe recovers the
+      breaker and queries return to full answers;
+   3. client <-> router: the same seeded sweep through a proxy in front
+      of the router holds the same bound, and the router survives it;
+   4. follower <-> primary: a stalled replication link turns sync steps
+      into bounded [sync_failures] (never a hang — each pull is cut by
+      the --follow-timeout-derived deadline, the primary sheds the
+      stalled connections instead of wedging its workers), the follower
+      keeps serving its last generation meanwhile, and when the link
+      heals it converges: every acknowledged write appears, lag returns
+      to zero. *)
+
+open Galatex_server
+module Router = Galatex_cluster.Router
+
+(* --- scratch dirs / sockets (same conventions as test_server.ml) --- *)
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_dir f =
+  let dir = fresh_name "nch-scratch" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let rec poll ?(tries = 250) msg f =
+  if f () then ()
+  else if tries = 0 then Alcotest.failf "timeout waiting for %s" msg
+  else begin
+    Thread.delay 0.02;
+    poll ~tries:(tries - 1) msg f
+  end
+
+let gettime = Unix.gettimeofday
+
+(* --- fixtures --- *)
+
+let corpus =
+  List.init 4 (fun i ->
+      ( Printf.sprintf "doc%d.xml" i,
+        Printf.sprintf
+          "<book><title>Book %d</title><p>the usability of web site number \
+           %d</p></book>"
+          i i ))
+
+let save_corpus ~dir sources =
+  Ftindex.Store.save ~dir (Ftindex.Indexer.index_strings sources)
+
+let add_doc i =
+  Ftindex.Wal.Add_doc
+    {
+      uri = Printf.sprintf "new%d.xml" i;
+      source =
+        Printf.sprintf
+          "<book><title>Update %d</title><p>usability update number \
+           %d</p></book>"
+          i i;
+    }
+
+let count_query = "count(collection()//book)"
+
+let limits_of seconds =
+  { Xquery.Limits.defaults with Xquery.Limits.timeout = Some seconds }
+
+let count_request seconds =
+  Protocol.Query (Protocol.query_request ~limits:(limits_of seconds) count_query)
+
+let value_of what = function
+  | Ok (Protocol.Value v) -> v
+  | Ok (Protocol.Failure e) ->
+      Alcotest.failf "%s: unexpected failure %s: %s" what e.Protocol.code
+        e.Protocol.message
+  | Ok _ -> Alcotest.failf "%s: unexpected reply kind" what
+  | Error reason -> Alcotest.failf "%s: transport error %s" what reason
+
+let stat_of stats key =
+  match List.assoc_opt key stats.Protocol.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "stats counter %s missing" key
+
+(* the sweep oracle: any single outcome is legal (the faults make
+   requests fail), but it must arrive within deadline + grace and a
+   transport failure must be a structured reason, not an exception *)
+let swept_request ~bound ~socket_path req =
+  let t0 = gettime () in
+  let outcome =
+    match Client.request ~recv_timeout:0.6 ~socket_path req with
+    | Ok _ -> "reply"
+    | Error _ -> "transport error"
+    | exception e -> Alcotest.failf "sweep: escaped exception %s"
+                       (Printexc.to_string e)
+  in
+  let dt = gettime () -. t0 in
+  if dt > bound then
+    Alcotest.failf "sweep: %s took %.2fs (bound %.2fs)" outcome dt bound
+
+let seeded ~seed =
+  Faultnet.seeded_plans ~seed ~p_stall:0.25 ~p_drop:0.15 ~p_throttle:0.2
+    ~latency:0.002 ~jitter:0.005 ~rate:16384 ()
+
+(* -------------------------------------------------------------------- *)
+(* 1. client <-> daemon                                                  *)
+
+let test_daemon_sweep () =
+  with_dir (fun dir ->
+      save_corpus ~dir corpus;
+      let sock = fresh_name "nd" ^ ".sock" in
+      let cfg =
+        {
+          (Server.default_config ~index_dir:dir ~socket_path:sock) with
+          Server.workers = 2;
+          tick_interval = 0.02;
+          recv_timeout = 0.5;
+          idle_timeout = 0.3;
+        }
+      in
+      let t = Server.start cfg in
+      Fun.protect
+        ~finally:(fun () -> Server.stop t)
+        (fun () ->
+          let proxy_sock = fresh_name "ndp" ^ ".sock" in
+          let proxy =
+            Faultnet.start ~listen:proxy_sock ~target:sock
+              ~plan_for:(seeded ~seed:11)
+          in
+          Fun.protect
+            ~finally:(fun () -> Faultnet.stop proxy)
+            (fun () ->
+              for _ = 1 to 14 do
+                swept_request ~bound:2.5 ~socket_path:proxy_sock
+                  (count_request 0.4)
+              done);
+          (* the daemon outlived the weather: direct query, full answer *)
+          let v =
+            value_of "direct after sweep"
+              (Client.request ~recv_timeout:5.0 ~socket_path:sock
+                 (count_request 3.0))
+          in
+          Alcotest.(check (list string)) "count intact" [ "4" ] v.Protocol.items))
+
+(* -------------------------------------------------------------------- *)
+(* 2 & 3. router <-> shard breaker cycle, client <-> router sweep        *)
+
+type link_mode = Black | Pass
+
+let test_router_breaker_cycle () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      (* two shards, each with half the corpus *)
+      let parts = Corpus.Partition.split ~shards:2 corpus in
+      let shard_socks = Array.init 2 (fun i -> fresh_name
+                                         (Printf.sprintf "ns%d" i) ^ ".sock")
+      in
+      let servers =
+        Array.mapi
+          (fun i part ->
+            let sdir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+            save_corpus ~dir:sdir part;
+            Server.start
+              {
+                (Server.default_config ~index_dir:sdir
+                   ~socket_path:shard_socks.(i))
+                with
+                Server.workers = 2;
+                tick_interval = 0.02;
+                recv_timeout = 0.5;
+                idle_timeout = 0.3;
+              })
+          parts
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Server.stop servers)
+        (fun () ->
+          (* shard 0 sits behind a mode-switched proxy *)
+          let mode = Atomic.make Black in
+          let plan _ =
+            match Atomic.get mode with
+            | Black ->
+                let hole = { Faultnet.clean with Faultnet.blackhole = true } in
+                (hole, hole)
+            | Pass -> (Faultnet.clean, Faultnet.clean)
+          in
+          let proxy0 = fresh_name "nsp0" ^ ".sock" in
+          let fnet =
+            Faultnet.start ~listen:proxy0 ~target:shard_socks.(0)
+              ~plan_for:plan
+          in
+          let router_sock = fresh_name "nrt" ^ ".sock" in
+          let cfg =
+            {
+              (Router.default_config
+                 ~shards:
+                   [
+                     { Router.primary = proxy0; replicas = [] };
+                     { Router.primary = shard_socks.(1); replicas = [] };
+                   ]
+                 ~socket_path:router_sock)
+              with
+              Router.workers = 2;
+              retries = 0;
+              breaker_threshold = 2;
+              breaker_cooldown = 2;
+              default_deadline = 0.6;
+              recv_timeout = 1.0;
+              idle_timeout = 0.4;
+              probe_timeout = 0.3;
+              tick_interval = 0.02;
+            }
+          in
+          let router = Router.start cfg in
+          Fun.protect
+            ~finally:(fun () ->
+              Router.stop router;
+              Faultnet.stop fnet)
+            (fun () ->
+              (* phase A: shard 0's link is a blackhole — queries still
+                 answer, partial, naming partition 0, within bound *)
+              let partials = ref 0 in
+              for _ = 1 to 3 do
+                let t0 = gettime () in
+                (match
+                   Client.request ~recv_timeout:3.0 ~socket_path:router_sock
+                     (count_request 0.6)
+                 with
+                | Ok (Protocol.Value v) -> (
+                    match v.Protocol.partial with
+                    | Some p ->
+                        incr partials;
+                        Alcotest.(check (list int))
+                          "partition 0 missing" [ 0 ] p.Protocol.missing
+                    | None -> Alcotest.fail "full answer through a blackhole")
+                | Ok (Protocol.Failure e) ->
+                    Alcotest.failf "unexpected failure %s" e.Protocol.code
+                | Ok _ -> Alcotest.fail "unexpected reply kind"
+                | Error reason -> Alcotest.failf "transport: %s" reason);
+                let dt = gettime () -. t0 in
+                if dt > 3.0 then
+                  Alcotest.failf "partial took %.2fs (bound 3.0)" dt
+              done;
+              Alcotest.(check int) "every query partial" 3 !partials;
+              (* the stalled endpoint's breaker tripped, visibly *)
+              poll "breaker open for the blackholed endpoint" (fun () ->
+                  List.exists
+                    (fun b ->
+                      b.Protocol.b_strategy = proxy0
+                      && b.Protocol.b_state <> "closed")
+                    (Router.stats router).Protocol.breakers);
+              (* phase B: the link heals; a half-open probe must recover
+                 the breaker and answers return to full *)
+              Atomic.set mode Pass;
+              poll ~tries:400 "full answers after the link heals" (fun () ->
+                  match
+                    Client.request ~recv_timeout:3.0 ~socket_path:router_sock
+                      (count_request 0.6)
+                  with
+                  | Ok (Protocol.Value v) ->
+                      v.Protocol.partial = None
+                      && v.Protocol.items = [ "4" ]
+                  | _ -> false);
+              (* phase C: seeded weather on the client <-> router link *)
+              let cproxy = fresh_name "nrp" ^ ".sock" in
+              let cfnet =
+                Faultnet.start ~listen:cproxy ~target:router_sock
+                  ~plan_for:(seeded ~seed:23)
+              in
+              Fun.protect
+                ~finally:(fun () -> Faultnet.stop cfnet)
+                (fun () ->
+                  for _ = 1 to 8 do
+                    swept_request ~bound:2.5 ~socket_path:cproxy
+                      (count_request 0.4)
+                  done);
+              (* the router outlived the weather *)
+              let v =
+                value_of "direct after sweep"
+                  (Client.request ~recv_timeout:5.0 ~socket_path:router_sock
+                     (count_request 3.0))
+              in
+              Alcotest.(check (list string))
+                "count intact" [ "4" ] v.Protocol.items)))
+
+(* -------------------------------------------------------------------- *)
+(* 4. follower <-> primary                                               *)
+
+let test_follower_link_stall () =
+  with_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let pdir = Filename.concat dir "primary" in
+      let fdir = Filename.concat dir "follower" in
+      save_corpus ~dir:pdir corpus;
+      let psock = fresh_name "npp" ^ ".sock" in
+      let fsock = fresh_name "npf" ^ ".sock" in
+      (* tight I/O bounds on the primary: stalled replication
+         connections must be shed, not wedge its workers *)
+      let primary =
+        Server.start
+          {
+            (Server.default_config ~index_dir:pdir ~socket_path:psock) with
+            Server.workers = 2;
+            tick_interval = 0.02;
+            recv_timeout = 0.5;
+            idle_timeout = 0.3;
+          }
+      in
+      Fun.protect
+        ~finally:(fun () -> Server.stop primary)
+        (fun () ->
+          let mode = Atomic.make Pass in
+          let plan _ =
+            match Atomic.get mode with
+            | Pass -> (Faultnet.clean, Faultnet.clean)
+            | Black -> (Faultnet.stalled (), Faultnet.clean)
+          in
+          let proxy = fresh_name "npx" ^ ".sock" in
+          let fnet = Faultnet.start ~listen:proxy ~target:psock ~plan_for:plan in
+          let follower =
+            Server.start
+              {
+                (Server.default_config ~index_dir:fdir ~socket_path:fsock) with
+                Server.workers = 2;
+                tick_interval = 0.02;
+                follow = Some proxy;
+                follow_timeout = 0.4;
+              }
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              Server.stop follower;
+              Faultnet.stop fnet)
+            (fun () ->
+              let fcount () =
+                match
+                  Client.request ~recv_timeout:3.0 ~socket_path:fsock
+                    (count_request 1.0)
+                with
+                | Ok (Protocol.Value v) -> v.Protocol.items
+                | _ -> []
+              in
+              let fstat key =
+                match Client.stats ~recv_timeout:3.0 ~socket_path:fsock () with
+                | Ok s -> stat_of s key
+                | Error reason -> Alcotest.failf "follower stats: %s" reason
+              in
+              let update ops =
+                match
+                  Client.request ~recv_timeout:3.0 ~socket_path:psock
+                    (Protocol.Update { ops; epoch = 0 })
+                with
+                | Ok (Protocol.Update_reply u) -> u.Protocol.u_last_seq
+                | Ok _ -> Alcotest.fail "update: unexpected reply"
+                | Error reason -> Alcotest.failf "update: %s" reason
+              in
+              (* clean link: bootstrap, then live catch-up *)
+              poll ~tries:500 "bootstrap" (fun () -> fcount () = [ "4" ]);
+              let acked = update [ add_doc 1; add_doc 2; add_doc 3 ] in
+              Alcotest.(check int) "primary acked" 3 acked;
+              poll ~tries:500 "catch-up" (fun () -> fcount () = [ "7" ]);
+              poll "lag drained" (fun () -> fstat "follow_lag" = 0);
+              (* the link stalls mid-stream: sync steps fail in bounded
+                 time (no hang), the follower keeps serving gen N — a
+                 swallowed probe counts primary_unreachable_ticks, a cut
+                 mid-pull counts sync_failures; either proves the
+                 deadline fired instead of a wedge *)
+              Atomic.set mode Black;
+              let sync_fails () =
+                fstat "sync_failures" + fstat "primary_unreachable_ticks"
+              in
+              let failures0 = sync_fails () in
+              let acked = update [ add_doc 4; add_doc 5 ] in
+              Alcotest.(check int) "acked behind the stall" 5 acked;
+              poll ~tries:500 "bounded sync failures" (fun () ->
+                  sync_fails () > failures0);
+              Alcotest.(check (list string))
+                "follower still serves its generation" [ "7" ] (fcount ());
+              (* heal: every acknowledged write appears, lag drains *)
+              Atomic.set mode Pass;
+              poll ~tries:500 "acked writes survive the stall" (fun () ->
+                  fcount () = [ "9" ]);
+              poll "staleness bounded" (fun () -> fstat "follow_lag" = 0))))
+
+let tests =
+  [
+    Alcotest.test_case "seeded sweep: client <-> daemon" `Quick
+      test_daemon_sweep;
+    Alcotest.test_case "breaker trips and recovers: router <-> shard" `Quick
+      test_router_breaker_cycle;
+    Alcotest.test_case "stalled replication link: follower <-> primary" `Quick
+      test_follower_link_stall;
+  ]

@@ -1,0 +1,420 @@
+(* The deadline-aware I/O contract:
+
+   1. netio operations either complete, return a transport [Error _], or
+      raise the structured resource code gtlx:GTLX0014 when the absolute
+      deadline passes or the peer stops making progress — they never
+      hang, and expiry is detected within one select tick of the bound;
+   2. the idle bound is a progress bound, not a rate cap: a slow but
+      steady peer finishes, a silent one is cut off long before the
+      overall deadline;
+   3. frame decoding is chunking-independent (property): any split/pause
+      schedule of the wire bytes yields the exact payload when the bytes
+      all arrive in time, and GTLX0014 when they stall — a resumed
+      dribble never misparses;
+   4. faultnet is deterministic (same seed, same schedule) and each fault
+      type produces the failure shape the serving stack is hardened
+      against: stall/blackhole -> GTLX0014, drop -> transport error,
+      throttle -> slow but correct;
+   5. the Client one-shots inherit the bound: stats against a blackholed
+      endpoint fails fast with gtlx:GTLX0014 instead of hanging (the
+      [galatex stats --health] regression). *)
+
+open Galatex_server
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !counter
+
+let gettime = Unix.gettimeofday
+
+(* a socketpair where both ends are ours: the unit-test harness for the
+   read/write paths, no daemon involved *)
+let with_pair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let expect_gtlx0014 what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected GTLX0014" what
+  | exception Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ } -> ()
+
+(* --- framing over a live socket --- *)
+
+let test_roundtrip () =
+  with_pair (fun a b ->
+      let limits = Netio.within ~idle:2.0 5.0 in
+      Netio.write_frame ~limits a "hello frames";
+      (match Netio.read_frame ~limits b with
+      | Ok p -> Alcotest.(check string) "payload" "hello frames" p
+      | Error e -> Alcotest.failf "roundtrip: %s" e);
+      (* empty payload is a legal frame *)
+      Netio.write_frame ~limits b "";
+      match Netio.read_frame ~limits a with
+      | Ok p -> Alcotest.(check string) "empty" "" p
+      | Error e -> Alcotest.failf "empty roundtrip: %s" e)
+
+let test_raw_exact () =
+  with_pair (fun a b ->
+      let limits = Netio.within 5.0 in
+      Netio.write_all ~limits a "abcdef";
+      (match Netio.read_exact ~limits b 3 with
+      | Ok p -> Alcotest.(check string) "first" "abc" p
+      | Error e -> Alcotest.failf "read_exact: %s" e);
+      match Netio.read_exact ~limits b 3 with
+      | Ok p -> Alcotest.(check string) "rest" "def" p
+      | Error e -> Alcotest.failf "read_exact: %s" e)
+
+let test_read_deadline () =
+  with_pair (fun _a b ->
+      let t0 = gettime () in
+      expect_gtlx0014 "silent peer" (fun () ->
+          Netio.read_frame ~limits:(Netio.within 0.3) b);
+      let dt = gettime () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "expiry within a tick of the bound (%.2fs)" dt)
+        true
+        (dt >= 0.25 && dt < 1.5))
+
+let test_idle_cuts_before_deadline () =
+  with_pair (fun a b ->
+      (* half a header, then silence: the progress bound must fire long
+         before the generous overall deadline *)
+      Netio.write_all a "\x10\x00";
+      let t0 = gettime () in
+      expect_gtlx0014 "stalled mid-header" (fun () ->
+          Netio.read_frame ~limits:{ (Netio.within 30.0) with idle = Some 0.3 } b);
+      let dt = gettime () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "idle bound, not deadline (%.2fs)" dt)
+        true (dt < 2.0))
+
+let test_slow_but_steady_survives_idle () =
+  with_pair (fun a b ->
+      let payload = String.init 40 (fun i -> Char.chr (65 + (i mod 26))) in
+      let writer =
+        Thread.create
+          (fun () ->
+            let buf = Bytes.create 4 in
+            Bytes.set_int32_le buf 0 (Int32.of_int (String.length payload));
+            let wire = Bytes.to_string buf ^ payload in
+            String.iter
+              (fun c ->
+                Netio.write_all a (String.make 1 c);
+                Thread.delay 0.01)
+              wire)
+          ()
+      in
+      (* every byte resets the idle clock: 0.2 s idle passes even though
+         the whole transfer takes ~0.45 s *)
+      (match Netio.read_frame ~limits:(Netio.within ~idle:0.2 5.0) b with
+      | Ok p -> Alcotest.(check string) "dribbled payload" payload p
+      | Error e -> Alcotest.failf "dribble: %s" e);
+      Thread.join writer)
+
+let test_write_deadline () =
+  with_pair (fun a _b ->
+      (* nobody reads the other end: the kernel buffer fills and the
+         write must expire instead of blocking forever *)
+      let big = String.make (4 * 1024 * 1024) 'x' in
+      let t0 = gettime () in
+      expect_gtlx0014 "mute reader" (fun () ->
+          Netio.write_frame ~limits:(Netio.within 0.3) a big);
+      let dt = gettime () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "write expiry bounded (%.2fs)" dt)
+        true (dt < 1.5))
+
+let test_malformed_stays_error () =
+  with_pair (fun a b ->
+      (* torn frame: header promises 100 bytes, peer dies after 10 *)
+      let buf = Bytes.create 4 in
+      Bytes.set_int32_le buf 0 100l;
+      Netio.write_all a (Bytes.to_string buf ^ "0123456789");
+      Unix.close a;
+      (match Netio.read_frame ~limits:(Netio.within 2.0) b with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "torn frame reported: %s" e)
+            true
+            (String.length e >= 10 && String.sub e 0 10 = "torn frame")
+      | Ok _ -> Alcotest.fail "torn frame decoded"));
+  with_pair (fun a b ->
+      (* oversized length prefix is rejected without allocating *)
+      let buf = Bytes.create 4 in
+      Bytes.set_int32_le buf 0 (Int32.of_int (Netio.max_frame + 1));
+      Netio.write_all a (Bytes.to_string buf);
+      (match Netio.read_frame ~limits:(Netio.within 2.0) b with
+      | Error e ->
+          Alcotest.(check bool)
+            (Printf.sprintf "oversized reported: %s" e)
+            true
+            (String.length e >= 9 && String.sub e 0 9 = "oversized")
+      | Ok _ -> Alcotest.fail "oversized frame decoded"));
+  with_pair (fun a b ->
+      Unix.close a;
+      match Netio.read_frame ~limits:(Netio.within 2.0) b with
+      | Error "connection closed before a frame" -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" e
+      | Ok _ -> Alcotest.fail "decoded from a closed peer")
+
+(* --- property: decoding is chunking-independent (satellite 3) --- *)
+
+let prop_chunked_decode =
+  let gen =
+    QCheck2.Gen.(
+      triple
+        (string_size ~gen:printable (0 -- 300))
+        (list_size (0 -- 5) (0 -- 304))
+        (option (0 -- 304)))
+  in
+  QCheck2.Test.make ~count:15 ~name:"frame decode vs prefix/stall schedule"
+    gen (fun (payload, cuts, stall_at) ->
+      let buf = Bytes.create 4 in
+      Bytes.set_int32_le buf 0 (Int32.of_int (String.length payload));
+      let wire = Bytes.to_string buf ^ payload in
+      let n = String.length wire in
+      (* cut points partition the wire bytes into chunks; a short pause
+         follows each chunk, and [stall_at] (clamped to the wire) makes
+         the writer fall silent from that offset on *)
+      let cuts = List.sort_uniq compare (List.map (fun c -> min c n) cuts) in
+      let stall_at = Option.map (fun s -> min s n) stall_at in
+      let sent = match stall_at with Some s -> s | None -> n in
+      let ok = ref true in
+      with_pair (fun a b ->
+          let writer =
+            Thread.create
+              (fun () ->
+                let pos = ref 0 in
+                let emit upto =
+                  let upto = min upto sent in
+                  if upto > !pos then begin
+                    (try Netio.write_all a (String.sub wire !pos (upto - !pos))
+                     with Unix.Unix_error _ | Xquery.Errors.Error _ -> ());
+                    pos := upto;
+                    Thread.delay 0.015
+                  end
+                in
+                List.iter emit cuts;
+                emit n)
+              ()
+          in
+          let limits = Netio.within ~idle:0.25 1.5 in
+          (match Netio.read_frame ~limits b with
+          | Ok p -> ok := sent = n && p = payload
+          | Error _ -> ok := sent < n (* stall at 0 reads as closed/torn *)
+          | exception Xquery.Errors.Error { code = Xquery.Errors.GTLX0014; _ }
+            ->
+              ok := sent < n);
+          Thread.join writer);
+      !ok)
+
+(* --- faultnet --- *)
+
+(* a minimal echo daemon speaking one frame in, the same frame out *)
+let with_echo f =
+  let path = fresh_name "echo" ^ ".sock" in
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  let stop = Atomic.make false in
+  let accept_loop () =
+    while not (Atomic.get stop) do
+      match Unix.select [ fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true fd with
+          | c, _ ->
+              ignore
+                (Thread.create
+                   (fun () ->
+                     (try
+                        let limits = Netio.within ~idle:2.0 5.0 in
+                        match Netio.read_frame ~limits c with
+                        | Ok p -> Netio.write_frame ~limits c p
+                        | Error _ -> ()
+                      with _ -> ());
+                     try Unix.close c with Unix.Unix_error _ -> ())
+                   ())
+          | exception Unix.Unix_error _ -> ())
+    done
+  in
+  let th = Thread.create accept_loop () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let with_proxy ~plan_for target f =
+  let listen = fresh_name "fnet" ^ ".sock" in
+  let t = Faultnet.start ~listen ~target ~plan_for in
+  Fun.protect ~finally:(fun () -> Faultnet.stop t) (fun () -> f listen t)
+
+let test_faultnet_determinism () =
+  let plans seed =
+    let p =
+      Faultnet.seeded_plans ~seed ~p_stall:0.3 ~p_drop:0.2 ~p_throttle:0.3
+        ~latency:0.01 ~jitter:0.02 ~rate:1000 ()
+    in
+    List.init 50 p
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (plans 7 = plans 7);
+  Alcotest.(check bool)
+    "different seed, different schedule" true
+    (plans 7 <> plans 8)
+
+let test_faultnet_clean () =
+  with_echo (fun echo ->
+      with_proxy ~plan_for:(fun _ -> (Faultnet.clean, Faultnet.clean)) echo
+        (fun proxy t ->
+          let limits = Netio.within 5.0 in
+          let fd = Netio.connect ~limits proxy in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Netio.write_frame ~limits fd "through the proxy";
+              match Netio.read_frame ~limits fd with
+              | Ok p ->
+                  Alcotest.(check string) "echoed" "through the proxy" p;
+                  Alcotest.(check int) "accepted" 1 (Faultnet.connections t)
+              | Error e -> Alcotest.failf "clean proxy: %s" e);
+          (* stop is idempotent *)
+          Faultnet.stop t;
+          Faultnet.stop t))
+
+let test_faultnet_stall () =
+  with_echo (fun echo ->
+      with_proxy
+        ~plan_for:(fun _ -> (Faultnet.stalled (), Faultnet.clean))
+        echo
+        (fun proxy _ ->
+          let fd = Netio.connect ~limits:(Netio.within 2.0) proxy in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Netio.write_frame ~limits:(Netio.within 2.0) fd "swallowed";
+              let t0 = gettime () in
+              expect_gtlx0014 "stalled link" (fun () ->
+                  Netio.read_frame ~limits:(Netio.within 0.4) fd);
+              Alcotest.(check bool)
+                "bounded" true
+                (gettime () -. t0 < 1.5))))
+
+let test_faultnet_blackhole () =
+  with_echo (fun echo ->
+      let hole = { Faultnet.clean with Faultnet.blackhole = true } in
+      with_proxy ~plan_for:(fun _ -> (hole, hole)) echo (fun proxy _ ->
+          (* accept-then-hang: connect succeeds, nothing ever answers *)
+          let fd = Netio.connect ~limits:(Netio.within 2.0) proxy in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Netio.write_frame ~limits:(Netio.within 2.0) fd "into the void";
+              expect_gtlx0014 "blackhole" (fun () ->
+                  Netio.read_frame ~limits:(Netio.within 0.4) fd))))
+
+let test_faultnet_drop () =
+  with_echo (fun echo ->
+      with_proxy
+        ~plan_for:(fun _ -> (Faultnet.clean, Faultnet.dropping ()))
+        echo
+        (fun proxy _ ->
+          let fd = Netio.connect ~limits:(Netio.within 2.0) proxy in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              (try Netio.write_frame ~limits:(Netio.within 2.0) fd "doomed"
+               with
+              | Unix.Unix_error _ -> ()
+              | Xquery.Errors.Error _ -> ());
+              (* the reply direction severs on its first byte: any
+                 bounded failure is fine, a hang or a decode is not *)
+              match Netio.read_frame ~limits:(Netio.within 1.0) fd with
+              | Error _ -> ()
+              | Ok p -> Alcotest.failf "read %S through a dropped link" p
+              | exception Xquery.Errors.Error _ -> ()
+              | exception Unix.Unix_error _ -> ())))
+
+let test_faultnet_throttle () =
+  with_echo (fun echo ->
+      with_proxy
+        ~plan_for:(fun _ -> (Faultnet.throttled 2000, Faultnet.clean))
+        echo
+        (fun proxy _ ->
+          let payload = String.make 1000 'z' in
+          let limits = Netio.within 10.0 in
+          let fd = Netio.connect ~limits proxy in
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              let t0 = gettime () in
+              Netio.write_frame ~limits fd payload;
+              match Netio.read_frame ~limits fd with
+              | Ok p ->
+                  let dt = gettime () -. t0 in
+                  Alcotest.(check string) "throttled payload intact" payload p;
+                  Alcotest.(check bool)
+                    (Printf.sprintf "rate cap slowed the link (%.2fs)" dt)
+                    true (dt >= 0.2)
+              | Error e -> Alcotest.failf "throttled link: %s" e)))
+
+let test_one_shot_does_not_hang () =
+  with_echo (fun echo ->
+      let hole = { Faultnet.clean with Faultnet.blackhole = true } in
+      with_proxy ~plan_for:(fun _ -> (hole, hole)) echo (fun proxy _ ->
+          let t0 = gettime () in
+          (match Client.stats ~recv_timeout:0.4 ~socket_path:proxy () with
+          | Error reason ->
+              Alcotest.(check bool)
+                (Printf.sprintf "structured deadline error: %s" reason)
+                true
+                (String.length reason >= 14
+                && String.sub reason 0 14 = "gtlx:GTLX0014:")
+          | Ok _ -> Alcotest.fail "stats answered through a blackhole");
+          let dt = gettime () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "stats bounded (%.2fs)" dt)
+            true (dt < 2.0)))
+
+let tests =
+  [
+    Alcotest.test_case "frame roundtrip under limits" `Quick test_roundtrip;
+    Alcotest.test_case "raw read_exact/write_all" `Quick test_raw_exact;
+    Alcotest.test_case "read deadline expiry (GTLX0014)" `Quick
+      test_read_deadline;
+    Alcotest.test_case "idle bound cuts a silent peer" `Quick
+      test_idle_cuts_before_deadline;
+    Alcotest.test_case "slow but steady beats the idle bound" `Quick
+      test_slow_but_steady_survives_idle;
+    Alcotest.test_case "write deadline expiry (GTLX0014)" `Quick
+      test_write_deadline;
+    Alcotest.test_case "malformed frames stay Error" `Quick
+      test_malformed_stays_error;
+    QCheck_alcotest.to_alcotest prop_chunked_decode;
+    Alcotest.test_case "faultnet: seeded schedule is deterministic" `Quick
+      test_faultnet_determinism;
+    Alcotest.test_case "faultnet: clean proxy is transparent" `Quick
+      test_faultnet_clean;
+    Alcotest.test_case "faultnet: stall -> GTLX0014" `Quick test_faultnet_stall;
+    Alcotest.test_case "faultnet: blackhole -> GTLX0014" `Quick
+      test_faultnet_blackhole;
+    Alcotest.test_case "faultnet: drop -> transport error" `Quick
+      test_faultnet_drop;
+    Alcotest.test_case "faultnet: throttle slows but stays exact" `Quick
+      test_faultnet_throttle;
+    Alcotest.test_case "client one-shot never hangs (stats)" `Quick
+      test_one_shot_does_not_hang;
+  ]

@@ -141,7 +141,7 @@ let health sock = ok "health" (Client.health ~socket_path:sock ())
 
 let stat sock key =
   match
-    List.assoc_opt key (ok "stats" (Client.stats ~socket_path:sock)).Protocol.counters
+    List.assoc_opt key (ok "stats" (Client.stats ~socket_path:sock ())).Protocol.counters
   with
   | Some v -> v
   | None -> Alcotest.failf "stats counter %s missing" key

@@ -458,7 +458,7 @@ let test_stats_over_wire () =
         (ok_value "query"
            (Client.request ~socket_path:sock
               (Protocol.Query (Protocol.query_request title_query))));
-      match Client.stats ~socket_path:sock with
+      match Client.stats ~socket_path:sock () with
       | Error e -> Alcotest.failf "stats transport: %s" e
       | Ok s ->
           Alcotest.(check int)
@@ -723,7 +723,7 @@ let test_counters_survive_reload () =
       Alcotest.(check int) "queries before reload" 2 (stat t "queries");
       Alcotest.(check int) "fallbacks before reload" 1 (stat t "fallbacks_total");
       let histogram_count () =
-        match Client.metrics ~socket_path:sock with
+        match Client.metrics ~socket_path:sock () with
         | Ok text -> text
         | Error reason -> Alcotest.failf "metrics: %s" reason
       in
@@ -769,7 +769,7 @@ let test_metrics_and_slowlog () =
            (Client.request ~socket_path:sock
               (Protocol.Query (Protocol.query_request title_query))));
       let text =
-        match Client.metrics ~socket_path:sock with
+        match Client.metrics ~socket_path:sock () with
         | Ok text -> text
         | Error reason -> Alcotest.failf "metrics: %s" reason
       in
@@ -786,7 +786,7 @@ let test_metrics_and_slowlog () =
           {|galatex_query_duration_seconds_bucket{strategy="materialized",le="+Inf"} 1|};
           {|galatex_query_duration_seconds_count{strategy="pipelined"} 0|};
         ];
-      match Client.slowlog ~socket_path:sock with
+      match Client.slowlog ~socket_path:sock () with
       | Error reason -> Alcotest.failf "slowlog: %s" reason
       | Ok entries -> (
           match entries with
@@ -1231,6 +1231,50 @@ let prop_backoff_bounds =
       in
       check 1 0.0)
 
+(* A client that requests a reply far bigger than the kernel socket
+   buffers and then never reads: the daemon's reply write must expire
+   against the per-connection deadline, drop the connection, and count
+   it — not wedge a worker forever. *)
+let test_slow_client_reply_disconnect () =
+  with_server
+    ~tweak:(fun c ->
+      { c with Server.recv_timeout = 0.5; Server.idle_timeout = 0.3 })
+    ()
+    (fun _dir sock t ->
+      let limits = Netio.within 3.0 in
+      let fd = Netio.connect ~limits sock in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* ~1.4 MB of reply, well past any socket buffer *)
+          let big =
+            "string-join(for $i in 1 to 80000 return \
+             \"0123456789abcdef\", \" \")"
+          in
+          Netio.write_frame ~limits fd
+            (Protocol.encode_request
+               (Protocol.Query (Protocol.query_request big)));
+          let rec wait tries =
+            if stat t "slow_client_disconnects" = 1 then ()
+            else if tries = 0 then
+              Alcotest.fail "timeout waiting for slow_client_disconnects"
+            else begin
+              Thread.delay 0.02;
+              wait (tries - 1)
+            end
+          in
+          wait 250;
+          (* the worker came back: a well-behaved request still answers *)
+          match
+            Client.request ~recv_timeout:5.0 ~socket_path:sock
+              (Protocol.Query (Protocol.query_request "1 + 1"))
+          with
+          | Ok (Protocol.Value v) ->
+              Alcotest.(check (list string)) "served after the slow client"
+                [ "2" ] v.Protocol.items
+          | _ -> Alcotest.fail "daemon wedged after a slow client"))
+
 let tests =
   [
     Alcotest.test_case "protocol round trip" `Quick test_protocol_roundtrip;
@@ -1271,5 +1315,7 @@ let tests =
     Alcotest.test_case "idle watcher reloads" `Quick test_idle_watcher_reloads;
     Alcotest.test_case "client survives daemon restart" `Quick
       test_client_survives_daemon_restart;
+    Alcotest.test_case "slow client reply write disconnects" `Quick
+      test_slow_client_reply_disconnect;
     QCheck_alcotest.to_alcotest prop_backoff_bounds;
   ]

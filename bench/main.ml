@@ -2123,6 +2123,44 @@ let r8_netfaults () =
             (fun () -> output_string oc json);
           Harness.row "  wrote BENCH_R8.json\n"))
 
+(* ---------------------------------------------------------------- R9 *)
+
+let r9_workload () =
+  Harness.section
+    "R9 (robustness): trace-driven mixed-workload replay — the SLO baseline";
+  let settings = { Workload.Scenario.default_settings with seed = 42 } in
+  let reports =
+    Workload.Scenario.run
+      ~progress:(fun name -> Harness.row "  replaying %s...\n" name)
+      settings
+  in
+  Harness.row
+    "\n  scenario                      reqs      p50      p95      p99   \
+     full  part  shed  err   lag\n";
+  List.iter
+    (fun (s : Workload.Report.scenario) ->
+      Harness.row
+        "  %-28s %5d  %6.2fms %6.2fms %6.2fms  %5d %5d %5d %4d  %s\n"
+        s.Workload.Report.name s.requests s.p50_ms s.p95_ms s.p99_ms s.full
+        s.partial s.shed s.error
+        (match s.replica_lag with Some l -> string_of_int l | None -> "-"))
+    reports;
+  let json =
+    Workload.Report.to_json
+      ~meta:
+        [
+          ("experiment", "R9");
+          ("seed", string_of_int settings.Workload.Scenario.seed);
+          ("scale", "1");
+        ]
+      reports
+  in
+  let oc = open_out "BENCH_R9.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc json);
+  Harness.row "  wrote BENCH_R9.json\n"
+
 (* ---------------------------------------------------------------- main *)
 
 let experiments =
@@ -2134,7 +2172,7 @@ let experiments =
     ("A2", a2_translated_decomposition); ("R1", r1_governance);
     ("R2", r2_cold_start); ("R3", r3_serving); ("R4", r4_live_updates);
     ("R5", r5_cluster); ("R6", r6_replication); ("R7", r7_failover);
-    ("R8", r8_netfaults);
+    ("R8", r8_netfaults); ("R9", r9_workload);
   ]
 
 let () =

@@ -1355,6 +1355,146 @@ let faultnet_cmd =
        $ faultnet_p_throttle_arg $ faultnet_latency_arg $ faultnet_jitter_arg
        $ faultnet_rate_arg $ faultnet_blackhole_arg))
 
+(* --- workload --- *)
+
+let workload_out_arg =
+  Arg.(
+    value
+    & opt string "BENCH_R9.json"
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Where to write the run's results JSON (default BENCH_R9.json).")
+
+let workload_gate_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "gate" ] ~docv:"BASELINE"
+        ~doc:
+          "Compare the run against this committed baseline JSON and exit
+           non-zero naming every violated SLO (p99/p95 over the
+           ratio-plus-slack limit, shed or error rate above
+           baseline + 2 pt, scenario missing).")
+
+let workload_against_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "against" ] ~docv:"RESULTS"
+        ~doc:
+          "With $(b,--gate): check this existing results file instead of
+           running fresh scenarios — the gate logic alone, no daemons.")
+
+let workload_scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"X"
+        ~doc:
+          "Request-count multiplier, e.g. 0.25 for the scaled-down CI
+           gate (floors keep every scenario at $(b,>= 10) requests).")
+
+let workload_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Trace and corpus seed; same seed = byte-identical traces.")
+
+let workload_scenario_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:"Run only this scenario (repeatable).  Default: all six.")
+
+let run_workload out gate against scale seed scenarios max_lag =
+  handle_errors (fun () ->
+      let read_file path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let gate_against ~baseline ~fresh =
+        match Workload.Gate.check ~baseline ~fresh () with
+        | Error reason ->
+            Printf.eprintf "workload gate: %s\n" reason;
+            exit 2
+        | Ok [] ->
+            Printf.printf "workload gate: PASS\n";
+            `Ok ()
+        | Ok violations ->
+            List.iter
+              (fun v ->
+                Printf.eprintf "workload gate: %s\n"
+                  (Workload.Gate.describe v))
+              violations;
+            exit 1
+      in
+      match (against, gate) with
+      | Some _, None ->
+          `Error (true, "--against only makes sense with --gate")
+      | Some results, Some baseline ->
+          gate_against ~baseline:(read_file baseline)
+            ~fresh:(read_file results)
+      | None, _ ->
+          let settings =
+            {
+              Workload.Scenario.scale;
+              seed;
+              max_lag = (match max_lag with None -> Some 64 | some -> some);
+              only = scenarios;
+            }
+          in
+          let reports =
+            Workload.Scenario.run
+              ~progress:(fun name ->
+                Printf.printf "running %s...\n%!" name)
+              settings
+          in
+          List.iter
+            (fun (s : Workload.Report.scenario) ->
+              Printf.printf
+                "  %-28s p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  full %4d  \
+                 partial %3d  shed %3d  error %3d\n"
+                s.Workload.Report.name s.p50_ms s.p95_ms s.p99_ms s.full
+                s.partial s.shed s.error)
+            reports;
+          let fresh =
+            Workload.Report.to_json
+              ~meta:
+                [
+                  ("experiment", "R9");
+                  ("seed", string_of_int seed);
+                  ("scale", Printf.sprintf "%g" scale);
+                ]
+              reports
+          in
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () -> output_string oc fresh);
+          Printf.printf "wrote %s\n" out;
+          (match gate with
+          | None -> `Ok ()
+          | Some baseline ->
+              gate_against ~baseline:(read_file baseline) ~fresh))
+
+let workload_cmd =
+  let doc =
+    "Replay a deterministic, seeded mixed workload — Zipf-popular
+     phrase / boolean / top-k query families interleaved with live
+     update batches — open-loop against in-process daemons, a sharded
+     router and multi-tenant small indexes, recording per-scenario
+     p50/p95/p99 latency and full/partial/shed/error counts.  With
+     $(b,--gate) the run (or, with $(b,--against), an existing results
+     file) is checked against a committed SLO baseline and the command
+     exits non-zero naming every violated SLO — the CI regression gate."
+  in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      ret
+        (const run_workload $ workload_out_arg $ workload_gate_arg
+       $ workload_against_arg $ workload_scale_arg $ workload_seed_arg
+       $ workload_scenario_arg $ max_lag_arg))
+
 (* --- demo --- *)
 
 let run_demo strategy =
@@ -1386,7 +1526,7 @@ let main =
     [
       query_cmd; translate_cmd; explain_cmd; index_cmd; tokens_cmd;
       module_cmd; serve_cmd; route_cmd; stats_cmd; promote_cmd; update_cmd;
-      faultnet_cmd; demo_cmd;
+      faultnet_cmd; workload_cmd; demo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -40,8 +40,16 @@ let create ?(skew = 1.0) size =
 let size t = Array.length t.words
 let word t i = t.words.(i)
 
-(* Draw a word with Zipf probability. *)
-let sample t rng =
+let cumulative t = Array.copy t.cumulative
+
+let mass t rank =
+  if rank < 0 || rank >= Array.length t.cumulative then
+    invalid_arg "Vocab.mass: rank out of range";
+  if rank = 0 then t.cumulative.(0)
+  else t.cumulative.(rank) -. t.cumulative.(rank - 1)
+
+(* Draw a rank (and its word) with Zipf probability. *)
+let draw t rng =
   let u = Splitmix.float rng in
   (* binary search for the first cumulative >= u *)
   let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
@@ -49,6 +57,8 @@ let sample t rng =
     let mid = (!lo + !hi) / 2 in
     if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
   done;
-  t.words.(!lo)
+  (!lo, t.words.(!lo))
+
+let sample t rng = snd (draw t rng)
 
 let words t = Array.to_list t.words

@@ -18,4 +18,18 @@ val word_for_rank : int -> string
 val sample : t -> Splitmix.t -> string
 (** Draw a word with its Zipf probability. *)
 
+val draw : t -> Splitmix.t -> int * string
+(** Draw a (rank, word) pair with the rank's Zipf probability — the
+    rank-returning form workload popularity sampling builds on. *)
+
+val cumulative : t -> float array
+(** A copy of the cumulative probability array: [cumulative.(i)] is the
+    probability of drawing a rank [<= i]; monotone non-decreasing, last
+    element ~1.0. *)
+
+val mass : t -> int -> float
+(** The probability of drawing exactly this rank:
+    [cumulative.(r) -. cumulative.(r-1)].
+    @raise Invalid_argument when the rank is out of range. *)
+
 val words : t -> string list

@@ -1,0 +1,114 @@
+(* The SLO regression gate: a fresh run vs a committed baseline.
+
+   Tolerances are ratio-plus-absolute-slack on the latency percentiles —
+   a pure ratio would make a 2 ms baseline fail on any 4 ms scheduler
+   hiccup, and a pure slack would let a 200 ms baseline regress to
+   400 ms silently — and additive percentage points on the shed / error
+   rates, whose baselines are usually 0 (a ratio over zero is
+   meaningless).  A baseline scenario missing from the fresh run is a
+   violation, not a skip: silently dropping a scenario is how gates
+   rot. *)
+
+type tolerance = {
+  p99_ratio : float;
+  p99_slack_ms : float;
+  p95_ratio : float;
+  p95_slack_ms : float;
+  shed_pts : float;  (** allowed shed-rate increase, percentage points *)
+  error_pts : float;
+}
+
+let default =
+  {
+    p99_ratio = 1.5;
+    p99_slack_ms = 50.0;
+    p95_ratio = 1.5;
+    p95_slack_ms = 30.0;
+    shed_pts = 2.0;
+    error_pts = 2.0;
+  }
+
+type violation = {
+  scenario : string;
+  metric : string;
+  baseline : float;
+  fresh : float;
+  limit : float;
+}
+
+let describe v =
+  if v.metric = "missing_scenario" then
+    Printf.sprintf "scenario %S: missing from the fresh run" v.scenario
+  else
+    Printf.sprintf "scenario %S: %s %.3f exceeds limit %.3f (baseline %.3f)"
+      v.scenario v.metric v.fresh v.limit v.baseline
+
+(* Apply the baseline scenario's own overrides on top of the defaults. *)
+let effective tolerance (base : Report.scenario) =
+  List.fold_left
+    (fun t (key, v) ->
+      match key with
+      | "p99_ratio" -> { t with p99_ratio = v }
+      | "p99_slack_ms" -> { t with p99_slack_ms = v }
+      | "p95_ratio" -> { t with p95_ratio = v }
+      | "p95_slack_ms" -> { t with p95_slack_ms = v }
+      | "shed_pts" -> { t with shed_pts = v }
+      | "error_pts" -> { t with error_pts = v }
+      | _ -> t)
+    tolerance base.gate
+
+let check_scenario tolerance (base : Report.scenario)
+    (fresh : Report.scenario) =
+  let t = effective tolerance base in
+  let latency metric ~ratio ~slack ~base_v ~fresh_v acc =
+    let limit = Float.max (base_v *. ratio) (base_v +. slack) in
+    if fresh_v > limit then
+      { scenario = base.name; metric; baseline = base_v; fresh = fresh_v; limit }
+      :: acc
+    else acc
+  in
+  let additive metric ~pts ~base_v ~fresh_v acc =
+    let limit = base_v +. (pts /. 100.0) in
+    if fresh_v > limit then
+      { scenario = base.name; metric; baseline = base_v; fresh = fresh_v; limit }
+      :: acc
+    else acc
+  in
+  []
+  |> latency "p99_ms" ~ratio:t.p99_ratio ~slack:t.p99_slack_ms
+       ~base_v:base.p99_ms ~fresh_v:fresh.p99_ms
+  |> latency "p95_ms" ~ratio:t.p95_ratio ~slack:t.p95_slack_ms
+       ~base_v:base.p95_ms ~fresh_v:fresh.p95_ms
+  |> additive "shed_rate" ~pts:t.shed_pts ~base_v:(Report.shed_rate base)
+       ~fresh_v:(Report.shed_rate fresh)
+  |> additive "error_rate" ~pts:t.error_pts ~base_v:(Report.error_rate base)
+       ~fresh_v:(Report.error_rate fresh)
+  |> List.rev
+
+let check ?(tolerance = default) ~baseline ~fresh () =
+  match (Report.of_json baseline, Report.of_json fresh) with
+  | Error e, _ -> Error (Printf.sprintf "baseline: %s" e)
+  | _, Error e -> Error (Printf.sprintf "fresh run: %s" e)
+  | Ok base_scenarios, Ok fresh_scenarios ->
+      let violations =
+        List.concat_map
+          (fun (base : Report.scenario) ->
+            match
+              List.find_opt
+                (fun (f : Report.scenario) -> f.name = base.name)
+                fresh_scenarios
+            with
+            | None ->
+                [
+                  {
+                    scenario = base.name;
+                    metric = "missing_scenario";
+                    baseline = 1.0;
+                    fresh = 0.0;
+                    limit = 1.0;
+                  };
+                ]
+            | Some fresh -> check_scenario tolerance base fresh)
+          base_scenarios
+      in
+      Ok violations

@@ -1,0 +1,48 @@
+(** The SLO regression gate: a fresh workload run against a committed
+    baseline.
+
+    Latency percentiles are bounded by ratio {e plus} absolute slack —
+    a pure ratio makes a 2 ms baseline fail on any scheduler hiccup, a
+    pure slack lets a 200 ms baseline double silently; shed / error
+    rates are bounded additively in percentage points, because their
+    baselines are usually exactly 0 and a ratio over zero is
+    meaningless.  A baseline scenario missing from the fresh run is a
+    violation, not a skip. *)
+
+type tolerance = {
+  p99_ratio : float;  (** fresh p99 ≤ max(base × ratio, base + slack) *)
+  p99_slack_ms : float;
+  p95_ratio : float;
+  p95_slack_ms : float;
+  shed_pts : float;  (** fresh shed-rate ≤ base + pts/100 *)
+  error_pts : float;
+}
+
+val default : tolerance
+(** p99 ≤ 1.5× (+50 ms slack), p95 ≤ 1.5× (+30 ms), shed-rate ≤
+    baseline + 2 pt, error-rate ≤ baseline + 2 pt. *)
+
+type violation = {
+  scenario : string;
+  metric : string;
+      (** ["p99_ms"], ["p95_ms"], ["shed_rate"], ["error_rate"] or
+          ["missing_scenario"] *)
+  baseline : float;
+  fresh : float;
+  limit : float;
+}
+
+val describe : violation -> string
+(** One line naming the violated SLO: scenario, metric, measured value,
+    limit, baseline. *)
+
+val check :
+  ?tolerance:tolerance ->
+  baseline:string ->
+  fresh:string ->
+  unit ->
+  (violation list, string) result
+(** Compare two results documents (JSON text, {!Report.of_json} format).
+    [Ok []] means the gate passes.  Per-scenario [gate] overrides in the
+    {e baseline} replace individual tolerance fields for that scenario.
+    [Error] only when either document fails to parse. *)

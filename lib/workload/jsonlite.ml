@@ -1,0 +1,185 @@
+(* A minimal JSON reader for the SLO gate: the switch has no JSON
+   library (same reason xmlkit hand-rolls its XML parser), and the gate
+   only needs to read back the bench files this repo itself writes.
+   Full RFC 8259 grammar on input; no writer — reports are built with
+   Printf like every other BENCH_*.json emitter. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+type reader = { src : string; mutable pos : int }
+
+let fail r msg = raise (Bad (Printf.sprintf "%s at byte %d" msg r.pos))
+let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
+
+let next r =
+  match peek r with
+  | Some c ->
+      r.pos <- r.pos + 1;
+      c
+  | None -> fail r "unexpected end of input"
+
+let skip_ws r =
+  let continue = ref true in
+  while !continue do
+    match peek r with
+    | Some (' ' | '\t' | '\n' | '\r') -> r.pos <- r.pos + 1
+    | _ -> continue := false
+  done
+
+let expect r c =
+  let got = next r in
+  if got <> c then fail r (Printf.sprintf "expected %c, got %c" c got)
+
+let literal r word value =
+  String.iter (fun c -> expect r c) word;
+  value
+
+let parse_string r =
+  expect r '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next r with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        (match next r with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            let hex = ref 0 in
+            for _ = 1 to 4 do
+              let d =
+                match next r with
+                | '0' .. '9' as c -> Char.code c - Char.code '0'
+                | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                | _ -> fail r "bad \\u escape"
+              in
+              hex := (!hex * 16) + d
+            done;
+            (* UTF-8 encode the BMP scalar; good enough for our own files *)
+            let cp = !hex in
+            if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+            else if cp < 0x800 then (
+              Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+            else (
+              Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F))))
+        | _ -> fail r "bad escape");
+        go ())
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let parse_number r =
+  let start = r.pos in
+  let numeric = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek r with Some c -> numeric c | None -> false) do
+    r.pos <- r.pos + 1
+  done;
+  let text = String.sub r.src start (r.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Num f
+  | None -> fail r (Printf.sprintf "bad number %S" text)
+
+let rec parse_value r =
+  skip_ws r;
+  match peek r with
+  | Some '"' -> Str (parse_string r)
+  | Some '{' -> parse_obj r
+  | Some '[' -> parse_arr r
+  | Some 't' -> literal r "true" (Bool true)
+  | Some 'f' -> literal r "false" (Bool false)
+  | Some 'n' -> literal r "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some c -> fail r (Printf.sprintf "unexpected %c" c)
+  | None -> fail r "unexpected end of input"
+
+and parse_obj r =
+  expect r '{';
+  skip_ws r;
+  if peek r = Some '}' then (
+    r.pos <- r.pos + 1;
+    Obj [])
+  else
+    let rec members acc =
+      skip_ws r;
+      let key = parse_string r in
+      skip_ws r;
+      expect r ':';
+      let v = parse_value r in
+      skip_ws r;
+      match next r with
+      | ',' -> members ((key, v) :: acc)
+      | '}' -> Obj (List.rev ((key, v) :: acc))
+      | _ -> fail r "expected , or } in object"
+    in
+    members []
+
+and parse_arr r =
+  expect r '[';
+  skip_ws r;
+  if peek r = Some ']' then (
+    r.pos <- r.pos + 1;
+    Arr [])
+  else
+    let rec elements acc =
+      let v = parse_value r in
+      skip_ws r;
+      match next r with
+      | ',' -> elements (v :: acc)
+      | ']' -> Arr (List.rev (v :: acc))
+      | _ -> fail r "expected , or ] in array"
+    in
+    elements []
+
+let parse src =
+  let r = { src; pos = 0 } in
+  try
+    let v = parse_value r in
+    skip_ws r;
+    if r.pos <> String.length src then Error "trailing input after JSON value"
+    else Ok v
+  with Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

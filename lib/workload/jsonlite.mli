@@ -1,0 +1,29 @@
+(** A minimal JSON reader for the SLO gate.
+
+    The switch ships no JSON library, and the gate only needs to read
+    back the result files this repo itself writes (BENCH_R9.json and its
+    baselines), so — like xmlkit's XML parser — this is hand-rolled: the
+    full RFC 8259 input grammar, no writer (reports are emitted with
+    Printf like every other BENCH_*.json). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on a missing key or a non-object. *)
+
+val to_float : t -> float option
+val to_string : t -> string option
+val to_list : t -> t list option
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in emitted
+    JSON. *)

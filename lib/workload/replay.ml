@@ -1,0 +1,109 @@
+(* Open-loop trace replay through the daemon protocol.
+
+   Events launch at their due time regardless of completions (the R8
+   open-loop discipline), so a slow server cannot slow the arrival
+   process down and hide its own tail — and latency is measured from the
+   event's *due* instant, not its launch, so queueing delay behind the
+   in-flight cap is charged to the server (no coordinated omission). *)
+
+module Cli = Galatex_server.Client
+module Proto = Galatex_server.Protocol
+
+type counts = { full : int; partial : int; shed : int; error : int }
+
+type result = {
+  issued : int;
+  counts : counts;
+  latencies_sorted_ms : float array;
+      (** one sample per issued event, sorted ascending *)
+  wall_s : float;
+}
+
+(* Same estimator as bench/main.ml: nearest-rank on a sorted array. *)
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> Float.nan
+  | n -> sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+type classified = Full | Partial | Shed | Error
+
+let classify_query = function
+  | Ok (Proto.Value v) -> if v.Proto.partial = None then Full else Partial
+  | Ok (Proto.Failure e) when e.Proto.code = "gtlx:GTLX0009" -> Shed
+  | Ok _ | Error _ -> Error
+
+let classify_update = function
+  | Ok (Proto.Update_reply _) -> Full
+  | Ok (Proto.Failure e) when e.Proto.code = "gtlx:GTLX0009" -> Shed
+  | Ok _ | Error _ -> Error
+
+let run ~socket_path ?(concurrency = 16) ?(client_timeout = 5.0)
+    ?(now = Unix.gettimeofday) ?(sleep = Thread.delay) (trace : Trace.t) =
+  if concurrency <= 0 then invalid_arg "Replay.run: concurrency <= 0";
+  let n = Array.length trace in
+  let lats = Array.make (max n 1) Float.nan in
+  let full = ref 0 and partial = ref 0 and shed = ref 0 and error = ref 0 in
+  let lock = Mutex.create () in
+  let slots = ref concurrency and slot_cv = Condition.create () in
+  let acquire () =
+    Mutex.lock lock;
+    while !slots = 0 do
+      Condition.wait slot_cv lock
+    done;
+    decr slots;
+    Mutex.unlock lock
+  in
+  let release () =
+    Mutex.lock lock;
+    incr slots;
+    Condition.signal slot_cv;
+    Mutex.unlock lock
+  in
+  let t0 = now () in
+  let one i due_abs op =
+    let outcome =
+      match op with
+      | Trace.Query { text; topk; _ } ->
+          classify_query
+            (Cli.request ~recv_timeout:client_timeout ~socket_path
+               (Proto.Query
+                  (Proto.query_request
+                     ?merge:(Option.map (fun k -> Proto.Merge_topk k) topk)
+                     text)))
+      | Trace.Update ops ->
+          classify_update
+            (Cli.request ~recv_timeout:client_timeout ~socket_path
+               (Proto.Update { ops; epoch = 0 }))
+    in
+    let dt_ms = (now () -. due_abs) *. 1000.0 in
+    Mutex.lock lock;
+    lats.(i) <- dt_ms;
+    (match outcome with
+    | Full -> incr full
+    | Partial -> incr partial
+    | Shed -> incr shed
+    | Error -> incr error);
+    Mutex.unlock lock;
+    release ()
+  in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i { Trace.due_ms; op } ->
+           let due_abs = t0 +. (due_ms /. 1000.0) in
+           let wait = due_abs -. now () in
+           if wait > 0.0 then sleep wait;
+           acquire ();
+           Thread.create (fun () -> one i due_abs op) ())
+         trace)
+  in
+  List.iter Thread.join threads;
+  let wall_s = now () -. t0 in
+  let sorted = Array.sub lats 0 n in
+  Array.sort compare sorted;
+  {
+    issued = n;
+    counts = { full = !full; partial = !partial; shed = !shed; error = !error };
+    latencies_sorted_ms = sorted;
+    wall_s;
+  }

@@ -1,0 +1,51 @@
+(** Per-scenario replay results and their JSON form (BENCH_R9.json and
+    its baselines).
+
+    The writer is Printf-built like every other BENCH_*.json emitter;
+    the reader (for the SLO gate) goes through {!Jsonlite}.
+    [of_json (to_json scenarios)] round-trips every gated field. *)
+
+type scenario = {
+  name : string;
+  requests : int;  (** events issued (queries + update batches) *)
+  rate : float;  (** open-loop target rate, queries/s *)
+  concurrency : int;  (** replay in-flight cap *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  full : int;
+  partial : int;
+  shed : int;
+  error : int;
+  counters : (string * int) list;  (** server counter snapshot after replay *)
+  replica_lag : int option;
+      (** max WAL records a replica trails its primary by, where the
+          scenario has replicas *)
+  gate : (string * float) list;
+      (** per-scenario tolerance overrides (e.g. [("p99_ratio", 2.0)]) —
+          normally empty; hand-edited into a baseline where one scenario
+          needs more headroom than {!Gate.default} *)
+}
+
+val issued : scenario -> int
+(** [full + partial + shed + error]. *)
+
+val shed_rate : scenario -> float
+(** Fraction of issued events shed, in [0, 1]. *)
+
+val error_rate : scenario -> float
+
+val of_replay :
+  name:string ->
+  rate:float ->
+  concurrency:int ->
+  ?counters:(string * int) list ->
+  ?replica_lag:int ->
+  Replay.result ->
+  scenario
+
+val to_json : ?meta:(string * string) list -> scenario list -> string
+(** One results document; [meta] becomes top-level string fields
+    ("experiment", "seed", ...). *)
+
+val of_json : string -> (scenario list, string) result

@@ -1,0 +1,182 @@
+(* Deterministic, seeded mixed-workload traces.
+
+   A trace is the full schedule of a replay run, computed up front: each
+   event carries its open-loop due time and either a query drawn from a
+   templated family or a WAL update batch.  Everything downstream of the
+   seed is pure — the same seed and spec always produce a byte-identical
+   trace (see [to_string]) so a bench run, a CI gate run and a unit test
+   all replay the very same operations. *)
+
+type family = Phrase | Boolean | Topk
+
+type op =
+  | Query of { family : family; text : string; topk : int option }
+  | Update of Ftindex.Wal.op list
+
+type event = { due_ms : float; op : op }
+type t = event array
+
+type mix = { phrase : float; boolean : float; topk : float }
+
+type spec = {
+  seed : int;
+  requests : int;
+  rate : float;
+  mix : mix;
+  popularity_skew : float;
+  templates_per_family : int;
+  topk_k : int;
+  vocab_size : int;
+  vocab_skew : float;
+  update_every : int option;
+  update_batch : int;
+}
+
+let default_spec =
+  {
+    seed = 42;
+    requests = 100;
+    rate = 100.0;
+    mix = { phrase = 0.4; boolean = 0.4; topk = 0.2 };
+    popularity_skew = 1.0;
+    templates_per_family = 20;
+    topk_k = 3;
+    vocab_size = 150;
+    vocab_skew = 1.0;
+    update_every = None;
+    update_batch = 3;
+  }
+
+let family_name = function
+  | Phrase -> "phrase"
+  | Boolean -> "boolean"
+  | Topk -> "topk"
+
+let family_id = function Phrase -> 0 | Boolean -> 1 | Topk -> 2
+
+(* Per-(family, popularity-rank) template rng: templates are a function
+   of the seed alone, not of how many draws preceded them. *)
+let template_rng spec family rank =
+  Corpus.Splitmix.create
+    ((spec.seed * 1_000_003) + (family_id family * 7919) + rank)
+
+let template spec vocab family rank =
+  let rng = template_rng spec family rank in
+  let w () = Corpus.Vocab.sample vocab rng in
+  match family with
+  | Phrase ->
+      let text =
+        Printf.sprintf {|count(collection()//book[. ftcontains "%s %s"])|}
+          (w ()) (w ())
+      in
+      Query { family; text; topk = None }
+  | Boolean ->
+      let text =
+        match rank mod 3 with
+        | 0 ->
+            Printf.sprintf
+              {|count(collection()//book[. ftcontains "%s" && "%s" window 14 words])|}
+              (w ()) (w ())
+        | 1 ->
+            Printf.sprintf
+              {|count(collection()//book[. ftcontains "%s" || ("%s" && "%s")])|}
+              (w ()) (w ()) (w ())
+        | _ ->
+            Printf.sprintf
+              {|count(collection()//p[. ftcontains "%s" && "%s" distance at most 8 words])|}
+              (w ()) (w ())
+      in
+      Query { family; text; topk = None }
+  | Topk ->
+      let text =
+        Printf.sprintf {|count(collection()//book[. ftcontains "%s"])|} (w ())
+      in
+      Query { family; text; topk = Some spec.topk_k }
+
+let pick_family spec rng =
+  let total = spec.mix.phrase +. spec.mix.boolean +. spec.mix.topk in
+  if total <= 0.0 then invalid_arg "Trace.generate: mix weights sum to zero";
+  let u = Corpus.Splitmix.float rng *. total in
+  if u < spec.mix.phrase then Phrase
+  else if u < spec.mix.phrase +. spec.mix.boolean then Boolean
+  else Topk
+
+(* A small freshly-authored book for the update stream. *)
+let update_doc vocab rng n =
+  let w () = Corpus.Vocab.sample vocab rng in
+  let para =
+    String.concat " " (List.init 12 (fun _ -> w ()))
+  in
+  Printf.sprintf
+    "<book number=\"u%d\"><section><title>%s %s</title><p>%s</p></section></book>"
+    n (w ()) (w ()) para
+
+let generate spec =
+  if spec.requests <= 0 then invalid_arg "Trace.generate: requests <= 0";
+  if spec.rate <= 0.0 then invalid_arg "Trace.generate: rate <= 0";
+  let rng = Corpus.Splitmix.create spec.seed in
+  let vocab = Corpus.Vocab.create ~skew:spec.vocab_skew spec.vocab_size in
+  let popularity =
+    Corpus.Vocab.create ~skew:spec.popularity_skew spec.templates_per_family
+  in
+  let added = ref [] and doc_counter = ref 0 in
+  let update_batch () =
+    List.init spec.update_batch (fun _ ->
+        (* one removal per few adds, once there is something to remove *)
+        let removable = !added <> [] in
+        if removable && Corpus.Splitmix.float rng < 0.25 then (
+          let uri = Corpus.Splitmix.pick rng (Array.of_list !added) in
+          added := List.filter (fun u -> u <> uri) !added;
+          Ftindex.Wal.Remove_doc uri)
+        else begin
+          incr doc_counter;
+          let n = !doc_counter in
+          let uri = Printf.sprintf "wl-upd-%d.xml" n in
+          added := uri :: !added;
+          Ftindex.Wal.Add_doc { uri; source = update_doc vocab rng n }
+        end)
+  in
+  let events = ref [] in
+  for k = 0 to spec.requests - 1 do
+    let due_ms = 1000.0 *. float_of_int k /. spec.rate in
+    let family = pick_family spec rng in
+    let rank, _ = Corpus.Vocab.draw popularity rng in
+    events := { due_ms; op = template spec vocab family rank } :: !events;
+    (match spec.update_every with
+    | Some n when n > 0 && k mod n = n - 1 ->
+        events := { due_ms; op = Update (update_batch ()) } :: !events
+    | _ -> ())
+  done;
+  Array.of_list (List.rev !events)
+
+let op_to_string = function
+  | Query { family; text; topk } ->
+      Printf.sprintf "Q %s k=%s %s" (family_name family)
+        (match topk with Some k -> string_of_int k | None -> "-")
+        text
+  | Update ops ->
+      String.concat "; "
+        (List.map
+           (function
+             | Ftindex.Wal.Add_doc { uri; source } ->
+                 Printf.sprintf "U+ %s %s" uri source
+             | Ftindex.Wal.Remove_doc uri -> Printf.sprintf "U- %s" uri)
+           ops)
+
+let to_string t =
+  let buf = Buffer.create (Array.length t * 80) in
+  Array.iter
+    (fun { due_ms; op } ->
+      Buffer.add_string buf (Printf.sprintf "@%.3f %s\n" due_ms (op_to_string op)))
+    t;
+  Buffer.contents buf
+
+let queries t =
+  Array.fold_left
+    (fun n e -> match e.op with Query _ -> n + 1 | Update _ -> n)
+    0 t
+
+let updates t =
+  Array.fold_left
+    (fun n e -> match e.op with Update _ -> n + 1 | Query _ -> n)
+    0 t

@@ -1,0 +1,55 @@
+(** Deterministic, seeded mixed-workload traces.
+
+    A trace is the complete schedule of one replay run, computed up
+    front from a seed: timestamped query events drawn Zipf-skewed from
+    templated families (phrase / boolean / top-k), interleaved with an
+    update stream of WAL add/remove batches.  The same seed + spec is
+    guaranteed byte-identical (compare {!to_string}), so benches, the CI
+    gate and unit tests all replay the very same operations. *)
+
+type family = Phrase | Boolean | Topk
+
+type op =
+  | Query of { family : family; text : string; topk : int option }
+      (** [topk = Some k] asks the cluster router for a top-k merge;
+          a single daemon ignores it. *)
+  | Update of Ftindex.Wal.op list  (** one write batch *)
+
+type event = { due_ms : float;  (** open-loop launch time from t0 *) op : op }
+type t = event array
+
+type mix = { phrase : float; boolean : float; topk : float }
+(** Relative family weights; normalized internally, need not sum to 1. *)
+
+type spec = {
+  seed : int;
+  requests : int;  (** query events (updates ride on top) *)
+  rate : float;  (** queries per second (due-time spacing) *)
+  mix : mix;
+  popularity_skew : float;
+      (** Zipf skew of template popularity: rank-0 templates dominate *)
+  templates_per_family : int;
+  topk_k : int;  (** k carried by top-k family queries *)
+  vocab_size : int;
+  vocab_skew : float;  (** word-frequency skew inside query templates *)
+  update_every : int option;
+      (** emit an update batch after every n-th query; [None] read-only *)
+  update_batch : int;  (** WAL ops per batch *)
+}
+
+val default_spec : spec
+(** 100 requests at 100/s, 40/40/20 phrase/boolean/topk, 20 templates
+    per family at skew 1.0, read-only, seed 42. *)
+
+val generate : spec -> t
+(** Deterministic: same spec ⇒ same trace, byte for byte.
+    @raise Invalid_argument on non-positive [requests]/[rate] or
+    all-zero mix weights. *)
+
+val to_string : t -> string
+(** Canonical one-event-per-line rendering — the byte-identity witness
+    used by the determinism property tests. *)
+
+val family_name : family -> string
+val queries : t -> int
+val updates : t -> int

@@ -425,6 +425,26 @@ grep -q '^acknowledged 1 operation' ack.txt || { echo "FAIL: post-promotion upda
 kill -TERM $FOL $PRI
 wait $FOL $PRI 2>/dev/null
 
+# --- workload replay + SLO gate: a tiny seeded scenario runs end to
+# --- end, gates green against its own output, and the gate exits
+# --- non-zero naming scenario + metric against a tightened baseline ---
+timeout 30 "$GX" workload --scale 0.1 --seed 42 --scenario zipf-read-only --out wl.json >wl.log 2>&1
+expect_exit "workload scaled run" 0 $?
+grep -q '"name": "zipf-read-only"' wl.json || { echo "FAIL: workload run JSON missing the scenario" >&2; cat wl.log >&2; fails=$((fails+1)); }
+grep -q '"p99_ms":' wl.json || { echo "FAIL: workload run JSON missing p99" >&2; fails=$((fails+1)); }
+
+timeout 30 "$GX" workload --gate wl.json --against wl.json >gate.log
+expect_exit "workload gate vs identical results" 0 $?
+grep -q 'PASS' gate.log || { echo "FAIL: identical gate did not report PASS" >&2; fails=$((fails+1)); }
+
+# tighten the baseline far below the slack floor: the fresh numbers must
+# now violate the p99 SLO, and the failure must name scenario + metric
+sed 's/"p99_ms": [0-9.]*/"p99_ms": 400.0/; s/"p95_ms": [0-9.]*/"p95_ms": 400.0/' wl.json > regressed.json
+timeout 30 "$GX" workload --gate wl.json --against regressed.json 2>gate-err.txt
+expect_exit "workload gate flags the regression" 1 $?
+grep -q 'zipf-read-only' gate-err.txt || { echo "FAIL: gate violation does not name the scenario" >&2; cat gate-err.txt >&2; fails=$((fails+1)); }
+grep -q 'p99_ms' gate-err.txt || { echo "FAIL: gate violation does not name the metric" >&2; cat gate-err.txt >&2; fails=$((fails+1)); }
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI smoke failure(s)" >&2
   exit 1
